@@ -1,0 +1,24 @@
+.PHONY: install test bench examples verify clean
+
+install:
+	python setup.py develop || pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	@for f in examples/*.py; do \
+		echo "== $$f"; python $$f > /dev/null || exit 1; \
+	done; echo "all examples ran"
+
+verify:
+	python -c "from repro.testing import run_differential_trials as r; \
+	           rep = r(trials=500); assert rep.passed, rep.summary(); \
+	           print(rep.summary())"
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

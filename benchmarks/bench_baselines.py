@@ -1,0 +1,213 @@
+"""Experiment S3 — algebra vs related-work baselines (§6).
+
+The paper positions the algebra against smallest-LCA style systems:
+"existing methods are ineffective in achieving our goal in the first
+place" but faster, a natural effectiveness/efficiency trade-off that
+anti-monotonic filters partly recover.  This bench quantifies both
+sides on synthetic corpora:
+
+* effectiveness — how often the baselines' answer sets contain the
+  enclosing self-contained fragment (the paper's target shape) that the
+  algebra retrieves;
+* efficiency — wall time of SLCA / ELCA / XRank / smallest-fragment vs
+  the push-down algebra.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines.elca import elca_nodes
+from repro.baselines.slca import slca_nodes
+from repro.baselines.smallest import smallest_fragments
+from repro.baselines.xrank import xrank_answers
+from repro.baselines.xsearch import xsearch_answers
+from repro.bench.reporting import banner, format_table
+from repro.core.filters import SizeAtMost
+from repro.core.query import Query
+from repro.core.strategies import Strategy, evaluate
+from repro.workloads.figure1 import build_figure1_document
+
+from .conftest import TERM_A, TERM_B, planted_document
+from .util import report
+
+TERMS = [TERM_A, TERM_B]
+QUERY = Query.of(TERM_A, TERM_B, predicate=SizeAtMost(6))
+
+
+def test_effectiveness_comparison(benchmark, capsys):
+    doc = planted_document(nodes=800, occ_a=5, occ_b=5,
+                           clustering=0.7, seed=101)
+
+    def run():
+        algebra = evaluate(doc, QUERY).fragments
+        slca_sets = {frozenset(doc.subtree(v))
+                     for v in slca_nodes(doc, TERMS)}
+        smallest = {f.nodes for f in smallest_fragments(doc, TERMS)}
+        # Fragments the algebra finds that strictly extend every
+        # conventional answer they contain — the paper's "more
+        # informative, self-contained" units.
+        extended = [f for f in algebra
+                    if any(s < f.nodes for s in smallest)]
+        return algebra, smallest, extended, slca_sets
+
+    algebra, smallest, extended, _ = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    assert extended, ("algebra should offer enlarged units beyond the "
+                      "smallest-subtree answers")
+    report(capsys, "\n".join([
+        banner("S3: effectiveness — answer units offered"),
+        format_table(
+            ["semantics", "answers", "enlarged self-contained units"],
+            [["smallest-subtree", len(smallest), 0],
+             ["algebra (size<=6)", len(algebra), len(extended)]]),
+        "",
+        "paper: conventional semantics cannot produce the enlarged "
+        "units at all; the algebra produces them plus the conventional "
+        "answers as sub-fragments."]))
+
+
+def test_efficiency_comparison(benchmark, capsys):
+    doc = planted_document(nodes=1500, occ_a=6, occ_b=6,
+                           clustering=0.5, seed=103)
+
+    def run():
+        rows = []
+        for name, fn in (
+                ("slca", lambda: slca_nodes(doc, TERMS)),
+                ("elca", lambda: elca_nodes(doc, TERMS)),
+                ("xrank", lambda: xrank_answers(doc, TERMS)),
+                ("smallest-fragments",
+                 lambda: smallest_fragments(doc, TERMS)),
+                ("algebra/pushdown",
+                 lambda: evaluate(doc, QUERY,
+                                  strategy=Strategy.PUSHDOWN))):
+            started = time.perf_counter()
+            fn()
+            rows.append([name, (time.perf_counter() - started) * 1000])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(capsys, "\n".join([
+        banner("S3: efficiency — baselines vs algebra "
+               "(1500 nodes, |Fi| = 6)"),
+        format_table(["method", "latency ms"], rows),
+        "",
+        "expected shape: LCA-style baselines are faster (they compute "
+        "far less); the filtered algebra stays within practical range "
+        "— the effectiveness/efficiency trade-off of §6."]))
+
+
+def _known_relevance_corpus(sections: int = 12, distractors: int = 40):
+    """A document with ``sections`` known-relevant units.
+
+    Each relevant unit is a subsection whose two paragraphs carry one
+    query term each — the Figure 1 pattern repeated; the relevant
+    answer is the 3-node subsection fragment.  Distractor subsections
+    carry unrelated text.
+    """
+    from repro.core.fragment import Fragment
+    from repro.xmltree.builder import DocumentBuilder
+
+    # Each relevant unit repeats the Figure 1 pattern: the subsection
+    # heading mentions one term, the first paragraph carries *both*
+    # terms, the second carries one — so the smallest-subtree
+    # semantics collapses to the first paragraph alone while the
+    # intended unit is the whole 3-node subsection.
+    b = DocumentBuilder(name="relevance")
+    root = b.add_root("article")
+    relevant_nodes = []
+    for i in range(sections):
+        sec = b.add_child(root, "subsection",
+                          f"techniques for thread handling {i}")
+        p1 = b.add_child(sec, "par",
+                         "thread analysis of the needle approach")
+        p2 = b.add_child(sec, "par", "the needle approach in detail")
+        relevant_nodes.append((sec, p1, p2))
+        for _ in range(distractors // sections):
+            b.add_child(sec, "note", "unrelated filler prose")
+    doc = b.build()
+    relevant = [Fragment(doc, nodes) for nodes in relevant_nodes]
+    return doc, relevant
+
+
+def test_effectiveness_metrics(benchmark, capsys):
+    from repro.baselines.xsearch import xsearch_answers
+    from repro.core.fragment import Fragment
+    from repro.ranking.metrics import evaluate_effectiveness
+
+    doc, relevant = _known_relevance_corpus()
+    terms = ["needle", "thread"]
+    query = Query.of(*terms, predicate=SizeAtMost(3))
+
+    def run():
+        systems = {
+            "algebra size<=3 (maximal answers)":
+                evaluate(doc, query).non_overlapping(),
+            "smallest-fragments": smallest_fragments(doc, terms),
+            "slca subtrees":
+                [Fragment.subtree(doc, v)
+                 for v in slca_nodes(doc, terms)],
+            "xsearch": xsearch_answers(doc, terms),
+        }
+        return {name: evaluate_effectiveness(answers, relevant)
+                for name, answers in systems.items()}
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[name] + report.as_row()
+            for name, report in reports.items()]
+    report(capsys, "\n".join([
+        banner("S3: effectiveness metrics against known relevant "
+               "units (12 planted subsections)"),
+        format_table(["system", "precision", "recall", "f1",
+                      "overlap-P", "overlap-R"], rows),
+        "",
+        "relevant unit = the 3-node subsection; the filtered algebra "
+        "retrieves it exactly (plus sub-answers), the baselines "
+        "under- or over-shoot it."]))
+    assert reports["algebra size<=3 (maximal answers)"].recall == 1.0
+
+
+def test_bench_slca(benchmark, medium_doc):
+    benchmark(slca_nodes, medium_doc, TERMS)
+
+
+def test_bench_elca(benchmark, medium_doc):
+    benchmark(elca_nodes, medium_doc, TERMS)
+
+
+def test_bench_xrank(benchmark, medium_doc):
+    benchmark(xrank_answers, medium_doc, TERMS)
+
+
+def test_bench_smallest_fragments(benchmark, medium_doc):
+    benchmark(smallest_fragments, medium_doc, TERMS)
+
+
+def test_figure1_answers_side_by_side(benchmark, capsys):
+    doc = build_figure1_document()
+    terms = ["xquery", "optimization"]
+
+    def run():
+        return (slca_nodes(doc, terms), elca_nodes(doc, terms),
+                [f.label() for f in smallest_fragments(doc, terms)],
+                [f.label() for f in xsearch_answers(doc, terms)],
+                [f.label() for f in evaluate(
+                    doc, Query.of(*terms, predicate=SizeAtMost(3))
+                ).sorted_fragments()])
+
+    slca, elca, smallest, xsearch, algebra = benchmark(run)
+    report(capsys, "\n".join([
+        format_table(
+            ["method", "answers on the Figure 1 example"],
+            [["slca", ", ".join(f"n{v}" for v in slca)],
+             ["elca", ", ".join(f"n{v}" for v in elca)],
+             ["smallest-fragments", ", ".join(smallest)],
+             ["xsearch (interconnection)", ", ".join(xsearch)],
+             ["algebra size<=3", ", ".join(algebra)]],
+            title="S3: all methods on the running example"),
+        "",
+        "note: XSEarch's witness pair (n17, n18) happens to span "
+        "⟨n16,n17,n18⟩ here, but its retrieval unit is the node pair — "
+        "only the algebra returns the subsection as a single "
+        "self-contained answer unit with filter guarantees."]))

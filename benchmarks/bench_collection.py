@@ -1,0 +1,100 @@
+"""Experiment S8 — collection scale (§7's "very large collection").
+
+Runs the paper's query shape over INEX-like synthetic collections,
+sweeping the number of articles, and measures the collection machinery:
+fan-out search latency, term-presence skipping, and the multi-document
+sqlite3 store (shred / collection-wide keyword SQL).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.reporting import banner, format_table
+from repro.core.filters import SizeAtMost
+from repro.core.query import Query
+from repro.storage.multistore import CollectionStore
+from repro.workloads.inexlike import InexSpec, generate_collection
+
+from .util import report
+
+QUERY = Query.of("needle", "thread", predicate=SizeAtMost(8))
+
+
+def test_collection_size_sweep(benchmark, capsys):
+    collections = {
+        articles: generate_collection(InexSpec(
+            articles=articles, nodes_per_article=200,
+            planted_fraction=0.4, occurrences=4, seed=171))
+        for articles in (5, 10, 20, 40)}
+
+    def run():
+        rows = []
+        for articles, collection in collections.items():
+            started = time.perf_counter()
+            result = collection.search(QUERY)
+            elapsed = time.perf_counter() - started
+            rows.append([articles, collection.total_nodes,
+                         len(result.per_document),
+                         len(result), elapsed * 1000])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(capsys, "\n".join([
+        banner("S8: collection fan-out vs number of articles"),
+        format_table(["articles", "total nodes", "docs evaluated",
+                      "answers", "ms"], rows),
+        "",
+        "expected shape: latency grows with the number of documents "
+        "actually *evaluated* (those containing every term), not with "
+        "raw collection size — the term-presence skip does the rest."]))
+    # Skipping must be visible: evaluated docs < articles.
+    for articles, _, evaluated, _, _ in rows:
+        assert evaluated <= articles
+
+
+def test_multistore_round_trip(benchmark, capsys):
+    collection = generate_collection(InexSpec(
+        articles=10, nodes_per_article=200, seed=173))
+
+    def run():
+        rows = []
+        store = CollectionStore()
+        started = time.perf_counter()
+        store.add_collection(collection)
+        rows.append(["shred 10 articles (2000 nodes)",
+                     (time.perf_counter() - started) * 1000])
+        started = time.perf_counter()
+        hits = store.keyword_nodes("needle")
+        rows.append(["collection-wide keyword SQL",
+                     (time.perf_counter() - started) * 1000])
+        started = time.perf_counter()
+        loaded = store.load_collection()
+        rows.append(["load whole collection back",
+                     (time.perf_counter() - started) * 1000])
+        store.close()
+        assert loaded.names() == collection.names()
+        return rows, len(hits)
+
+    rows, hit_count = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(capsys, "\n".join([
+        banner("S8: multi-document relational store"),
+        format_table(["operation", "ms"], rows),
+        "",
+        f"one SQL query found {hit_count} keyword occurrences across "
+        "all stored documents — the relational counterpart of the "
+        "collection fan-out."]))
+
+
+def test_bench_fanout_search(benchmark):
+    collection = generate_collection(InexSpec(
+        articles=10, nodes_per_article=150, seed=177))
+    result = benchmark(collection.search, QUERY)
+    assert result is not None
+
+
+def test_bench_ranked_collection_search(benchmark):
+    collection = generate_collection(InexSpec(
+        articles=8, nodes_per_article=150, seed=179))
+    ranked = benchmark(collection.ranked_search, QUERY, 5)
+    assert isinstance(ranked, list)

@@ -1,0 +1,56 @@
+"""Experiment F1 — the Figure 1 / §1 motivation.
+
+The paper's opening argument: for {XQuery, optimization} on the Figure 1
+document, the conventional smallest-subtree semantics answers with the
+lone paragraph n17, while a user would prefer the self-contained
+fragment ⟨n16,n17,n18⟩.  This bench shows the baseline missing the
+target fragment and the algebra producing it, and times both.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.slca import slca_nodes
+from repro.baselines.smallest import smallest_fragments
+from repro.bench.reporting import banner, format_table
+from repro.core.filters import SizeAtMost
+from repro.core.fragment import Fragment
+from repro.core.query import Query
+from repro.core.strategies import evaluate
+
+from .util import report
+
+QUERY = Query.of("xquery", "optimization", predicate=SizeAtMost(3))
+
+
+def test_baseline_misses_target_fragment(benchmark, figure1, capsys):
+    fragments = benchmark(smallest_fragments, figure1,
+                          ["xquery", "optimization"])
+    target = Fragment(figure1, [16, 17, 18])
+    assert fragments == [Fragment(figure1, [17])]
+    assert target not in fragments
+
+    algebra = evaluate(figure1, QUERY)
+    assert target in algebra.fragments
+
+    rows = [["smallest subtree (SLCA)",
+             ", ".join(f.label() for f in fragments), "no"],
+            ["algebraic model (this paper)",
+             ", ".join(f.label()
+                       for f in algebra.sorted_fragments()), "yes"]]
+    report(capsys, "\n".join([
+        banner("F1: motivation — who retrieves ⟨n16,n17,n18⟩?"),
+        format_table(["semantics", "answers", "target retrieved"],
+                     rows),
+        "",
+        "paper: conventional semantics returns only n17; the algebra "
+        "additionally returns the self-contained fragment."]))
+
+
+def test_bench_slca_speed(benchmark, figure1):
+    nodes = benchmark(slca_nodes, figure1, ["xquery", "optimization"])
+    assert nodes == [17]
+
+
+def test_bench_algebra_speed(benchmark, figure1):
+    result = benchmark(evaluate, figure1, QUERY)
+    assert len(result.fragments) == 4

@@ -1,0 +1,78 @@
+"""Experiment F4 — Figure 4: fragment set reduction.
+
+Reproduces the worked example: ``F = {⟨n1⟩,⟨n3⟩,⟨n5⟩,⟨n6⟩,⟨n7⟩}``
+reduces to ``⊖(F) = {⟨n1⟩,⟨n5⟩,⟨n7⟩}`` (n3 and n6 are sub-fragments of
+⟨n1⟩⋈⟨n5⟩ and ⟨n1⟩⋈⟨n7⟩), so |⊖(F)| = 3 pairwise-join rounds reach the
+fixed point.  Benchmarks ⊖ itself and both fixed-point computations.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import banner, format_table
+from repro.core.reduce import (fixed_point, fixed_point_bounded,
+                               iterate_pairwise, reduction_count,
+                               set_reduce)
+from repro.core.stats import OperationStats
+
+from .util import report
+
+
+def _family(figure4):
+    return figure4.fragment_set([["n1"], ["n3"], ["n5"], ["n6"], ["n7"]])
+
+
+def test_reduction_example(benchmark, figure4, capsys):
+    F = _family(figure4)
+    reduced = benchmark(set_reduce, F)
+    labels = sorted(",".join(sorted(figure4.labels_of(f)))
+                    for f in reduced)
+    assert labels == ["n1", "n5", "n7"]
+    report(capsys, "\n".join([
+        banner("F4: fragment set reduction (Figure 4)"),
+        f"  F      = {{n1, n3, n5, n6, n7}} (|F| = {len(F)})",
+        f"  ⊖(F)   = {{{', '.join(labels)}}} (|⊖(F)| = {len(reduced)})",
+        "  paper: ⊖(F) = {n1, n5, n7}; n3 ⊆ n1⋈n5, n6 ⊆ n1⋈n7"]))
+
+
+def test_iteration_bound(benchmark, figure4, capsys):
+    F = _family(figure4)
+
+    def run():
+        k = reduction_count(F)
+        return k, iterate_pairwise(F, k)
+
+    k, bounded = benchmark(run)
+    reference = fixed_point(F)
+    assert k == 3
+    assert bounded == reference
+    rows = [[r, len(iterate_pairwise(F, r)),
+             iterate_pairwise(F, r) == reference]
+            for r in range(1, len(F) + 1)]
+    report(capsys, "\n".join([
+        banner("F4/Theorem 1: ⋈_r(F) growth until the fixed point"),
+        format_table(["rounds r", "|⋈_r(F)|", "equals F+"], rows),
+        f"  paper: k = |⊖(F)| = 3 rounds suffice (F has {len(F)} "
+        "fragments)"]))
+
+
+def test_bench_semi_naive_fixed_point(benchmark, figure4):
+    F = _family(figure4)
+    result = benchmark(fixed_point, F)
+    assert result
+
+
+def test_bench_bounded_fixed_point(benchmark, figure4, capsys):
+    F = _family(figure4)
+    result = benchmark(fixed_point_bounded, F)
+    assert result == fixed_point(F)
+    naive = OperationStats()
+    bounded = OperationStats()
+    fixed_point(F, stats=naive)
+    fixed_point_bounded(F, stats=bounded)
+    report(capsys, format_table(
+        ["method", "fragment joins", "iterations"],
+        [["semi-naive (with fixed point checking)",
+          naive.fragment_joins, naive.iterations],
+         ["Theorem-1 bounded (no checking)",
+          bounded.fragment_joins, bounded.iterations]],
+        title="F4: fixed-point computation cost"))

@@ -1,0 +1,81 @@
+"""Experiment F5 — Figure 5: the push-down query evaluation trees.
+
+Builds the two plans of Figure 5 — σ_Pa over a join of fixed points vs
+the equivalent plan with the selection pushed onto every scan, into the
+fixed points and above every join — prints both operator trees, proves
+they compute identical answers, and compares their logical work.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import banner, format_table
+from repro.core.evaluator import PlanEvaluator
+from repro.core.filters import SizeAtMost
+from repro.core.optimizer import (OptimizerSettings, optimize,
+                                  push_down_selections)
+from repro.core.plan import explain
+from repro.core.query import Query
+from repro.core.stats import OperationStats
+
+from .util import report
+
+QUERY = Query.of("xquery", "optimization", predicate=SizeAtMost(3))
+
+
+def test_plans_equivalent(benchmark, figure1, capsys):
+    unpushed = optimize(QUERY, OptimizerSettings(push_down=False))
+    pushed = push_down_selections(unpushed)
+    evaluator = PlanEvaluator(figure1)
+
+    def run():
+        return (evaluator.execute(unpushed), evaluator.execute(pushed))
+
+    before, after = benchmark(run)
+    assert before == after
+    report(capsys, "\n".join([
+        banner("F5: query evaluation trees (Figure 5)"),
+        "(a) initial tree:",
+        explain(unpushed, indent="    "),
+        "",
+        "(b) equivalent tree with 'push-down' strategy:",
+        explain(pushed, indent="    "),
+        "",
+        f"identical answers: {before == after} "
+        f"({len(before)} fragments)"]))
+
+
+def test_pushdown_work_comparison(benchmark, figure1, capsys):
+    unpushed = optimize(QUERY, OptimizerSettings(push_down=False))
+    pushed = push_down_selections(unpushed)
+    evaluator = PlanEvaluator(figure1)
+
+    def run():
+        stats = OperationStats()
+        evaluator.execute(pushed, stats=stats)
+        return stats
+
+    pushed_stats = benchmark(run)
+    unpushed_stats = OperationStats()
+    evaluator.execute(unpushed, stats=unpushed_stats)
+    assert pushed_stats.fragment_joins <= unpushed_stats.fragment_joins
+    report(capsys, format_table(
+        ["plan", "fragment joins", "fragments discarded early"],
+        [["(a) selection last", unpushed_stats.fragment_joins,
+          unpushed_stats.fragments_discarded],
+         ["(b) selection pushed down", pushed_stats.fragment_joins,
+          pushed_stats.fragments_discarded]],
+        title="F5: logical work, selection last vs pushed down"))
+
+
+def test_bench_unpushed_plan(benchmark, figure1):
+    plan = optimize(QUERY, OptimizerSettings(push_down=False))
+    evaluator = PlanEvaluator(figure1)
+    result = benchmark(evaluator.execute, plan)
+    assert len(result) == 4
+
+
+def test_bench_pushed_plan(benchmark, figure1):
+    plan = optimize(QUERY)
+    evaluator = PlanEvaluator(figure1)
+    result = benchmark(evaluator.execute, plan)
+    assert len(result) == 4

@@ -1,0 +1,84 @@
+"""Experiment F7 — Figure 7: a filter without the anti-monotonic property.
+
+The equal-depth filter selects fragments in which an occurrence of k1
+and an occurrence of k2 sit at the same depth.  Figure 7 shows a
+fragment f satisfying it whose sub-fragment f′ does not; this bench
+finds that witness mechanically, shows ``SizeAtLeast`` failing the
+property too (§3.4's first example), and demonstrates why such filters
+must not be pushed below joins (pushing them would change the answers).
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import banner, format_table
+from repro.core.algebra import pairwise_join
+from repro.core.enumeration import (find_anti_monotonicity_violation,
+                                    verify_anti_monotonic)
+from repro.core.filters import EqualDepth, SizeAtLeast, SizeAtMost, select
+from repro.core.query import keyword_fragments
+
+from .util import report
+
+
+def test_equal_depth_violation_witness(benchmark, figure7, capsys):
+    predicate = EqualDepth("k1", "k2")
+    f = figure7.fragment("n0", "n1", "n2", "n3", "n4")
+
+    witness = benchmark(find_anti_monotonicity_violation, predicate, f)
+    assert witness is not None
+    assert witness < f
+    report(capsys, "\n".join([
+        banner("F7: equal-depth filter is not anti-monotonic"),
+        f"  f  = ⟨{','.join(sorted(figure7.labels_of(f)))}⟩ "
+        f"satisfies {predicate!r}: {predicate(f)}",
+        f"  f' = ⟨{','.join(sorted(figure7.labels_of(witness)))}⟩ "
+        f"⊆ f satisfies it: {predicate(witness)}",
+        "  paper: fragment f satisfies the filter while its "
+        "sub-fragment f' does not (Figure 7)."]))
+
+
+def test_non_anti_monotonic_filters_fail_verification(benchmark, figure7,
+                                                      capsys):
+    doc = figure7.document
+
+    def run():
+        return {
+            "equal-depth(k1,k2)": verify_anti_monotonic(
+                EqualDepth("k1", "k2"), doc),
+            "size>=2": verify_anti_monotonic(SizeAtLeast(2), doc),
+            "size<=2": verify_anti_monotonic(SizeAtMost(2), doc),
+        }
+
+    verdicts = benchmark(run)
+    assert not verdicts["equal-depth(k1,k2)"]
+    assert not verdicts["size>=2"]
+    assert verdicts["size<=2"]
+    report(capsys, format_table(
+        ["filter", "anti-monotonic"],
+        [[name, ok] for name, ok in verdicts.items()],
+        title="F7: §3.4 — not all filters have the property"))
+
+
+def test_pushing_equal_depth_would_be_unsound(benchmark, figure7, capsys):
+    doc = figure7.document
+    predicate = EqualDepth("k1", "k2")
+    F1 = keyword_fragments(doc, "k1")
+    F2 = keyword_fragments(doc, "k2")
+
+    def run():
+        correct = select(predicate, pairwise_join(F1, F2))
+        wrongly_pushed = select(
+            predicate, pairwise_join(select(predicate, F1),
+                                     select(predicate, F2)))
+        return correct, wrongly_pushed
+
+    correct, wrongly_pushed = benchmark(run)
+    # For this filter the two happen to coincide or not; the relevant
+    # guarantee is only one-directional, so the optimizer must not push.
+    assert correct >= wrongly_pushed & correct
+    report(capsys, format_table(
+        ["evaluation", "answers"],
+        [["σ_P after join (correct)", len(correct)],
+         ["σ_P pushed below join (unsound in general)",
+          len(wrongly_pushed)]],
+        title="F7: why non-anti-monotonic selections stay above joins"))

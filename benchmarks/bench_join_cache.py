@@ -1,0 +1,98 @@
+"""Experiment S9 — join memo cache ablation.
+
+DESIGN.md calls out the per-document join memo cache as a
+performance-critical choice; this bench quantifies it: the same query
+workload with and without the cache, reporting computed joins vs cache
+hits and wall time, plus the cross-query reuse a shared cache enables.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.reporting import banner, format_table
+from repro.core.algebra import JoinCache
+from repro.core.filters import SizeAtMost
+from repro.core.query import Query
+from repro.core.strategies import Strategy, evaluate
+
+from .conftest import TERM_A, TERM_B, planted_document
+from .util import report
+
+QUERY = Query.of(TERM_A, TERM_B, predicate=SizeAtMost(8))
+
+
+def test_cache_within_one_query(benchmark, capsys):
+    doc = planted_document(nodes=900, occ_a=7, occ_b=7,
+                           clustering=0.7, seed=191)
+
+    def run():
+        rows = []
+        for label, cache in (("no cache", None),
+                             ("memo cache", JoinCache())):
+            started = time.perf_counter()
+            result = evaluate(doc, QUERY,
+                              strategy=Strategy.SET_REDUCTION,
+                              cache=cache)
+            elapsed = time.perf_counter() - started
+            rows.append([label, result.stats["fragment_joins"],
+                         result.stats["join_cache_hits"],
+                         elapsed * 1000])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(capsys, "\n".join([
+        banner("S9: join memo cache, single query"),
+        format_table(["configuration", "joins computed", "cache hits",
+                      "ms"], rows),
+        "",
+        "set reduction re-joins the same pairs across ⊖ and the "
+        "iteration rounds; the memo turns those into hits."]))
+    assert rows[1][1] <= rows[0][1]
+
+
+def test_cache_across_queries(benchmark, capsys):
+    doc = planted_document(nodes=900, occ_a=6, occ_b=6,
+                           clustering=0.5, seed=193)
+    betas = (4, 6, 8, 10)
+
+    def run():
+        shared = JoinCache()
+        reused_hits = 0
+        cold_joins = 0
+        for beta in betas:
+            query = Query.of(TERM_A, TERM_B,
+                             predicate=SizeAtMost(beta))
+            result = evaluate(doc, query, strategy=Strategy.PUSHDOWN,
+                              cache=shared)
+            reused_hits += result.stats["join_cache_hits"]
+            cold = evaluate(doc, query, strategy=Strategy.PUSHDOWN)
+            cold_joins += cold.stats["fragment_joins"]
+        return reused_hits, cold_joins, len(shared)
+
+    reused_hits, cold_joins, cache_size = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    report(capsys, "\n".join([
+        banner("S9: shared cache across a query session"),
+        format_table(
+            ["metric", "value"],
+            [["joins computed without sharing", cold_joins],
+             ["hits served by the shared cache", reused_hits],
+             ["entries in the cache afterwards", cache_size]]),
+        "",
+        "a session re-running related queries (e.g. the top-k β "
+        "ladder) re-derives most joins from the memo."]))
+    assert reused_hits > 0
+
+
+def test_bench_cached_query(benchmark, medium_doc):
+    cache = JoinCache()
+    evaluate(medium_doc, QUERY, cache=cache)  # warm
+    result = benchmark(evaluate, medium_doc, QUERY, Strategy.PUSHDOWN,
+                       None, cache)
+    assert result is not None
+
+
+def test_bench_uncached_query(benchmark, medium_doc):
+    result = benchmark(evaluate, medium_doc, QUERY, Strategy.PUSHDOWN)
+    assert result is not None

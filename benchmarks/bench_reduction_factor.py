@@ -1,0 +1,93 @@
+"""Experiment S2 — the §5 reduction-factor machinery.
+
+The paper sketches an optimizer that computes RF = (a−b)/a, compares it
+to an empirically calibrated threshold v, and applies set reduction
+only when RF ≥ v.  This bench:
+
+1. measures the RF distribution of planted keyword sets as clustering
+   varies (clustered occurrences → high RF);
+2. for each observation, decides whether the Theorem-1 bounded fixed
+   point (which pays for ⊖) actually beat the semi-naive one, giving
+   the CalibrationPoint set;
+3. calibrates v from those points and prints it next to the shipped
+   default.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.reporting import banner, format_table
+from repro.core.cost import DEFAULT_RF_THRESHOLD
+from repro.core.query import keyword_fragments
+from repro.core.reduce import fixed_point, fixed_point_bounded
+from repro.core.statistics import (CalibrationPoint, calibrate_threshold,
+                                   estimate_reduction_factor,
+                                   reduction_factor)
+from repro.workloads.generator import (DocumentSpec, generate_document,
+                                       plant_keyword)
+
+from .util import report
+
+
+def _keyword_set(clustering, occurrences, seed, doc_seed=90):
+    # One fixed document across clustering levels so the trend is not
+    # confounded by tree-shape variation.
+    doc = generate_document(DocumentSpec(nodes=500, seed=doc_seed))
+    doc = plant_keyword(doc, "needle", occurrences=occurrences,
+                        clustering=clustering, seed=seed)
+    return keyword_fragments(doc, "needle")
+
+
+def test_rf_vs_clustering(benchmark, capsys):
+    cases = [(clustering, _keyword_set(clustering, 10, seed=91))
+             for clustering in (0.0, 0.3, 0.6, 1.0)]
+
+    def run():
+        return [[clustering, len(frags), reduction_factor(frags),
+                 estimate_reduction_factor(sorted(
+                     frags, key=lambda f: f.root), sample_size=6)]
+                for clustering, frags in cases]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(capsys, "\n".join([
+        banner("S2: reduction factor vs keyword clustering "
+               "(|F| = 10, 500-node document)"),
+        format_table(["clustering", "|F|", "exact RF", "sampled RF"],
+                     rows),
+        "",
+        "expected shape: clustered occurrences subsume each other "
+        "under joins → RF rises with clustering; the sampler tracks "
+        "the exact value from below."]))
+
+
+def test_threshold_calibration(benchmark, capsys):
+    observations = []
+    for i, clustering in enumerate((0.0, 0.2, 0.4, 0.6, 0.8, 1.0)):
+        frags = _keyword_set(clustering, 9, seed=70 + i, doc_seed=71)
+        rf = reduction_factor(frags)
+        started = time.perf_counter()
+        bounded = fixed_point_bounded(frags)
+        bounded_time = time.perf_counter() - started
+        started = time.perf_counter()
+        lazy = fixed_point(frags)
+        lazy_time = time.perf_counter() - started
+        assert bounded == lazy
+        observations.append(
+            CalibrationPoint(rf, bounded_time <= lazy_time))
+
+    threshold = benchmark.pedantic(calibrate_threshold,
+                                   args=(observations,), rounds=1,
+                                   iterations=1)
+    assert 0.0 <= threshold <= 1.0
+    report(capsys, "\n".join([
+        banner("S2: calibrating the RF threshold v"),
+        format_table(
+            ["observed RF", "reduction paid off"],
+            [[p.rf, p.reduction_paid_off] for p in observations]),
+        "",
+        f"calibrated v = {threshold:.3f} "
+        f"(library default: {DEFAULT_RF_THRESHOLD})",
+        "paper: the optimizer estimates RF and reduces only when "
+        "RF ≥ v; below v the ⊖ computation costs more than the "
+        "iterations it saves."]))

@@ -1,0 +1,123 @@
+"""Experiment S1 — the strategy comparison the paper proposes (§4).
+
+§4.1 says the brute-force strategy "will provide the basis for
+performance comparison with other available alternative strategies";
+this bench runs that comparison: wall time and join counts for the
+three strategies across (a) keyword selectivity (|Fi|) and (b) document
+size.
+
+Expected shape (paper's analysis):
+* brute force explodes exponentially in |Fi| and is hopeless beyond
+  toy selectivities;
+* set reduction scales polynomially;
+* push-down is fastest whenever the filter is selective and never
+  returns different answers.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.reporting import banner, format_table
+from repro.core.filters import SizeAtMost
+from repro.core.query import Query
+from repro.core.strategies import Strategy, evaluate
+
+from .conftest import TERM_A, TERM_B, planted_document
+from .util import report
+
+QUERY = Query.of(TERM_A, TERM_B, predicate=SizeAtMost(6))
+
+
+def _measure(doc, strategy):
+    started = time.perf_counter()
+    result = evaluate(doc, QUERY, strategy=strategy)
+    elapsed = time.perf_counter() - started
+    return elapsed, result
+
+
+def test_selectivity_sweep(benchmark, capsys):
+    docs = {occ: planted_document(nodes=600, occ_a=occ, occ_b=occ,
+                                  clustering=0.5, seed=60 + occ)
+            for occ in (2, 4, 6, 8)}
+
+    def run():
+        rows = []
+        for occ, doc in docs.items():
+            cells = [occ]
+            answers = None
+            for strategy in (Strategy.BRUTE_FORCE,
+                             Strategy.SET_REDUCTION,
+                             Strategy.PUSHDOWN):
+                elapsed, result = _measure(doc, strategy)
+                cells.append(elapsed * 1000)
+                cells.append(result.stats["fragment_joins"])
+                if answers is None:
+                    answers = result.fragments
+                else:
+                    assert result.fragments == answers
+            rows.append(cells)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    from repro.bench.plots import log_bar_chart
+    report(capsys, "\n".join([
+        banner("S1(a): strategy comparison vs keyword selectivity "
+               "(600-node document, size<=6)"),
+        format_table(
+            ["|Fi|", "brute ms", "brute joins", "reduce ms",
+             "reduce joins", "pushdown ms", "pushdown joins"], rows),
+        "",
+        log_bar_chart(
+            [f"{name} |Fi|={r[0]}"
+             for r in rows for name in ("brute ", "pushdn")],
+            [value
+             for r in rows for value in (r[2], r[6])],
+            width=36, title="fragment joins (log scale):"),
+        "",
+        "expected shape: brute-force joins grow ~2^|Fi|; push-down "
+        "stays flat and wins everywhere."]))
+    # The headline claim: at the largest selectivity push-down does
+    # strictly less join work than brute force.
+    last = rows[-1]
+    assert last[6] < last[2]
+
+
+def test_document_size_sweep(benchmark, capsys):
+    docs = {nodes: planted_document(nodes=nodes, occ_a=5, occ_b=5,
+                                    clustering=0.5, seed=80)
+            for nodes in (250, 500, 1000, 2000)}
+
+    def run():
+        rows = []
+        for nodes, doc in docs.items():
+            cells = [nodes]
+            for strategy in (Strategy.BRUTE_FORCE,
+                             Strategy.SET_REDUCTION,
+                             Strategy.PUSHDOWN):
+                elapsed, result = _measure(doc, strategy)
+                cells.append(elapsed * 1000)
+            rows.append(cells)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(capsys, "\n".join([
+        banner("S1(b): strategy comparison vs document size "
+               "(|Fi| = 5, size<=6)"),
+        format_table(["nodes", "brute ms", "reduce ms", "pushdown ms"],
+                     rows),
+        "",
+        "expected shape: document size affects join *cost* (deeper "
+        "paths) but selectivity dominates; ordering is stable."]))
+
+
+def test_bench_pushdown_medium(benchmark, medium_doc, medium_index):
+    result = benchmark(evaluate, medium_doc, QUERY, Strategy.PUSHDOWN,
+                       medium_index)
+    assert result.fragments is not None
+
+
+def test_bench_set_reduction_medium(benchmark, medium_doc, medium_index):
+    result = benchmark(evaluate, medium_doc, QUERY,
+                       Strategy.SET_REDUCTION, medium_index)
+    assert result.fragments is not None

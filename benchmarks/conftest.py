@@ -1,0 +1,68 @@
+"""Shared fixtures for the benchmark harness.
+
+Documents are generated once per session.  The "planted" corpora carry
+two synthetic query terms (``needle`` / ``thread``) whose selectivity
+and clustering are controlled per experiment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index.inverted import InvertedIndex
+from repro.workloads.figure1 import build_figure1_document
+from repro.workloads.generator import (DocumentSpec, generate_document,
+                                       plant_keyword)
+from repro.workloads.papertrees import (build_figure3_tree,
+                                        build_figure4_tree,
+                                        build_figure7_tree)
+
+TERM_A = "needle"
+TERM_B = "thread"
+
+
+def planted_document(nodes: int, occ_a: int, occ_b: int,
+                     clustering: float = 0.5, seed: int = 42):
+    """A synthetic document with both query terms planted."""
+    doc = generate_document(DocumentSpec(nodes=nodes, seed=seed))
+    doc = plant_keyword(doc, TERM_A, occurrences=occ_a,
+                        clustering=clustering, seed=seed + 1)
+    doc = plant_keyword(doc, TERM_B, occurrences=occ_b,
+                        clustering=clustering, seed=seed + 2)
+    return doc
+
+
+@pytest.fixture(scope="session")
+def figure1():
+    return build_figure1_document()
+
+
+@pytest.fixture(scope="session")
+def figure1_index(figure1):
+    return InvertedIndex(figure1)
+
+
+@pytest.fixture(scope="session")
+def figure3():
+    return build_figure3_tree()
+
+
+@pytest.fixture(scope="session")
+def figure4():
+    return build_figure4_tree()
+
+
+@pytest.fixture(scope="session")
+def figure7():
+    return build_figure7_tree()
+
+
+@pytest.fixture(scope="session")
+def medium_doc():
+    """A 1500-node document with moderately selective planted terms."""
+    return planted_document(nodes=1500, occ_a=6, occ_b=8)
+
+
+@pytest.fixture(scope="session")
+def medium_index(medium_doc):
+    return InvertedIndex(medium_doc)

@@ -1,0 +1,15 @@
+"""Helpers shared by the benchmark files."""
+
+from __future__ import annotations
+
+
+def report(capsys, text: str) -> None:
+    """Print ``text`` directly to the terminal, bypassing pytest capture.
+
+    Benchmarks run under ``pytest --benchmark-only``, which captures
+    stdout of passing tests; the paper-shape tables must still reach the
+    console (and the bench_output.txt tee).
+    """
+    with capsys.disabled():
+        print()
+        print(text)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The paper's running example, executed end to end.
+
+Reproduces Section 4 of Pradhan (VLDB 2006) on the reconstructed
+Figure 1 document: the keyword sets F1/F2, the brute-force powerset
+join (Table 1), the set-reduction rewrite (Theorems 1–2), and the
+anti-monotonic push-down (Theorem 3) — printing the paper's numbers at
+every step.
+
+Run with::
+
+    python examples/paper_walkthrough.py
+"""
+
+from __future__ import annotations
+
+from repro import (Query, SizeAtMost, Strategy, evaluate,
+                   fragment_outline)
+from repro.core.algebra import pairwise_join, powerset_join
+from repro.core.query import keyword_fragments
+from repro.core.reduce import (fixed_point_bounded, reduction_count,
+                               set_reduce)
+from repro.workloads.figure1 import build_figure1_document
+
+
+def show(title: str) -> None:
+    print(f"\n=== {title} " + "=" * max(0, 60 - len(title)))
+
+
+def main() -> None:
+    doc = build_figure1_document()
+    print(f"Figure 1 document: {doc.size} nodes (n0..n{doc.size - 1})")
+
+    show("Keyword selection (Definition 3)")
+    F1 = keyword_fragments(doc, "xquery")
+    F2 = keyword_fragments(doc, "optimization")
+    print(f"F1 = σ_keyword=XQuery       = "
+          f"{{{', '.join(sorted(f.label() for f in F1))}}}")
+    print(f"F2 = σ_keyword=optimization = "
+          f"{{{', '.join(sorted(f.label() for f in F2))}}}")
+
+    show("4.1 Brute force: powerset fragment join")
+    candidates = powerset_join(F1, F2)
+    print(f"F1 ⋈* F2 produced {len(candidates)} unique fragments "
+          "(Table 1 rows 1-7):")
+    for fragment in sorted(candidates, key=lambda f: (f.size,
+                                                      sorted(f.nodes))):
+        marker = "" if fragment.size <= 3 else "   <- irrelevant (size>3)"
+        print(f"  {fragment.label()}{marker}")
+
+    show("4.2 Set reduction (Theorems 1 and 2)")
+    print(f"⊖(F1) keeps {reduction_count(F1)} of {len(F1)} fragments "
+          f"(already reduced)")
+    reduced = set_reduce(F2)
+    print(f"⊖(F2) = {{{', '.join(sorted(f.label() for f in reduced))}}}"
+          f" — so F2+ needs only {len(reduced)} join rounds")
+    F1p = fixed_point_bounded(F1)
+    F2p = fixed_point_bounded(F2)
+    print(f"|F1+| = {len(F1p)}, |F2+| = {len(F2p)}")
+    rewritten = pairwise_join(F1p, F2p)
+    print(f"F1+ ⋈ F2+ = F1 ⋈* F2 holds: {rewritten == candidates}")
+
+    show("4.3 Anti-monotonic push-down (Theorem 3)")
+    query = Query.of("xquery", "optimization", predicate=SizeAtMost(3))
+    for strategy in (Strategy.BRUTE_FORCE, Strategy.SET_REDUCTION,
+                     Strategy.PUSHDOWN):
+        result = evaluate(doc, query, strategy=strategy)
+        print(f"{strategy.value:>14}: {len(result.fragments)} answers, "
+              f"{result.stats['fragment_joins']:>3} joins, "
+              f"{result.stats['fragments_discarded']:>3} discarded "
+              f"early, {result.elapsed * 1000:6.2f} ms")
+
+    show("The fragment of interest (Figure 8 b)")
+    result = evaluate(doc, query)
+    target = next(f for f in result.fragments
+                  if f.nodes == frozenset([16, 17, 18]))
+    print(fragment_outline(target))
+    print("\nThis self-contained unit is exactly what the smallest-"
+          "subtree semantics cannot return (it stops at n17).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Competing keyword-search semantics from the related work.
+
+Used by the S3 bench and the motivation example (F1) to reproduce the
+paper's effectiveness argument: conventional smallest-subtree semantics
+misses the self-contained fragment the algebra retrieves.
+"""
+
+from .common import remove_ancestors, term_postings
+from .elca import elca_nodes
+from .slca import slca_candidates_pair, slca_nodes
+from .smallest import smallest_fragments
+from .xrank import RankedAnswer, xrank_answers
+from .xsearch import interconnected, xsearch_answers
+
+__all__ = [
+    "slca_nodes",
+    "slca_candidates_pair",
+    "elca_nodes",
+    "smallest_fragments",
+    "xrank_answers",
+    "RankedAnswer",
+    "xsearch_answers",
+    "interconnected",
+    "term_postings",
+    "remove_ancestors",
+]

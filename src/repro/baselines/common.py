@@ -1,0 +1,50 @@
+"""Shared helpers for the keyword-search baselines.
+
+All baselines consume sorted posting lists (node ids in preorder) per
+query term, exactly what :class:`repro.index.inverted.InvertedIndex`
+yields, and operate on the same documents as the algebra — so
+effectiveness comparisons (does the baseline produce the paper's target
+fragment?) are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..index.inverted import InvertedIndex
+from ..xmltree.document import Document
+
+__all__ = ["term_postings", "remove_ancestors"]
+
+
+def term_postings(document: Document, terms: Sequence[str],
+                  index: Optional[InvertedIndex] = None
+                  ) -> list[list[int]]:
+    """Sorted posting lists for ``terms``, one list per term.
+
+    Terms are casefolded to match tokenizer output.  A term with no
+    occurrences yields an empty list (conjunctive baselines then return
+    no answers).
+    """
+    idx = index if index is not None else InvertedIndex(document)
+    return [idx.postings(term.casefold()) for term in terms]
+
+
+def remove_ancestors(document: Document, nodes: Sequence[int]) -> list[int]:
+    """Keep only nodes that are not proper ancestors of another node.
+
+    Used to turn candidate LCA sets into *smallest* LCA sets.  Runs in
+    O(n log n): sort by preorder and keep a node unless the next kept
+    node lies inside its subtree.
+    """
+    unique = sorted(set(nodes))
+    kept: list[int] = []
+    for node in unique:
+        while kept and document.is_proper_ancestor(kept[-1], node):
+            kept.pop()
+        kept.append(node)
+    # After the sweep no kept node is an ancestor of its successor, but
+    # an earlier node could still be an ancestor of a later non-adjacent
+    # one only if it were an ancestor of an intermediate too — impossible
+    # in preorder — so the list is ancestor-free.
+    return kept

@@ -1,0 +1,68 @@
+"""Exclusive LCA (ELCA) keyword search — the XRank answer semantics.
+
+A node ``v`` is an ELCA for terms ``k1..km`` when its subtree contains
+every term *even after* discarding the subtrees of descendant nodes
+that themselves contain every term.  Every SLCA is an ELCA; ELCAs may
+additionally include ancestors with their own independent witnesses.
+
+Implementation: a single bottom-up pass keeping two per-term vectors
+per node: *total* occurrences in the subtree, and *unclaimed*
+occurrences — those not inside any *full* descendant (a descendant
+whose subtree contains every term).  ``v`` is an ELCA iff its unclaimed
+vector is all-positive; whenever ``v`` is full its unclaimed vector
+then resets to zero, so full-but-not-ELCA nodes still shield their
+occurrences from their ancestors, exactly as the definition requires.
+O(n · m) time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..index.inverted import InvertedIndex
+from ..xmltree.document import Document
+from .common import term_postings
+
+__all__ = ["elca_nodes"]
+
+
+def elca_nodes(document: Document, terms: Sequence[str],
+               index: Optional[InvertedIndex] = None) -> list[int]:
+    """The ELCA nodes for a conjunctive keyword query, sorted by id."""
+    postings = term_postings(document, terms, index=index)
+    if any(not plist for plist in postings):
+        return []
+    m = len(postings)
+    own: dict[int, list[int]] = {}
+    for term_idx, plist in enumerate(postings):
+        for node in plist:
+            own.setdefault(node, [0] * m)[term_idx] += 1
+
+    # Postorder walk over preorder-normalised ids: children of a node
+    # have larger ids, so iterating ids descending visits children
+    # before parents.
+    total = [[0] * m for _ in range(document.size)]
+    unclaimed = [[0] * m for _ in range(document.size)]
+    result = []
+    for node in range(document.size - 1, -1, -1):
+        totals = total[node]
+        counts = unclaimed[node]
+        if node in own:
+            own_counts = own[node]
+            for i in range(m):
+                totals[i] += own_counts[i]
+                counts[i] += own_counts[i]
+        for child in document.children(node):
+            child_totals = total[child]
+            child_counts = unclaimed[child]
+            for i in range(m):
+                totals[i] += child_totals[i]
+                counts[i] += child_counts[i]
+        if all(count > 0 for count in counts):
+            result.append(node)
+        if all(t > 0 for t in totals):
+            # Full node: shield its occurrences from every ancestor,
+            # whether or not it qualified as an ELCA itself.
+            unclaimed[node] = [0] * m
+    result.reverse()
+    return result

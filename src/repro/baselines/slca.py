@@ -1,0 +1,84 @@
+"""Smallest LCA (SLCA) keyword search — Xu & Papakonstantinou, SIGMOD'05.
+
+The conventional *smallest subtree* semantics the paper argues is too
+narrow for document-centric XML: given posting lists ``S1..Sm``, the
+SLCAs are the nodes ``v = lca(v1..vm)`` (``vi ∈ Si``) having no other
+such LCA inside their subtree.
+
+Implementation: the *indexed lookup* style algorithm.  For two lists,
+every SLCA is of the form ``lca(u, closest(u, S2))`` where ``closest``
+is the posting nearest to ``u`` in preorder (checked on both sides via
+binary search); candidates are folded left across the term lists and
+non-smallest candidates are swept out.  Folding is correct because
+``slca(S1, …, Sm) = slca(slca_candidates(S1, S2), S3, …)`` — the
+standard multiway extension.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Optional, Sequence
+
+from ..index.inverted import InvertedIndex
+from ..xmltree.document import Document
+from .common import remove_ancestors, term_postings
+
+__all__ = ["slca_candidates_pair", "slca_nodes"]
+
+
+def _closest_lca(document: Document, node: int,
+                 postings: Sequence[int]) -> int:
+    """The deepest LCA of ``node`` with any element of ``postings``.
+
+    The deepest ``lca(node, x)`` over sorted ``postings`` is achieved by
+    one of the two postings adjacent to ``node`` in preorder, so two
+    LCA probes suffice.
+    """
+    pos = bisect_left(postings, node)
+    best: Optional[int] = None
+    best_depth = -1
+    for idx in (pos - 1, pos):
+        if 0 <= idx < len(postings):
+            candidate = document.lca(node, postings[idx])
+            depth = document.depth(candidate)
+            if depth > best_depth:
+                best = candidate
+                best_depth = depth
+    assert best is not None, "postings must be non-empty"
+    return best
+
+
+def slca_candidates_pair(document: Document, left: Sequence[int],
+                         right: Sequence[int]) -> list[int]:
+    """Candidate SLCAs for two posting lists (may contain ancestors).
+
+    Scans the smaller list and probes the larger, so the cost is
+    O(|small| · (log |large| + 1)) LCA operations.
+    """
+    if not left or not right:
+        return []
+    small, large = (left, right) if len(left) <= len(right) else (right,
+                                                                  left)
+    large_sorted = sorted(large)
+    candidates = {_closest_lca(document, node, large_sorted)
+                  for node in small}
+    return sorted(candidates)
+
+
+def slca_nodes(document: Document, terms: Sequence[str],
+               index: Optional[InvertedIndex] = None) -> list[int]:
+    """The SLCA nodes for a conjunctive keyword query, sorted by id.
+
+    Returns an empty list when any term has no occurrences.
+    """
+    postings = term_postings(document, terms, index=index)
+    if any(not plist for plist in postings):
+        return []
+    if len(postings) == 1:
+        return remove_ancestors(document, postings[0])
+    current = postings[0]
+    for other in postings[1:]:
+        current = slca_candidates_pair(document, current, other)
+        if not current:
+            return []
+    return remove_ancestors(document, current)

@@ -1,0 +1,16 @@
+"""Benchmark harness utilities (timing, comparisons, table printing)."""
+
+from .plots import bar_chart, log_bar_chart
+from .reporting import banner, format_kv, format_table
+from .runner import Measurement, compare, measure
+
+__all__ = [
+    "format_table",
+    "format_kv",
+    "banner",
+    "bar_chart",
+    "log_bar_chart",
+    "Measurement",
+    "measure",
+    "compare",
+]

@@ -1,0 +1,75 @@
+"""Dependency-free ASCII charts for benchmark series.
+
+The sweep benches (S1, S5, S6, S10) produce series whose *shape* is the
+reproduction target; a bar chart next to the table makes the shape
+visible in plain terminal output without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+__all__ = ["bar_chart", "log_bar_chart"]
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def bar_chart(labels: Sequence[object], values: Sequence[float],
+              width: int = 40, title: Optional[str] = None,
+              unit: str = "") -> str:
+    """Horizontal bar chart with linear scaling.
+
+    >>> print(bar_chart(["a", "b"], [1.0, 2.0], width=4))
+    a  ██    1
+    b  ████  2
+    """
+    return _chart(labels, values, width, title, unit, logarithmic=False)
+
+
+def log_bar_chart(labels: Sequence[object], values: Sequence[float],
+                  width: int = 40, title: Optional[str] = None,
+                  unit: str = "") -> str:
+    """Horizontal bar chart with log10 scaling.
+
+    The right choice for exponential sweeps (brute-force join counts):
+    linear bars would render everything but the last point invisible.
+    """
+    return _chart(labels, values, width, title, unit, logarithmic=True)
+
+
+def _chart(labels: Sequence[object], values: Sequence[float],
+           width: int, title: Optional[str], unit: str,
+           logarithmic: bool) -> str:
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if any(v < 0 for v in values):
+        raise ValueError("bar charts need non-negative values")
+
+    def transform(value: float) -> float:
+        if not logarithmic:
+            return value
+        return math.log10(value + 1.0)
+
+    scaled = [transform(v) for v in values]
+    peak = max(scaled, default=0.0)
+    label_texts = [str(lb) for lb in labels]
+    label_width = max((len(t) for t in label_texts), default=0)
+
+    lines = []
+    if title:
+        lines.append(title)
+    for text, value, mass in zip(label_texts, values, scaled):
+        if peak > 0:
+            cells = mass / peak * width
+            full = int(cells)
+            bar = _BAR * full + (_HALF if cells - full >= 0.5 else "")
+        else:
+            bar = ""
+        shown = f"{value:.4g}{unit}"
+        lines.append(f"{text.rjust(label_width)}  "
+                     f"{bar.ljust(width)}  {shown}")
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Plain-text reporting for the benchmark harness.
+
+The benchmarks print paper-style tables and series to stdout (and the
+same strings go into EXPERIMENTS.md).  No plotting dependencies: shapes
+are conveyed by aligned columns and simple ratio annotations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["format_table", "format_kv", "banner"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned ASCII table.
+
+    Floats are shown with 4 significant digits; everything else via
+    ``str``.  Columns are left-aligned for text, right-aligned for
+    numbers.
+    """
+    def cell(value: object) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    materialised = [[cell(v) for v in row] for row in rows]
+    numeric = [all(_is_number(row[i]) for row in materialised if row)
+               for i in range(len(headers))]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+
+    def fmt_row(values: Sequence[str]) -> str:
+        parts = []
+        for i, value in enumerate(values):
+            if numeric[i] if i < len(numeric) else False:
+                parts.append(value.rjust(widths[i]))
+            else:
+                parts.append(value.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def _is_number(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True
+
+
+def format_kv(pairs: Iterable[tuple[str, object]],
+              title: Optional[str] = None) -> str:
+    """Render key/value pairs as an aligned block."""
+    items = [(key, value) for key, value in pairs]
+    width = max((len(key) for key, _ in items), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for key, value in items:
+        shown = f"{value:.4g}" if isinstance(value, float) else str(value)
+        lines.append(f"  {key.ljust(width)}  {shown}")
+    return "\n".join(lines)
+
+
+def banner(text: str, char: str = "=") -> str:
+    """A section banner for bench output."""
+    line = char * max(len(text), 8)
+    return f"{line}\n{text}\n{line}"

@@ -1,0 +1,83 @@
+"""Experiment running: timed, repeated measurements with medians.
+
+pytest-benchmark handles the per-benchmark timing in ``benchmarks/``;
+this runner exists for the *comparative* experiments (S1, S2, S6…)
+where one bench prints a whole table sweeping a parameter across
+several strategies — something a single pytest-benchmark fixture call
+cannot express.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+__all__ = ["Measurement", "measure", "compare"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Repeated-timing outcome of one callable.
+
+    Attributes
+    ----------
+    label:
+        What was measured.
+    seconds:
+        Median wall-clock seconds over the repetitions.
+    spread:
+        Max−min over the repetitions (a cheap stability indicator).
+    value:
+        The callable's return value from the last repetition — used to
+        cross-check that compared strategies agree.
+    repetitions:
+        Number of timed runs.
+    """
+
+    label: str
+    seconds: float
+    spread: float
+    value: object
+    repetitions: int
+
+
+def measure(label: str, func: Callable[[], object],
+            repetitions: int = 3) -> Measurement:
+    """Time ``func`` ``repetitions`` times; report the median."""
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    times = []
+    value: object = None
+    for _ in range(repetitions):
+        started = time.perf_counter()
+        value = func()
+        times.append(time.perf_counter() - started)
+    return Measurement(label=label, seconds=statistics.median(times),
+                       spread=max(times) - min(times), value=value,
+                       repetitions=repetitions)
+
+
+@dataclass
+class _Comparison:
+    measurements: list[Measurement] = field(default_factory=list)
+
+    def fastest(self) -> Measurement:
+        return min(self.measurements, key=lambda m: m.seconds)
+
+    def speedup_over(self, baseline_label: str) -> dict[str, float]:
+        baseline = next(m for m in self.measurements
+                        if m.label == baseline_label)
+        return {m.label: baseline.seconds / m.seconds
+                for m in self.measurements if m.seconds > 0}
+
+
+def compare(cases: Sequence[tuple[str, Callable[[], object]]],
+            repetitions: int = 3) -> _Comparison:
+    """Measure several labelled callables under identical conditions."""
+    comparison = _Comparison()
+    for label, func in cases:
+        comparison.measurements.append(
+            measure(label, func, repetitions=repetitions))
+    return comparison

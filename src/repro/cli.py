@@ -1,0 +1,192 @@
+"""Command-line keyword search over XML files.
+
+Installed as ``repro-search``::
+
+    repro-search article.xml xquery optimization --max-size 3
+    repro-search article.xml storage engine --strategy brute-force -n 5
+    repro-search article.xml join filter --explain
+    repro-search corpus-dir/ xquery optimization --max-size 3
+
+Prints the answer fragments as outlines (default, with witness-term
+annotations) or serialised XML (``--xml``), smallest answers first.
+Pointing at a directory searches every ``*.xml`` file in it as a
+collection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+from .core.filters import (Filter, HeightAtMost, SizeAtMost, TrueFilter,
+                           WidthAtMost)
+from .core.optimizer import optimize
+from .core.plan import explain as explain_plan
+from .core.presentation import OverlapPolicy, arrange
+from .core.query import Query
+from .core.strategies import Strategy, evaluate
+from .errors import ReproError
+from .index.inverted import InvertedIndex
+from .ranking.scoring import FragmentScorer
+from .xmltree.parser import parse_file
+from .xmltree.serializer import fragment_outline, fragment_to_xml
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-search`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-search",
+        description="Keyword search for XML fragments using the "
+                    "algebraic query model (Pradhan, VLDB 2006).")
+    parser.add_argument("file", help="XML document to search")
+    parser.add_argument("keywords", nargs="+",
+                        help="query keywords (conjunctive)")
+    parser.add_argument("--max-size", type=int, default=None, metavar="N",
+                        help="anti-monotonic filter: size(f) <= N")
+    parser.add_argument("--max-height", type=int, default=None,
+                        metavar="H",
+                        help="anti-monotonic filter: height(f) <= H")
+    parser.add_argument("--max-width", type=int, default=None, metavar="W",
+                        help="anti-monotonic filter: width(f) <= W")
+    parser.add_argument("--filter", default=None, metavar="EXPR",
+                        dest="filter_expr",
+                        help="filter expression, e.g. "
+                             "'size<=4 & height<=2' or "
+                             "'(width<=5 | leaves<=2) & keyword!=draft'")
+    parser.add_argument("--strategy", default=Strategy.PUSHDOWN.value,
+                        choices=[s.value for s in Strategy],
+                        help="evaluation strategy (default: pushdown)")
+    parser.add_argument("-n", "--limit", type=int, default=10,
+                        metavar="N", help="show at most N answers")
+    parser.add_argument("--xml", action="store_true",
+                        help="print answers as XML instead of outlines")
+    parser.add_argument("--hide-overlaps", action="store_true",
+                        help="suppress answers contained in other answers")
+    parser.add_argument("--overlap-policy", default=None,
+                        choices=[p.value for p in OverlapPolicy],
+                        help="how to present overlapping answers "
+                             "(keep | hide | group)")
+    parser.add_argument("--rank", action="store_true",
+                        help="order answers by relevance score instead "
+                             "of size")
+    parser.add_argument("--explain", action="store_true",
+                        help="print the optimised query plan and exit")
+    parser.add_argument("--stats", action="store_true",
+                        help="print operation counters after the answers")
+    return parser
+
+
+def _build_predicate(args: argparse.Namespace) -> Filter:
+    predicate: Filter = TrueFilter()
+    if args.max_size is not None:
+        predicate = predicate & SizeAtMost(args.max_size)
+    if args.max_height is not None:
+        predicate = predicate & HeightAtMost(args.max_height)
+    if args.max_width is not None:
+        predicate = predicate & WidthAtMost(args.max_width)
+    if args.filter_expr:
+        from .core.queryparser import parse_filter
+        predicate = predicate & parse_filter(args.filter_expr)
+    return predicate
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        query = Query(tuple(args.keywords), _build_predicate(args))
+        if args.explain:
+            print(f"query: {query.describe()}")
+            print(explain_plan(optimize(query)))
+            return 0
+        if os.path.isdir(args.file):
+            return _search_collection(args, query)
+        document = parse_file(args.file)
+        index = InvertedIndex(document)
+        result = evaluate(document, query,
+                          strategy=Strategy.parse(args.strategy),
+                          index=index)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.rank:
+        scorer = FragmentScorer(index)
+        scored = scorer.rank(result.fragments, query.terms)
+        answers = [s.fragment for s in scored]
+        scores = {s.fragment: s.score for s in scored}
+    else:
+        scores = {}
+        if args.overlap_policy == OverlapPolicy.GROUP.value:
+            groups = arrange(result.fragments, OverlapPolicy.GROUP)
+            answers = []
+            for group in groups:
+                answers.append(group.representative)
+                answers.extend(group.members)
+        elif args.hide_overlaps \
+                or args.overlap_policy == OverlapPolicy.HIDE.value:
+            answers = result.non_overlapping()
+        else:
+            answers = result.sorted_fragments()
+
+    shown = answers[:args.limit]
+    print(f"{len(result)} answer(s) for {query.describe()} "
+          f"[{result.strategy}, {result.elapsed * 1000:.1f} ms]"
+          + (f", showing {len(shown)}" if len(shown) < len(answers)
+             else ""))
+    for rank, fragment in enumerate(shown, start=1):
+        score_note = (f", score={scores[fragment]:.3f}"
+                      if fragment in scores else "")
+        print(f"\n#{rank}  {fragment.label()}  "
+              f"(size={fragment.size}, height={fragment.height}"
+              f"{score_note})")
+        if args.xml:
+            print(fragment_to_xml(fragment).rstrip())
+        else:
+            from .core.witnesses import highlighted_outline
+            print(highlighted_outline(fragment, query.terms))
+    if args.stats:
+        print("\noperation counters:")
+        for key, value in sorted(result.stats.items()):
+            print(f"  {key}: {value}")
+    return 0
+
+
+def _search_collection(args: argparse.Namespace, query: Query) -> int:
+    """Search every XML file of a directory as one collection."""
+    from .collection.collection import DocumentCollection
+    from .core.witnesses import highlighted_outline
+
+    collection = DocumentCollection.from_directory(args.file)
+    if not len(collection):
+        print(f"error: no .xml files in {args.file}", file=sys.stderr)
+        return 2
+    result = collection.search(
+        query, strategy=Strategy.parse(args.strategy))
+    hits = result.hits[:args.limit]
+    print(f"{len(result)} answer(s) in "
+          f"{len(result.matched_documents)} of {len(collection)} "
+          f"document(s) for {query.describe()} "
+          f"[{result.total_elapsed * 1000:.1f} ms]"
+          + (f", showing {len(hits)}" if len(hits) < len(result)
+             else ""))
+    for rank, hit in enumerate(hits, start=1):
+        print(f"\n#{rank}  {hit.label()}  "
+              f"(size={hit.fragment.size})")
+        if args.xml:
+            print(fragment_to_xml(hit.fragment).rstrip())
+        else:
+            print(highlighted_outline(hit.fragment, query.terms))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

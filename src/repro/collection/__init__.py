@@ -1,0 +1,5 @@
+"""Multi-document collections: fan-out search over many XML documents."""
+
+from .collection import CollectionHit, CollectionResult, DocumentCollection
+
+__all__ = ["DocumentCollection", "CollectionResult", "CollectionHit"]

@@ -1,0 +1,215 @@
+"""Multi-document collections (paper §7: "a very large collection of
+XML documents").
+
+A :class:`DocumentCollection` manages many documents with per-document
+inverted indexes (built lazily, cached), evaluates one query across the
+whole collection, and merges the per-document answers — optionally
+ranked across documents with :class:`repro.ranking.FragmentScorer`.
+
+Fragments never span documents: the algebra is defined within one tree,
+so a collection search is a fan-out of per-document evaluations plus a
+merge, exactly the shape a relational deployment of the model would
+execute per ref [13].
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Union
+
+from ..core.algebra import JoinCache
+from ..core.fragment import Fragment
+from ..core.query import Query, QueryResult
+from ..core.strategies import Strategy, evaluate
+from ..errors import DocumentError
+from ..index.inverted import InvertedIndex
+from ..ranking.scoring import FragmentScorer, ScoredFragment
+from ..xmltree.document import Document
+from ..xmltree.parser import parse, parse_file
+
+__all__ = ["DocumentCollection", "CollectionResult", "CollectionHit"]
+
+
+@dataclass(frozen=True)
+class CollectionHit:
+    """One answer fragment with its source document's name."""
+
+    document_name: str
+    fragment: Fragment
+
+    def label(self) -> str:
+        return f"{self.document_name}:{self.fragment.label()}"
+
+
+@dataclass(frozen=True)
+class CollectionResult:
+    """Merged outcome of evaluating a query over a collection."""
+
+    query: Query
+    per_document: dict[str, QueryResult]
+
+    @property
+    def hits(self) -> list[CollectionHit]:
+        """Every answer across the collection, smallest first."""
+        all_hits = [CollectionHit(name, fragment)
+                    for name, result in self.per_document.items()
+                    for fragment in result.fragments]
+        all_hits.sort(key=lambda h: (h.fragment.size, h.document_name,
+                                     sorted(h.fragment.nodes)))
+        return all_hits
+
+    def __len__(self) -> int:
+        return sum(len(r.fragments) for r in self.per_document.values())
+
+    @property
+    def matched_documents(self) -> list[str]:
+        """Names of documents contributing at least one answer."""
+        return sorted(name for name, r in self.per_document.items()
+                      if r.fragments)
+
+    @property
+    def total_elapsed(self) -> float:
+        """Summed per-document evaluation time in seconds."""
+        return sum(r.elapsed for r in self.per_document.values())
+
+
+class DocumentCollection:
+    """An ordered set of named documents, searchable as one corpus."""
+
+    def __init__(self, name: str = "collection") -> None:
+        self.name = name
+        self._documents: dict[str, Document] = {}
+        self._indexes: dict[str, InvertedIndex] = {}
+        self._cache = JoinCache()
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+
+    def add(self, document: Document,
+            name: Optional[str] = None) -> str:
+        """Add a document; returns the name it is registered under.
+
+        Raises
+        ------
+        DocumentError
+            If the name is already taken.
+        """
+        key = name if name is not None else document.name
+        if key in self._documents:
+            raise DocumentError(f"collection already contains a "
+                                f"document named {key!r}")
+        self._documents[key] = document
+        return key
+
+    def add_xml(self, xml_text: str, name: str) -> str:
+        """Parse and add an XML string."""
+        return self.add(parse(xml_text, name=name))
+
+    @classmethod
+    def from_directory(cls, path: Union[str, "os.PathLike[str]"],
+                       pattern: str = ".xml",
+                       name: Optional[str] = None
+                       ) -> "DocumentCollection":
+        """Load every ``*.xml`` file of a directory into a collection."""
+        base = os.fspath(path)
+        collection = cls(name=name if name is not None
+                         else os.path.basename(base) or "collection")
+        for entry in sorted(os.listdir(base)):
+            if entry.endswith(pattern):
+                collection.add(parse_file(os.path.join(base, entry)))
+        return collection
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._documents
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._documents)
+
+    def document(self, name: str) -> Document:
+        """The document registered under ``name`` (KeyError if absent)."""
+        return self._documents[name]
+
+    def names(self) -> list[str]:
+        """Registered document names, in insertion order."""
+        return list(self._documents)
+
+    def index(self, name: str) -> InvertedIndex:
+        """The (lazily built, cached) inverted index of one document."""
+        if name not in self._indexes:
+            self._indexes[name] = InvertedIndex(self._documents[name])
+        return self._indexes[name]
+
+    @property
+    def total_nodes(self) -> int:
+        """Node count summed over all documents."""
+        return sum(d.size for d in self._documents.values())
+
+    def document_frequency(self, term: str) -> int:
+        """Number of *documents* containing ``term`` somewhere."""
+        needle = term.casefold()
+        return sum(1 for name in self._documents
+                   if self.index(name).contains(needle))
+
+    def vocabulary(self) -> frozenset[str]:
+        """Union of all documents' vocabularies."""
+        vocab: set[str] = set()
+        for name in self._documents:
+            vocab |= self.index(name).vocabulary()
+        return frozenset(vocab)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def search(self, query: Query,
+               strategy: Strategy = Strategy.PUSHDOWN,
+               documents: Optional[Iterable[str]] = None
+               ) -> CollectionResult:
+        """Evaluate ``query`` over (a subset of) the collection.
+
+        Documents whose indexes show a missing query term are skipped
+        without evaluation — the collection-level analogue of the
+        conjunctive early exit.
+        """
+        targets = (list(documents) if documents is not None
+                   else self.names())
+        per_document: dict[str, QueryResult] = {}
+        for name in targets:
+            index = self.index(name)
+            if not all(index.contains(term) for term in query.terms):
+                continue
+            per_document[name] = evaluate(
+                self._documents[name], query, strategy=strategy,
+                index=index, cache=self._cache)
+        return CollectionResult(query=query, per_document=per_document)
+
+    def ranked_search(self, query: Query, limit: int = 10,
+                      strategy: Strategy = Strategy.PUSHDOWN
+                      ) -> list[tuple[str, ScoredFragment]]:
+        """Search and rank answers across documents, best first.
+
+        Scores are comparable across documents because every signal is
+        normalised to [0, 1] per document.
+        """
+        result = self.search(query, strategy=strategy)
+        ranked: list[tuple[str, ScoredFragment]] = []
+        for name, doc_result in result.per_document.items():
+            scorer = FragmentScorer(self.index(name))
+            for scored in scorer.rank(doc_result.fragments, query.terms):
+                ranked.append((name, scored))
+        ranked.sort(key=lambda pair: (-pair[1].score,
+                                      pair[1].fragment.size, pair[0]))
+        return ranked[:limit]
+
+    def __repr__(self) -> str:
+        return (f"DocumentCollection(name={self.name!r}, "
+                f"documents={len(self)}, nodes={self.total_nodes})")

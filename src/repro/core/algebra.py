@@ -1,0 +1,245 @@
+"""The fragment algebra (paper Section 2.2).
+
+Implements, over :class:`~repro.core.fragment.Fragment` values and
+``frozenset`` fragment sets:
+
+* :func:`fragment_join` — ``f1 ⋈ f2`` (Definition 4): the minimal
+  fragment containing both operands;
+* :func:`pairwise_join` — ``F1 ⋈ F2`` (Definition 5);
+* :func:`powerset_join` — ``F1 ⋈* F2`` (Definition 6), by direct
+  enumeration of non-empty subset pairs (exponential; exists as the
+  semantic reference and the brute-force baseline);
+* :func:`multiway_powerset_join` — the m-ary generalisation used for
+  queries with more than two keywords;
+* :func:`join_all` — ``⋈{f1..fn}`` folding.
+
+Selection (`σ_P`) lives in :mod:`repro.core.filters`; fixed points and
+set reduction in :mod:`repro.core.reduce`.
+
+A per-document memo cache makes repeated joins of the same pair O(1);
+the cache is keyed on the operand node sets and is safe because
+documents and fragments are immutable.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from typing import Iterable, Optional, Sequence
+
+from ..errors import FragmentError
+from ..xmltree.document import Document
+from ..xmltree.navigation import spanning_nodes
+from .fragment import Fragment
+from .stats import OperationStats
+
+__all__ = [
+    "fragment_join",
+    "join_all",
+    "pairwise_join",
+    "powerset_join",
+    "multiway_powerset_join",
+    "JoinCache",
+    "nonempty_subsets",
+]
+
+
+class JoinCache:
+    """Memo cache for binary fragment joins.
+
+    Keys combine the owning document's identity with the unordered pair
+    of operand node sets (commutativity makes the ordering irrelevant),
+    so one cache can safely be shared across the documents of a
+    collection.  A bounded size with FIFO eviction keeps memory in
+    check on large workloads.
+    """
+
+    __slots__ = ("_table", "_max_entries")
+
+    def __init__(self, max_entries: int = 1 << 16) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self._table: dict[tuple, Fragment] = {}
+        self._max_entries = max_entries
+
+    @staticmethod
+    def _key(f1: Fragment, f2: Fragment) -> tuple:
+        return (id(f1.document), frozenset((f1.nodes, f2.nodes)))
+
+    def get(self, f1: Fragment, f2: Fragment) -> Optional[Fragment]:
+        """The cached join of ``f1`` and ``f2``, or ``None``."""
+        hit = self._table.get(self._key(f1, f2))
+        if hit is not None and hit.document is not f1.document:
+            # id() reuse after a document was garbage collected; treat
+            # as a miss (the stale entry is overwritten by put()).
+            return None
+        return hit
+
+    def put(self, f1: Fragment, f2: Fragment, result: Fragment) -> None:
+        """Record the join of ``f1`` and ``f2``."""
+        if len(self._table) >= self._max_entries:
+            # FIFO eviction: drop the oldest insertion.
+            self._table.pop(next(iter(self._table)))
+        self._table[self._key(f1, f2)] = result
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def clear(self) -> None:
+        """Drop all cached joins."""
+        self._table.clear()
+
+
+def fragment_join(f1: Fragment, f2: Fragment,
+                  stats: Optional[OperationStats] = None,
+                  cache: Optional[JoinCache] = None) -> Fragment:
+    """``f1 ⋈ f2``: the minimal fragment containing both operands.
+
+    The minimal connected subtree containing two subtrees is the
+    tree-Steiner closure of the union of their node sets, computed by
+    climbing towards the common LCA (see
+    :func:`repro.xmltree.navigation.spanning_nodes`).
+
+    Algebraic properties (tested property-based in the suite):
+    idempotent, commutative, associative, absorptive.
+    """
+    f1._require_same_document(f2)
+    # Absorption fast paths: f1 ⋈ (f2 ⊆ f1) = f1.
+    if f2.nodes <= f1.nodes:
+        return f1
+    if f1.nodes <= f2.nodes:
+        return f2
+    if cache is not None:
+        hit = cache.get(f1, f2)
+        if hit is not None:
+            if stats is not None:
+                stats.join_cache_hits += 1
+            return hit
+    if stats is not None:
+        stats.fragment_joins += 1
+    nodes = spanning_nodes(f1.document, chain(f1.nodes, f2.nodes))
+    result = Fragment(f1.document, nodes, validate=False)
+    if cache is not None:
+        cache.put(f1, f2, result)
+    return result
+
+
+def join_all(fragments: Iterable[Fragment],
+             stats: Optional[OperationStats] = None,
+             cache: Optional[JoinCache] = None) -> Fragment:
+    """``⋈{f1, ..., fn}``: fold fragment join over a non-empty collection.
+
+    Associativity and commutativity make the fold order irrelevant for
+    the result (Definition 6 relies on this).
+    """
+    iterator = iter(fragments)
+    try:
+        result = next(iterator)
+    except StopIteration:
+        raise FragmentError("join_all requires at least one fragment")
+    for fragment in iterator:
+        result = fragment_join(result, fragment, stats=stats, cache=cache)
+    return result
+
+
+def pairwise_join(set1: Iterable[Fragment], set2: Iterable[Fragment],
+                  stats: Optional[OperationStats] = None,
+                  cache: Optional[JoinCache] = None
+                  ) -> frozenset[Fragment]:
+    """``F1 ⋈ F2``: join every pair (Definition 5), deduplicated.
+
+    Commutative, associative, monotone (``F ⋈ F ⊇ F`` by idempotency of
+    the underlying join), and distributes over set union.
+    """
+    left = list(set1)
+    right = list(set2)
+    return frozenset(fragment_join(f1, f2, stats=stats, cache=cache)
+                     for f1 in left for f2 in right)
+
+
+def nonempty_subsets(items: Sequence) -> Iterable[tuple]:
+    """Every non-empty subset of ``items``, as tuples (2^n - 1 of them)."""
+    for size in range(1, len(items) + 1):
+        yield from combinations(items, size)
+
+
+def powerset_join(set1: Iterable[Fragment], set2: Iterable[Fragment],
+                  stats: Optional[OperationStats] = None,
+                  cache: Optional[JoinCache] = None,
+                  max_operand_size: Optional[int] = 20
+                  ) -> frozenset[Fragment]:
+    """``F1 ⋈* F2`` by direct enumeration (Definition 6).
+
+    Joins ``⋈(F1' ∪ F2')`` for every pair of non-empty subsets
+    ``F1' ⊆ F1``, ``F2' ⊆ F2`` — Θ(2^|F1| · 2^|F2|) subset pairs.  This
+    is the semantic reference implementation and the paper's brute-force
+    strategy; production evaluation uses the Theorem-2 rewrite
+    ``F1+ ⋈ F2+`` (see :mod:`repro.core.reduce`).
+
+    Parameters
+    ----------
+    max_operand_size:
+        Guard against accidental exponential blow-up; ``None`` disables
+        the check.
+
+    Raises
+    ------
+    FragmentError
+        If an operand exceeds ``max_operand_size``.
+    """
+    left = list(set1)
+    right = list(set2)
+    if max_operand_size is not None:
+        for operand in (left, right):
+            if len(operand) > max_operand_size:
+                raise FragmentError(
+                    f"powerset join operand has {len(operand)} fragments; "
+                    f"enumeration over 2^{len(operand)} subsets refused "
+                    "(raise max_operand_size to override)")
+    results: set[Fragment] = set()
+    for subset1 in nonempty_subsets(left):
+        base = join_all(subset1, stats=stats, cache=cache)
+        for subset2 in nonempty_subsets(right):
+            joined = fragment_join(
+                base, join_all(subset2, stats=stats, cache=cache),
+                stats=stats, cache=cache)
+            results.add(joined)
+    return frozenset(results)
+
+
+def multiway_powerset_join(fragment_sets: Sequence[Iterable[Fragment]],
+                           stats: Optional[OperationStats] = None,
+                           cache: Optional[JoinCache] = None,
+                           max_operand_size: Optional[int] = 20
+                           ) -> frozenset[Fragment]:
+    """m-ary powerset join: ``{⋈(F1' ∪ … ∪ Fm') | Fi' ⊆ Fi, Fi' ≠ ∅}``.
+
+    The paper defines the binary case; queries with m keywords need the
+    m-ary generalisation (DESIGN.md §4).  Like :func:`powerset_join`
+    this is the enumeration reference; the equivalent efficient form is
+    ``F1+ ⋈ F2+ ⋈ … ⋈ Fm+``.
+    """
+    operands = [list(fs) for fs in fragment_sets]
+    if not operands:
+        raise FragmentError("multiway powerset join needs >= 1 operand")
+    if max_operand_size is not None:
+        for operand in operands:
+            if len(operand) > max_operand_size:
+                raise FragmentError(
+                    f"powerset join operand has {len(operand)} fragments; "
+                    f"enumeration over 2^{len(operand)} subsets refused "
+                    "(raise max_operand_size to override)")
+    results: set[Fragment] = set()
+    partial: list[Fragment] = []
+
+    def recurse(position: int) -> None:
+        if position == len(operands):
+            results.add(join_all(partial, stats=stats, cache=cache))
+            return
+        for subset in nonempty_subsets(operands[position]):
+            joined = join_all(subset, stats=stats, cache=cache)
+            partial.append(joined)
+            recurse(position + 1)
+            partial.pop()
+
+    recurse(0)
+    return frozenset(results)

@@ -1,0 +1,103 @@
+"""Execute logical plans against a document (physical evaluation).
+
+The evaluator walks a :mod:`repro.core.plan` tree bottom-up, carrying an
+:class:`~repro.core.stats.OperationStats` tally and an optional join
+memo cache.  It is deliberately a straight interpretation of the algebra
+— each operator maps onto the corresponding function in
+:mod:`repro.core.algebra` / :mod:`repro.core.reduce` — so the plan
+*shape* is the only thing that changes between the strategies being
+compared.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import PlanError
+from .algebra import JoinCache, multiway_powerset_join, pairwise_join
+from .filters import select
+from .fragment import Fragment
+from .plan import (FixedPoint, KeywordScan, PairwiseJoin, PlanNode,
+                   PowersetJoin, Select)
+from .query import Query, QueryResult, keyword_fragments
+from .reduce import fixed_point, fixed_point_bounded
+from .stats import OperationStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..index.inverted import InvertedIndex
+    from ..xmltree.document import Document
+
+__all__ = ["PlanEvaluator", "run_plan"]
+
+
+class PlanEvaluator:
+    """Interpret logical plans over one document.
+
+    Parameters
+    ----------
+    document:
+        The document queried by ``KeywordScan`` leaves.
+    index:
+        Optional inverted index for scans.
+    cache:
+        Optional join memo cache shared across executions.
+    max_powerset_operand:
+        Guard for ``PowersetJoin`` enumeration (see
+        :func:`repro.core.algebra.powerset_join`).
+    """
+
+    def __init__(self, document: "Document",
+                 index: Optional["InvertedIndex"] = None,
+                 cache: Optional[JoinCache] = None,
+                 max_powerset_operand: Optional[int] = 16) -> None:
+        self._document = document
+        self._index = index
+        self._cache = cache
+        self._max_powerset_operand = max_powerset_operand
+
+    def execute(self, plan: PlanNode,
+                stats: Optional[OperationStats] = None
+                ) -> frozenset[Fragment]:
+        """Evaluate ``plan`` and return its fragment set."""
+        tally = stats if stats is not None else OperationStats()
+        return self._eval(plan, tally)
+
+    def _eval(self, node: PlanNode,
+              stats: OperationStats) -> frozenset[Fragment]:
+        if isinstance(node, KeywordScan):
+            return keyword_fragments(self._document, node.term,
+                                     index=self._index)
+        if isinstance(node, Select):
+            return select(node.predicate, self._eval(node.child, stats),
+                          stats=stats)
+        if isinstance(node, PairwiseJoin):
+            return pairwise_join(self._eval(node.left, stats),
+                                 self._eval(node.right, stats),
+                                 stats=stats, cache=self._cache)
+        if isinstance(node, FixedPoint):
+            child = self._eval(node.child, stats)
+            closure = fixed_point_bounded if node.bounded else fixed_point
+            return closure(child, stats=stats, cache=self._cache,
+                           predicate=node.predicate)
+        if isinstance(node, PowersetJoin):
+            operands = [self._eval(op, stats) for op in node.operands]
+            return multiway_powerset_join(
+                operands, stats=stats, cache=self._cache,
+                max_operand_size=self._max_powerset_operand)
+        raise PlanError(f"unknown plan node {type(node).__name__}")
+
+
+def run_plan(document: "Document", query: Query, plan: PlanNode,
+             index: Optional["InvertedIndex"] = None,
+             cache: Optional[JoinCache] = None,
+             strategy_name: str = "plan") -> QueryResult:
+    """Execute a plan and wrap the outcome as a :class:`QueryResult`."""
+    evaluator = PlanEvaluator(document, index=index, cache=cache)
+    stats = OperationStats()
+    started = time.perf_counter()
+    fragments = evaluator.execute(plan, stats=stats)
+    elapsed = time.perf_counter() - started
+    return QueryResult(query=query, fragments=fragments,
+                       strategy=strategy_name, elapsed=elapsed,
+                       stats=stats.as_dict())

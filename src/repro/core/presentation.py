@@ -1,0 +1,109 @@
+"""Presentation of overlapping answers (paper §5).
+
+The answer set of a query typically contains fragments that are
+sub-fragments of other answers — the paper's *overlapping answers*.
+§5 discusses three presentation policies and leaves the choice open;
+this module implements all three:
+
+``OverlapPolicy.KEEP``
+    Present everything (the raw algebraic answer set).
+``OverlapPolicy.HIDE``
+    "they can be completely hidden" — present only maximal fragments.
+``OverlapPolicy.GROUP``
+    "presented in a visually pleasing way to show their structural
+    relationships" — group each maximal fragment with the answers it
+    contains, as an :class:`AnswerGroup` forest.
+
+:func:`overlap_matrix` quantifies overlap (shared-node fractions), the
+measure the INEX community's overlap debate ([3][10] in the paper) is
+fought over.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .fragment import Fragment
+
+__all__ = ["OverlapPolicy", "AnswerGroup", "arrange", "overlap",
+           "overlap_matrix"]
+
+
+class OverlapPolicy(enum.Enum):
+    """How overlapping answers are presented (§5)."""
+
+    KEEP = "keep"
+    HIDE = "hide"
+    GROUP = "group"
+
+
+@dataclass(frozen=True)
+class AnswerGroup:
+    """A maximal answer together with the answers it contains.
+
+    ``members`` are the *other* answers that are sub-fragments of
+    ``representative``, smallest first.
+    """
+
+    representative: Fragment
+    members: tuple[Fragment, ...]
+
+    @property
+    def total(self) -> int:
+        """Number of answers in the group, representative included."""
+        return 1 + len(self.members)
+
+
+def _sorted(fragments: Iterable[Fragment]) -> list[Fragment]:
+    return sorted(fragments, key=lambda f: (f.size, sorted(f.nodes)))
+
+
+def arrange(fragments: Iterable[Fragment],
+            policy: OverlapPolicy = OverlapPolicy.GROUP
+            ) -> list[AnswerGroup]:
+    """Arrange an answer set for presentation under ``policy``.
+
+    Always returns a list of :class:`AnswerGroup`; under ``KEEP`` every
+    answer is its own group, under ``HIDE`` only maximal answers appear
+    (with empty member lists), under ``GROUP`` each maximal answer
+    carries its sub-answers.
+
+    A sub-fragment contained in several maximal answers is listed under
+    the smallest such representative (the tightest context).
+    """
+    answers = _sorted(fragments)
+    if policy is OverlapPolicy.KEEP:
+        return [AnswerGroup(f, ()) for f in answers]
+
+    maximal = [f for f in answers
+               if not any(f.nodes < g.nodes for g in answers)]
+    if policy is OverlapPolicy.HIDE:
+        return [AnswerGroup(f, ()) for f in _sorted(maximal)]
+
+    members: dict[Fragment, list[Fragment]] = {m: [] for m in maximal}
+    for fragment in answers:
+        if fragment in members:
+            continue
+        hosts = [m for m in maximal if fragment.nodes < m.nodes]
+        # hosts is non-empty: a non-maximal answer is below some
+        # maximal one; pick the tightest.
+        host = min(hosts, key=lambda m: (m.size, sorted(m.nodes)))
+        members[host].append(fragment)
+    return [AnswerGroup(m, tuple(_sorted(members[m])))
+            for m in _sorted(maximal)]
+
+
+def overlap(f1: Fragment, f2: Fragment) -> float:
+    """Jaccard overlap of two fragments' node sets (0.0 – 1.0)."""
+    union = f1.nodes | f2.nodes
+    if not union:
+        return 0.0
+    return len(f1.nodes & f2.nodes) / len(union)
+
+
+def overlap_matrix(fragments: Sequence[Fragment]) -> list[list[float]]:
+    """Pairwise Jaccard overlaps; the INEX-style overlap diagnostic."""
+    items = list(fragments)
+    return [[overlap(a, b) for b in items] for a in items]

@@ -1,0 +1,154 @@
+"""Queries and answer semantics (paper Definitions 7 and 8).
+
+A query ``Q_P{k1, …, km}`` is a set of query terms plus a selection
+predicate.  Its answer is
+
+    ``σ_P(F1 ⋈* F2 ⋈* … ⋈* Fm)``  with  ``Fi = σ_{keyword=ki}(nodes(D))``
+
+— every fragment obtainable by joining at least one keyword node per
+term, filtered by ``P`` and deduplicated.  Definition 8 additionally
+phrases the keyword condition over the *leaves* of the answer fragment;
+:func:`is_answer` implements that check, and ``strict`` evaluation mode
+applies it on top of the algebraic result (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+from ..errors import QueryError
+from .filters import Filter, TrueFilter
+from .fragment import Fragment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..index.inverted import InvertedIndex
+    from ..xmltree.document import Document
+
+__all__ = ["Query", "QueryResult", "keyword_fragments", "is_answer"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """``Q_P{k1, …, km}``: query terms plus a selection predicate.
+
+    Terms are normalised to casefolded form on construction so they
+    match the tokenizer's output.  ``predicate`` defaults to the
+    always-true filter (no restriction).
+    """
+
+    terms: tuple[str, ...]
+    predicate: Filter = field(default_factory=TrueFilter)
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise QueryError("a query needs at least one term")
+        normalised = tuple(term.casefold() for term in self.terms)
+        if any(not term for term in normalised):
+            raise QueryError("query terms must be non-empty")
+        if len(set(normalised)) != len(normalised):
+            raise QueryError(f"duplicate query terms in {normalised}")
+        object.__setattr__(self, "terms", normalised)
+
+    @classmethod
+    def of(cls, *terms: str, predicate: Optional[Filter] = None) -> "Query":
+        """Convenience constructor: ``Query.of("xquery", "optimization")``."""
+        return cls(tuple(terms),
+                   predicate if predicate is not None else TrueFilter())
+
+    def describe(self) -> str:
+        """The paper's notation, e.g. ``Q[size<=3]{xquery, optimization}``."""
+        return f"Q[{self.predicate!r}]{{{', '.join(self.terms)}}}"
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The outcome of evaluating a query with one strategy.
+
+    Attributes
+    ----------
+    query:
+        The evaluated query.
+    fragments:
+        The deduplicated answer set.
+    strategy:
+        Name of the evaluation strategy used.
+    elapsed:
+        Wall-clock seconds spent in evaluation.
+    stats:
+        Primitive-operation counters (joins, predicate checks, …) as a
+        plain dict snapshot.
+    """
+
+    query: Query
+    fragments: frozenset[Fragment]
+    strategy: str
+    elapsed: float
+    stats: dict
+
+    def __len__(self) -> int:
+        return len(self.fragments)
+
+    def sorted_fragments(self) -> list[Fragment]:
+        """Answers ordered smallest-first, ties broken by node ids.
+
+        Smaller fragments are the tighter (more focused) answers; this
+        is the presentation order used by the CLI and the examples.
+        """
+        return sorted(self.fragments,
+                      key=lambda f: (f.size, sorted(f.nodes)))
+
+    def top(self, n: int) -> list[Fragment]:
+        """The ``n`` smallest answers."""
+        return self.sorted_fragments()[:n]
+
+    def non_overlapping(self) -> list[Fragment]:
+        """Answers with sub-fragments of other answers removed.
+
+        Implements the §5 discussion of *overlapping answers*: an answer
+        that is contained in another answer is presentation redundancy;
+        this helper keeps only the maximal fragments.
+        """
+        fragments = list(self.fragments)
+        maximal = []
+        for fragment in fragments:
+            if not any(fragment.nodes < other.nodes
+                       for other in fragments):
+                maximal.append(fragment)
+        return sorted(maximal, key=lambda f: (f.size, sorted(f.nodes)))
+
+
+def keyword_fragments(document: "Document", term: str,
+                      index: Optional["InvertedIndex"] = None
+                      ) -> frozenset[Fragment]:
+    """``σ_{keyword=term}(nodes(D))`` as single-node fragments.
+
+    Uses the inverted index when provided, otherwise scans the document.
+    """
+    if index is not None:
+        node_ids: Iterable[int] = index.postings(term)
+    else:
+        node_ids = document.nodes_with_keyword(term)
+    return frozenset(Fragment(document, (nid,), validate=False)
+                     for nid in node_ids)
+
+
+def is_answer(fragment: Fragment, query: Query) -> bool:
+    """Definition 8 check: keywords on leaves, predicate satisfied.
+
+    Every query term must occur at some *leaf* of the fragment's induced
+    subtree, and the fragment must satisfy the query predicate.
+    """
+    if not query.predicate.matches(fragment):
+        return False
+    doc = fragment.document
+    leaves = fragment.leaves
+    for term in query.terms:
+        if not any(term in doc.keywords(leaf) for leaf in leaves):
+            return False
+    return True
+
+
+def covers_all_terms(fragment: Fragment, terms: Sequence[str]) -> bool:
+    """Whether every term occurs somewhere in the fragment (any node)."""
+    return all(fragment.contains_keyword(term) for term in terms)

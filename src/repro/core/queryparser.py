@@ -1,0 +1,223 @@
+"""A small textual query language.
+
+Applications (and the CLI) often receive queries as strings.  The
+grammar covers the paper's query form — keywords plus a filter
+expression over the built-in predicates::
+
+    query      := keyword+ [ '[' filter ']' ]
+    filter     := disjunct ( '|' disjunct )*
+    disjunct   := atom ( '&' atom )*
+    atom       := '!' atom | '(' filter ')' | comparison | special
+    comparison := measure ('<=' | '>=') integer
+    measure    := 'size' | 'height' | 'width' | 'leaves' | 'rootdepth'
+    special    := 'keyword' ('=' | '!=') word
+                | 'tags' '=' word (',' word)*
+                | 'equaldepth' '(' word ',' word ')'
+                | 'true'
+
+Examples::
+
+    parse_query("xquery optimization [size<=3]")
+    parse_query("storage engine [size<=6 & height<=2]")
+    parse_query("a b [(width<=4 | leaves<=2) & keyword!=draft]")
+
+Anti-monotonicity of the parsed filter follows automatically from the
+combinator rules, so parsed queries get push-down whenever the
+expression allows it.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import QueryError
+from .filters import (ContainsKeyword, EqualDepth, ExcludesKeyword,
+                      Filter, HeightAtMost, LeafCountAtMost, Not,
+                      RootDepthAtLeast, SizeAtLeast, SizeAtMost,
+                      TagsWithin, TrueFilter, WidthAtMost)
+from .query import Query
+
+__all__ = ["parse_query", "parse_filter"]
+
+_TOKEN_RE = re.compile(r"""
+    \s*(
+        <=|>=|!=|=|\(|\)|\[|\]|&|\||!|,|
+        [A-Za-z_][A-Za-z0-9_']*|
+        [0-9]+
+    )
+""", re.VERBOSE)
+
+_MEASURES_AT_MOST = {
+    "size": SizeAtMost,
+    "height": HeightAtMost,
+    "width": WidthAtMost,
+    "leaves": LeafCountAtMost,
+}
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise QueryError(f"cannot tokenize filter near "
+                             f"{remainder[:12]!r}")
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+class _FilterParser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: list[str]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def parse(self) -> Filter:
+        result = self._disjunction()
+        if self._pos != len(self._tokens):
+            raise QueryError(f"unexpected token {self._peek()!r} in "
+                             "filter expression")
+        return result
+
+    # -- grammar ------------------------------------------------------
+
+    def _disjunction(self) -> Filter:
+        left = self._conjunction()
+        while self._accept("|"):
+            left = left | self._conjunction()
+        return left
+
+    def _conjunction(self) -> Filter:
+        left = self._atom()
+        while self._accept("&"):
+            left = left & self._atom()
+        return left
+
+    def _atom(self) -> Filter:
+        if self._accept("!"):
+            return Not(self._atom())
+        if self._accept("("):
+            inner = self._disjunction()
+            self._expect(")")
+            return inner
+        word = self._next("a predicate")
+        lowered = word.lower()
+        if lowered == "true":
+            return TrueFilter()
+        if lowered in _MEASURES_AT_MOST or lowered == "rootdepth":
+            return self._comparison(lowered)
+        if lowered == "keyword":
+            return self._keyword_predicate()
+        if lowered == "tags":
+            return self._tags_predicate()
+        if lowered == "equaldepth":
+            return self._equal_depth_predicate()
+        raise QueryError(f"unknown predicate {word!r}")
+
+    def _comparison(self, measure: str) -> Filter:
+        op = self._next("'<=' or '>='")
+        value = self._integer()
+        if measure == "rootdepth":
+            if op == ">=":
+                return RootDepthAtLeast(value)
+            raise QueryError("rootdepth only supports '>='")
+        if op == "<=":
+            return _MEASURES_AT_MOST[measure](value)
+        if op == ">=" and measure == "size":
+            return SizeAtLeast(value)
+        raise QueryError(f"{measure} does not support operator {op!r}")
+
+    def _keyword_predicate(self) -> Filter:
+        op = self._next("'=' or '!='")
+        word = self._next("a keyword").casefold()
+        if op == "=":
+            return ContainsKeyword(word)
+        if op == "!=":
+            return ExcludesKeyword(word)
+        raise QueryError(f"keyword does not support operator {op!r}")
+
+    def _tags_predicate(self) -> Filter:
+        self._expect("=")
+        tags = [self._next("a tag name")]
+        while self._accept(","):
+            tags.append(self._next("a tag name"))
+        return TagsWithin(tags)
+
+    def _equal_depth_predicate(self) -> Filter:
+        self._expect("(")
+        first = self._next("a keyword").casefold()
+        self._expect(",")
+        second = self._next("a keyword").casefold()
+        self._expect(")")
+        return EqualDepth(first, second)
+
+    # -- token plumbing ------------------------------------------------
+
+    def _peek(self) -> str:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return "<end>"
+
+    def _accept(self, token: str) -> bool:
+        if self._peek() == token:
+            self._pos += 1
+            return True
+        return False
+
+    def _expect(self, token: str) -> None:
+        if not self._accept(token):
+            raise QueryError(f"expected {token!r}, found "
+                             f"{self._peek()!r}")
+
+    def _next(self, description: str) -> str:
+        if self._pos >= len(self._tokens):
+            raise QueryError(f"expected {description} at end of filter")
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _integer(self) -> int:
+        token = self._next("an integer")
+        if not token.isdigit():
+            raise QueryError(f"expected an integer, found {token!r}")
+        return int(token)
+
+
+def parse_filter(text: str) -> Filter:
+    """Parse a filter expression such as ``size<=3 & height<=2``."""
+    tokens = _tokenize(text)
+    if not tokens:
+        return TrueFilter()
+    return _FilterParser(tokens).parse()
+
+
+def parse_query(text: str) -> Query:
+    """Parse a full textual query: keywords plus optional ``[filter]``.
+
+    >>> q = parse_query("xquery optimization [size<=3]")
+    >>> q.terms
+    ('xquery', 'optimization')
+    >>> q.predicate.is_anti_monotonic
+    True
+    """
+    text = text.strip()
+    if not text:
+        raise QueryError("empty query string")
+    bracket = text.find("[")
+    if bracket == -1:
+        keywords_part, filter_part = text, ""
+    else:
+        if not text.endswith("]"):
+            raise QueryError("unterminated '[' in query string")
+        keywords_part = text[:bracket]
+        filter_part = text[bracket + 1:-1]
+    terms = tuple(keywords_part.split())
+    if not terms:
+        raise QueryError("query string contains no keywords")
+    return Query(terms, parse_filter(filter_part))

@@ -1,0 +1,181 @@
+"""Fixed points and fragment set reduction (paper Section 3.1).
+
+* :func:`set_reduce` — ``⊖(F)`` (Definition 10): drop every fragment
+  that is a sub-fragment of the join of two *other* fragments of the
+  set.  The paper's displayed formula has a typo (``∃`` for ``∄``); we
+  implement the prose/Figure-4 semantics and test against Figure 4.
+* :func:`iterate_pairwise` — ``⋈_n(F)``: pairwise join of n copies.
+* :func:`fixed_point` — ``F+`` (Definition 9) via *semi-naive*
+  iteration: each round joins only the previous round's newly produced
+  fragments against the accumulated set, exactly like semi-naive Datalog
+  evaluation, so reaching the fixed point costs O(|F+|·|F|) joins rather
+  than re-joining everything every round.
+* :func:`fixed_point_bounded` — the paper's §3.1.2 alternative: compute
+  ``k = |⊖(F)|`` first, then run exactly ``k`` pairwise-join rounds
+  with **no fixed-point checking**, relying on Theorem 1
+  (``⋈_n(F) = ⋈_k(F)``).
+
+An optional anti-monotonic predicate can be threaded through the
+iteration (the equation after Theorem 3): fragments failing the filter
+are discarded *as they are produced*, which is sound because none of
+their super-fragments could satisfy the filter either.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .algebra import JoinCache, fragment_join, pairwise_join
+from .filters import Filter
+from .fragment import Fragment
+from .stats import OperationStats
+
+__all__ = [
+    "set_reduce",
+    "reduction_count",
+    "iterate_pairwise",
+    "fixed_point",
+    "fixed_point_bounded",
+    "is_fixed_point",
+]
+
+
+def set_reduce(fragments: Iterable[Fragment],
+               stats: Optional[OperationStats] = None,
+               cache: Optional[JoinCache] = None) -> frozenset[Fragment]:
+    """``⊖(F)``: remove fragments subsumed by a join of two others.
+
+    A fragment ``f`` is removed iff there exist distinct ``f', f'' ∈ F``
+    (both different from ``f``) with ``f ⊆ f' ⋈ f''``.  O(|F|³) subset
+    checks over O(|F|²) joins; the joins dominate and are memoised via
+    ``cache``.
+    """
+    items = list(dict.fromkeys(fragments))  # stable dedup
+    n = len(items)
+    if n < 3:
+        # Elimination needs three distinct fragments (see Theorem 1's
+        # proof preamble), so small sets are already reduced.
+        return frozenset(items)
+    pair_joins: list[tuple[int, int, Fragment]] = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            pair_joins.append(
+                (i, j, fragment_join(items[i], items[j],
+                                     stats=stats, cache=cache)))
+    kept = []
+    for idx, fragment in enumerate(items):
+        subsumed = False
+        for i, j, joined in pair_joins:
+            if idx == i or idx == j:
+                continue
+            if stats is not None:
+                stats.subset_checks += 1
+            if fragment.nodes <= joined.nodes:
+                subsumed = True
+                break
+        if not subsumed:
+            kept.append(fragment)
+    return frozenset(kept)
+
+
+def reduction_count(fragments: Iterable[Fragment],
+                    stats: Optional[OperationStats] = None,
+                    cache: Optional[JoinCache] = None) -> int:
+    """``|⊖(F)|`` — the Theorem-1 iteration bound for ``F``."""
+    return len(set_reduce(fragments, stats=stats, cache=cache))
+
+
+def iterate_pairwise(fragments: Iterable[Fragment], rounds: int,
+                     stats: Optional[OperationStats] = None,
+                     cache: Optional[JoinCache] = None,
+                     predicate: Optional[Filter] = None
+                     ) -> frozenset[Fragment]:
+    """``⋈_n(F)``: pairwise fragment join of ``rounds`` copies of ``F``.
+
+    ``rounds = 1`` returns ``F`` itself.  When an anti-monotonic
+    ``predicate`` is supplied, fragments failing it are discarded after
+    every round (including the first), per Theorem 3.
+    """
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    base = frozenset(fragments)
+    current = _apply_predicate(base, predicate, stats)
+    filtered_base = current
+    for _ in range(rounds - 1):
+        if stats is not None:
+            stats.iterations += 1
+        current = pairwise_join(current, filtered_base,
+                                stats=stats, cache=cache)
+        current = _apply_predicate(current, predicate, stats)
+    return current
+
+
+def fixed_point(fragments: Iterable[Fragment],
+                stats: Optional[OperationStats] = None,
+                cache: Optional[JoinCache] = None,
+                predicate: Optional[Filter] = None
+                ) -> frozenset[Fragment]:
+    """``F+`` via semi-naive iteration with fixed-point checking.
+
+    Each round joins only the frontier (fragments first produced in the
+    previous round) against the accumulated result, and stops when a
+    round produces nothing new — the §3.1.1 'naive solution' upgraded
+    with the standard semi-naive refinement.
+    """
+    base = _apply_predicate(frozenset(fragments), predicate, stats)
+    result: set[Fragment] = set(base)
+    frontier: set[Fragment] = set(base)
+    while frontier:
+        if stats is not None:
+            stats.iterations += 1
+        produced: set[Fragment] = set()
+        snapshot = list(result)
+        for new_fragment in frontier:
+            for existing in snapshot:
+                joined = fragment_join(new_fragment, existing,
+                                       stats=stats, cache=cache)
+                if joined not in result and joined not in produced:
+                    produced.add(joined)
+        produced = set(_apply_predicate(produced, predicate, stats))
+        produced -= result
+        result |= produced
+        frontier = produced
+    return frozenset(result)
+
+
+def fixed_point_bounded(fragments: Iterable[Fragment],
+                        stats: Optional[OperationStats] = None,
+                        cache: Optional[JoinCache] = None,
+                        predicate: Optional[Filter] = None
+                        ) -> frozenset[Fragment]:
+    """``F+`` via the Theorem-1 bound: exactly ``|⊖(F)|`` join rounds.
+
+    No fixed-point checking is performed during iteration — the §3.1.2
+    'alternative solution'.  The bound ``k`` is computed on the
+    *unfiltered* set (Theorem 1 speaks about F itself); the optional
+    anti-monotonic predicate then prunes during iteration, which can
+    only shrink intermediate sets, never change the filtered result.
+    """
+    base = frozenset(fragments)
+    if not base:
+        return base
+    k = reduction_count(base, stats=stats, cache=cache)
+    return iterate_pairwise(base, k, stats=stats, cache=cache,
+                            predicate=predicate)
+
+
+def is_fixed_point(fragments: Iterable[Fragment],
+                   cache: Optional[JoinCache] = None) -> bool:
+    """Whether ``F ⋈ F = F`` — i.e. ``F`` is closed under fragment join."""
+    base = frozenset(fragments)
+    return pairwise_join(base, base, cache=cache) == base
+
+
+def _apply_predicate(fragments: frozenset[Fragment],
+                     predicate: Optional[Filter],
+                     stats: Optional[OperationStats]
+                     ) -> frozenset[Fragment]:
+    if predicate is None:
+        return frozenset(fragments)
+    from .filters import select  # local import avoids cycle at load time
+    return select(predicate, fragments, stats=stats)

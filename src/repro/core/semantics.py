@@ -1,0 +1,93 @@
+"""Reference (oracle) implementations of the answer semantics.
+
+The algebraic evaluation pipeline is several rewrites away from
+Definition 8's declarative statement.  For verification, this module
+computes answers *directly from the definitions* by exhaustive
+enumeration — exponential, usable only on small documents, and
+therefore the ideal independent oracle for property-based testing.
+
+Two oracles:
+
+``definition8_answers``
+    Every fragment of the document such that each query term occurs at
+    an induced leaf and the predicate holds — Definition 8 verbatim.
+``powerset_semantics_answers``
+    ``σ_P(F1 ⋈* … ⋈* Fm)`` computed by literal subset enumeration —
+    the §2.3 evaluation formula.
+
+The two differ deliberately (DESIGN.md §4): Definition 8's leaf
+condition admits fragments the join-based construction never builds
+(e.g. ones with extraneous keyword-free leaves are *excluded* by
+Definition 8 but a join of keyword nodes can also produce fragments
+whose keyword nodes end up internal).  :func:`semantics_gap` computes
+the symmetric difference so the relationship can be inspected and
+tested rather than assumed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..xmltree.document import Document
+from .algebra import multiway_powerset_join
+from .enumeration import iter_all_fragments
+from .filters import select
+from .fragment import Fragment
+from .query import Query, is_answer, keyword_fragments
+
+__all__ = ["definition8_answers", "powerset_semantics_answers",
+           "semantics_gap"]
+
+
+def definition8_answers(document: Document, query: Query,
+                        limit: Optional[int] = 200_000
+                        ) -> frozenset[Fragment]:
+    """Answers per Definition 8, by exhaustive fragment enumeration.
+
+    A fragment qualifies iff every query term occurs at one of its
+    induced leaves and the query predicate maps it to true.
+
+    Raises
+    ------
+    FragmentError
+        If the document has more than ``limit`` fragments.
+    """
+    return frozenset(fragment
+                     for fragment in iter_all_fragments(document,
+                                                        limit=limit)
+                     if is_answer(fragment, query))
+
+
+def powerset_semantics_answers(document: Document, query: Query,
+                               max_operand_size: Optional[int] = 16
+                               ) -> frozenset[Fragment]:
+    """Answers per the §2.3 evaluation formula, by literal enumeration.
+
+    ``σ_P({⋈(F1' ∪ … ∪ Fm') | Fi' ⊆ Fi, Fi' ≠ ∅})`` with
+    ``Fi = σ_{keyword=ki}(nodes(D))``.
+    """
+    keyword_sets = [keyword_fragments(document, term)
+                    for term in query.terms]
+    if any(not fs for fs in keyword_sets):
+        return frozenset()
+    candidates = multiway_powerset_join(
+        keyword_sets, max_operand_size=max_operand_size)
+    return select(query.predicate, candidates)
+
+
+def semantics_gap(document: Document, query: Query,
+                  limit: Optional[int] = 200_000
+                  ) -> tuple[frozenset[Fragment], frozenset[Fragment]]:
+    """The two semantics' symmetric difference.
+
+    Returns ``(only_definition8, only_powerset)``:
+
+    * ``only_definition8`` — fragments the declarative definition
+      admits but the join construction never generates (they contain
+      nodes from outside the keyword sets' spanning structure);
+    * ``only_powerset`` — generated fragments whose keyword coverage
+      ends up on internal nodes only, failing the leaf condition.
+    """
+    declarative = definition8_answers(document, query, limit=limit)
+    constructive = powerset_semantics_answers(document, query)
+    return (declarative - constructive, constructive - declarative)

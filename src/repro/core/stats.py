@@ -1,0 +1,84 @@
+"""Operation counters for the algebra.
+
+Every algebra entry point accepts an optional :class:`OperationStats`;
+when supplied, the number of primitive operations performed (fragment
+joins, predicate evaluations, subset checks) is accumulated there.  The
+benchmark harness uses these counters to report *logical* work — the
+quantity the paper's optimisation claims are about — alongside wall-clock
+time, which depends on implementation detail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["OperationStats"]
+
+
+@dataclass
+class OperationStats:
+    """Mutable tally of primitive algebra operations.
+
+    Attributes
+    ----------
+    fragment_joins:
+        Number of binary fragment-join computations (cache misses only
+        count once when a memo cache is in use; see ``join_cache_hits``).
+    join_cache_hits:
+        Joins answered from the memo cache.
+    predicate_checks:
+        Filter evaluations performed by selections.
+    subset_checks:
+        Fragment-containment tests (used by set reduction).
+    fragments_discarded:
+        Fragments eliminated early by pushed-down selections.
+    iterations:
+        Pairwise-join rounds executed by fixed-point computations.
+    """
+
+    fragment_joins: int = 0
+    join_cache_hits: int = 0
+    predicate_checks: int = 0
+    subset_checks: int = 0
+    fragments_discarded: int = 0
+    iterations: int = 0
+    extras: dict = field(default_factory=dict)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.fragment_joins = 0
+        self.join_cache_hits = 0
+        self.predicate_checks = 0
+        self.subset_checks = 0
+        self.fragments_discarded = 0
+        self.iterations = 0
+        self.extras.clear()
+
+    @property
+    def total_joins(self) -> int:
+        """Joins requested, whether computed or served from cache."""
+        return self.fragment_joins + self.join_cache_hits
+
+    def merge(self, other: "OperationStats") -> None:
+        """Add another tally into this one."""
+        self.fragment_joins += other.fragment_joins
+        self.join_cache_hits += other.join_cache_hits
+        self.predicate_checks += other.predicate_checks
+        self.subset_checks += other.subset_checks
+        self.fragments_discarded += other.fragments_discarded
+        self.iterations += other.iterations
+        for key, value in other.extras.items():
+            self.extras[key] = self.extras.get(key, 0) + value
+
+    def as_dict(self) -> dict:
+        """A plain-dict snapshot, convenient for reporting."""
+        snapshot = {
+            "fragment_joins": self.fragment_joins,
+            "join_cache_hits": self.join_cache_hits,
+            "predicate_checks": self.predicate_checks,
+            "subset_checks": self.subset_checks,
+            "fragments_discarded": self.fragments_discarded,
+            "iterations": self.iterations,
+        }
+        snapshot.update(self.extras)
+        return snapshot

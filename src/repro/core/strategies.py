@@ -1,0 +1,200 @@
+"""Query evaluation strategies (paper Section 4).
+
+Three strategies produce identical answer sets by Theorems 2 and 3;
+they differ — dramatically — in how much work they do:
+
+``BRUTE_FORCE`` (§4.1)
+    Enumerate the powerset join directly, then filter.  Exponential in
+    the keyword-set sizes; exists as the semantic reference and the
+    baseline "for performance comparison with other available
+    alternative strategies".
+
+``SET_REDUCTION`` (§4.2)
+    Rewrite ``F1 ⋈* F2`` to ``F1+ ⋈ F2+`` (Theorem 2) and compute each
+    fixed point in exactly ``|⊖(Fi)|`` rounds (Theorem 1), then filter.
+
+``PUSHDOWN`` (§4.3)
+    Additionally push the selection below every join when the predicate
+    is anti-monotonic (Theorem 3), pruning doomed fragments as early as
+    possible.  Falls back to ``SET_REDUCTION`` behaviour for filters
+    without the property (results stay identical; only the opportunity
+    for early pruning is lost).
+
+``SEMI_NAIVE``
+    ``SET_REDUCTION`` with semi-naive fixed-point iteration instead of
+    the Theorem-1 bound — the paper's §3.1.1 'naive solution' upgraded
+    with frontier-only joining.  Useful for measuring what the
+    Theorem-1 bound buys (ablation S2/S6).
+"""
+
+from __future__ import annotations
+
+import enum
+import logging
+import time
+from functools import reduce as _reduce
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..errors import QueryError
+from .algebra import JoinCache, multiway_powerset_join, pairwise_join
+from .filters import select
+from .fragment import Fragment
+from .query import Query, QueryResult, keyword_fragments
+from .reduce import fixed_point, fixed_point_bounded
+from .stats import OperationStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..index.inverted import InvertedIndex
+    from ..xmltree.document import Document
+
+__all__ = ["Strategy", "evaluate", "answer"]
+
+logger = logging.getLogger("repro.strategies")
+
+
+class Strategy(enum.Enum):
+    """Named evaluation strategies; see the module docstring."""
+
+    BRUTE_FORCE = "brute-force"
+    SET_REDUCTION = "set-reduction"
+    PUSHDOWN = "pushdown"
+    SEMI_NAIVE = "semi-naive"
+
+    @classmethod
+    def parse(cls, name: str) -> "Strategy":
+        """Look a strategy up by its value or (case-insensitive) name."""
+        needle = name.strip().lower().replace("_", "-")
+        for strategy in cls:
+            if needle in (strategy.value, strategy.name.lower()):
+                return strategy
+        raise QueryError(f"unknown strategy {name!r}; expected one of "
+                         f"{[s.value for s in cls]}")
+
+
+def evaluate(document: "Document", query: Query,
+             strategy: Strategy = Strategy.PUSHDOWN,
+             index: Optional["InvertedIndex"] = None,
+             cache: Optional[JoinCache] = None,
+             max_brute_force_operand: int = 16,
+             keyword_source: Optional[
+                 Callable[[str], frozenset[Fragment]]] = None
+             ) -> QueryResult:
+    """Evaluate ``query`` against ``document`` with the given strategy.
+
+    Returns a :class:`~repro.core.query.QueryResult` carrying the answer
+    set, wall-clock time and operation counters.  All strategies return
+    the same ``fragments`` (Theorems 2 and 3); tests assert this.
+
+    Parameters
+    ----------
+    index:
+        Optional inverted index; avoids a document scan per term and
+        enables rarest-first term ordering.
+    cache:
+        Optional cross-query join memo cache.
+    max_brute_force_operand:
+        Safety limit on keyword-set size for the brute-force strategy.
+    keyword_source:
+        Optional override for ``σ_{keyword=term}``; the relational
+        backend passes its SQL-backed lookup here.
+    """
+    stats = OperationStats()
+    started = time.perf_counter()
+
+    term_order = list(query.terms)
+    if index is not None:
+        # Rarest-first keeps intermediate fragment sets small.
+        term_order = index.rarest_first(term_order)
+    if keyword_source is not None:
+        keyword_sets = [keyword_source(term) for term in term_order]
+    else:
+        keyword_sets = [keyword_fragments(document, term, index=index)
+                        for term in term_order]
+
+    empty_terms = [term for term, fs in zip(term_order, keyword_sets)
+                   if not fs]
+    if empty_terms:
+        # Conjunctive semantics: a term with no matches empties the answer.
+        fragments: frozenset[Fragment] = frozenset()
+    elif strategy is Strategy.BRUTE_FORCE:
+        fragments = _brute_force(keyword_sets, query, stats, cache,
+                                 max_brute_force_operand)
+    elif strategy is Strategy.SET_REDUCTION:
+        fragments = _set_reduction(keyword_sets, query, stats, cache,
+                                   bounded=True)
+    elif strategy is Strategy.SEMI_NAIVE:
+        fragments = _set_reduction(keyword_sets, query, stats, cache,
+                                   bounded=False)
+    elif strategy is Strategy.PUSHDOWN:
+        fragments = _pushdown(keyword_sets, query, stats, cache)
+    else:  # pragma: no cover - exhaustive over the enum
+        raise QueryError(f"unhandled strategy {strategy}")
+
+    elapsed = time.perf_counter() - started
+    if logger.isEnabledFor(logging.DEBUG):
+        logger.debug(
+            "%s evaluated %s: %d answers, %d joins, %d pruned, %.2fms",
+            strategy.value, query.describe(), len(fragments),
+            stats.fragment_joins, stats.fragments_discarded,
+            elapsed * 1000)
+    return QueryResult(query=query, fragments=fragments,
+                       strategy=strategy.value, elapsed=elapsed,
+                       stats=stats.as_dict())
+
+
+def answer(document: "Document", *terms: str,
+           predicate=None,
+           strategy: Strategy = Strategy.PUSHDOWN,
+           index: Optional["InvertedIndex"] = None) -> QueryResult:
+    """One-call convenience API: ``answer(doc, "xquery", "optimization")``."""
+    query = Query.of(*terms, predicate=predicate)
+    return evaluate(document, query, strategy=strategy, index=index)
+
+
+# ----------------------------------------------------------------------
+# Strategy bodies
+# ----------------------------------------------------------------------
+
+def _brute_force(keyword_sets, query: Query, stats: OperationStats,
+                 cache: Optional[JoinCache],
+                 max_operand: int) -> frozenset[Fragment]:
+    candidates = multiway_powerset_join(keyword_sets, stats=stats,
+                                        cache=cache,
+                                        max_operand_size=max_operand)
+    return select(query.predicate, candidates, stats=stats)
+
+
+def _set_reduction(keyword_sets, query: Query, stats: OperationStats,
+                   cache: Optional[JoinCache],
+                   bounded: bool) -> frozenset[Fragment]:
+    closure = fixed_point_bounded if bounded else fixed_point
+    fixed_points = [closure(fs, stats=stats, cache=cache)
+                    for fs in keyword_sets]
+    candidates = _reduce(
+        lambda left, right: pairwise_join(left, right,
+                                          stats=stats, cache=cache),
+        fixed_points)
+    return select(query.predicate, candidates, stats=stats)
+
+
+def _pushdown(keyword_sets, query: Query, stats: OperationStats,
+              cache: Optional[JoinCache]) -> frozenset[Fragment]:
+    predicate = query.predicate
+    pushed = predicate if predicate.is_anti_monotonic else None
+    fixed_points = []
+    for fs in keyword_sets:
+        if pushed is not None and not select(pushed, fs, stats=stats):
+            # An anti-monotonic filter that rejects every keyword node of
+            # one term rejects every candidate fragment too.
+            return frozenset()
+        fixed_points.append(fixed_point(fs, stats=stats, cache=cache,
+                                        predicate=pushed))
+    candidates = fixed_points[0]
+    for other in fixed_points[1:]:
+        candidates = pairwise_join(candidates, other,
+                                   stats=stats, cache=cache)
+        if pushed is not None:
+            candidates = select(pushed, candidates, stats=stats)
+    # Final selection guarantees correctness for non-anti-monotonic
+    # predicates and is a no-op (already satisfied) for pushed ones.
+    return select(predicate, candidates, stats=stats)

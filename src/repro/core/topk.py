@@ -1,0 +1,69 @@
+"""Top-k retrieval via adaptive filter tightening.
+
+A user who wants "the k best answers" does not know which size bound β
+to pass.  Anti-monotonicity makes an adaptive scheme sound and cheap:
+
+1. evaluate with a small β (push-down prunes almost everything),
+2. if fewer than k answers arrive, double β and re-evaluate,
+3. stop when k answers exist or β covers the whole document.
+
+Because ``size <= β`` is anti-monotonic, every round's answers are a
+subset of the next round's (Theorem 3 guarantees no false negatives
+among fragments within the bound), so the first round that yields k
+answers yields the k *smallest* answers overall.  A shared join cache
+makes the re-evaluations largely incremental.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .algebra import JoinCache
+from .filters import Filter, SizeAtMost
+from .fragment import Fragment
+from .query import Query
+from .strategies import Strategy, evaluate
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..index.inverted import InvertedIndex
+    from ..xmltree.document import Document
+
+__all__ = ["top_k_smallest"]
+
+
+def top_k_smallest(document: "Document", query: Query, k: int,
+                   index: Optional["InvertedIndex"] = None,
+                   initial_beta: int = 2,
+                   extra_predicate: Optional[Filter] = None
+                   ) -> list[Fragment]:
+    """The ``k`` smallest answers to ``query``, found adaptively.
+
+    ``query.predicate`` is combined with the adaptive size bound; pass
+    ``extra_predicate`` for additional (ideally anti-monotonic)
+    restrictions.  Returns fewer than ``k`` fragments when the full
+    answer set is smaller.
+
+    Parameters
+    ----------
+    initial_beta:
+        The starting size bound (doubled each round).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if initial_beta < 1:
+        raise ValueError("initial_beta must be >= 1")
+
+    cache = JoinCache()
+    beta = initial_beta
+    while True:
+        predicate: Filter = SizeAtMost(beta) & query.predicate
+        if extra_predicate is not None:
+            predicate = predicate & extra_predicate
+        bounded = Query(query.terms, predicate)
+        result = evaluate(document, bounded, strategy=Strategy.PUSHDOWN,
+                          index=index, cache=cache)
+        answers = sorted(result.fragments,
+                         key=lambda f: (f.size, sorted(f.nodes)))
+        if len(answers) >= k or beta >= document.size:
+            return answers[:k]
+        beta = min(beta * 2, document.size)

@@ -1,0 +1,68 @@
+"""Answer provenance: which nodes witness which query terms.
+
+Users reading a fragment answer want to know *why* it matched.  This
+module maps each query term to its witness nodes inside a fragment and
+renders highlighted outlines (witness nodes marked with the terms they
+carry) — the presentation detail that makes §5's "visually pleasing
+way" concrete.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..xmltree.serializer import fragment_outline
+from .fragment import Fragment
+
+__all__ = ["witnesses", "missing_terms", "highlighted_outline"]
+
+
+def witnesses(fragment: Fragment,
+              terms: Sequence[str]) -> dict[str, list[int]]:
+    """term → sorted node ids of the fragment carrying it.
+
+    Terms are casefolded; absent terms map to empty lists.
+    """
+    doc = fragment.document
+    result: dict[str, list[int]] = {}
+    for term in terms:
+        needle = term.casefold()
+        result[needle] = sorted(
+            n for n in fragment.nodes if needle in doc.keywords(n))
+    return result
+
+
+def missing_terms(fragment: Fragment,
+                  terms: Sequence[str]) -> list[str]:
+    """Query terms with no witness in the fragment (casefolded)."""
+    found = witnesses(fragment, terms)
+    return [term for term, nodes in found.items() if not nodes]
+
+
+def highlighted_outline(fragment: Fragment,
+                        terms: Sequence[str]) -> str:
+    """A fragment outline with witness nodes annotated.
+
+    Example::
+
+        n16:subsubsection "Techniques for..."   <= optimization
+          n17:par "Optimization of XQuery..."   <= optimization, xquery
+          n18:par "An XQuery processor..."      <= xquery
+    """
+    found = witnesses(fragment, terms)
+    by_node: dict[int, list[str]] = {}
+    for term, nodes in found.items():
+        for node in nodes:
+            by_node.setdefault(node, []).append(term)
+    lines = fragment_outline(fragment).splitlines()
+    ordered_nodes = sorted(fragment.nodes)
+    width = max(len(line) for line in lines) + 3
+    annotated = []
+    for node, line in zip(ordered_nodes, lines):
+        terms_here = sorted(by_node.get(node, ()))
+        if terms_here:
+            annotated.append(f"{line.ljust(width)}<= "
+                             f"{', '.join(terms_here)}")
+        else:
+            annotated.append(line)
+    return "\n".join(annotated)

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class at their outermost layer while
+still being able to discriminate finer-grained failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DocumentError(ReproError):
+    """Raised when a document is structurally invalid or cannot be built."""
+
+
+class ParseError(DocumentError):
+    """Raised when XML input cannot be parsed into a document tree."""
+
+
+class FragmentError(ReproError):
+    """Raised when a fragment violates the paper's Definition 2.
+
+    A fragment must be a non-empty set of nodes of a single document whose
+    induced subgraph is a rooted (connected) tree.
+    """
+
+
+class CrossDocumentError(FragmentError):
+    """Raised when an operation mixes fragments of different documents."""
+
+
+class PlanError(ReproError):
+    """Raised when a logical query plan is malformed or cannot be executed."""
+
+
+class QueryError(ReproError):
+    """Raised when a query specification is invalid (e.g. no keywords)."""
+
+
+class StorageError(ReproError):
+    """Raised by the relational (sqlite3) storage backend."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a synthetic workload specification is unsatisfiable."""

@@ -1,0 +1,13 @@
+"""Index substrate: tokenization, inverted keyword index, and LCA index."""
+
+from .inverted import InvertedIndex
+from .lca import BinaryLiftingLca, LcaIndex
+from .tokenizer import DEFAULT_STOPWORDS, Tokenizer
+
+__all__ = [
+    "Tokenizer",
+    "DEFAULT_STOPWORDS",
+    "InvertedIndex",
+    "LcaIndex",
+    "BinaryLiftingLca",
+]

@@ -1,0 +1,73 @@
+"""Keyword tokenization.
+
+The paper treats the contents of a node as a bag of *representative
+keywords* (``keywords(n)``) without committing to a particular text
+pipeline.  We implement a conventional, deterministic IR tokenizer:
+
+* Unicode-aware word splitting on non-alphanumeric boundaries,
+* case folding,
+* optional stopword removal (a small built-in English list),
+* optional minimum token length.
+
+The tokenizer is deliberately free of stemming so that queries match the
+paper's exact-keyword semantics (``keyword = k``); callers who want
+stemming can subclass and override :meth:`Tokenizer.normalize`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator
+
+__all__ = ["Tokenizer", "DEFAULT_STOPWORDS"]
+
+# A compact, conventional English stopword list.  Kept small on purpose:
+# document-centric XML search should not silently drop content words.
+DEFAULT_STOPWORDS: frozenset[str] = frozenset("""
+a an and are as at be by for from has have in is it its of on or that the
+to was were will with this these those
+""".split())
+
+_WORD_RE = re.compile(r"[0-9A-Za-z_]+(?:'[0-9A-Za-z_]+)?")
+
+
+class Tokenizer:
+    """Turn raw text into a normalised keyword stream.
+
+    Parameters
+    ----------
+    stopwords:
+        Words to drop after normalisation.  Defaults to a small English
+        list; pass an empty set to keep everything.
+    min_length:
+        Tokens shorter than this are dropped (default 1 = keep all).
+    """
+
+    def __init__(self, stopwords: Iterable[str] = DEFAULT_STOPWORDS,
+                 min_length: int = 1) -> None:
+        self._stopwords = frozenset(self.normalize(w) for w in stopwords)
+        if min_length < 1:
+            raise ValueError("min_length must be >= 1")
+        self._min_length = min_length
+
+    def normalize(self, token: str) -> str:
+        """Normalise a single token (case folding)."""
+        return token.casefold()
+
+    def iter_tokens(self, text: str) -> Iterator[str]:
+        """Yield normalised tokens of ``text`` in order, with duplicates."""
+        for match in _WORD_RE.finditer(text):
+            token = self.normalize(match.group())
+            if len(token) < self._min_length:
+                continue
+            if token in self._stopwords:
+                continue
+            yield token
+
+    def tokenize(self, text: str) -> list[str]:
+        """Return the normalised tokens of ``text`` as a list."""
+        return list(self.iter_tokens(text))
+
+    def keyword_set(self, text: str) -> frozenset[str]:
+        """Return the distinct normalised tokens of ``text``."""
+        return frozenset(self.iter_tokens(text))

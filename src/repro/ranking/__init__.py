@@ -1,0 +1,28 @@
+"""IR-style ranking over algebraic answer sets (paper §6's extension).
+
+The algebra produces a *set* of answers restricted by filters; this
+package adds the optional ranked presentation the paper says can "be
+easily incorporated": tf·idf, compactness and proximity signals,
+combined by :class:`FragmentScorer`.
+"""
+
+from .metrics import (EffectivenessReport, evaluate_effectiveness,
+                      f1_score, overlap_precision, overlap_recall,
+                      precision, recall)
+from .scoring import (FragmentScorer, ScoredFragment, compactness_score,
+                      proximity_score, tf_idf_score)
+
+__all__ = [
+    "FragmentScorer",
+    "ScoredFragment",
+    "tf_idf_score",
+    "compactness_score",
+    "proximity_score",
+    "EffectivenessReport",
+    "evaluate_effectiveness",
+    "precision",
+    "recall",
+    "f1_score",
+    "overlap_precision",
+    "overlap_recall",
+]

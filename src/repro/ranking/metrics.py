@@ -1,0 +1,120 @@
+"""IR effectiveness metrics over fragment answer sets.
+
+Quantifies the S3 effectiveness comparison: given a *relevant* set of
+fragments (e.g. the planted subtree units a synthetic workload knows to
+be the right answers), score a system's answer set with set-based and
+overlap-aware measures.
+
+Fragment retrieval complicates the classic measures: an answer can be
+*partially* right (it overlaps a relevant fragment without equalling
+it).  Following the INEX tradition the module offers both views:
+
+``precision`` / ``recall`` / ``f1``
+    Strict node-set equality between answers and relevant fragments.
+``overlap_precision`` / ``overlap_recall``
+    Each answer (resp. relevant fragment) is credited with its best
+    Jaccard overlap against the other side — graded relevance in
+    [0, 1].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..core.fragment import Fragment
+from ..core.presentation import overlap
+
+__all__ = ["EffectivenessReport", "evaluate_effectiveness", "precision",
+           "recall", "f1_score", "overlap_precision", "overlap_recall"]
+
+
+def precision(answers: Iterable[Fragment],
+              relevant: Iterable[Fragment]) -> float:
+    """|answers ∩ relevant| / |answers| (1.0 for empty answer sets)."""
+    answer_set = set(answers)
+    if not answer_set:
+        return 1.0
+    relevant_set = set(relevant)
+    return len(answer_set & relevant_set) / len(answer_set)
+
+
+def recall(answers: Iterable[Fragment],
+           relevant: Iterable[Fragment]) -> float:
+    """|answers ∩ relevant| / |relevant| (1.0 for empty relevant sets)."""
+    relevant_set = set(relevant)
+    if not relevant_set:
+        return 1.0
+    answer_set = set(answers)
+    return len(answer_set & relevant_set) / len(relevant_set)
+
+
+def f1_score(answers: Iterable[Fragment],
+             relevant: Iterable[Fragment]) -> float:
+    """Harmonic mean of strict precision and recall."""
+    answer_set = set(answers)
+    relevant_set = set(relevant)
+    p = precision(answer_set, relevant_set)
+    r = recall(answer_set, relevant_set)
+    if p + r == 0.0:
+        return 0.0
+    return 2 * p * r / (p + r)
+
+
+def _best_overlap(fragment: Fragment,
+                  others: list[Fragment]) -> float:
+    return max((overlap(fragment, other) for other in others),
+               default=0.0)
+
+
+def overlap_precision(answers: Iterable[Fragment],
+                      relevant: Iterable[Fragment]) -> float:
+    """Mean best-overlap of each answer against the relevant set."""
+    answer_list = list(answers)
+    if not answer_list:
+        return 1.0
+    relevant_list = list(relevant)
+    return sum(_best_overlap(a, relevant_list)
+               for a in answer_list) / len(answer_list)
+
+
+def overlap_recall(answers: Iterable[Fragment],
+                   relevant: Iterable[Fragment]) -> float:
+    """Mean best-overlap of each relevant fragment against the answers."""
+    relevant_list = list(relevant)
+    if not relevant_list:
+        return 1.0
+    answer_list = list(answers)
+    return sum(_best_overlap(r, answer_list)
+               for r in relevant_list) / len(relevant_list)
+
+
+@dataclass(frozen=True)
+class EffectivenessReport:
+    """All five measures for one (answers, relevant) pair."""
+
+    precision: float
+    recall: float
+    f1: float
+    overlap_precision: float
+    overlap_recall: float
+
+    def as_row(self) -> list[float]:
+        """The measures as a list (bench table row)."""
+        return [self.precision, self.recall, self.f1,
+                self.overlap_precision, self.overlap_recall]
+
+
+def evaluate_effectiveness(answers: Iterable[Fragment],
+                           relevant: Iterable[Fragment]
+                           ) -> EffectivenessReport:
+    """Compute the full effectiveness report."""
+    answer_list = list(answers)
+    relevant_list = list(relevant)
+    return EffectivenessReport(
+        precision=precision(answer_list, relevant_list),
+        recall=recall(answer_list, relevant_list),
+        f1=f1_score(answer_list, relevant_list),
+        overlap_precision=overlap_precision(answer_list, relevant_list),
+        overlap_recall=overlap_recall(answer_list, relevant_list),
+    )

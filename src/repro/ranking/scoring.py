@@ -1,0 +1,149 @@
+"""Scoring functions for answer fragments.
+
+The paper deliberately stays database-style ("we provide a filtering
+mechanism, instead of ranking techniques") but notes in §6 that
+"ranking techniques described in those studies can be easily
+incorporated into our work".  This module is that incorporation: a
+small, composable scoring layer over :class:`QueryResult` answer sets.
+
+Three classic signals, each normalised to [0, 1]:
+
+``tf_idf_score``
+    Sum over query terms of tf·idf inside the fragment, where term
+    frequency counts keyword-bearing nodes of the fragment and document
+    frequency counts keyword-bearing nodes of the whole document.
+``compactness_score``
+    Smaller, shallower fragments score higher — the filter intuition
+    (§3.3) turned into a graded signal.
+``proximity_score``
+    XRank-style decayed distance between the fragment root and the
+    nearest occurrence of each term (cf. baselines.xrank).
+
+:class:`FragmentScorer` combines them with configurable weights.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from ..core.fragment import Fragment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..index.inverted import InvertedIndex
+
+__all__ = ["FragmentScorer", "ScoredFragment", "tf_idf_score",
+           "compactness_score", "proximity_score"]
+
+
+def tf_idf_score(fragment: Fragment, terms: Sequence[str],
+                 index: "InvertedIndex") -> float:
+    """Normalised tf·idf of ``terms`` within ``fragment``.
+
+    tf is the fraction of fragment nodes carrying the term; idf is the
+    standard ``log(N / df)`` over document nodes.  The sum over terms
+    is squashed to [0, 1] by ``1 - exp(-x)``.
+    """
+    doc = fragment.document
+    n = doc.size
+    total = 0.0
+    for term in terms:
+        df = index.document_frequency(term)
+        if df == 0:
+            continue
+        tf = sum(1 for node in fragment.nodes
+                 if term in doc.keywords(node)) / fragment.size
+        total += tf * math.log(1.0 + n / df)
+    return 1.0 - math.exp(-total)
+
+
+def compactness_score(fragment: Fragment) -> float:
+    """Graded preference for small, shallow fragments.
+
+    1.0 for a single node, decaying harmonically with size and height.
+    """
+    return 1.0 / (1.0 + math.log1p(fragment.size - 1)
+                  + 0.5 * fragment.height)
+
+
+def proximity_score(fragment: Fragment, terms: Sequence[str],
+                    decay: float = 0.8) -> float:
+    """Decayed distance from the fragment root to each term's nearest
+    occurrence (0 when a term is absent).  Averaged over terms."""
+    if not 0.0 < decay <= 1.0:
+        raise ValueError("decay must be in (0, 1]")
+    if not terms:
+        return 0.0
+    doc = fragment.document
+    root_depth = doc.depth(fragment.root)
+    total = 0.0
+    for term in terms:
+        best = 0.0
+        for node in fragment.nodes:
+            if term in doc.keywords(node):
+                best = max(best,
+                           decay ** (doc.depth(node) - root_depth))
+        total += best
+    return total / len(terms)
+
+
+@dataclass(frozen=True)
+class ScoredFragment:
+    """A fragment with its combined score and per-signal breakdown."""
+
+    fragment: Fragment
+    score: float
+    tf_idf: float
+    compactness: float
+    proximity: float
+
+
+class FragmentScorer:
+    """Weighted combination of the three ranking signals.
+
+    Parameters
+    ----------
+    index:
+        Inverted index of the queried document (for idf statistics).
+    w_tf_idf, w_compactness, w_proximity:
+        Non-negative signal weights; they are normalised internally, so
+        only ratios matter.  All-zero weights are rejected.
+    decay:
+        Depth decay for the proximity signal.
+    """
+
+    def __init__(self, index: "InvertedIndex",
+                 w_tf_idf: float = 1.0,
+                 w_compactness: float = 1.0,
+                 w_proximity: float = 1.0,
+                 decay: float = 0.8) -> None:
+        weights = (w_tf_idf, w_compactness, w_proximity)
+        if any(w < 0 for w in weights):
+            raise ValueError("weights must be non-negative")
+        total = sum(weights)
+        if total == 0:
+            raise ValueError("at least one weight must be positive")
+        self._index = index
+        self._weights = tuple(w / total for w in weights)
+        self._decay = decay
+
+    def score(self, fragment: Fragment,
+              terms: Sequence[str]) -> ScoredFragment:
+        """Score one fragment against the query terms."""
+        tfidf = tf_idf_score(fragment, terms, self._index)
+        compact = compactness_score(fragment)
+        prox = proximity_score(fragment, terms, decay=self._decay)
+        w1, w2, w3 = self._weights
+        return ScoredFragment(
+            fragment=fragment,
+            score=w1 * tfidf + w2 * compact + w3 * prox,
+            tf_idf=tfidf, compactness=compact, proximity=prox)
+
+    def rank(self, fragments, terms: Sequence[str],
+             limit: Optional[int] = None) -> list[ScoredFragment]:
+        """Score and sort fragments, best first; ties by smaller size."""
+        scored = [self.score(f, terms) for f in fragments]
+        scored.sort(key=lambda s: (-s.score, s.fragment.size,
+                                   sorted(s.fragment.nodes)))
+        return scored[:limit] if limit is not None else scored

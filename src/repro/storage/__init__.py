@@ -1,0 +1,17 @@
+"""Relational (sqlite3) storage substrate — paper ref [13]."""
+
+from .engine import RelationalQueryEngine
+from .multistore import CollectionStore
+from .relational import RelationalStore
+from .schema import CREATE_TABLES, DROP_TABLES, SCHEMA_VERSION
+from .sqlalgebra import SqlAlgebra
+
+__all__ = [
+    "RelationalStore",
+    "RelationalQueryEngine",
+    "CollectionStore",
+    "SqlAlgebra",
+    "CREATE_TABLES",
+    "DROP_TABLES",
+    "SCHEMA_VERSION",
+]

@@ -1,0 +1,208 @@
+"""Multi-document relational storage.
+
+The paper's §7 claim — "can accommodate a very large collection of XML
+documents [13]" — needs more than one shredded tree per database.
+:class:`CollectionStore` extends the single-document schema with a
+``docs`` dimension: every node/keyword row carries a ``doc`` id, and
+keyword selection can run per document or collection-wide in one SQL
+query (the physical counterpart of
+:meth:`repro.collection.DocumentCollection.search`'s fan-out).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Optional
+
+from ..collection.collection import DocumentCollection
+from ..errors import StorageError
+from ..xmltree.document import Document
+
+__all__ = ["CollectionStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS docs (
+    doc   INTEGER PRIMARY KEY AUTOINCREMENT,
+    name  TEXT NOT NULL UNIQUE,
+    nodes INTEGER NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS nodes (
+    doc    INTEGER NOT NULL REFERENCES docs(doc),
+    id     INTEGER NOT NULL,
+    parent INTEGER,
+    depth  INTEGER NOT NULL,
+    size   INTEGER NOT NULL,
+    tag    TEXT    NOT NULL,
+    text   TEXT    NOT NULL,
+    PRIMARY KEY (doc, id)
+) WITHOUT ROWID;
+
+CREATE TABLE IF NOT EXISTS keywords (
+    word TEXT    NOT NULL,
+    doc  INTEGER NOT NULL,
+    node INTEGER NOT NULL,
+    PRIMARY KEY (word, doc, node)
+) WITHOUT ROWID;
+"""
+
+
+class CollectionStore:
+    """A sqlite3 database holding many shredded documents.
+
+    Usable as a context manager, like
+    :class:`~repro.storage.relational.RelationalStore`.
+    """
+
+    def __init__(self, database: str = ":memory:") -> None:
+        try:
+            self._conn = sqlite3.connect(database)
+        except sqlite3.Error as exc:  # pragma: no cover - env specific
+            raise StorageError(f"cannot open database {database!r}: "
+                               f"{exc}") from exc
+        self._conn.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._conn.close()
+
+    def __enter__(self) -> "CollectionStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def add(self, document: Document,
+            name: Optional[str] = None) -> int:
+        """Shred one document; returns its ``doc`` id.
+
+        Raises
+        ------
+        StorageError
+            If a document of the same name is already stored.
+        """
+        key = name if name is not None else document.name
+        conn = self._conn
+        try:
+            with conn:
+                cursor = conn.execute(
+                    "INSERT INTO docs(name, nodes) VALUES (?, ?)",
+                    (key, document.size))
+                doc_id = cursor.lastrowid
+                labels = document.labels
+                conn.executemany(
+                    "INSERT INTO nodes(doc, id, parent, depth, size, "
+                    "tag, text) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    ((doc_id, nid, document.parent(nid),
+                      labels.depth[nid], labels.size[nid],
+                      document.tag(nid), document.text(nid))
+                     for nid in document.node_ids()))
+                conn.executemany(
+                    "INSERT INTO keywords(word, doc, node) "
+                    "VALUES (?, ?, ?)",
+                    ((word, doc_id, nid)
+                     for nid in document.node_ids()
+                     for word in document.keywords(nid)))
+        except sqlite3.IntegrityError as exc:
+            raise StorageError(f"document named {key!r} is already "
+                               "stored") from exc
+        return doc_id
+
+    def add_collection(self, collection: DocumentCollection) -> list[int]:
+        """Shred every document of a collection; returns their ids."""
+        return [self.add(collection.document(name), name=name)
+                for name in collection.names()]
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        """Stored document names, in insertion order."""
+        rows = self._conn.execute(
+            "SELECT name FROM docs ORDER BY doc")
+        return [name for (name,) in rows]
+
+    def __len__(self) -> int:
+        (count,) = self._conn.execute("SELECT COUNT(*) FROM docs"
+                                      ).fetchone()
+        return count
+
+    def doc_id(self, name: str) -> int:
+        """The ``doc`` id of a stored document name."""
+        row = self._conn.execute(
+            "SELECT doc FROM docs WHERE name = ?", (name,)).fetchone()
+        if row is None:
+            raise StorageError(f"no document named {name!r} stored")
+        return row[0]
+
+    def load(self, name: str) -> Document:
+        """Reconstruct one stored document."""
+        doc_id = self.doc_id(name)
+        conn = self._conn
+        rows = conn.execute(
+            "SELECT id, parent, tag, text FROM nodes WHERE doc = ? "
+            "ORDER BY id", (doc_id,)).fetchall()
+        n = len(rows)
+        tags = [""] * n
+        texts = [""] * n
+        parents: list[Optional[int]] = [None] * n
+        children: list[list[int]] = [[] for _ in range(n)]
+        for nid, parent, tag, text in rows:
+            tags[nid] = tag
+            texts[nid] = text
+            parents[nid] = parent
+            if parent is not None:
+                children[parent].append(nid)
+        keyword_sets: list[set[str]] = [set() for _ in range(n)]
+        for word, nid in conn.execute(
+                "SELECT word, node FROM keywords WHERE doc = ?",
+                (doc_id,)):
+            keyword_sets[nid].add(word)
+        return Document(tags, texts, parents, children,
+                        [frozenset(kws) for kws in keyword_sets],
+                        name=name)
+
+    def load_collection(self) -> DocumentCollection:
+        """Reconstruct every stored document as a collection."""
+        collection = DocumentCollection(name="stored")
+        for name in self.names():
+            collection.add(self.load(name), name=name)
+        return collection
+
+    # ------------------------------------------------------------------
+    # Collection-wide SQL
+    # ------------------------------------------------------------------
+
+    def keyword_nodes(self, word: str,
+                      name: Optional[str] = None
+                      ) -> list[tuple[str, int]]:
+        """``(document name, node id)`` pairs containing ``word``.
+
+        With ``name`` given, restricted to that document; otherwise one
+        query spans the whole collection.
+        """
+        needle = word.casefold()
+        if name is not None:
+            rows = self._conn.execute(
+                "SELECT d.name, k.node FROM keywords k "
+                "JOIN docs d ON d.doc = k.doc "
+                "WHERE k.word = ? AND d.name = ? ORDER BY k.node",
+                (needle, name))
+        else:
+            rows = self._conn.execute(
+                "SELECT d.name, k.node FROM keywords k "
+                "JOIN docs d ON d.doc = k.doc "
+                "WHERE k.word = ? ORDER BY d.doc, k.node", (needle,))
+        return [(doc_name, nid) for doc_name, nid in rows]
+
+    def document_frequency(self, word: str) -> int:
+        """Number of stored documents containing ``word``."""
+        (count,) = self._conn.execute(
+            "SELECT COUNT(DISTINCT doc) FROM keywords WHERE word = ?",
+            (word.casefold(),)).fetchone()
+        return count

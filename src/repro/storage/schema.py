@@ -1,0 +1,54 @@
+"""Relational schema for shredded document trees (paper ref [13]).
+
+Pradhan's companion paper (WISE'04) implements the tree algebra on a
+conventional relational database.  We reproduce that substrate on
+sqlite3 with the classic node-table + keyword-table shredding:
+
+``nodes(id, parent, depth, size, post, tag, text)``
+    One row per tree node; ``id`` is the preorder rank, so the interval
+    encoding ``id <= x < id + size`` answers descendant tests directly
+    in SQL.
+``keywords(word, node)``
+    The inverted keyword relation; ``σ_{keyword=k}`` is a single
+    indexed lookup.
+``documents(key, value)``
+    Small metadata table (document name, node count, schema version).
+"""
+
+from __future__ import annotations
+
+SCHEMA_VERSION = 1
+
+CREATE_TABLES = """
+CREATE TABLE IF NOT EXISTS documents (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS nodes (
+    id     INTEGER PRIMARY KEY,
+    parent INTEGER,
+    depth  INTEGER NOT NULL,
+    size   INTEGER NOT NULL,
+    post   INTEGER NOT NULL,
+    tag    TEXT    NOT NULL,
+    text   TEXT    NOT NULL,
+    FOREIGN KEY (parent) REFERENCES nodes(id)
+);
+
+CREATE TABLE IF NOT EXISTS keywords (
+    word TEXT    NOT NULL,
+    node INTEGER NOT NULL,
+    PRIMARY KEY (word, node),
+    FOREIGN KEY (node) REFERENCES nodes(id)
+) WITHOUT ROWID;
+
+CREATE INDEX IF NOT EXISTS idx_nodes_parent ON nodes(parent);
+CREATE INDEX IF NOT EXISTS idx_keywords_node ON keywords(node);
+"""
+
+DROP_TABLES = """
+DROP TABLE IF EXISTS keywords;
+DROP TABLE IF EXISTS nodes;
+DROP TABLE IF EXISTS documents;
+"""

@@ -1,0 +1,127 @@
+"""Algebra operations evaluated entirely inside SQL (paper ref [13]).
+
+:mod:`repro.storage.engine` runs keyword *selection* in SQL and joins
+in Python.  This module goes the rest of the way for the binary case:
+``σ_{size<=β}(F1 ⋈ F2)`` as **one SQL statement** over the shredded
+tables, using recursive CTEs for the root paths, a join for the LCA,
+and set arithmetic for the spanning subtree:
+
+    spanning(a, b) = (path(a) Δ path(b)) ∪ {lca(a, b)}
+
+where ``path(x)`` is x's root path and Δ the symmetric difference —
+the common ancestors strictly above the LCA cancel out.  The size
+filter becomes a ``HAVING COUNT(*)`` clause, i.e. the anti-monotonic
+selection is evaluated by the database before fragments ever reach
+Python, which is exactly the architecture the companion paper [13]
+argues for.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import StorageError
+from .relational import RelationalStore
+
+__all__ = ["SqlAlgebra"]
+
+_FILTERED_PAIRWISE_JOIN = """
+WITH RECURSIVE
+pairs(pid, a, b) AS (
+    SELECT k1.node * :ncount + k2.node, k1.node, k2.node
+    FROM keywords k1, keywords k2
+    WHERE k1.word = :term1 AND k2.word = :term2
+),
+climb_a(pid, node) AS (
+    SELECT pid, a FROM pairs
+    UNION
+    SELECT c.pid, n.parent FROM climb_a c
+    JOIN nodes n ON n.id = c.node
+    WHERE n.parent IS NOT NULL
+),
+climb_b(pid, node) AS (
+    SELECT pid, b FROM pairs
+    UNION
+    SELECT c.pid, n.parent FROM climb_b c
+    JOIN nodes n ON n.id = c.node
+    WHERE n.parent IS NOT NULL
+),
+common(pid, node, depth) AS (
+    SELECT ca.pid, ca.node, n.depth
+    FROM climb_a ca
+    JOIN climb_b cb ON cb.pid = ca.pid AND cb.node = ca.node
+    JOIN nodes n ON n.id = ca.node
+),
+lca(pid, node) AS (
+    SELECT pid, node FROM common c
+    WHERE depth = (SELECT MAX(depth) FROM common c2
+                   WHERE c2.pid = c.pid)
+),
+spanning(pid, node) AS (
+    SELECT ca.pid, ca.node FROM climb_a ca
+    WHERE NOT EXISTS (SELECT 1 FROM common c
+                      WHERE c.pid = ca.pid AND c.node = ca.node)
+    UNION
+    SELECT cb.pid, cb.node FROM climb_b cb
+    WHERE NOT EXISTS (SELECT 1 FROM common c
+                      WHERE c.pid = cb.pid AND c.node = cb.node)
+    UNION
+    SELECT pid, node FROM lca
+)
+SELECT GROUP_CONCAT(node) AS nodes
+FROM (SELECT pid, node FROM spanning ORDER BY pid, node)
+GROUP BY pid
+HAVING COUNT(*) <= :max_size
+"""
+
+
+class SqlAlgebra:
+    """Binary algebra operations pushed into the relational engine.
+
+    Parameters
+    ----------
+    store:
+        A :class:`RelationalStore` with a saved document.
+    """
+
+    def __init__(self, store: RelationalStore) -> None:
+        self._store = store
+
+    @property
+    def _conn(self):
+        return self._store._conn  # shared connection, same module family
+
+    def filtered_pairwise_join(self, term1: str, term2: str,
+                               max_size: Optional[int] = None
+                               ) -> frozenset[frozenset[int]]:
+        """``σ_{size<=max_size}(F1 ⋈ F2)`` evaluated wholly in SQL.
+
+        Returns the fragments as node-id frozensets (the caller wraps
+        them in :class:`~repro.core.fragment.Fragment` against the
+        loaded document).  ``max_size=None`` disables the filter.
+
+        Raises
+        ------
+        StorageError
+            If no document is stored.
+        """
+        node_count = self._store.node_count
+        if node_count == 0:
+            raise StorageError("no document stored")
+        limit = max_size if max_size is not None else node_count
+        rows = self._conn.execute(
+            _FILTERED_PAIRWISE_JOIN,
+            {"ncount": node_count, "term1": term1.casefold(),
+             "term2": term2.casefold(), "max_size": limit})
+        fragments = set()
+        for (joined,) in rows:
+            fragments.add(frozenset(int(part)
+                                    for part in joined.split(",")))
+        return frozenset(fragments)
+
+    def filtered_pairwise_join_count(self, term1: str, term2: str,
+                                     max_size: Optional[int] = None
+                                     ) -> int:
+        """Number of distinct fragments the SQL join produces."""
+        return len(self.filtered_pairwise_join(term1, term2,
+                                               max_size=max_size))

@@ -1,0 +1,17 @@
+"""Self-verification utilities shipped with the library.
+
+``run_differential_trials`` cross-checks every evaluation strategy
+against the literal powerset-semantics oracle on random inputs — run it
+whenever you port, patch or distrust the engine.
+"""
+
+from .differential import (DifferentialReport, TrialFailure,
+                           random_keyword_document,
+                           run_differential_trials)
+
+__all__ = [
+    "run_differential_trials",
+    "DifferentialReport",
+    "TrialFailure",
+    "random_keyword_document",
+]

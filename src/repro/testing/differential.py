@@ -1,0 +1,168 @@
+"""Differential testing harness, shipped as a library feature.
+
+Reproduction code earns trust by being easy to falsify.  This module
+packages the machinery the internal test suite uses — random document
+generation, independent oracles, strategy cross-checking — behind one
+function, so downstream users (or CI) can hammer the engine on their
+own machines:
+
+>>> from repro.testing import run_differential_trials
+>>> report = run_differential_trials(trials=100, seed=7)
+>>> report.failures
+()
+
+Each trial generates a random document and query, evaluates it with
+every strategy plus the literal powerset-semantics oracle, and records
+any disagreement as a :class:`TrialFailure` carrying everything needed
+to reproduce it (the seed, the document's parent vector, the query).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.filters import (Filter, HeightAtMost, SizeAtMost, TrueFilter,
+                            WidthAtMost)
+from ..core.query import Query
+from ..core.semantics import powerset_semantics_answers
+from ..core.strategies import Strategy, evaluate
+from ..xmltree.builder import DocumentBuilder
+from ..xmltree.document import Document
+
+__all__ = ["TrialFailure", "DifferentialReport",
+           "random_keyword_document", "run_differential_trials"]
+
+_TERMS = ("alpha", "beta", "gamma")
+
+
+@dataclass(frozen=True)
+class TrialFailure:
+    """One reproducible disagreement between evaluation paths.
+
+    Attributes
+    ----------
+    trial:
+        Index of the failing trial.
+    seed:
+        The trial's RNG seed (regenerates document and query).
+    parents:
+        The document's parent vector (node i+1's parent).
+    keyword_nodes:
+        term → node ids carrying it.
+    query:
+        The evaluated query's textual description.
+    disagreeing:
+        Names of the evaluation paths that differed from the oracle.
+    """
+
+    trial: int
+    seed: int
+    parents: tuple[int, ...]
+    keyword_nodes: dict
+    query: str
+    disagreeing: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class DifferentialReport:
+    """Outcome of a :func:`run_differential_trials` campaign."""
+
+    trials: int
+    failures: tuple[TrialFailure, ...] = field(default=())
+
+    @property
+    def passed(self) -> bool:
+        """Whether every trial agreed on every path."""
+        return not self.failures
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        if self.passed:
+            return (f"{self.trials} differential trials, "
+                    "all evaluation paths agree")
+        return (f"{len(self.failures)} of {self.trials} trials "
+                f"disagreed; first failing seed: "
+                f"{self.failures[0].seed}")
+
+
+def random_keyword_document(seed: int, max_nodes: int = 10) -> Document:
+    """A small random document with keywords from a fixed alphabet.
+
+    Deterministic in ``seed``; the same generator family the internal
+    property tests use.
+    """
+    rng = random.Random(seed)
+    n = rng.randint(2, max_nodes)
+    builder = DocumentBuilder(name=f"trial-{seed}")
+    ids = [builder.add_root("root", "")]
+    for _ in range(n - 1):
+        parent = ids[rng.randrange(len(ids))]
+        ids.append(builder.add_child(parent, "node", ""))
+    for node in ids:
+        words = [w for w in _TERMS if rng.random() < 0.35]
+        if words:
+            builder.add_keywords(node, words)
+    return builder.build()
+
+
+def _random_query(rng: random.Random) -> Query:
+    term_count = rng.randint(1, 3)
+    terms = tuple(rng.sample(_TERMS, term_count))
+    predicate: Filter
+    roll = rng.randrange(4)
+    if roll == 0:
+        predicate = TrueFilter()
+    elif roll == 1:
+        predicate = SizeAtMost(rng.randint(1, 6))
+    elif roll == 2:
+        predicate = HeightAtMost(rng.randint(0, 3))
+    else:
+        predicate = (SizeAtMost(rng.randint(2, 5))
+                     & WidthAtMost(rng.randint(1, 6)))
+    return Query(terms, predicate)
+
+
+def run_differential_trials(trials: int = 100, seed: int = 0,
+                            max_nodes: int = 10,
+                            stop_on_first_failure: bool = False
+                            ) -> DifferentialReport:
+    """Run ``trials`` random cross-checks of every evaluation path.
+
+    Each trial compares all four strategies against the literal
+    powerset-semantics oracle on a fresh random document and query.
+
+    Parameters
+    ----------
+    stop_on_first_failure:
+        Abort the campaign at the first disagreement (faster triage).
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    failures: list[TrialFailure] = []
+    master = random.Random(seed)
+    for trial in range(trials):
+        trial_seed = master.randrange(2 ** 31)
+        doc = random_keyword_document(trial_seed, max_nodes=max_nodes)
+        rng = random.Random(trial_seed ^ 0x5EED)
+        query = _random_query(rng)
+        oracle = powerset_semantics_answers(doc, query)
+        disagreeing = [
+            strategy.value
+            for strategy in Strategy
+            if evaluate(doc, query, strategy=strategy).fragments
+            != oracle
+        ]
+        if disagreeing:
+            failures.append(TrialFailure(
+                trial=trial,
+                seed=trial_seed,
+                parents=tuple(doc.parent(i) for i in range(1, doc.size)),
+                keyword_nodes={t: doc.nodes_with_keyword(t)
+                               for t in query.terms},
+                query=query.describe(),
+                disagreeing=tuple(disagreeing)))
+            if stop_on_first_failure:
+                break
+    return DifferentialReport(trials=trials, failures=tuple(failures))

@@ -1,0 +1,37 @@
+"""Workload substrate: paper fixtures, synthetic corpora, query mixes."""
+
+from .corpora import BOOK_XML, THESIS_XML, book_corpus, thesis_corpus
+from .datacentric import BibliographySpec, generate_bibliography
+from .figure1 import FIGURE1_QUERY_TERMS, build_figure1_document
+from .generator import (DocumentSpec, generate_document, plant_keyword,
+                        zipf_vocabulary)
+from .inexlike import InexSpec, generate_collection
+from .papertrees import (LabeledTree, build_figure3_tree,
+                         build_figure4_tree, build_figure7_tree)
+from .queries import (QuerySpec, generate_queries,
+                      pick_terms_by_frequency, selectivity_ladder)
+
+__all__ = [
+    "build_figure1_document",
+    "FIGURE1_QUERY_TERMS",
+    "LabeledTree",
+    "build_figure3_tree",
+    "build_figure4_tree",
+    "build_figure7_tree",
+    "BibliographySpec",
+    "generate_bibliography",
+    "DocumentSpec",
+    "InexSpec",
+    "generate_collection",
+    "generate_document",
+    "plant_keyword",
+    "zipf_vocabulary",
+    "QuerySpec",
+    "generate_queries",
+    "pick_terms_by_frequency",
+    "selectivity_ladder",
+    "book_corpus",
+    "thesis_corpus",
+    "BOOK_XML",
+    "THESIS_XML",
+]

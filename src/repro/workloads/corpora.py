@@ -1,0 +1,125 @@
+"""Canned realistic corpora for examples and integration tests.
+
+Two hand-written document-centric XML documents:
+
+* :func:`book_corpus` — a short technical book (chapters / sections /
+  paragraphs) about XML retrieval; exercises multi-level nesting.
+* :func:`thesis_corpus` — a thesis-like document with front matter,
+  chapters and an appendix; exercises wider fanout and mixed tags.
+
+Both are parsed from literal XML via :func:`repro.xmltree.parser.parse`,
+so they also serve as end-to-end parser fixtures.
+"""
+
+from __future__ import annotations
+
+from ..xmltree.document import Document
+from ..xmltree.parser import parse
+
+__all__ = ["book_corpus", "thesis_corpus", "BOOK_XML", "THESIS_XML"]
+
+BOOK_XML = """\
+<book>
+  <title>Fragment Retrieval in Practice</title>
+  <chapter>
+    <title>Foundations</title>
+    <section>
+      <title>Trees and fragments</title>
+      <par>A document is modelled as a rooted ordered tree whose nodes
+      carry textual content.</par>
+      <par>A fragment is any connected set of nodes, and answers to a
+      keyword query are fragments.</par>
+    </section>
+    <section>
+      <title>Keyword queries</title>
+      <par>Users type plain keywords; the engine must decide which
+      fragment constitutes a good retrieval unit.</par>
+      <par>The smallest subtree is often too narrow for document
+      centric data.</par>
+    </section>
+  </chapter>
+  <chapter>
+    <title>Algebra</title>
+    <section>
+      <title>Join operations</title>
+      <par>The fragment join of two fragments is the minimal fragment
+      containing both.</par>
+      <par>Pairwise and powerset variants lift the join to fragment
+      sets.</par>
+      <note>Powerset join is exponential when evaluated naively.</note>
+    </section>
+    <section>
+      <title>Filters</title>
+      <par>Anti monotonic filters such as size bounds commute with join
+      and enable pushdown optimization.</par>
+      <par>Equal depth filters lack the property and must run last.</par>
+    </section>
+  </chapter>
+  <appendix>
+    <title>Proofs</title>
+    <par>The fixed point of a fragment set is reached after as many
+    iterations as its reduced set has elements.</par>
+  </appendix>
+</book>
+"""
+
+THESIS_XML = """\
+<thesis>
+  <front>
+    <title>Effective Retrieval of Structured Document Fragments</title>
+    <abstract>We study keyword search over document centric XML and
+    develop an algebraic query model with database style filters.</abstract>
+  </front>
+  <chapter n="1">
+    <title>Introduction</title>
+    <par>Keyword search is the friendliest interface for casual users
+    of document collections.</par>
+    <par>Existing smallest subtree semantics retrieves fragments that
+    are too small to be self contained.</par>
+    <section>
+      <title>Motivation</title>
+      <par>A paragraph mentioning both query terms may be less useful
+      than the enclosing subsection.</par>
+    </section>
+  </chapter>
+  <chapter n="2">
+    <title>Query Model</title>
+    <section>
+      <title>Selection</title>
+      <par>Selection keeps the fragments satisfying a predicate.</par>
+    </section>
+    <section>
+      <title>Join</title>
+      <par>Fragment join computes minimal covering fragments.</par>
+      <par>The operation is idempotent commutative associative and
+      absorptive.</par>
+    </section>
+    <section>
+      <title>Optimization</title>
+      <par>Anti monotonic predicates can be evaluated before join
+      operations without changing the answer.</par>
+    </section>
+  </chapter>
+  <chapter n="3">
+    <title>Evaluation</title>
+    <par>We compare brute force set reduction and pushdown strategies
+    over synthetic corpora.</par>
+    <par>Pushdown wins whenever the filter is selective.</par>
+  </chapter>
+  <appendix>
+    <title>Notation</title>
+    <item>F denotes a fragment set.</item>
+    <item>P denotes a selection predicate.</item>
+  </appendix>
+</thesis>
+"""
+
+
+def book_corpus() -> Document:
+    """The canned technical-book document."""
+    return parse(BOOK_XML, name="book")
+
+
+def thesis_corpus() -> Document:
+    """The canned thesis document."""
+    return parse(THESIS_XML, name="thesis")

@@ -1,0 +1,133 @@
+"""Reconstruction of the paper's Figure 1 document.
+
+Figure 1 shows an 82-node document-centric XML tree (nodes n0–n81) used
+by the running example query ``{XQuery, optimization}``.  The paper
+fully determines the parts of the topology and keyword placement the
+example depends on:
+
+* ``F1 = σ_{keyword=XQuery} = {⟨n17⟩, ⟨n18⟩}``
+* ``F2 = σ_{keyword=optimization} = {⟨n16⟩, ⟨n17⟩, ⟨n81⟩}``
+* ``n17 ⋈ n18 = ⟨n16, n17, n18⟩`` (target fragment: n16 parent of both)
+* ``n17 ⋈ n81 = ⟨n0, n1, n14, n16, n17, n79, n80, n81⟩`` — so the root
+  path of n17 is n17→n16→n14→n1→n0 and that of n81 is n81→n80→n79→n0.
+
+Everything else (the contents of nodes n2–n13 and n19–n78) only has to
+exist and *not* contain the two query keywords; we fill those ranges
+with plausible article content.  Node ids below equal preorder ranks,
+so ``doc.node(17)`` really is the paper's n17.
+"""
+
+from __future__ import annotations
+
+from ..xmltree.builder import DocumentBuilder
+from ..xmltree.document import Document
+
+__all__ = ["build_figure1_document", "FIGURE1_QUERY_TERMS"]
+
+#: The running example query of the paper.
+FIGURE1_QUERY_TERMS = ("xquery", "optimization")
+
+# Filler paragraph text for the unconstrained node ranges.  None of the
+# words below tokenizes to "xquery" or "optimization".
+_FILLER_SENTENCES = (
+    "Tree structured documents are commonly stored as rooted trees.",
+    "Logical components such as sections and paragraphs form nodes.",
+    "Keyword search offers the most friendly interface to casual users.",
+    "Structural relationships alone must guide answer construction.",
+    "Document centric collections rarely conform to a rigid schema.",
+    "Retrieval units should be self contained and informative.",
+    "Answers that sprawl across unrelated parts overwhelm readers.",
+    "Indexes over element content accelerate term lookups.",
+    "Ranking heuristics complement strict database style filtering.",
+    "Evaluation cost grows quickly with candidate enumeration.",
+)
+
+
+def _filler(i: int) -> str:
+    return _FILLER_SENTENCES[i % len(_FILLER_SENTENCES)]
+
+
+def build_figure1_document() -> Document:
+    """Build the Figure 1 document; node ids match the paper's n0–n81."""
+    b = DocumentBuilder(name="figure1")
+
+    n0 = b.add_root("article", "Querying Tree Structured Documents")
+
+    # --- n1: first section, subtree n1..n18 --------------------------
+    n1 = b.add_child(n0, "section", "Background on query processing")
+    b.add_child(n1, "title", "Background")                          # n2
+    n3 = b.add_child(n1, "subsection", "Models of semistructured data")
+    b.add_child(n3, "title", "Data models")                         # n4
+    b.add_child(n3, "par", _filler(0))                              # n5
+    b.add_child(n3, "par", _filler(1))                              # n6
+    n7 = b.add_child(n3, "subsubsection", "Ordered tree encodings")
+    b.add_child(n7, "par", _filler(2))                              # n8
+    b.add_child(n7, "par", _filler(3))                              # n9
+    n10 = b.add_child(n3, "subsubsection", "Labelling schemes")
+    b.add_child(n10, "par", _filler(4))                             # n11
+    b.add_child(n10, "par", _filler(5))                             # n12
+    b.add_child(n10, "par", _filler(6))                             # n13
+    n14 = b.add_child(n1, "subsection",
+                      "Processing queries over document trees")
+    b.add_child(n14, "title", "Query processing")                   # n15
+    n16 = b.add_child(n14, "subsubsection",
+                      "Techniques for optimization of queries")
+    n17 = b.add_child(n16, "par",
+                      "Optimization of XQuery expressions relies on "
+                      "algebraic rewriting of the query plan.")
+    n18 = b.add_child(n16, "par",
+                      "An XQuery processor may reorder joins and prune "
+                      "candidate results early.")
+
+    # --- n19: second section, subtree n19..n48 -----------------------
+    n19 = b.add_child(n0, "section", "Keyword search over documents")
+    b.add_child(n19, "title", "Keyword search")                     # n20
+    n21 = b.add_child(n19, "subsection", "Answer granularity")
+    for i in range(6):                                              # n22-27
+        b.add_child(n21, "par", _filler(i))
+    n28 = b.add_child(n19, "subsection", "Result presentation")
+    for i in range(6):                                              # n29-34
+        b.add_child(n28, "par", _filler(i + 3))
+    n35 = b.add_child(n19, "subsection", "Effectiveness measures")
+    for i in range(6):                                              # n36-41
+        b.add_child(n35, "par", _filler(i + 1))
+    n42 = b.add_child(n19, "subsection", "Efficiency considerations")
+    for i in range(6):                                              # n43-48
+        b.add_child(n42, "par", _filler(i + 2))
+
+    # --- n49: third section, subtree n49..n78 ------------------------
+    n49 = b.add_child(n0, "section", "System architecture")
+    b.add_child(n49, "title", "Architecture")                       # n50
+    n51 = b.add_child(n49, "subsection", "Storage layer")
+    for i in range(8):                                              # n52-59
+        b.add_child(n51, "par", _filler(i))
+    n60 = b.add_child(n49, "subsection", "Index layer")
+    for i in range(8):                                              # n61-68
+        b.add_child(n60, "par", _filler(i + 4))
+    n69 = b.add_child(n49, "subsection", "Execution layer")
+    for i in range(9):                                              # n70-78
+        b.add_child(n69, "par", _filler(i + 5))
+
+    # --- n79: final section, subtree n79..n81 ------------------------
+    n79 = b.add_child(n0, "section", "Concluding remarks")
+    n80 = b.add_child(n79, "subsection", "Future directions")
+    n81 = b.add_child(n80, "par",
+                      "Cost based optimization of physical operators "
+                      "remains an open problem.")
+
+    document = b.build()
+
+    # The construction above is order-sensitive; fail fast if an edit
+    # ever shifts the preorder ranks the paper's example depends on.
+    expected = {"n1": (n1, 1), "n14": (n14, 14), "n16": (n16, 16),
+                "n17": (n17, 17), "n18": (n18, 18), "n79": (n79, 79),
+                "n80": (n80, 80), "n81": (n81, 81)}
+    for label, (builder_id, rank) in expected.items():
+        if builder_id != rank:
+            raise AssertionError(
+                f"figure1 construction drifted: {label} got builder id "
+                f"{builder_id}, expected preorder rank {rank}")
+    if document.size != 82:
+        raise AssertionError(
+            f"figure1 document must have 82 nodes, built {document.size}")
+    return document

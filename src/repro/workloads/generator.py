@@ -1,0 +1,251 @@
+"""Synthetic document-centric XML generation.
+
+The paper's examples are articles with sections/subsections/paragraphs
+and long textual content, no meaningful schema — the INEX-style shape.
+:class:`DocumentSpec` parameterises that shape (node budget, fanout,
+depth, vocabulary) and :func:`generate_document` produces deterministic
+pseudo-random documents from a seed.
+
+Two knobs matter to the experiments:
+
+* **selectivity** — how many nodes contain a planted query term; this
+  controls ``|Fi|``, the operand sizes every strategy is exponential or
+  polynomial in;
+* **clustering** — whether planted term occurrences huddle inside one
+  subtree (high reduction factor, small joins) or scatter across the
+  document (low RF, root-spanning joins).
+
+Both are exposed by :func:`plant_keyword`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..errors import WorkloadError
+from ..xmltree.builder import DocumentBuilder
+from ..xmltree.document import Document
+
+__all__ = ["DocumentSpec", "generate_document", "plant_keyword",
+           "zipf_vocabulary"]
+
+_SECTION_TAGS = ("section", "subsection", "subsubsection", "division")
+_LEAF_TAGS = ("par", "note", "item", "caption")
+
+# Base word list for synthetic prose; combined with numeric suffixes to
+# reach arbitrary vocabulary sizes.
+_BASE_WORDS = (
+    "tree document fragment keyword search retrieval answer element "
+    "content structure component section paragraph schema index node "
+    "join algebra filter predicate evaluation cost model selection "
+    "operator semantics measure system storage engine result ranking "
+    "granularity overlap collection corpus term posting traversal"
+).split()
+
+
+def zipf_vocabulary(size: int, prefix: str = "w") -> list[str]:
+    """A vocabulary of ``size`` distinct words.
+
+    The first words are natural English (for readable documents), the
+    remainder synthetic ``w<k>`` tokens.  Word *ranks* matter to the
+    Zipf sampler in :func:`generate_document`: rank 0 is the most
+    frequent.
+    """
+    if size < 1:
+        raise WorkloadError("vocabulary size must be >= 1")
+    vocab = list(_BASE_WORDS[:size])
+    for k in range(len(vocab), size):
+        vocab.append(f"{prefix}{k}")
+    return vocab
+
+
+@dataclass(frozen=True)
+class DocumentSpec:
+    """Shape parameters for synthetic document-centric XML.
+
+    Attributes
+    ----------
+    nodes:
+        Approximate total node count (the generator stops adding
+        children once the budget is exhausted; the result has exactly
+        this many nodes).
+    max_depth:
+        Maximum tree depth (root = 0).
+    max_fanout:
+        Maximum children per internal node.
+    vocabulary_size:
+        Number of distinct content words.
+    zipf_s:
+        Zipf skew of word frequencies (1.0 ≈ natural text).
+    words_per_leaf:
+        Content words sampled into each leaf's text.
+    seed:
+        RNG seed; equal specs generate equal documents.
+    """
+
+    nodes: int = 500
+    max_depth: int = 6
+    max_fanout: int = 8
+    vocabulary_size: int = 400
+    zipf_s: float = 1.1
+    words_per_leaf: int = 12
+    seed: int = 7
+    name: str = field(default="synthetic")
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise WorkloadError("nodes must be >= 1")
+        if self.max_depth < 1:
+            raise WorkloadError("max_depth must be >= 1")
+        if self.max_fanout < 1:
+            raise WorkloadError("max_fanout must be >= 1")
+        if self.words_per_leaf < 1:
+            raise WorkloadError("words_per_leaf must be >= 1")
+
+
+def _zipf_weights(size: int, s: float) -> list[float]:
+    return [1.0 / ((rank + 1) ** s) for rank in range(size)]
+
+
+def generate_document(spec: DocumentSpec) -> Document:
+    """Generate a deterministic synthetic document matching ``spec``."""
+    rng = random.Random(spec.seed)
+    vocab = zipf_vocabulary(spec.vocabulary_size)
+    weights = _zipf_weights(spec.vocabulary_size, spec.zipf_s)
+
+    def sample_text(words: int) -> str:
+        return " ".join(rng.choices(vocab, weights=weights, k=words))
+
+    builder = DocumentBuilder(name=spec.name)
+    root = builder.add_root("article", sample_text(4))
+    budget = spec.nodes - 1
+    # Frontier of internal nodes that may still receive children, with
+    # their depths; expansion is randomised breadth-ish to create the
+    # bushy-but-deep shape of real articles.  `attachable` remembers
+    # every node shallower than max_depth so the budget can always be
+    # spent exactly even if the frontier runs dry.
+    frontier: list[tuple[int, int]] = [(root, 0)]
+    attachable: list[tuple[int, int]] = [(root, 0)]
+    while budget > 0 and frontier:
+        idx = rng.randrange(len(frontier))
+        parent, depth = frontier[idx]
+        fanout = min(budget, rng.randint(1, spec.max_fanout))
+        for _ in range(fanout):
+            make_leaf = (depth + 1 >= spec.max_depth
+                         or rng.random() < 0.55)
+            if make_leaf:
+                tag = rng.choice(_LEAF_TAGS)
+                child = builder.add_child(parent, tag,
+                                          sample_text(spec.words_per_leaf))
+            else:
+                tag = _SECTION_TAGS[min(depth, len(_SECTION_TAGS) - 1)]
+                child = builder.add_child(parent, tag, sample_text(3))
+                frontier.append((child, depth + 1))
+            if depth + 1 < spec.max_depth:
+                attachable.append((child, depth + 1))
+            budget -= 1
+            if budget == 0:
+                break
+        # A parent is expanded once; drop it from the frontier.
+        frontier.pop(idx)
+    # The frontier can run dry with budget left (every expansion chose
+    # leaves); attach the remainder as leaves under random non-maximal
+    # nodes so the document has exactly spec.nodes nodes.
+    while budget > 0:
+        parent, _depth = attachable[rng.randrange(len(attachable))]
+        builder.add_child(parent, rng.choice(_LEAF_TAGS),
+                          sample_text(spec.words_per_leaf))
+        budget -= 1
+    return builder.build()
+
+
+def plant_keyword(document: Document, keyword: str, occurrences: int,
+                  clustering: float = 0.0, seed: int = 0,
+                  eligible: Optional[Sequence[int]] = None) -> Document:
+    """Return a copy of ``document`` with ``keyword`` planted at nodes.
+
+    Parameters
+    ----------
+    occurrences:
+        How many nodes receive the keyword (the term's selectivity).
+    clustering:
+        0.0 scatters occurrences uniformly over the document; 1.0 plants
+        them *vertically*, along a single root-to-leaf path.  Values in
+        between interpolate (a fraction is path-clustered, the rest
+        scattered).  Vertical runs are what makes keyword sets
+        reducible: a keyword node lying on the tree path between two
+        other keyword nodes is subsumed by their join (Definition 10),
+        so path-clustered terms have high reduction factors while
+        scattered or sibling-packed terms have low ones.
+    eligible:
+        Restrict planting to these node ids (default: all non-root
+        nodes).
+
+    Raises
+    ------
+    WorkloadError
+        If fewer than ``occurrences`` eligible nodes exist.
+    """
+    if occurrences < 1:
+        raise WorkloadError("occurrences must be >= 1")
+    if not 0.0 <= clustering <= 1.0:
+        raise WorkloadError("clustering must be within [0, 1]")
+    candidates = (list(eligible) if eligible is not None
+                  else [n for n in document.node_ids() if n != document.root])
+    if len(candidates) < occurrences:
+        raise WorkloadError(
+            f"cannot plant {occurrences} occurrences into "
+            f"{len(candidates)} eligible nodes")
+    rng = random.Random(seed)
+    clustered_count = round(occurrences * clustering)
+    candidate_set = set(candidates)
+    chosen: set[int] = set()
+    if clustered_count:
+        # Plant the clustered share along one root-to-leaf path: pick
+        # the eligible node with the longest eligible ancestor line and
+        # walk upward.  Interior nodes of such a run are subsumed by
+        # the join of its endpoints, which is what gives the set a high
+        # reduction factor.
+        def eligible_path(node: int) -> list[int]:
+            path = [node] if node in candidate_set else []
+            for ancestor in document.ancestors(node):
+                if ancestor in candidate_set:
+                    path.append(ancestor)
+            return path
+
+        deep_nodes = sorted(candidate_set,
+                            key=lambda n: (-document.depth(n), n))
+        best: list[int] = []
+        for node in deep_nodes[:64]:
+            path = eligible_path(node)
+            if len(path) > len(best):
+                best = path
+            if len(best) >= clustered_count:
+                break
+        chosen.update(best[:clustered_count])
+    remaining = [n for n in candidates if n not in chosen]
+    still_needed = occurrences - len(chosen)
+    chosen.update(rng.sample(remaining, still_needed))
+    return _with_extra_keyword(document, keyword, chosen)
+
+
+def _with_extra_keyword(document: Document, keyword: str,
+                        nodes: set[int]) -> Document:
+    """Rebuild ``document`` with ``keyword`` added to ``nodes``' texts."""
+    builder = DocumentBuilder(name=document.name)
+    id_map: dict[int, int] = {}
+    for nid in document.node_ids():
+        text = document.text(nid)
+        if nid in nodes:
+            text = f"{text} {keyword}".strip()
+        parent = document.parent(nid)
+        if parent is None:
+            new_id = builder.add_root(document.tag(nid), text,
+                                      attrs=document.attributes(nid))
+        else:
+            new_id = builder.add_child(id_map[parent], document.tag(nid),
+                                       text, attrs=document.attributes(nid))
+        id_map[nid] = new_id
+    return builder.build()

@@ -1,0 +1,90 @@
+"""INEX-style synthetic collections.
+
+The INEX initiative (the paper cites its fragment analyses, ref [8])
+evaluates XML retrieval over collections of journal articles.  We have
+no INEX data offline, so this module synthesises the same *shape*: a
+collection of article documents with shared vocabulary, plus planted
+query terms whose per-document selectivity and clustering are
+controlled — the corpus the collection-level experiments run on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..collection.collection import DocumentCollection
+from ..errors import WorkloadError
+from .generator import DocumentSpec, generate_document, plant_keyword
+
+__all__ = ["InexSpec", "generate_collection"]
+
+
+@dataclass(frozen=True)
+class InexSpec:
+    """Parameters of a synthetic article collection.
+
+    Attributes
+    ----------
+    articles:
+        Number of documents.
+    nodes_per_article:
+        Approximate node count of each article.
+    planted_terms:
+        Terms planted into a subset of the articles (the query
+        workload's targets).
+    planted_fraction:
+        Fraction of articles receiving each planted term.
+    occurrences:
+        Occurrences of a planted term within one receiving article.
+    clustering:
+        Vertical clustering of planted occurrences (see
+        :func:`repro.workloads.generator.plant_keyword`).
+    seed:
+        Master RNG seed; the collection is fully deterministic.
+    """
+
+    articles: int = 20
+    nodes_per_article: int = 300
+    planted_terms: tuple[str, ...] = ("needle", "thread")
+    planted_fraction: float = 0.4
+    occurrences: int = 5
+    clustering: float = 0.5
+    seed: int = 97
+
+    def __post_init__(self) -> None:
+        if self.articles < 1:
+            raise WorkloadError("articles must be >= 1")
+        if not 0.0 < self.planted_fraction <= 1.0:
+            raise WorkloadError("planted_fraction must be in (0, 1]")
+        if self.occurrences < 1:
+            raise WorkloadError("occurrences must be >= 1")
+
+
+def generate_collection(spec: InexSpec) -> DocumentCollection:
+    """Generate the collection described by ``spec``.
+
+    Each planted term lands in ``ceil(articles · planted_fraction)``
+    articles chosen deterministically from the seed; articles receiving
+    several terms exist by design so conjunctive collection queries
+    have non-trivial answers.
+    """
+    rng = random.Random(spec.seed)
+    collection = DocumentCollection(name=f"inex-{spec.seed}")
+    receivers: dict[str, set[int]] = {}
+    count = max(1, round(spec.articles * spec.planted_fraction))
+    for term in spec.planted_terms:
+        receivers[term] = set(rng.sample(range(spec.articles), count))
+    for i in range(spec.articles):
+        doc = generate_document(DocumentSpec(
+            nodes=spec.nodes_per_article,
+            seed=spec.seed * 1000 + i,
+            name=f"article-{i:03d}"))
+        for term in spec.planted_terms:
+            if i in receivers[term]:
+                doc = plant_keyword(doc, term,
+                                    occurrences=spec.occurrences,
+                                    clustering=spec.clustering,
+                                    seed=spec.seed * 100 + i)
+        collection.add(doc)
+    return collection

@@ -1,0 +1,154 @@
+"""Small trees reconstructed from the paper's illustrative figures.
+
+Each builder returns a :class:`LabeledTree`: the document plus a mapping
+from the paper's node labels (``"n3"`` …) to our preorder node ids, and
+fragment helpers, so tests and benches can phrase assertions in the
+paper's own vocabulary.
+
+* :func:`build_figure3_tree` — the 9-node tree of Figure 3, with the
+  documented join ``⟨n4,n5⟩ ⋈ ⟨n7,n9⟩ = ⟨n3,n4,n5,n6,n7,n9⟩`` and the
+  fragment sets ``F1 = {f11, f12}``, ``F2 = {f21, f22}``.
+* :func:`build_figure4_tree` — a tree realising Figure 4's reduction
+  ``⊖({⟨n1⟩,⟨n3⟩,⟨n5⟩,⟨n6⟩,⟨n7⟩}) = {⟨n1⟩,⟨n5⟩,⟨n7⟩}``: n3 lies on the
+  n1–n5 path and n6 on the n1–n7 path, while no join of two *other*
+  fragments covers n1, n5 or n7.
+* :func:`build_figure7_tree` — a tree witnessing that the equal-depth
+  filter is not anti-monotonic: the fragment ``f`` satisfies it via an
+  equal-depth keyword pair, but a sub-fragment ``f'`` that only retains
+  a different-depth occurrence of the second keyword does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..core.fragment import Fragment
+from ..xmltree.builder import DocumentBuilder
+from ..xmltree.document import Document
+
+__all__ = [
+    "LabeledTree",
+    "build_figure3_tree",
+    "build_figure4_tree",
+    "build_figure7_tree",
+]
+
+
+@dataclass(frozen=True)
+class LabeledTree:
+    """A document plus the paper's node-label → node-id mapping."""
+
+    document: Document
+    ids: dict[str, int]
+
+    def node(self, label: str) -> int:
+        """The node id for a paper label such as ``"n4"``."""
+        return self.ids[label]
+
+    def fragment(self, *labels: str) -> Fragment:
+        """The fragment ⟨labels…⟩ phrased with paper labels."""
+        return Fragment(self.document, (self.ids[lb] for lb in labels))
+
+    def fragment_set(self, groups: Iterable[Iterable[str]]
+                     ) -> frozenset[Fragment]:
+        """A fragment set from groups of paper labels."""
+        return frozenset(self.fragment(*group) for group in groups)
+
+    def labels_of(self, fragment: Fragment) -> frozenset[str]:
+        """Paper labels of a fragment's nodes (for readable assertions)."""
+        reverse = {nid: label for label, nid in self.ids.items()}
+        return frozenset(reverse[n] for n in fragment.nodes)
+
+
+def build_figure3_tree() -> LabeledTree:
+    """The Figure 3 document tree (paper labels n1–n9).
+
+    Topology (children left to right)::
+
+        n1 ── n2
+           └─ n3 ── n4 ── n5
+                 └─ n6 ── n7 ── n9
+                       └─ n8
+
+    which realises the documented fragment join
+    ``⟨n4,n5⟩ ⋈ ⟨n7,n9⟩ = ⟨n3,n4,n5,n6,n7,n9⟩``.
+    """
+    b = DocumentBuilder(name="figure3")
+    n1 = b.add_root("a", "root component")
+    n2 = b.add_child(n1, "b", "left leaf")
+    n3 = b.add_child(n1, "c", "inner component")
+    n4 = b.add_child(n3, "d", "first child branch")
+    n5 = b.add_child(n4, "e", "leaf under d")
+    n6 = b.add_child(n3, "f", "second child branch")
+    n7 = b.add_child(n6, "g", "inner leaf parent")
+    n9 = b.add_child(n7, "i", "deep leaf")
+    n8 = b.add_child(n6, "h", "right leaf")
+    # Insertion above follows preorder except n8/n9 (n9 precedes n8 in
+    # preorder because it hangs under n7); build() renumbers, so map
+    # labels through the builder ids' preorder ranks explicitly.
+    ids = {"n1": n1, "n2": n2, "n3": n3, "n4": n4, "n5": n5,
+           "n6": n6, "n7": n7, "n8": n8, "n9": n9}
+    document = b.build()
+    return LabeledTree(document, _remap(ids, document, b))
+
+
+def build_figure4_tree() -> LabeledTree:
+    """A tree realising Figure 4's fragment set reduction.
+
+    Topology::
+
+        n0 ── n6 ── n3 ── n1
+                 │     └─ n5
+                 └─ n7
+
+    With ``F = {⟨n1⟩,⟨n3⟩,⟨n5⟩,⟨n6⟩,⟨n7⟩}``:
+    ``n3 ⊆ ⟨n1⟩⋈⟨n5⟩ = ⟨n3,n1,n5⟩`` and
+    ``n6 ⊆ ⟨n1⟩⋈⟨n7⟩ = ⟨n6,n3,n1,n7⟩``, while no join of two fragments
+    other than f covers n1, n5 or n7 — hence ``⊖(F) = {n1, n5, n7}``
+    and Theorem 1 predicts the fixed point in 3 iterations.
+    """
+    b = DocumentBuilder(name="figure4")
+    n0 = b.add_root("root", "document root")
+    n6 = b.add_child(n0, "sec", "outer component")
+    n3 = b.add_child(n6, "sub", "middle component")
+    n1 = b.add_child(n3, "par", "alpha content")
+    n5 = b.add_child(n3, "par", "beta content")
+    n7 = b.add_child(n6, "par", "gamma content")
+    ids = {"n0": n0, "n6": n6, "n3": n3, "n1": n1, "n5": n5, "n7": n7}
+    document = b.build()
+    return LabeledTree(document, _remap(ids, document, b))
+
+
+def build_figure7_tree() -> LabeledTree:
+    """A tree witnessing Figure 7 (equal-depth filter, not a.m.).
+
+    Topology (keywords in parentheses)::
+
+        n0 ── n1 ── n2 (k1)
+           │     └─ n3 (k2)
+           └─ n4 (k2)
+
+    The fragment ``f = ⟨n0,n1,n2,n3,n4⟩`` satisfies equal-depth(k1,k2)
+    through the depth-2 pair (n2, n3); its sub-fragment
+    ``f' = ⟨n0,n1,n2,n4⟩`` retains only the depth-1 occurrence n4 of k2
+    and fails the filter.
+    """
+    b = DocumentBuilder(name="figure7")
+    n0 = b.add_root("root", "top")
+    n1 = b.add_child(n0, "sec", "branch")
+    n2 = b.add_child(n1, "par", "k1 content here")
+    n3 = b.add_child(n1, "par", "k2 content here")
+    n4 = b.add_child(n0, "par", "k2 content again")
+    ids = {"n0": n0, "n1": n1, "n2": n2, "n3": n3, "n4": n4}
+    document = b.build()
+    return LabeledTree(document, _remap(ids, document, b))
+
+
+def _remap(ids: dict[str, int], document: Document,
+           builder: DocumentBuilder) -> dict[str, int]:
+    """Translate builder ids to final preorder ids via the build mapping."""
+    mapping = builder.last_id_mapping
+    if mapping is None:  # pragma: no cover - build() always sets it
+        raise RuntimeError("build() must run before _remap")
+    return {label: mapping[old] for label, old in ids.items()}

@@ -1,0 +1,120 @@
+"""Query workload generation.
+
+Builds query mixes against a document, controlling the two parameters
+query cost actually depends on:
+
+* the number of terms (m-way joins), and
+* per-term selectivity (``|Fi|`` — how many nodes match each term).
+
+Terms are drawn from the document's own vocabulary via its inverted
+index, so generated workloads never degenerate into empty-posting
+no-ops unless explicitly requested.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.filters import Filter, SizeAtMost, TrueFilter
+from ..core.query import Query
+from ..errors import WorkloadError
+from ..index.inverted import InvertedIndex
+
+__all__ = ["QuerySpec", "generate_queries", "pick_terms_by_frequency"]
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """Parameters for a batch of random keyword queries.
+
+    Attributes
+    ----------
+    count:
+        Number of queries to generate.
+    terms_per_query:
+        Keywords per query (2 reproduces the paper's running example).
+    min_frequency / max_frequency:
+        Admissible document frequency range for each chosen term —
+        i.e. the selectivity band.
+    size_limit:
+        When set, every query carries a ``size <= limit`` filter
+        (anti-monotonic); when ``None`` queries are unfiltered.
+    seed:
+        RNG seed for deterministic workloads.
+    """
+
+    count: int = 10
+    terms_per_query: int = 2
+    min_frequency: int = 2
+    max_frequency: int = 12
+    size_limit: Optional[int] = 6
+    seed: int = 13
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise WorkloadError("count must be >= 1")
+        if self.terms_per_query < 1:
+            raise WorkloadError("terms_per_query must be >= 1")
+        if self.min_frequency < 1 or self.max_frequency < self.min_frequency:
+            raise WorkloadError("need 1 <= min_frequency <= max_frequency")
+
+
+def pick_terms_by_frequency(index: InvertedIndex, min_frequency: int,
+                            max_frequency: int) -> list[str]:
+    """Vocabulary terms whose document frequency lies in the band."""
+    return sorted(
+        term for term in index.vocabulary()
+        if min_frequency <= index.document_frequency(term) <= max_frequency)
+
+
+def generate_queries(index: InvertedIndex, spec: QuerySpec) -> list[Query]:
+    """Generate ``spec.count`` queries over the indexed document.
+
+    Raises
+    ------
+    WorkloadError
+        If the document's vocabulary cannot satisfy the frequency band
+        with enough distinct terms.
+    """
+    eligible = pick_terms_by_frequency(index, spec.min_frequency,
+                                       spec.max_frequency)
+    if len(eligible) < spec.terms_per_query:
+        raise WorkloadError(
+            f"only {len(eligible)} terms have document frequency in "
+            f"[{spec.min_frequency}, {spec.max_frequency}]; need at "
+            f"least {spec.terms_per_query}")
+    rng = random.Random(spec.seed)
+    predicate: Filter = (SizeAtMost(spec.size_limit)
+                         if spec.size_limit is not None else TrueFilter())
+    queries = []
+    for _ in range(spec.count):
+        terms = rng.sample(eligible, spec.terms_per_query)
+        queries.append(Query(tuple(terms), predicate))
+    return queries
+
+
+def selectivity_ladder(index: InvertedIndex, rungs: Sequence[int],
+                       terms_per_query: int = 2,
+                       size_limit: Optional[int] = 6,
+                       seed: int = 29) -> list[tuple[int, Query]]:
+    """One query per selectivity rung: terms with frequency ≈ the rung.
+
+    Used by the strategy-sweep bench (S1) to scale ``|Fi|`` while
+    holding everything else fixed.  Returns ``(rung, query)`` pairs,
+    skipping rungs the vocabulary cannot serve.
+    """
+    rng = random.Random(seed)
+    predicate: Filter = (SizeAtMost(size_limit)
+                         if size_limit is not None else TrueFilter())
+    ladder: list[tuple[int, Query]] = []
+    for rung in rungs:
+        lo = max(1, rung - max(1, rung // 4))
+        hi = rung + max(1, rung // 4)
+        eligible = pick_terms_by_frequency(index, lo, hi)
+        if len(eligible) < terms_per_query:
+            continue
+        terms = rng.sample(eligible, terms_per_query)
+        ladder.append((rung, Query(tuple(terms), predicate)))
+    return ladder

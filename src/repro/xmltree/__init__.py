@@ -1,0 +1,38 @@
+"""Document tree substrate: rooted ordered trees with keyword payloads.
+
+This package implements the paper's Definition 1 (documents) plus the
+structural machinery the algebra needs: preorder labelling, O(1)
+ancestor tests, spanning-subtree computation, XML parsing and fragment
+serialisation.
+"""
+
+from .builder import DocumentBuilder
+from .document import Document
+from .labeling import TreeLabels, compute_labels
+from .navigation import (fragment_leaves, fragment_root, is_connected,
+                         path_to_ancestor, spanning_nodes)
+from .node import NodeView
+from .parser import parse, parse_file, parse_file_streaming
+from .serializer import document_to_xml, fragment_outline, fragment_to_xml
+from .treestats import DocumentStats, document_stats
+
+__all__ = [
+    "DocumentStats",
+    "document_stats",
+    "Document",
+    "DocumentBuilder",
+    "NodeView",
+    "TreeLabels",
+    "compute_labels",
+    "parse",
+    "parse_file",
+    "parse_file_streaming",
+    "document_to_xml",
+    "fragment_to_xml",
+    "fragment_outline",
+    "spanning_nodes",
+    "is_connected",
+    "fragment_root",
+    "fragment_leaves",
+    "path_to_ancestor",
+]

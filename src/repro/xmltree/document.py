@@ -1,0 +1,227 @@
+"""The document tree model (paper Definition 1).
+
+An XML document is a rooted *ordered* tree.  :class:`Document` stores the
+tree in flat arrays indexed by node id and exposes the structural
+primitives the algebra is built on:
+
+* parent / children / depth / tag / text lookups,
+* ``keywords(n)`` — the representative keywords of a node,
+* O(1) ancestor tests via preorder-interval encoding,
+* O(1) lowest-common-ancestor queries (Euler tour + sparse table),
+* preorder/descendant iteration.
+
+Node ids are normalised to **preorder ranks**: node ``0`` is the root and
+``pre(n) == n`` for every node.  This makes document order comparisons a
+plain integer comparison and lets fragments be plain ``frozenset[int]``.
+
+Documents are immutable once built; use
+:class:`repro.xmltree.builder.DocumentBuilder` or
+:func:`repro.xmltree.parser.parse` to create one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+from ..errors import DocumentError
+from .labeling import TreeLabels, compute_labels
+from .node import NodeView
+
+__all__ = ["Document"]
+
+
+class Document:
+    """An immutable rooted ordered tree with per-node keywords.
+
+    Do not call the constructor directly in application code; it assumes
+    the arrays are consistent and already in preorder.  Use
+    :class:`~repro.xmltree.builder.DocumentBuilder` (programmatic
+    construction) or :func:`~repro.xmltree.parser.parse` (from XML text).
+    """
+
+    __slots__ = ("_tags", "_texts", "_parents", "_children", "_keywords",
+                 "_attrs", "_labels", "_lca_index", "name")
+
+    def __init__(self, tags: Sequence[str], texts: Sequence[str],
+                 parents: Sequence[Optional[int]],
+                 children: Sequence[Sequence[int]],
+                 keywords: Sequence[frozenset[str]],
+                 attrs: Optional[Sequence[Mapping[str, str]]] = None,
+                 name: str = "document") -> None:
+        n = len(tags)
+        if not (len(texts) == len(parents) == len(children)
+                == len(keywords) == n):
+            raise DocumentError("document arrays have inconsistent lengths")
+        self._tags = list(tags)
+        self._texts = list(texts)
+        self._parents = list(parents)
+        self._children = [tuple(c) for c in children]
+        self._keywords = [frozenset(k) for k in keywords]
+        self._attrs = ([dict(a) for a in attrs] if attrs is not None
+                       else [{} for _ in range(n)])
+        self._labels = compute_labels(self._parents, self._children)
+        if self._labels.pre != list(range(n)):
+            raise DocumentError(
+                "node ids must equal preorder ranks; build documents via "
+                "DocumentBuilder or parser, which normalise ids")
+        self._lca_index = None  # built lazily on first lca() call
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Total number of nodes in the document."""
+        return len(self._tags)
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def root(self) -> int:
+        """The root node id (always 0 under preorder normalisation)."""
+        return 0
+
+    def node_ids(self) -> range:
+        """All node ids, in document (preorder) order."""
+        return range(self.size)
+
+    def nodes(self) -> Iterator[NodeView]:
+        """Iterate :class:`NodeView` objects in document order."""
+        for nid in self.node_ids():
+            yield NodeView(self, nid)
+
+    def node(self, node_id: int) -> NodeView:
+        """Return a :class:`NodeView` for ``node_id``."""
+        return NodeView(self, node_id)
+
+    def tag(self, node_id: int) -> str:
+        """The tag name of a node."""
+        return self._tags[node_id]
+
+    def text(self, node_id: int) -> str:
+        """The text content directly attached to a node."""
+        return self._texts[node_id]
+
+    def attributes(self, node_id: int) -> Mapping[str, str]:
+        """The XML attributes of a node (may be empty)."""
+        return self._attrs[node_id]
+
+    def parent(self, node_id: int) -> Optional[int]:
+        """The parent id, or ``None`` for the root."""
+        return self._parents[node_id]
+
+    def children(self, node_id: int) -> tuple[int, ...]:
+        """Child ids in document order."""
+        return self._children[node_id]
+
+    def depth(self, node_id: int) -> int:
+        """Distance from the root (root = 0)."""
+        return self._labels.depth[node_id]
+
+    def subtree_size(self, node_id: int) -> int:
+        """Number of nodes in the subtree rooted at ``node_id``."""
+        return self._labels.size[node_id]
+
+    def is_leaf(self, node_id: int) -> bool:
+        """Whether the node has no children."""
+        return not self._children[node_id]
+
+    def keywords(self, node_id: int) -> frozenset[str]:
+        """The representative keywords of the node (paper's keywords(n))."""
+        return self._keywords[node_id]
+
+    @property
+    def labels(self) -> TreeLabels:
+        """The structural label bundle (depth/pre/size/post)."""
+        return self._labels
+
+    @property
+    def max_depth(self) -> int:
+        """The depth of the deepest node."""
+        return max(self._labels.depth)
+
+    # ------------------------------------------------------------------
+    # Structural predicates and queries
+    # ------------------------------------------------------------------
+
+    def is_ancestor_or_self(self, u: int, v: int) -> bool:
+        """O(1) test: is ``u`` equal to or an ancestor of ``v``?"""
+        return self._labels.is_ancestor_or_self(u, v)
+
+    def is_proper_ancestor(self, u: int, v: int) -> bool:
+        """O(1) test: is ``u`` a strict ancestor of ``v``?"""
+        return self._labels.is_proper_ancestor(u, v)
+
+    def ancestors(self, node_id: int) -> Iterator[int]:
+        """Yield ancestor ids from the parent up to the root."""
+        p = self._parents[node_id]
+        while p is not None:
+            yield p
+            p = self._parents[p]
+
+    def descendants(self, node_id: int) -> range:
+        """All descendant ids of ``node_id`` (excluding itself).
+
+        Because ids are preorder ranks, the descendants of a node form the
+        contiguous id range ``(n, n + size(n))``.
+        """
+        return range(node_id + 1, node_id + self._labels.size[node_id])
+
+    def subtree(self, node_id: int) -> range:
+        """The id range of the subtree rooted at ``node_id`` (inclusive)."""
+        return range(node_id, node_id + self._labels.size[node_id])
+
+    def lca(self, u: int, v: int) -> int:
+        """The lowest common ancestor of two nodes, in O(1).
+
+        The underlying Euler-tour/sparse-table index is built lazily on
+        the first call and cached for the document's lifetime.
+        """
+        if self._lca_index is None:
+            from ..index.lca import LcaIndex
+            self._lca_index = LcaIndex(self)
+        return self._lca_index.lca(u, v)
+
+    def lca_of(self, node_ids: Iterable[int]) -> int:
+        """The lowest common ancestor of a non-empty set of nodes.
+
+        Because ids are preorder ranks, the LCA of a set equals the LCA
+        of its minimum and maximum elements.
+        """
+        ids = list(node_ids)
+        if not ids:
+            raise ValueError("lca_of requires at least one node id")
+        lo = min(ids)
+        hi = max(ids)
+        if lo == hi:
+            return lo
+        return self.lca(lo, hi)
+
+    # ------------------------------------------------------------------
+    # Keyword access
+    # ------------------------------------------------------------------
+
+    def nodes_with_keyword(self, keyword: str) -> list[int]:
+        """Node ids whose keyword set contains ``keyword`` (linear scan).
+
+        For repeated queries build a
+        :class:`repro.index.inverted.InvertedIndex` instead.
+        """
+        return [nid for nid in self.node_ids()
+                if keyword in self._keywords[nid]]
+
+    def vocabulary(self) -> frozenset[str]:
+        """The union of all node keyword sets."""
+        vocab: set[str] = set()
+        for kws in self._keywords:
+            vocab |= kws
+        return frozenset(vocab)
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (f"Document(name={self.name!r}, nodes={self.size}, "
+                f"max_depth={self.max_depth})")

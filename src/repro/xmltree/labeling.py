@@ -1,0 +1,133 @@
+"""Structural labelling of document trees.
+
+The algebra relies on a handful of classic tree labels, all computed in a
+single pass when a :class:`~repro.xmltree.document.Document` is built:
+
+``depth``
+    Distance from the root (root = 0).
+``pre``
+    Depth-first preorder rank.  Documents normalise node ids so that
+    ``pre(n) == n``; the label is still computed explicitly so that the
+    invariant can be checked and so parsers may supply nodes in any order.
+``size``
+    Number of nodes in the subtree rooted at the node (including itself).
+``post``
+    Depth-first postorder rank, used by the relational backend.
+
+With preorder + subtree size, ancestor tests become a constant-time
+interval containment check::
+
+    u is an ancestor-or-self of v  <=>  pre(u) <= pre(v) < pre(u) + size(u)
+
+which is the standard *interval encoding* used throughout the XML
+indexing literature.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..errors import DocumentError
+
+__all__ = ["TreeLabels", "compute_labels"]
+
+
+class TreeLabels:
+    """Immutable bundle of structural labels for one tree.
+
+    Attributes
+    ----------
+    depth, pre, size, post:
+        Lists indexed by node id.
+    preorder:
+        Node ids sorted by preorder rank (``preorder[pre[n]] == n``).
+    """
+
+    __slots__ = ("depth", "pre", "size", "post", "preorder")
+
+    def __init__(self, depth: list[int], pre: list[int], size: list[int],
+                 post: list[int], preorder: list[int]) -> None:
+        self.depth = depth
+        self.pre = pre
+        self.size = size
+        self.post = post
+        self.preorder = preorder
+
+    def is_ancestor_or_self(self, u: int, v: int) -> bool:
+        """Return ``True`` iff ``u`` is ``v`` or an ancestor of ``v``."""
+        pu = self.pre[u]
+        return pu <= self.pre[v] < pu + self.size[u]
+
+    def is_proper_ancestor(self, u: int, v: int) -> bool:
+        """Return ``True`` iff ``u`` is a strict ancestor of ``v``."""
+        return u != v and self.is_ancestor_or_self(u, v)
+
+
+def compute_labels(parents: Sequence[Optional[int]],
+                   children: Sequence[Sequence[int]]) -> TreeLabels:
+    """Compute :class:`TreeLabels` for a tree given parent/children arrays.
+
+    Parameters
+    ----------
+    parents:
+        ``parents[n]`` is the parent id of node ``n`` or ``None`` for the
+        root.  Exactly one root must exist.
+    children:
+        ``children[n]`` lists the child ids of ``n`` in document order.
+
+    Raises
+    ------
+    DocumentError
+        If the arrays do not describe a single rooted tree (no root, more
+        than one root, a cycle, or unreachable nodes).
+    """
+    n = len(parents)
+    if n == 0:
+        raise DocumentError("a document must contain at least one node")
+    roots = [i for i, p in enumerate(parents) if p is None]
+    if len(roots) != 1:
+        raise DocumentError(f"expected exactly one root node, found "
+                            f"{len(roots)}")
+    root = roots[0]
+
+    depth = [0] * n
+    pre = [-1] * n
+    size = [1] * n
+    post = [-1] * n
+    preorder: list[int] = []
+
+    # Iterative DFS: preorder on entry, postorder + subtree size on exit.
+    pre_counter = 0
+    post_counter = 0
+    # Stack entries are (node, child-iterator-index).
+    stack: list[tuple[int, int]] = [(root, 0)]
+    pre[root] = pre_counter
+    pre_counter += 1
+    preorder.append(root)
+    visited = 1
+    while stack:
+        node, child_idx = stack[-1]
+        kids = children[node]
+        if child_idx < len(kids):
+            stack[-1] = (node, child_idx + 1)
+            child = kids[child_idx]
+            if pre[child] != -1:
+                raise DocumentError(f"node {child} reached twice; the edge "
+                                    "arrays contain a cycle or shared child")
+            depth[child] = depth[node] + 1
+            pre[child] = pre_counter
+            pre_counter += 1
+            preorder.append(child)
+            visited += 1
+            stack.append((child, 0))
+        else:
+            stack.pop()
+            post[node] = post_counter
+            post_counter += 1
+            if stack:
+                size[stack[-1][0]] += size[node]
+
+    if visited != n:
+        raise DocumentError(f"{n - visited} node(s) unreachable from the "
+                            "root; the document is not a connected tree")
+    return TreeLabels(depth, pre, size, post, preorder)

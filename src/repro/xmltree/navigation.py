@@ -1,0 +1,112 @@
+"""Tree navigation helpers shared by the algebra and the baselines.
+
+The central routine is :func:`spanning_nodes`, which computes the node
+set of the *minimal connected subtree* containing a given node set — the
+tree-Steiner closure.  Fragment join (paper Definition 4) is exactly this
+closure applied to the union of the operand fragments.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .document import Document
+
+__all__ = [
+    "path_to_ancestor",
+    "spanning_nodes",
+    "is_connected",
+    "fragment_root",
+    "fragment_leaves",
+]
+
+
+def path_to_ancestor(document: "Document", node: int, ancestor: int
+                     ) -> list[int]:
+    """Node ids on the path from ``node`` up to ``ancestor``, inclusive.
+
+    Raises
+    ------
+    ValueError
+        If ``ancestor`` is not an ancestor-or-self of ``node``.
+    """
+    if not document.is_ancestor_or_self(ancestor, node):
+        raise ValueError(f"node {ancestor} is not an ancestor of {node}")
+    path = [node]
+    current = node
+    while current != ancestor:
+        current = document.parent(current)
+        path.append(current)
+    return path
+
+
+def spanning_nodes(document: "Document", nodes: Iterable[int]
+                   ) -> frozenset[int]:
+    """The node set of the minimal connected subtree containing ``nodes``.
+
+    Algorithm: take the LCA ``r`` of the whole set (O(1) thanks to
+    preorder ids: it is the LCA of the min and max id), then climb each
+    node towards ``r``, stopping as soon as an already-covered node is
+    reached.  Every covered node is connected to ``r`` by construction,
+    so early stopping is sound.  Total cost is O(|result|) parent steps.
+    """
+    ids = set(nodes)
+    if not ids:
+        raise ValueError("spanning_nodes requires at least one node")
+    root = document.lca_of(ids)
+    covered = set(ids)
+    covered.add(root)
+    for node in ids:
+        if node == root:
+            continue
+        # Every node is a descendant of the LCA, so this climb always
+        # terminates at a covered node (at the latest, at the root).
+        current = document.parent(node)
+        while current not in covered:
+            covered.add(current)
+            current = document.parent(current)
+    return frozenset(covered)
+
+
+def is_connected(document: "Document", nodes: Iterable[int]) -> bool:
+    """Whether ``nodes`` induces a connected subgraph (i.e. a subtree).
+
+    A non-empty node set of a tree is connected iff every node except the
+    unique shallowest one has its parent inside the set.
+    """
+    ids = set(nodes)
+    if not ids:
+        return False
+    root = min(ids, key=lambda n: document.depth(n))
+    for node in ids:
+        if node == root:
+            continue
+        parent = document.parent(node)
+        if parent is None or parent not in ids:
+            return False
+    return True
+
+
+def fragment_root(document: "Document", nodes: Iterable[int]) -> int:
+    """The root of a connected node set (its unique shallowest node).
+
+    For preorder-normalised ids the root of a connected set is simply its
+    minimum element: the root is visited before every other node of its
+    subtree.
+    """
+    return min(nodes)
+
+
+def fragment_leaves(document: "Document", nodes: frozenset[int]
+                    ) -> frozenset[int]:
+    """Nodes of the set having no child *within the set*.
+
+    These are the leaves of the induced subtree — the nodes Definition 8
+    requires to carry the query keywords.
+    """
+    leaves = set()
+    for node in nodes:
+        if not any(child in nodes for child in document.children(node)):
+            leaves.add(node)
+    return frozenset(leaves)

@@ -1,0 +1,112 @@
+"""Node view objects for document trees.
+
+A :class:`repro.xmltree.document.Document` stores its tree in flat arrays
+for speed; :class:`NodeView` is a lightweight, read-only facade over one
+index of those arrays.  Algorithms in the algebra work directly with
+integer node ids — node views exist for user-facing inspection, examples
+and debugging.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .document import Document
+
+__all__ = ["NodeView"]
+
+
+class NodeView:
+    """Read-only view of a single node of a :class:`Document`.
+
+    Instances compare equal when they refer to the same node of the same
+    document, and are hashable so they can live in sets and dict keys.
+    """
+
+    __slots__ = ("_doc", "_nid")
+
+    def __init__(self, document: "Document", node_id: int) -> None:
+        if not 0 <= node_id < document.size:
+            raise IndexError(f"node id {node_id} out of range for document "
+                             f"of {document.size} nodes")
+        self._doc = document
+        self._nid = node_id
+
+    @property
+    def document(self) -> "Document":
+        """The document this node belongs to."""
+        return self._doc
+
+    @property
+    def id(self) -> int:
+        """The integer node id (also its depth-first preorder rank)."""
+        return self._nid
+
+    @property
+    def tag(self) -> str:
+        """The element tag name (e.g. ``section``, ``par``)."""
+        return self._doc.tag(self._nid)
+
+    @property
+    def text(self) -> str:
+        """The textual content directly attached to this node."""
+        return self._doc.text(self._nid)
+
+    @property
+    def depth(self) -> int:
+        """Distance from the document root (root has depth 0)."""
+        return self._doc.depth(self._nid)
+
+    @property
+    def parent(self) -> Optional["NodeView"]:
+        """The parent node view, or ``None`` for the root."""
+        pid = self._doc.parent(self._nid)
+        if pid is None:
+            return None
+        return NodeView(self._doc, pid)
+
+    @property
+    def children(self) -> tuple["NodeView", ...]:
+        """Child node views in document order."""
+        return tuple(NodeView(self._doc, c)
+                     for c in self._doc.children(self._nid))
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this node has no children."""
+        return not self._doc.children(self._nid)
+
+    @property
+    def keywords(self) -> frozenset[str]:
+        """The representative keywords of this node (paper's keywords(n))."""
+        return self._doc.keywords(self._nid)
+
+    @property
+    def label(self) -> str:
+        """A short human-readable label such as ``n17:par``."""
+        return f"n{self._nid}:{self.tag}"
+
+    def iter_descendants(self) -> Iterator["NodeView"]:
+        """Yield every descendant of this node in document order."""
+        for nid in self._doc.descendants(self._nid):
+            yield NodeView(self._doc, nid)
+
+    def iter_ancestors(self) -> Iterator["NodeView"]:
+        """Yield ancestors from the parent up to (and including) the root."""
+        for nid in self._doc.ancestors(self._nid):
+            yield NodeView(self._doc, nid)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NodeView):
+            return NotImplemented
+        return self._nid == other._nid and self._doc is other._doc
+
+    def __hash__(self) -> int:
+        return hash((id(self._doc), self._nid))
+
+    def __repr__(self) -> str:
+        snippet = self.text[:24]
+        if len(self.text) > 24:
+            snippet += "..."
+        return f"NodeView(n{self._nid}, tag={self.tag!r}, text={snippet!r})"

@@ -1,0 +1,170 @@
+"""Parse XML text/files into :class:`~repro.xmltree.document.Document`.
+
+Built on the standard library's :mod:`xml.etree.ElementTree`.  Each XML
+element becomes one tree node; an element's *direct* text (its ``text``
+plus the ``tail`` text of its children) is attached to that node, which
+matches the paper's model where ``keywords(n)`` reflects the content of
+the logical component ``n`` itself, not of its whole subtree.
+
+Comments and processing instructions are skipped.  Attributes are kept
+and, per the paper's convention, contribute to the node's keyword set.
+"""
+
+from __future__ import annotations
+
+import os
+import xml.etree.ElementTree as ET
+from typing import Optional, Union
+
+from ..errors import ParseError
+from ..index.tokenizer import Tokenizer
+from .builder import DocumentBuilder
+from .document import Document
+
+__all__ = ["parse", "parse_file", "parse_file_streaming"]
+
+
+def parse(xml_text: str, name: str = "document",
+          tokenizer: Optional[Tokenizer] = None,
+          keyword_tags: bool = True) -> Document:
+    """Parse an XML string into a document tree.
+
+    Parameters
+    ----------
+    xml_text:
+        Well-formed XML.
+    name:
+        Name recorded on the resulting document.
+    tokenizer:
+        Tokenizer used to derive per-node keyword sets.
+    keyword_tags:
+        Whether tag and attribute names join the keyword sets.
+
+    Raises
+    ------
+    ParseError
+        If the input is not well-formed XML.
+    """
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise ParseError(f"malformed XML: {exc}") from exc
+    return _from_element(root, name, tokenizer, keyword_tags)
+
+
+def parse_file(path: Union[str, "os.PathLike[str]"],
+               name: Optional[str] = None,
+               tokenizer: Optional[Tokenizer] = None,
+               keyword_tags: bool = True) -> Document:
+    """Parse an XML file into a document tree.
+
+    ``name`` defaults to the file's base name.
+    """
+    path_str = os.fspath(path)
+    try:
+        tree = ET.parse(path_str)
+    except ET.ParseError as exc:
+        raise ParseError(f"malformed XML in {path_str}: {exc}") from exc
+    except OSError as exc:
+        raise ParseError(f"cannot read {path_str}: {exc}") from exc
+    doc_name = name if name is not None else os.path.basename(path_str)
+    return _from_element(tree.getroot(), doc_name, tokenizer, keyword_tags)
+
+
+def parse_file_streaming(path: Union[str, "os.PathLike[str]"],
+                         name: Optional[str] = None,
+                         tokenizer: Optional[Tokenizer] = None,
+                         keyword_tags: bool = True) -> Document:
+    """Parse a large XML file with bounded memory (``iterparse``).
+
+    Functionally identical to :func:`parse_file` (tested), but elements
+    are consumed as soon as their end tag arrives: each closed
+    element's text/attributes move into the
+    :class:`~repro.xmltree.builder.DocumentBuilder` immediately and the
+    ElementTree node is cleared, so peak memory is O(tree depth +
+    builder output) instead of O(raw XML).
+
+    Use for corpus ingestion; for small documents :func:`parse_file`
+    is simpler and equally fast.
+    """
+    path_str = os.fspath(path)
+    builder = DocumentBuilder(name=name if name is not None
+                              else os.path.basename(path_str),
+                              tokenizer=tokenizer,
+                              keyword_tags=keyword_tags)
+    # Builder ids of the open-element stack, aligned with iterparse's
+    # start events.  Text is only final at the *end* event, so nodes
+    # are created at start with empty text and patched at end via the
+    # builder's internal arrays (same-module family access).
+    stack: list[int] = []
+    try:
+        for event, element in ET.iterparse(path_str,
+                                           events=("start", "end")):
+            if not isinstance(element.tag, str):
+                continue  # comments/PIs with lxml-style parsers
+            if event == "start":
+                tag = _local_name(element.tag)
+                attrs = dict(element.attrib)
+                if stack:
+                    nid = builder.add_child(stack[-1], tag, "",
+                                            attrs=attrs)
+                else:
+                    nid = builder.add_root(tag, "", attrs=attrs)
+                stack.append(nid)
+            else:  # end
+                nid = stack.pop()
+                builder._texts[nid] = _direct_text(element)
+                # Free the element's payload but preserve its tail —
+                # the tail belongs to the parent's direct text and is
+                # collected at the parent's end event.
+                tail = element.tail
+                element.clear()
+                element.tail = tail
+    except ET.ParseError as exc:
+        raise ParseError(f"malformed XML in {path_str}: {exc}") from exc
+    except OSError as exc:
+        raise ParseError(f"cannot read {path_str}: {exc}") from exc
+    if builder.node_count == 0:
+        raise ParseError(f"no elements found in {path_str}")
+    return builder.build()
+
+
+def _direct_text(element: ET.Element) -> str:
+    """The text belonging to ``element`` itself (text + child tails)."""
+    parts = []
+    if element.text and element.text.strip():
+        parts.append(element.text.strip())
+    for child in element:
+        if child.tail and child.tail.strip():
+            parts.append(child.tail.strip())
+    return " ".join(parts)
+
+
+def _from_element(root: ET.Element, name: str,
+                  tokenizer: Optional[Tokenizer],
+                  keyword_tags: bool) -> Document:
+    builder = DocumentBuilder(name=name, tokenizer=tokenizer,
+                              keyword_tags=keyword_tags)
+    root_id = builder.add_root(_local_name(root.tag), _direct_text(root),
+                               attrs=dict(root.attrib))
+    stack: list[tuple[ET.Element, int]] = [(root, root_id)]
+    while stack:
+        element, node_id = stack.pop()
+        # Children must be *created* in document order — creation order
+        # defines sibling order in the builder.  Stack traversal order is
+        # irrelevant because build() renumbers ids to preorder.
+        for child in element:
+            if not isinstance(child.tag, str):
+                continue  # comment or processing instruction
+            child_id = builder.add_child(node_id, _local_name(child.tag),
+                                         _direct_text(child),
+                                         attrs=dict(child.attrib))
+            stack.append((child, child_id))
+    return builder.build()
+
+
+def _local_name(tag: str) -> str:
+    """Strip a ``{namespace}`` prefix from an ElementTree tag."""
+    if tag.startswith("{"):
+        return tag.rpartition("}")[2]
+    return tag

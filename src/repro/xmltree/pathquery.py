@@ -1,0 +1,122 @@
+"""A small path-expression language over documents (XPath-lite).
+
+Keyword search is the paper's interface, but examples, tests and
+downstream tools constantly need "give me the ``section/par`` nodes".
+This module implements the useful fragment of abbreviated XPath:
+
+* ``a/b``    — child steps,
+* ``a//b``   — descendant-or-self steps,
+* ``*``      — any tag,
+* ``//a``    — descendants of the root (leading ``//``),
+* a leading ``/`` anchors at the root (the default).
+
+No predicates, attributes or axes beyond child/descendant — by design;
+anything more belongs to a real XPath engine.  Matching is performed
+against node *tags* and returns node ids in document order.
+
+>>> select(doc, "chapter/section/par")
+[4, 5, 9]
+>>> select(doc, "//par")
+[4, 5, 9, 12]
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import QueryError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .document import Document
+
+__all__ = ["select", "parse_steps"]
+
+
+def parse_steps(expression: str) -> list[tuple[str, str]]:
+    """Parse a path expression into ``(axis, tag)`` steps.
+
+    ``axis`` is ``"child"`` or ``"descendant"``; ``tag`` is a tag name
+    or ``"*"``.
+
+    Raises
+    ------
+    QueryError
+        On empty expressions, empty steps, or stray slashes.
+    """
+    text = expression.strip()
+    if not text:
+        raise QueryError("empty path expression")
+    steps: list[tuple[str, str]] = []
+    axis = "child"
+    if text.startswith("//"):
+        axis = "descendant"
+        text = text[2:]
+    elif text.startswith("/"):
+        text = text[1:]
+    if not text:
+        raise QueryError("path expression has no steps")
+    i = 0
+    token = ""
+    while i <= len(text):
+        ch = text[i] if i < len(text) else "/"
+        if ch == "/":
+            if not token:
+                # '//' in the middle: next step is a descendant step.
+                if axis == "descendant":
+                    raise QueryError(
+                        f"malformed path near {expression!r}")
+                axis = "descendant"
+            else:
+                steps.append((axis, token))
+                token = ""
+                axis = "child"
+            i += 1
+        else:
+            token += ch
+            i += 1
+    # The loop's virtual trailing '/' flushed the last token; a real
+    # trailing slash leaves an empty final step.
+    if text.endswith("/"):
+        raise QueryError(f"trailing slash in path {expression!r}")
+    if not steps:
+        raise QueryError("path expression has no steps")
+    for _, tag in steps:
+        if not tag.replace("_", "").replace("-", "").isalnum() \
+                and tag != "*":
+            raise QueryError(f"invalid tag name {tag!r}")
+    return steps
+
+
+def select(document: "Document", expression: str) -> list[int]:
+    """Node ids matching the path expression, in document order.
+
+    The expression is anchored at the root: the first step matches
+    children of the root (or any descendant with a leading ``//``).
+    Matching the root itself is expressed as its tag name alone being
+    the first child step of a virtual super-root, i.e. ``select(doc,
+    doc.tag(0))`` returns ``[0]``.
+    """
+    steps = parse_steps(expression)
+    # Virtual super-root: the root node is a "child" candidate of it.
+    current: set[int] = {-1}
+    for axis, tag in steps:
+        matched: set[int] = set()
+        for node in current:
+            candidates: list[int]
+            if axis == "child":
+                if node == -1:
+                    candidates = [document.root]
+                else:
+                    candidates = list(document.children(node))
+            else:  # descendant-or-self of the node's children
+                if node == -1:
+                    candidates = list(document.node_ids())
+                else:
+                    candidates = list(document.descendants(node))
+            for candidate in candidates:
+                if tag == "*" or document.tag(candidate) == tag:
+                    matched.add(candidate)
+        current = matched
+        if not current:
+            return []
+    return sorted(current)

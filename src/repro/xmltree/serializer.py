@@ -1,0 +1,84 @@
+"""Render documents and fragments back to XML text.
+
+Fragments are node subsets, so serialising one means emitting the induced
+subtree: for every fragment node we emit its element with its attributes
+and direct text, recursing only into children that are also fragment
+members.  The result is well-formed XML rooted at the fragment root —
+the "self-contained answer unit" the paper motivates.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+from xml.sax.saxutils import escape, quoteattr
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.fragment import Fragment
+    from .document import Document
+
+__all__ = ["document_to_xml", "fragment_to_xml", "fragment_outline"]
+
+_INDENT = "  "
+
+
+def document_to_xml(document: "Document", indent: bool = True) -> str:
+    """Serialise a whole document to an XML string."""
+    return _subtree_to_xml(document, document.root,
+                           frozenset(document.node_ids()), indent)
+
+
+def fragment_to_xml(fragment: "Fragment", indent: bool = True) -> str:
+    """Serialise a fragment to an XML string rooted at the fragment root."""
+    return _subtree_to_xml(fragment.document, fragment.root,
+                           fragment.nodes, indent)
+
+
+def fragment_outline(fragment: "Fragment") -> str:
+    """A compact one-node-per-line outline of a fragment, for CLI output.
+
+    Example::
+
+        n16:section "Query optimization..."
+          n17:par "Optimization of XQuery..."
+          n18:par "...XQuery engines..."
+    """
+    doc = fragment.document
+    lines = []
+    base_depth = doc.depth(fragment.root)
+    for nid in sorted(fragment.nodes):
+        pad = _INDENT * (doc.depth(nid) - base_depth)
+        text = doc.text(nid)
+        snippet = text[:40] + ("..." if len(text) > 40 else "")
+        suffix = f' "{snippet}"' if snippet else ""
+        lines.append(f"{pad}n{nid}:{doc.tag(nid)}{suffix}")
+    return "\n".join(lines)
+
+
+def _subtree_to_xml(document: "Document", root: int,
+                    members: frozenset[int], indent: bool) -> str:
+    pieces: list[str] = []
+    _emit(document, root, members, 0, indent, pieces)
+    return "".join(pieces)
+
+
+def _emit(document: "Document", node: int, members: frozenset[int],
+          level: int, indent: bool, out: list[str]) -> None:
+    pad = _INDENT * level if indent else ""
+    newline = "\n" if indent else ""
+    tag = document.tag(node)
+    attrs = "".join(f" {key}={quoteattr(value)}"
+                    for key, value in document.attributes(node).items())
+    kids = [c for c in document.children(node) if c in members]
+    text = document.text(node)
+    if not kids and not text:
+        out.append(f"{pad}<{tag}{attrs}/>{newline}")
+        return
+    out.append(f"{pad}<{tag}{attrs}>")
+    if text:
+        out.append(escape(text))
+    if kids:
+        out.append(newline)
+        for child in kids:
+            _emit(document, child, members, level + 1, indent, out)
+        out.append(pad)
+    out.append(f"</{tag}>{newline}")

@@ -1,0 +1,91 @@
+"""Document shape statistics.
+
+Workload design and experiment reporting need to characterise the
+trees being queried — depth, fanout, tag mix, text volume.  This
+module computes a compact :class:`DocumentStats` summary used by the
+workload generators' self-checks and the benchmark reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from statistics import mean
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .document import Document
+
+__all__ = ["DocumentStats", "document_stats"]
+
+
+@dataclass(frozen=True)
+class DocumentStats:
+    """Shape summary of one document tree.
+
+    Attributes
+    ----------
+    nodes, leaves, max_depth:
+        Basic counts.
+    mean_depth:
+        Average node depth.
+    max_fanout, mean_fanout:
+        Children-per-internal-node statistics.
+    tag_histogram:
+        Tag → occurrence count, most common first.
+    depth_histogram:
+        Depth → node count.
+    vocabulary_size:
+        Number of distinct keywords over all nodes.
+    mean_keywords_per_node:
+        Average ``|keywords(n)|``.
+    """
+
+    nodes: int
+    leaves: int
+    max_depth: int
+    mean_depth: float
+    max_fanout: int
+    mean_fanout: float
+    tag_histogram: tuple[tuple[str, int], ...]
+    depth_histogram: tuple[tuple[int, int], ...]
+    vocabulary_size: int
+    mean_keywords_per_node: float
+
+    def describe(self) -> str:
+        """A multi-line human-readable summary."""
+        top_tags = ", ".join(f"{tag}×{count}"
+                             for tag, count in self.tag_histogram[:5])
+        return "\n".join([
+            f"nodes={self.nodes} leaves={self.leaves} "
+            f"max_depth={self.max_depth} "
+            f"mean_depth={self.mean_depth:.2f}",
+            f"fanout max={self.max_fanout} mean={self.mean_fanout:.2f}",
+            f"tags: {top_tags}",
+            f"vocabulary={self.vocabulary_size} "
+            f"keywords/node={self.mean_keywords_per_node:.2f}",
+        ])
+
+
+def document_stats(document: "Document") -> DocumentStats:
+    """Compute :class:`DocumentStats` in one pass over the tree."""
+    depths = [document.depth(n) for n in document.node_ids()]
+    fanouts = [len(document.children(n)) for n in document.node_ids()
+               if document.children(n)]
+    tags = Counter(document.tag(n) for n in document.node_ids())
+    depth_counts = Counter(depths)
+    keyword_sizes = [len(document.keywords(n))
+                     for n in document.node_ids()]
+    leaves = sum(1 for n in document.node_ids() if document.is_leaf(n))
+    return DocumentStats(
+        nodes=document.size,
+        leaves=leaves,
+        max_depth=max(depths),
+        mean_depth=mean(depths),
+        max_fanout=max(fanouts, default=0),
+        mean_fanout=mean(fanouts) if fanouts else 0.0,
+        tag_histogram=tuple(tags.most_common()),
+        depth_histogram=tuple(sorted(depth_counts.items())),
+        vocabulary_size=len(document.vocabulary()),
+        mean_keywords_per_node=mean(keyword_sizes),
+    )

@@ -1,0 +1,59 @@
+"""Unit tests for baseline helpers."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.baselines.common import remove_ancestors, term_postings
+from repro.index.inverted import InvertedIndex
+
+from ..treegen import documents
+
+
+class TestTermPostings:
+    def test_matches_index(self, tiny_doc):
+        index = InvertedIndex(tiny_doc)
+        assert term_postings(tiny_doc, ["red", "pear"]) == \
+            [index.postings("red"), index.postings("pear")]
+
+    def test_casefolds_terms(self, tiny_doc):
+        assert term_postings(tiny_doc, ["RED"]) == [[2, 5]]
+
+    def test_missing_term_empty(self, tiny_doc):
+        assert term_postings(tiny_doc, ["zebra"]) == [[]]
+
+    def test_explicit_index_used(self, tiny_doc):
+        index = InvertedIndex(tiny_doc)
+        assert term_postings(tiny_doc, ["red"], index=index) == [[2, 5]]
+
+
+class TestRemoveAncestors:
+    def test_keeps_incomparable(self, tiny_doc):
+        assert remove_ancestors(tiny_doc, [2, 5]) == [2, 5]
+
+    def test_drops_ancestor(self, tiny_doc):
+        assert remove_ancestors(tiny_doc, [1, 2]) == [2]
+        assert remove_ancestors(tiny_doc, [0, 2, 5]) == [2, 5]
+
+    def test_deduplicates(self, tiny_doc):
+        assert remove_ancestors(tiny_doc, [3, 3]) == [3]
+
+    def test_chain_keeps_deepest(self, chain_doc):
+        assert remove_ancestors(chain_doc, [0, 1, 2, 3, 4]) == [4]
+
+    def test_empty(self, tiny_doc):
+        assert remove_ancestors(tiny_doc, []) == []
+
+    @given(documents(max_nodes=12),
+           st.lists(st.integers(min_value=0, max_value=11), max_size=8))
+    def test_result_is_antichain_and_covers(self, doc, raw):
+        nodes = [n % doc.size for n in raw]
+        kept = remove_ancestors(doc, nodes)
+        # No kept node is an ancestor of another.
+        for u in kept:
+            for v in kept:
+                if u != v:
+                    assert not doc.is_proper_ancestor(u, v)
+        # Every input node is an ancestor-or-self of some kept node.
+        for node in set(nodes):
+            assert any(doc.is_ancestor_or_self(node, k) for k in kept)

@@ -1,0 +1,82 @@
+"""Unit and property tests for ELCA keyword search."""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings
+
+from repro.baselines.elca import elca_nodes
+from repro.baselines.slca import slca_nodes
+
+from ..treegen import documents
+
+
+def naive_elca(doc, terms):
+    """Reference ELCA by definition: v is an ELCA iff its subtree
+    contains every term after removing subtrees of descendant nodes
+    whose subtrees contain every term."""
+    def subtree_full(v):
+        nodes = list(doc.subtree(v))
+        return all(any(t in doc.keywords(n) for n in nodes)
+                   for t in terms)
+
+    result = []
+    for v in doc.node_ids():
+        if not subtree_full(v):
+            continue
+        # Occurrences not under any full *proper descendant* of v.
+        blocked = set()
+        for d in doc.descendants(v):
+            if d not in blocked and subtree_full(d):
+                blocked.update(doc.subtree(d))
+        remaining = [n for n in doc.subtree(v) if n not in blocked]
+        if all(any(t in doc.keywords(n) for n in remaining)
+               for t in terms):
+            result.append(v)
+    return result
+
+
+class TestElcaUnit:
+    def test_figure1(self, figure1):
+        # n17 carries both terms; no ancestor has independent witnesses
+        # for *both* terms outside n17's subtree... n16 has optimization
+        # (itself) and xquery at n18 → n16 is also an ELCA.
+        result = elca_nodes(figure1, ["xquery", "optimization"])
+        assert 17 in result
+        assert 16 in result
+        assert result == naive_elca(figure1,
+                                    ["xquery", "optimization"])
+
+    def test_missing_term_empty(self, tiny_doc):
+        assert elca_nodes(tiny_doc, ["red", "zebra"]) == []
+
+    def test_elcas_contain_slcas(self, tiny_doc):
+        slcas = set(slca_nodes(tiny_doc, ["red", "pear"]))
+        elcas = set(elca_nodes(tiny_doc, ["red", "pear"]))
+        assert slcas <= elcas
+
+    def test_sorted_output(self, figure1):
+        result = elca_nodes(figure1, ["xquery", "optimization"])
+        assert result == sorted(result)
+
+
+class TestElcaProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(documents(min_nodes=2, max_nodes=12))
+    def test_matches_naive_two_terms(self, doc):
+        assert elca_nodes(doc, ["alpha", "beta"]) == \
+            naive_elca(doc, ["alpha", "beta"])
+
+    @settings(max_examples=40, deadline=None)
+    @given(documents(min_nodes=2, max_nodes=10))
+    def test_matches_naive_three_terms(self, doc):
+        terms = ["alpha", "beta", "gamma"]
+        assert elca_nodes(doc, terms) == naive_elca(doc, terms)
+
+    @settings(max_examples=40, deadline=None)
+    @given(documents(min_nodes=2, max_nodes=12))
+    def test_slca_subset_of_elca(self, doc):
+        slcas = set(slca_nodes(doc, ["alpha", "beta"]))
+        elcas = set(elca_nodes(doc, ["alpha", "beta"]))
+        assert slcas <= elcas

@@ -1,0 +1,87 @@
+"""Unit and property tests for SLCA keyword search."""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings
+
+from repro.baselines.slca import slca_candidates_pair, slca_nodes
+from repro.index.inverted import InvertedIndex
+
+from ..treegen import documents
+
+
+def naive_slca(doc, terms):
+    """Reference SLCA by full enumeration of witness tuples."""
+    postings = [doc.nodes_with_keyword(t) for t in terms]
+    if any(not p for p in postings):
+        return []
+    lcas = {doc.lca_of(combo)
+            for combo in itertools.product(*postings)}
+    smallest = [v for v in lcas
+                if not any(u != v and doc.is_ancestor_or_self(v, u)
+                           for u in lcas)]
+    return sorted(smallest)
+
+
+class TestSlcaUnit:
+    def test_figure1_slca_is_n17(self, figure1):
+        # The motivating example: conventional semantics answers with
+        # the lone paragraph n17.
+        assert slca_nodes(figure1, ["xquery", "optimization"]) == [17]
+
+    def test_single_term_slca_is_posting_antichain(self, figure1):
+        assert slca_nodes(figure1, ["xquery"]) == [17, 18]
+
+    def test_missing_term_empty(self, tiny_doc):
+        assert slca_nodes(tiny_doc, ["red", "zebra"]) == []
+
+    def test_two_branches(self, tiny_doc):
+        # red={2,5}, pear={3,5}: node 5 carries both; 1 covers {2,3}.
+        assert slca_nodes(tiny_doc, ["red", "pear"]) == [1, 5]
+
+    def test_index_argument(self, tiny_doc):
+        index = InvertedIndex(tiny_doc)
+        assert slca_nodes(tiny_doc, ["red", "pear"], index=index) == \
+            slca_nodes(tiny_doc, ["red", "pear"])
+
+    def test_pair_candidates_cover_slcas(self, tiny_doc):
+        candidates = slca_candidates_pair(tiny_doc, [2, 5], [3, 5])
+        assert set(slca_nodes(tiny_doc, ["red", "pear"])) <= \
+            set(candidates)
+
+    def test_pair_candidates_empty_inputs(self, tiny_doc):
+        assert slca_candidates_pair(tiny_doc, [], [1]) == []
+        assert slca_candidates_pair(tiny_doc, [1], []) == []
+
+
+class TestSlcaProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(documents(min_nodes=2, max_nodes=14))
+    def test_matches_naive_two_terms(self, doc):
+        assert slca_nodes(doc, ["alpha", "beta"]) == \
+            naive_slca(doc, ["alpha", "beta"])
+
+    @settings(max_examples=40, deadline=None)
+    @given(documents(min_nodes=2, max_nodes=10))
+    def test_matches_naive_three_terms(self, doc):
+        assert slca_nodes(doc, ["alpha", "beta", "gamma"]) == \
+            naive_slca(doc, ["alpha", "beta", "gamma"])
+
+    @settings(max_examples=40, deadline=None)
+    @given(documents(min_nodes=2, max_nodes=12))
+    def test_results_are_antichain(self, doc):
+        result = slca_nodes(doc, ["alpha", "beta"])
+        for u in result:
+            for v in result:
+                if u != v:
+                    assert not doc.is_proper_ancestor(u, v)
+
+    @settings(max_examples=40, deadline=None)
+    @given(documents(min_nodes=2, max_nodes=12))
+    def test_each_slca_subtree_contains_all_terms(self, doc):
+        for v in slca_nodes(doc, ["alpha", "beta"]):
+            subtree = list(doc.subtree(v))
+            for term in ("alpha", "beta"):
+                assert any(term in doc.keywords(n) for n in subtree)

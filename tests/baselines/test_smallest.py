@@ -1,0 +1,58 @@
+"""Unit tests for the smallest-subtree answer semantics."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.baselines.slca import slca_nodes
+from repro.baselines.smallest import smallest_fragments
+from repro.core.fragment import Fragment
+
+from ..treegen import documents
+
+
+class TestSmallestFragmentsUnit:
+    def test_paper_motivation_returns_only_n17(self, figure1):
+        """§1: conventional semantics answers {XQuery, optimization}
+        with the lone paragraph n17 — not the self-contained fragment
+        ⟨n16,n17,n18⟩ the paper argues for."""
+        fragments = smallest_fragments(figure1,
+                                       ["xquery", "optimization"])
+        assert fragments == [Fragment(figure1, [17])]
+
+    def test_missing_term_empty(self, tiny_doc):
+        assert smallest_fragments(tiny_doc, ["red", "zebra"]) == []
+
+    def test_one_fragment_per_slca(self, tiny_doc):
+        fragments = smallest_fragments(tiny_doc, ["red", "pear"])
+        slcas = slca_nodes(tiny_doc, ["red", "pear"])
+        assert [f.root for f in fragments] == slcas
+
+    def test_witnesses_inside_slca_subtree(self, tiny_doc):
+        for frag in smallest_fragments(tiny_doc, ["red", "pear"]):
+            root = frag.root
+            subtree = set(tiny_doc.subtree(root))
+            assert frag.nodes <= subtree
+
+    def test_fragment_covers_all_terms(self, tiny_doc):
+        for frag in smallest_fragments(tiny_doc, ["red", "pear"]):
+            assert frag.contains_keyword("red")
+            assert frag.contains_keyword("pear")
+
+
+class TestSmallestFragmentsProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(documents(min_nodes=2, max_nodes=12))
+    def test_fragments_connected_and_cover_terms(self, doc):
+        terms = ["alpha", "beta"]
+        for frag in smallest_fragments(doc, terms):
+            Fragment(doc, frag.nodes)  # validates connectivity
+            for term in terms:
+                assert frag.contains_keyword(term)
+
+    @settings(max_examples=40, deadline=None)
+    @given(documents(min_nodes=2, max_nodes=12))
+    def test_roots_are_slcas(self, doc):
+        terms = ["alpha", "beta"]
+        roots = [f.root for f in smallest_fragments(doc, terms)]
+        assert roots == slca_nodes(doc, terms)

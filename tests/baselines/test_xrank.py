@@ -1,0 +1,61 @@
+"""Unit tests for the XRank-style ranked baseline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.elca import elca_nodes
+from repro.baselines.xrank import xrank_answers
+
+from ..treegen import documents
+
+
+class TestXrankUnit:
+    def test_answers_are_elcas(self, figure1):
+        terms = ["xquery", "optimization"]
+        answers = xrank_answers(figure1, terms)
+        assert {a.node for a in answers} == set(elca_nodes(figure1,
+                                                           terms))
+
+    def test_ranked_descending(self, figure1):
+        answers = xrank_answers(figure1, ["xquery", "optimization"])
+        scores = [a.score for a in answers]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_node_carrying_both_terms_ranks_first(self, figure1):
+        answers = xrank_answers(figure1, ["xquery", "optimization"])
+        # n17 contains both terms at depth 0 relative to itself: its
+        # score is the maximum possible (one per term).
+        assert answers[0].node == 17
+        assert answers[0].score == pytest.approx(2.0)
+
+    def test_decay_penalises_deep_witnesses(self, figure1):
+        answers = {a.node: a.score
+                   for a in xrank_answers(figure1,
+                                          ["xquery", "optimization"],
+                                          decay=0.5)}
+        assert answers[16] < answers[17]
+
+    def test_decay_one_means_no_penalty(self, figure1):
+        answers = xrank_answers(figure1, ["xquery", "optimization"],
+                                decay=1.0)
+        assert all(a.score == pytest.approx(2.0) for a in answers)
+
+    def test_invalid_decay(self, figure1):
+        with pytest.raises(ValueError):
+            xrank_answers(figure1, ["xquery"], decay=0.0)
+        with pytest.raises(ValueError):
+            xrank_answers(figure1, ["xquery"], decay=1.5)
+
+    def test_missing_term_empty(self, tiny_doc):
+        assert xrank_answers(tiny_doc, ["red", "zebra"]) == []
+
+
+class TestXrankProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(documents(min_nodes=2, max_nodes=12))
+    def test_scores_bounded_by_term_count(self, doc):
+        terms = ["alpha", "beta"]
+        for answered in xrank_answers(doc, terms):
+            assert 0.0 < answered.score <= len(terms) + 1e-9

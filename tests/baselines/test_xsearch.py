@@ -1,0 +1,103 @@
+"""Unit and property tests for the XSEarch interconnection baseline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.xsearch import interconnected, xsearch_answers
+from repro.core.fragment import Fragment
+from repro.errors import FragmentError
+from repro.xmltree.builder import DocumentBuilder
+
+from ..treegen import documents
+
+
+@pytest.fixture()
+def entity_doc():
+    """Two <author> entities under one <book>: the XSEarch motivation.
+
+    Topology::
+
+        0:book ── 1:author ── 2:name "smith"
+                │           └─ 3:area "databases"
+                └─ 4:author ── 5:name "jones"
+                             └─ 6:area "retrieval"
+    """
+    b = DocumentBuilder(name="entities")
+    book = b.add_root("book")
+    a1 = b.add_child(book, "author")
+    b.add_child(a1, "name", "smith")
+    b.add_child(a1, "area", "databases")
+    a2 = b.add_child(book, "author")
+    b.add_child(a2, "name", "jones")
+    b.add_child(a2, "area", "retrieval")
+    return b.build()
+
+
+class TestInterconnected:
+    def test_same_node(self, entity_doc):
+        assert interconnected(entity_doc, 2, 2)
+
+    def test_within_one_entity(self, entity_doc):
+        # name and area of the same author: path 2-1-3, one 'author'.
+        assert interconnected(entity_doc, 2, 3)
+
+    def test_across_entities_blocked(self, entity_doc):
+        # smith's name and jones's area: path passes both <author>s.
+        assert not interconnected(entity_doc, 2, 6)
+        assert not interconnected(entity_doc, 5, 3)
+
+    def test_parent_child(self, entity_doc):
+        assert interconnected(entity_doc, 1, 2)
+
+    def test_symmetric(self, entity_doc):
+        for u in entity_doc.node_ids():
+            for v in entity_doc.node_ids():
+                assert interconnected(entity_doc, u, v) == \
+                    interconnected(entity_doc, v, u)
+
+    def test_figure1_cases(self, figure1):
+        # Siblings under one subsubsection: interconnected.
+        assert interconnected(figure1, 17, 18)
+        # Across distant sections (path holds repeated tags): not.
+        assert not interconnected(figure1, 17, 81)
+
+
+class TestXsearchAnswers:
+    def test_entity_doc_query(self, entity_doc):
+        answers = xsearch_answers(entity_doc, ["smith", "databases"])
+        assert Fragment(entity_doc, [1, 2, 3]) in answers
+        # The cross-entity combination is rejected.
+        assert not xsearch_answers(entity_doc, ["smith", "retrieval"])
+
+    def test_missing_term(self, entity_doc):
+        assert xsearch_answers(entity_doc, ["smith", "zebra"]) == []
+
+    def test_guard(self, figure1):
+        with pytest.raises(FragmentError, match="max_tuples"):
+            xsearch_answers(figure1, ["par"], max_tuples=10)
+
+    def test_sorted_smallest_first(self, figure1):
+        answers = xsearch_answers(figure1, ["xquery", "optimization"])
+        sizes = [f.size for f in answers]
+        assert sizes == sorted(sizes)
+
+    @settings(max_examples=30, deadline=None)
+    @given(documents(min_nodes=2, max_nodes=10))
+    def test_answers_cover_terms_and_connected(self, doc):
+        for fragment in xsearch_answers(doc, ["alpha", "beta"]):
+            Fragment(doc, fragment.nodes)  # validates connectivity
+            assert fragment.contains_keyword("alpha")
+            assert fragment.contains_keyword("beta")
+
+    @settings(max_examples=30, deadline=None)
+    @given(documents(min_nodes=2, max_nodes=10))
+    def test_subset_of_algebraic_answers(self, doc):
+        """XSEarch answers are spanning fragments of keyword-node
+        tuples, hence always members of the unfiltered powerset join."""
+        from repro.core.query import Query
+        from repro.core.strategies import evaluate
+        algebra = evaluate(doc, Query.of("alpha", "beta")).fragments
+        xsearch = set(xsearch_answers(doc, ["alpha", "beta"]))
+        assert xsearch <= algebra

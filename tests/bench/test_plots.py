@@ -1,0 +1,59 @@
+"""Unit tests for ASCII charts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.plots import bar_chart, log_bar_chart
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        chart = bar_chart(["a", "b"], [1.0, 2.0], width=4)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 2
+        assert lines[1].count("█") == 4
+
+    def test_values_shown(self):
+        chart = bar_chart(["x"], [3.25], width=10)
+        assert "3.25" in chart
+
+    def test_unit_suffix(self):
+        chart = bar_chart(["x"], [5.0], unit="ms")
+        assert "5ms" in chart
+
+    def test_title(self):
+        chart = bar_chart(["x"], [1.0], title="Latency")
+        assert chart.splitlines()[0] == "Latency"
+
+    def test_labels_aligned(self):
+        chart = bar_chart(["a", "long-label"], [1, 1], width=4)
+        lines = chart.splitlines()
+        assert lines[0].index("█") == lines[1].index("█")
+
+    def test_zero_values(self):
+        chart = bar_chart(["a", "b"], [0.0, 0.0], width=5)
+        assert "█" not in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1], width=0)
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1])
+
+
+class TestLogBarChart:
+    def test_compresses_exponential_series(self):
+        linear = bar_chart(["a", "b"], [10, 100000], width=20)
+        logged = log_bar_chart(["a", "b"], [10, 100000], width=20)
+        small_linear = linear.splitlines()[0].count("█")
+        small_logged = logged.splitlines()[0].count("█")
+        assert small_logged > small_linear
+
+    def test_monotone(self):
+        chart = log_bar_chart(["a", "b", "c"], [10, 1000, 100000],
+                              width=30)
+        widths = [line.count("█") for line in chart.splitlines()]
+        assert widths == sorted(widths)

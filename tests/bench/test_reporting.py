@@ -1,0 +1,62 @@
+"""Unit tests for bench reporting."""
+
+from __future__ import annotations
+
+from repro.bench.reporting import banner, format_kv, format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows(self):
+        text = format_table(["name", "count"],
+                            [["alpha", 3], ["beta", 12]])
+        lines = text.splitlines()
+        assert "name" in lines[0] and "count" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "alpha" in lines[2]
+        assert "12" in lines[3]
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_numeric_right_aligned(self):
+        text = format_table(["metric"], [[5], [12345]])
+        lines = text.splitlines()
+        assert lines[-1].endswith("12345")
+        assert lines[-2].endswith("    5")
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_bool_rendering(self):
+        text = format_table(["flag"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestFormatKv:
+    def test_alignment(self):
+        text = format_kv([("short", 1), ("much_longer_key", 2)])
+        lines = text.splitlines()
+        assert lines[0].index("1") == lines[1].index("2")
+
+    def test_title(self):
+        assert format_kv([("a", 1)], title="Stats").startswith("Stats")
+
+    def test_float_value(self):
+        assert "3.142" in format_kv([("pi", 3.14159)])
+
+    def test_empty(self):
+        assert format_kv([]) == ""
+
+
+class TestBanner:
+    def test_shape(self):
+        lines = banner("Experiment S1").splitlines()
+        assert len(lines) == 3
+        assert lines[0] == lines[2]
+        assert len(lines[0]) >= len("Experiment S1")

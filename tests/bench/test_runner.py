@@ -1,0 +1,48 @@
+"""Unit tests for the bench runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import Measurement, compare, measure
+
+
+class TestMeasure:
+    def test_returns_value_and_timing(self):
+        result = measure("answer", lambda: 41 + 1, repetitions=2)
+        assert result.value == 42
+        assert result.seconds >= 0.0
+        assert result.spread >= 0.0
+        assert result.repetitions == 2
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ValueError):
+            measure("x", lambda: None, repetitions=0)
+
+    def test_function_called_each_repetition(self):
+        calls = []
+        measure("count", lambda: calls.append(1), repetitions=3)
+        assert len(calls) == 3
+
+
+class TestCompare:
+    def test_measures_all_cases(self):
+        comparison = compare([("a", lambda: 1), ("b", lambda: 2)],
+                             repetitions=1)
+        assert [m.label for m in comparison.measurements] == ["a", "b"]
+        assert [m.value for m in comparison.measurements] == [1, 2]
+
+    def test_fastest(self):
+        import time
+        comparison = compare(
+            [("slow", lambda: time.sleep(0.01)),
+             ("fast", lambda: None)], repetitions=1)
+        assert comparison.fastest().label == "fast"
+
+    def test_speedup_over_baseline(self):
+        comparison = compare([("base", lambda: None),
+                              ("other", lambda: None)], repetitions=1)
+        speedups = comparison.speedup_over("base")
+        assert set(speedups) <= {"base", "other"}
+        if "base" in speedups:
+            assert speedups["base"] == pytest.approx(1.0)

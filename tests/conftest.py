@@ -1,0 +1,93 @@
+"""Shared fixtures: paper fixtures, canned corpora, tiny documents."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index.inverted import InvertedIndex
+from repro.workloads.corpora import book_corpus, thesis_corpus
+from repro.workloads.figure1 import build_figure1_document
+from repro.workloads.papertrees import (build_figure3_tree,
+                                        build_figure4_tree,
+                                        build_figure7_tree)
+from repro.xmltree.builder import DocumentBuilder
+from repro.xmltree.parser import parse
+
+
+@pytest.fixture(scope="session")
+def figure1():
+    """The reconstructed Figure 1 document (82 nodes)."""
+    return build_figure1_document()
+
+
+@pytest.fixture(scope="session")
+def figure1_index(figure1):
+    return InvertedIndex(figure1)
+
+
+@pytest.fixture(scope="session")
+def figure3():
+    """Figure 3's labelled 9-node tree."""
+    return build_figure3_tree()
+
+
+@pytest.fixture(scope="session")
+def figure4():
+    """Figure 4's labelled reduction tree."""
+    return build_figure4_tree()
+
+
+@pytest.fixture(scope="session")
+def figure7():
+    """Figure 7's equal-depth counterexample tree."""
+    return build_figure7_tree()
+
+
+@pytest.fixture(scope="session")
+def book():
+    return book_corpus()
+
+
+@pytest.fixture(scope="session")
+def thesis():
+    return thesis_corpus()
+
+
+@pytest.fixture()
+def tiny_doc():
+    """A 6-node hand-built document used across unit tests.
+
+    Topology (ids are preorder)::
+
+        0:article ── 1:section ── 2:par "red apple"
+                  │            └─ 3:par "green pear"
+                  └─ 4:section ── 5:par "red pear"
+    """
+    b = DocumentBuilder(name="tiny")
+    root = b.add_root("article", "fruit report")
+    s1 = b.add_child(root, "section", "colours")
+    b.add_child(s1, "par", "red apple")
+    b.add_child(s1, "par", "green pear")
+    s2 = b.add_child(root, "section", "more colours")
+    b.add_child(s2, "par", "red pear")
+    return b.build()
+
+
+@pytest.fixture()
+def chain_doc():
+    """A 5-node chain 0-1-2-3-4 (each node the only child)."""
+    b = DocumentBuilder(name="chain")
+    node = b.add_root("a", "zero")
+    for i, word in enumerate(("one", "two", "three", "four")):
+        node = b.add_child(node, "b", word)
+    return b.build()
+
+
+@pytest.fixture()
+def parsed_doc():
+    """A small parsed XML document with attributes and nesting."""
+    return parse(
+        "<doc id='d1'>"
+        "<sec><title>Alpha topics</title><par>alpha beta</par></sec>"
+        "<sec><par>gamma only</par><par>alpha gamma</par></sec>"
+        "</doc>", name="parsed")

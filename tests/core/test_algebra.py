@@ -1,0 +1,327 @@
+"""Unit and property tests for the fragment algebra (paper §2.2).
+
+The paper's algebraic laws are tested property-based over random
+documents:
+
+* fragment join: idempotent, commutative, associative, absorptive;
+* pairwise join: commutative, associative, monotone, distributes over
+  union;
+* powerset join: matches its subset-enumeration definition and contains
+  the pairwise join.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.algebra import (JoinCache, fragment_join, join_all,
+                                multiway_powerset_join, nonempty_subsets,
+                                pairwise_join, powerset_join)
+from repro.core.fragment import Fragment
+from repro.core.stats import OperationStats
+from repro.errors import CrossDocumentError, FragmentError
+
+from ..treegen import document_and_fragments, document_and_nodesets
+
+
+class TestFragmentJoinUnit:
+    def test_documented_figure3_join(self, figure3):
+        joined = fragment_join(figure3.fragment("n4", "n5"),
+                               figure3.fragment("n7", "n9"))
+        assert figure3.labels_of(joined) == \
+            {"n3", "n4", "n5", "n6", "n7", "n9"}
+
+    def test_join_of_node_with_itself(self, tiny_doc):
+        frag = Fragment(tiny_doc, [2])
+        assert fragment_join(frag, frag) == frag
+
+    def test_join_parent_child_absorbs(self, tiny_doc):
+        parent = Fragment(tiny_doc, [1, 2])
+        child = Fragment(tiny_doc, [2])
+        assert fragment_join(parent, child) == parent
+        assert fragment_join(child, parent) == parent
+
+    def test_join_of_siblings(self, tiny_doc):
+        joined = fragment_join(Fragment(tiny_doc, [2]),
+                               Fragment(tiny_doc, [3]))
+        assert joined.nodes == frozenset([1, 2, 3])
+
+    def test_join_across_branches(self, tiny_doc):
+        joined = fragment_join(Fragment(tiny_doc, [2]),
+                               Fragment(tiny_doc, [5]))
+        assert joined.nodes == frozenset([0, 1, 2, 4, 5])
+
+    def test_cross_document_rejected(self, tiny_doc, chain_doc):
+        with pytest.raises(CrossDocumentError):
+            fragment_join(Fragment(tiny_doc, [0]),
+                          Fragment(chain_doc, [0]))
+
+    def test_stats_counted(self, tiny_doc):
+        stats = OperationStats()
+        fragment_join(Fragment(tiny_doc, [2]), Fragment(tiny_doc, [3]),
+                      stats=stats)
+        assert stats.fragment_joins == 1
+
+    def test_absorption_not_counted_as_join(self, tiny_doc):
+        stats = OperationStats()
+        parent = Fragment(tiny_doc, [1, 2])
+        fragment_join(parent, Fragment(tiny_doc, [2]), stats=stats)
+        assert stats.fragment_joins == 0
+
+
+class TestJoinCache:
+    def test_cache_hit_returns_same_result(self, tiny_doc):
+        cache = JoinCache()
+        stats = OperationStats()
+        f1, f2 = Fragment(tiny_doc, [2]), Fragment(tiny_doc, [5])
+        first = fragment_join(f1, f2, stats=stats, cache=cache)
+        second = fragment_join(f1, f2, stats=stats, cache=cache)
+        assert first == second
+        assert stats.fragment_joins == 1
+        assert stats.join_cache_hits == 1
+
+    def test_cache_is_commutative(self, tiny_doc):
+        cache = JoinCache()
+        stats = OperationStats()
+        f1, f2 = Fragment(tiny_doc, [2]), Fragment(tiny_doc, [5])
+        fragment_join(f1, f2, stats=stats, cache=cache)
+        fragment_join(f2, f1, stats=stats, cache=cache)
+        assert stats.fragment_joins == 1
+
+    def test_eviction_bounds_size(self, tiny_doc):
+        cache = JoinCache(max_entries=1)
+        fragment_join(Fragment(tiny_doc, [2]), Fragment(tiny_doc, [3]),
+                      cache=cache)
+        fragment_join(Fragment(tiny_doc, [2]), Fragment(tiny_doc, [5]),
+                      cache=cache)
+        assert len(cache) == 1
+
+    def test_clear(self, tiny_doc):
+        cache = JoinCache()
+        fragment_join(Fragment(tiny_doc, [2]), Fragment(tiny_doc, [3]),
+                      cache=cache)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            JoinCache(max_entries=0)
+
+    def test_cache_is_document_scoped(self, tiny_doc, chain_doc):
+        # Regression: a cache shared across documents must never hand a
+        # fragment of one document back for the other, even when the
+        # operand node-id sets coincide.
+        cache = JoinCache()
+        tiny_join = fragment_join(Fragment(tiny_doc, [1]),
+                                  Fragment(tiny_doc, [2]),
+                                  cache=cache)
+        chain_join = fragment_join(Fragment(chain_doc, [1]),
+                                   Fragment(chain_doc, [2]),
+                                   cache=cache)
+        assert tiny_join.document is tiny_doc
+        assert chain_join.document is chain_doc
+
+
+class TestJoinAll:
+    def test_empty_rejected(self):
+        with pytest.raises(FragmentError):
+            join_all([])
+
+    def test_single(self, tiny_doc):
+        frag = Fragment(tiny_doc, [2])
+        assert join_all([frag]) == frag
+
+    def test_order_irrelevant(self, tiny_doc):
+        frags = [Fragment(tiny_doc, [2]), Fragment(tiny_doc, [3]),
+                 Fragment(tiny_doc, [5])]
+        assert join_all(frags) == join_all(reversed(frags))
+
+
+class TestFragmentJoinLaws:
+    @given(document_and_fragments(max_fragments=1))
+    def test_idempotency(self, doc_and_frags):
+        _, (f,) = doc_and_frags
+        assert fragment_join(f, f) == f
+
+    @given(document_and_fragments(max_fragments=2))
+    def test_commutativity(self, doc_and_frags):
+        _, frags = doc_and_frags
+        f1, f2 = frags[0], frags[-1]
+        assert fragment_join(f1, f2) == fragment_join(f2, f1)
+
+    @settings(max_examples=60)
+    @given(document_and_fragments(max_fragments=3))
+    def test_associativity(self, doc_and_frags):
+        _, frags = doc_and_frags
+        f1, f2, f3 = (frags * 3)[:3]
+        left = fragment_join(fragment_join(f1, f2), f3)
+        right = fragment_join(f1, fragment_join(f2, f3))
+        assert left == right
+
+    @given(document_and_fragments(max_fragments=2))
+    def test_absorption(self, doc_and_frags):
+        doc, frags = doc_and_frags
+        f1 = frags[0]
+        # Lemma 1: f ⊆ f ⋈ f' for any f'.
+        f2 = frags[-1]
+        joined = fragment_join(f1, f2)
+        assert f1 <= joined
+        assert f2 <= joined
+        # Absorption proper: joining with a sub-fragment is identity.
+        assert fragment_join(joined, f1) == joined
+
+    @given(document_and_fragments(max_fragments=2))
+    def test_result_is_minimal(self, doc_and_frags):
+        doc, frags = doc_and_frags
+        f1, f2 = frags[0], frags[-1]
+        joined = fragment_join(f1, f2)
+        union = f1.nodes | f2.nodes
+        # Minimality (Def. 4, condition 3): no strictly smaller
+        # connected superset of the operands exists.
+        from repro.xmltree.navigation import is_connected
+        for node in joined.nodes - union:
+            assert not is_connected(doc, joined.nodes - {node})
+
+
+class TestPairwiseJoinUnit:
+    def test_paper_example(self, figure3):
+        set1 = figure3.fragment_set([["n4", "n5"], ["n2"]])
+        set2 = figure3.fragment_set([["n7", "n9"], ["n8"]])
+        result = pairwise_join(set1, set2)
+        # 2 x 2 pairs, possibly deduplicated.
+        assert 1 <= len(result) <= 4
+        joined = fragment_join(figure3.fragment("n4", "n5"),
+                               figure3.fragment("n7", "n9"))
+        assert joined in result
+
+    def test_empty_operand_gives_empty(self, tiny_doc):
+        frags = frozenset([Fragment(tiny_doc, [2])])
+        assert pairwise_join(frags, frozenset()) == frozenset()
+        assert pairwise_join(frozenset(), frags) == frozenset()
+
+    def test_deduplicates(self, tiny_doc):
+        # Both pairs join to the same fragment.
+        set1 = frozenset([Fragment(tiny_doc, [2]), Fragment(tiny_doc, [3])])
+        set2 = frozenset([Fragment(tiny_doc, [1, 2, 3])])
+        assert len(pairwise_join(set1, set2)) == 1
+
+
+class TestPairwiseJoinLaws:
+    @given(document_and_nodesets(max_sets=2))
+    def test_commutativity(self, doc_and_sets):
+        _, (s1, s2) = doc_and_sets
+        assert pairwise_join(s1, s2) == pairwise_join(s2, s1)
+
+    @settings(max_examples=50)
+    @given(document_and_nodesets(max_sets=3, max_set_size=3))
+    def test_associativity(self, doc_and_sets):
+        _, sets = doc_and_sets
+        s1, s2, s3 = sets
+        left = pairwise_join(pairwise_join(s1, s2), s3)
+        right = pairwise_join(s1, pairwise_join(s2, s3))
+        assert left == right
+
+    @given(document_and_nodesets(max_sets=1))
+    def test_monotonicity(self, doc_and_sets):
+        _, (s1,) = doc_and_sets
+        assert pairwise_join(s1, s1) >= s1
+
+    @settings(max_examples=50)
+    @given(document_and_nodesets(max_sets=3, max_set_size=3))
+    def test_distributes_over_union(self, doc_and_sets):
+        _, (s1, s2, s3) = doc_and_sets
+        left = pairwise_join(s1, s2 | s3)
+        right = pairwise_join(s1, s2) | pairwise_join(s1, s3)
+        assert left == right
+
+    def test_no_idempotency_counterexample(self, tiny_doc):
+        # The paper notes F ⋈ F ≠ F in general: siblings generate their
+        # parent fragment.
+        frags = frozenset([Fragment(tiny_doc, [2]), Fragment(tiny_doc, [3])])
+        assert pairwise_join(frags, frags) != frags
+
+
+class TestNonemptySubsets:
+    def test_counts(self):
+        assert len(list(nonempty_subsets([1, 2, 3]))) == 7
+        assert list(nonempty_subsets([]))  == []
+
+    def test_subsets_unique(self):
+        subsets = list(nonempty_subsets("abc"))
+        assert len(subsets) == len(set(subsets))
+
+
+class TestPowersetJoin:
+    def test_definition_by_enumeration(self, figure3):
+        set1 = figure3.fragment_set([["n4", "n5"], ["n2"]])
+        set2 = figure3.fragment_set([["n7", "n9"], ["n8"]])
+        result = powerset_join(set1, set2)
+        expected = set()
+        for sub1 in nonempty_subsets(sorted(set1, key=lambda f: f.root)):
+            for sub2 in nonempty_subsets(sorted(set2,
+                                                key=lambda f: f.root)):
+                expected.add(join_all(list(sub1) + list(sub2)))
+        assert result == frozenset(expected)
+
+    def test_contains_pairwise_join(self, figure3):
+        set1 = figure3.fragment_set([["n4"], ["n5"]])
+        set2 = figure3.fragment_set([["n8"], ["n2"]])
+        assert pairwise_join(set1, set2) <= powerset_join(set1, set2)
+
+    def test_produces_more_than_pairwise(self, figure3):
+        # Figure 3 (c) vs (d): powerset join yields extra fragments.
+        set1 = figure3.fragment_set([["n4", "n5"], ["n2"]])
+        set2 = figure3.fragment_set([["n7", "n9"], ["n8"]])
+        assert len(powerset_join(set1, set2)) >= \
+            len(pairwise_join(set1, set2))
+
+    def test_operand_size_guard(self, tiny_doc):
+        frags = frozenset(Fragment(tiny_doc, [i]) for i in range(6))
+        with pytest.raises(FragmentError, match="refused"):
+            powerset_join(frags, frags, max_operand_size=5)
+
+    def test_guard_can_be_disabled(self, tiny_doc):
+        frags = frozenset(Fragment(tiny_doc, [i]) for i in range(3))
+        result = powerset_join(frags, frags, max_operand_size=None)
+        assert result
+
+
+class TestMultiwayPowersetJoin:
+    def test_binary_case_matches_powerset_join(self, figure3):
+        set1 = figure3.fragment_set([["n4"], ["n2"]])
+        set2 = figure3.fragment_set([["n8"], ["n9"]])
+        assert multiway_powerset_join([set1, set2]) == \
+            powerset_join(set1, set2)
+
+    def test_single_operand_is_fixed_point_like(self, tiny_doc):
+        frags = frozenset([Fragment(tiny_doc, [2]), Fragment(tiny_doc, [3])])
+        result = multiway_powerset_join([frags])
+        # {⋈F' | F' ⊆ F, F' ≠ ∅} — the fixed point of F.
+        from repro.core.reduce import fixed_point
+        assert result == fixed_point(frags)
+
+    def test_three_way(self, tiny_doc):
+        sets = [frozenset([Fragment(tiny_doc, [i])]) for i in (2, 3, 5)]
+        result = multiway_powerset_join(sets)
+        assert result == frozenset(
+            [Fragment(tiny_doc, [0, 1, 2, 3, 4, 5])])
+
+    def test_no_operands_rejected(self):
+        with pytest.raises(FragmentError):
+            multiway_powerset_join([])
+
+    def test_guard(self, tiny_doc):
+        frags = frozenset(Fragment(tiny_doc, [i]) for i in range(6))
+        with pytest.raises(FragmentError, match="refused"):
+            multiway_powerset_join([frags], max_operand_size=5)
+
+    @settings(max_examples=40)
+    @given(document_and_nodesets(max_sets=2, max_set_size=3))
+    def test_theorem2_equivalence(self, doc_and_sets):
+        """Theorem 2: F1 ⋈* F2 = F1+ ⋈ F2+."""
+        from repro.core.reduce import fixed_point
+        _, (s1, s2) = doc_and_sets
+        direct = powerset_join(s1, s2)
+        via_fixed_points = pairwise_join(fixed_point(s1), fixed_point(s2))
+        assert direct == via_fixed_points

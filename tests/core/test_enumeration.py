@@ -1,0 +1,97 @@
+"""Unit tests for exhaustive fragment enumeration."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.enumeration import (count_subfragments,
+                                    find_anti_monotonicity_violation,
+                                    iter_all_fragments, iter_subfragments,
+                                    verify_anti_monotonic)
+from repro.core.filters import SizeAtLeast, SizeAtMost, EqualDepth
+from repro.core.fragment import Fragment
+from repro.errors import FragmentError
+from repro.xmltree.navigation import is_connected
+
+from ..treegen import document_and_fragments
+
+
+class TestIterSubfragments:
+    def test_single_node(self, tiny_doc):
+        subs = list(iter_subfragments(Fragment(tiny_doc, [3])))
+        assert subs == [Fragment(tiny_doc, [3])]
+
+    def test_chain_of_three(self, chain_doc):
+        frag = Fragment(chain_doc, [0, 1, 2])
+        subs = {s.nodes for s in iter_subfragments(frag)}
+        expected = {frozenset([0]), frozenset([1]), frozenset([2]),
+                    frozenset([0, 1]), frozenset([1, 2]),
+                    frozenset([0, 1, 2])}
+        assert subs == expected
+
+    def test_all_connected_and_contained(self, tiny_doc):
+        frag = Fragment(tiny_doc, [0, 1, 2, 3])
+        for sub in iter_subfragments(frag):
+            assert sub.nodes <= frag.nodes
+            assert is_connected(tiny_doc, sub.nodes)
+
+    def test_limit_enforced(self, figure1):
+        frag = Fragment.whole_document(figure1)
+        with pytest.raises(FragmentError, match="more than"):
+            list(iter_subfragments(frag, limit=10))
+
+    def test_no_duplicates(self, tiny_doc):
+        frag = Fragment.whole_document(tiny_doc)
+        subs = list(iter_subfragments(frag))
+        assert len(subs) == len(set(subs))
+
+
+class TestCountSubfragments:
+    def test_matches_enumeration(self, tiny_doc):
+        frag = Fragment.whole_document(tiny_doc)
+        assert count_subfragments(frag) == \
+            len(list(iter_subfragments(frag)))
+
+    def test_chain_formula(self, chain_doc):
+        # A chain of n nodes has n(n+1)/2 connected subsets.
+        frag = Fragment.whole_document(chain_doc)
+        n = chain_doc.size
+        assert count_subfragments(frag) == n * (n + 1) // 2
+
+    @settings(max_examples=30)
+    @given(document_and_fragments(max_nodes=8, max_fragments=1))
+    def test_count_equals_enumeration_random(self, doc_and_frags):
+        _, (frag,) = doc_and_frags
+        assert count_subfragments(frag) == \
+            len(list(iter_subfragments(frag, limit=None)))
+
+
+class TestIterAllFragments:
+    def test_counts_document_fragments(self, tiny_doc):
+        frags = list(iter_all_fragments(tiny_doc))
+        assert len(frags) == count_subfragments(
+            Fragment.whole_document(tiny_doc))
+
+    def test_includes_singletons_and_whole(self, tiny_doc):
+        frags = set(iter_all_fragments(tiny_doc))
+        for nid in tiny_doc.node_ids():
+            assert Fragment(tiny_doc, [nid]) in frags
+        assert Fragment.whole_document(tiny_doc) in frags
+
+
+class TestVerification:
+    def test_size_at_most_verified(self, tiny_doc):
+        assert verify_anti_monotonic(SizeAtMost(3), tiny_doc)
+
+    def test_size_at_least_refuted(self, tiny_doc):
+        assert not verify_anti_monotonic(SizeAtLeast(2), tiny_doc)
+
+    def test_equal_depth_refuted_on_figure7(self, figure7):
+        assert not verify_anti_monotonic(EqualDepth("k1", "k2"),
+                                         figure7.document)
+
+    def test_violation_returns_none_when_predicate_fails(self, tiny_doc):
+        frag = Fragment(tiny_doc, [0, 1, 2])
+        assert find_anti_monotonicity_violation(SizeAtMost(1),
+                                                frag) is None

@@ -1,0 +1,257 @@
+"""Unit and property tests for filters (paper Definitions 3 & 11)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.enumeration import (find_anti_monotonicity_violation,
+                                    iter_subfragments)
+from repro.core.filters import (And, ContainsKeyword, EqualDepth, Filter,
+                                HeightAtMost, Not, Or, PredicateFilter,
+                                SizeAtLeast, SizeAtMost, TrueFilter,
+                                WidthAtMost, select)
+from repro.core.fragment import Fragment
+from repro.core.stats import OperationStats
+
+from ..treegen import document_and_fragments
+
+
+class TestSizeFilters:
+    def test_size_at_most(self, tiny_doc):
+        predicate = SizeAtMost(2)
+        assert predicate(Fragment(tiny_doc, [2]))
+        assert predicate(Fragment(tiny_doc, [1, 2]))
+        assert not predicate(Fragment(tiny_doc, [1, 2, 3]))
+
+    def test_size_at_least(self, tiny_doc):
+        predicate = SizeAtLeast(2)
+        assert not predicate(Fragment(tiny_doc, [2]))
+        assert predicate(Fragment(tiny_doc, [1, 2]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SizeAtMost(0)
+        with pytest.raises(ValueError):
+            SizeAtLeast(0)
+
+    def test_flags(self):
+        assert SizeAtMost(3).is_anti_monotonic
+        assert not SizeAtLeast(3).is_anti_monotonic
+
+    def test_repr(self):
+        assert repr(SizeAtMost(3)) == "size<=3"
+        assert repr(SizeAtLeast(3)) == "size>=3"
+
+
+class TestHeightWidthFilters:
+    def test_height(self, tiny_doc):
+        assert HeightAtMost(0)(Fragment(tiny_doc, [2]))
+        assert HeightAtMost(1)(Fragment(tiny_doc, [1, 2]))
+        assert not HeightAtMost(1)(Fragment(tiny_doc, [0, 1, 2]))
+
+    def test_width(self, tiny_doc):
+        assert WidthAtMost(0)(Fragment(tiny_doc, [2]))
+        assert WidthAtMost(2)(Fragment(tiny_doc, [1, 2, 3]))
+        assert not WidthAtMost(3)(Fragment(tiny_doc, [0, 1, 4]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeightAtMost(-1)
+        with pytest.raises(ValueError):
+            WidthAtMost(-1)
+
+    def test_flags(self):
+        assert HeightAtMost(2).is_anti_monotonic
+        assert WidthAtMost(2).is_anti_monotonic
+
+
+class TestKeywordFilter:
+    def test_matches_any_node(self, tiny_doc):
+        predicate = ContainsKeyword("apple")
+        assert predicate(Fragment(tiny_doc, [1, 2]))
+        assert not predicate(Fragment(tiny_doc, [4, 5]))
+
+    def test_not_anti_monotonic_flag(self):
+        assert not ContainsKeyword("x").is_anti_monotonic
+
+    def test_counterexample_exists(self, tiny_doc):
+        # f = ⟨n1,n2⟩ contains 'apple'; sub-fragment ⟨n1⟩ does not.
+        predicate = ContainsKeyword("apple")
+        witness = find_anti_monotonicity_violation(
+            predicate, Fragment(tiny_doc, [1, 2]))
+        assert witness is not None
+        assert not predicate(witness)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContainsKeyword("")
+
+
+class TestEqualDepthFilter:
+    def test_figure7_counterexample(self, figure7):
+        predicate = EqualDepth("k1", "k2")
+        f = figure7.fragment("n0", "n1", "n2", "n3", "n4")
+        f_prime = figure7.fragment("n0", "n1", "n2", "n4")
+        assert predicate(f)
+        assert not predicate(f_prime)
+        assert f_prime < f  # genuine anti-monotonicity violation
+
+    def test_vacuous_when_keyword_missing(self, figure7):
+        predicate = EqualDepth("k1", "k2")
+        assert predicate(figure7.fragment("n0"))
+        assert predicate(figure7.fragment("n1", "n2"))
+
+    def test_flag(self):
+        assert not EqualDepth("a", "b").is_anti_monotonic
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EqualDepth("", "b")
+
+
+class TestCombinators:
+    def test_and_semantics(self, tiny_doc):
+        predicate = SizeAtMost(2) & ContainsKeyword("apple")
+        assert predicate(Fragment(tiny_doc, [2]))
+        assert not predicate(Fragment(tiny_doc, [3]))
+
+    def test_or_semantics(self, tiny_doc):
+        predicate = ContainsKeyword("apple") | ContainsKeyword("pear")
+        assert predicate(Fragment(tiny_doc, [3]))
+        assert not predicate(Fragment(tiny_doc, [0]))
+
+    def test_not_semantics(self, tiny_doc):
+        predicate = ~ContainsKeyword("apple")
+        assert predicate(Fragment(tiny_doc, [3]))
+        assert not predicate(Fragment(tiny_doc, [2]))
+
+    def test_and_or_preserve_anti_monotonicity(self):
+        am1, am2 = SizeAtMost(3), HeightAtMost(2)
+        assert (am1 & am2).is_anti_monotonic
+        assert (am1 | am2).is_anti_monotonic
+
+    def test_mixed_composition_loses_property(self):
+        am, other = SizeAtMost(3), SizeAtLeast(2)
+        assert not (am & other).is_anti_monotonic
+        assert not (am | other).is_anti_monotonic
+
+    def test_negation_never_anti_monotonic(self):
+        assert not (~SizeAtMost(3)).is_anti_monotonic
+
+    def test_negation_of_am_filter_has_counterexample(self, tiny_doc):
+        # ¬(size<=1) holds for ⟨n1,n2⟩ but not for its sub-fragment ⟨n1⟩.
+        predicate = ~SizeAtMost(1)
+        witness = find_anti_monotonicity_violation(
+            predicate, Fragment(tiny_doc, [1, 2]))
+        assert witness is not None
+
+    def test_reprs(self):
+        assert "∧" in repr(SizeAtMost(1) & SizeAtMost(2))
+        assert "∨" in repr(SizeAtMost(1) | SizeAtMost(2))
+        assert repr(~SizeAtMost(1)).startswith("¬")
+
+
+class TestTrueAndPredicateFilter:
+    def test_true_filter(self, tiny_doc):
+        assert TrueFilter()(Fragment(tiny_doc, [0]))
+        assert TrueFilter().is_anti_monotonic
+
+    def test_predicate_filter_wraps_callable(self, tiny_doc):
+        predicate = PredicateFilter(lambda f: f.root == 1, name="root=1")
+        assert predicate(Fragment(tiny_doc, [1, 2]))
+        assert not predicate(Fragment(tiny_doc, [4]))
+        assert repr(predicate) == "root=1"
+        assert not predicate.is_anti_monotonic
+
+    def test_predicate_filter_can_claim_anti_monotonicity(self):
+        predicate = PredicateFilter(lambda f: True, anti_monotonic=True)
+        assert predicate.is_anti_monotonic
+
+    def test_base_class_is_abstract(self, tiny_doc):
+        with pytest.raises(NotImplementedError):
+            Filter().matches(Fragment(tiny_doc, [0]))
+
+
+class TestSelect:
+    def test_selection_semantics(self, tiny_doc):
+        frags = frozenset([Fragment(tiny_doc, [2]),
+                           Fragment(tiny_doc, [1, 2]),
+                           Fragment(tiny_doc, [0, 1, 2])])
+        kept = select(SizeAtMost(2), frags)
+        assert kept == frozenset([Fragment(tiny_doc, [2]),
+                                  Fragment(tiny_doc, [1, 2])])
+
+    def test_stats_counted(self, tiny_doc):
+        stats = OperationStats()
+        frags = frozenset([Fragment(tiny_doc, [2]),
+                           Fragment(tiny_doc, [0, 1, 2])])
+        select(SizeAtMost(1), frags, stats=stats)
+        assert stats.predicate_checks == 2
+        assert stats.fragments_discarded == 1
+
+    def test_empty_input(self):
+        assert select(TrueFilter(), frozenset()) == frozenset()
+
+
+class TestAntiMonotonicityDefinition:
+    """Exhaustive Definition-11 checks on small random fragments."""
+
+    @settings(max_examples=40)
+    @given(document_and_fragments(max_nodes=8, max_fragments=1))
+    def test_size_at_most_is_anti_monotonic(self, doc_and_frags):
+        _, (fragment,) = doc_and_frags
+        for limit in (1, 2, 3):
+            assert find_anti_monotonicity_violation(
+                SizeAtMost(limit), fragment) is None
+
+    @settings(max_examples=40)
+    @given(document_and_fragments(max_nodes=8, max_fragments=1))
+    def test_height_at_most_is_anti_monotonic(self, doc_and_frags):
+        _, (fragment,) = doc_and_frags
+        for limit in (0, 1, 2):
+            assert find_anti_monotonicity_violation(
+                HeightAtMost(limit), fragment) is None
+
+    @settings(max_examples=40)
+    @given(document_and_fragments(max_nodes=8, max_fragments=1))
+    def test_width_at_most_is_anti_monotonic(self, doc_and_frags):
+        _, (fragment,) = doc_and_frags
+        for limit in (0, 2, 5):
+            assert find_anti_monotonicity_violation(
+                WidthAtMost(limit), fragment) is None
+
+    @settings(max_examples=40)
+    @given(document_and_fragments(max_nodes=7, max_fragments=1))
+    def test_conjunction_is_anti_monotonic(self, doc_and_frags):
+        _, (fragment,) = doc_and_frags
+        predicate = SizeAtMost(3) & HeightAtMost(1)
+        assert find_anti_monotonicity_violation(predicate,
+                                                fragment) is None
+
+    @settings(max_examples=40)
+    @given(document_and_fragments(max_nodes=7, max_fragments=1))
+    def test_disjunction_is_anti_monotonic(self, doc_and_frags):
+        _, (fragment,) = doc_and_frags
+        predicate = SizeAtMost(2) | HeightAtMost(0)
+        assert find_anti_monotonicity_violation(predicate,
+                                                fragment) is None
+
+    @settings(max_examples=30)
+    @given(document_and_fragments(max_nodes=7, max_fragments=1))
+    def test_definition_quantifies_all_subfragments(self, doc_and_frags):
+        # Cross-check the checker itself: a violation witness must be a
+        # genuine sub-fragment failing the predicate.
+        _, (fragment,) = doc_and_frags
+        predicate = SizeAtLeast(2)
+        witness = find_anti_monotonicity_violation(predicate, fragment)
+        if witness is not None:
+            assert witness <= fragment
+            assert predicate(fragment)
+            assert not predicate(witness)
+        else:
+            # No witness: the predicate holds nowhere or on every
+            # sub-fragment of f.
+            if predicate(fragment):
+                assert all(predicate(sub)
+                           for sub in iter_subfragments(fragment))

@@ -1,0 +1,151 @@
+"""Unit and property tests for the extended filter set.
+
+Each new filter's anti-monotonicity classification is verified against
+Definition 11 by exhaustive sub-fragment enumeration on small random
+fragments — the same regimen the paper's own filters get in
+test_filters.py.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.enumeration import find_anti_monotonicity_violation
+from repro.core.filters import (ExcludesKeyword, LeafCountAtMost,
+                                RootDepthAtLeast, TagsWithin)
+from repro.core.fragment import Fragment
+from repro.core.query import Query
+from repro.core.strategies import Strategy, evaluate
+from repro.core.filters import SizeAtMost
+
+from ..treegen import document_and_fragments
+
+
+class TestExcludesKeyword:
+    def test_semantics(self, tiny_doc):
+        predicate = ExcludesKeyword("apple")
+        assert predicate(Fragment(tiny_doc, [3]))
+        assert not predicate(Fragment(tiny_doc, [1, 2]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExcludesKeyword("")
+
+    def test_flag(self):
+        assert ExcludesKeyword("x").is_anti_monotonic
+
+    def test_repr(self):
+        assert repr(ExcludesKeyword("ads")) == "keyword≠ads"
+
+    @settings(max_examples=30)
+    @given(document_and_fragments(max_nodes=7, max_fragments=1))
+    def test_definition11(self, doc_and_frags):
+        _, (fragment,) = doc_and_frags
+        for word in ("alpha", "beta"):
+            assert find_anti_monotonicity_violation(
+                ExcludesKeyword(word), fragment) is None
+
+
+class TestRootDepthAtLeast:
+    def test_semantics(self, tiny_doc):
+        predicate = RootDepthAtLeast(1)
+        assert predicate(Fragment(tiny_doc, [1, 2]))
+        assert not predicate(Fragment(tiny_doc, [0, 1]))
+
+    def test_zero_accepts_everything(self, tiny_doc):
+        assert RootDepthAtLeast(0)(Fragment(tiny_doc, [0]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RootDepthAtLeast(-1)
+
+    def test_flag_and_repr(self):
+        predicate = RootDepthAtLeast(2)
+        assert predicate.is_anti_monotonic
+        assert repr(predicate) == "root-depth>=2"
+
+    @settings(max_examples=30)
+    @given(document_and_fragments(max_nodes=7, max_fragments=1))
+    def test_definition11(self, doc_and_frags):
+        _, (fragment,) = doc_and_frags
+        for depth in (0, 1, 2):
+            assert find_anti_monotonicity_violation(
+                RootDepthAtLeast(depth), fragment) is None
+
+
+class TestTagsWithin:
+    def test_semantics(self, tiny_doc):
+        predicate = TagsWithin({"section", "par"})
+        assert predicate(Fragment(tiny_doc, [1, 2]))
+        assert not predicate(Fragment(tiny_doc, [0, 1]))  # article
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TagsWithin(set())
+
+    def test_flag(self):
+        assert TagsWithin({"par"}).is_anti_monotonic
+
+    @settings(max_examples=30)
+    @given(document_and_fragments(max_nodes=7, max_fragments=1))
+    def test_definition11(self, doc_and_frags):
+        _, (fragment,) = doc_and_frags
+        for allowed in ({"node"}, {"root"}, {"node", "root"}):
+            assert find_anti_monotonicity_violation(
+                TagsWithin(allowed), fragment) is None
+
+
+class TestLeafCountAtMost:
+    def test_semantics(self, tiny_doc):
+        # ⟨n0,n1,n2,n3,n4⟩ has induced leaves {2, 3, 4}.
+        frag = Fragment(tiny_doc, [0, 1, 2, 3, 4])
+        assert LeafCountAtMost(3)(frag)
+        assert not LeafCountAtMost(2)(frag)
+
+    def test_single_node(self, tiny_doc):
+        assert LeafCountAtMost(1)(Fragment(tiny_doc, [5]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LeafCountAtMost(0)
+
+    def test_flag_and_repr(self):
+        assert LeafCountAtMost(2).is_anti_monotonic
+        assert repr(LeafCountAtMost(2)) == "leaves<=2"
+
+    @settings(max_examples=40)
+    @given(document_and_fragments(max_nodes=8, max_fragments=1))
+    def test_definition11(self, doc_and_frags):
+        _, (fragment,) = doc_and_frags
+        for limit in (1, 2, 3):
+            assert find_anti_monotonicity_violation(
+                LeafCountAtMost(limit), fragment) is None
+
+
+class TestNewFiltersInQueries:
+    def test_tags_within_pushed_down(self, figure1):
+        predicate = SizeAtMost(3) & TagsWithin(
+            {"par", "subsubsection"})
+        query = Query(("xquery", "optimization"), predicate)
+        assert predicate.is_anti_monotonic
+        pushed = evaluate(figure1, query, strategy=Strategy.PUSHDOWN)
+        brute = evaluate(figure1, query, strategy=Strategy.BRUTE_FORCE)
+        assert pushed.fragments == brute.fragments
+        # n16 is a subsubsection, n17/n18 pars: target still included.
+        assert Fragment(figure1, [16, 17, 18]) in pushed.fragments
+
+    def test_root_depth_excludes_shallow_answers(self, figure1):
+        query = Query(("xquery", "optimization"),
+                      SizeAtMost(10) & RootDepthAtLeast(3))
+        result = evaluate(figure1, query)
+        for fragment in result.fragments:
+            assert figure1.depth(fragment.root) >= 3
+
+    def test_leaf_count_in_query(self, figure1):
+        query = Query(("xquery", "optimization"),
+                      LeafCountAtMost(1) & SizeAtMost(4))
+        result = evaluate(figure1, query)
+        # Only chain-shaped answers survive: ⟨17⟩ and ⟨16,17⟩/⟨16,18⟩.
+        assert Fragment(figure1, [17]) in result.fragments
+        assert Fragment(figure1, [16, 17, 18]) not in result.fragments

@@ -1,0 +1,161 @@
+"""Unit tests for Fragment (paper Definition 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.core.fragment import Fragment
+from repro.errors import CrossDocumentError, FragmentError
+
+from ..treegen import document_and_fragments, documents
+
+
+class TestConstruction:
+    def test_empty_rejected(self, tiny_doc):
+        with pytest.raises(FragmentError, match="at least one"):
+            Fragment(tiny_doc, [])
+
+    def test_disconnected_rejected(self, tiny_doc):
+        with pytest.raises(FragmentError, match="connected"):
+            Fragment(tiny_doc, [2, 5])
+
+    def test_gap_rejected(self, tiny_doc):
+        with pytest.raises(FragmentError, match="connected"):
+            Fragment(tiny_doc, [0, 2])
+
+    def test_out_of_range_rejected(self, tiny_doc):
+        with pytest.raises(FragmentError, match="out of range"):
+            Fragment(tiny_doc, [99])
+
+    def test_validate_false_skips_checks(self, tiny_doc):
+        # Deliberately invalid but accepted — callers vouch for it.
+        frag = Fragment(tiny_doc, [2, 5], validate=False)
+        assert frag.size == 2
+
+    def test_from_node(self, tiny_doc):
+        assert Fragment.from_node(tiny_doc, 3).nodes == frozenset([3])
+
+    def test_subtree_constructor(self, tiny_doc):
+        assert Fragment.subtree(tiny_doc, 1).nodes == frozenset([1, 2, 3])
+
+    def test_whole_document(self, tiny_doc):
+        assert Fragment.whole_document(tiny_doc).size == tiny_doc.size
+
+
+class TestMeasures:
+    def test_root_is_min_id(self, tiny_doc):
+        assert Fragment(tiny_doc, [1, 2, 3]).root == 1
+        assert Fragment(tiny_doc, [4]).root == 4
+
+    def test_size(self, tiny_doc):
+        assert Fragment(tiny_doc, [0, 1, 2]).size == 3
+
+    def test_height_single_node_zero(self, tiny_doc):
+        assert Fragment(tiny_doc, [3]).height == 0
+
+    def test_height_of_two_levels(self, tiny_doc):
+        assert Fragment(tiny_doc, [1, 3]).height == 1
+        assert Fragment(tiny_doc, [0, 1, 2]).height == 2
+
+    def test_width_single_node_zero(self, tiny_doc):
+        assert Fragment(tiny_doc, [2]).width == 0
+
+    def test_width_is_preorder_span(self, tiny_doc):
+        assert Fragment(tiny_doc, [1, 2, 3]).width == 2
+        assert Fragment(tiny_doc, [0, 1, 4]).width == 4
+
+    def test_leaves(self, tiny_doc):
+        frag = Fragment(tiny_doc, [0, 1, 2, 4])
+        assert frag.leaves == frozenset([2, 4])
+
+    def test_keywords_union(self, tiny_doc):
+        frag = Fragment(tiny_doc, [2, 1, 3])
+        kws = frag.keywords()
+        assert {"red", "apple", "green", "pear"} <= kws
+
+    def test_leaf_keywords(self, tiny_doc):
+        frag = Fragment(tiny_doc, [1, 2])
+        assert "apple" in frag.leaf_keywords()
+        assert "colours" not in frag.leaf_keywords()
+
+    def test_contains_keyword(self, tiny_doc):
+        frag = Fragment(tiny_doc, [1, 2])
+        assert frag.contains_keyword("apple")
+        assert not frag.contains_keyword("pear")
+
+
+class TestContainment:
+    def test_subfragment(self, tiny_doc):
+        small = Fragment(tiny_doc, [1, 2])
+        big = Fragment(tiny_doc, [0, 1, 2, 3])
+        assert small.issubfragment(big)
+        assert small <= big
+        assert small < big
+        assert big >= small
+        assert big > small
+        assert not big.issubfragment(small)
+
+    def test_self_containment(self, tiny_doc):
+        frag = Fragment(tiny_doc, [1, 2])
+        assert frag <= frag
+        assert not frag < frag
+
+    def test_cross_document_rejected(self, tiny_doc, chain_doc):
+        f1 = Fragment(tiny_doc, [0])
+        f2 = Fragment(chain_doc, [0])
+        with pytest.raises(CrossDocumentError):
+            f1.issubfragment(f2)
+
+
+class TestValueSemantics:
+    def test_equality_by_nodes(self, tiny_doc):
+        assert Fragment(tiny_doc, [1, 2]) == Fragment(tiny_doc, [2, 1])
+        assert Fragment(tiny_doc, [1, 2]) != Fragment(tiny_doc, [1, 3])
+
+    def test_not_equal_across_documents(self, tiny_doc, chain_doc):
+        assert Fragment(tiny_doc, [0]) != Fragment(chain_doc, [0])
+
+    def test_not_equal_to_other_types(self, tiny_doc):
+        assert Fragment(tiny_doc, [0]) != frozenset([0])
+
+    def test_hashable_in_sets(self, tiny_doc):
+        bag = {Fragment(tiny_doc, [1, 2]), Fragment(tiny_doc, [2, 1]),
+               Fragment(tiny_doc, [3])}
+        assert len(bag) == 2
+
+    def test_iteration_sorted(self, tiny_doc):
+        assert list(Fragment(tiny_doc, [3, 1, 2])) == [1, 2, 3]
+
+    def test_contains_node(self, tiny_doc):
+        frag = Fragment(tiny_doc, [1, 2])
+        assert 2 in frag
+        assert 5 not in frag
+
+    def test_label_notation(self, tiny_doc):
+        assert Fragment(tiny_doc, [2, 1]).label() == "⟨n1,n2⟩"
+
+
+class TestFragmentProperties:
+    @given(document_and_fragments())
+    def test_random_fragments_valid(self, doc_and_frags):
+        doc, fragments = doc_and_frags
+        for frag in fragments:
+            # Reconstruct with validation on: must not raise.
+            Fragment(doc, frag.nodes)
+
+    @given(document_and_fragments())
+    def test_root_is_shallowest(self, doc_and_frags):
+        doc, fragments = doc_and_frags
+        for frag in fragments:
+            root_depth = doc.depth(frag.root)
+            assert all(doc.depth(n) >= root_depth for n in frag.nodes)
+
+    @given(document_and_fragments())
+    def test_measures_monotone_under_containment(self, doc_and_frags):
+        doc, fragments = doc_and_frags
+        whole = Fragment.whole_document(doc)
+        for frag in fragments:
+            assert frag.size <= whole.size
+            assert frag.height <= whole.height
+            assert frag.width <= whole.width

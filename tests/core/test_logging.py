@@ -1,0 +1,35 @@
+"""Tests for the evaluation layer's logging hooks."""
+
+from __future__ import annotations
+
+import logging
+
+from repro.core.filters import SizeAtMost
+from repro.core.query import Query
+from repro.core.strategies import Strategy, evaluate
+
+
+class TestEvaluationLogging:
+    QUERY = Query.of("xquery", "optimization", predicate=SizeAtMost(3))
+
+    def test_debug_log_emitted(self, figure1, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro.strategies"):
+            evaluate(figure1, self.QUERY, strategy=Strategy.PUSHDOWN)
+        messages = [r.message for r in caplog.records
+                    if r.name == "repro.strategies"]
+        assert any("pushdown" in m and "4 answers" in m
+                   for m in messages)
+
+    def test_silent_by_default(self, figure1, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.strategies"):
+            evaluate(figure1, self.QUERY)
+        assert not [r for r in caplog.records
+                    if r.name == "repro.strategies"]
+
+    def test_log_includes_join_counts(self, figure1, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro.strategies"):
+            evaluate(figure1, self.QUERY, strategy=Strategy.BRUTE_FORCE)
+        message = next(r.message for r in caplog.records
+                       if r.name == "repro.strategies")
+        assert "joins" in message
+        assert "pruned" in message

@@ -1,0 +1,86 @@
+"""Unit tests for logical plans (Figure 5 query evaluation trees)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.filters import SizeAtLeast, SizeAtMost
+from repro.core.plan import (FixedPoint, KeywordScan, PairwiseJoin,
+                             PlanNode, PowersetJoin, Select, explain,
+                             initial_plan)
+from repro.core.query import Query
+from repro.errors import PlanError
+
+
+class TestPlanNodes:
+    def test_scan_label(self):
+        assert KeywordScan("xquery").label() == "scan[keyword=xquery]"
+
+    def test_select_label_marks_anti_monotonic(self):
+        am = Select(SizeAtMost(3), KeywordScan("a"))
+        other = Select(SizeAtLeast(3), KeywordScan("a"))
+        assert am.label().startswith("σa")
+        assert other.label().startswith("σ[")
+
+    def test_join_children(self):
+        join = PairwiseJoin(KeywordScan("a"), KeywordScan("b"))
+        assert len(join.children()) == 2
+        assert join.label() == "⋈"
+
+    def test_fixed_point_modes(self):
+        bounded = FixedPoint(KeywordScan("a"), bounded=True)
+        lazy = FixedPoint(KeywordScan("a"), bounded=False)
+        assert "bounded" in bounded.label()
+        assert "semi-naive" in lazy.label()
+
+    def test_fixed_point_prune_label(self):
+        pruned = FixedPoint(KeywordScan("a"), predicate=SizeAtMost(2))
+        assert "prune=size<=2" in pruned.label()
+
+    def test_fixed_point_rejects_non_am_prune(self):
+        with pytest.raises(PlanError, match="anti-monotonic"):
+            FixedPoint(KeywordScan("a"), predicate=SizeAtLeast(2))
+
+    def test_powerset_requires_operands(self):
+        with pytest.raises(PlanError):
+            PowersetJoin(())
+
+    def test_base_label_abstract(self):
+        with pytest.raises(NotImplementedError):
+            PlanNode().label()
+
+    def test_walk_preorder(self):
+        plan = Select(SizeAtMost(1),
+                      PairwiseJoin(KeywordScan("a"), KeywordScan("b")))
+        kinds = [type(n).__name__ for n in plan.walk()]
+        assert kinds == ["Select", "PairwiseJoin", "KeywordScan",
+                         "KeywordScan"]
+
+
+class TestInitialPlan:
+    def test_shape(self):
+        query = Query.of("a", "b", predicate=SizeAtMost(3))
+        plan = initial_plan(query)
+        assert isinstance(plan, Select)
+        assert isinstance(plan.child, PowersetJoin)
+        assert [s.term for s in plan.child.operands] == ["a", "b"]
+
+    def test_single_term(self):
+        plan = initial_plan(Query.of("a"))
+        assert isinstance(plan.child, PowersetJoin)
+        assert len(plan.child.operands) == 1
+
+
+class TestExplain:
+    def test_indented_tree(self):
+        query = Query.of("a", "b", predicate=SizeAtMost(3))
+        rendered = explain(initial_plan(query))
+        lines = rendered.splitlines()
+        assert lines[0].startswith("σa")
+        assert lines[1].strip() == "⋈*"
+        assert lines[2].strip() == "scan[keyword=a]"
+        assert lines[2].startswith("    ")
+
+    def test_custom_indent(self):
+        rendered = explain(KeywordScan("a"), indent="..")
+        assert rendered == "scan[keyword=a]"

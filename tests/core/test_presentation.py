@@ -1,0 +1,98 @@
+"""Unit tests for overlap presentation (paper §5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fragment import Fragment
+from repro.core.presentation import (AnswerGroup, OverlapPolicy, arrange,
+                                     overlap, overlap_matrix)
+
+
+@pytest.fixture()
+def answers(figure1):
+    """The Table 1 final answer set."""
+    return [Fragment(figure1, [17]),
+            Fragment(figure1, [16, 17]),
+            Fragment(figure1, [16, 18]),
+            Fragment(figure1, [16, 17, 18])]
+
+
+class TestArrangeKeep:
+    def test_every_answer_is_a_group(self, answers):
+        groups = arrange(answers, OverlapPolicy.KEEP)
+        assert len(groups) == 4
+        assert all(not g.members for g in groups)
+
+    def test_sorted_smallest_first(self, answers):
+        groups = arrange(answers, OverlapPolicy.KEEP)
+        sizes = [g.representative.size for g in groups]
+        assert sizes == sorted(sizes)
+
+
+class TestArrangeHide:
+    def test_only_maximal_remain(self, figure1, answers):
+        groups = arrange(answers, OverlapPolicy.HIDE)
+        assert [g.representative for g in groups] == \
+            [Fragment(figure1, [16, 17, 18])]
+        assert groups[0].members == ()
+
+    def test_incomparable_answers_all_kept(self, figure1):
+        frags = [Fragment(figure1, [17]), Fragment(figure1, [81])]
+        groups = arrange(frags, OverlapPolicy.HIDE)
+        assert len(groups) == 2
+
+
+class TestArrangeGroup:
+    def test_members_attached_to_maximal(self, figure1, answers):
+        groups = arrange(answers, OverlapPolicy.GROUP)
+        assert len(groups) == 1
+        group = groups[0]
+        assert group.representative == Fragment(figure1, [16, 17, 18])
+        assert set(group.members) == {Fragment(figure1, [17]),
+                                      Fragment(figure1, [16, 17]),
+                                      Fragment(figure1, [16, 18])}
+        assert group.total == 4
+
+    def test_member_goes_to_tightest_host(self, figure1):
+        frags = [Fragment(figure1, [17]),
+                 Fragment(figure1, [16, 17]),
+                 Fragment(figure1, [16, 17, 18])]
+        # Both ⟨16,17⟩ and ⟨16,17,18⟩ are hosts of ⟨17⟩... but ⟨16,17⟩
+        # is itself non-maximal, so the only maximal host wins.
+        groups = arrange(frags, OverlapPolicy.GROUP)
+        assert len(groups) == 1
+        assert groups[0].total == 3
+
+    def test_disjoint_groups(self, figure1):
+        frags = [Fragment(figure1, [17]), Fragment(figure1, [16, 17]),
+                 Fragment(figure1, [81]), Fragment(figure1, [80, 81])]
+        groups = arrange(frags, OverlapPolicy.GROUP)
+        assert len(groups) == 2
+        assert all(g.total == 2 for g in groups)
+
+    def test_empty_input(self):
+        assert arrange([], OverlapPolicy.GROUP) == []
+
+
+class TestOverlapMeasures:
+    def test_identical_fragments(self, figure1):
+        f = Fragment(figure1, [16, 17])
+        assert overlap(f, f) == 1.0
+
+    def test_disjoint_fragments(self, figure1):
+        assert overlap(Fragment(figure1, [17]),
+                       Fragment(figure1, [81])) == 0.0
+
+    def test_containment_ratio(self, figure1):
+        small = Fragment(figure1, [17])
+        big = Fragment(figure1, [16, 17, 18])
+        assert overlap(small, big) == pytest.approx(1 / 3)
+
+    def test_matrix_shape_and_diagonal(self, answers):
+        matrix = overlap_matrix(answers)
+        assert len(matrix) == 4
+        for i in range(4):
+            assert matrix[i][i] == 1.0
+            for j in range(4):
+                assert matrix[i][j] == pytest.approx(matrix[j][i])

@@ -1,0 +1,71 @@
+"""Unit tests for instrumented plan execution."""
+
+from __future__ import annotations
+
+from repro.core.cost import CostModel
+from repro.core.filters import SizeAtMost
+from repro.core.optimizer import optimize
+from repro.core.plan import KeywordScan, PairwiseJoin, Select
+from repro.core.profile import profile_plan
+from repro.core.query import Query
+from repro.core.strategies import evaluate
+
+
+class TestProfilePlan:
+    QUERY = Query.of("xquery", "optimization", predicate=SizeAtMost(3))
+
+    def test_result_matches_plain_execution(self, figure1):
+        plan = optimize(self.QUERY)
+        profiled = profile_plan(figure1, plan)
+        plain = evaluate(figure1, self.QUERY).fragments
+        assert profiled.fragments == plain
+
+    def test_one_profile_per_operator_preorder(self, figure1):
+        plan = optimize(self.QUERY)
+        profiled = profile_plan(figure1, plan)
+        walked = list(plan.walk())
+        assert [p.node for p in profiled.profiles] == walked
+
+    def test_root_profile_covers_everything(self, figure1):
+        plan = optimize(self.QUERY)
+        profiled = profile_plan(figure1, plan)
+        root = profiled.profiles[0]
+        assert root.rows == len(profiled.fragments)
+        assert root.seconds == profiled.total_seconds()
+        # Root subtree time bounds every child's time.
+        assert all(p.seconds <= root.seconds + 1e-9
+                   for p in profiled.profiles)
+
+    def test_scan_rows(self, figure1):
+        plan = PairwiseJoin(KeywordScan("xquery"),
+                            KeywordScan("optimization"))
+        profiled = profile_plan(figure1, plan)
+        by_label = {p.node.label(): p for p in profiled.profiles}
+        assert by_label["scan[keyword=xquery]"].rows == 2
+        assert by_label["scan[keyword=optimization]"].rows == 3
+        assert by_label["⋈"].joins > 0
+
+    def test_select_counts_checks(self, figure1):
+        plan = Select(SizeAtMost(1), KeywordScan("xquery"))
+        profiled = profile_plan(figure1, plan)
+        root = profiled.profiles[0]
+        assert root.predicate_checks == 2
+
+    def test_render_contains_measurements(self, figure1):
+        plan = optimize(self.QUERY)
+        rendered = profile_plan(figure1, plan).render()
+        assert "rows=" in rendered
+        assert "joins=" in rendered
+        assert "scan[keyword=xquery]" in rendered
+
+    def test_render_with_cost_model(self, figure1, figure1_index):
+        plan = optimize(self.QUERY)
+        model = CostModel(figure1, index=figure1_index)
+        rendered = profile_plan(figure1, plan,
+                                index=figure1_index).render(model)
+        assert "est.rows=" in rendered
+
+    def test_empty_plan_profile(self, figure1):
+        profiled = profile_plan(figure1, KeywordScan("zebra"))
+        assert profiled.fragments == frozenset()
+        assert profiled.profiles[0].rows == 0

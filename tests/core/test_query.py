@@ -1,0 +1,130 @@
+"""Unit tests for queries and answer semantics (paper Definitions 7–8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.filters import SizeAtMost, TrueFilter
+from repro.core.fragment import Fragment
+from repro.core.query import (Query, QueryResult, covers_all_terms,
+                              is_answer, keyword_fragments)
+from repro.errors import QueryError
+from repro.index.inverted import InvertedIndex
+
+
+class TestQueryConstruction:
+    def test_terms_normalised(self):
+        query = Query.of("XQuery", "OPTIMIZATION")
+        assert query.terms == ("xquery", "optimization")
+
+    def test_default_predicate_is_true(self):
+        assert isinstance(Query.of("a").predicate, TrueFilter)
+
+    def test_no_terms_rejected(self):
+        with pytest.raises(QueryError):
+            Query(())
+
+    def test_empty_term_rejected(self):
+        with pytest.raises(QueryError):
+            Query(("a", ""))
+
+    def test_duplicate_terms_rejected(self):
+        with pytest.raises(QueryError):
+            Query(("a", "A"))
+
+    def test_describe(self):
+        query = Query.of("a", "b", predicate=SizeAtMost(3))
+        assert query.describe() == "Q[size<=3]{a, b}"
+
+    def test_frozen(self):
+        query = Query.of("a")
+        with pytest.raises(AttributeError):
+            query.terms = ("b",)
+
+
+class TestKeywordFragments:
+    def test_scan_path(self, tiny_doc):
+        frags = keyword_fragments(tiny_doc, "red")
+        assert frags == frozenset([Fragment(tiny_doc, [2]),
+                                   Fragment(tiny_doc, [5])])
+
+    def test_index_path_matches_scan(self, tiny_doc):
+        index = InvertedIndex(tiny_doc)
+        assert keyword_fragments(tiny_doc, "red", index=index) == \
+            keyword_fragments(tiny_doc, "red")
+
+    def test_unknown_term_empty(self, tiny_doc):
+        assert keyword_fragments(tiny_doc, "zebra") == frozenset()
+
+    def test_figure1_keyword_sets(self, figure1):
+        F1 = keyword_fragments(figure1, "xquery")
+        F2 = keyword_fragments(figure1, "optimization")
+        assert {f.root for f in F1} == {17, 18}
+        assert {f.root for f in F2} == {16, 17, 81}
+
+
+class TestIsAnswer:
+    def test_target_fragment_is_answer(self, figure1):
+        query = Query.of("xquery", "optimization",
+                         predicate=SizeAtMost(3))
+        target = Fragment(figure1, [16, 17, 18])
+        assert is_answer(target, query)
+
+    def test_predicate_must_hold(self, figure1):
+        query = Query.of("xquery", "optimization",
+                         predicate=SizeAtMost(2))
+        assert not is_answer(Fragment(figure1, [16, 17, 18]), query)
+
+    def test_keywords_must_be_on_leaves(self, figure1):
+        # ⟨n16,n17⟩: n17 is the only leaf and carries both keywords.
+        query = Query.of("xquery", "optimization")
+        assert is_answer(Fragment(figure1, [16, 17]), query)
+        # ⟨n14,n15,n16⟩ has optimization on leaf n16 but no xquery leaf.
+        assert not is_answer(Fragment(figure1, [14, 15, 16]), query)
+
+    def test_missing_keyword_fails(self, figure1):
+        query = Query.of("xquery", "optimization")
+        assert not is_answer(Fragment(figure1, [18]), query)
+        assert is_answer(Fragment(figure1, [17]), query)
+
+
+class TestCoversAllTerms:
+    def test_any_node_counts(self, figure1):
+        frag = Fragment(figure1, [16, 17])
+        assert covers_all_terms(frag, ("xquery", "optimization"))
+        assert not covers_all_terms(Fragment(figure1, [16]),
+                                    ("xquery", "optimization"))
+
+
+class TestQueryResult:
+    def _result(self, doc):
+        frags = frozenset([
+            Fragment(doc, [17]),
+            Fragment(doc, [16, 17]),
+            Fragment(doc, [16, 17, 18]),
+        ])
+        return QueryResult(query=Query.of("xquery", "optimization"),
+                           fragments=frags, strategy="test",
+                           elapsed=0.0, stats={})
+
+    def test_len(self, figure1):
+        assert len(self._result(figure1)) == 3
+
+    def test_sorted_smallest_first(self, figure1):
+        ordered = self._result(figure1).sorted_fragments()
+        assert [f.size for f in ordered] == [1, 2, 3]
+
+    def test_top(self, figure1):
+        assert len(self._result(figure1).top(2)) == 2
+
+    def test_non_overlapping_keeps_maximal(self, figure1):
+        kept = self._result(figure1).non_overlapping()
+        assert kept == [Fragment(figure1, [16, 17, 18])]
+
+    def test_non_overlapping_keeps_incomparable(self, figure1):
+        frags = frozenset([Fragment(figure1, [17]),
+                           Fragment(figure1, [81])])
+        result = QueryResult(query=Query.of("optimization"),
+                             fragments=frags, strategy="t", elapsed=0.0,
+                             stats={})
+        assert set(result.non_overlapping()) == set(frags)

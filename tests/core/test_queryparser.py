@@ -1,0 +1,142 @@
+"""Unit tests for the textual query language."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.filters import (And, ContainsKeyword, EqualDepth,
+                                ExcludesKeyword, HeightAtMost,
+                                LeafCountAtMost, Not, Or,
+                                RootDepthAtLeast, SizeAtLeast,
+                                SizeAtMost, TagsWithin, TrueFilter,
+                                WidthAtMost)
+from repro.core.queryparser import parse_filter, parse_query
+from repro.core.strategies import evaluate
+from repro.errors import QueryError
+
+
+class TestParseQuery:
+    def test_keywords_only(self):
+        query = parse_query("alpha beta")
+        assert query.terms == ("alpha", "beta")
+        assert isinstance(query.predicate, TrueFilter)
+
+    def test_keywords_with_filter(self):
+        query = parse_query("xquery optimization [size<=3]")
+        assert query.terms == ("xquery", "optimization")
+        assert isinstance(query.predicate, SizeAtMost)
+        assert query.predicate.limit == 3
+
+    def test_terms_casefolded(self):
+        assert parse_query("XQuery").terms == ("xquery",)
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("   ")
+        with pytest.raises(QueryError):
+            parse_query("[size<=3]")
+
+    def test_unterminated_bracket(self):
+        with pytest.raises(QueryError, match="unterminated"):
+            parse_query("a b [size<=3")
+
+    def test_end_to_end_matches_programmatic(self, figure1):
+        from repro.core.query import Query
+        parsed = parse_query("xquery optimization [size<=3]")
+        programmatic = Query.of("xquery", "optimization",
+                                predicate=SizeAtMost(3))
+        assert evaluate(figure1, parsed).fragments == \
+            evaluate(figure1, programmatic).fragments
+
+
+class TestParseFilterAtoms:
+    def test_empty_is_true(self):
+        assert isinstance(parse_filter(""), TrueFilter)
+        assert isinstance(parse_filter("true"), TrueFilter)
+
+    @pytest.mark.parametrize("text,kind,attr,value", [
+        ("size<=5", SizeAtMost, "limit", 5),
+        ("size>=2", SizeAtLeast, "limit", 2),
+        ("height<=3", HeightAtMost, "limit", 3),
+        ("width<=7", WidthAtMost, "limit", 7),
+        ("leaves<=2", LeafCountAtMost, "limit", 2),
+        ("rootdepth>=1", RootDepthAtLeast, "depth", 1),
+    ])
+    def test_comparisons(self, text, kind, attr, value):
+        predicate = parse_filter(text)
+        assert isinstance(predicate, kind)
+        assert getattr(predicate, attr) == value
+
+    def test_keyword_predicates(self):
+        has = parse_filter("keyword=Draft")
+        assert isinstance(has, ContainsKeyword)
+        assert has.keyword == "draft"
+        lacks = parse_filter("keyword!=draft")
+        assert isinstance(lacks, ExcludesKeyword)
+
+    def test_tags_predicate(self):
+        predicate = parse_filter("tags=par,section")
+        assert isinstance(predicate, TagsWithin)
+        assert predicate.allowed == frozenset({"par", "section"})
+
+    def test_equal_depth(self):
+        predicate = parse_filter("equaldepth(A, b)")
+        assert isinstance(predicate, EqualDepth)
+        assert (predicate.keyword1, predicate.keyword2) == ("a", "b")
+
+    def test_unknown_predicate(self):
+        with pytest.raises(QueryError, match="unknown predicate"):
+            parse_filter("sized<=3")
+
+    def test_bad_operator(self):
+        with pytest.raises(QueryError):
+            parse_filter("height>=2")
+        with pytest.raises(QueryError):
+            parse_filter("rootdepth<=2")
+
+    def test_bad_integer(self):
+        with pytest.raises(QueryError, match="integer"):
+            parse_filter("size<=many")
+
+
+class TestParseFilterComposition:
+    def test_conjunction(self):
+        predicate = parse_filter("size<=3 & height<=2")
+        assert isinstance(predicate, And)
+        assert predicate.is_anti_monotonic
+
+    def test_disjunction(self):
+        predicate = parse_filter("size<=3 | width<=2")
+        assert isinstance(predicate, Or)
+        assert predicate.is_anti_monotonic
+
+    def test_negation(self):
+        predicate = parse_filter("!size<=3")
+        assert isinstance(predicate, Not)
+        assert not predicate.is_anti_monotonic
+
+    def test_parentheses_and_precedence(self):
+        # & binds tighter than |.
+        flat = parse_filter("size<=1 | size<=2 & size<=3")
+        assert isinstance(flat, Or)
+        grouped = parse_filter("(size<=1 | size<=2) & size<=3")
+        assert isinstance(grouped, And)
+
+    def test_mixed_loses_anti_monotonicity(self):
+        predicate = parse_filter("size<=3 & size>=2")
+        assert not predicate.is_anti_monotonic
+
+    def test_trailing_garbage(self):
+        with pytest.raises(QueryError, match="unexpected token"):
+            parse_filter("size<=3 size<=4")
+
+    def test_unbalanced_parenthesis(self):
+        with pytest.raises(QueryError):
+            parse_filter("(size<=3")
+
+    def test_semantics_on_fragments(self, figure1):
+        from repro.core.fragment import Fragment
+        predicate = parse_filter("size<=2 | keyword=xquery")
+        assert predicate(Fragment(figure1, [16, 17]))
+        assert predicate(Fragment(figure1, [16, 17, 18]))  # has xquery
+        assert not predicate(Fragment(figure1, [0, 1, 2]))

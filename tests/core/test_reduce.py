@@ -1,0 +1,199 @@
+"""Unit and property tests for fixed points and set reduction (paper §3.1).
+
+The central properties:
+
+* Figure 4's worked reduction example;
+* Theorem 1: ``⋈_{|⊖(F)|}(F)`` equals the fixed point;
+* semi-naive and bounded fixed points agree;
+* anti-monotonic pruning inside the fixed point equals filtering after.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.algebra import pairwise_join
+from repro.core.filters import SizeAtMost
+from repro.core.fragment import Fragment
+from repro.core.reduce import (fixed_point, fixed_point_bounded,
+                               is_fixed_point, iterate_pairwise,
+                               reduction_count, set_reduce)
+from repro.core.stats import OperationStats
+from repro.core.filters import select
+
+from ..treegen import document_and_nodesets
+
+
+def naive_fixed_point(fragments):
+    """Reference closure: iterate full pairwise join until stable."""
+    current = frozenset(fragments)
+    while True:
+        nxt = current | pairwise_join(current, current)
+        if nxt == current:
+            return current
+        current = nxt
+
+
+class TestSetReduceUnit:
+    def test_figure4_example(self, figure4):
+        F = figure4.fragment_set([["n1"], ["n3"], ["n5"], ["n6"], ["n7"]])
+        reduced = set_reduce(F)
+        labels = {tuple(sorted(figure4.labels_of(f))) for f in reduced}
+        assert labels == {("n1",), ("n5",), ("n7",)}
+
+    def test_small_sets_unchanged(self, tiny_doc):
+        f1, f2 = Fragment(tiny_doc, [2]), Fragment(tiny_doc, [3])
+        assert set_reduce([f1]) == frozenset([f1])
+        assert set_reduce([f1, f2]) == frozenset([f1, f2])
+        assert set_reduce([]) == frozenset()
+
+    def test_duplicates_collapse(self, tiny_doc):
+        f = Fragment(tiny_doc, [2])
+        assert set_reduce([f, f, f]) == frozenset([f])
+
+    def test_middle_node_eliminated(self, chain_doc):
+        # In a chain, ⟨n2⟩ ⊆ ⟨n1⟩ ⋈ ⟨n3⟩.
+        F = [Fragment(chain_doc, [1]), Fragment(chain_doc, [2]),
+             Fragment(chain_doc, [3])]
+        reduced = set_reduce(F)
+        assert reduced == frozenset([Fragment(chain_doc, [1]),
+                                     Fragment(chain_doc, [3])])
+
+    def test_subset_checks_counted(self, chain_doc):
+        stats = OperationStats()
+        set_reduce([Fragment(chain_doc, [i]) for i in (1, 2, 3)],
+                   stats=stats)
+        assert stats.subset_checks > 0
+
+    def test_reduction_count(self, figure4):
+        F = figure4.fragment_set([["n1"], ["n3"], ["n5"], ["n6"], ["n7"]])
+        assert reduction_count(F) == 3
+
+
+class TestIteratePairwise:
+    def test_one_round_is_identity(self, tiny_doc):
+        frags = frozenset([Fragment(tiny_doc, [2]), Fragment(tiny_doc, [3])])
+        assert iterate_pairwise(frags, 1) == frags
+
+    def test_rounds_grow_monotonically(self, tiny_doc):
+        frags = frozenset([Fragment(tiny_doc, [2]), Fragment(tiny_doc, [3]),
+                           Fragment(tiny_doc, [5])])
+        previous = iterate_pairwise(frags, 1)
+        for rounds in (2, 3, 4):
+            current = iterate_pairwise(frags, rounds)
+            assert previous <= current
+            previous = current
+
+    def test_invalid_rounds(self, tiny_doc):
+        with pytest.raises(ValueError):
+            iterate_pairwise(frozenset(), 0)
+
+    def test_predicate_prunes_each_round(self, tiny_doc):
+        frags = frozenset([Fragment(tiny_doc, [2]), Fragment(tiny_doc, [5])])
+        result = iterate_pairwise(frags, 2, predicate=SizeAtMost(2))
+        # The join of 2 and 5 spans 5 nodes and is pruned.
+        assert result == frags
+
+
+class TestFixedPoint:
+    def test_figure4_fixed_point_in_three_rounds(self, figure4):
+        F = figure4.fragment_set([["n1"], ["n3"], ["n5"], ["n6"], ["n7"]])
+        assert reduction_count(F) == 3
+        assert iterate_pairwise(F, 3) == fixed_point(F)
+
+    def test_closure_is_a_fixed_point(self, tiny_doc):
+        frags = frozenset([Fragment(tiny_doc, [2]), Fragment(tiny_doc, [3]),
+                           Fragment(tiny_doc, [5])])
+        closure = fixed_point(frags)
+        assert is_fixed_point(closure)
+        assert not is_fixed_point(frags)
+
+    def test_contains_base_set(self, tiny_doc):
+        frags = frozenset([Fragment(tiny_doc, [2]), Fragment(tiny_doc, [5])])
+        assert frags <= fixed_point(frags)
+
+    def test_empty_set(self):
+        assert fixed_point(frozenset()) == frozenset()
+        assert fixed_point_bounded(frozenset()) == frozenset()
+
+    def test_singleton(self, tiny_doc):
+        frags = frozenset([Fragment(tiny_doc, [2])])
+        assert fixed_point(frags) == frags
+        assert fixed_point_bounded(frags) == frags
+
+    def test_iterations_counted(self, tiny_doc):
+        stats = OperationStats()
+        frags = frozenset([Fragment(tiny_doc, [2]), Fragment(tiny_doc, [3])])
+        fixed_point(frags, stats=stats)
+        assert stats.iterations >= 1
+
+
+class TestTheorem1:
+    """⋈_n(F) = ⋈_k(F) with k = |⊖(F)| (paper Theorem 1)."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(document_and_nodesets(max_sets=1, max_set_size=5))
+    def test_bounded_equals_semi_naive(self, doc_and_sets):
+        _, (frags,) = doc_and_sets
+        assert fixed_point_bounded(frags) == fixed_point(frags)
+
+    @settings(max_examples=50, deadline=None)
+    @given(document_and_nodesets(max_sets=1, max_set_size=5))
+    def test_bounded_equals_naive_reference(self, doc_and_sets):
+        _, (frags,) = doc_and_sets
+        assert fixed_point_bounded(frags) == naive_fixed_point(frags)
+
+    @settings(max_examples=50, deadline=None)
+    @given(document_and_nodesets(max_sets=1, max_set_size=5))
+    def test_k_rounds_suffice_n_rounds_add_nothing(self, doc_and_sets):
+        _, (frags,) = doc_and_sets
+        n = len(frags)
+        if n == 0:
+            return
+        k = reduction_count(frags)
+        assert k <= n
+        assert iterate_pairwise(frags, max(k, 1)) == \
+            iterate_pairwise(frags, n)
+
+    @settings(max_examples=30, deadline=None)
+    @given(document_and_nodesets(max_sets=1, max_set_size=5))
+    def test_reduced_set_has_same_fixed_point_upper_bound(self,
+                                                          doc_and_sets):
+        # The reduced set's closure still contains every original
+        # fragment's closure contribution.
+        _, (frags,) = doc_and_sets
+        if not frags:
+            return
+        assert fixed_point(frags) >= frozenset(set_reduce(frags))
+
+
+class TestPredicateThreading:
+    """The equation after Theorem 3: pruning inside the fixed point."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(document_and_nodesets(max_sets=1, max_set_size=4))
+    def test_pruned_fixed_point_equals_filter_after(self, doc_and_sets):
+        _, (frags,) = doc_and_sets
+        predicate = SizeAtMost(3)
+        pruned = fixed_point(frags, predicate=predicate)
+        after = select(predicate, fixed_point(frags))
+        assert pruned == after
+
+    @settings(max_examples=50, deadline=None)
+    @given(document_and_nodesets(max_sets=1, max_set_size=4))
+    def test_bounded_pruned_fixed_point_equals_filter_after(self,
+                                                            doc_and_sets):
+        _, (frags,) = doc_and_sets
+        predicate = SizeAtMost(3)
+        pruned = fixed_point_bounded(frags, predicate=predicate)
+        after = select(predicate, fixed_point_bounded(frags))
+        assert pruned == after
+
+    def test_pruning_reduces_work(self, figure1):
+        frags = frozenset(Fragment(figure1, [n]) for n in (16, 17, 81))
+        free = OperationStats()
+        pruned = OperationStats()
+        fixed_point(frags, stats=free)
+        fixed_point(frags, stats=pruned, predicate=SizeAtMost(3))
+        assert pruned.fragment_joins <= free.fragment_joins

@@ -1,0 +1,98 @@
+"""Oracle-based verification of the answer semantics.
+
+The constructive pipeline (strategies, plans) is checked against two
+independent exhaustive oracles computed straight from the paper's
+definitions on small random documents.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.core.filters import SizeAtMost, TrueFilter
+from repro.core.fragment import Fragment
+from repro.core.query import Query, is_answer
+from repro.core.semantics import (definition8_answers,
+                                  powerset_semantics_answers,
+                                  semantics_gap)
+from repro.core.strategies import Strategy, evaluate
+
+from ..treegen import documents
+
+
+class TestPowersetOracle:
+    @settings(max_examples=40, deadline=None)
+    @given(documents(min_nodes=2, max_nodes=9))
+    def test_strategies_match_powerset_oracle(self, doc):
+        query = Query.of("alpha", "beta", predicate=SizeAtMost(4))
+        oracle = powerset_semantics_answers(doc, query)
+        for strategy in Strategy:
+            assert evaluate(doc, query, strategy=strategy).fragments \
+                == oracle
+
+    @settings(max_examples=30, deadline=None)
+    @given(documents(min_nodes=2, max_nodes=8))
+    def test_three_terms(self, doc):
+        query = Query.of("alpha", "beta", "gamma")
+        oracle = powerset_semantics_answers(doc, query)
+        assert evaluate(doc, query).fragments == oracle
+
+    def test_empty_when_term_missing(self, tiny_doc):
+        query = Query.of("red", "zebra")
+        assert powerset_semantics_answers(tiny_doc, query) == frozenset()
+
+
+class TestDefinition8Oracle:
+    def test_figure1_target_is_definition8_answer(self, figure1):
+        query = Query.of("xquery", "optimization",
+                         predicate=SizeAtMost(3))
+        target = Fragment(figure1, [16, 17, 18])
+        assert is_answer(target, query)
+
+    @settings(max_examples=30, deadline=None)
+    @given(documents(min_nodes=2, max_nodes=7))
+    def test_oracle_members_satisfy_definition(self, doc):
+        query = Query.of("alpha", predicate=TrueFilter())
+        for fragment in definition8_answers(doc, query):
+            assert is_answer(fragment, query)
+
+    @settings(max_examples=30, deadline=None)
+    @given(documents(min_nodes=2, max_nodes=7))
+    def test_single_term_single_nodes_agree(self, doc):
+        # Single-node fragments at keyword nodes belong to both
+        # semantics.
+        query = Query.of("alpha")
+        declarative = definition8_answers(doc, query)
+        constructive = powerset_semantics_answers(doc, query)
+        singles = {f for f in constructive if f.size == 1}
+        assert singles <= declarative
+
+
+class TestSemanticsGap:
+    @settings(max_examples=25, deadline=None)
+    @given(documents(min_nodes=2, max_nodes=7))
+    def test_gap_shape(self, doc):
+        query = Query.of("alpha", "beta")
+        only_decl, only_cons = semantics_gap(doc, query)
+        constructive = powerset_semantics_answers(doc, query)
+        declarative = definition8_answers(doc, query)
+        assert only_decl == declarative - constructive
+        assert only_cons == constructive - declarative
+        # Fragments in the constructive-only gap must have a keyword
+        # stranded on internal nodes.
+        for fragment in only_cons:
+            assert not is_answer(fragment, query)
+
+    @settings(max_examples=25, deadline=None)
+    @given(documents(min_nodes=2, max_nodes=7))
+    def test_declarative_only_fragments_not_joins_of_keyword_nodes(
+            self, doc):
+        # Anything the join construction *can* build is in the
+        # constructive set, so declarative-only fragments must contain
+        # at least one node that is neither a keyword node nor on a
+        # path between keyword nodes... we verify the weaker, precise
+        # statement: they are not constructible.
+        query = Query.of("alpha", "beta")
+        only_decl, _ = semantics_gap(doc, query)
+        constructive = powerset_semantics_answers(doc, query)
+        assert not (only_decl & constructive)

@@ -1,0 +1,87 @@
+"""Unit tests for reduction-factor statistics (paper §5)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.core.fragment import Fragment
+from repro.core.statistics import (CalibrationPoint, calibrate_threshold,
+                                   estimate_reduction_factor,
+                                   reduction_factor)
+
+from ..treegen import document_and_nodesets
+
+
+class TestReductionFactor:
+    def test_figure4_value(self, figure4):
+        F = figure4.fragment_set([["n1"], ["n3"], ["n5"], ["n6"], ["n7"]])
+        # 5 fragments reduce to 3: RF = (5-3)/5.
+        assert reduction_factor(F) == (5 - 3) / 5
+
+    def test_empty_set_zero(self):
+        assert reduction_factor(frozenset()) == 0.0
+
+    def test_irreducible_set_zero(self, tiny_doc):
+        F = [Fragment(tiny_doc, [2]), Fragment(tiny_doc, [5])]
+        assert reduction_factor(F) == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(document_and_nodesets(max_sets=1, max_set_size=5))
+    def test_bounds(self, doc_and_sets):
+        _, (frags,) = doc_and_sets
+        rf = reduction_factor(frags)
+        assert 0.0 <= rf < 1.0
+
+
+class TestEstimator:
+    def test_small_sets_are_exact(self, figure4):
+        F = list(figure4.fragment_set(
+            [["n1"], ["n3"], ["n5"], ["n6"], ["n7"]]))
+        assert estimate_reduction_factor(F, sample_size=10) == \
+            reduction_factor(F)
+
+    def test_sampling_underestimates_or_matches(self, chain_doc):
+        # A chain's interior nodes are all reducible; small samples can
+        # only see part of that.
+        F = [Fragment(chain_doc, [i]) for i in range(chain_doc.size)]
+        exact = reduction_factor(F)
+        estimate = estimate_reduction_factor(F, sample_size=3, trials=5)
+        assert estimate <= exact + 1e-9
+
+    def test_deterministic_for_fixed_seed(self, chain_doc):
+        F = [Fragment(chain_doc, [i]) for i in range(chain_doc.size)]
+        a = estimate_reduction_factor(F, sample_size=3, seed=5)
+        b = estimate_reduction_factor(F, sample_size=3, seed=5)
+        assert a == b
+
+
+class TestCalibration:
+    def test_empty_defaults_to_zero(self):
+        assert calibrate_threshold([]) == 0.0
+
+    def test_perfectly_separable(self):
+        points = [CalibrationPoint(0.1, False),
+                  CalibrationPoint(0.2, False),
+                  CalibrationPoint(0.6, True),
+                  CalibrationPoint(0.8, True)]
+        threshold = calibrate_threshold(points)
+        assert 0.2 < threshold <= 0.6
+        errors = sum(1 for p in points
+                     if (p.rf >= threshold) != p.reduction_paid_off)
+        assert errors == 0
+
+    def test_ties_prefer_smaller_threshold(self):
+        points = [CalibrationPoint(0.5, True)]
+        assert calibrate_threshold(points) == 0.0
+
+    def test_noisy_points_minimise_errors(self):
+        points = [CalibrationPoint(0.1, False),
+                  CalibrationPoint(0.3, True),   # noise
+                  CalibrationPoint(0.4, False),  # noise
+                  CalibrationPoint(0.7, True),
+                  CalibrationPoint(0.9, True)]
+        threshold = calibrate_threshold(points)
+        errors = sum(1 for p in points
+                     if (p.rf >= threshold) != p.reduction_paid_off)
+        # Best achievable on this data is 1 error.
+        assert errors == 1

@@ -1,0 +1,47 @@
+"""Unit tests for OperationStats."""
+
+from __future__ import annotations
+
+from repro.core.stats import OperationStats
+
+
+class TestOperationStats:
+    def test_defaults_zero(self):
+        stats = OperationStats()
+        assert stats.fragment_joins == 0
+        assert stats.total_joins == 0
+        assert stats.as_dict()["iterations"] == 0
+
+    def test_total_joins(self):
+        stats = OperationStats(fragment_joins=3, join_cache_hits=2)
+        assert stats.total_joins == 5
+
+    def test_reset(self):
+        stats = OperationStats(fragment_joins=3, predicate_checks=1)
+        stats.extras["custom"] = 9
+        stats.reset()
+        assert stats.fragment_joins == 0
+        assert stats.extras == {}
+
+    def test_merge(self):
+        a = OperationStats(fragment_joins=1, iterations=2)
+        b = OperationStats(fragment_joins=4, subset_checks=3)
+        b.extras["x"] = 1
+        a.merge(b)
+        assert a.fragment_joins == 5
+        assert a.iterations == 2
+        assert a.subset_checks == 3
+        assert a.extras["x"] == 1
+
+    def test_merge_extras_accumulate(self):
+        a = OperationStats()
+        a.extras["x"] = 1
+        b = OperationStats()
+        b.extras["x"] = 2
+        a.merge(b)
+        assert a.extras["x"] == 3
+
+    def test_as_dict_includes_extras(self):
+        stats = OperationStats()
+        stats.extras["rounds"] = 7
+        assert stats.as_dict()["rounds"] == 7

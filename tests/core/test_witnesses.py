@@ -1,0 +1,66 @@
+"""Unit tests for answer provenance."""
+
+from __future__ import annotations
+
+from repro.core.fragment import Fragment
+from repro.core.witnesses import (highlighted_outline, missing_terms,
+                                  witnesses)
+
+
+class TestWitnesses:
+    def test_figure1_target(self, figure1):
+        fragment = Fragment(figure1, [16, 17, 18])
+        found = witnesses(fragment, ["xquery", "optimization"])
+        assert found["xquery"] == [17, 18]
+        assert found["optimization"] == [16, 17]
+
+    def test_casefolded(self, figure1):
+        fragment = Fragment(figure1, [17])
+        assert witnesses(fragment, ["XQuery"])["xquery"] == [17]
+
+    def test_absent_term_empty(self, figure1):
+        fragment = Fragment(figure1, [17])
+        assert witnesses(fragment, ["zebra"])["zebra"] == []
+
+    def test_witnesses_restricted_to_fragment(self, figure1):
+        fragment = Fragment(figure1, [16, 17])
+        found = witnesses(fragment, ["xquery"])
+        assert 18 not in found["xquery"]
+
+
+class TestMissingTerms:
+    def test_complete_coverage(self, figure1):
+        fragment = Fragment(figure1, [16, 17, 18])
+        assert missing_terms(fragment, ["xquery", "optimization"]) == []
+
+    def test_reports_gaps(self, figure1):
+        fragment = Fragment(figure1, [18])
+        assert missing_terms(fragment, ["xquery", "optimization"]) == \
+            ["optimization"]
+
+
+class TestHighlightedOutline:
+    def test_annotations_present(self, figure1):
+        fragment = Fragment(figure1, [16, 17, 18])
+        text = highlighted_outline(fragment,
+                                   ["xquery", "optimization"])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "<= optimization" in lines[0]
+        assert "<= optimization, xquery" in lines[1]
+        assert "<= xquery" in lines[2]
+
+    def test_unwitnessed_nodes_unannotated(self, figure1):
+        fragment = Fragment(figure1, [14, 15, 16])
+        text = highlighted_outline(fragment, ["optimization"])
+        lines = text.splitlines()
+        assert "<=" not in lines[0]  # n14
+        assert "<=" not in lines[1]  # n15 title
+        assert "<= optimization" in lines[2]
+
+    def test_annotations_aligned(self, figure1):
+        fragment = Fragment(figure1, [16, 17, 18])
+        text = highlighted_outline(fragment, ["xquery"])
+        positions = {line.index("<=") for line in text.splitlines()
+                     if "<=" in line}
+        assert len(positions) == 1

@@ -1,0 +1,79 @@
+"""Unit tests for the inverted keyword index."""
+
+from __future__ import annotations
+
+from hypothesis import given
+
+from repro.index.inverted import InvertedIndex
+
+from ..treegen import documents
+
+
+class TestPostings:
+    def test_postings_sorted_and_complete(self, tiny_doc):
+        index = InvertedIndex(tiny_doc)
+        assert index.postings("red") == [2, 5]
+        assert index.postings("pear") == [3, 5]
+
+    def test_absent_keyword_empty(self, tiny_doc):
+        index = InvertedIndex(tiny_doc)
+        assert index.postings("zebra") == []
+        assert not index.contains("zebra")
+
+    def test_postings_are_copies(self, tiny_doc):
+        index = InvertedIndex(tiny_doc)
+        plist = index.postings("red")
+        plist.append(999)
+        assert index.postings("red") == [2, 5]
+
+    def test_document_frequency(self, tiny_doc):
+        index = InvertedIndex(tiny_doc)
+        assert index.document_frequency("red") == 2
+        assert index.document_frequency("apple") == 1
+        assert index.document_frequency("none") == 0
+
+    def test_selectivity(self, tiny_doc):
+        index = InvertedIndex(tiny_doc)
+        assert index.selectivity("red") == 2 / 6
+
+    def test_figure1_posting_lists(self, figure1_index):
+        assert figure1_index.postings("xquery") == [17, 18]
+        assert figure1_index.postings("optimization") == [16, 17, 81]
+
+
+class TestVocabulary:
+    def test_vocabulary_matches_document(self, tiny_doc):
+        index = InvertedIndex(tiny_doc)
+        assert index.vocabulary() == tiny_doc.vocabulary()
+
+    def test_len_is_term_count(self, tiny_doc):
+        index = InvertedIndex(tiny_doc)
+        assert len(index) == len(index.vocabulary())
+
+    def test_repr(self, tiny_doc):
+        assert "tiny" in repr(InvertedIndex(tiny_doc))
+
+
+class TestRarestFirst:
+    def test_orders_by_frequency(self, tiny_doc):
+        index = InvertedIndex(tiny_doc)
+        assert index.rarest_first(["red", "apple"]) == ["apple", "red"]
+
+    def test_unknown_terms_first(self, tiny_doc):
+        index = InvertedIndex(tiny_doc)
+        assert index.rarest_first(["red", "zzz"]) == ["zzz", "red"]
+
+
+class TestAgainstLinearScan:
+    @given(documents(max_nodes=15))
+    def test_postings_equal_scan(self, doc):
+        index = InvertedIndex(doc)
+        for word in doc.vocabulary():
+            assert index.postings(word) == doc.nodes_with_keyword(word)
+
+    @given(documents(max_nodes=15))
+    def test_postings_sorted(self, doc):
+        index = InvertedIndex(doc)
+        for word in index.vocabulary():
+            plist = index.postings(word)
+            assert plist == sorted(plist)

@@ -1,0 +1,82 @@
+"""Unit and property tests for the LCA indexes."""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given
+
+from repro.index.lca import BinaryLiftingLca, LcaIndex
+
+from ..treegen import documents
+
+
+def naive_lca(doc, u, v):
+    """Reference LCA via ancestor sets."""
+    ancestors_u = {u} | set(doc.ancestors(u))
+    current = v
+    while current not in ancestors_u:
+        current = doc.parent(current)
+    return current
+
+
+class TestLcaIndexUnit:
+    def test_chain(self, chain_doc):
+        index = LcaIndex(chain_doc)
+        assert index.lca(4, 2) == 2
+        assert index.lca(0, 4) == 0
+        assert index.lca(3, 3) == 3
+
+    def test_tiny(self, tiny_doc):
+        index = LcaIndex(tiny_doc)
+        assert index.lca(2, 3) == 1
+        assert index.lca(3, 5) == 0
+        assert index.lca(1, 2) == 1
+
+    def test_single_node_document(self):
+        from repro.xmltree.builder import DocumentBuilder
+        b = DocumentBuilder()
+        b.add_root("a")
+        doc = b.build()
+        assert LcaIndex(doc).lca(0, 0) == 0
+        assert BinaryLiftingLca(doc).lca(0, 0) == 0
+
+    def test_symmetry(self, tiny_doc):
+        index = LcaIndex(tiny_doc)
+        for u, v in itertools.combinations(range(tiny_doc.size), 2):
+            assert index.lca(u, v) == index.lca(v, u)
+
+
+class TestBinaryLiftingUnit:
+    def test_matches_expected(self, tiny_doc):
+        index = BinaryLiftingLca(tiny_doc)
+        assert index.lca(2, 3) == 1
+        assert index.lca(2, 5) == 0
+        assert index.lca(0, 3) == 0
+
+
+class TestLcaProperties:
+    @given(documents(max_nodes=20))
+    def test_euler_matches_naive(self, doc):
+        index = LcaIndex(doc)
+        for u, v in itertools.combinations(range(doc.size), 2):
+            assert index.lca(u, v) == naive_lca(doc, u, v)
+
+    @given(documents(max_nodes=20))
+    def test_binary_lifting_matches_euler(self, doc):
+        euler = LcaIndex(doc)
+        lifting = BinaryLiftingLca(doc)
+        for u, v in itertools.combinations(range(doc.size), 2):
+            assert euler.lca(u, v) == lifting.lca(u, v)
+
+    @given(documents(max_nodes=20))
+    def test_lca_is_common_ancestor_and_lowest(self, doc):
+        index = LcaIndex(doc)
+        for u, v in itertools.combinations(range(doc.size), 2):
+            lca = index.lca(u, v)
+            assert doc.is_ancestor_or_self(lca, u)
+            assert doc.is_ancestor_or_self(lca, v)
+            # No child of the LCA covers both.
+            for child in doc.children(lca):
+                assert not (doc.is_ancestor_or_self(child, u)
+                            and doc.is_ancestor_or_self(child, v))

@@ -1,0 +1,88 @@
+"""Unit tests for the tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.index.tokenizer import DEFAULT_STOPWORDS, Tokenizer
+
+
+class TestTokenizeBasics:
+    def test_simple_split(self):
+        assert Tokenizer(stopwords=()).tokenize("red apple pie") == \
+            ["red", "apple", "pie"]
+
+    def test_case_folding(self):
+        assert Tokenizer(stopwords=()).tokenize("XQuery OPTIMIZATION") == \
+            ["xquery", "optimization"]
+
+    def test_punctuation_boundaries(self):
+        tokens = Tokenizer(stopwords=()).tokenize("end. begin, (mid)")
+        assert tokens == ["end", "begin", "mid"]
+
+    def test_numbers_and_underscores_kept(self):
+        tokens = Tokenizer(stopwords=()).tokenize("node_17 v2 2006")
+        assert tokens == ["node_17", "v2", "2006"]
+
+    def test_apostrophes_kept_inside_words(self):
+        tokens = Tokenizer(stopwords=()).tokenize("user's guide")
+        assert tokens == ["user's", "guide"]
+
+    def test_empty_text(self):
+        assert Tokenizer().tokenize("") == []
+
+    def test_unicode_safe(self):
+        # Non-ASCII is split out by the word pattern but must not crash.
+        assert Tokenizer(stopwords=()).tokenize("café au lait") \
+            == ["caf", "au", "lait"]
+
+
+class TestStopwordsAndLength:
+    def test_default_stopwords_dropped(self):
+        tokens = Tokenizer().tokenize("the apple and the pear")
+        assert tokens == ["apple", "pear"]
+
+    def test_custom_stopwords(self):
+        tok = Tokenizer(stopwords=("apple",))
+        assert tok.tokenize("apple pear") == ["pear"]
+
+    def test_stopwords_normalised(self):
+        tok = Tokenizer(stopwords=("APPLE",))
+        assert tok.tokenize("apple pear") == ["pear"]
+
+    def test_min_length(self):
+        tok = Tokenizer(stopwords=(), min_length=3)
+        assert tok.tokenize("go for it now") == ["for", "now"]
+
+    def test_min_length_validation(self):
+        with pytest.raises(ValueError):
+            Tokenizer(min_length=0)
+
+    def test_default_stopword_list_is_lowercase(self):
+        assert all(w == w.casefold() for w in DEFAULT_STOPWORDS)
+
+
+class TestKeywordSet:
+    def test_deduplicates(self):
+        assert Tokenizer(stopwords=()).keyword_set("a b a b c") == \
+            frozenset({"a", "b", "c"})
+
+    def test_matches_tokenize(self):
+        tok = Tokenizer()
+        text = "red apple and red pear"
+        assert tok.keyword_set(text) == frozenset(tok.tokenize(text))
+
+    @given(st.text(alphabet="abc XYZ.,!", max_size=60))
+    def test_tokens_are_normalised_and_nonempty(self, text):
+        tok = Tokenizer(stopwords=())
+        for token in tok.tokenize(text):
+            assert token
+            assert token == token.casefold()
+
+    @given(st.text(alphabet="abcd ", max_size=60))
+    def test_idempotent_on_own_output(self, text):
+        tok = Tokenizer(stopwords=())
+        once = tok.tokenize(text)
+        again = tok.tokenize(" ".join(once))
+        assert once == again

@@ -1,0 +1,22 @@
+"""A longer differential campaign as an integration gate.
+
+Beyond the unit tests of the harness itself, this runs a real campaign
+— every strategy vs the powerset-semantics oracle on hundreds of
+random document/query pairs — as the suite's final line of defence.
+"""
+
+from __future__ import annotations
+
+from repro.testing import run_differential_trials
+
+
+def test_differential_campaign_200_trials():
+    report = run_differential_trials(trials=200, seed=2006,
+                                     max_nodes=9)
+    assert report.passed, report.summary()
+
+
+def test_differential_campaign_larger_documents():
+    report = run_differential_trials(trials=40, seed=1959,
+                                     max_nodes=14)
+    assert report.passed, report.summary()

@@ -1,0 +1,133 @@
+"""End-to-end reproduction of the paper's worked example (§4, Table 1).
+
+These tests walk the full pipeline — document, keyword selection,
+powerset join, set reduction, push-down — and pin every number the
+paper states: 11 candidate joins, 7 unique fragments, 4 surviving
+size≤3, the target fragment ⟨n16,n17,n18⟩, and §4.3's pruning of
+f16 ⋈ f81.
+"""
+
+from __future__ import annotations
+
+from repro.core.algebra import (join_all, nonempty_subsets, pairwise_join,
+                                powerset_join)
+from repro.core.filters import SizeAtMost, select
+from repro.core.fragment import Fragment
+from repro.core.query import Query, keyword_fragments
+from repro.core.reduce import (fixed_point_bounded, reduction_count,
+                               set_reduce)
+from repro.core.strategies import Strategy, evaluate
+
+
+class TestSection41BruteForce:
+    def test_eleven_candidate_subset_pairs(self, figure1):
+        """§4.1: 'our example produces 11 unique pairwise unions'."""
+        F1 = sorted(keyword_fragments(figure1, "xquery"),
+                    key=lambda f: f.root)
+        F2 = sorted(keyword_fragments(figure1, "optimization"),
+                    key=lambda f: f.root)
+        unions = set()
+        for sub1 in nonempty_subsets(F1):
+            for sub2 in nonempty_subsets(F2):
+                unions.add(frozenset(set(sub1) | set(sub2)))
+        assert len(unions) == 11
+
+    def test_seven_unique_fragments(self, figure1):
+        """Rows 1-7 are unique; rows 8-11 duplicate them."""
+        F1 = keyword_fragments(figure1, "xquery")
+        F2 = keyword_fragments(figure1, "optimization")
+        assert len(powerset_join(F1, F2)) == 7
+
+    def test_four_fragments_survive_filter(self, figure1):
+        F1 = keyword_fragments(figure1, "xquery")
+        F2 = keyword_fragments(figure1, "optimization")
+        answers = select(SizeAtMost(3), powerset_join(F1, F2))
+        assert {f.nodes for f in answers} == {
+            frozenset([16, 17, 18]), frozenset([16, 17]),
+            frozenset([16, 18]), frozenset([17])}
+
+    def test_target_fragment_retrieved(self, figure1):
+        """Objective 1: the fragment none of the existing techniques
+        would produce."""
+        result = evaluate(figure1,
+                          Query.of("xquery", "optimization",
+                                   predicate=SizeAtMost(3)))
+        assert Fragment(figure1, [16, 17, 18]) in result.fragments
+
+
+class TestSection42SetReduction:
+    def test_f1_already_reduced(self, figure1):
+        F1 = keyword_fragments(figure1, "xquery")
+        assert set_reduce(F1) == F1
+        assert reduction_count(F1) == 2
+
+    def test_f2_reduces_to_f17_f81(self, figure1):
+        """§4.2: ⊖(F2) = {f17, f81}."""
+        F2 = keyword_fragments(figure1, "optimization")
+        reduced = set_reduce(F2)
+        assert {f.root for f in reduced} == {17, 81}
+
+    def test_fixed_points_have_stated_contents(self, figure1):
+        F1 = keyword_fragments(figure1, "xquery")
+        F2 = keyword_fragments(figure1, "optimization")
+        F1_plus = fixed_point_bounded(F1)
+        # F1+ = {f17, f18, f17 ⋈ f18}.
+        assert {f.nodes for f in F1_plus} == {
+            frozenset([17]), frozenset([18]), frozenset([16, 17, 18])}
+        F2_plus = fixed_point_bounded(F2)
+        # F2+ = {f16, f17, f81, f16⋈f17, f16⋈f81, f17⋈f81}
+        # — f16⋈f17⋈f81 coincides with f17⋈f81 (n16 lies on that path),
+        # so six node-set-distinct fragments.
+        assert len(F2_plus) == 6
+
+    def test_theorem2_on_example(self, figure1):
+        F1 = keyword_fragments(figure1, "xquery")
+        F2 = keyword_fragments(figure1, "optimization")
+        assert powerset_join(F1, F2) == \
+            pairwise_join(fixed_point_bounded(F1),
+                          fixed_point_bounded(F2))
+
+
+class TestSection43Pushdown:
+    def test_f16_join_f81_fails_filter(self, figure1):
+        """§4.3: f16 ⋈ f81 spans 7 nodes and is pruned by size<=3."""
+        joined = join_all([Fragment(figure1, [16]),
+                           Fragment(figure1, [81])])
+        assert joined.size == 7
+        assert not SizeAtMost(3)(joined)
+
+    def test_pushdown_never_loses_answers(self, figure1):
+        query = Query.of("xquery", "optimization",
+                         predicate=SizeAtMost(3))
+        pushed = evaluate(figure1, query, strategy=Strategy.PUSHDOWN)
+        brute = evaluate(figure1, query, strategy=Strategy.BRUTE_FORCE)
+        assert pushed.fragments == brute.fragments
+
+    def test_pushdown_saves_joins_on_example(self, figure1):
+        query = Query.of("xquery", "optimization",
+                         predicate=SizeAtMost(3))
+        pushed = evaluate(figure1, query, strategy=Strategy.PUSHDOWN)
+        reduction = evaluate(figure1, query,
+                             strategy=Strategy.SET_REDUCTION)
+        brute = evaluate(figure1, query, strategy=Strategy.BRUTE_FORCE)
+        assert pushed.stats["fragment_joins"] \
+            < reduction.stats["fragment_joins"] \
+            < brute.stats["fragment_joins"]
+
+
+class TestMotivation:
+    def test_smallest_subtree_semantics_returns_only_n17(self, figure1):
+        from repro.baselines.smallest import smallest_fragments
+        assert smallest_fragments(figure1,
+                                  ["xquery", "optimization"]) == \
+            [Fragment(figure1, [17])]
+
+    def test_algebra_additionally_finds_self_contained_unit(self,
+                                                            figure1):
+        result = evaluate(figure1,
+                          Query.of("xquery", "optimization",
+                                   predicate=SizeAtMost(3)))
+        target = Fragment(figure1, [16, 17, 18])
+        assert target in result.fragments
+        # And the conventional answer is included as a sub-fragment.
+        assert Fragment(figure1, [17]) in result.fragments

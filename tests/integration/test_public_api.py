@@ -1,0 +1,80 @@
+"""Integration tests through the top-level public API only."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_docstring_example(self):
+        doc = repro.parse("<a><b>red apple</b><c><d>green pear</d>"
+                          "<e>red pear</e></c></a>")
+        result = repro.answer(doc, "red", "pear",
+                              predicate=repro.SizeAtMost(3))
+        assert sorted(f.label() for f in result.fragments) == \
+            ["⟨n2,n3,n4⟩", "⟨n4⟩"]
+
+
+class TestEndToEndFlow:
+    def test_parse_index_query_serialize(self, tmp_path):
+        xml = ("<report><intro><par>storage engines</par></intro>"
+               "<body><sec><par>columnar storage</par>"
+               "<par>row engines</par></sec></body></report>")
+        path = tmp_path / "report.xml"
+        path.write_text(xml)
+        doc = repro.parse_file(path)
+        index = repro.InvertedIndex(doc)
+        query = repro.Query.of("storage", "engines",
+                               predicate=repro.SizeAtMost(4))
+        result = repro.evaluate(doc, query, index=index)
+        assert result.fragments
+        best = result.sorted_fragments()[0]
+        xml_out = repro.fragment_to_xml(best)
+        assert xml_out.strip().startswith("<")
+        outline = repro.fragment_outline(best)
+        assert outline
+
+    def test_builder_flow(self):
+        builder = repro.DocumentBuilder(name="notes")
+        root = builder.add_root("notes")
+        first = builder.add_child(root, "note", "database algebra")
+        builder.add_child(root, "note", "xml fragments")
+        builder.add_keywords(first, ["pinned"])
+        doc = builder.build()
+        result = repro.answer(doc, "pinned")
+        assert len(result.fragments) >= 1
+
+    def test_relational_flow(self, tmp_path):
+        doc = repro.parse("<a><b>alpha beta</b><c>alpha</c></a>")
+        with repro.RelationalStore(str(tmp_path / "x.db")) as store:
+            store.save(doc)
+            engine = repro.RelationalQueryEngine(store)
+            result = engine.evaluate(
+                repro.Query.of("alpha", predicate=repro.SizeAtMost(2)))
+            assert result.fragments
+
+    def test_plan_flow(self):
+        doc = repro.parse("<a><b>x y</b><c>y z</c></a>")
+        query = repro.Query.of("x", "y", predicate=repro.SizeAtMost(3))
+        plan = repro.optimize(query)
+        rendered = repro.explain(plan)
+        assert "fixpoint" in rendered
+        result = repro.run_plan(doc, query, plan)
+        reference = repro.evaluate(doc, query)
+        assert result.fragments == reference.fragments
+
+    def test_error_hierarchy(self):
+        assert issubclass(repro.ParseError, repro.ReproError)
+        assert issubclass(repro.FragmentError, repro.ReproError)
+        assert issubclass(repro.StorageError, repro.ReproError)
+        with pytest.raises(repro.ReproError):
+            repro.parse("<a><b></a>")

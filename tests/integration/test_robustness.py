@@ -1,0 +1,120 @@
+"""Robustness tests: extreme shapes and adversarial inputs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.filters import SizeAtMost
+from repro.core.fragment import Fragment
+from repro.core.query import Query
+from repro.core.strategies import Strategy, evaluate
+from repro.xmltree.builder import DocumentBuilder
+
+
+def deep_chain(depth: int, keyword_positions=()):
+    b = DocumentBuilder(name=f"chain-{depth}")
+    node = b.add_root("n", "")
+    nodes = [node]
+    for _ in range(depth - 1):
+        node = b.add_child(node, "n", "")
+        nodes.append(node)
+    for pos, word in keyword_positions:
+        b.add_keywords(nodes[pos], [word])
+    return b.build()
+
+
+def wide_star(fanout: int, keyword_positions=()):
+    b = DocumentBuilder(name=f"star-{fanout}")
+    root = b.add_root("root", "")
+    children = [b.add_child(root, "leaf", "") for _ in range(fanout)]
+    for pos, word in keyword_positions:
+        b.add_keywords(children[pos], [word])
+    return b.build()
+
+
+class TestDeepChains:
+    def test_600_deep_chain_query(self):
+        # Deeper than Python's default recursion limit would allow for
+        # naive recursive implementations.
+        doc = deep_chain(600, [(50, "alpha"), (550, "beta")])
+        result = evaluate(doc, Query.of("alpha", "beta"))
+        (fragment,) = result.fragments
+        assert fragment.size == 501  # nodes 50..550 inclusive
+
+    def test_deep_chain_join_is_iterative(self):
+        doc = deep_chain(800)
+        from repro.core.algebra import fragment_join
+        top = Fragment(doc, [0])
+        bottom = Fragment(doc, [doc.size - 1])
+        joined = fragment_join(top, bottom)
+        assert joined.size == doc.size
+
+    def test_deep_chain_lca(self):
+        doc = deep_chain(700)
+        assert doc.lca(350, 699) == 350
+        assert doc.lca_of([10, 400, 699]) == 10
+
+    def test_deep_chain_serialization(self):
+        from repro.xmltree.serializer import document_to_xml
+        doc = deep_chain(400)
+        xml = document_to_xml(doc, indent=False)
+        assert xml.count("<n") == 400
+
+
+class TestWideStars:
+    def test_wide_star_query(self):
+        doc = wide_star(500, [(0, "alpha"), (499, "beta")])
+        result = evaluate(doc, Query.of("alpha", "beta",
+                                        predicate=SizeAtMost(3)))
+        (fragment,) = result.fragments
+        assert fragment.root == doc.root
+        assert fragment.size == 3
+
+    def test_wide_star_fixed_point_with_filter(self):
+        # Many keyword leaves under one parent: every pair joins to a
+        # 3-node fragment through the root; size<=3 keeps them all but
+        # prunes larger combinations.
+        doc = wide_star(60, [(i, "alpha") for i in range(0, 60, 6)])
+        result = evaluate(doc, Query.of("alpha",
+                                        predicate=SizeAtMost(3)),
+                          strategy=Strategy.PUSHDOWN)
+        sizes = {f.size for f in result.fragments}
+        assert sizes <= {1, 3}
+
+    def test_wide_star_strategies_agree(self):
+        doc = wide_star(30, [(1, "alpha"), (7, "alpha"),
+                             (13, "beta"), (29, "beta")])
+        query = Query.of("alpha", "beta", predicate=SizeAtMost(4))
+        reference = evaluate(doc, query,
+                             strategy=Strategy.BRUTE_FORCE).fragments
+        for strategy in Strategy:
+            assert evaluate(doc, query,
+                            strategy=strategy).fragments == reference
+
+
+class TestAdversarialContent:
+    def test_keywords_looking_like_operators(self):
+        from repro.xmltree.parser import parse
+        doc = parse("<a><b>size keyword true</b>"
+                    "<c>height width</c></a>")
+        result = evaluate(doc, Query.of("size", "width",
+                                        predicate=SizeAtMost(3)))
+        assert result.fragments
+
+    def test_single_node_document_queries(self):
+        b = DocumentBuilder()
+        b.add_root("only", "alpha beta")
+        doc = b.build()
+        result = evaluate(doc, Query.of("alpha", "beta"))
+        assert {f.nodes for f in result.fragments} == {frozenset([0])}
+
+    def test_unicode_content(self):
+        from repro.xmltree.parser import parse
+        doc = parse("<a><b>naïve café résumé</b><b>plain text</b></a>")
+        assert doc.size == 3  # content must not break parsing
+
+    def test_huge_text_node(self):
+        b = DocumentBuilder()
+        b.add_root("a", "word " * 20_000)
+        doc = b.build()
+        assert "word" in doc.keywords(0)

@@ -1,0 +1,86 @@
+"""Property-based verification of the paper's three theorems.
+
+Each theorem is exercised end-to-end over random documents and random
+keyword placements — beyond the unit-level checks in tests/core.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.algebra import pairwise_join, powerset_join
+from repro.core.filters import HeightAtMost, SizeAtMost, WidthAtMost, select
+from repro.core.query import keyword_fragments
+from repro.core.reduce import (fixed_point, fixed_point_bounded,
+                               iterate_pairwise, reduction_count)
+
+from ..treegen import documents
+
+FILTERS = [SizeAtMost(2), SizeAtMost(4), HeightAtMost(1), WidthAtMost(3),
+           SizeAtMost(3) & HeightAtMost(2),
+           SizeAtMost(2) | WidthAtMost(1)]
+
+
+class TestTheorem1:
+    """⋈_n(F) = ⋈_k(F) with k = |⊖(F)|, over keyword-derived sets."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(documents(min_nodes=3, max_nodes=12))
+    def test_iteration_bound(self, doc):
+        frags = keyword_fragments(doc, "alpha")
+        if not frags:
+            return
+        k = reduction_count(frags)
+        n = len(frags)
+        k_rounds = iterate_pairwise(frags, max(k, 1))
+        n_rounds = iterate_pairwise(frags, max(n, 1))
+        assert k_rounds == n_rounds
+        assert k_rounds == fixed_point(frags)
+
+
+class TestTheorem2:
+    """F1 ⋈* F2 = F1+ ⋈ F2+, over keyword-derived sets."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(documents(min_nodes=3, max_nodes=10))
+    def test_powerset_rewrite(self, doc):
+        F1 = keyword_fragments(doc, "alpha")
+        F2 = keyword_fragments(doc, "beta")
+        if not F1 or not F2:
+            return
+        assert powerset_join(F1, F2) == \
+            pairwise_join(fixed_point_bounded(F1),
+                          fixed_point_bounded(F2))
+
+
+class TestTheorem3:
+    """σ_Pa(F1 ⋈ F2) = σ_Pa(σ_Pa(F1) ⋈ σ_Pa(F2)) for a.m. filters."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(documents(min_nodes=3, max_nodes=10),
+           st.sampled_from(FILTERS))
+    def test_selection_commutes_with_pairwise_join(self, doc, predicate):
+        F1 = keyword_fragments(doc, "alpha")
+        F2 = keyword_fragments(doc, "beta")
+        late = select(predicate, pairwise_join(F1, F2))
+        early = select(predicate,
+                       pairwise_join(select(predicate, F1),
+                                     select(predicate, F2)))
+        assert late == early
+
+    @settings(max_examples=40, deadline=None)
+    @given(documents(min_nodes=3, max_nodes=10),
+           st.sampled_from(FILTERS))
+    def test_full_pushdown_equation(self, doc, predicate):
+        """The expanded equation after Theorem 3: filtering inside the
+        fixed points and between joins equals filtering once at the
+        end."""
+        F1 = keyword_fragments(doc, "alpha")
+        F2 = keyword_fragments(doc, "beta")
+        late = select(predicate,
+                      pairwise_join(fixed_point(F1), fixed_point(F2)))
+        early = select(
+            predicate,
+            pairwise_join(fixed_point(F1, predicate=predicate),
+                          fixed_point(F2, predicate=predicate)))
+        assert late == early

@@ -1,0 +1,67 @@
+"""Unit tests for the relational query engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.filters import SizeAtMost
+from repro.core.fragment import Fragment
+from repro.core.query import Query
+from repro.core.strategies import Strategy, evaluate
+from repro.storage.engine import RelationalQueryEngine
+from repro.storage.relational import RelationalStore
+
+from ..treegen import documents
+
+
+@pytest.fixture()
+def engine(figure1):
+    with RelationalStore() as store:
+        store.save(figure1)
+        yield RelationalQueryEngine(store)
+
+
+class TestRelationalEngine:
+    def test_keyword_fragments_via_sql(self, engine):
+        frags = engine.keyword_fragments("optimization")
+        assert {f.root for f in frags} == {16, 17, 81}
+
+    def test_document_cached(self, engine):
+        assert engine.document is engine.document
+
+    def test_table1_answers(self, engine):
+        query = Query.of("xquery", "optimization",
+                         predicate=SizeAtMost(3))
+        result = engine.evaluate(query)
+        assert {f.nodes for f in result.fragments} == {
+            frozenset([16, 17, 18]), frozenset([16, 17]),
+            frozenset([16, 18]), frozenset([17])}
+
+    def test_strategy_recorded(self, engine):
+        query = Query.of("xquery", predicate=SizeAtMost(2))
+        result = engine.evaluate(query, strategy=Strategy.SET_REDUCTION)
+        assert result.strategy == "relational/set-reduction"
+
+    @pytest.mark.parametrize("strategy", list(Strategy),
+                             ids=lambda s: s.value)
+    def test_matches_in_memory_evaluation(self, figure1, engine,
+                                          strategy):
+        query = Query.of("xquery", "optimization",
+                         predicate=SizeAtMost(3))
+        relational = engine.evaluate(query, strategy=strategy)
+        in_memory = evaluate(figure1, query, strategy=strategy)
+        assert {f.nodes for f in relational.fragments} == \
+            {f.nodes for f in in_memory.fragments}
+
+    @settings(max_examples=20, deadline=None)
+    @given(documents(min_nodes=3, max_nodes=9))
+    def test_matches_in_memory_random(self, doc):
+        query = Query.of("alpha", "beta", predicate=SizeAtMost(3))
+        with RelationalStore() as store:
+            store.save(doc)
+            engine = RelationalQueryEngine(store)
+            relational = engine.evaluate(query)
+        in_memory = evaluate(doc, query)
+        assert {f.nodes for f in relational.fragments} == \
+            {f.nodes for f in in_memory.fragments}

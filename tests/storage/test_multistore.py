@@ -1,0 +1,108 @@
+"""Unit tests for the multi-document relational store."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.collection.collection import DocumentCollection
+from repro.errors import StorageError
+from repro.storage.multistore import CollectionStore
+from repro.workloads.corpora import BOOK_XML, THESIS_XML
+from repro.xmltree.parser import parse
+
+from ..treegen import documents
+
+
+@pytest.fixture()
+def store(figure1):
+    with CollectionStore() as s:
+        s.add(parse(BOOK_XML, name="book"))
+        s.add(parse(THESIS_XML, name="thesis"))
+        s.add(figure1)
+        yield s
+
+
+class TestWriting:
+    def test_names_and_len(self, store):
+        assert store.names() == ["book", "thesis", "figure1"]
+        assert len(store) == 3
+
+    def test_duplicate_name_rejected(self, store, figure1):
+        with pytest.raises(StorageError, match="already"):
+            store.add(figure1)
+
+    def test_custom_name(self, figure1):
+        with CollectionStore() as s:
+            s.add(figure1, name="other")
+            assert s.names() == ["other"]
+
+    def test_add_collection(self, figure1):
+        collection = DocumentCollection()
+        collection.add_xml(BOOK_XML, name="book")
+        collection.add(figure1)
+        with CollectionStore() as s:
+            ids = s.add_collection(collection)
+            assert len(ids) == 2
+            assert s.names() == ["book", "figure1"]
+
+
+class TestReading:
+    def test_load_round_trip(self, store, figure1):
+        loaded = store.load("figure1")
+        assert loaded.size == figure1.size
+        for nid in figure1.node_ids():
+            assert loaded.parent(nid) == figure1.parent(nid)
+            assert loaded.tag(nid) == figure1.tag(nid)
+            assert loaded.keywords(nid) == figure1.keywords(nid)
+
+    def test_load_unknown(self, store):
+        with pytest.raises(StorageError, match="no document"):
+            store.load("missing")
+
+    def test_doc_id_lookup(self, store):
+        assert store.doc_id("book") != store.doc_id("thesis")
+        with pytest.raises(StorageError):
+            store.doc_id("missing")
+
+    def test_load_collection(self, store):
+        collection = store.load_collection()
+        assert collection.names() == ["book", "thesis", "figure1"]
+        assert collection.document("figure1").size == 82
+
+    def test_persistent_file(self, figure1, tmp_path):
+        path = str(tmp_path / "coll.db")
+        with CollectionStore(path) as s:
+            s.add(figure1)
+        with CollectionStore(path) as again:
+            assert again.names() == ["figure1"]
+
+    @settings(max_examples=15, deadline=None)
+    @given(documents(max_nodes=10))
+    def test_round_trip_random(self, doc):
+        with CollectionStore() as s:
+            s.add(doc, name="random")
+            loaded = s.load("random")
+            for nid in doc.node_ids():
+                assert loaded.keywords(nid) == doc.keywords(nid)
+
+
+class TestCollectionWideSql:
+    def test_keyword_nodes_across_documents(self, store):
+        hits = store.keyword_nodes("fragment")
+        names = {name for name, _ in hits}
+        assert "book" in names
+
+    def test_keyword_nodes_single_document(self, store):
+        hits = store.keyword_nodes("xquery", name="figure1")
+        assert hits == [("figure1", 17), ("figure1", 18)]
+        assert store.keyword_nodes("xquery", name="book") == []
+
+    def test_document_frequency(self, store):
+        assert store.document_frequency("xquery") == 1
+        assert store.document_frequency("fragment") >= 1
+        assert store.document_frequency("zebra") == 0
+
+    def test_casefolded(self, store):
+        assert store.keyword_nodes("XQUERY", name="figure1") == \
+            store.keyword_nodes("xquery", name="figure1")

@@ -1,0 +1,109 @@
+"""Unit tests for the sqlite3 relational store."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import StorageError
+from repro.storage.relational import RelationalStore
+from repro.xmltree.navigation import spanning_nodes
+
+from ..treegen import documents
+
+
+@pytest.fixture()
+def store(tiny_doc):
+    with RelationalStore() as s:
+        s.save(tiny_doc)
+        yield s
+
+
+class TestSaveLoad:
+    def test_round_trip_structure(self, tiny_doc, store):
+        loaded = store.load()
+        assert loaded.size == tiny_doc.size
+        assert loaded.name == tiny_doc.name
+        for nid in tiny_doc.node_ids():
+            assert loaded.tag(nid) == tiny_doc.tag(nid)
+            assert loaded.text(nid) == tiny_doc.text(nid)
+            assert loaded.parent(nid) == tiny_doc.parent(nid)
+            assert loaded.children(nid) == tiny_doc.children(nid)
+
+    def test_round_trip_keywords(self, tiny_doc, store):
+        loaded = store.load()
+        for nid in tiny_doc.node_ids():
+            assert loaded.keywords(nid) == tiny_doc.keywords(nid)
+
+    def test_load_without_save(self):
+        with RelationalStore() as empty:
+            with pytest.raises(StorageError, match="no document"):
+                empty.load()
+
+    def test_save_replaces_previous(self, tiny_doc, chain_doc):
+        with RelationalStore() as s:
+            s.save(tiny_doc)
+            s.save(chain_doc)
+            assert s.load().name == "chain"
+            assert s.node_count == chain_doc.size
+
+    def test_persistent_file(self, tiny_doc, tmp_path):
+        path = str(tmp_path / "doc.db")
+        with RelationalStore(path) as s:
+            s.save(tiny_doc)
+        with RelationalStore(path) as again:
+            assert again.load().size == tiny_doc.size
+
+    @settings(max_examples=25, deadline=None)
+    @given(documents(max_nodes=10))
+    def test_round_trip_random(self, doc):
+        with RelationalStore() as s:
+            s.save(doc)
+            loaded = s.load()
+            for nid in doc.node_ids():
+                assert loaded.parent(nid) == doc.parent(nid)
+                assert loaded.keywords(nid) == doc.keywords(nid)
+
+
+class TestSqlPrimitives:
+    def test_keyword_nodes(self, tiny_doc, store):
+        assert store.keyword_nodes("red") == [2, 5]
+        assert store.keyword_nodes("RED") == [2, 5]  # casefolded
+        assert store.keyword_nodes("zebra") == []
+
+    def test_node_count(self, tiny_doc, store):
+        assert store.node_count == tiny_doc.size
+
+    def test_descendants_sql(self, tiny_doc, store):
+        assert store.descendants_sql(1) == [2, 3]
+        assert store.descendants_sql(0) == [1, 2, 3, 4, 5]
+        assert store.descendants_sql(5) == []
+
+    def test_root_path_sql(self, tiny_doc, store):
+        assert store.root_path_sql(5) == [5, 4, 0]
+        assert store.root_path_sql(0) == [0]
+
+    def test_root_path_unknown_node(self, store):
+        with pytest.raises(StorageError, match="not stored"):
+            store.root_path_sql(999)
+
+    def test_spanning_nodes_sql_matches_in_memory(self, tiny_doc, store):
+        for nodes in ([2, 5], [2, 3], [1, 2, 5], [4]):
+            assert store.spanning_nodes_sql(nodes) == \
+                spanning_nodes(tiny_doc, nodes)
+
+    def test_spanning_nodes_sql_empty(self, store):
+        with pytest.raises(StorageError, match="at least one"):
+            store.spanning_nodes_sql([])
+
+    @settings(max_examples=20, deadline=None)
+    @given(documents(max_nodes=10))
+    def test_spanning_sql_random(self, doc):
+        import itertools
+        with RelationalStore() as s:
+            s.save(doc)
+            ids = list(doc.node_ids())
+            for combo in itertools.combinations(
+                    ids[: min(len(ids), 5)], 2):
+                assert s.spanning_nodes_sql(combo) == \
+                    spanning_nodes(doc, combo)

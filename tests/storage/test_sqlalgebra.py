@@ -1,0 +1,82 @@
+"""Tests for algebra operations evaluated entirely in SQL."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.algebra import pairwise_join
+from repro.core.filters import SizeAtMost, select
+from repro.core.query import keyword_fragments
+from repro.errors import StorageError
+from repro.storage.relational import RelationalStore
+from repro.storage.sqlalgebra import SqlAlgebra
+
+from ..treegen import documents
+
+
+@pytest.fixture()
+def algebra(figure1):
+    with RelationalStore() as store:
+        store.save(figure1)
+        yield SqlAlgebra(store)
+
+
+def in_memory_reference(doc, term1, term2, max_size=None):
+    F1 = keyword_fragments(doc, term1)
+    F2 = keyword_fragments(doc, term2)
+    joined = pairwise_join(F1, F2)
+    if max_size is not None:
+        joined = select(SizeAtMost(max_size), joined)
+    return frozenset(f.nodes for f in joined)
+
+
+class TestFilteredPairwiseJoinSql:
+    def test_figure1_filtered(self, figure1, algebra):
+        sql = algebra.filtered_pairwise_join("xquery", "optimization",
+                                             max_size=3)
+        assert sql == in_memory_reference(figure1, "xquery",
+                                          "optimization", max_size=3)
+
+    def test_figure1_unfiltered(self, figure1, algebra):
+        sql = algebra.filtered_pairwise_join("xquery", "optimization")
+        assert sql == in_memory_reference(figure1, "xquery",
+                                          "optimization")
+
+    def test_filter_pushed_into_sql(self, algebra):
+        # β = 1 keeps only the single node carrying both terms.
+        sql = algebra.filtered_pairwise_join("xquery", "optimization",
+                                             max_size=1)
+        assert sql == frozenset({frozenset([17])})
+
+    def test_casefolded_terms(self, algebra):
+        assert algebra.filtered_pairwise_join("XQUERY", "Optimization",
+                                              max_size=3) \
+            == algebra.filtered_pairwise_join("xquery", "optimization",
+                                              max_size=3)
+
+    def test_missing_term_empty(self, algebra):
+        assert algebra.filtered_pairwise_join("zebra",
+                                              "optimization") \
+            == frozenset()
+
+    def test_count_helper(self, algebra):
+        assert algebra.filtered_pairwise_join_count(
+            "xquery", "optimization", max_size=3) == 4
+
+    def test_empty_store_rejected(self):
+        with RelationalStore() as empty:
+            with pytest.raises(StorageError):
+                SqlAlgebra(empty).filtered_pairwise_join("a", "b")
+
+    @settings(max_examples=25, deadline=None)
+    @given(documents(min_nodes=2, max_nodes=12))
+    def test_matches_in_memory_random(self, doc):
+        with RelationalStore() as store:
+            store.save(doc)
+            algebra = SqlAlgebra(store)
+            for max_size in (None, 3):
+                sql = algebra.filtered_pairwise_join(
+                    "alpha", "beta", max_size=max_size)
+                assert sql == in_memory_reference(
+                    doc, "alpha", "beta", max_size=max_size)

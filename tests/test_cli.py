@@ -1,0 +1,158 @@
+"""End-to-end tests for the repro-search CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workloads.corpora import BOOK_XML
+
+
+@pytest.fixture()
+def book_file(tmp_path):
+    path = tmp_path / "book.xml"
+    path.write_text(BOOK_XML)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_file_and_keywords(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["f.xml", "a", "b"])
+        assert args.strategy == "pushdown"
+        assert args.limit == 10
+        assert not args.xml
+
+
+class TestMain:
+    def test_basic_search(self, book_file, capsys):
+        code = main([book_file, "fragment", "join", "--max-size", "4"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "answer(s)" in captured.out
+        assert "#1" in captured.out
+
+    def test_xml_output(self, book_file, capsys):
+        code = main([book_file, "fragment", "join", "--max-size", "3",
+                     "--xml"])
+        assert code == 0
+        assert "<" in capsys.readouterr().out
+
+    def test_limit(self, book_file, capsys):
+        code = main([book_file, "fragment", "--max-size", "2", "-n", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "#1" in out
+        assert "#2" not in out
+
+    def test_hide_overlaps(self, book_file, capsys):
+        code = main([book_file, "fragment", "join", "--max-size", "4",
+                     "--hide-overlaps"])
+        assert code == 0
+
+    def test_stats_flag(self, book_file, capsys):
+        code = main([book_file, "fragment", "--max-size", "2",
+                     "--stats"])
+        assert code == 0
+        assert "fragment_joins" in capsys.readouterr().out
+
+    def test_strategy_selection(self, book_file, capsys):
+        code = main([book_file, "fragment", "join", "--max-size", "3",
+                     "--strategy", "brute-force"])
+        assert code == 0
+        assert "brute-force" in capsys.readouterr().out
+
+    def test_explain_does_not_touch_file(self, capsys):
+        code = main(["/nonexistent.xml", "a", "b", "--max-size", "3",
+                     "--explain"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "σ" in out and "scan" in out
+
+    def test_missing_file_error(self, capsys):
+        code = main(["/nonexistent.xml", "a"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_malformed_file_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<a><b></a>")
+        code = main([str(bad), "a"])
+        assert code == 2
+
+    def test_height_and_width_filters(self, book_file, capsys):
+        code = main([book_file, "fragment", "join",
+                     "--max-height", "2", "--max-width", "6"])
+        assert code == 0
+
+    def test_no_matches(self, book_file, capsys):
+        code = main([book_file, "zebra", "unicorn"])
+        assert code == 0
+        assert "0 answer(s)" in capsys.readouterr().out
+
+    def test_ranked_output(self, book_file, capsys):
+        code = main([book_file, "fragment", "join", "--max-size", "4",
+                     "--rank"])
+        assert code == 0
+        assert "score=" in capsys.readouterr().out
+
+    def test_overlap_policy_group(self, book_file, capsys):
+        code = main([book_file, "fragment", "join", "--max-size", "4",
+                     "--overlap-policy", "group"])
+        assert code == 0
+
+    def test_witness_annotations_in_outline(self, book_file, capsys):
+        code = main([book_file, "fragment", "join", "--max-size", "4"])
+        assert code == 0
+        assert "<=" in capsys.readouterr().out
+
+    def test_directory_search(self, tmp_path, capsys):
+        (tmp_path / "a.xml").write_text(
+            "<a><b>needle thread</b></a>")
+        (tmp_path / "b.xml").write_text(
+            "<a><b>needle only</b></a>")
+        code = main([str(tmp_path), "needle", "thread",
+                     "--max-size", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 of 2 document(s)" in out
+        assert "a.xml:" in out
+
+    def test_directory_search_xml_output(self, tmp_path, capsys):
+        (tmp_path / "a.xml").write_text("<a><b>needle</b></a>")
+        code = main([str(tmp_path), "needle", "--xml"])
+        assert code == 0
+        assert "<b>" in capsys.readouterr().out
+
+    def test_empty_directory(self, tmp_path, capsys):
+        code = main([str(tmp_path), "needle"])
+        assert code == 2
+        assert "no .xml files" in capsys.readouterr().err
+
+    def test_filter_expression(self, book_file, capsys):
+        code = main([book_file, "fragment", "join",
+                     "--filter", "size<=4 & height<=2"])
+        assert code == 0
+        assert "size<=4" in capsys.readouterr().out
+
+    def test_bad_filter_expression(self, book_file, capsys):
+        code = main([book_file, "fragment", "--filter", "bogus<=3"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_overlap_policy_hide_matches_flag(self, book_file, capsys):
+        code = main([book_file, "fragment", "join", "--max-size", "4",
+                     "--overlap-policy", "hide"])
+        out_policy = capsys.readouterr().out
+        code2 = main([book_file, "fragment", "join", "--max-size", "4",
+                      "--hide-overlaps"])
+        out_flag = capsys.readouterr().out
+        assert code == code2 == 0
+        # Same fragments shown (timing lines differ).
+        assert [l for l in out_policy.splitlines()
+                if l.startswith("#")] == \
+            [l for l in out_flag.splitlines() if l.startswith("#")]

@@ -1,0 +1,128 @@
+"""Unit tests for multi-document collections."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collection.collection import DocumentCollection
+from repro.core.filters import SizeAtMost
+from repro.core.query import Query
+from repro.core.strategies import Strategy, evaluate
+from repro.errors import DocumentError
+from repro.workloads.corpora import BOOK_XML, THESIS_XML
+
+
+@pytest.fixture()
+def collection(figure1):
+    coll = DocumentCollection(name="library")
+    coll.add_xml(BOOK_XML, name="book")
+    coll.add_xml(THESIS_XML, name="thesis")
+    coll.add(figure1)
+    return coll
+
+
+class TestPopulation:
+    def test_counts(self, collection):
+        assert len(collection) == 3
+        assert collection.names() == ["book", "thesis", "figure1"]
+        assert "book" in collection
+        assert "unknown" not in collection
+
+    def test_duplicate_name_rejected(self, collection, figure1):
+        with pytest.raises(DocumentError, match="already contains"):
+            collection.add(figure1)
+
+    def test_total_nodes(self, collection):
+        assert collection.total_nodes == sum(
+            collection.document(n).size for n in collection)
+
+    def test_from_directory(self, tmp_path):
+        (tmp_path / "a.xml").write_text("<a><b>alpha</b></a>")
+        (tmp_path / "b.xml").write_text("<a><b>beta</b></a>")
+        (tmp_path / "notes.txt").write_text("not xml")
+        coll = DocumentCollection.from_directory(tmp_path)
+        assert len(coll) == 2
+        assert coll.names() == ["a.xml", "b.xml"]
+
+    def test_repr(self, collection):
+        assert "library" in repr(collection)
+
+
+class TestStatistics:
+    def test_document_frequency(self, collection):
+        # 'fragment' occurs in book and thesis (as a word) but the
+        # count is over documents, not nodes.
+        df = collection.document_frequency("fragment")
+        assert 1 <= df <= 3
+
+    def test_document_frequency_absent(self, collection):
+        assert collection.document_frequency("zebra") == 0
+
+    def test_vocabulary_is_union(self, collection):
+        vocab = collection.vocabulary()
+        for name in collection:
+            assert collection.index(name).vocabulary() <= vocab
+
+    def test_index_cached(self, collection):
+        assert collection.index("book") is collection.index("book")
+
+
+class TestSearch:
+    def test_search_matches_per_document_evaluation(self, collection,
+                                                    figure1):
+        query = Query.of("xquery", "optimization",
+                         predicate=SizeAtMost(3))
+        result = collection.search(query)
+        assert result.matched_documents == ["figure1"]
+        direct = evaluate(figure1, query)
+        assert result.per_document["figure1"].fragments == \
+            direct.fragments
+
+    def test_documents_missing_terms_skipped(self, collection):
+        query = Query.of("xquery", "optimization")
+        result = collection.search(query)
+        assert "book" not in result.per_document
+
+    def test_search_subset(self, collection):
+        query = Query.of("fragment", predicate=SizeAtMost(2))
+        result = collection.search(query, documents=["book"])
+        assert set(result.per_document) <= {"book"}
+
+    def test_hits_sorted_smallest_first(self, collection):
+        query = Query.of("fragment", predicate=SizeAtMost(3))
+        hits = collection.search(query).hits
+        sizes = [h.fragment.size for h in hits]
+        assert sizes == sorted(sizes)
+
+    def test_hit_labels(self, collection):
+        query = Query.of("xquery", "optimization",
+                         predicate=SizeAtMost(3))
+        labels = [h.label() for h in collection.search(query).hits]
+        assert any(label.startswith("figure1:") for label in labels)
+
+    def test_len_and_elapsed(self, collection):
+        query = Query.of("fragment", predicate=SizeAtMost(2))
+        result = collection.search(query)
+        assert len(result) >= 0
+        assert result.total_elapsed >= 0.0
+
+    def test_strategy_passthrough(self, collection):
+        query = Query.of("xquery", "optimization",
+                         predicate=SizeAtMost(3))
+        brute = collection.search(query, strategy=Strategy.BRUTE_FORCE)
+        pushed = collection.search(query, strategy=Strategy.PUSHDOWN)
+        assert {n: r.fragments for n, r in brute.per_document.items()} \
+            == {n: r.fragments for n, r in pushed.per_document.items()}
+
+
+class TestRankedSearch:
+    def test_ranked_across_documents(self, collection):
+        query = Query.of("keyword", "search", predicate=SizeAtMost(5))
+        ranked = collection.ranked_search(query, limit=5)
+        assert len(ranked) <= 5
+        scores = [scored.score for _, scored in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_limit_respected(self, collection):
+        query = Query.of("fragment", predicate=SizeAtMost(4))
+        assert len(collection.ranked_search(query, limit=2)) <= 2

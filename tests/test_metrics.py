@@ -1,0 +1,98 @@
+"""Unit tests for IR effectiveness metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fragment import Fragment
+from repro.ranking.metrics import (EffectivenessReport,
+                                   evaluate_effectiveness, f1_score,
+                                   overlap_precision, overlap_recall,
+                                   precision, recall)
+
+
+@pytest.fixture()
+def frags(figure1):
+    return {
+        "n17": Fragment(figure1, [17]),
+        "n16_17": Fragment(figure1, [16, 17]),
+        "n16_18": Fragment(figure1, [16, 18]),
+        "target": Fragment(figure1, [16, 17, 18]),
+        "n81": Fragment(figure1, [81]),
+    }
+
+
+class TestStrictMeasures:
+    def test_perfect(self, frags):
+        answers = [frags["n17"], frags["target"]]
+        assert precision(answers, answers) == 1.0
+        assert recall(answers, answers) == 1.0
+        assert f1_score(answers, answers) == 1.0
+
+    def test_partial(self, frags):
+        answers = [frags["n17"], frags["n16_17"]]
+        relevant = [frags["n17"], frags["target"]]
+        assert precision(answers, relevant) == 0.5
+        assert recall(answers, relevant) == 0.5
+        assert f1_score(answers, relevant) == 0.5
+
+    def test_disjoint(self, frags):
+        assert precision([frags["n17"]], [frags["n81"]]) == 0.0
+        assert recall([frags["n17"]], [frags["n81"]]) == 0.0
+        assert f1_score([frags["n17"]], [frags["n81"]]) == 0.0
+
+    def test_empty_conventions(self, frags):
+        assert precision([], [frags["n17"]]) == 1.0
+        assert recall([frags["n17"]], []) == 1.0
+
+    def test_f1_between_p_and_r(self, frags):
+        answers = [frags["n17"], frags["n16_17"], frags["n16_18"]]
+        relevant = [frags["n17"]]
+        p = precision(answers, relevant)
+        r = recall(answers, relevant)
+        f = f1_score(answers, relevant)
+        assert min(p, r) <= f <= max(p, r)
+
+
+class TestOverlapMeasures:
+    def test_exact_match_scores_one(self, frags):
+        assert overlap_precision([frags["n17"]], [frags["n17"]]) == 1.0
+        assert overlap_recall([frags["n17"]], [frags["n17"]]) == 1.0
+
+    def test_partial_overlap_graded(self, frags):
+        # ⟨n16,n17⟩ vs relevant ⟨n16,n17,n18⟩: Jaccard 2/3.
+        score = overlap_precision([frags["n16_17"]], [frags["target"]])
+        assert score == pytest.approx(2 / 3)
+
+    def test_overlap_beats_strict_on_near_misses(self, frags):
+        answers = [frags["n16_17"]]
+        relevant = [frags["target"]]
+        assert precision(answers, relevant) == 0.0
+        assert overlap_precision(answers, relevant) > 0.0
+
+    def test_disjoint_scores_zero(self, frags):
+        assert overlap_precision([frags["n81"]], [frags["n17"]]) == 0.0
+
+    def test_empty_conventions(self, frags):
+        assert overlap_precision([], [frags["n17"]]) == 1.0
+        assert overlap_recall([frags["n17"]], []) == 1.0
+
+
+class TestReport:
+    def test_report_fields_consistent(self, frags):
+        answers = [frags["n17"], frags["n16_17"]]
+        relevant = [frags["n17"], frags["target"]]
+        report = evaluate_effectiveness(answers, relevant)
+        assert report.precision == precision(answers, relevant)
+        assert report.recall == recall(answers, relevant)
+        assert report.f1 == f1_score(answers, relevant)
+        assert report.overlap_precision == \
+            overlap_precision(answers, relevant)
+        assert report.as_row() == [
+            report.precision, report.recall, report.f1,
+            report.overlap_precision, report.overlap_recall]
+
+    def test_report_is_frozen(self):
+        report = EffectivenessReport(1, 1, 1, 1, 1)
+        with pytest.raises(AttributeError):
+            report.precision = 0.5

@@ -1,0 +1,126 @@
+"""Unit tests for the ranking layer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.fragment import Fragment
+from repro.core.query import Query
+from repro.core.strategies import evaluate
+from repro.core.filters import SizeAtMost
+from repro.index.inverted import InvertedIndex
+from repro.ranking.scoring import (FragmentScorer, compactness_score,
+                                   proximity_score, tf_idf_score)
+
+from .treegen import document_and_fragments
+
+
+class TestTfIdf:
+    def test_bounds(self, figure1, figure1_index):
+        frag = Fragment(figure1, [17])
+        score = tf_idf_score(frag, ["xquery", "optimization"],
+                             figure1_index)
+        assert 0.0 < score < 1.0
+
+    def test_absent_term_scores_zero(self, figure1, figure1_index):
+        frag = Fragment(figure1, [2])
+        assert tf_idf_score(frag, ["xquery"], figure1_index) == 0.0
+
+    def test_dense_fragment_beats_diluted(self, figure1, figure1_index):
+        dense = Fragment(figure1, [17])
+        diluted = Fragment(figure1, [0, 1, 14, 16, 17])
+        terms = ["xquery", "optimization"]
+        assert tf_idf_score(dense, terms, figure1_index) > \
+            tf_idf_score(diluted, terms, figure1_index)
+
+    def test_rare_term_weighs_more(self, figure1, figure1_index):
+        # 'xquery' (df=2) is rarer than 'par' (many nodes).
+        frag = Fragment(figure1, [17])
+        assert tf_idf_score(frag, ["xquery"], figure1_index) > \
+            tf_idf_score(frag, ["par"], figure1_index)
+
+
+class TestCompactness:
+    def test_single_node_is_max(self, figure1):
+        assert compactness_score(Fragment(figure1, [17])) == 1.0
+
+    def test_decreases_with_size(self, figure1):
+        small = Fragment(figure1, [16, 17])
+        large = Fragment(figure1, [14, 15, 16, 17, 18])
+        assert compactness_score(small) > compactness_score(large)
+
+    @settings(max_examples=30)
+    @given(document_and_fragments(max_fragments=1))
+    def test_bounds(self, doc_and_frags):
+        _, (frag,) = doc_and_frags
+        assert 0.0 < compactness_score(frag) <= 1.0
+
+
+class TestProximity:
+    def test_keyword_at_root_scores_one_per_term(self, figure1):
+        frag = Fragment(figure1, [17])
+        assert proximity_score(frag, ["xquery"]) == pytest.approx(1.0)
+
+    def test_depth_penalty(self, figure1):
+        shallow = Fragment(figure1, [17])
+        deep = Fragment(figure1, [14, 15, 16, 17])  # root n14, term at 17
+        assert proximity_score(deep, ["xquery"]) < \
+            proximity_score(shallow, ["xquery"])
+
+    def test_absent_term_contributes_zero(self, figure1):
+        frag = Fragment(figure1, [2])
+        assert proximity_score(frag, ["xquery"]) == 0.0
+
+    def test_invalid_decay(self, figure1):
+        with pytest.raises(ValueError):
+            proximity_score(Fragment(figure1, [17]), ["x"], decay=0.0)
+
+    def test_empty_terms(self, figure1):
+        assert proximity_score(Fragment(figure1, [17]), []) == 0.0
+
+
+class TestFragmentScorer:
+    def test_weight_validation(self, figure1_index):
+        with pytest.raises(ValueError):
+            FragmentScorer(figure1_index, w_tf_idf=-1)
+        with pytest.raises(ValueError):
+            FragmentScorer(figure1_index, w_tf_idf=0,
+                           w_compactness=0, w_proximity=0)
+
+    def test_score_breakdown(self, figure1, figure1_index):
+        scorer = FragmentScorer(figure1_index)
+        scored = scorer.score(Fragment(figure1, [17]),
+                              ["xquery", "optimization"])
+        assert 0.0 <= scored.score <= 1.0
+        assert scored.tf_idf >= 0.0
+        assert scored.compactness == 1.0
+        assert scored.proximity == pytest.approx(1.0)
+
+    def test_rank_orders_descending(self, figure1, figure1_index):
+        query = Query.of("xquery", "optimization",
+                         predicate=SizeAtMost(3))
+        answers = evaluate(figure1, query).fragments
+        scorer = FragmentScorer(figure1_index)
+        ranked = scorer.rank(answers, query.terms)
+        scores = [s.score for s in ranked]
+        assert scores == sorted(scores, reverse=True)
+        # n17 carries both terms at its root: best answer.
+        assert ranked[0].fragment == Fragment(figure1, [17])
+
+    def test_rank_limit(self, figure1, figure1_index):
+        query = Query.of("xquery", "optimization",
+                         predicate=SizeAtMost(3))
+        answers = evaluate(figure1, query).fragments
+        ranked = FragmentScorer(figure1_index).rank(answers, query.terms,
+                                                    limit=2)
+        assert len(ranked) == 2
+
+    def test_weights_change_order(self, figure1, figure1_index):
+        frags = [Fragment(figure1, [17]),
+                 Fragment(figure1, [16, 17, 18])]
+        terms = ["xquery", "optimization"]
+        compact_first = FragmentScorer(figure1_index, w_tf_idf=0,
+                                       w_compactness=1, w_proximity=0)
+        ranked = compact_first.rank(frags, terms)
+        assert ranked[0].fragment.size == 1

@@ -1,0 +1,104 @@
+"""Shared hypothesis strategies and deterministic tree factories.
+
+Random documents are built through :class:`DocumentBuilder` (which
+renumbers ids to preorder), attaching each new node to a uniformly
+chosen existing node — every rooted tree shape is reachable this way.
+Keywords are planted from a tiny alphabet so that conjunctive queries
+have non-trivial but bounded match sets.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.core.fragment import Fragment
+from repro.xmltree.builder import DocumentBuilder
+from repro.xmltree.document import Document
+
+KEYWORD_ALPHABET = ("alpha", "beta", "gamma")
+
+
+def make_document(parent_choices: list[int],
+                  keyword_choices: list[int], name: str = "random"
+                  ) -> Document:
+    """Deterministically build a document from draw lists.
+
+    ``parent_choices[i]`` selects the parent of node ``i + 1`` among the
+    ``i + 1`` already-built nodes (modulo), and ``keyword_choices[j]``
+    selects which alphabet words node ``j`` carries (bitmask).
+    """
+    builder = DocumentBuilder(name=name)
+    ids = [builder.add_root("root", "")]
+    for i, choice in enumerate(parent_choices):
+        parent = ids[choice % len(ids)]
+        ids.append(builder.add_child(parent, "node", ""))
+    for j, mask in enumerate(keyword_choices[:len(ids)]):
+        words = [w for b, w in enumerate(KEYWORD_ALPHABET)
+                 if mask & (1 << b)]
+        if words:
+            builder.add_keywords(ids[j], words)
+    return builder.build()
+
+
+@st.composite
+def documents(draw, min_nodes: int = 1, max_nodes: int = 12):
+    """Hypothesis strategy: small random documents with keywords."""
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    parent_choices = draw(st.lists(st.integers(min_value=0, max_value=63),
+                                   min_size=n - 1, max_size=n - 1))
+    keyword_choices = draw(st.lists(st.integers(min_value=0, max_value=7),
+                                    min_size=n, max_size=n))
+    return make_document(parent_choices, keyword_choices)
+
+
+@st.composite
+def document_and_nodesets(draw, max_nodes: int = 10, max_sets: int = 2,
+                          min_set_size: int = 1, max_set_size: int = 4):
+    """A document plus ``max_sets`` non-empty single-node fragment sets."""
+    doc = draw(documents(min_nodes=2, max_nodes=max_nodes))
+    sets = []
+    for _ in range(max_sets):
+        size = draw(st.integers(min_value=min(min_set_size, doc.size),
+                                max_value=min(max_set_size, doc.size)))
+        ids = draw(st.lists(st.integers(min_value=0,
+                                        max_value=doc.size - 1),
+                            min_size=size, max_size=size, unique=True))
+        sets.append(frozenset(Fragment(doc, (nid,)) for nid in ids))
+    return doc, sets
+
+
+@st.composite
+def document_and_fragments(draw, max_nodes: int = 10,
+                           max_fragments: int = 3):
+    """A document plus a few random (connected) fragments."""
+    doc = draw(documents(min_nodes=2, max_nodes=max_nodes))
+    count = draw(st.integers(min_value=1, max_value=max_fragments))
+    fragments = []
+    for _ in range(count):
+        fragments.append(random_fragment(
+            doc, draw(st.integers(min_value=0, max_value=2 ** 30))))
+    return doc, fragments
+
+
+def random_fragment(document: Document, seed: int) -> Fragment:
+    """A random connected fragment grown from a random start node."""
+    rng = random.Random(seed)
+    start = rng.randrange(document.size)
+    nodes = {start}
+    growth = rng.randrange(document.size)
+    for _ in range(growth):
+        # Candidate expansions keep the set connected: parents of
+        # members and children of members.
+        frontier = set()
+        for node in nodes:
+            parent = document.parent(node)
+            if parent is not None:
+                frontier.add(parent)
+            frontier.update(document.children(node))
+        frontier -= nodes
+        if not frontier:
+            break
+        nodes.add(rng.choice(sorted(frontier)))
+    return Fragment(document, nodes)

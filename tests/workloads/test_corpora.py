@@ -1,0 +1,38 @@
+"""Unit tests for canned corpora."""
+
+from __future__ import annotations
+
+from repro.core.strategies import answer
+from repro.core.filters import SizeAtMost
+
+
+class TestBookCorpus:
+    def test_parses(self, book):
+        assert book.name == "book"
+        assert book.size > 20
+
+    def test_structure(self, book):
+        assert book.tag(0) == "book"
+        tags = {book.tag(i) for i in book.node_ids()}
+        assert {"chapter", "section", "par", "title"} <= tags
+
+    def test_searchable(self, book):
+        result = answer(book, "fragment", "join",
+                        predicate=SizeAtMost(4))
+        assert result.fragments
+
+
+class TestThesisCorpus:
+    def test_parses(self, thesis):
+        assert thesis.name == "thesis"
+        assert thesis.size > 20
+
+    def test_attributes(self, thesis):
+        numbered = [i for i in thesis.node_ids()
+                    if thesis.attributes(i).get("n")]
+        assert len(numbered) == 3
+
+    def test_searchable(self, thesis):
+        result = answer(thesis, "keyword", "search",
+                        predicate=SizeAtMost(3))
+        assert result.fragments

@@ -1,0 +1,81 @@
+"""Unit tests for the data-centric bibliography generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.smallest import smallest_fragments
+from repro.core.filters import HeightAtMost, SizeAtMost
+from repro.core.query import Query
+from repro.core.strategies import evaluate
+from repro.errors import WorkloadError
+from repro.workloads.datacentric import (BibliographySpec,
+                                         generate_bibliography)
+
+
+@pytest.fixture(scope="module")
+def bibliography():
+    return generate_bibliography(BibliographySpec(records=40, seed=13))
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            BibliographySpec(records=0)
+        with pytest.raises(WorkloadError):
+            BibliographySpec(max_authors=0)
+        with pytest.raises(WorkloadError):
+            BibliographySpec(title_words=0)
+
+
+class TestGenerate:
+    def test_record_count(self, bibliography):
+        papers = [n for n in bibliography.node_ids()
+                  if bibliography.tag(n) == "paper"]
+        assert len(papers) == 40
+
+    def test_schematic_shape(self, bibliography):
+        # Every paper has title, >=1 author, venue, year — the uniform
+        # data-centric record shape.
+        for paper in bibliography.node_ids():
+            if bibliography.tag(paper) != "paper":
+                continue
+            child_tags = [bibliography.tag(c)
+                          for c in bibliography.children(paper)]
+            assert child_tags[0] == "title"
+            assert child_tags[-2:] == ["venue", "year"]
+            assert child_tags.count("author") >= 1
+
+    def test_deterministic(self):
+        spec = BibliographySpec(records=10, seed=5)
+        a = generate_bibliography(spec)
+        b = generate_bibliography(spec)
+        assert [a.text(i) for i in a.node_ids()] == \
+            [b.text(i) for i in b.node_ids()]
+
+    def test_depth_is_flat(self, bibliography):
+        assert bibliography.max_depth == 2  # root → paper → field
+
+
+class TestDataCentricSemantics:
+    def test_conventional_answers_are_record_shaped(self, bibliography):
+        # On schematic data the smallest fragments sit inside one
+        # <paper> record (or are one node).
+        fragments = smallest_fragments(bibliography,
+                                       ["turing", "database"])
+        for fragment in fragments:
+            root = fragment.root
+            assert bibliography.tag(root) in ("paper", "title",
+                                              "author", "bibliography")
+
+    def test_algebra_contains_conventional(self, bibliography):
+        query = Query.of("turing", "database",
+                         predicate=SizeAtMost(6) & HeightAtMost(1))
+        algebra = {f.nodes for f in
+                   evaluate(bibliography, query).fragments}
+        conventional = {
+            f.nodes
+            for f in smallest_fragments(bibliography,
+                                        ["turing", "database"])
+            if len(f.nodes) <= 6 and f.height <= 1}
+        assert conventional <= algebra

@@ -1,0 +1,90 @@
+"""Tests pinning the Figure 1 reconstruction to the paper's constraints."""
+
+from __future__ import annotations
+
+from repro.core.algebra import fragment_join
+from repro.core.fragment import Fragment
+from repro.workloads.figure1 import (FIGURE1_QUERY_TERMS,
+                                     build_figure1_document)
+
+
+class TestTopology:
+    def test_82_nodes(self, figure1):
+        assert figure1.size == 82
+
+    def test_root_paths_match_table1(self, figure1):
+        # n17 → n16 → n14 → n1 → n0 and n81 → n80 → n79 → n0.
+        assert list(figure1.ancestors(17)) == [16, 14, 1, 0]
+        assert list(figure1.ancestors(81)) == [80, 79, 0]
+
+    def test_n16_children_are_n17_n18(self, figure1):
+        assert figure1.children(16) == (17, 18)
+
+    def test_build_is_deterministic(self):
+        a = build_figure1_document()
+        b = build_figure1_document()
+        assert [a.tag(i) for i in a.node_ids()] == \
+            [b.tag(i) for i in b.node_ids()]
+
+
+class TestKeywordPlacement:
+    def test_query_terms_constant(self):
+        assert FIGURE1_QUERY_TERMS == ("xquery", "optimization")
+
+    def test_xquery_exactly_n17_n18(self, figure1):
+        assert figure1.nodes_with_keyword("xquery") == [17, 18]
+
+    def test_optimization_exactly_n16_n17_n81(self, figure1):
+        assert figure1.nodes_with_keyword("optimization") == [16, 17, 81]
+
+
+class TestTable1Joins:
+    """Every row of Table 1, phrased as direct join computations."""
+
+    def n(self, figure1, *ids):
+        return Fragment(figure1, ids)
+
+    def test_row1_f17_f18(self, figure1):
+        assert fragment_join(self.n(figure1, 17),
+                             self.n(figure1, 18)).nodes == \
+            frozenset([16, 17, 18])
+
+    def test_row2_f16_f17(self, figure1):
+        assert fragment_join(self.n(figure1, 16),
+                             self.n(figure1, 17)).nodes == \
+            frozenset([16, 17])
+
+    def test_row3_f16_f18(self, figure1):
+        assert fragment_join(self.n(figure1, 16),
+                             self.n(figure1, 18)).nodes == \
+            frozenset([16, 18])
+
+    def test_row5_f17_f81(self, figure1):
+        assert fragment_join(self.n(figure1, 17),
+                             self.n(figure1, 81)).nodes == \
+            frozenset([0, 1, 14, 16, 17, 79, 80, 81])
+
+    def test_row6_f18_f81(self, figure1):
+        assert fragment_join(self.n(figure1, 18),
+                             self.n(figure1, 81)).nodes == \
+            frozenset([0, 1, 14, 16, 18, 79, 80, 81])
+
+    def test_row7_f17_f18_f81(self, figure1):
+        joined = fragment_join(
+            fragment_join(self.n(figure1, 17), self.n(figure1, 18)),
+            self.n(figure1, 81))
+        assert joined.nodes == \
+            frozenset([0, 1, 14, 16, 17, 18, 79, 80, 81])
+
+    def test_row8_duplicate_of_row1(self, figure1):
+        row8 = fragment_join(
+            fragment_join(self.n(figure1, 16), self.n(figure1, 17)),
+            self.n(figure1, 18))
+        assert row8.nodes == frozenset([16, 17, 18])
+
+    def test_section43_f16_f81(self, figure1):
+        # §4.3: f16 ⋈ f81 spans 7 nodes and fails size<=3, so joins
+        # involving it can be pruned.
+        assert fragment_join(self.n(figure1, 16),
+                             self.n(figure1, 81)).nodes == \
+            frozenset([0, 1, 14, 16, 79, 80, 81])

@@ -1,0 +1,148 @@
+"""Unit tests for the synthetic document generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.index.inverted import InvertedIndex
+from repro.workloads.generator import (DocumentSpec, generate_document,
+                                       plant_keyword, zipf_vocabulary)
+
+
+class TestVocabulary:
+    def test_sizes(self):
+        assert len(zipf_vocabulary(5)) == 5
+        assert len(zipf_vocabulary(200)) == 200
+
+    def test_distinct(self):
+        vocab = zipf_vocabulary(150)
+        assert len(set(vocab)) == 150
+
+    def test_invalid_size(self):
+        with pytest.raises(WorkloadError):
+            zipf_vocabulary(0)
+
+
+class TestDocumentSpec:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            DocumentSpec(nodes=0)
+        with pytest.raises(WorkloadError):
+            DocumentSpec(max_depth=0)
+        with pytest.raises(WorkloadError):
+            DocumentSpec(max_fanout=0)
+        with pytest.raises(WorkloadError):
+            DocumentSpec(words_per_leaf=0)
+
+
+class TestGenerateDocument:
+    def test_exact_node_count(self):
+        for nodes in (1, 10, 137, 400):
+            doc = generate_document(DocumentSpec(nodes=nodes, seed=3))
+            assert doc.size == nodes
+
+    def test_deterministic(self):
+        spec = DocumentSpec(nodes=120, seed=11)
+        a = generate_document(spec)
+        b = generate_document(spec)
+        assert [a.tag(i) for i in a.node_ids()] == \
+            [b.tag(i) for i in b.node_ids()]
+        assert [a.text(i) for i in a.node_ids()] == \
+            [b.text(i) for i in b.node_ids()]
+
+    def test_seed_changes_document(self):
+        a = generate_document(DocumentSpec(nodes=120, seed=1))
+        b = generate_document(DocumentSpec(nodes=120, seed=2))
+        assert [a.text(i) for i in a.node_ids()] != \
+            [b.text(i) for i in b.node_ids()]
+
+    def test_depth_bounded(self):
+        doc = generate_document(DocumentSpec(nodes=300, max_depth=4,
+                                             seed=5))
+        assert doc.max_depth <= 4
+
+    def test_document_centric_tags(self):
+        doc = generate_document(DocumentSpec(nodes=200, seed=7))
+        tags = {doc.tag(i) for i in doc.node_ids()}
+        assert "article" in tags
+        assert tags & {"par", "note", "item", "caption"}
+
+
+class TestPlantKeyword:
+    def test_occurrence_count(self):
+        doc = generate_document(DocumentSpec(nodes=150, seed=9))
+        planted = plant_keyword(doc, "needle", occurrences=7, seed=1)
+        assert len(planted.nodes_with_keyword("needle")) == 7
+
+    def test_original_untouched(self):
+        doc = generate_document(DocumentSpec(nodes=80, seed=9))
+        plant_keyword(doc, "needle", occurrences=3, seed=1)
+        assert doc.nodes_with_keyword("needle") == []
+
+    def test_structure_preserved(self):
+        doc = generate_document(DocumentSpec(nodes=90, seed=4))
+        planted = plant_keyword(doc, "needle", occurrences=3, seed=2)
+        assert planted.size == doc.size
+        for nid in doc.node_ids():
+            assert planted.parent(nid) == doc.parent(nid)
+            assert planted.tag(nid) == doc.tag(nid)
+
+    def test_clustering_raises_reduction_factor(self):
+        from repro.core.query import keyword_fragments
+        from repro.core.statistics import reduction_factor
+        doc = generate_document(DocumentSpec(nodes=300, seed=6))
+        scattered = plant_keyword(doc, "needle", occurrences=10,
+                                  clustering=0.0, seed=3)
+        clustered = plant_keyword(doc, "needle", occurrences=10,
+                                  clustering=1.0, seed=3)
+        rf_scattered = reduction_factor(
+            keyword_fragments(scattered, "needle"))
+        rf_clustered = reduction_factor(
+            keyword_fragments(clustered, "needle"))
+        # Vertical runs are reducible (interior path nodes are subsumed
+        # by the join of the endpoints); scatter rarely is.
+        assert rf_clustered > rf_scattered
+
+    def test_full_clustering_forms_a_path(self):
+        doc = generate_document(DocumentSpec(nodes=300, seed=6))
+        planted = plant_keyword(doc, "needle", occurrences=4,
+                                clustering=1.0, seed=3)
+        nodes = planted.nodes_with_keyword("needle")
+        on_path = [n for n in nodes
+                   if all(planted.is_ancestor_or_self(n, m)
+                          or planted.is_ancestor_or_self(m, n)
+                          for m in nodes)]
+        # The clustered share (here: all four) lies on one ancestor line.
+        assert len(on_path) >= 3
+
+    def test_partial_clustering(self):
+        doc = generate_document(DocumentSpec(nodes=200, seed=6))
+        planted = plant_keyword(doc, "needle", occurrences=8,
+                                clustering=0.5, seed=3)
+        assert len(planted.nodes_with_keyword("needle")) == 8
+
+    def test_too_many_occurrences_rejected(self):
+        doc = generate_document(DocumentSpec(nodes=5, seed=1))
+        with pytest.raises(WorkloadError, match="cannot plant"):
+            plant_keyword(doc, "needle", occurrences=50)
+
+    def test_validation(self):
+        doc = generate_document(DocumentSpec(nodes=10, seed=1))
+        with pytest.raises(WorkloadError):
+            plant_keyword(doc, "x", occurrences=0)
+        with pytest.raises(WorkloadError):
+            plant_keyword(doc, "x", occurrences=1, clustering=2.0)
+
+    def test_eligible_restriction(self):
+        doc = generate_document(DocumentSpec(nodes=50, seed=2))
+        eligible = [5, 6, 7, 8]
+        planted = plant_keyword(doc, "needle", occurrences=3, seed=4,
+                                eligible=eligible)
+        assert set(planted.nodes_with_keyword("needle")) <= set(eligible)
+
+    def test_keyword_searchable_via_index(self):
+        doc = generate_document(DocumentSpec(nodes=100, seed=8))
+        planted = plant_keyword(doc, "needle", occurrences=4, seed=5)
+        index = InvertedIndex(planted)
+        assert index.document_frequency("needle") == 4

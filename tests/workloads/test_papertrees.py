@@ -1,0 +1,73 @@
+"""Tests for the Figure 3/4/7 labelled trees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algebra import fragment_join
+from repro.core.filters import EqualDepth
+from repro.core.reduce import set_reduce
+
+
+class TestLabeledTreeHelpers:
+    def test_node_lookup(self, figure3):
+        assert figure3.document.depth(figure3.node("n1")) == 0
+
+    def test_fragment_helper_validates(self, figure3):
+        with pytest.raises(Exception):
+            figure3.fragment("n2", "n9")  # disconnected
+
+    def test_labels_roundtrip(self, figure3):
+        frag = figure3.fragment("n4", "n5")
+        assert figure3.labels_of(frag) == {"n4", "n5"}
+
+    def test_fragment_set(self, figure3):
+        fs = figure3.fragment_set([["n2"], ["n8"]])
+        assert len(fs) == 2
+
+
+class TestFigure3Tree:
+    def test_nine_nodes(self, figure3):
+        assert figure3.document.size == 9
+
+    def test_documented_join(self, figure3):
+        joined = fragment_join(figure3.fragment("n4", "n5"),
+                               figure3.fragment("n7", "n9"))
+        assert figure3.labels_of(joined) == \
+            {"n3", "n4", "n5", "n6", "n7", "n9"}
+
+    def test_label_ids_are_preorder_consistent(self, figure3):
+        # n9 hangs under n7 and precedes n8 in preorder.
+        assert figure3.node("n9") < figure3.node("n8")
+
+
+class TestFigure4Tree:
+    def test_reduction(self, figure4):
+        F = figure4.fragment_set([["n1"], ["n3"], ["n5"], ["n6"], ["n7"]])
+        reduced = set_reduce(F)
+        assert {tuple(sorted(figure4.labels_of(f))) for f in reduced} \
+            == {("n1",), ("n5",), ("n7",)}
+
+    def test_n3_subsumed_by_n1_join_n5(self, figure4):
+        joined = fragment_join(figure4.fragment("n1"),
+                               figure4.fragment("n5"))
+        assert figure4.node("n3") in joined.nodes
+
+    def test_n6_subsumed_by_n1_join_n7(self, figure4):
+        joined = fragment_join(figure4.fragment("n1"),
+                               figure4.fragment("n7"))
+        assert figure4.node("n6") in joined.nodes
+
+
+class TestFigure7Tree:
+    def test_keyword_placement(self, figure7):
+        doc = figure7.document
+        assert doc.nodes_with_keyword("k1") == [figure7.node("n2")]
+        assert sorted(doc.nodes_with_keyword("k2")) == sorted(
+            [figure7.node("n3"), figure7.node("n4")])
+
+    def test_counterexample_shape(self, figure7):
+        predicate = EqualDepth("k1", "k2")
+        f = figure7.fragment("n0", "n1", "n2", "n3", "n4")
+        f_prime = figure7.fragment("n0", "n1", "n2", "n4")
+        assert predicate(f) and not predicate(f_prime)

@@ -1,0 +1,101 @@
+"""Unit tests for query workload generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.filters import SizeAtMost, TrueFilter
+from repro.errors import WorkloadError
+from repro.index.inverted import InvertedIndex
+from repro.workloads.generator import DocumentSpec, generate_document
+from repro.workloads.queries import (QuerySpec, generate_queries,
+                                     pick_terms_by_frequency,
+                                     selectivity_ladder)
+
+
+@pytest.fixture(scope="module")
+def synthetic_index():
+    doc = generate_document(DocumentSpec(nodes=400, seed=21))
+    return InvertedIndex(doc)
+
+
+class TestQuerySpec:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            QuerySpec(count=0)
+        with pytest.raises(WorkloadError):
+            QuerySpec(terms_per_query=0)
+        with pytest.raises(WorkloadError):
+            QuerySpec(min_frequency=5, max_frequency=2)
+
+
+class TestPickTerms:
+    def test_band_respected(self, synthetic_index):
+        terms = pick_terms_by_frequency(synthetic_index, 2, 6)
+        assert terms
+        for term in terms:
+            assert 2 <= synthetic_index.document_frequency(term) <= 6
+
+    def test_sorted_deterministic(self, synthetic_index):
+        assert pick_terms_by_frequency(synthetic_index, 2, 6) == \
+            sorted(pick_terms_by_frequency(synthetic_index, 2, 6))
+
+
+class TestGenerateQueries:
+    def test_count_and_terms(self, synthetic_index):
+        spec = QuerySpec(count=5, terms_per_query=2, seed=3)
+        queries = generate_queries(synthetic_index, spec)
+        assert len(queries) == 5
+        for query in queries:
+            assert len(query.terms) == 2
+
+    def test_deterministic(self, synthetic_index):
+        spec = QuerySpec(count=4, seed=9)
+        a = generate_queries(synthetic_index, spec)
+        b = generate_queries(synthetic_index, spec)
+        assert [q.terms for q in a] == [q.terms for q in b]
+
+    def test_size_filter_attached(self, synthetic_index):
+        queries = generate_queries(synthetic_index,
+                                   QuerySpec(count=2, size_limit=4))
+        assert all(isinstance(q.predicate, SizeAtMost) for q in queries)
+
+    def test_no_filter_when_disabled(self, synthetic_index):
+        queries = generate_queries(synthetic_index,
+                                   QuerySpec(count=2, size_limit=None))
+        assert all(isinstance(q.predicate, TrueFilter) for q in queries)
+
+    def test_unsatisfiable_band_rejected(self, synthetic_index):
+        spec = QuerySpec(count=1, min_frequency=10_000,
+                         max_frequency=20_000)
+        with pytest.raises(WorkloadError, match="document frequency"):
+            generate_queries(synthetic_index, spec)
+
+    def test_terms_within_band(self, synthetic_index):
+        spec = QuerySpec(count=6, min_frequency=2, max_frequency=8,
+                         seed=17)
+        for query in generate_queries(synthetic_index, spec):
+            for term in query.terms:
+                df = synthetic_index.document_frequency(term)
+                assert 2 <= df <= 8
+
+
+class TestSelectivityLadder:
+    def test_rungs_produced(self, synthetic_index):
+        ladder = selectivity_ladder(synthetic_index, rungs=(2, 4, 8))
+        assert ladder
+        for rung, query in ladder:
+            assert rung in (2, 4, 8)
+            assert len(query.terms) == 2
+
+    def test_unservable_rungs_skipped(self, synthetic_index):
+        ladder = selectivity_ladder(synthetic_index, rungs=(100_000,))
+        assert ladder == []
+
+    def test_term_frequencies_near_rung(self, synthetic_index):
+        for rung, query in selectivity_ladder(synthetic_index,
+                                              rungs=(4, 8)):
+            for term in query.terms:
+                df = synthetic_index.document_frequency(term)
+                assert rung - max(1, rung // 4) <= df \
+                    <= rung + max(1, rung // 4)

@@ -1,0 +1,127 @@
+"""Unit tests for DocumentBuilder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DocumentError
+from repro.index.tokenizer import Tokenizer
+from repro.xmltree.builder import DocumentBuilder
+
+
+class TestBuilderBasics:
+    def test_root_then_children(self):
+        b = DocumentBuilder()
+        root = b.add_root("a")
+        b.add_child(root, "b")
+        b.add_child(root, "c")
+        doc = b.build()
+        assert doc.size == 3
+        assert doc.children(0) == (1, 2)
+
+    def test_two_roots_rejected(self):
+        b = DocumentBuilder()
+        b.add_root("a")
+        with pytest.raises(DocumentError, match="already has a root"):
+            b.add_root("a")
+
+    def test_unknown_parent_rejected(self):
+        b = DocumentBuilder()
+        b.add_root("a")
+        with pytest.raises(DocumentError, match="unknown parent"):
+            b.add_child(42, "b")
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(DocumentError, match="empty"):
+            DocumentBuilder().build()
+
+    def test_node_count_tracks_additions(self):
+        b = DocumentBuilder()
+        assert b.node_count == 0
+        root = b.add_root("a")
+        assert b.node_count == 1
+        b.add_child(root, "b")
+        assert b.node_count == 2
+
+
+class TestPreorderNormalisation:
+    def test_out_of_order_insertion_renumbered(self):
+        # Insert a grandchild *after* a second top-level child; builder
+        # ids then differ from preorder and must be remapped.
+        b = DocumentBuilder()
+        root = b.add_root("a")
+        first = b.add_child(root, "b")
+        second = b.add_child(root, "c")
+        grandchild = b.add_child(first, "d")
+        doc = b.build()
+        mapping = b.last_id_mapping
+        assert mapping is not None
+        assert mapping[root] == 0
+        assert mapping[first] == 1
+        assert mapping[grandchild] == 2   # under first in preorder
+        assert mapping[second] == 3
+        assert doc.tag(2) == "d"
+        assert doc.tag(3) == "c"
+
+    def test_mapping_none_before_build(self):
+        b = DocumentBuilder()
+        b.add_root("a")
+        assert b.last_id_mapping is None
+
+    def test_preorder_insertion_is_identity_mapping(self):
+        b = DocumentBuilder()
+        root = b.add_root("a")
+        child = b.add_child(root, "b")
+        b.add_child(child, "c")
+        b.add_child(root, "d")
+        b.build()
+        assert b.last_id_mapping == {0: 0, 1: 1, 2: 2, 3: 3}
+
+
+class TestKeywordDerivation:
+    def test_text_tokenized(self):
+        b = DocumentBuilder()
+        b.add_root("a", "Red APPLES and pears")
+        doc = b.build()
+        kws = doc.keywords(0)
+        assert {"red", "apples", "pears"} <= kws
+        assert "and" not in kws  # stopword
+
+    def test_tag_and_attrs_contribute_by_default(self):
+        b = DocumentBuilder()
+        b.add_root("section", attrs={"label": "intro"})
+        doc = b.build()
+        assert "section" in doc.keywords(0)
+        assert "intro" in doc.keywords(0)
+        assert "label" in doc.keywords(0)
+
+    def test_keyword_tags_disabled(self):
+        b = DocumentBuilder(keyword_tags=False)
+        b.add_root("section", "content words", attrs={"k": "v"})
+        doc = b.build()
+        assert "section" not in doc.keywords(0)
+        assert "v" not in doc.keywords(0)
+        assert "content" in doc.keywords(0)
+
+    def test_extra_keywords_added(self):
+        b = DocumentBuilder()
+        root = b.add_root("a", "plain")
+        b.add_keywords(root, ["Planted", "terms"])
+        doc = b.build()
+        assert "planted" in doc.keywords(0)  # normalised
+        assert "terms" in doc.keywords(0)
+
+    def test_custom_tokenizer(self):
+        tok = Tokenizer(stopwords=(), min_length=4)
+        b = DocumentBuilder(tokenizer=tok)
+        b.add_root("ab", "tiny word here and")
+        doc = b.build()
+        assert "tiny" in doc.keywords(0)
+        assert "and" not in doc.keywords(0)   # too short for min_length=4
+        assert "ab" not in doc.keywords(0)    # tag too short as well
+
+    def test_attributes_preserved(self):
+        b = DocumentBuilder()
+        b.add_root("a", attrs={"x": "1", "y": "2"})
+        doc = b.build()
+        assert doc.attributes(0) == {"x": "1", "y": "2"}

@@ -1,0 +1,126 @@
+"""Unit tests for the Document model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.errors import DocumentError
+from repro.xmltree.document import Document
+
+from ..treegen import documents
+
+
+class TestConstruction:
+    def test_arrays_must_align(self):
+        with pytest.raises(DocumentError, match="inconsistent lengths"):
+            Document(["a"], [""], [None], [[]], [])
+
+    def test_ids_must_be_preorder(self):
+        # Node 1 is the root here, so ids are not preorder ranks.
+        with pytest.raises(DocumentError, match="preorder"):
+            Document(["a", "b"], ["", ""], [1, None], [[], [0]],
+                     [frozenset(), frozenset()])
+
+    def test_minimal_document(self):
+        doc = Document(["a"], ["x"], [None], [[]], [frozenset(["x"])])
+        assert doc.size == 1
+        assert doc.root == 0
+        assert doc.max_depth == 0
+
+
+class TestAccessors:
+    def test_structure(self, tiny_doc):
+        assert tiny_doc.size == 6
+        assert len(tiny_doc) == 6
+        assert tiny_doc.parent(0) is None
+        assert tiny_doc.parent(2) == 1
+        assert tiny_doc.children(0) == (1, 4)
+        assert tiny_doc.children(1) == (2, 3)
+        assert tiny_doc.is_leaf(2)
+        assert not tiny_doc.is_leaf(1)
+
+    def test_tags_and_text(self, tiny_doc):
+        assert tiny_doc.tag(0) == "article"
+        assert tiny_doc.tag(2) == "par"
+        assert tiny_doc.text(2) == "red apple"
+
+    def test_keywords_include_text_and_tags(self, tiny_doc):
+        assert "red" in tiny_doc.keywords(2)
+        assert "apple" in tiny_doc.keywords(2)
+        assert "par" in tiny_doc.keywords(2)  # tag names count (paper §2.1)
+
+    def test_depth(self, tiny_doc):
+        assert tiny_doc.depth(0) == 0
+        assert tiny_doc.depth(1) == 1
+        assert tiny_doc.depth(5) == 2
+        assert tiny_doc.max_depth == 2
+
+    def test_descendants_are_contiguous(self, tiny_doc):
+        assert list(tiny_doc.descendants(1)) == [2, 3]
+        assert list(tiny_doc.descendants(0)) == [1, 2, 3, 4, 5]
+        assert list(tiny_doc.descendants(5)) == []
+
+    def test_subtree_includes_self(self, tiny_doc):
+        assert list(tiny_doc.subtree(4)) == [4, 5]
+
+    def test_ancestors(self, tiny_doc):
+        assert list(tiny_doc.ancestors(5)) == [4, 0]
+        assert list(tiny_doc.ancestors(0)) == []
+
+    def test_node_ids_and_nodes(self, tiny_doc):
+        assert list(tiny_doc.node_ids()) == list(range(6))
+        views = list(tiny_doc.nodes())
+        assert [v.id for v in views] == list(range(6))
+
+    def test_repr_mentions_name_and_size(self, tiny_doc):
+        assert "tiny" in repr(tiny_doc)
+        assert "6" in repr(tiny_doc)
+
+
+class TestLca:
+    def test_lca_siblings(self, tiny_doc):
+        assert tiny_doc.lca(2, 3) == 1
+        assert tiny_doc.lca(2, 5) == 0
+
+    def test_lca_with_ancestor(self, tiny_doc):
+        assert tiny_doc.lca(1, 3) == 1
+        assert tiny_doc.lca(0, 5) == 0
+
+    def test_lca_self(self, tiny_doc):
+        assert tiny_doc.lca(3, 3) == 3
+
+    def test_lca_of_set(self, tiny_doc):
+        assert tiny_doc.lca_of([2, 3]) == 1
+        assert tiny_doc.lca_of([2, 3, 5]) == 0
+        assert tiny_doc.lca_of([4]) == 4
+
+    def test_lca_of_empty_rejected(self, tiny_doc):
+        with pytest.raises(ValueError):
+            tiny_doc.lca_of([])
+
+    @given(documents(max_nodes=15))
+    def test_lca_of_set_equals_fold(self, doc):
+        import itertools
+        ids = list(doc.node_ids())
+        for combo in itertools.combinations(ids[: min(len(ids), 6)], 3):
+            folded = doc.lca(doc.lca(combo[0], combo[1]), combo[2])
+            assert doc.lca_of(combo) == folded
+
+
+class TestKeywordAccess:
+    def test_nodes_with_keyword(self, tiny_doc):
+        assert tiny_doc.nodes_with_keyword("red") == [2, 5]
+        assert tiny_doc.nodes_with_keyword("pear") == [3, 5]
+        assert tiny_doc.nodes_with_keyword("nothere") == []
+
+    def test_vocabulary_contains_all_words(self, tiny_doc):
+        vocab = tiny_doc.vocabulary()
+        assert {"red", "apple", "green", "pear"} <= vocab
+
+    @given(documents(max_nodes=12))
+    def test_vocabulary_is_union_of_node_keywords(self, doc):
+        union = set()
+        for nid in doc.node_ids():
+            union |= doc.keywords(nid)
+        assert doc.vocabulary() == frozenset(union)

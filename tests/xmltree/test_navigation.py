@@ -1,0 +1,100 @@
+"""Unit and property tests for tree navigation helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.xmltree.navigation import (fragment_leaves, fragment_root,
+                                      is_connected, path_to_ancestor,
+                                      spanning_nodes)
+
+from ..treegen import documents
+
+
+class TestPathToAncestor:
+    def test_path_to_self(self, tiny_doc):
+        assert path_to_ancestor(tiny_doc, 3, 3) == [3]
+
+    def test_path_to_root(self, tiny_doc):
+        assert path_to_ancestor(tiny_doc, 5, 0) == [5, 4, 0]
+
+    def test_non_ancestor_rejected(self, tiny_doc):
+        with pytest.raises(ValueError, match="not an ancestor"):
+            path_to_ancestor(tiny_doc, 5, 1)
+
+
+class TestSpanningNodes:
+    def test_single_node(self, tiny_doc):
+        assert spanning_nodes(tiny_doc, [3]) == frozenset([3])
+
+    def test_parent_child(self, tiny_doc):
+        assert spanning_nodes(tiny_doc, [1, 2]) == frozenset([1, 2])
+
+    def test_parent_child_given_parent_only_climb(self, figure1):
+        # Regression: must not climb past the LCA when the LCA itself is
+        # one of the input nodes (n16 is n17's parent).
+        assert spanning_nodes(figure1, [16, 17]) == frozenset([16, 17])
+
+    def test_siblings_add_parent(self, tiny_doc):
+        assert spanning_nodes(tiny_doc, [2, 3]) == frozenset([1, 2, 3])
+
+    def test_cousins_add_whole_path(self, tiny_doc):
+        assert spanning_nodes(tiny_doc, [2, 5]) == frozenset([0, 1, 2, 4, 5])
+
+    def test_empty_rejected(self, tiny_doc):
+        with pytest.raises(ValueError):
+            spanning_nodes(tiny_doc, [])
+
+    @given(documents(max_nodes=12),
+           st.sets(st.integers(min_value=0, max_value=11), min_size=1))
+    def test_result_connected_and_minimal(self, doc, raw_ids):
+        ids = {i % doc.size for i in raw_ids}
+        result = spanning_nodes(doc, ids)
+        assert ids <= result
+        assert is_connected(doc, result)
+        # Minimality: removing any node not in the input disconnects the
+        # set or removes coverage.
+        for node in result - ids:
+            assert not is_connected(doc, result - {node})
+
+
+class TestIsConnected:
+    def test_empty_not_connected(self, tiny_doc):
+        assert not is_connected(tiny_doc, [])
+
+    def test_single_node_connected(self, tiny_doc):
+        assert is_connected(tiny_doc, [4])
+
+    def test_parent_child_connected(self, tiny_doc):
+        assert is_connected(tiny_doc, [0, 1])
+
+    def test_gap_disconnected(self, tiny_doc):
+        assert not is_connected(tiny_doc, [0, 2])  # missing node 1
+
+    def test_two_branches_disconnected(self, tiny_doc):
+        assert not is_connected(tiny_doc, [2, 5])
+
+    def test_whole_document_connected(self, tiny_doc):
+        assert is_connected(tiny_doc, range(tiny_doc.size))
+
+
+class TestFragmentRootAndLeaves:
+    def test_root_is_min_id(self, tiny_doc):
+        assert fragment_root(tiny_doc, [1, 2, 3]) == 1
+
+    def test_leaves_of_chain(self, chain_doc):
+        assert fragment_leaves(chain_doc, frozenset([0, 1, 2])) == \
+            frozenset([2])
+
+    def test_leaves_of_bushy_fragment(self, tiny_doc):
+        assert fragment_leaves(tiny_doc, frozenset([0, 1, 2, 3, 4])) == \
+            frozenset([2, 3, 4])
+
+    def test_single_node_is_its_own_leaf(self, tiny_doc):
+        assert fragment_leaves(tiny_doc, frozenset([1])) == frozenset([1])
+
+    def test_leaf_has_no_member_children(self, tiny_doc):
+        # Node 1 has children 2,3 in the document but none in the set.
+        assert fragment_leaves(tiny_doc, frozenset([0, 1])) == \
+            frozenset([1])

@@ -1,0 +1,65 @@
+"""Unit tests for NodeView."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmltree.node import NodeView
+
+
+class TestNodeView:
+    def test_out_of_range_rejected(self, tiny_doc):
+        with pytest.raises(IndexError):
+            NodeView(tiny_doc, 99)
+        with pytest.raises(IndexError):
+            NodeView(tiny_doc, -1)
+
+    def test_basic_properties(self, tiny_doc):
+        view = tiny_doc.node(2)
+        assert view.id == 2
+        assert view.tag == "par"
+        assert view.text == "red apple"
+        assert view.depth == 2
+        assert view.is_leaf
+        assert view.document is tiny_doc
+
+    def test_parent_and_children(self, tiny_doc):
+        view = tiny_doc.node(1)
+        assert view.parent is not None
+        assert view.parent.id == 0
+        assert tuple(c.id for c in view.children) == (2, 3)
+        assert tiny_doc.node(0).parent is None
+
+    def test_keywords(self, tiny_doc):
+        assert "apple" in tiny_doc.node(2).keywords
+
+    def test_label(self, tiny_doc):
+        assert tiny_doc.node(2).label == "n2:par"
+
+    def test_iter_descendants(self, tiny_doc):
+        ids = [v.id for v in tiny_doc.node(1).iter_descendants()]
+        assert ids == [2, 3]
+
+    def test_iter_ancestors(self, tiny_doc):
+        ids = [v.id for v in tiny_doc.node(5).iter_ancestors()]
+        assert ids == [4, 0]
+
+    def test_equality_and_hash(self, tiny_doc):
+        a = tiny_doc.node(3)
+        b = tiny_doc.node(3)
+        c = tiny_doc.node(4)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert len({a, b, c}) == 2
+
+    def test_equality_across_documents(self, tiny_doc, chain_doc):
+        assert tiny_doc.node(1) != chain_doc.node(1)
+
+    def test_equality_with_other_types(self, tiny_doc):
+        assert tiny_doc.node(1) != 1
+        assert (tiny_doc.node(1) == "n1") is False
+
+    def test_repr_truncates_long_text(self, chain_doc):
+        text = repr(chain_doc.node(0))
+        assert "NodeView" in text

@@ -1,0 +1,153 @@
+"""Unit tests for the XML parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.index.tokenizer import Tokenizer
+from repro.xmltree.parser import parse, parse_file
+
+
+class TestParseBasics:
+    def test_single_element(self):
+        doc = parse("<a>hello world</a>")
+        assert doc.size == 1
+        assert doc.tag(0) == "a"
+        assert doc.text(0) == "hello world"
+
+    def test_nested_structure_preorder(self):
+        doc = parse("<a><b><c/></b><d/></a>")
+        assert [doc.tag(i) for i in range(4)] == ["a", "b", "c", "d"]
+        assert doc.parent(2) == 1
+        assert doc.parent(3) == 0
+
+    def test_malformed_raises(self):
+        with pytest.raises(ParseError, match="malformed"):
+            parse("<a><b></a>")
+
+    def test_name_recorded(self):
+        assert parse("<a/>", name="mydoc").name == "mydoc"
+
+    def test_attributes_kept(self):
+        doc = parse("<a id='1'><b class='x y'/></a>")
+        assert doc.attributes(0) == {"id": "1"}
+        assert doc.attributes(1) == {"class": "x y"}
+
+    def test_namespace_stripped(self):
+        doc = parse("<x:a xmlns:x='urn:ns'><x:b/></x:a>")
+        assert doc.tag(0) == "a"
+        assert doc.tag(1) == "b"
+
+
+class TestDirectText:
+    def test_text_belongs_to_element_itself(self):
+        doc = parse("<a>outer <b>inner</b> tail</a>")
+        # 'outer' and the tail 'tail' belong to <a>; 'inner' to <b>.
+        assert "outer" in doc.text(0)
+        assert "tail" in doc.text(0)
+        assert "inner" not in doc.text(0)
+        assert doc.text(1) == "inner"
+
+    def test_whitespace_only_text_ignored(self):
+        doc = parse("<a>\n  <b>x</b>\n</a>")
+        assert doc.text(0) == ""
+
+    def test_comments_skipped(self):
+        doc = parse("<a><!-- note --><b/></a>")
+        assert doc.size == 2
+        assert doc.tag(1) == "b"
+
+
+class TestKeywordsFromParse:
+    def test_text_and_tag_keywords(self):
+        doc = parse("<par>Red Apple</par>")
+        assert {"par", "red", "apple"} <= doc.keywords(0)
+
+    def test_attribute_keywords(self):
+        doc = parse("<a topic='databases'/>")
+        assert "databases" in doc.keywords(0)
+        assert "topic" in doc.keywords(0)
+
+    def test_custom_tokenizer_respected(self):
+        doc = parse("<a>alpha beta</a>",
+                    tokenizer=Tokenizer(stopwords=("beta",)))
+        assert "alpha" in doc.keywords(0)
+        assert "beta" not in doc.keywords(0)
+
+    def test_keyword_tags_off(self):
+        doc = parse("<section>words</section>", keyword_tags=False)
+        assert "section" not in doc.keywords(0)
+
+
+class TestParseFileStreaming:
+    def _both(self, tmp_path, xml):
+        from repro.xmltree.parser import parse_file_streaming
+        path = tmp_path / "doc.xml"
+        path.write_text(xml)
+        return parse_file(path), parse_file_streaming(path)
+
+    def test_matches_parse_file(self, tmp_path):
+        plain, streaming = self._both(
+            tmp_path,
+            "<a id='1'>head <b>inner</b> tail<c><d>deep</d></c></a>")
+        assert streaming.size == plain.size
+        for nid in plain.node_ids():
+            assert streaming.tag(nid) == plain.tag(nid)
+            assert streaming.text(nid) == plain.text(nid)
+            assert streaming.parent(nid) == plain.parent(nid)
+            assert dict(streaming.attributes(nid)) == \
+                dict(plain.attributes(nid))
+            assert streaming.keywords(nid) == plain.keywords(nid)
+
+    def test_matches_on_corpora(self, tmp_path):
+        from repro.workloads.corpora import BOOK_XML, THESIS_XML
+        for xml in (BOOK_XML, THESIS_XML):
+            plain, streaming = self._both(tmp_path, xml)
+            assert [streaming.text(n) for n in streaming.node_ids()] \
+                == [plain.text(n) for n in plain.node_ids()]
+
+    def test_matches_on_generated_document(self, tmp_path):
+        from repro.workloads.generator import (DocumentSpec,
+                                               generate_document)
+        from repro.xmltree.serializer import document_to_xml
+        doc = generate_document(DocumentSpec(nodes=300, seed=77))
+        plain, streaming = self._both(tmp_path, document_to_xml(doc))
+        assert [streaming.text(n) for n in streaming.node_ids()] \
+            == [plain.text(n) for n in plain.node_ids()]
+
+    def test_malformed(self, tmp_path):
+        from repro.xmltree.parser import parse_file_streaming
+        path = tmp_path / "bad.xml"
+        path.write_text("<a><b></a>")
+        with pytest.raises(ParseError, match="malformed"):
+            parse_file_streaming(path)
+
+    def test_missing_file(self, tmp_path):
+        from repro.xmltree.parser import parse_file_streaming
+        with pytest.raises(ParseError):
+            parse_file_streaming(tmp_path / "absent.xml")
+
+
+class TestParseFile:
+    def test_round_trip_via_file(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text("<a><b>content here</b></a>")
+        doc = parse_file(path)
+        assert doc.size == 2
+        assert doc.name == "doc.xml"
+
+    def test_explicit_name(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text("<a/>")
+        assert parse_file(path, name="other").name == "other"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ParseError, match="cannot read"):
+            parse_file(tmp_path / "absent.xml")
+
+    def test_malformed_file(self, tmp_path):
+        path = tmp_path / "bad.xml"
+        path.write_text("<a><b></a>")
+        with pytest.raises(ParseError, match="malformed"):
+            parse_file(path)

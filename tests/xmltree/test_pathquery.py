@@ -1,0 +1,80 @@
+"""Unit tests for the XPath-lite path queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError
+from repro.xmltree.pathquery import parse_steps, select
+
+
+class TestParseSteps:
+    def test_child_chain(self):
+        assert parse_steps("a/b/c") == [("child", "a"), ("child", "b"),
+                                        ("child", "c")]
+
+    def test_leading_slash(self):
+        assert parse_steps("/a/b") == [("child", "a"), ("child", "b")]
+
+    def test_leading_descendant(self):
+        assert parse_steps("//par") == [("descendant", "par")]
+
+    def test_inner_descendant(self):
+        assert parse_steps("a//par") == [("child", "a"),
+                                         ("descendant", "par")]
+
+    def test_wildcard(self):
+        assert parse_steps("*/par") == [("child", "*"),
+                                        ("child", "par")]
+
+    def test_errors(self):
+        for bad in ("", "   ", "/", "//", "a//", "a/", "a///b",
+                    "a/b$", "a b"):
+            with pytest.raises(QueryError):
+                parse_steps(bad)
+
+
+class TestSelect:
+    def test_root_by_tag(self, tiny_doc):
+        assert select(tiny_doc, "article") == [0]
+        assert select(tiny_doc, "section") == []
+
+    def test_child_steps(self, tiny_doc):
+        assert select(tiny_doc, "article/section") == [1, 4]
+        assert select(tiny_doc, "article/section/par") == [2, 3, 5]
+
+    def test_descendant_steps(self, tiny_doc):
+        assert select(tiny_doc, "//par") == [2, 3, 5]
+        assert select(tiny_doc, "//section") == [1, 4]
+
+    def test_inner_descendant(self, figure1):
+        pars_under_first_section = select(figure1,
+                                          "article/section//par")
+        assert 17 in pars_under_first_section
+        assert 81 in pars_under_first_section
+
+    def test_wildcard_step(self, tiny_doc):
+        assert select(tiny_doc, "article/*") == [1, 4]
+        assert select(tiny_doc, "*/*/par") == [2, 3, 5]
+
+    def test_no_match(self, tiny_doc):
+        assert select(tiny_doc, "article/chapter/par") == []
+        assert select(tiny_doc, "//chapter") == []
+
+    def test_document_order(self, figure1):
+        result = select(figure1, "//subsection")
+        assert result == sorted(result)
+
+    def test_figure1_structure(self, figure1):
+        assert select(figure1, "article/section") == [1, 19, 49, 79]
+        assert select(
+            figure1,
+            "article/section/subsection/subsubsection/par") \
+            == [8, 9, 11, 12, 13, 17, 18]
+
+    def test_select_feeds_fragments(self, figure1):
+        from repro.core.fragment import Fragment
+        pars = select(figure1, "//subsubsection/par")
+        fragment = Fragment(figure1, [16, 17, 18])
+        assert {17, 18} <= set(pars)
+        assert fragment.nodes & set(pars) == {17, 18}

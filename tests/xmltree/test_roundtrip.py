@@ -1,0 +1,58 @@
+"""Round-trip properties: serialize → parse → identical structure."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.xmltree.parser import parse
+from repro.xmltree.serializer import document_to_xml
+
+from ..treegen import documents
+
+
+def structural_signature(doc):
+    return [(doc.tag(n), doc.parent(n), doc.text(n))
+            for n in doc.node_ids()]
+
+
+class TestDocumentRoundTrip:
+    @settings(max_examples=40)
+    @given(documents(max_nodes=15))
+    def test_structure_survives(self, doc):
+        again = parse(document_to_xml(doc))
+        assert structural_signature(again) == structural_signature(doc)
+
+    @settings(max_examples=40)
+    @given(documents(max_nodes=15))
+    def test_compact_mode_equivalent(self, doc):
+        pretty = parse(document_to_xml(doc, indent=True))
+        compact = parse(document_to_xml(doc, indent=False))
+        assert structural_signature(pretty) == \
+            structural_signature(compact)
+
+    def test_corpora_round_trip(self, book, thesis, figure1):
+        for doc in (book, thesis, figure1):
+            again = parse(document_to_xml(doc))
+            assert again.size == doc.size
+            assert [again.tag(n) for n in again.node_ids()] == \
+                [doc.tag(n) for n in doc.node_ids()]
+
+    def test_attributes_round_trip(self, parsed_doc):
+        again = parse(document_to_xml(parsed_doc))
+        for nid in parsed_doc.node_ids():
+            assert dict(again.attributes(nid)) == \
+                dict(parsed_doc.attributes(nid))
+
+    def test_planted_keywords_not_serialised(self, tiny_doc):
+        # Keywords derive from content; extra planted keywords are a
+        # document-model feature and deliberately do not survive
+        # serialisation (only content does).
+        from repro.xmltree.builder import DocumentBuilder
+        b = DocumentBuilder()
+        root = b.add_root("a", "visible words")
+        b.add_keywords(root, ["planted"])
+        doc = b.build()
+        again = parse(document_to_xml(doc))
+        assert "planted" in doc.keywords(0)
+        assert "planted" not in again.keywords(0)
+        assert "visible" in again.keywords(0)

@@ -1,0 +1,90 @@
+"""Unit tests for document/fragment serialisation."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from hypothesis import given
+
+from repro.core.fragment import Fragment
+from repro.xmltree.parser import parse
+from repro.xmltree.serializer import (document_to_xml, fragment_outline,
+                                      fragment_to_xml)
+
+from ..treegen import documents
+
+
+class TestDocumentToXml:
+    def test_round_trip_structure(self, parsed_doc):
+        text = document_to_xml(parsed_doc)
+        again = parse(text)
+        assert again.size == parsed_doc.size
+        assert [again.tag(i) for i in again.node_ids()] == \
+            [parsed_doc.tag(i) for i in parsed_doc.node_ids()]
+
+    def test_attributes_survive(self, parsed_doc):
+        text = document_to_xml(parsed_doc)
+        assert 'id="d1"' in text
+
+    def test_escaping(self):
+        doc = parse("<a note='x&amp;y'>a &lt; b</a>")
+        text = document_to_xml(doc)
+        parsed = ET.fromstring(text)
+        assert parsed.attrib["note"] == "x&y"
+        assert "a < b" in parsed.text
+
+    def test_compact_mode(self, parsed_doc):
+        text = document_to_xml(parsed_doc, indent=False)
+        assert "\n" not in text
+
+    def test_empty_element_self_closes(self):
+        doc = parse("<a><b/></a>")
+        assert "<b/>" in document_to_xml(doc)
+
+
+class TestFragmentToXml:
+    def test_fragment_rooted_at_its_root(self, tiny_doc):
+        frag = Fragment(tiny_doc, [1, 2, 3])
+        text = fragment_to_xml(frag)
+        element = ET.fromstring(text)
+        assert element.tag == "section"
+        assert len(list(element)) == 2
+
+    def test_members_only(self, tiny_doc):
+        frag = Fragment(tiny_doc, [0, 1, 2])  # excludes 3, 4, 5
+        element = ET.fromstring(fragment_to_xml(frag))
+        pars = element.findall(".//par")
+        assert len(pars) == 1
+        assert pars[0].text == "red apple"
+
+    def test_single_node_fragment(self, tiny_doc):
+        frag = Fragment(tiny_doc, [5])
+        element = ET.fromstring(fragment_to_xml(frag))
+        assert element.tag == "par"
+        assert element.text == "red pear"
+
+    @given(documents(max_nodes=8))
+    def test_fragment_xml_always_well_formed(self, doc):
+        frag = Fragment.whole_document(doc)
+        ET.fromstring(fragment_to_xml(frag))  # must not raise
+
+
+class TestFragmentOutline:
+    def test_outline_lists_nodes_in_order(self, tiny_doc):
+        frag = Fragment(tiny_doc, [1, 2, 3])
+        outline = fragment_outline(frag)
+        lines = outline.splitlines()
+        assert lines[0].startswith("n1:section")
+        assert lines[1].strip().startswith("n2:par")
+        assert lines[2].strip().startswith("n3:par")
+
+    def test_outline_indents_by_relative_depth(self, tiny_doc):
+        frag = Fragment(tiny_doc, [1, 2])
+        lines = fragment_outline(frag).splitlines()
+        assert not lines[0].startswith(" ")
+        assert lines[1].startswith("  ")
+
+    def test_outline_truncates_long_text(self, figure1):
+        frag = Fragment(figure1, [17])
+        outline = fragment_outline(frag)
+        assert "..." in outline

@@ -1,0 +1,60 @@
+"""Unit tests for document shape statistics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.xmltree.treestats import document_stats
+
+from ..treegen import documents
+
+
+class TestDocumentStats:
+    def test_tiny_doc(self, tiny_doc):
+        stats = document_stats(tiny_doc)
+        assert stats.nodes == 6
+        assert stats.leaves == 3
+        assert stats.max_depth == 2
+        assert stats.max_fanout == 2
+        assert dict(stats.tag_histogram)["par"] == 3
+        assert dict(stats.depth_histogram) == {0: 1, 1: 2, 2: 3}
+
+    def test_chain(self, chain_doc):
+        stats = document_stats(chain_doc)
+        assert stats.leaves == 1
+        assert stats.max_depth == 4
+        assert stats.max_fanout == 1
+        assert stats.mean_fanout == 1.0
+
+    def test_single_node(self):
+        from repro.xmltree.builder import DocumentBuilder
+        b = DocumentBuilder()
+        b.add_root("only", "text here")
+        stats = document_stats(b.build())
+        assert stats.nodes == 1
+        assert stats.leaves == 1
+        assert stats.max_fanout == 0
+        assert stats.mean_fanout == 0.0
+
+    def test_figure1(self, figure1):
+        stats = document_stats(figure1)
+        assert stats.nodes == 82
+        assert stats.max_depth == 4
+        assert stats.tag_histogram[0][0] == "par"  # most common tag
+
+    def test_describe_is_readable(self, figure1):
+        text = document_stats(figure1).describe()
+        assert "nodes=82" in text
+        assert "vocabulary=" in text
+
+    @given(documents(max_nodes=15))
+    def test_invariants(self, doc):
+        stats = document_stats(doc)
+        assert stats.nodes == doc.size
+        assert 1 <= stats.leaves <= stats.nodes
+        assert stats.max_depth == doc.max_depth
+        assert sum(count for _, count in stats.tag_histogram) == doc.size
+        assert sum(count for _, count in stats.depth_histogram) \
+            == doc.size
+        assert stats.vocabulary_size == len(doc.vocabulary())
