@@ -19,6 +19,7 @@ from __future__ import annotations
 import time
 
 from repro.bench.reporting import banner, format_table
+from repro.bench.runner import measure
 from repro.core.filters import SizeAtMost
 from repro.core.query import Query
 from repro.core.strategies import Strategy, evaluate
@@ -29,14 +30,15 @@ from .util import report
 QUERY = Query.of(TERM_A, TERM_B, predicate=SizeAtMost(6))
 
 
-def _measure(doc, strategy):
-    started = time.perf_counter()
-    result = evaluate(doc, QUERY, strategy=strategy)
-    elapsed = time.perf_counter() - started
-    return elapsed, result
+def _measure(doc, strategy, registry=None):
+    """Median-of-one measurement carrying the operation counters."""
+    outcome = measure(strategy.value,
+                      lambda: evaluate(doc, QUERY, strategy=strategy),
+                      repetitions=1, registry=registry)
+    return outcome.seconds, outcome.value
 
 
-def test_selectivity_sweep(benchmark, capsys):
+def test_selectivity_sweep(benchmark, capsys, bench_metrics):
     docs = {occ: planted_document(nodes=600, occ_a=occ, occ_b=occ,
                                   clustering=0.5, seed=60 + occ)
             for occ in (2, 4, 6, 8)}
@@ -49,7 +51,8 @@ def test_selectivity_sweep(benchmark, capsys):
             for strategy in (Strategy.BRUTE_FORCE,
                              Strategy.SET_REDUCTION,
                              Strategy.PUSHDOWN):
-                elapsed, result = _measure(doc, strategy)
+                elapsed, result = _measure(doc, strategy,
+                                           registry=bench_metrics)
                 cells.append(elapsed * 1000)
                 cells.append(result.stats["fragment_joins"])
                 if answers is None:
@@ -109,6 +112,34 @@ def test_document_size_sweep(benchmark, capsys):
         "",
         "expected shape: document size affects join *cost* (deeper "
         "paths) but selectivity dominates; ordering is stable."]))
+
+
+def test_strategy_work_table(benchmark, capsys, medium_doc,
+                             bench_metrics):
+    """Median wall time next to logical-work counters, per strategy."""
+    from repro.bench.runner import compare
+
+    def run():
+        return compare(
+            [(strategy.value,
+              lambda s=strategy: evaluate(medium_doc, QUERY, strategy=s))
+             for strategy in (Strategy.BRUTE_FORCE,
+                              Strategy.SET_REDUCTION,
+                              Strategy.SEMI_NAIVE,
+                              Strategy.PUSHDOWN)],
+            repetitions=3, registry=bench_metrics)
+
+    comparison = benchmark.pedantic(run, rounds=1, iterations=1)
+    answers = {frozenset(m.value.fragments)
+               for m in comparison.measurements}
+    assert len(answers) == 1  # Theorems 2 and 3: identical answer sets
+    report(capsys, "\n".join([
+        banner("S1(c): wall time and logical work per strategy "
+               "(1500-node document, size<=6)"),
+        comparison.work_table(),
+        "",
+        "the counters are the paper's quantities: push-down wins by "
+        "doing fewer joins and discarding doomed fragments early."]))
 
 
 def test_bench_pushdown_medium(benchmark, medium_doc, medium_index):

@@ -10,6 +10,7 @@ from __future__ import annotations
 import pytest
 
 from repro.index.inverted import InvertedIndex
+from repro.obs.metrics import MetricsRegistry
 from repro.workloads.figure1 import build_figure1_document
 from repro.workloads.generator import (DocumentSpec, generate_document,
                                        plant_keyword)
@@ -55,6 +56,22 @@ def figure4():
 @pytest.fixture(scope="session")
 def figure7():
     return build_figure7_tree()
+
+
+@pytest.fixture(scope="session")
+def bench_metrics():
+    """One metrics registry shared by the whole bench session.
+
+    Comparative benches that time work through
+    :func:`repro.bench.runner.measure` pass this registry so median
+    latencies and logical-work counters aggregate across experiments;
+    the summed registry is printed when the session ends.
+    """
+    registry = MetricsRegistry()
+    yield registry
+    if len(registry):
+        print("\n=== bench session metrics (repro.obs) ===")
+        print(registry.summary())
 
 
 @pytest.fixture(scope="session")

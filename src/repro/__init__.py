@@ -47,6 +47,8 @@ from .errors import (CrossDocumentError, DocumentError, FragmentError,
                      ParseError, PlanError, QueryError, ReproError,
                      StorageError, WorkloadError)
 from .index import InvertedIndex, Tokenizer
+from .obs import (NOOP, MetricsRegistry, Observability, QueryLog,
+                  QueryRecord, SpanTracer)
 from .ranking import (FragmentScorer, ScoredFragment, compactness_score,
                       proximity_score, tf_idf_score)
 from .storage import RelationalQueryEngine, RelationalStore
@@ -95,6 +97,9 @@ __all__ = [
     # ranking
     "FragmentScorer", "ScoredFragment", "tf_idf_score",
     "compactness_score", "proximity_score",
+    # observability
+    "Observability", "NOOP", "SpanTracer", "MetricsRegistry",
+    "QueryLog", "QueryRecord",
     # errors
     "ReproError", "DocumentError", "ParseError", "FragmentError",
     "CrossDocumentError", "PlanError", "QueryError", "StorageError",

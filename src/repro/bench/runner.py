@@ -5,6 +5,14 @@ this runner exists for the *comparative* experiments (S1, S2, S6…)
 where one bench prints a whole table sweeping a parameter across
 several strategies — something a single pytest-benchmark fixture call
 cannot express.
+
+Measurements carry more than wall time: when the measured callable
+returns something with operation counters (a ``QueryResult`` or an
+``OperationStats``), the counters are captured on the
+:class:`Measurement` so comparative tables can put *logical* work next
+to median latency, and optionally folded into a
+:class:`~repro.obs.metrics.MetricsRegistry` for cross-bench
+aggregation.
 """
 
 from __future__ import annotations
@@ -14,7 +22,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+from ..obs.metrics import LATENCY_BUCKETS, MetricsRegistry
+
 __all__ = ["Measurement", "measure", "compare"]
+
+#: Counters shown by :meth:`_Comparison.work_table`, in column order.
+WORK_COUNTERS = ("fragment_joins", "join_cache_hits",
+                 "predicate_checks", "fragments_discarded")
 
 
 @dataclass(frozen=True)
@@ -34,6 +48,10 @@ class Measurement:
         cross-check that compared strategies agree.
     repetitions:
         Number of timed runs.
+    stats:
+        Operation counters extracted from ``value`` (from a
+        ``QueryResult.stats`` dict or an ``OperationStats``), or
+        ``None`` when the return value carries none.
     """
 
     label: str
@@ -41,11 +59,32 @@ class Measurement:
     spread: float
     value: object
     repetitions: int
+    stats: Optional[dict] = None
+
+
+def _extract_stats(value: object) -> Optional[dict]:
+    """Operation counters carried by a measured return value, if any."""
+    stats = getattr(value, "stats", None)
+    if isinstance(stats, dict):
+        return dict(stats)
+    as_dict = getattr(value, "as_dict", None)
+    if callable(as_dict):
+        snapshot = as_dict()
+        if isinstance(snapshot, dict):
+            return snapshot
+    return None
 
 
 def measure(label: str, func: Callable[[], object],
-            repetitions: int = 3) -> Measurement:
-    """Time ``func`` ``repetitions`` times; report the median."""
+            repetitions: int = 3,
+            registry: Optional[MetricsRegistry] = None) -> Measurement:
+    """Time ``func`` ``repetitions`` times; report the median.
+
+    With a ``registry``, the median latency goes into a
+    ``bench_seconds`` histogram and any extracted operation counters
+    into ``bench_<counter>_total`` counters, labelled by ``case`` so a
+    whole bench session aggregates into one exportable registry.
+    """
     if repetitions < 1:
         raise ValueError("repetitions must be >= 1")
     times = []
@@ -54,9 +93,21 @@ def measure(label: str, func: Callable[[], object],
         started = time.perf_counter()
         value = func()
         times.append(time.perf_counter() - started)
-    return Measurement(label=label, seconds=statistics.median(times),
+    median = statistics.median(times)
+    stats = _extract_stats(value)
+    if registry is not None:
+        registry.histogram("bench_seconds", "Median bench latency.",
+                           buckets=LATENCY_BUCKETS,
+                           labels={"case": label}).observe(median)
+        if stats:
+            for key, count in stats.items():
+                if isinstance(count, (int, float)):
+                    registry.counter(f"bench_{key}_total",
+                                     f"Summed {key} across repetitions.",
+                                     labels={"case": label}).inc(count)
+    return Measurement(label=label, seconds=median,
                        spread=max(times) - min(times), value=value,
-                       repetitions=repetitions)
+                       repetitions=repetitions, stats=stats)
 
 
 @dataclass
@@ -72,12 +123,34 @@ class _Comparison:
         return {m.label: baseline.seconds / m.seconds
                 for m in self.measurements if m.seconds > 0}
 
+    def work_table(self,
+                   counters: Sequence[str] = WORK_COUNTERS) -> str:
+        """Median wall time and logical-work counters, one row per case.
+
+        Counters absent from every measurement are dropped, so tables
+        stay tight for callables that return plain values.
+        """
+        from .reporting import format_table
+        present = [name for name in counters
+                   if any(m.stats and name in m.stats
+                          for m in self.measurements)]
+        headers = ["case", "median ms"] + present
+        rows = []
+        for m in self.measurements:
+            row: list[object] = [m.label, m.seconds * 1000]
+            for name in present:
+                row.append((m.stats or {}).get(name, 0))
+            rows.append(row)
+        return format_table(headers, rows)
+
 
 def compare(cases: Sequence[tuple[str, Callable[[], object]]],
-            repetitions: int = 3) -> _Comparison:
+            repetitions: int = 3,
+            registry: Optional[MetricsRegistry] = None) -> _Comparison:
     """Measure several labelled callables under identical conditions."""
     comparison = _Comparison()
     for label, func in cases:
         comparison.measurements.append(
-            measure(label, func, repetitions=repetitions))
+            measure(label, func, repetitions=repetitions,
+                    registry=registry))
     return comparison

@@ -11,11 +11,19 @@ Prints the answer fragments as outlines (default, with witness-term
 annotations) or serialised XML (``--xml``), smallest answers first.
 Pointing at a directory searches every ``*.xml`` file in it as a
 collection.
+
+Observability (see ``docs/observability.md``)::
+
+    repro-search article.xml xquery optimization --trace
+    repro-search article.xml xquery optimization --metrics-out m.json
+    repro-search corpus-dir/ xquery opt --slow-query-ms 50 --query-log q.jsonl
+    repro-search metrics m.json            # summarise a metrics dump
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import Optional, Sequence
@@ -29,11 +37,14 @@ from .core.query import Query
 from .core.strategies import Strategy, evaluate
 from .errors import ReproError
 from .index.inverted import InvertedIndex
+from .obs import (NOOP, MetricsRegistry, Observability, QueryLog,
+                  SpanTracer)
+from .obs.tracer import NULL_TRACER
 from .ranking.scoring import FragmentScorer
 from .xmltree.parser import parse_file
 from .xmltree.serializer import fragment_outline, fragment_to_xml
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "metrics_main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -77,7 +88,62 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the optimised query plan and exit")
     parser.add_argument("--stats", action="store_true",
                         help="print operation counters after the answers")
+    parser.add_argument("--trace", action="store_true",
+                        help="print the span tree of the query lifecycle "
+                             "(parse → plan → optimize → execute → rank)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        dest="metrics_out",
+                        help="write collected metrics to PATH (JSON, or "
+                             "Prometheus text when PATH ends in .prom)")
+    parser.add_argument("--slow-query-ms", type=float, default=None,
+                        metavar="MS", dest="slow_query_ms",
+                        help="flag queries at or over MS milliseconds; "
+                             "slow queries are reported on stderr")
+    parser.add_argument("--query-log", default=None, metavar="PATH",
+                        dest="query_log",
+                        help="append one JSON record per evaluated query "
+                             "to PATH (JSONL)")
     return parser
+
+
+def _build_observability(args: argparse.Namespace
+                         ) -> tuple[Observability, Optional[object]]:
+    """The CLI's obs handle plus the query-log file to close, if any."""
+    wants_obs = (args.trace or args.metrics_out
+                 or args.slow_query_ms is not None or args.query_log)
+    if not wants_obs:
+        return NOOP, None
+    log_file = None
+    query_log = None
+    if args.query_log or args.slow_query_ms is not None:
+        if args.query_log:
+            log_file = open(args.query_log, "a", encoding="utf-8")
+        query_log = QueryLog(sink=log_file,
+                             slow_query_ms=args.slow_query_ms)
+    tracer = SpanTracer() if args.trace else NULL_TRACER
+    return Observability(tracer=tracer, metrics=MetricsRegistry(),
+                         query_log=query_log), log_file
+
+
+def _finish_observability(args: argparse.Namespace, obs: Observability,
+                          log_file) -> None:
+    """Emit trace/metrics/slow-query output after the answers."""
+    if obs is NOOP:
+        return
+    if args.trace:
+        print("\ntrace:")
+        print(obs.tracer.render())
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            if args.metrics_out.endswith(".prom"):
+                handle.write(obs.metrics.to_prometheus())
+            else:
+                handle.write(obs.metrics.to_json_text() + "\n")
+    if obs.query_log is not None and args.slow_query_ms is not None:
+        for record in obs.query_log.slow_queries():
+            print(f"slow-query: {record.to_json()}", file=sys.stderr)
+    if log_file is not None:
+        log_file.close()
 
 
 def _build_predicate(args: argparse.Namespace) -> Filter:
@@ -96,31 +162,57 @@ def _build_predicate(args: argparse.Namespace) -> Filter:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "metrics":
+        return metrics_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.explain:
+        try:
+            query = Query(tuple(args.keywords), _build_predicate(args))
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"query: {query.describe()}")
+        print(explain_plan(optimize(query)))
+        return 0
+    obs, log_file = _build_observability(args)
     try:
-        query = Query(tuple(args.keywords), _build_predicate(args))
-        if args.explain:
-            print(f"query: {query.describe()}")
-            print(explain_plan(optimize(query)))
-            return 0
-        if os.path.isdir(args.file):
-            return _search_collection(args, query)
-        document = parse_file(args.file)
-        index = InvertedIndex(document)
-        result = evaluate(document, query,
-                          strategy=Strategy.parse(args.strategy),
-                          index=index)
+        with obs.span("query", file=args.file):
+            code = _run_search(args, obs)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    _finish_observability(args, obs, log_file)
+    return code
+
+
+def _run_search(args: argparse.Namespace, obs: Observability) -> int:
+    """Parse, plan, evaluate and present one single-document search."""
+    if os.path.isdir(args.file):
+        return _search_collection(args, obs)
+    with obs.span("parse", file=args.file) as span:
+        document = parse_file(args.file)
+        index = InvertedIndex(document)
+        span.set(nodes=document.size)
+    with obs.span("plan"):
+        query = Query(tuple(args.keywords), _build_predicate(args))
+    if obs.enabled:
+        # The strategy dispatcher does not consume the plan tree, but
+        # the optimized shape belongs in the trace; the rewrite is
+        # microseconds next to evaluation.
+        optimize(query, obs=obs)
+    result = evaluate(document, query,
+                      strategy=Strategy.parse(args.strategy),
+                      index=index, obs=obs)
 
     if args.rank:
-        scorer = FragmentScorer(index)
-        scored = scorer.rank(result.fragments, query.terms)
+        with obs.span("rank"):
+            scorer = FragmentScorer(index, obs=obs)
+            scored = scorer.rank(result.fragments, query.terms)
         answers = [s.fragment for s in scored]
         scores = {s.fragment: s.score for s in scored}
     else:
@@ -160,17 +252,48 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
-def _search_collection(args: argparse.Namespace, query: Query) -> int:
+def metrics_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro-search metrics``: summarise a ``--metrics-out`` dump."""
+    parser = argparse.ArgumentParser(
+        prog="repro-search metrics",
+        description="Summarise a metrics dump written by --metrics-out.")
+    parser.add_argument("path", help="metrics JSON file")
+    parser.add_argument("--format", default="summary",
+                        choices=("summary", "prom", "json"),
+                        help="output format (default: summary)")
+    args = parser.parse_args(argv)
+    try:
+        with open(args.path, encoding="utf-8") as handle:
+            registry = MetricsRegistry.from_json(json.load(handle))
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "prom":
+        print(registry.to_prometheus(), end="")
+    elif args.format == "json":
+        print(registry.to_json_text())
+    else:
+        print(f"metrics from {args.path}:")
+        print(registry.summary())
+    return 0
+
+
+def _search_collection(args: argparse.Namespace,
+                       obs: Observability) -> int:
     """Search every XML file of a directory as one collection."""
     from .collection.collection import DocumentCollection
     from .core.witnesses import highlighted_outline
 
-    collection = DocumentCollection.from_directory(args.file)
+    with obs.span("parse", directory=args.file) as span:
+        collection = DocumentCollection.from_directory(args.file)
+        span.set(documents=len(collection))
     if not len(collection):
         print(f"error: no .xml files in {args.file}", file=sys.stderr)
         return 2
+    with obs.span("plan"):
+        query = Query(tuple(args.keywords), _build_predicate(args))
     result = collection.search(
-        query, strategy=Strategy.parse(args.strategy))
+        query, strategy=Strategy.parse(args.strategy), obs=obs)
     hits = result.hits[:args.limit]
     print(f"{len(result)} answer(s) in "
           f"{len(result.matched_documents)} of {len(collection)} "

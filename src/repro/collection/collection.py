@@ -24,6 +24,7 @@ from ..core.query import Query, QueryResult
 from ..core.strategies import Strategy, evaluate
 from ..errors import DocumentError
 from ..index.inverted import InvertedIndex
+from ..obs import DOCUMENTS_SKIPPED, NOOP, Observability
 from ..ranking.scoring import FragmentScorer, ScoredFragment
 from ..xmltree.document import Document
 from ..xmltree.parser import parse, parse_file
@@ -172,42 +173,61 @@ class DocumentCollection:
 
     def search(self, query: Query,
                strategy: Strategy = Strategy.PUSHDOWN,
-               documents: Optional[Iterable[str]] = None
+               documents: Optional[Iterable[str]] = None,
+               obs: Optional[Observability] = None
                ) -> CollectionResult:
         """Evaluate ``query`` over (a subset of) the collection.
 
         Documents whose indexes show a missing query term are skipped
         without evaluation — the collection-level analogue of the
-        conjunctive early exit.
+        conjunctive early exit.  With an enabled ``obs`` handle the
+        fan-out is wrapped in a ``collection-search`` span (one
+        ``execute`` child span per evaluated document) and skipped
+        documents are counted in ``repro_documents_skipped_total``.
         """
+        ob = obs if obs is not None else NOOP
         targets = (list(documents) if documents is not None
                    else self.names())
         per_document: dict[str, QueryResult] = {}
-        for name in targets:
-            index = self.index(name)
-            if not all(index.contains(term) for term in query.terms):
-                continue
-            per_document[name] = evaluate(
-                self._documents[name], query, strategy=strategy,
-                index=index, cache=self._cache)
+        with ob.span("collection-search", collection=self.name,
+                     documents=len(targets)) as span:
+            skipped = 0
+            for name in targets:
+                index = self.index(name)
+                if not all(index.contains(term) for term in query.terms):
+                    skipped += 1
+                    continue
+                per_document[name] = evaluate(
+                    self._documents[name], query, strategy=strategy,
+                    index=index, cache=self._cache, obs=ob)
+            if ob.enabled:
+                span.set(evaluated=len(per_document), skipped=skipped)
+                ob.metrics.counter(
+                    DOCUMENTS_SKIPPED,
+                    "Documents skipped by the index early exit."
+                ).inc(skipped)
         return CollectionResult(query=query, per_document=per_document)
 
     def ranked_search(self, query: Query, limit: int = 10,
-                      strategy: Strategy = Strategy.PUSHDOWN
+                      strategy: Strategy = Strategy.PUSHDOWN,
+                      obs: Optional[Observability] = None
                       ) -> list[tuple[str, ScoredFragment]]:
         """Search and rank answers across documents, best first.
 
         Scores are comparable across documents because every signal is
         normalised to [0, 1] per document.
         """
-        result = self.search(query, strategy=strategy)
+        ob = obs if obs is not None else NOOP
+        result = self.search(query, strategy=strategy, obs=ob)
         ranked: list[tuple[str, ScoredFragment]] = []
-        for name, doc_result in result.per_document.items():
-            scorer = FragmentScorer(self.index(name))
-            for scored in scorer.rank(doc_result.fragments, query.terms):
-                ranked.append((name, scored))
-        ranked.sort(key=lambda pair: (-pair[1].score,
-                                      pair[1].fragment.size, pair[0]))
+        with ob.span("rank", fragments=len(result)):
+            for name, doc_result in result.per_document.items():
+                scorer = FragmentScorer(self.index(name), obs=ob)
+                for scored in scorer.rank(doc_result.fragments,
+                                          query.terms):
+                    ranked.append((name, scored))
+            ranked.sort(key=lambda pair: (-pair[1].score,
+                                          pair[1].fragment.size, pair[0]))
         return ranked[:limit]
 
     def __repr__(self) -> str:

@@ -15,6 +15,7 @@ import time
 from typing import TYPE_CHECKING, Optional
 
 from ..errors import PlanError
+from ..obs import NOOP, Observability
 from .algebra import JoinCache, multiway_powerset_join, pairwise_join
 from .filters import select
 from .fragment import Fragment
@@ -45,22 +46,35 @@ class PlanEvaluator:
     max_powerset_operand:
         Guard for ``PowersetJoin`` enumeration (see
         :func:`repro.core.algebra.powerset_join`).
+    obs:
+        Optional :class:`~repro.obs.Observability` handle; when enabled,
+        each :meth:`execute` call is wrapped in an ``execute-plan`` span
+        carrying the plan's root label, output cardinality, and the
+        operation-counter delta.
     """
 
     def __init__(self, document: "Document",
                  index: Optional["InvertedIndex"] = None,
                  cache: Optional[JoinCache] = None,
-                 max_powerset_operand: Optional[int] = 16) -> None:
+                 max_powerset_operand: Optional[int] = 16,
+                 obs: Optional[Observability] = None) -> None:
         self._document = document
         self._index = index
         self._cache = cache
         self._max_powerset_operand = max_powerset_operand
+        self._obs = obs if obs is not None else NOOP
 
     def execute(self, plan: PlanNode,
                 stats: Optional[OperationStats] = None
                 ) -> frozenset[Fragment]:
         """Evaluate ``plan`` and return its fragment set."""
         tally = stats if stats is not None else OperationStats()
+        if self._obs.enabled:
+            with self._obs.span("execute-plan", plan=plan.label(),
+                                stats=tally) as span:
+                result = self._eval(plan, tally)
+                span.set(rows=len(result))
+            return result
         return self._eval(plan, tally)
 
     def _eval(self, node: PlanNode,
@@ -91,13 +105,21 @@ class PlanEvaluator:
 def run_plan(document: "Document", query: Query, plan: PlanNode,
              index: Optional["InvertedIndex"] = None,
              cache: Optional[JoinCache] = None,
-             strategy_name: str = "plan") -> QueryResult:
+             strategy_name: str = "plan",
+             obs: Optional[Observability] = None) -> QueryResult:
     """Execute a plan and wrap the outcome as a :class:`QueryResult`."""
-    evaluator = PlanEvaluator(document, index=index, cache=cache)
+    ob = obs if obs is not None else NOOP
+    evaluator = PlanEvaluator(document, index=index, cache=cache, obs=ob)
     stats = OperationStats()
     started = time.perf_counter()
     fragments = evaluator.execute(plan, stats=stats)
     elapsed = time.perf_counter() - started
+    if ob.enabled:
+        ob.record_query(
+            document=getattr(document, "name", "?"), terms=query.terms,
+            filter=repr(query.predicate), strategy=strategy_name,
+            answers=len(fragments), elapsed=elapsed,
+            stats=stats.as_dict(), plan=plan.label())
     return QueryResult(query=query, fragments=fragments,
                        strategy=strategy_name, elapsed=elapsed,
                        stats=stats.as_dict())

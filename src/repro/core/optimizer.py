@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from functools import reduce as _reduce
 from typing import Optional
 
+from ..obs import NOOP, Observability
 from .cost import CostModel
 from .filters import Filter
 from .plan import (FixedPoint, KeywordScan, PairwiseJoin, PlanNode,
@@ -62,34 +63,44 @@ class OptimizerSettings:
 
 
 def optimize(query: Query,
-             settings: Optional[OptimizerSettings] = None) -> PlanNode:
+             settings: Optional[OptimizerSettings] = None,
+             obs: Optional[Observability] = None) -> PlanNode:
     """Produce an optimised plan for ``query``.
 
     Starts from the canonical ``σ_P(scan ⋈* … ⋈* scan)`` plan, applies
     the Theorem-2 rewrite, orders the join chain rarest-first when a
     cost model with term statistics is available, and finally pushes the
-    selection down when Theorem 3 applies.
+    selection down when Theorem 3 applies.  With an enabled ``obs``
+    handle the rewrite is wrapped in an ``optimize`` span recording the
+    operator count and whether push-down fired.
     """
-    settings = settings if settings is not None else OptimizerSettings()
-    terms = list(query.terms)
-    model = settings.cost_model
-    if model is not None:
-        terms.sort(key=model.term_cardinality)
-
-    bounded = settings.bounded_fixed_points
-
-    def make_fixed_point(term: str) -> PlanNode:
-        scan = KeywordScan(term)
-        use_bounded = bounded
+    ob = obs if obs is not None else NOOP
+    with ob.span("optimize", terms=len(query.terms)) as span:
+        settings = (settings if settings is not None
+                    else OptimizerSettings())
+        terms = list(query.terms)
+        model = settings.cost_model
         if model is not None:
-            use_bounded = model.prefer_bounded_fixed_point(term)
-        return FixedPoint(scan, bounded=use_bounded)
+            terms.sort(key=model.term_cardinality)
 
-    chain: PlanNode = _reduce(
-        PairwiseJoin, (make_fixed_point(term) for term in terms))
-    plan: PlanNode = Select(query.predicate, chain)
-    if settings.push_down and query.predicate.is_anti_monotonic:
-        plan = push_down_selections(plan)
+        bounded = settings.bounded_fixed_points
+
+        def make_fixed_point(term: str) -> PlanNode:
+            scan = KeywordScan(term)
+            use_bounded = bounded
+            if model is not None:
+                use_bounded = model.prefer_bounded_fixed_point(term)
+            return FixedPoint(scan, bounded=use_bounded)
+
+        chain: PlanNode = _reduce(
+            PairwiseJoin, (make_fixed_point(term) for term in terms))
+        plan: PlanNode = Select(query.predicate, chain)
+        pushed = settings.push_down and query.predicate.is_anti_monotonic
+        if pushed:
+            plan = push_down_selections(plan)
+        if ob.enabled:
+            span.set(push_down=pushed,
+                     operators=sum(1 for _ in plan.walk()))
     return plan
 
 

@@ -53,6 +53,11 @@ class OperatorProfile:
         Filter evaluations performed by this operator's subtree.
     depth:
         Nesting level in the plan (for rendering).
+    self_seconds:
+        Wall time spent in this operator *excluding* its children —
+        the column to sort by when hunting the hot operator, since an
+        operator high in the tree inherits all of its subtree's
+        inclusive time.
     """
 
     node: PlanNode
@@ -61,6 +66,7 @@ class OperatorProfile:
     joins: int
     predicate_checks: int
     depth: int
+    self_seconds: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -92,6 +98,7 @@ class ProfiledExecution:
             label = f"{indent * p.depth}{p.node.label()}"
             line = (f"{label.ljust(label_width)}"
                     f"rows={p.rows:<6} {p.seconds * 1000:7.2f}ms  "
+                    f"self={p.self_seconds * 1000:7.2f}ms  "
                     f"joins={p.joins:<6} checks={p.predicate_checks}")
             if cost_model is not None:
                 estimate = cost_model.estimate(p.node)
@@ -111,21 +118,27 @@ class _ProfilingEvaluator(PlanEvaluator):
         super().__init__(*args, **kwargs)
         self.records: list[OperatorProfile] = []
         self._depth = 0
+        self._child_seconds: list[float] = []
 
     def _eval(self, node: PlanNode,
               stats: OperationStats) -> frozenset[Fragment]:
         joins_before = stats.fragment_joins + stats.join_cache_hits
         checks_before = stats.predicate_checks
         started = time.perf_counter()
-        # Reserve this operator's slot so output stays preorder.
+        # Reserve this operator's slot so output stays preorder, and an
+        # accumulator where this operator's children deposit their time.
         slot = len(self.records)
         self.records.append(None)  # type: ignore[arg-type]
+        self._child_seconds.append(0.0)
         self._depth += 1
         try:
             result = super()._eval(node, stats)
         finally:
             self._depth -= 1
         elapsed = time.perf_counter() - started
+        children = self._child_seconds.pop()
+        if self._child_seconds:
+            self._child_seconds[-1] += elapsed
         self.records[slot] = OperatorProfile(
             node=node,
             rows=len(result),
@@ -134,6 +147,7 @@ class _ProfilingEvaluator(PlanEvaluator):
                    - joins_before),
             predicate_checks=stats.predicate_checks - checks_before,
             depth=self._depth,
+            self_seconds=max(0.0, elapsed - children),
         )
         return result
 

@@ -82,3 +82,36 @@ class OperationStats:
         }
         snapshot.update(self.extras)
         return snapshot
+
+    def snapshot(self) -> "OperationStats":
+        """An independent copy of the current counter values.
+
+        The tracer snapshots a tally when a span opens so the span can
+        later report only the work done while it was open.
+        """
+        return OperationStats(
+            fragment_joins=self.fragment_joins,
+            join_cache_hits=self.join_cache_hits,
+            predicate_checks=self.predicate_checks,
+            subset_checks=self.subset_checks,
+            fragments_discarded=self.fragments_discarded,
+            iterations=self.iterations,
+            extras=dict(self.extras))
+
+    def delta(self, since: "OperationStats") -> "OperationStats":
+        """The work done after ``since`` was snapshotted (``self − since``).
+
+        Extras present only in ``since`` come out negative-free: keys
+        are differenced where shared and copied where new.
+        """
+        extras = {key: value - since.extras.get(key, 0)
+                  for key, value in self.extras.items()}
+        return OperationStats(
+            fragment_joins=self.fragment_joins - since.fragment_joins,
+            join_cache_hits=self.join_cache_hits - since.join_cache_hits,
+            predicate_checks=self.predicate_checks - since.predicate_checks,
+            subset_checks=self.subset_checks - since.subset_checks,
+            fragments_discarded=(self.fragments_discarded
+                                 - since.fragments_discarded),
+            iterations=self.iterations - since.iterations,
+            extras={key: value for key, value in extras.items() if value})

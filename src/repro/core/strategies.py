@@ -36,6 +36,7 @@ from functools import reduce as _reduce
 from typing import TYPE_CHECKING, Callable, Optional
 
 from ..errors import QueryError
+from ..obs import NOOP, NULL_SPAN, Observability
 from .algebra import JoinCache, multiway_powerset_join, pairwise_join
 from .filters import select
 from .fragment import Fragment
@@ -77,8 +78,8 @@ def evaluate(document: "Document", query: Query,
              cache: Optional[JoinCache] = None,
              max_brute_force_operand: int = 16,
              keyword_source: Optional[
-                 Callable[[str], frozenset[Fragment]]] = None
-             ) -> QueryResult:
+                 Callable[[str], frozenset[Fragment]]] = None,
+             obs: Optional[Observability] = None) -> QueryResult:
     """Evaluate ``query`` against ``document`` with the given strategy.
 
     Returns a :class:`~repro.core.query.QueryResult` carrying the answer
@@ -97,40 +98,70 @@ def evaluate(document: "Document", query: Query,
     keyword_source:
         Optional override for ``σ_{keyword=term}``; the relational
         backend passes its SQL-backed lookup here.
+    obs:
+        Optional :class:`~repro.obs.Observability` handle; when enabled,
+        the evaluation is wrapped in an ``execute`` span (with ``scan``
+        and per-strategy child spans), per-query metrics are recorded,
+        and a query-log record is emitted.
     """
+    ob = obs if obs is not None else NOOP
     stats = OperationStats()
     started = time.perf_counter()
 
-    term_order = list(query.terms)
-    if index is not None:
-        # Rarest-first keeps intermediate fragment sets small.
-        term_order = index.rarest_first(term_order)
-    if keyword_source is not None:
-        keyword_sets = [keyword_source(term) for term in term_order]
+    # Span attributes are only worth computing when observability is
+    # live; the disabled path must stay free of per-query allocations.
+    if ob.enabled:
+        execute_span = ob.span("execute", strategy=strategy.value,
+                               terms=" ".join(query.terms), stats=stats)
+        scan_span = ob.span("scan", stats=stats)
+        strategy_span = ob.span("strategy:" + strategy.value,
+                                stats=stats)
     else:
-        keyword_sets = [keyword_fragments(document, term, index=index)
-                        for term in term_order]
+        execute_span = scan_span = strategy_span = NULL_SPAN
 
-    empty_terms = [term for term, fs in zip(term_order, keyword_sets)
-                   if not fs]
-    if empty_terms:
-        # Conjunctive semantics: a term with no matches empties the answer.
-        fragments: frozenset[Fragment] = frozenset()
-    elif strategy is Strategy.BRUTE_FORCE:
-        fragments = _brute_force(keyword_sets, query, stats, cache,
-                                 max_brute_force_operand)
-    elif strategy is Strategy.SET_REDUCTION:
-        fragments = _set_reduction(keyword_sets, query, stats, cache,
-                                   bounded=True)
-    elif strategy is Strategy.SEMI_NAIVE:
-        fragments = _set_reduction(keyword_sets, query, stats, cache,
-                                   bounded=False)
-    elif strategy is Strategy.PUSHDOWN:
-        fragments = _pushdown(keyword_sets, query, stats, cache)
-    else:  # pragma: no cover - exhaustive over the enum
-        raise QueryError(f"unhandled strategy {strategy}")
+    with execute_span as span:
+        with scan_span:
+            term_order = list(query.terms)
+            if index is not None:
+                # Rarest-first keeps intermediate fragment sets small.
+                term_order = index.rarest_first(term_order)
+            if keyword_source is not None:
+                keyword_sets = [keyword_source(term)
+                                for term in term_order]
+            else:
+                keyword_sets = [keyword_fragments(document, term,
+                                                  index=index)
+                                for term in term_order]
+
+        empty_terms = [term for term, fs in zip(term_order, keyword_sets)
+                       if not fs]
+        with strategy_span:
+            if empty_terms:
+                # Conjunctive semantics: a term with no matches empties
+                # the answer.
+                fragments: frozenset[Fragment] = frozenset()
+            elif strategy is Strategy.BRUTE_FORCE:
+                fragments = _brute_force(keyword_sets, query, stats,
+                                         cache, max_brute_force_operand)
+            elif strategy is Strategy.SET_REDUCTION:
+                fragments = _set_reduction(keyword_sets, query, stats,
+                                           cache, bounded=True)
+            elif strategy is Strategy.SEMI_NAIVE:
+                fragments = _set_reduction(keyword_sets, query, stats,
+                                           cache, bounded=False)
+            elif strategy is Strategy.PUSHDOWN:
+                fragments = _pushdown(keyword_sets, query, stats, cache)
+            else:  # pragma: no cover - exhaustive over the enum
+                raise QueryError(f"unhandled strategy {strategy}")
+        span.set(answers=len(fragments))
 
     elapsed = time.perf_counter() - started
+    if ob.enabled:
+        ob.record_query(
+            document=getattr(document, "name", "?"), terms=query.terms,
+            filter=repr(query.predicate), strategy=strategy.value,
+            answers=len(fragments), elapsed=elapsed,
+            stats=stats.as_dict())
     if logger.isEnabledFor(logging.DEBUG):
         logger.debug(
             "%s evaluated %s: %d answers, %d joins, %d pruned, %.2fms",

@@ -1,0 +1,169 @@
+"""Unified observability for the query engine (``repro.obs``).
+
+One handle — an :class:`Observability` — bundles the three concerns a
+query engine needs to watch itself:
+
+* a **span tracer** (:mod:`repro.obs.tracer`) recording the nested
+  phases of each query (parse → plan → optimize → execute → rank) with
+  wall time and primitive-operation deltas;
+* a **metrics registry** (:mod:`repro.obs.metrics`) with counters,
+  gauges and histograms, exportable as JSON or Prometheus text;
+* a **structured query log** (:mod:`repro.obs.querylog`) emitting one
+  JSON record per query, with a slow-query threshold.
+
+Every engine entry point (``strategies.evaluate``, ``PlanEvaluator``,
+``optimize``, collections, the relational engine, the ranker) accepts an
+optional ``obs=`` handle and defaults to :data:`NOOP` — a singleton
+whose spans and instruments are shared no-op objects, so the disabled
+path costs a method call per phase and allocates nothing.
+
+Typical use::
+
+    from repro.obs import Observability
+    obs = Observability()
+    result = evaluate(document, query, obs=obs)
+    print(obs.tracer.render())
+    print(obs.metrics.to_prometheus())
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from .metrics import (DEFAULT_BUCKETS, LATENCY_BUCKETS, NULL_METRICS,
+                      RATIO_BUCKETS, Counter, Gauge, Histogram,
+                      MetricsRegistry, NullMetrics)
+from .querylog import QueryLog, QueryRecord
+from .tracer import (NULL_SPAN, NULL_TRACER, NullTracer, Span, SpanTracer)
+
+__all__ = [
+    "Observability", "NOOP",
+    "SpanTracer", "NullTracer", "Span", "NULL_TRACER", "NULL_SPAN",
+    "MetricsRegistry", "NullMetrics", "Counter", "Gauge", "Histogram",
+    "NULL_METRICS", "DEFAULT_BUCKETS", "LATENCY_BUCKETS", "RATIO_BUCKETS",
+    "QueryLog", "QueryRecord",
+]
+
+# Well-known metric names recorded by Observability.record_query().
+QUERIES_TOTAL = "repro_queries_total"
+QUERIES_BY_STRATEGY = "repro_queries_by_strategy_total"
+QUERY_LATENCY = "repro_query_latency_seconds"
+QUERY_FRAGMENTS = "repro_query_fragments"
+FRAGMENT_JOINS = "repro_fragment_joins_total"
+JOIN_CACHE_HITS = "repro_join_cache_hits_total"
+PREDICATE_CHECKS = "repro_predicate_checks_total"
+SUBSET_CHECKS = "repro_subset_checks_total"
+FRAGMENTS_DISCARDED = "repro_fragments_discarded_total"
+JOIN_CACHE_HIT_RATIO = "repro_join_cache_hit_ratio"
+REDUCTION_FACTOR = "repro_reduction_factor"
+FRAGMENTS_RANKED = "repro_fragments_ranked_total"
+DOCUMENTS_SKIPPED = "repro_documents_skipped_total"
+SLOW_QUERIES = "repro_slow_queries_total"
+
+
+class Observability:
+    """The live observability handle: tracer + metrics + query log.
+
+    Parameters
+    ----------
+    tracer:
+        A :class:`SpanTracer` (default) or :data:`NULL_TRACER` to keep
+        metrics without spans.
+    metrics:
+        A :class:`MetricsRegistry` (default) or :data:`NULL_METRICS`.
+    query_log:
+        Optional :class:`QueryLog`; per-query records are appended by
+        :meth:`record_query`.
+    """
+
+    enabled = True
+
+    __slots__ = ("tracer", "metrics", "query_log")
+
+    def __init__(self, tracer=None, metrics=None,
+                 query_log: Optional[QueryLog] = None) -> None:
+        self.tracer = tracer if tracer is not None else SpanTracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.query_log = query_log
+
+    def span(self, name: str, stats=None, **attributes):
+        """Open a span on the tracer (context manager)."""
+        return self.tracer.span(name, stats=stats, **attributes)
+
+    def record_query(self, *, document: str, terms: Sequence[str],
+                     filter: str, strategy: str, answers: int,
+                     elapsed: float, stats: Optional[Mapping] = None,
+                     plan: Optional[str] = None) -> Optional[QueryRecord]:
+        """Fold one finished query into metrics and the query log.
+
+        Called by ``strategies.evaluate`` once per query; ``elapsed`` is
+        in seconds, ``stats`` the plain-dict operation counters.
+        """
+        m = self.metrics
+        m.counter(QUERIES_TOTAL, "Queries evaluated.").inc()
+        m.counter(QUERIES_BY_STRATEGY, "Queries evaluated per strategy.",
+                  labels={"strategy": strategy}).inc()
+        m.histogram(QUERY_LATENCY, "End-to-end query latency.",
+                    buckets=LATENCY_BUCKETS).observe(elapsed)
+        m.histogram(QUERY_FRAGMENTS, "Answer fragments per query."
+                    ).observe(answers)
+        counters = dict(stats) if stats else {}
+        joins = counters.get("fragment_joins", 0)
+        cache_hits = counters.get("join_cache_hits", 0)
+        discarded = counters.get("fragments_discarded", 0)
+        m.counter(FRAGMENT_JOINS, "Fragment joins computed.").inc(joins)
+        m.counter(JOIN_CACHE_HITS, "Joins answered from the memo cache."
+                  ).inc(cache_hits)
+        m.counter(PREDICATE_CHECKS, "Filter evaluations performed."
+                  ).inc(counters.get("predicate_checks", 0))
+        m.counter(SUBSET_CHECKS, "Fragment containment tests."
+                  ).inc(counters.get("subset_checks", 0))
+        m.counter(FRAGMENTS_DISCARDED,
+                  "Fragments pruned by pushed-down selections."
+                  ).inc(discarded)
+        if joins + cache_hits:
+            m.histogram(JOIN_CACHE_HIT_RATIO,
+                        "Per-query join-cache hit ratio.",
+                        buckets=RATIO_BUCKETS
+                        ).observe(cache_hits / (joins + cache_hits))
+        if discarded + answers:
+            m.histogram(REDUCTION_FACTOR,
+                        "Fraction of candidate fragments pruned early.",
+                        buckets=RATIO_BUCKETS
+                        ).observe(discarded / (discarded + answers))
+        if self.query_log is not None:
+            record = self.query_log.record(
+                document=document, terms=terms, filter=filter,
+                strategy=strategy, answers=answers, elapsed=elapsed,
+                stats=counters, plan=plan)
+            if record.slow:
+                m.counter(SLOW_QUERIES,
+                          "Queries at or over the slow threshold.").inc()
+            return record
+        return None
+
+
+class _NoopObservability(Observability):
+    """Observability disabled: shared null tracer/metrics, no log.
+
+    A singleton (:data:`NOOP`); ``span()`` returns the allocation-free
+    shared null span and ``record_query()`` does nothing.
+    """
+
+    enabled = False
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(tracer=NULL_TRACER, metrics=NULL_METRICS,
+                         query_log=None)
+
+    def span(self, name: str, stats=None, **attributes):
+        return NULL_SPAN
+
+    def record_query(self, **kwargs) -> None:
+        return None
+
+
+#: The shared disabled handle every ``obs=`` parameter defaults to.
+NOOP = _NoopObservability()

@@ -1,0 +1,143 @@
+"""Structured per-query logging with a slow-query threshold.
+
+Every evaluated query becomes one :class:`QueryRecord` — terms, filter,
+strategy, answer count, latency, and the primitive-operation counters —
+kept in a bounded in-memory ring and, when a sink is configured, written
+out as one JSON line per query (JSONL).  A configurable
+``slow_query_ms`` threshold marks (or, with ``slow_only``, exclusively
+emits) the queries worth a second look::
+
+    log = QueryLog(sink=open("queries.jsonl", "a"), slow_query_ms=50)
+    log.record(document="article", terms=("xquery", "optimization"),
+               filter="size<=3", strategy="pushdown", answers=4,
+               elapsed=0.0021, stats=result.stats)
+    log.slow_queries()   # records at or over the threshold
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Sequence, Union
+
+__all__ = ["QueryRecord", "QueryLog"]
+
+Sink = Union[Callable[[str], object], "SupportsWrite", None]
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One evaluated query, ready for structured logging."""
+
+    timestamp: float
+    document: str
+    terms: tuple[str, ...]
+    filter: str
+    strategy: str
+    answers: int
+    elapsed_ms: float
+    slow: bool
+    stats: dict = field(default_factory=dict)
+    plan: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        record = {
+            "ts": round(self.timestamp, 6),
+            "document": self.document,
+            "terms": list(self.terms),
+            "filter": self.filter,
+            "strategy": self.strategy,
+            "answers": self.answers,
+            "elapsed_ms": round(self.elapsed_ms, 3),
+            "slow": self.slow,
+            "stats": dict(self.stats),
+        }
+        if self.plan is not None:
+            record["plan"] = self.plan
+        return record
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=False, default=str)
+
+
+class QueryLog:
+    """Bounded in-memory query log with an optional JSONL sink.
+
+    Parameters
+    ----------
+    sink:
+        Where emitted lines go: a file-like object (``write`` is called
+        with one line including the trailing newline) or a callable
+        receiving the line without a newline.  ``None`` keeps records
+        in memory only.
+    slow_query_ms:
+        Queries with latency >= this many milliseconds are marked
+        ``slow``.  ``None`` disables the distinction (nothing is slow).
+    slow_only:
+        When true, only slow queries are written to the sink (all
+        records still enter the in-memory ring).
+    max_records:
+        Size of the in-memory ring buffer.
+    clock:
+        Timestamp source (epoch seconds); injectable for tests.
+    """
+
+    def __init__(self, sink: Sink = None,
+                 slow_query_ms: Optional[float] = None,
+                 slow_only: bool = False,
+                 max_records: int = 1000,
+                 clock: Callable[[], float] = time.time) -> None:
+        if max_records < 1:
+            raise ValueError("max_records must be >= 1")
+        if slow_query_ms is not None and slow_query_ms < 0:
+            raise ValueError("slow_query_ms must be >= 0")
+        self._sink = sink
+        self.slow_query_ms = slow_query_ms
+        self.slow_only = slow_only
+        self._records: deque[QueryRecord] = deque(maxlen=max_records)
+        self._clock = clock
+        self.emitted = 0
+
+    def record(self, *, document: str, terms: Sequence[str],
+               filter: str, strategy: str, answers: int,
+               elapsed: float, stats: Optional[Mapping] = None,
+               plan: Optional[str] = None) -> QueryRecord:
+        """Add one query to the log; returns the record.
+
+        ``elapsed`` is in seconds (matching ``QueryResult.elapsed``);
+        the record stores milliseconds.
+        """
+        elapsed_ms = elapsed * 1000.0
+        slow = (self.slow_query_ms is not None
+                and elapsed_ms >= self.slow_query_ms)
+        record = QueryRecord(
+            timestamp=self._clock(), document=document,
+            terms=tuple(terms), filter=filter, strategy=strategy,
+            answers=answers, elapsed_ms=elapsed_ms, slow=slow,
+            stats=dict(stats) if stats else {}, plan=plan)
+        self._records.append(record)
+        if self._sink is not None and (slow or not self.slow_only):
+            line = record.to_json()
+            if callable(self._sink):
+                self._sink(line)
+            else:
+                self._sink.write(line + "\n")
+            self.emitted += 1
+        return record
+
+    @property
+    def records(self) -> list[QueryRecord]:
+        """Every retained record, oldest first."""
+        return list(self._records)
+
+    def slow_queries(self) -> list[QueryRecord]:
+        """Retained records at or over the slow threshold."""
+        return [r for r in self._records if r.slow]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..core.fragment import Fragment
+from ..obs import FRAGMENTS_RANKED, NOOP, Observability
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..index.inverted import InvertedIndex
@@ -111,13 +112,18 @@ class FragmentScorer:
         only ratios matter.  All-zero weights are rejected.
     decay:
         Depth decay for the proximity signal.
+    obs:
+        Optional :class:`~repro.obs.Observability` handle; when enabled,
+        each :meth:`rank` call is wrapped in a ``rank-fragments`` span
+        and counted in ``repro_fragments_ranked_total``.
     """
 
     def __init__(self, index: "InvertedIndex",
                  w_tf_idf: float = 1.0,
                  w_compactness: float = 1.0,
                  w_proximity: float = 1.0,
-                 decay: float = 0.8) -> None:
+                 decay: float = 0.8,
+                 obs: Optional[Observability] = None) -> None:
         weights = (w_tf_idf, w_compactness, w_proximity)
         if any(w < 0 for w in weights):
             raise ValueError("weights must be non-negative")
@@ -127,6 +133,7 @@ class FragmentScorer:
         self._index = index
         self._weights = tuple(w / total for w in weights)
         self._decay = decay
+        self._obs = obs if obs is not None else NOOP
 
     def score(self, fragment: Fragment,
               terms: Sequence[str]) -> ScoredFragment:
@@ -143,7 +150,13 @@ class FragmentScorer:
     def rank(self, fragments, terms: Sequence[str],
              limit: Optional[int] = None) -> list[ScoredFragment]:
         """Score and sort fragments, best first; ties by smaller size."""
-        scored = [self.score(f, terms) for f in fragments]
-        scored.sort(key=lambda s: (-s.score, s.fragment.size,
-                                   sorted(s.fragment.nodes)))
+        with self._obs.span("rank-fragments") as span:
+            scored = [self.score(f, terms) for f in fragments]
+            scored.sort(key=lambda s: (-s.score, s.fragment.size,
+                                       sorted(s.fragment.nodes)))
+            if self._obs.enabled:
+                span.set(fragments=len(scored))
+                self._obs.metrics.counter(
+                    FRAGMENTS_RANKED, "Fragments scored by the ranker."
+                ).inc(len(scored))
         return scored[:limit] if limit is not None else scored

@@ -16,6 +16,7 @@ from ..core.algebra import JoinCache
 from ..core.fragment import Fragment
 from ..core.query import Query, QueryResult
 from ..core.strategies import Strategy, evaluate
+from ..obs import NOOP, Observability
 from ..xmltree.document import Document
 from .relational import RelationalStore
 
@@ -31,13 +32,19 @@ class RelationalQueryEngine:
         A :class:`RelationalStore` with a saved document.
     cache:
         Optional join memo cache shared across queries.
+    obs:
+        Optional :class:`~repro.obs.Observability` handle; when enabled,
+        SQL keyword selections get ``sql-scan`` spans and evaluations
+        flow through the instrumented :func:`evaluate`.
     """
 
     def __init__(self, store: RelationalStore,
-                 cache: Optional[JoinCache] = None) -> None:
+                 cache: Optional[JoinCache] = None,
+                 obs: Optional[Observability] = None) -> None:
         self._store = store
         self._cache = cache
         self._document: Optional[Document] = None
+        self._obs = obs if obs is not None else NOOP
 
     @property
     def document(self) -> Document:
@@ -49,13 +56,18 @@ class RelationalQueryEngine:
     def keyword_fragments(self, term: str) -> frozenset[Fragment]:
         """``σ_{keyword=term}`` via SQL, materialised as fragments."""
         doc = self.document
-        return frozenset(Fragment(doc, (nid,), validate=False)
-                         for nid in self._store.keyword_nodes(term))
+        with self._obs.span("sql-scan", term=term) as span:
+            fragments = frozenset(
+                Fragment(doc, (nid,), validate=False)
+                for nid in self._store.keyword_nodes(term))
+            span.set(rows=len(fragments))
+        return fragments
 
     def evaluate(self, query: Query,
                  strategy: Strategy = Strategy.PUSHDOWN) -> QueryResult:
         """Evaluate ``query``; selection in SQL, joins in the algebra."""
         result = evaluate(self.document, query, strategy=strategy,
                           cache=self._cache,
-                          keyword_source=self.keyword_fragments)
+                          keyword_source=self.keyword_fragments,
+                          obs=self._obs)
         return replace(result, strategy=f"relational/{strategy.value}")

@@ -69,3 +69,30 @@ class TestProfilePlan:
         profiled = profile_plan(figure1, KeywordScan("zebra"))
         assert profiled.fragments == frozenset()
         assert profiled.profiles[0].rows == 0
+
+
+class TestSelfSeconds:
+    QUERY = Query.of("xquery", "optimization", predicate=SizeAtMost(3))
+
+    def test_exclusive_never_exceeds_inclusive(self, figure1):
+        profiled = profile_plan(figure1, optimize(self.QUERY))
+        for p in profiled.profiles:
+            assert 0.0 <= p.self_seconds <= p.seconds + 1e-9
+
+    def test_exclusive_times_sum_to_root_inclusive(self, figure1):
+        profiled = profile_plan(figure1, optimize(self.QUERY))
+        root = profiled.profiles[0]
+        total_self = sum(p.self_seconds for p in profiled.profiles)
+        assert abs(total_self - root.seconds) < 1e-6
+
+    def test_leaf_exclusive_equals_inclusive(self, figure1):
+        plan = PairwiseJoin(KeywordScan("xquery"),
+                            KeywordScan("optimization"))
+        profiled = profile_plan(figure1, plan)
+        for p in profiled.profiles:
+            if p.node.label().startswith("scan"):
+                assert p.self_seconds == p.seconds
+
+    def test_render_shows_self_column(self, figure1):
+        rendered = profile_plan(figure1, optimize(self.QUERY)).render()
+        assert "self=" in rendered

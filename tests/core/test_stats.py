@@ -45,3 +45,47 @@ class TestOperationStats:
         stats = OperationStats()
         stats.extras["rounds"] = 7
         assert stats.as_dict()["rounds"] == 7
+
+
+class TestSnapshotDelta:
+    def test_snapshot_is_independent(self):
+        stats = OperationStats(fragment_joins=2)
+        stats.extras["rounds"] = 1
+        frozen = stats.snapshot()
+        stats.fragment_joins += 5
+        stats.extras["rounds"] += 3
+        assert frozen.fragment_joins == 2
+        assert frozen.extras == {"rounds": 1}
+
+    def test_delta_reports_work_since_snapshot(self):
+        stats = OperationStats(fragment_joins=10, predicate_checks=4)
+        frozen = stats.snapshot()
+        stats.fragment_joins += 3
+        stats.subset_checks += 7
+        diff = stats.delta(frozen)
+        assert diff.fragment_joins == 3
+        assert diff.subset_checks == 7
+        assert diff.predicate_checks == 0
+
+    def test_delta_extras_differenced_and_zero_dropped(self):
+        stats = OperationStats()
+        stats.extras["rounds"] = 2
+        stats.extras["steady"] = 5
+        frozen = stats.snapshot()
+        stats.extras["rounds"] = 6
+        stats.extras["fresh"] = 1
+        diff = stats.delta(frozen)
+        assert diff.extras == {"rounds": 4, "fresh": 1}
+
+    def test_delta_of_unchanged_stats_is_all_zero(self):
+        stats = OperationStats(fragment_joins=9, iterations=2)
+        diff = stats.delta(stats.snapshot())
+        assert all(value == 0 for value in diff.as_dict().values())
+
+    def test_snapshot_then_merge_roundtrip(self):
+        stats = OperationStats(fragment_joins=1)
+        frozen = stats.snapshot()
+        stats.fragment_joins += 4
+        rebuilt = frozen.snapshot()
+        rebuilt.merge(stats.delta(frozen))
+        assert rebuilt.as_dict() == stats.as_dict()

@@ -1,0 +1,146 @@
+"""CLI smoke tests for the observability flags and metrics subcommand."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main, metrics_main
+from repro.workloads.corpora import BOOK_XML
+
+LIFECYCLE = ("query", "parse", "plan", "optimize", "execute", "scan")
+
+
+@pytest.fixture()
+def book_file(tmp_path):
+    path = tmp_path / "book.xml"
+    path.write_text(BOOK_XML)
+    return str(path)
+
+
+class TestTraceFlag:
+    def test_trace_prints_lifecycle_spans(self, book_file, capsys):
+        code = main([book_file, "fragment", "join", "--max-size", "4",
+                     "--trace"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace:" in out
+        for phase in LIFECYCLE:
+            assert phase in out
+
+    def test_trace_with_rank_adds_rank_span(self, book_file, capsys):
+        code = main([book_file, "fragment", "join", "--max-size", "4",
+                     "--trace", "--rank"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rank" in out
+
+    def test_no_trace_prints_no_tree(self, book_file, capsys):
+        code = main([book_file, "fragment", "--max-size", "2"])
+        assert code == 0
+        assert "trace:" not in capsys.readouterr().out
+
+
+class TestMetricsOut:
+    def test_json_dump(self, book_file, capsys, tmp_path):
+        out_path = tmp_path / "metrics.json"
+        code = main([book_file, "fragment", "join", "--max-size", "4",
+                     "--metrics-out", str(out_path)])
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        names = {metric["name"] for metric in payload["metrics"]}
+        assert "repro_queries_total" in names
+        assert "repro_query_latency_seconds" in names
+
+    def test_prom_dump(self, book_file, capsys, tmp_path):
+        out_path = tmp_path / "metrics.prom"
+        code = main([book_file, "fragment", "join", "--max-size", "4",
+                     "--metrics-out", str(out_path)])
+        assert code == 0
+        text = out_path.read_text()
+        assert "# TYPE repro_queries_total counter" in text
+        assert "repro_query_latency_seconds_bucket" in text
+        assert "repro_join_cache_hits_total" in text
+
+
+class TestSlowQueriesAndLog:
+    def test_slow_query_reported_on_stderr(self, book_file, capsys):
+        # threshold 0ms: every query counts as slow
+        code = main([book_file, "fragment", "join", "--max-size", "4",
+                     "--slow-query-ms", "0"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "slow-query:" in captured.err
+        record = json.loads(
+            captured.err.split("slow-query:", 1)[1].splitlines()[0])
+        assert record["slow"] is True
+        assert record["strategy"] == "pushdown"
+
+    def test_high_threshold_stays_quiet(self, book_file, capsys):
+        code = main([book_file, "fragment", "--max-size", "2",
+                     "--slow-query-ms", "60000"])
+        assert code == 0
+        assert "slow-query:" not in capsys.readouterr().err
+
+    def test_query_log_file(self, book_file, capsys, tmp_path):
+        log_path = tmp_path / "queries.jsonl"
+        code = main([book_file, "fragment", "join", "--max-size", "4",
+                     "--query-log", str(log_path)])
+        assert code == 0
+        lines = log_path.read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["terms"] == ["fragment", "join"]
+        assert record["answers"] >= 1
+
+
+class TestMetricsSubcommand:
+    @pytest.fixture()
+    def dump(self, book_file, capsys, tmp_path):
+        path = tmp_path / "metrics.json"
+        main([book_file, "fragment", "join", "--max-size", "4",
+              "--metrics-out", str(path)])
+        capsys.readouterr()  # swallow the search output
+        return str(path)
+
+    def test_summary_format(self, dump, capsys):
+        assert metrics_main([dump]) == 0
+        out = capsys.readouterr().out
+        assert "metrics from" in out
+        assert "repro_queries_total" in out
+
+    def test_prom_format(self, dump, capsys):
+        assert metrics_main([dump, "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_queries_total counter" in out
+
+    def test_json_format_roundtrips(self, dump, capsys):
+        assert metrics_main([dump, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert any(metric["name"] == "repro_queries_total"
+                   for metric in payload["metrics"])
+
+    def test_reachable_through_main(self, dump, capsys):
+        assert main(["metrics", dump]) == 0
+        assert "repro_queries_total" in capsys.readouterr().out
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        assert metrics_main([str(tmp_path / "absent.json")]) == 2
+
+    def test_malformed_file_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{\"metrics\": [{\"kind\": \"mystery\"}]}")
+        assert metrics_main([str(path)]) == 2
+
+
+class TestCollectionObs:
+    def test_trace_over_a_directory(self, tmp_path, capsys):
+        for name in ("one", "two"):
+            (tmp_path / f"{name}.xml").write_text(BOOK_XML)
+        code = main([str(tmp_path), "fragment", "join",
+                     "--max-size", "4", "--trace"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "collection-search" in out
+        assert "execute" in out

@@ -1,0 +1,179 @@
+"""Unit tests for the metrics registry and its exporters."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs.metrics import (NULL_METRICS, Counter, Gauge, Histogram,
+                               MetricsRegistry, NullMetrics)
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "data",
+                      "metrics_golden.prom")
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("c_total")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c_total").inc(-1)
+
+    def test_rejects_bad_names(self):
+        for bad in ("", "0leading", "has space", "dash-name"):
+            with pytest.raises(ValueError):
+                Counter(bad)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7
+
+
+class TestHistogram:
+    def test_observe_buckets_and_moments(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0, 0.7):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(56.2)
+        assert histogram.mean == pytest.approx(56.2 / 4)
+        assert histogram.cumulative_counts() == [
+            (1.0, 2), (10.0, 3), (float("inf"), 4)]
+
+    def test_boundary_lands_in_bucket(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        histogram.observe(1.0)  # le="1" is inclusive
+        assert histogram.cumulative_counts()[0] == (1.0, 1)
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(5.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a_total") is registry.counter("a_total")
+        assert len(registry) == 1
+
+    def test_labels_create_distinct_children(self):
+        registry = MetricsRegistry()
+        one = registry.counter("q_total", labels={"s": "x"})
+        two = registry.counter("q_total", labels={"s": "y"})
+        assert one is not two
+        one.inc()
+        assert two.value == 0
+        assert len(registry) == 2
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ValueError):
+            registry.gauge("thing")
+
+    def test_contains(self):
+        registry = MetricsRegistry()
+        registry.gauge("present")
+        assert "present" in registry
+        assert "absent" not in registry
+
+
+class TestJsonRoundtrip:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_queries_total", "Queries.").inc(5)
+        registry.gauge("depth", "Depth.").set(3.5)
+        registry.counter("by_strategy_total",
+                         labels={"strategy": "pushdown"}).inc(2)
+        histogram = registry.histogram("latency_seconds", "Latency.",
+                                       buckets=(0.01, 0.1))
+        histogram.observe(0.005)
+        histogram.observe(0.5)
+        return registry
+
+    def test_roundtrip_preserves_everything(self):
+        registry = self._populated()
+        clone = MetricsRegistry.from_json(
+            json.loads(registry.to_json_text()))
+        assert clone.to_prometheus() == registry.to_prometheus()
+        assert clone.to_json() == registry.to_json()
+
+    def test_from_json_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry.from_json(
+                {"metrics": [{"name": "x", "kind": "mystery"}]})
+
+    def test_from_json_rejects_mismatched_histogram(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry.from_json(
+                {"metrics": [{"name": "h", "kind": "histogram",
+                              "buckets": [1.0, 2.0], "counts": [1]}]})
+
+
+class TestPrometheusExposition:
+    def test_golden_file(self):
+        """The exposition format, byte-for-byte against a golden file."""
+        registry = MetricsRegistry()
+        registry.counter("repro_queries_total",
+                         "Queries evaluated.").inc(3)
+        registry.counter("repro_queries_by_strategy_total",
+                         "Queries evaluated per strategy.",
+                         labels={"strategy": "pushdown"}).inc(2)
+        registry.counter("repro_queries_by_strategy_total",
+                         "Queries evaluated per strategy.",
+                         labels={"strategy": "brute-force"}).inc()
+        registry.gauge("repro_active_documents",
+                       "Documents currently loaded.").set(7)
+        histogram = registry.histogram("repro_query_latency_seconds",
+                                       "End-to-end query latency.",
+                                       buckets=(0.001, 0.01, 0.1))
+        for sample in (0.0005, 0.002, 0.249):
+            histogram.observe(sample)
+        with open(GOLDEN, encoding="utf-8") as handle:
+            assert registry.to_prometheus() == handle.read()
+
+    def test_empty_registry_exports_nothing(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+    def test_summary_mentions_every_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc()
+        registry.histogram("h_seconds").observe(1.0)
+        summary = registry.summary()
+        assert "a_total" in summary
+        assert "h_seconds" in summary
+        assert "count=1" in summary
+
+
+class TestNullMetrics:
+    def test_instruments_shared_and_inert(self):
+        counter = NULL_METRICS.counter("x_total")
+        histogram = NULL_METRICS.histogram("h")
+        assert counter is NULL_METRICS.gauge("g")
+        counter.inc(100)
+        histogram.observe(5)
+        assert counter.value == 0
+        assert histogram.count == 0
+
+    def test_disabled_flag_and_empty_exports(self):
+        assert not NullMetrics.enabled
+        assert NULL_METRICS.to_prometheus() == ""
+        assert NULL_METRICS.summary() == ""
+        assert len(NULL_METRICS) == 0
+        assert "anything" not in NULL_METRICS

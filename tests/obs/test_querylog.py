@@ -1,0 +1,110 @@
+"""Unit tests for the structured query log."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs.querylog import QueryLog, QueryRecord
+
+
+def _record(log, *, elapsed=0.002, **overrides):
+    fields = dict(document="figure1", terms=("xquery", "optimization"),
+                  filter="size<=3", strategy="pushdown", answers=4,
+                  elapsed=elapsed, stats={"fragment_joins": 7})
+    fields.update(overrides)
+    return log.record(**fields)
+
+
+class TestRecordFields:
+    def test_record_carries_the_query(self):
+        log = QueryLog(clock=lambda: 1234.5)
+        record = _record(log, plan="Project(Join)")
+        assert record == QueryRecord(
+            timestamp=1234.5, document="figure1",
+            terms=("xquery", "optimization"), filter="size<=3",
+            strategy="pushdown", answers=4, elapsed_ms=2.0,
+            slow=False, stats={"fragment_joins": 7},
+            plan="Project(Join)")
+
+    def test_to_dict_rounds_and_omits_absent_plan(self):
+        log = QueryLog(clock=lambda: 1.0)
+        payload = _record(log, elapsed=0.0012345).to_dict()
+        assert payload["elapsed_ms"] == 1.234
+        assert "plan" not in payload
+
+    def test_to_json_parses_back(self):
+        log = QueryLog(clock=lambda: 1.0)
+        parsed = json.loads(_record(log).to_json())
+        assert parsed["terms"] == ["xquery", "optimization"]
+        assert parsed["stats"] == {"fragment_joins": 7}
+
+
+class TestSlowThreshold:
+    def test_threshold_is_inclusive(self):
+        log = QueryLog(slow_query_ms=50)
+        assert not _record(log, elapsed=0.049).slow
+        assert _record(log, elapsed=0.050).slow
+        assert _record(log, elapsed=0.051).slow
+        assert len(log.slow_queries()) == 2
+
+    def test_no_threshold_means_nothing_is_slow(self):
+        log = QueryLog()
+        assert not _record(log, elapsed=10.0).slow
+        assert log.slow_queries() == []
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            QueryLog(slow_query_ms=-1)
+
+
+class TestSinks:
+    def test_file_like_sink_gets_jsonl(self):
+        sink = io.StringIO()
+        log = QueryLog(sink=sink)
+        _record(log)
+        _record(log, strategy="brute-force")
+        lines = sink.getvalue().splitlines()
+        assert [json.loads(l)["strategy"] for l in lines] \
+            == ["pushdown", "brute-force"]
+        assert log.emitted == 2
+
+    def test_callable_sink_gets_bare_lines(self):
+        seen = []
+        log = QueryLog(sink=seen.append)
+        _record(log)
+        assert len(seen) == 1
+        assert not seen[0].endswith("\n")
+        assert json.loads(seen[0])["document"] == "figure1"
+
+    def test_slow_only_filters_sink_but_not_ring(self):
+        sink = io.StringIO()
+        log = QueryLog(sink=sink, slow_query_ms=50, slow_only=True)
+        _record(log, elapsed=0.001)
+        _record(log, elapsed=0.100)
+        emitted = sink.getvalue().splitlines()
+        assert len(emitted) == 1
+        assert json.loads(emitted[0])["slow"] is True
+        assert len(log) == 2  # the fast query is still retained
+        assert log.emitted == 1
+
+    def test_no_sink_keeps_records_in_memory_only(self):
+        log = QueryLog()
+        _record(log)
+        assert log.emitted == 0
+        assert len(log.records) == 1
+
+
+class TestRing:
+    def test_ring_drops_oldest(self):
+        log = QueryLog(max_records=3)
+        for answers in range(5):
+            _record(log, answers=answers)
+        assert [r.answers for r in log] == [2, 3, 4]
+        assert len(log) == 3
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            QueryLog(max_records=0)
