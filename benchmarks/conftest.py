@@ -22,6 +22,19 @@ TERM_A = "needle"
 TERM_B = "thread"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke", action="store_true", default=False,
+        help="run benchmarks on tiny workloads (CI smoke mode; shape "
+             "checks only, no performance assertions)")
+
+
+@pytest.fixture(scope="session")
+def smoke(request) -> bool:
+    """Whether the session runs in --smoke (tiny-workload) mode."""
+    return request.config.getoption("--smoke")
+
+
 def planted_document(nodes: int, occ_a: int, occ_b: int,
                      clustering: float = 0.5, seed: int = 42):
     """A synthetic document with both query terms planted."""

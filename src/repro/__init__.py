@@ -46,6 +46,8 @@ from .core.presentation import (AnswerGroup, OverlapPolicy, arrange,
 from .errors import (CrossDocumentError, DocumentError, FragmentError,
                      ParseError, PlanError, QueryError, ReproError,
                      StorageError, WorkloadError)
+from .exec import BatchRunner, ParallelExecutor
+from .xmltree.intervals import IntervalKernel
 from .index import InvertedIndex, Tokenizer
 from .obs import (NOOP, MetricsRegistry, Observability, QueryLog,
                   QueryRecord, SpanTracer)
@@ -91,6 +93,8 @@ __all__ = [
     "RelationalStore", "RelationalQueryEngine",
     # collections
     "DocumentCollection", "CollectionResult", "CollectionHit",
+    # parallel execution & join kernel
+    "ParallelExecutor", "BatchRunner", "IntervalKernel",
     # presentation (§5 overlapping answers)
     "OverlapPolicy", "AnswerGroup", "arrange", "overlap",
     "overlap_matrix",

@@ -54,8 +54,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Keyword search for XML fragments using the "
                     "algebraic query model (Pradhan, VLDB 2006).")
     parser.add_argument("file", help="XML document to search")
-    parser.add_argument("keywords", nargs="+",
-                        help="query keywords (conjunctive)")
+    parser.add_argument("keywords", nargs="*",
+                        help="query keywords (conjunctive); optional "
+                             "with --batch")
     parser.add_argument("--max-size", type=int, default=None, metavar="N",
                         help="anti-monotonic filter: size(f) <= N")
     parser.add_argument("--max-height", type=int, default=None,
@@ -71,6 +72,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--strategy", default=Strategy.PUSHDOWN.value,
                         choices=[s.value for s in Strategy],
                         help="evaluation strategy (default: pushdown)")
+    parser.add_argument("--kernel", default=None,
+                        choices=["reference", "bitset"],
+                        help="join kernel: the frozenset reference path "
+                             "or the interval-bitset fast path "
+                             "(identical answers)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="evaluate documents on a process pool of N "
+                             "workers (directory/batch searches; results "
+                             "are identical to serial)")
+    parser.add_argument("--batch", default=None, metavar="FILE",
+                        help="evaluate one query per FILE line "
+                             "(whitespace-separated keywords, # comments) "
+                             "over the target, amortising index and pool "
+                             "setup; the filter flags apply to every "
+                             "query")
     parser.add_argument("-n", "--limit", type=int, default=10,
                         metavar="N", help="show at most N answers")
     parser.add_argument("--xml", action="store_true",
@@ -167,6 +183,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return metrics_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
+    if not args.keywords and not args.batch:
+        parser.error("query keywords are required unless --batch is given")
     if args.explain:
         try:
             query = Query(tuple(args.keywords), _build_predicate(args))
@@ -192,8 +210,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 def _run_search(args: argparse.Namespace, obs: Observability) -> int:
     """Parse, plan, evaluate and present one single-document search."""
+    if args.batch:
+        return _run_batch(args, obs)
     if os.path.isdir(args.file):
         return _search_collection(args, obs)
+    if args.workers is not None:
+        print("note: --workers only applies to directory or --batch "
+              "searches; evaluating serially", file=sys.stderr)
     with obs.span("parse", file=args.file) as span:
         document = parse_file(args.file)
         index = InvertedIndex(document)
@@ -207,7 +230,7 @@ def _run_search(args: argparse.Namespace, obs: Observability) -> int:
         optimize(query, obs=obs)
     result = evaluate(document, query,
                       strategy=Strategy.parse(args.strategy),
-                      index=index, obs=obs)
+                      index=index, obs=obs, kernel=args.kernel)
 
     if args.rank:
         with obs.span("rank"):
@@ -292,8 +315,12 @@ def _search_collection(args: argparse.Namespace,
         return 2
     with obs.span("plan"):
         query = Query(tuple(args.keywords), _build_predicate(args))
-    result = collection.search(
-        query, strategy=Strategy.parse(args.strategy), obs=obs)
+    try:
+        result = collection.search(
+            query, strategy=Strategy.parse(args.strategy), obs=obs,
+            workers=args.workers, kernel=args.kernel)
+    finally:
+        collection.close()
     hits = result.hits[:args.limit]
     print(f"{len(result)} answer(s) in "
           f"{len(result.matched_documents)} of {len(collection)} "
@@ -308,6 +335,50 @@ def _search_collection(args: argparse.Namespace,
             print(fragment_to_xml(hit.fragment).rstrip())
         else:
             print(highlighted_outline(hit.fragment, query.terms))
+    return 0
+
+
+def _run_batch(args: argparse.Namespace, obs: Observability) -> int:
+    """Evaluate every query of a ``--batch`` file over the target."""
+    from .collection.collection import DocumentCollection
+    from .exec import BatchRunner
+
+    predicate = _build_predicate(args)
+    queries = []
+    with open(args.batch, encoding="utf-8") as handle:
+        for line in handle:
+            terms = line.split()
+            if not terms or terms[0].startswith("#"):
+                continue
+            queries.append(Query(tuple(terms), predicate))
+    if not queries:
+        print(f"error: no queries in {args.batch}", file=sys.stderr)
+        return 2
+    with obs.span("parse", target=args.file) as span:
+        if os.path.isdir(args.file):
+            collection = DocumentCollection.from_directory(args.file)
+        else:
+            collection = DocumentCollection(
+                name=os.path.basename(args.file))
+            collection.add(parse_file(args.file))
+        span.set(documents=len(collection))
+    if not len(collection):
+        print(f"error: no .xml files in {args.file}", file=sys.stderr)
+        return 2
+    runner = BatchRunner(collection, workers=args.workers,
+                         strategy=Strategy.parse(args.strategy),
+                         kernel=args.kernel, obs=obs)
+    with runner:
+        results = runner.run(queries)
+    for query, result in zip(queries, results):
+        hits = result.hits[:args.limit]
+        print(f"{query.describe()}: {len(result)} answer(s) in "
+              f"{len(result.matched_documents)} of {len(collection)} "
+              f"document(s)"
+              + (f", showing {len(hits)}" if len(hits) < len(result)
+                 else ""))
+        for hit in hits:
+            print(f"  {hit.label()}  (size={hit.fragment.size})")
     return 0
 
 

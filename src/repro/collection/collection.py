@@ -83,6 +83,9 @@ class DocumentCollection:
         self._documents: dict[str, Document] = {}
         self._indexes: dict[str, InvertedIndex] = {}
         self._cache = JoinCache()
+        self._scorers: dict[str, FragmentScorer] = {}
+        self._executor = None  # cached repro.exec.ParallelExecutor
+        self._executor_workers: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Population
@@ -102,7 +105,32 @@ class DocumentCollection:
             raise DocumentError(f"collection already contains a "
                                 f"document named {key!r}")
         self._documents[key] = document
+        # Derived state is now stale: any pooled executor holds a
+        # snapshot of the old corpus, and cached scorers must not
+        # outlive corpus changes.
+        self._scorers.clear()
+        self._shutdown_executor()
         return key
+
+    def _shutdown_executor(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+            self._executor_workers = None
+
+    def close(self) -> None:
+        """Release pooled resources (the lazy parallel executor).
+
+        Safe to call repeatedly; the collection remains usable and
+        recreates the pool on the next ``workers=`` search.
+        """
+        self._shutdown_executor()
+
+    def __enter__(self) -> "DocumentCollection":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def add_xml(self, xml_text: str, name: str) -> str:
         """Parse and add an XML string."""
@@ -171,10 +199,26 @@ class DocumentCollection:
     # Search
     # ------------------------------------------------------------------
 
+    def _parallel_executor(self, workers: int):
+        """The cached :class:`repro.exec.ParallelExecutor` for ``workers``.
+
+        Rebuilt when the requested pool size changes; invalidated by
+        :meth:`add` (the pool snapshots the corpus at creation).
+        """
+        from ..exec.parallel import ParallelExecutor
+        if self._executor is None or self._executor_workers != workers:
+            self._shutdown_executor()
+            self._executor = ParallelExecutor(self._documents,
+                                              workers=workers)
+            self._executor_workers = workers
+        return self._executor
+
     def search(self, query: Query,
                strategy: Strategy = Strategy.PUSHDOWN,
                documents: Optional[Iterable[str]] = None,
-               obs: Optional[Observability] = None
+               obs: Optional[Observability] = None,
+               workers: Optional[int] = None,
+               kernel: Optional[str] = None
                ) -> CollectionResult:
         """Evaluate ``query`` over (a subset of) the collection.
 
@@ -184,8 +228,21 @@ class DocumentCollection:
         fan-out is wrapped in a ``collection-search`` span (one
         ``execute`` child span per evaluated document) and skipped
         documents are counted in ``repro_documents_skipped_total``.
+
+        ``workers=N`` fans the per-document evaluations out over a
+        process pool (:mod:`repro.exec`) with results guaranteed
+        identical to the serial path; ``None`` stays in-process.
+        ``kernel`` selects the join kernel (``"bitset"`` for the
+        integer-arithmetic fast path) in either mode.
         """
         ob = obs if obs is not None else NOOP
+        if workers is not None:
+            result = self._parallel_executor(workers).search(
+                query, strategy=strategy, documents=documents,
+                kernel=kernel, obs=ob)
+            if ob.enabled:
+                self._cache.export_metrics(ob.metrics)
+            return result
         targets = (list(documents) if documents is not None
                    else self.names())
         per_document: dict[str, QueryResult] = {}
@@ -199,32 +256,51 @@ class DocumentCollection:
                     continue
                 per_document[name] = evaluate(
                     self._documents[name], query, strategy=strategy,
-                    index=index, cache=self._cache, obs=ob)
+                    index=index, cache=self._cache, obs=ob,
+                    kernel=kernel)
             if ob.enabled:
                 span.set(evaluated=len(per_document), skipped=skipped)
                 ob.metrics.counter(
                     DOCUMENTS_SKIPPED,
                     "Documents skipped by the index early exit."
                 ).inc(skipped)
+                self._cache.export_metrics(ob.metrics)
         return CollectionResult(query=query, per_document=per_document)
+
+    def scorer(self, name: str) -> FragmentScorer:
+        """The (cached) :class:`FragmentScorer` of one document.
+
+        Built once per document and reused across ranked searches —
+        cleared by :meth:`add`, since corpus changes may accompany
+        re-indexing.  Observability is passed per :meth:`rank` call, so
+        the cache is independent of ``obs`` handles.
+        """
+        if name not in self._scorers:
+            self._scorers[name] = FragmentScorer(self.index(name))
+        return self._scorers[name]
 
     def ranked_search(self, query: Query, limit: int = 10,
                       strategy: Strategy = Strategy.PUSHDOWN,
-                      obs: Optional[Observability] = None
+                      obs: Optional[Observability] = None,
+                      workers: Optional[int] = None,
+                      kernel: Optional[str] = None
                       ) -> list[tuple[str, ScoredFragment]]:
         """Search and rank answers across documents, best first.
 
         Scores are comparable across documents because every signal is
-        normalised to [0, 1] per document.
+        normalised to [0, 1] per document.  Ranking always happens in
+        the parent process, over the (possibly pool-computed) merged
+        answer set, so ``workers=N`` cannot perturb the ordering.
         """
         ob = obs if obs is not None else NOOP
-        result = self.search(query, strategy=strategy, obs=ob)
+        result = self.search(query, strategy=strategy, obs=ob,
+                             workers=workers, kernel=kernel)
         ranked: list[tuple[str, ScoredFragment]] = []
         with ob.span("rank", fragments=len(result)):
             for name, doc_result in result.per_document.items():
-                scorer = FragmentScorer(self.index(name), obs=ob)
+                scorer = self.scorer(name)
                 for scored in scorer.rank(doc_result.fragments,
-                                          query.terms):
+                                          query.terms, obs=ob):
                     ranked.append((name, scored))
             ranked.sort(key=lambda pair: (-pair[1].score,
                                           pair[1].fragment.size, pair[0]))

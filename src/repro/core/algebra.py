@@ -23,11 +23,13 @@ documents and fragments are immutable.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from itertools import chain, combinations
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence, Union
 
-from ..errors import FragmentError
+from ..errors import FragmentError, QueryError
 from ..xmltree.document import Document
+from ..xmltree.intervals import IntervalKernel
 from ..xmltree.navigation import spanning_nodes
 from .fragment import Fragment
 from .stats import OperationStats
@@ -40,64 +42,128 @@ __all__ = [
     "multiway_powerset_join",
     "JoinCache",
     "nonempty_subsets",
+    "resolve_kernel",
+    "KERNEL_REFERENCE",
+    "KERNEL_BITSET",
+    "KERNEL_NAMES",
 ]
+
+#: The frozenset-climbing reference implementation (the default).
+KERNEL_REFERENCE = "reference"
+#: The interval-bitset integer-arithmetic kernel.
+KERNEL_BITSET = "bitset"
+#: Every selectable kernel name.
+KERNEL_NAMES = (KERNEL_REFERENCE, KERNEL_BITSET)
+
+#: What a ``kernel=`` parameter accepts: a name, a per-document
+#: :class:`~repro.xmltree.intervals.IntervalKernel`, or ``None``.
+KernelArg = Union[None, str, IntervalKernel]
+
+
+def resolve_kernel(kernel: KernelArg,
+                   document: Document) -> Optional[IntervalKernel]:
+    """Resolve a ``kernel=`` argument against one document.
+
+    ``None`` / ``"reference"`` select the frozenset reference path
+    (returns ``None``); ``"bitset"`` returns the document's cached
+    :class:`~repro.xmltree.intervals.IntervalKernel`; an already
+    constructed kernel passes through after a document check.
+    """
+    if kernel is None or kernel == KERNEL_REFERENCE:
+        return None
+    if kernel == KERNEL_BITSET:
+        return document.interval_kernel()
+    if isinstance(kernel, IntervalKernel):
+        if kernel.document is not document:
+            raise QueryError("interval kernel belongs to a different "
+                             "document")
+        return kernel
+    raise QueryError(f"unknown join kernel {kernel!r}; expected one of "
+                     f"{list(KERNEL_NAMES)}")
 
 
 class JoinCache:
-    """Memo cache for binary fragment joins.
+    """LRU memo cache for binary fragment joins.
 
-    Keys combine the owning document's identity with the unordered pair
-    of operand node sets (commutativity makes the ordering irrelevant),
-    so one cache can safely be shared across the documents of a
-    collection.  A bounded size with FIFO eviction keeps memory in
-    check on large workloads.
+    Keys combine the owning document's identity **token** (monotonic and
+    never reused, unlike ``id()``, so entries can never go stale after a
+    document is garbage collected) with the unordered pair of operand
+    node sets — commutativity makes the ordering irrelevant — so one
+    cache can safely be shared across the documents of a collection.
+    A bounded size with least-recently-*used* eviction keeps memory in
+    check on large workloads while retaining the hot pairs.
+
+    ``hits`` / ``misses`` count :meth:`get` outcomes over the cache's
+    lifetime; :meth:`export_metrics` publishes them to a
+    :class:`repro.obs.metrics.MetricsRegistry`.
     """
 
-    __slots__ = ("_table", "_max_entries")
+    __slots__ = ("_table", "_max_entries", "hits", "misses")
 
     def __init__(self, max_entries: int = 1 << 16) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
-        self._table: dict[tuple, Fragment] = {}
+        self._table: OrderedDict[tuple, Fragment] = OrderedDict()
         self._max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
 
     @staticmethod
     def _key(f1: Fragment, f2: Fragment) -> tuple:
-        return (id(f1.document), frozenset((f1.nodes, f2.nodes)))
+        return (f1.document.token, frozenset((f1.nodes, f2.nodes)))
 
     def get(self, f1: Fragment, f2: Fragment) -> Optional[Fragment]:
         """The cached join of ``f1`` and ``f2``, or ``None``."""
-        hit = self._table.get(self._key(f1, f2))
-        if hit is not None and hit.document is not f1.document:
-            # id() reuse after a document was garbage collected; treat
-            # as a miss (the stale entry is overwritten by put()).
+        key = self._key(f1, f2)
+        hit = self._table.get(key)
+        if hit is None:
+            self.misses += 1
             return None
+        # True LRU: a hit refreshes the entry's recency.
+        self._table.move_to_end(key)
+        self.hits += 1
         return hit
 
     def put(self, f1: Fragment, f2: Fragment, result: Fragment) -> None:
         """Record the join of ``f1`` and ``f2``."""
         if len(self._table) >= self._max_entries:
-            # FIFO eviction: drop the oldest insertion.
-            self._table.pop(next(iter(self._table)))
+            # LRU eviction: drop the least recently touched entry.
+            self._table.popitem(last=False)
         self._table[self._key(f1, f2)] = result
 
     def __len__(self) -> int:
         return len(self._table)
 
     def clear(self) -> None:
-        """Drop all cached joins."""
+        """Drop all cached joins (hit/miss counters are kept)."""
         self._table.clear()
+
+    def export_metrics(self, metrics) -> None:
+        """Publish lifetime hit/miss totals as gauges on ``metrics``.
+
+        Gauges (not counters) because the cache owns the running totals;
+        re-exporting after more queries overwrites with the new values.
+        """
+        from ..obs import JOIN_CACHE_MEMO_HITS, JOIN_CACHE_MEMO_MISSES
+        metrics.gauge(JOIN_CACHE_MEMO_HITS,
+                      "Lifetime JoinCache memo hits.").set(self.hits)
+        metrics.gauge(JOIN_CACHE_MEMO_MISSES,
+                      "Lifetime JoinCache memo misses.").set(self.misses)
 
 
 def fragment_join(f1: Fragment, f2: Fragment,
                   stats: Optional[OperationStats] = None,
-                  cache: Optional[JoinCache] = None) -> Fragment:
+                  cache: Optional[JoinCache] = None,
+                  kernel: Optional[IntervalKernel] = None) -> Fragment:
     """``f1 ⋈ f2``: the minimal fragment containing both operands.
 
     The minimal connected subtree containing two subtrees is the
     tree-Steiner closure of the union of their node sets, computed by
-    climbing towards the common LCA (see
-    :func:`repro.xmltree.navigation.spanning_nodes`).
+    climbing towards the common LCA — either over ``frozenset``
+    membership (:func:`repro.xmltree.navigation.spanning_nodes`, the
+    reference) or on flat integer arrays when an
+    :class:`~repro.xmltree.intervals.IntervalKernel` is supplied.  Both
+    paths produce identical fragments (cross-checked in the suite).
 
     Algebraic properties (tested property-based in the suite):
     idempotent, commutative, associative, absorptive.
@@ -116,7 +182,10 @@ def fragment_join(f1: Fragment, f2: Fragment,
             return hit
     if stats is not None:
         stats.fragment_joins += 1
-    nodes = spanning_nodes(f1.document, chain(f1.nodes, f2.nodes))
+    if kernel is not None:
+        nodes = kernel.join_nodes(f1.nodes, f2.nodes, f1.root, f2.root)
+    else:
+        nodes = spanning_nodes(f1.document, chain(f1.nodes, f2.nodes))
     result = Fragment(f1.document, nodes, validate=False)
     if cache is not None:
         cache.put(f1, f2, result)
@@ -125,7 +194,8 @@ def fragment_join(f1: Fragment, f2: Fragment,
 
 def join_all(fragments: Iterable[Fragment],
              stats: Optional[OperationStats] = None,
-             cache: Optional[JoinCache] = None) -> Fragment:
+             cache: Optional[JoinCache] = None,
+             kernel: Optional[IntervalKernel] = None) -> Fragment:
     """``⋈{f1, ..., fn}``: fold fragment join over a non-empty collection.
 
     Associativity and commutativity make the fold order irrelevant for
@@ -137,13 +207,15 @@ def join_all(fragments: Iterable[Fragment],
     except StopIteration:
         raise FragmentError("join_all requires at least one fragment")
     for fragment in iterator:
-        result = fragment_join(result, fragment, stats=stats, cache=cache)
+        result = fragment_join(result, fragment, stats=stats, cache=cache,
+                               kernel=kernel)
     return result
 
 
 def pairwise_join(set1: Iterable[Fragment], set2: Iterable[Fragment],
                   stats: Optional[OperationStats] = None,
-                  cache: Optional[JoinCache] = None
+                  cache: Optional[JoinCache] = None,
+                  kernel: Optional[IntervalKernel] = None
                   ) -> frozenset[Fragment]:
     """``F1 ⋈ F2``: join every pair (Definition 5), deduplicated.
 
@@ -152,7 +224,8 @@ def pairwise_join(set1: Iterable[Fragment], set2: Iterable[Fragment],
     """
     left = list(set1)
     right = list(set2)
-    return frozenset(fragment_join(f1, f2, stats=stats, cache=cache)
+    return frozenset(fragment_join(f1, f2, stats=stats, cache=cache,
+                                   kernel=kernel)
                      for f1 in left for f2 in right)
 
 
@@ -165,7 +238,8 @@ def nonempty_subsets(items: Sequence) -> Iterable[tuple]:
 def powerset_join(set1: Iterable[Fragment], set2: Iterable[Fragment],
                   stats: Optional[OperationStats] = None,
                   cache: Optional[JoinCache] = None,
-                  max_operand_size: Optional[int] = 20
+                  max_operand_size: Optional[int] = 20,
+                  kernel: Optional[IntervalKernel] = None
                   ) -> frozenset[Fragment]:
     """``F1 ⋈* F2`` by direct enumeration (Definition 6).
 
@@ -197,11 +271,12 @@ def powerset_join(set1: Iterable[Fragment], set2: Iterable[Fragment],
                     "(raise max_operand_size to override)")
     results: set[Fragment] = set()
     for subset1 in nonempty_subsets(left):
-        base = join_all(subset1, stats=stats, cache=cache)
+        base = join_all(subset1, stats=stats, cache=cache, kernel=kernel)
         for subset2 in nonempty_subsets(right):
             joined = fragment_join(
-                base, join_all(subset2, stats=stats, cache=cache),
-                stats=stats, cache=cache)
+                base, join_all(subset2, stats=stats, cache=cache,
+                               kernel=kernel),
+                stats=stats, cache=cache, kernel=kernel)
             results.add(joined)
     return frozenset(results)
 
@@ -209,7 +284,8 @@ def powerset_join(set1: Iterable[Fragment], set2: Iterable[Fragment],
 def multiway_powerset_join(fragment_sets: Sequence[Iterable[Fragment]],
                            stats: Optional[OperationStats] = None,
                            cache: Optional[JoinCache] = None,
-                           max_operand_size: Optional[int] = 20
+                           max_operand_size: Optional[int] = 20,
+                           kernel: Optional[IntervalKernel] = None
                            ) -> frozenset[Fragment]:
     """m-ary powerset join: ``{⋈(F1' ∪ … ∪ Fm') | Fi' ⊆ Fi, Fi' ≠ ∅}``.
 
@@ -233,10 +309,12 @@ def multiway_powerset_join(fragment_sets: Sequence[Iterable[Fragment]],
 
     def recurse(position: int) -> None:
         if position == len(operands):
-            results.add(join_all(partial, stats=stats, cache=cache))
+            results.add(join_all(partial, stats=stats, cache=cache,
+                                 kernel=kernel))
             return
         for subset in nonempty_subsets(operands[position]):
-            joined = join_all(subset, stats=stats, cache=cache)
+            joined = join_all(subset, stats=stats, cache=cache,
+                              kernel=kernel)
             partial.append(joined)
             recurse(position + 1)
             partial.pop()

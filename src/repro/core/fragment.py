@@ -41,7 +41,7 @@ class Fragment:
         passes ``validate=False`` to skip the O(|f|) check.
     """
 
-    __slots__ = ("_doc", "_nodes", "_hash")
+    __slots__ = ("_doc", "_nodes", "_hash", "_bounds", "_height")
 
     def __init__(self, document: "Document", nodes: Iterable[int],
                  validate: bool = True) -> None:
@@ -60,6 +60,12 @@ class Fragment:
         self._doc = document
         self._nodes = node_set
         self._hash = hash(node_set)
+        # Lazily cached structural measures: fragments are immutable, so
+        # (min, max) preorder bounds and height are computed at most
+        # once even when anti-monotonic filters probe them every
+        # fixed-point round.
+        self._bounds = None
+        self._height = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -94,10 +100,18 @@ class Fragment:
         """The node-id set of the fragment."""
         return self._nodes
 
+    def _minmax(self) -> tuple[int, int]:
+        """Cached (min, max) preorder ids of the node set."""
+        bounds = self._bounds
+        if bounds is None:
+            bounds = (min(self._nodes), max(self._nodes))
+            self._bounds = bounds
+        return bounds
+
     @property
     def root(self) -> int:
         """The root of the induced subtree (its minimum preorder id)."""
-        return min(self._nodes)
+        return self._minmax()[0]
 
     @property
     def size(self) -> int:
@@ -111,9 +125,11 @@ class Fragment:
         A single node has height 0, matching the paper's Figure 6 where
         ``height <= 2`` admits a three-level fragment.
         """
-        depth = self._doc.labels.depth
-        root_depth = depth[self.root]
-        return max(depth[n] for n in self._nodes) - root_depth
+        if self._height is None:
+            depth = self._doc.labels.depth
+            root_depth = depth[self.root]
+            self._height = max(depth[n] for n in self._nodes) - root_depth
+        return self._height
 
     @property
     def width(self) -> int:
@@ -125,7 +141,8 @@ class Fragment:
         node and monotone under fragment inclusion — hence ``width <= γ``
         is anti-monotonic.
         """
-        return max(self._nodes) - min(self._nodes)
+        lo, hi = self._minmax()
+        return hi - lo
 
     @property
     def leaves(self) -> frozenset[int]:

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from ..xmltree.intervals import IntervalKernel
 from .algebra import JoinCache, fragment_join, pairwise_join
 from .filters import Filter
 from .fragment import Fragment
@@ -42,7 +43,9 @@ __all__ = [
 
 def set_reduce(fragments: Iterable[Fragment],
                stats: Optional[OperationStats] = None,
-               cache: Optional[JoinCache] = None) -> frozenset[Fragment]:
+               cache: Optional[JoinCache] = None,
+               kernel: Optional[IntervalKernel] = None
+               ) -> frozenset[Fragment]:
     """``⊖(F)``: remove fragments subsumed by a join of two others.
 
     A fragment ``f`` is removed iff there exist distinct ``f', f'' ∈ F``
@@ -61,7 +64,8 @@ def set_reduce(fragments: Iterable[Fragment],
         for j in range(i + 1, n):
             pair_joins.append(
                 (i, j, fragment_join(items[i], items[j],
-                                     stats=stats, cache=cache)))
+                                     stats=stats, cache=cache,
+                                     kernel=kernel)))
     kept = []
     for idx, fragment in enumerate(items):
         subsumed = False
@@ -80,15 +84,18 @@ def set_reduce(fragments: Iterable[Fragment],
 
 def reduction_count(fragments: Iterable[Fragment],
                     stats: Optional[OperationStats] = None,
-                    cache: Optional[JoinCache] = None) -> int:
+                    cache: Optional[JoinCache] = None,
+                    kernel: Optional[IntervalKernel] = None) -> int:
     """``|⊖(F)|`` — the Theorem-1 iteration bound for ``F``."""
-    return len(set_reduce(fragments, stats=stats, cache=cache))
+    return len(set_reduce(fragments, stats=stats, cache=cache,
+                          kernel=kernel))
 
 
 def iterate_pairwise(fragments: Iterable[Fragment], rounds: int,
                      stats: Optional[OperationStats] = None,
                      cache: Optional[JoinCache] = None,
-                     predicate: Optional[Filter] = None
+                     predicate: Optional[Filter] = None,
+                     kernel: Optional[IntervalKernel] = None
                      ) -> frozenset[Fragment]:
     """``⋈_n(F)``: pairwise fragment join of ``rounds`` copies of ``F``.
 
@@ -105,7 +112,7 @@ def iterate_pairwise(fragments: Iterable[Fragment], rounds: int,
         if stats is not None:
             stats.iterations += 1
         current = pairwise_join(current, filtered_base,
-                                stats=stats, cache=cache)
+                                stats=stats, cache=cache, kernel=kernel)
         current = _apply_predicate(current, predicate, stats)
     return current
 
@@ -113,7 +120,8 @@ def iterate_pairwise(fragments: Iterable[Fragment], rounds: int,
 def fixed_point(fragments: Iterable[Fragment],
                 stats: Optional[OperationStats] = None,
                 cache: Optional[JoinCache] = None,
-                predicate: Optional[Filter] = None
+                predicate: Optional[Filter] = None,
+                kernel: Optional[IntervalKernel] = None
                 ) -> frozenset[Fragment]:
     """``F+`` via semi-naive iteration with fixed-point checking.
 
@@ -133,7 +141,8 @@ def fixed_point(fragments: Iterable[Fragment],
         for new_fragment in frontier:
             for existing in snapshot:
                 joined = fragment_join(new_fragment, existing,
-                                       stats=stats, cache=cache)
+                                       stats=stats, cache=cache,
+                                       kernel=kernel)
                 if joined not in result and joined not in produced:
                     produced.add(joined)
         produced = set(_apply_predicate(produced, predicate, stats))
@@ -146,7 +155,8 @@ def fixed_point(fragments: Iterable[Fragment],
 def fixed_point_bounded(fragments: Iterable[Fragment],
                         stats: Optional[OperationStats] = None,
                         cache: Optional[JoinCache] = None,
-                        predicate: Optional[Filter] = None
+                        predicate: Optional[Filter] = None,
+                        kernel: Optional[IntervalKernel] = None
                         ) -> frozenset[Fragment]:
     """``F+`` via the Theorem-1 bound: exactly ``|⊖(F)|`` join rounds.
 
@@ -159,9 +169,9 @@ def fixed_point_bounded(fragments: Iterable[Fragment],
     base = frozenset(fragments)
     if not base:
         return base
-    k = reduction_count(base, stats=stats, cache=cache)
+    k = reduction_count(base, stats=stats, cache=cache, kernel=kernel)
     return iterate_pairwise(base, k, stats=stats, cache=cache,
-                            predicate=predicate)
+                            predicate=predicate, kernel=kernel)
 
 
 def is_fixed_point(fragments: Iterable[Fragment],

@@ -37,7 +37,8 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from ..errors import QueryError
 from ..obs import NOOP, NULL_SPAN, Observability
-from .algebra import JoinCache, multiway_powerset_join, pairwise_join
+from .algebra import (JoinCache, KernelArg, multiway_powerset_join,
+                      pairwise_join, resolve_kernel)
 from .filters import select
 from .fragment import Fragment
 from .query import Query, QueryResult, keyword_fragments
@@ -79,7 +80,8 @@ def evaluate(document: "Document", query: Query,
              max_brute_force_operand: int = 16,
              keyword_source: Optional[
                  Callable[[str], frozenset[Fragment]]] = None,
-             obs: Optional[Observability] = None) -> QueryResult:
+             obs: Optional[Observability] = None,
+             kernel: KernelArg = None) -> QueryResult:
     """Evaluate ``query`` against ``document`` with the given strategy.
 
     Returns a :class:`~repro.core.query.QueryResult` carrying the answer
@@ -103,8 +105,14 @@ def evaluate(document: "Document", query: Query,
         the evaluation is wrapped in an ``execute`` span (with ``scan``
         and per-strategy child spans), per-query metrics are recorded,
         and a query-log record is emitted.
+    kernel:
+        Join-kernel selection: ``None``/``"reference"`` for the
+        frozenset reference path, ``"bitset"`` for the document's
+        interval-bitset kernel (identical answers, integer arithmetic —
+        see :mod:`repro.xmltree.intervals`).
     """
     ob = obs if obs is not None else NOOP
+    kernel_obj = resolve_kernel(kernel, document)
     stats = OperationStats()
     started = time.perf_counter()
 
@@ -142,15 +150,19 @@ def evaluate(document: "Document", query: Query,
                 fragments: frozenset[Fragment] = frozenset()
             elif strategy is Strategy.BRUTE_FORCE:
                 fragments = _brute_force(keyword_sets, query, stats,
-                                         cache, max_brute_force_operand)
+                                         cache, max_brute_force_operand,
+                                         kernel_obj)
             elif strategy is Strategy.SET_REDUCTION:
                 fragments = _set_reduction(keyword_sets, query, stats,
-                                           cache, bounded=True)
+                                           cache, bounded=True,
+                                           kernel=kernel_obj)
             elif strategy is Strategy.SEMI_NAIVE:
                 fragments = _set_reduction(keyword_sets, query, stats,
-                                           cache, bounded=False)
+                                           cache, bounded=False,
+                                           kernel=kernel_obj)
             elif strategy is Strategy.PUSHDOWN:
-                fragments = _pushdown(keyword_sets, query, stats, cache)
+                fragments = _pushdown(keyword_sets, query, stats, cache,
+                                      kernel_obj)
             else:  # pragma: no cover - exhaustive over the enum
                 raise QueryError(f"unhandled strategy {strategy}")
         span.set(answers=len(fragments))
@@ -188,28 +200,30 @@ def answer(document: "Document", *terms: str,
 
 def _brute_force(keyword_sets, query: Query, stats: OperationStats,
                  cache: Optional[JoinCache],
-                 max_operand: int) -> frozenset[Fragment]:
+                 max_operand: int, kernel=None) -> frozenset[Fragment]:
     candidates = multiway_powerset_join(keyword_sets, stats=stats,
                                         cache=cache,
-                                        max_operand_size=max_operand)
+                                        max_operand_size=max_operand,
+                                        kernel=kernel)
     return select(query.predicate, candidates, stats=stats)
 
 
 def _set_reduction(keyword_sets, query: Query, stats: OperationStats,
                    cache: Optional[JoinCache],
-                   bounded: bool) -> frozenset[Fragment]:
+                   bounded: bool, kernel=None) -> frozenset[Fragment]:
     closure = fixed_point_bounded if bounded else fixed_point
-    fixed_points = [closure(fs, stats=stats, cache=cache)
+    fixed_points = [closure(fs, stats=stats, cache=cache, kernel=kernel)
                     for fs in keyword_sets]
     candidates = _reduce(
-        lambda left, right: pairwise_join(left, right,
-                                          stats=stats, cache=cache),
+        lambda left, right: pairwise_join(left, right, stats=stats,
+                                          cache=cache, kernel=kernel),
         fixed_points)
     return select(query.predicate, candidates, stats=stats)
 
 
 def _pushdown(keyword_sets, query: Query, stats: OperationStats,
-              cache: Optional[JoinCache]) -> frozenset[Fragment]:
+              cache: Optional[JoinCache],
+              kernel=None) -> frozenset[Fragment]:
     predicate = query.predicate
     pushed = predicate if predicate.is_anti_monotonic else None
     fixed_points = []
@@ -219,11 +233,12 @@ def _pushdown(keyword_sets, query: Query, stats: OperationStats,
             # one term rejects every candidate fragment too.
             return frozenset()
         fixed_points.append(fixed_point(fs, stats=stats, cache=cache,
-                                        predicate=pushed))
+                                        predicate=pushed, kernel=kernel))
     candidates = fixed_points[0]
     for other in fixed_points[1:]:
         candidates = pairwise_join(candidates, other,
-                                   stats=stats, cache=cache)
+                                   stats=stats, cache=cache,
+                                   kernel=kernel)
         if pushed is not None:
             candidates = select(pushed, candidates, stats=stats)
     # Final selection guarantees correctness for non-anti-monotonic

@@ -1,0 +1,20 @@
+"""Parallel execution layer (``repro.exec``).
+
+Process-pool fan-out for collection queries with a determinism
+guarantee: ``search(..., workers=N)`` returns results bit-identical to
+the serial path for every strategy and kernel.  See
+``docs/parallelism.md`` for the architecture.
+
+* :class:`~repro.exec.parallel.ParallelExecutor` — warm worker pool
+  over a fixed document set; chunked ``(document, query)`` scheduling,
+  in-band index early exit, deterministic merge.
+* :class:`~repro.exec.batch.BatchRunner` — evaluate a list of queries
+  over a collection, amortising index/pool setup across the batch.
+"""
+
+from .batch import BatchRunner
+from .parallel import (ParallelExecutor, default_start_method,
+                       default_workers)
+
+__all__ = ["ParallelExecutor", "BatchRunner", "default_workers",
+           "default_start_method"]

@@ -1,0 +1,296 @@
+"""Process-pool collection search with deterministic merge.
+
+:class:`ParallelExecutor` fans a collection search out over a
+``concurrent.futures.ProcessPoolExecutor`` while keeping the results
+**bit-identical** to the serial path:
+
+* the ``{name: Document}`` payload is shipped once, at pool init, into a
+  module-level worker state; each worker lazily builds and keeps *warm*
+  per-document structures (inverted index, LCA index, interval kernel,
+  a per-worker :class:`~repro.core.algebra.JoinCache`) so repeated
+  queries pay the setup cost once per worker, not once per task;
+* work is scheduled as chunks of ``(document, query)`` items, and the
+  conjunctive early exit runs *in-band*: a worker probes its inverted
+  index and returns a skip marker instead of evaluating a document that
+  cannot match;
+* workers never pickle :class:`~repro.core.fragment.Fragment` or
+  :class:`~repro.xmltree.document.Document` objects back.  They return
+  plain node-id tuples and the parent rehydrates fragments against its
+  *own* document objects — fragment equality requires document
+  identity, so this is what makes parallel output exactly equal to
+  serial output;
+* the merge walks documents in the caller's target order, so result
+  dictionaries iterate identically however chunks complete.
+
+Start method: ``fork`` is preferred (worker state is inherited
+copy-on-write, so even large corpora ship for free); on platforms
+without it the executor falls back to ``spawn``, where the payload is
+pickled through :meth:`Document.__getstate__`.  See
+``docs/parallelism.md``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Mapping, Optional, Sequence
+
+from ..collection.collection import CollectionResult
+from ..core.algebra import JoinCache, KERNEL_NAMES
+from ..core.fragment import Fragment
+from ..core.query import Query, QueryResult
+from ..core.strategies import Strategy, evaluate
+from ..errors import DocumentError, QueryError
+from ..index.inverted import InvertedIndex
+from ..obs import (DOCUMENTS_SKIPPED, NOOP, Observability, POOL_CHUNKS,
+                   POOL_CHUNK_SECONDS, POOL_DISPATCH_SECONDS, POOL_TASKS,
+                   POOL_WORKERS)
+from ..xmltree.document import Document
+
+__all__ = ["ParallelExecutor", "default_workers", "default_start_method"]
+
+
+def default_workers() -> int:
+    """The default pool size: one worker per available CPU."""
+    return os.cpu_count() or 1
+
+
+def default_start_method() -> str:
+    """``fork`` where available (Linux/macOS), else ``spawn``."""
+    return ("fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn")
+
+
+# ----------------------------------------------------------------------
+# Worker side: module-level state, populated once per worker at pool
+# init (inherited via fork, or unpickled under spawn) and warmed lazily.
+# ----------------------------------------------------------------------
+
+_WORKER_DOCUMENTS: Optional[Mapping[str, Document]] = None
+_WORKER_INDEXES: dict[str, InvertedIndex] = {}
+_WORKER_CACHE: Optional[JoinCache] = None
+
+
+def _init_worker(documents: Mapping[str, Document]) -> None:
+    global _WORKER_DOCUMENTS, _WORKER_INDEXES, _WORKER_CACHE
+    _WORKER_DOCUMENTS = documents
+    _WORKER_INDEXES = {}
+    _WORKER_CACHE = JoinCache()
+
+
+def _worker_index(name: str) -> InvertedIndex:
+    """This worker's warm inverted index for one document.
+
+    Built on first touch, together with the document's LCA index, so
+    every later query against the document starts hot.
+    """
+    index = _WORKER_INDEXES.get(name)
+    if index is None:
+        document = _WORKER_DOCUMENTS[name]
+        index = InvertedIndex(document)
+        if document.size > 1:
+            document.lca(0, document.size - 1)
+        _WORKER_INDEXES[name] = index
+    return index
+
+
+def _run_chunk(queries: Sequence[Query], items: Sequence[tuple[str, int]],
+               strategy_value: str, kernel: Optional[str]):
+    """Evaluate one chunk of ``(document name, query index)`` items.
+
+    Returns ``(rows, chunk_seconds)`` where each row is
+    ``(name, query_index, payload)`` and ``payload`` is ``None`` for a
+    document skipped by the in-band early exit, else
+    ``(fragment node tuples, elapsed, stats dict)`` — plain picklable
+    data only, never Fragment/Document objects.
+    """
+    started = time.perf_counter()
+    strategy = Strategy(strategy_value)
+    rows = []
+    for name, query_index in items:
+        query = queries[query_index]
+        index = _worker_index(name)
+        if not all(index.contains(term) for term in query.terms):
+            rows.append((name, query_index, None))
+            continue
+        result = evaluate(_WORKER_DOCUMENTS[name], query,
+                          strategy=strategy, index=index,
+                          cache=_WORKER_CACHE, kernel=kernel)
+        payload = (tuple(sorted(tuple(sorted(f.nodes))
+                                for f in result.fragments)),
+                   result.elapsed, result.stats)
+        rows.append((name, query_index, payload))
+    return rows, time.perf_counter() - started
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+class ParallelExecutor:
+    """A warm process pool evaluating queries over a fixed document set.
+
+    Parameters
+    ----------
+    documents:
+        ``{name: Document}`` — the corpus, shipped to workers once at
+        pool init.  The executor takes a snapshot; add/remove requires a
+        new executor (collections handle this by invalidating their
+        cached executor on :meth:`~DocumentCollection.add`).
+    workers:
+        Pool size; defaults to :func:`default_workers`.
+    start_method:
+        ``"fork"`` (default where available) or ``"spawn"``.
+    chunk_size:
+        Items per scheduled chunk; default balances load as
+        ``ceil(items / (4 * workers))``.
+    obs:
+        Default :class:`~repro.obs.Observability` handle for pool
+        metrics; each call may override it.
+    """
+
+    def __init__(self, documents: Mapping[str, Document],
+                 workers: Optional[int] = None,
+                 start_method: Optional[str] = None,
+                 chunk_size: Optional[int] = None,
+                 obs: Optional[Observability] = None) -> None:
+        self.documents: dict[str, Document] = dict(documents)
+        if not self.documents:
+            raise DocumentError("ParallelExecutor requires at least one "
+                                "document")
+        self.workers = workers if workers is not None else default_workers()
+        if self.workers < 1:
+            raise QueryError(f"workers must be >= 1, got {self.workers}")
+        self.start_method = (start_method if start_method is not None
+                             else default_start_method())
+        self._chunk_size = chunk_size
+        self._obs = obs if obs is not None else NOOP
+        context = multiprocessing.get_context(self.start_method)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=context,
+            initializer=_init_worker, initargs=(self.documents,))
+        if self._obs.enabled:
+            self._obs.metrics.gauge(
+                POOL_WORKERS, "Workers in the current query pool."
+            ).set(self.workers)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def search(self, query: Query,
+               strategy: Strategy = Strategy.PUSHDOWN,
+               documents: Optional[Iterable[str]] = None,
+               kernel: Optional[str] = None,
+               obs: Optional[Observability] = None) -> CollectionResult:
+        """Evaluate one query over the corpus; serial-identical result."""
+        return self.run([query], strategy=strategy, documents=documents,
+                        kernel=kernel, obs=obs)[0]
+
+    def run(self, queries: Sequence[Query],
+            strategy: Strategy = Strategy.PUSHDOWN,
+            documents: Optional[Iterable[str]] = None,
+            kernel: Optional[str] = None,
+            obs: Optional[Observability] = None) -> list[CollectionResult]:
+        """Evaluate a batch of queries in one scheduling wave.
+
+        All ``(document, query)`` pairs are chunked together, so a
+        multi-query batch keeps every worker busy even when single
+        queries have few matching documents.  Returns one
+        :class:`CollectionResult` per query, in query order.
+        """
+        if kernel is not None and kernel not in KERNEL_NAMES:
+            raise QueryError(f"unknown join kernel {kernel!r}; the "
+                             f"parallel path accepts {list(KERNEL_NAMES)}")
+        ob = obs if obs is not None else self._obs
+        queries = list(queries)
+        targets = (list(documents) if documents is not None
+                   else list(self.documents))
+        for name in targets:
+            if name not in self.documents:
+                raise DocumentError(f"unknown document {name!r}")
+        items = [(name, qi) for qi in range(len(queries))
+                 for name in targets]
+        chunk_size = self._chunk_size or max(
+            1, -(-len(items) // (4 * self.workers)))
+        chunks = [items[i:i + chunk_size]
+                  for i in range(0, len(items), chunk_size)]
+
+        outcomes: dict[tuple[str, int], Optional[tuple]] = {}
+        with ob.span("parallel-search", workers=self.workers,
+                     queries=len(queries), items=len(items),
+                     chunks=len(chunks)) as span:
+            dispatch_started = time.perf_counter()
+            futures = [self._pool.submit(_run_chunk, queries, chunk,
+                                         strategy.value, kernel)
+                       for chunk in chunks]
+            for future, chunk in zip(futures, chunks):
+                rows, chunk_seconds = future.result()
+                for name, query_index, payload in rows:
+                    outcomes[(name, query_index)] = payload
+                if ob.enabled:
+                    with ob.span("pool-chunk", items=len(chunk)):
+                        pass
+                    ob.metrics.histogram(
+                        POOL_CHUNK_SECONDS,
+                        "Worker-measured seconds per chunk."
+                    ).observe(chunk_seconds)
+            dispatch_seconds = time.perf_counter() - dispatch_started
+            if ob.enabled:
+                m = ob.metrics
+                m.counter(POOL_TASKS,
+                          "(document, query) items dispatched to the pool."
+                          ).inc(len(items))
+                m.counter(POOL_CHUNKS, "Chunks dispatched to the pool."
+                          ).inc(len(chunks))
+                m.histogram(POOL_DISPATCH_SECONDS,
+                            "Parent-side submit-to-merge seconds."
+                            ).observe(dispatch_seconds)
+                span.set(dispatch_seconds=round(dispatch_seconds, 6))
+
+        results = []
+        total_skipped = 0
+        for query_index, query in enumerate(queries):
+            per_document: dict[str, QueryResult] = {}
+            for name in targets:  # caller order => deterministic merge
+                payload = outcomes[(name, query_index)]
+                if payload is None:
+                    total_skipped += 1
+                    continue
+                node_tuples, elapsed, stats = payload
+                document = self.documents[name]
+                fragments = frozenset(
+                    Fragment(document, nodes, validate=False)
+                    for nodes in node_tuples)
+                per_document[name] = QueryResult(
+                    query=query, fragments=fragments,
+                    strategy=strategy.value, elapsed=elapsed, stats=stats)
+            results.append(CollectionResult(query=query,
+                                            per_document=per_document))
+        if ob.enabled and total_skipped:
+            ob.metrics.counter(
+                DOCUMENTS_SKIPPED,
+                "Documents skipped by the index early exit."
+            ).inc(total_skipped)
+        return results
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Terminate the worker pool (idempotent)."""
+        self._pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return (f"ParallelExecutor(documents={len(self.documents)}, "
+                f"workers={self.workers}, "
+                f"start_method={self.start_method!r})")

@@ -60,6 +60,18 @@ FRAGMENTS_RANKED = "repro_fragments_ranked_total"
 DOCUMENTS_SKIPPED = "repro_documents_skipped_total"
 SLOW_QUERIES = "repro_slow_queries_total"
 
+# JoinCache lifetime memo totals (exported by JoinCache.export_metrics).
+JOIN_CACHE_MEMO_HITS = "repro_join_cache_memo_hits"
+JOIN_CACHE_MEMO_MISSES = "repro_join_cache_memo_misses"
+
+# Parallel-execution pool metrics (recorded by repro.exec).
+POOL_WORKERS = "repro_pool_workers"
+POOL_TASKS = "repro_pool_tasks_total"
+POOL_CHUNKS = "repro_pool_chunks_total"
+POOL_CHUNK_SECONDS = "repro_pool_chunk_seconds"
+POOL_DISPATCH_SECONDS = "repro_pool_dispatch_seconds"
+BATCH_QUERIES = "repro_batch_queries_total"
+
 
 class Observability:
     """The live observability handle: tracer + metrics + query log.

@@ -148,15 +148,22 @@ class FragmentScorer:
             tf_idf=tfidf, compactness=compact, proximity=prox)
 
     def rank(self, fragments, terms: Sequence[str],
-             limit: Optional[int] = None) -> list[ScoredFragment]:
-        """Score and sort fragments, best first; ties by smaller size."""
-        with self._obs.span("rank-fragments") as span:
+             limit: Optional[int] = None,
+             obs: Optional[Observability] = None) -> list[ScoredFragment]:
+        """Score and sort fragments, best first; ties by smaller size.
+
+        ``obs`` overrides the constructor handle for this call — cached
+        scorers (e.g. per-document in a collection) stay reusable across
+        calls with different observability settings.
+        """
+        ob = obs if obs is not None else self._obs
+        with ob.span("rank-fragments") as span:
             scored = [self.score(f, terms) for f in fragments]
             scored.sort(key=lambda s: (-s.score, s.fragment.size,
                                        sorted(s.fragment.nodes)))
-            if self._obs.enabled:
+            if ob.enabled:
                 span.set(fragments=len(scored))
-                self._obs.metrics.counter(
+                ob.metrics.counter(
                     FRAGMENTS_RANKED, "Fragments scored by the ranker."
                 ).inc(len(scored))
         return scored[:limit] if limit is not None else scored

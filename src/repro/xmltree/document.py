@@ -21,6 +21,7 @@ Documents are immutable once built; use
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
 from ..errors import DocumentError
@@ -28,6 +29,11 @@ from .labeling import TreeLabels, compute_labels
 from .node import NodeView
 
 __all__ = ["Document"]
+
+# Process-wide monotonic document tokens.  Unlike id(), a token is never
+# reused after a document is garbage collected, so caches keyed on it
+# (e.g. repro.core.algebra.JoinCache) can never serve stale entries.
+_DOCUMENT_TOKENS = itertools.count(1)
 
 
 class Document:
@@ -40,7 +46,8 @@ class Document:
     """
 
     __slots__ = ("_tags", "_texts", "_parents", "_children", "_keywords",
-                 "_attrs", "_labels", "_lca_index", "name")
+                 "_attrs", "_labels", "_lca_index", "_interval_kernel",
+                 "_token", "name")
 
     def __init__(self, tags: Sequence[str], texts: Sequence[str],
                  parents: Sequence[Optional[int]],
@@ -65,6 +72,8 @@ class Document:
                 "node ids must equal preorder ranks; build documents via "
                 "DocumentBuilder or parser, which normalise ids")
         self._lca_index = None  # built lazily on first lca() call
+        self._interval_kernel = None  # built lazily on first use
+        self._token = next(_DOCUMENT_TOKENS)
         self.name = name
 
     # ------------------------------------------------------------------
@@ -137,6 +146,27 @@ class Document:
     def labels(self) -> TreeLabels:
         """The structural label bundle (depth/pre/size/post)."""
         return self._labels
+
+    @property
+    def token(self) -> int:
+        """A process-wide unique, never-reused identity token.
+
+        Safe to key caches on where ``id()`` is not: tokens survive the
+        document's own lifetime and are reassigned on unpickling, so two
+        distinct documents never share one within a process.
+        """
+        return self._token
+
+    def interval_kernel(self):
+        """The (lazily built, cached) interval-bitset join kernel.
+
+        See :class:`repro.xmltree.intervals.IntervalKernel` — the
+        integer-arithmetic fast path selected by ``kernel="bitset"``.
+        """
+        if self._interval_kernel is None:
+            from .intervals import IntervalKernel
+            self._interval_kernel = IntervalKernel(self)
+        return self._interval_kernel
 
     @property
     def max_depth(self) -> int:
@@ -221,6 +251,34 @@ class Document:
         return frozenset(vocab)
 
     # ------------------------------------------------------------------
+    # Pickling (documents are shipped to pool workers at init)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle the structural arrays only.
+
+        The LCA index and interval kernel are derived state, rebuilt
+        lazily on the receiving side, and the identity token must not
+        travel: tokens are process-wide unique, so the unpickled copy
+        draws a fresh one.
+        """
+        return {"tags": self._tags, "texts": self._texts,
+                "parents": self._parents, "children": self._children,
+                "keywords": self._keywords, "attrs": self._attrs,
+                "labels": self._labels, "name": self.name}
+
+    def __setstate__(self, state: dict) -> None:
+        self._tags = state["tags"]
+        self._texts = state["texts"]
+        self._parents = state["parents"]
+        self._children = state["children"]
+        self._keywords = state["keywords"]
+        self._attrs = state["attrs"]
+        self._labels = state["labels"]
+        self._lca_index = None
+        self._interval_kernel = None
+        self._token = next(_DOCUMENT_TOKENS)
+        self.name = state["name"]
 
     def __repr__(self) -> str:
         return (f"Document(name={self.name!r}, nodes={self.size}, "

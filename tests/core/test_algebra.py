@@ -122,6 +122,62 @@ class TestJoinCache:
         assert tiny_join.document is tiny_doc
         assert chain_join.document is chain_doc
 
+    def test_keys_on_token_not_id(self, tiny_doc):
+        # Regression for the id() staleness hole: after a document is
+        # garbage collected, a new document may reuse its memory address
+        # — id()-based keys would then serve the dead document's joins.
+        # Tokens are monotonic and never reused, so the cache misses.
+        import gc
+        from repro.workloads.figure1 import build_figure1_document
+
+        cache = JoinCache()
+        doc = build_figure1_document()
+        fragment_join(Fragment(doc, [1]), Fragment(doc, [2]), cache=cache)
+        assert cache.misses == 1
+        del doc
+        gc.collect()
+        fresh = build_figure1_document()
+        stats = OperationStats()
+        joined = fragment_join(Fragment(fresh, [1]), Fragment(fresh, [2]),
+                               stats=stats, cache=cache)
+        assert stats.join_cache_hits == 0
+        assert joined.document is fresh
+
+    def test_lru_hit_refreshes_recency(self, tiny_doc):
+        # FIFO would evict the oldest entry regardless of use; true LRU
+        # keeps a re-used entry alive and evicts the cold one.
+        cache = JoinCache(max_entries=2)
+        a = (Fragment(tiny_doc, [2]), Fragment(tiny_doc, [3]))
+        b = (Fragment(tiny_doc, [2]), Fragment(tiny_doc, [5]))
+        c = (Fragment(tiny_doc, [3]), Fragment(tiny_doc, [5]))
+        fragment_join(*a, cache=cache)
+        fragment_join(*b, cache=cache)
+        assert cache.get(*a) is not None   # refresh a: b is now coldest
+        fragment_join(*c, cache=cache)     # evicts b
+        assert cache.get(*a) is not None
+        assert cache.get(*b) is None
+        assert cache.get(*c) is not None
+
+    def test_hit_miss_counters_and_metrics_export(self, tiny_doc):
+        from repro.obs import (JOIN_CACHE_MEMO_HITS,
+                               JOIN_CACHE_MEMO_MISSES, MetricsRegistry)
+
+        cache = JoinCache()
+        f1, f2 = Fragment(tiny_doc, [2]), Fragment(tiny_doc, [5])
+        fragment_join(f1, f2, cache=cache)
+        fragment_join(f1, f2, cache=cache)
+        fragment_join(f1, f2, cache=cache)
+        assert cache.misses == 1
+        assert cache.hits == 2
+        cache.clear()
+        assert (cache.hits, cache.misses) == (2, 1)  # counters survive
+        registry = MetricsRegistry()
+        cache.export_metrics(registry)
+        assert registry.gauge(JOIN_CACHE_MEMO_HITS,
+                              "Lifetime JoinCache memo hits.").value == 2
+        assert registry.gauge(JOIN_CACHE_MEMO_MISSES,
+                              "Lifetime JoinCache memo misses.").value == 1
+
 
 class TestJoinAll:
     def test_empty_rejected(self):
