@@ -9,12 +9,47 @@ fragment?) are apples-to-apples.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import time
+from typing import Callable, Optional, Sequence, Sized, TypeVar
 
 from ..index.inverted import InvertedIndex
+from ..obs import NOOP, Observability
 from ..xmltree.document import Document
 
-__all__ = ["term_postings", "remove_ancestors"]
+__all__ = ["term_postings", "remove_ancestors", "run_instrumented"]
+
+_SizedT = TypeVar("_SizedT", bound=Sized)
+
+
+def run_instrumented(baseline: str, document: Document,
+                     terms: Sequence[str],
+                     obs: Optional[Observability],
+                     body: Callable[[], _SizedT]) -> _SizedT:
+    """Run one baseline evaluation under an observability handle.
+
+    With a disabled (or absent) handle, calls ``body`` directly — zero
+    overhead.  With a live one, the evaluation is wrapped in a
+    ``baseline:<name>`` span and folded into the ``baseline=``-labelled
+    metrics via :meth:`~repro.obs.Observability.record_baseline`, so
+    baseline-vs-algebra comparisons share one registry.
+
+    Composed baselines (xrank over ELCA, smallest over SLCA) instrument
+    only the outer call: inner calls run with the default ``NOOP``
+    handle, keeping one query = one record.
+    """
+    ob = obs if obs is not None else NOOP
+    if not ob.enabled:
+        return body()
+    name = getattr(document, "name", "?")
+    started = time.perf_counter()
+    with ob.span("baseline:" + baseline, document=name,
+                 terms=" ".join(terms)) as span:
+        result = body()
+        span.set(answers=len(result))
+    ob.record_baseline(baseline=baseline, document=name, terms=terms,
+                       answers=len(result),
+                       elapsed=time.perf_counter() - started)
+    return result
 
 
 def term_postings(document: Document, terms: Sequence[str],

@@ -20,15 +20,27 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..index.inverted import InvertedIndex
+from ..obs import Observability
 from ..xmltree.document import Document
-from .common import term_postings
+from .common import run_instrumented, term_postings
 
 __all__ = ["elca_nodes"]
 
 
 def elca_nodes(document: Document, terms: Sequence[str],
-               index: Optional[InvertedIndex] = None) -> list[int]:
-    """The ELCA nodes for a conjunctive keyword query, sorted by id."""
+               index: Optional[InvertedIndex] = None,
+               obs: Optional[Observability] = None) -> list[int]:
+    """The ELCA nodes for a conjunctive keyword query, sorted by id.
+
+    An enabled ``obs`` handle wraps the run in a ``baseline:elca`` span
+    and records ``baseline="elca"``-labelled metrics.
+    """
+    return run_instrumented("elca", document, terms, obs,
+                            lambda: _elca_nodes(document, terms, index))
+
+
+def _elca_nodes(document: Document, terms: Sequence[str],
+                index: Optional[InvertedIndex]) -> list[int]:
     postings = term_postings(document, terms, index=index)
     if any(not plist for plist in postings):
         return []

@@ -20,8 +20,9 @@ from bisect import bisect_left
 from typing import Optional, Sequence
 
 from ..index.inverted import InvertedIndex
+from ..obs import Observability
 from ..xmltree.document import Document
-from .common import remove_ancestors, term_postings
+from .common import remove_ancestors, run_instrumented, term_postings
 
 __all__ = ["slca_candidates_pair", "slca_nodes"]
 
@@ -66,11 +67,20 @@ def slca_candidates_pair(document: Document, left: Sequence[int],
 
 
 def slca_nodes(document: Document, terms: Sequence[str],
-               index: Optional[InvertedIndex] = None) -> list[int]:
+               index: Optional[InvertedIndex] = None,
+               obs: Optional[Observability] = None) -> list[int]:
     """The SLCA nodes for a conjunctive keyword query, sorted by id.
 
-    Returns an empty list when any term has no occurrences.
+    Returns an empty list when any term has no occurrences.  An enabled
+    ``obs`` handle wraps the run in a ``baseline:slca`` span and records
+    ``baseline="slca"``-labelled metrics.
     """
+    return run_instrumented("slca", document, terms, obs,
+                            lambda: _slca_nodes(document, terms, index))
+
+
+def _slca_nodes(document: Document, terms: Sequence[str],
+                index: Optional[InvertedIndex]) -> list[int]:
     postings = term_postings(document, terms, index=index)
     if any(not plist for plist in postings):
         return []

@@ -15,24 +15,36 @@ from typing import Optional, Sequence
 
 from ..core.fragment import Fragment
 from ..index.inverted import InvertedIndex
+from ..obs import Observability
 from ..xmltree.document import Document
 from ..xmltree.navigation import spanning_nodes
-from .common import term_postings
+from .common import run_instrumented, term_postings
 from .slca import slca_nodes
 
 __all__ = ["smallest_fragments"]
 
 
 def smallest_fragments(document: Document, terms: Sequence[str],
-                       index: Optional[InvertedIndex] = None
+                       index: Optional[InvertedIndex] = None,
+                       obs: Optional[Observability] = None
                        ) -> list[Fragment]:
     """One minimal fragment per SLCA node, sorted by root id.
 
     For each SLCA ``v`` and each term, the occurrence inside ``v``'s
     subtree closest to ``v`` (minimum depth, ties by id) is chosen as
     the witness; the fragment is the spanning subtree of the witnesses
-    (just ``⟨v⟩`` when a single node carries every term).
+    (just ``⟨v⟩`` when a single node carries every term).  An enabled
+    ``obs`` handle records one ``baseline="smallest"`` query (the inner
+    SLCA pass is not double counted).
     """
+    return run_instrumented(
+        "smallest", document, terms, obs,
+        lambda: _smallest_fragments(document, terms, index))
+
+
+def _smallest_fragments(document: Document, terms: Sequence[str],
+                        index: Optional[InvertedIndex]
+                        ) -> list[Fragment]:
     postings = term_postings(document, terms, index=index)
     if any(not plist for plist in postings):
         return []

@@ -19,8 +19,9 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..index.inverted import InvertedIndex
+from ..obs import Observability
 from ..xmltree.document import Document
-from .common import term_postings
+from .common import run_instrumented, term_postings
 from .elca import elca_nodes
 
 __all__ = ["RankedAnswer", "xrank_answers"]
@@ -36,16 +37,30 @@ class RankedAnswer:
 
 def xrank_answers(document: Document, terms: Sequence[str],
                   index: Optional[InvertedIndex] = None,
-                  decay: float = 0.8) -> list[RankedAnswer]:
+                  decay: float = 0.8,
+                  obs: Optional[Observability] = None
+                  ) -> list[RankedAnswer]:
     """ELCA nodes ranked by decayed keyword proximity, best first.
 
     Parameters
     ----------
     decay:
         Per-level attenuation ``d``; 1.0 disables depth penalties.
+    obs:
+        Optional observability handle; records one
+        ``baseline="xrank"`` query (the inner ELCA pass is not double
+        counted).
     """
     if not 0.0 < decay <= 1.0:
         raise ValueError("decay must be in (0, 1]")
+    return run_instrumented(
+        "xrank", document, terms, obs,
+        lambda: _xrank_answers(document, terms, index, decay))
+
+
+def _xrank_answers(document: Document, terms: Sequence[str],
+                   index: Optional[InvertedIndex],
+                   decay: float) -> list[RankedAnswer]:
     postings = term_postings(document, terms, index=index)
     if any(not plist for plist in postings):
         return []

@@ -24,9 +24,10 @@ from typing import Optional, Sequence
 from ..core.fragment import Fragment
 from ..errors import FragmentError
 from ..index.inverted import InvertedIndex
+from ..obs import Observability
 from ..xmltree.document import Document
 from ..xmltree.navigation import path_to_ancestor, spanning_nodes
-from .common import term_postings
+from .common import run_instrumented, term_postings
 
 __all__ = ["interconnected", "xsearch_answers"]
 
@@ -60,18 +61,29 @@ def interconnected(document: Document, u: int, v: int) -> bool:
 
 def xsearch_answers(document: Document, terms: Sequence[str],
                     index: Optional[InvertedIndex] = None,
-                    max_tuples: int = 100_000) -> list[Fragment]:
+                    max_tuples: int = 100_000,
+                    obs: Optional[Observability] = None
+                    ) -> list[Fragment]:
     """Spanning fragments of pairwise-interconnected witness tuples.
 
     One witness node per term; tuples where every pair is
     interconnected yield the spanning fragment of the tuple.  Results
-    are deduplicated and sorted smallest-first.
+    are deduplicated and sorted smallest-first.  An enabled ``obs``
+    handle records one ``baseline="xsearch"`` query.
 
     Raises
     ------
     FragmentError
         If the witness cross product exceeds ``max_tuples``.
     """
+    return run_instrumented(
+        "xsearch", document, terms, obs,
+        lambda: _xsearch_answers(document, terms, index, max_tuples))
+
+
+def _xsearch_answers(document: Document, terms: Sequence[str],
+                     index: Optional[InvertedIndex],
+                     max_tuples: int) -> list[Fragment]:
     postings = term_postings(document, terms, index=index)
     if any(not plist for plist in postings):
         return []

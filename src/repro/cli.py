@@ -34,7 +34,7 @@ from .core.optimizer import optimize
 from .core.plan import explain as explain_plan
 from .core.presentation import OverlapPolicy, arrange
 from .core.query import Query
-from .core.strategies import Strategy, evaluate
+from .core.strategies import Strategy, evaluate, explain_analyze
 from .errors import ReproError
 from .index.inverted import InvertedIndex
 from .obs import (NOOP, MetricsRegistry, Observability, QueryLog,
@@ -44,7 +44,7 @@ from .ranking.scoring import FragmentScorer
 from .xmltree.parser import parse_file
 from .xmltree.serializer import fragment_outline, fragment_to_xml
 
-__all__ = ["main", "build_parser", "metrics_main"]
+__all__ = ["main", "build_parser", "metrics_main", "serve_main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -102,6 +102,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "of size")
     parser.add_argument("--explain", action="store_true",
                         help="print the optimised query plan and exit")
+    parser.add_argument("--explain-analyze", action="store_true",
+                        dest="explain_analyze",
+                        help="execute the strategy's plan and print it "
+                             "annotated with measured per-operator "
+                             "statistics (rows, joins, cache hits, "
+                             "checks, pruning, self/total time)")
     parser.add_argument("--stats", action="store_true",
                         help="print operation counters after the answers")
     parser.add_argument("--trace", action="store_true",
@@ -119,6 +125,12 @@ def build_parser() -> argparse.ArgumentParser:
                         dest="query_log",
                         help="append one JSON record per evaluated query "
                              "to PATH (JSONL)")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT", dest="metrics_port",
+                        help="serve live /metrics, /healthz, /varz and "
+                             "/slow on PORT (0 picks a free port) while "
+                             "the search runs; implies metrics "
+                             "collection")
     return parser
 
 
@@ -126,7 +138,8 @@ def _build_observability(args: argparse.Namespace
                          ) -> tuple[Observability, Optional[object]]:
     """The CLI's obs handle plus the query-log file to close, if any."""
     wants_obs = (args.trace or args.metrics_out
-                 or args.slow_query_ms is not None or args.query_log)
+                 or args.slow_query_ms is not None or args.query_log
+                 or args.metrics_port is not None)
     if not wants_obs:
         return NOOP, None
     log_file = None
@@ -181,10 +194,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "metrics":
         return metrics_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if not args.keywords and not args.batch:
         parser.error("query keywords are required unless --batch is given")
+    if args.explain_analyze and args.batch:
+        parser.error("--explain-analyze analyses one query; it cannot "
+                     "be combined with --batch")
     if args.explain:
         try:
             query = Query(tuple(args.keywords), _build_predicate(args))
@@ -195,6 +213,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(explain_plan(optimize(query)))
         return 0
     obs, log_file = _build_observability(args)
+    server = None
+    if args.metrics_port is not None:
+        from .obs.server import MetricsServer
+        server = MetricsServer(obs, port=args.metrics_port).start()
+        print(f"metrics: {server.url}/metrics", file=sys.stderr)
     try:
         with obs.span("query", file=args.file):
             code = _run_search(args, obs)
@@ -204,6 +227,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if server is not None:
+            server.stop()
     _finish_observability(args, obs, log_file)
     return code
 
@@ -223,6 +249,14 @@ def _run_search(args: argparse.Namespace, obs: Observability) -> int:
         span.set(nodes=document.size)
     with obs.span("plan"):
         query = Query(tuple(args.keywords), _build_predicate(args))
+    if args.explain_analyze:
+        result, analysis = explain_analyze(
+            document, query, strategy=Strategy.parse(args.strategy),
+            index=index, obs=obs, kernel=args.kernel)
+        _print_analysis(query, analysis, answers=len(result),
+                        strategy=result.strategy,
+                        elapsed=result.elapsed)
+        return 0
     if obs.enabled:
         # The strategy dispatcher does not consume the plan tree, but
         # the optimized shape belongs in the trace; the rewrite is
@@ -275,6 +309,18 @@ def _run_search(args: argparse.Namespace, obs: Observability) -> int:
     return 0
 
 
+def _print_analysis(query: Query, analysis, *, answers: int,
+                    strategy: str, elapsed: float,
+                    documents: Optional[int] = None) -> None:
+    """Print an EXPLAIN ANALYZE report for one evaluated query."""
+    print(f"query: {query.describe()}")
+    scope = (f" over {documents} document(s)"
+             if documents is not None else "")
+    print(f"{answers} answer(s){scope} "
+          f"[{strategy}, {elapsed * 1000:.1f} ms]")
+    print(explain_plan(analysis.plan, analyze=analysis))
+
+
 def metrics_main(argv: Optional[Sequence[str]] = None) -> int:
     """``repro-search metrics``: summarise a ``--metrics-out`` dump."""
     parser = argparse.ArgumentParser(
@@ -301,6 +347,88 @@ def metrics_main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+def serve_main(argv: Optional[Sequence[str]] = None,
+               stdin=None) -> int:
+    """``repro-search serve``: evaluate stdin queries, serving metrics.
+
+    Loads the target (file or directory) once, starts a
+    :class:`~repro.obs.server.MetricsServer`, then evaluates one query
+    per stdin line (whitespace-separated keywords, ``#`` comments)
+    until EOF — /metrics, /healthz, /varz and /slow stay live the
+    whole time.
+    """
+    from .collection.collection import DocumentCollection
+    from .obs.server import MetricsServer
+
+    parser = argparse.ArgumentParser(
+        prog="repro-search serve",
+        description="Serve live metrics while evaluating queries read "
+                    "from stdin (one query per line).")
+    parser.add_argument("file", help="XML document or directory")
+    parser.add_argument("--port", type=int, default=0,
+                        help="metrics port (default: 0 = any free port)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--strategy", default=Strategy.PUSHDOWN.value,
+                        choices=[s.value for s in Strategy])
+    parser.add_argument("--kernel", default=None,
+                        choices=["reference", "bitset"])
+    parser.add_argument("--workers", type=int, default=None, metavar="N")
+    parser.add_argument("--max-size", type=int, default=None, metavar="N")
+    parser.add_argument("--max-height", type=int, default=None,
+                        metavar="H")
+    parser.add_argument("--max-width", type=int, default=None,
+                        metavar="W")
+    parser.add_argument("--filter", default=None, metavar="EXPR",
+                        dest="filter_expr")
+    parser.add_argument("--slow-query-ms", type=float, default=None,
+                        metavar="MS", dest="slow_query_ms")
+    args = parser.parse_args(argv)
+    stdin = stdin if stdin is not None else sys.stdin
+
+    obs = Observability(
+        query_log=QueryLog(slow_query_ms=args.slow_query_ms))
+    try:
+        if os.path.isdir(args.file):
+            collection = DocumentCollection.from_directory(args.file)
+        else:
+            collection = DocumentCollection(
+                name=os.path.basename(args.file))
+            collection.add(parse_file(args.file))
+        predicate = _build_predicate(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not len(collection):
+        print(f"error: no .xml files in {args.file}", file=sys.stderr)
+        return 2
+    strategy = Strategy.parse(args.strategy)
+    server = MetricsServer(obs, host=args.host, port=args.port).start()
+    print(f"metrics: {server.url}/metrics  "
+          f"(also /healthz /varz /slow); queries from stdin, "
+          f"one per line", file=sys.stderr)
+    try:
+        for line in stdin:
+            terms = line.split()
+            if not terms or terms[0].startswith("#"):
+                continue
+            try:
+                query = Query(tuple(terms), predicate)
+                result = collection.search(
+                    query, strategy=strategy, obs=obs,
+                    workers=args.workers, kernel=args.kernel)
+            except ReproError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                continue
+            print(f"{query.describe()}: {len(result)} answer(s) in "
+                  f"{len(result.matched_documents)} of "
+                  f"{len(collection)} document(s)")
+    finally:
+        server.stop()
+        collection.close()
+    return 0
+
+
 def _search_collection(args: argparse.Namespace,
                        obs: Observability) -> int:
     """Search every XML file of a directory as one collection."""
@@ -315,6 +443,18 @@ def _search_collection(args: argparse.Namespace,
         return 2
     with obs.span("plan"):
         query = Query(tuple(args.keywords), _build_predicate(args))
+    if args.explain_analyze:
+        if args.workers is not None:
+            print("note: --explain-analyze accumulates one analysis "
+                  "in-process; evaluating serially", file=sys.stderr)
+        result, analysis = collection.explain_analyze(
+            query, strategy=Strategy.parse(args.strategy), obs=obs,
+            kernel=args.kernel)
+        _print_analysis(query, analysis, answers=len(result),
+                        strategy=args.strategy,
+                        elapsed=result.total_elapsed,
+                        documents=len(collection))
+        return 0
     try:
         result = collection.search(
             query, strategy=Strategy.parse(args.strategy), obs=obs,

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional, Union
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Union
 
 from ..core.algebra import JoinCache
 from ..core.fragment import Fragment
@@ -28,6 +28,9 @@ from ..obs import DOCUMENTS_SKIPPED, NOOP, Observability
 from ..ranking.scoring import FragmentScorer, ScoredFragment
 from ..xmltree.document import Document
 from ..xmltree.parser import parse, parse_file
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.evaluator import PlanAnalysis
 
 __all__ = ["DocumentCollection", "CollectionResult", "CollectionHit"]
 
@@ -237,12 +240,12 @@ class DocumentCollection:
         """
         ob = obs if obs is not None else NOOP
         if workers is not None:
-            result = self._parallel_executor(workers).search(
+            # Worker deltas already carry the per-worker JoinCache memo
+            # totals; exporting the parent's (unused) cache here would
+            # overwrite the merged gauges with zeros.
+            return self._parallel_executor(workers).search(
                 query, strategy=strategy, documents=documents,
                 kernel=kernel, obs=ob)
-            if ob.enabled:
-                self._cache.export_metrics(ob.metrics)
-            return result
         targets = (list(documents) if documents is not None
                    else self.names())
         per_document: dict[str, QueryResult] = {}
@@ -266,6 +269,52 @@ class DocumentCollection:
                 ).inc(skipped)
                 self._cache.export_metrics(ob.metrics)
         return CollectionResult(query=query, per_document=per_document)
+
+    def explain_analyze(self, query: Query,
+                        strategy: Strategy = Strategy.PUSHDOWN,
+                        documents: Optional[Iterable[str]] = None,
+                        obs: Optional[Observability] = None,
+                        kernel: Optional[str] = None
+                        ) -> tuple[CollectionResult, "PlanAnalysis"]:
+        """EXPLAIN ANALYZE over the collection — one shared plan.
+
+        Builds the strategy's plan once, executes it against every
+        document (honouring the index early exit, like :meth:`search`),
+        and accumulates per-operator runtime statistics across all
+        executions into a single :class:`~repro.core.PlanAnalysis`
+        (``calls`` counts documents evaluated per operator).  Returns
+        ``(result, analysis)``; render with
+        ``explain(analysis.plan, analyze=analysis)``.
+        """
+        from ..core.evaluator import PlanAnalysis
+        from ..core.strategies import explain_analyze, plan_for
+        ob = obs if obs is not None else NOOP
+        plan = plan_for(query, strategy)
+        analysis = PlanAnalysis(plan)
+        targets = (list(documents) if documents is not None
+                   else self.names())
+        per_document: dict[str, QueryResult] = {}
+        with ob.span("collection-analyze", collection=self.name,
+                     documents=len(targets)) as span:
+            skipped = 0
+            for name in targets:
+                index = self.index(name)
+                if not all(index.contains(term) for term in query.terms):
+                    skipped += 1
+                    continue
+                per_document[name], _ = explain_analyze(
+                    self._documents[name], query, strategy=strategy,
+                    index=index, cache=self._cache, obs=ob,
+                    kernel=kernel, plan=plan, analysis=analysis)
+            if ob.enabled:
+                span.set(evaluated=len(per_document), skipped=skipped)
+                ob.metrics.counter(
+                    DOCUMENTS_SKIPPED,
+                    "Documents skipped by the index early exit."
+                ).inc(skipped)
+                self._cache.export_metrics(ob.metrics)
+        return (CollectionResult(query=query, per_document=per_document),
+                analysis)
 
     def scorer(self, name: str) -> FragmentScorer:
         """The (cached) :class:`FragmentScorer` of one document.

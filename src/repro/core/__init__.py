@@ -8,7 +8,8 @@ from .enumeration import (count_subfragments,
                           find_anti_monotonicity_violation,
                           iter_all_fragments, iter_subfragments,
                           verify_anti_monotonic)
-from .evaluator import PlanEvaluator, run_plan
+from .evaluator import (OperatorRunStats, PlanAnalysis, PlanEvaluator,
+                        run_plan)
 from .filters import (And, ContainsKeyword, EqualDepth, ExcludesKeyword,
                       Filter, HeightAtMost, LeafCountAtMost, Not, Or,
                       PredicateFilter, RootDepthAtLeast, SizeAtLeast,
@@ -31,7 +32,8 @@ from .presentation import (AnswerGroup, OverlapPolicy, arrange, overlap,
 from .statistics import (CalibrationPoint, calibrate_threshold,
                          estimate_reduction_factor, reduction_factor)
 from .stats import OperationStats
-from .strategies import Strategy, answer, evaluate
+from .strategies import (Strategy, answer, evaluate, explain_analyze,
+                         plan_for)
 from .topk import top_k_smallest
 from .witnesses import highlighted_outline, missing_terms, witnesses
 
@@ -58,11 +60,12 @@ __all__ = [
     # queries & evaluation
     "Query", "QueryResult", "keyword_fragments", "is_answer",
     "covers_all_terms", "Strategy", "evaluate", "answer",
+    "plan_for", "explain_analyze",
     # plans & optimisation
     "PlanNode", "KeywordScan", "Select", "PairwiseJoin", "FixedPoint",
     "PowersetJoin", "initial_plan", "explain", "optimize",
     "OptimizerSettings", "push_down_selections", "rewrite_powerset",
-    "PlanEvaluator", "run_plan",
+    "PlanEvaluator", "run_plan", "PlanAnalysis", "OperatorRunStats",
     # cost & statistics
     "CostModel", "CostEstimate", "DEFAULT_RF_THRESHOLD",
     "reduction_factor", "estimate_reduction_factor", "CalibrationPoint",

@@ -12,11 +12,13 @@ compared.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from ..errors import PlanError
 from ..obs import NOOP, Observability
-from .algebra import JoinCache, multiway_powerset_join, pairwise_join
+from .algebra import (JoinCache, KernelArg, multiway_powerset_join,
+                      pairwise_join, resolve_kernel)
 from .filters import select
 from .fragment import Fragment
 from .plan import (FixedPoint, KeywordScan, PairwiseJoin, PlanNode,
@@ -29,7 +31,184 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..index.inverted import InvertedIndex
     from ..xmltree.document import Document
 
-__all__ = ["PlanEvaluator", "run_plan"]
+__all__ = ["OperatorRunStats", "PlanAnalysis", "PlanEvaluator", "run_plan"]
+
+
+@dataclass
+class OperatorRunStats:
+    """Accumulated runtime measurements for one plan operator.
+
+    One instance per plan-tree position; executing the same plan over
+    many documents (a collection EXPLAIN ANALYZE) accumulates into the
+    same instances, with ``calls`` counting executions.
+    """
+
+    label: str
+    depth: int
+    children: tuple[int, ...]
+    calls: int = 0
+    rows: int = 0
+    fragment_joins: int = 0
+    join_cache_hits: int = 0
+    predicate_checks: int = 0
+    subset_checks: int = 0
+    fragments_discarded: int = 0
+    iterations: int = 0
+    self_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+    @property
+    def cache_hit_ratio(self) -> Optional[float]:
+        """Join-cache hit ratio, or ``None`` when no joins were asked.
+
+        Guarded: an operator that performed no join lookups has no
+        ratio, not a zero one.
+        """
+        lookups = self.fragment_joins + self.join_cache_hits
+        if not lookups:
+            return None
+        return self.join_cache_hits / lookups
+
+    def to_dict(self) -> dict:
+        record = {
+            "label": self.label, "depth": self.depth,
+            "calls": self.calls, "rows": self.rows,
+            "fragment_joins": self.fragment_joins,
+            "join_cache_hits": self.join_cache_hits,
+            "predicate_checks": self.predicate_checks,
+            "subset_checks": self.subset_checks,
+            "fragments_discarded": self.fragments_discarded,
+            "iterations": self.iterations,
+            "self_seconds": self.self_seconds,
+            "total_seconds": self.total_seconds,
+        }
+        if self.cache_hit_ratio is not None:
+            record["cache_hit_ratio"] = self.cache_hit_ratio
+        return record
+
+
+class PlanAnalysis:
+    """Per-operator runtime statistics for one plan — EXPLAIN ANALYZE.
+
+    Built from a plan tree (one stats slot per operator, preorder) and
+    filled in by :class:`PlanEvaluator` while the plan runs: fragments
+    in/out, join and predicate counters, cache hit ratio, pushdown
+    discards, and self/total seconds per operator.  Render it through
+    :func:`repro.core.plan.explain` with ``analyze=``.
+
+    The same analysis may be threaded through many executions of the
+    same plan *shape* (every document of a collection): measurements
+    accumulate per operator and :meth:`merge` folds two analyses of
+    equal shape together (the parallel path's per-worker analyses).
+    """
+
+    def __init__(self, plan: PlanNode) -> None:
+        self.plan = plan
+        self.operators: list[OperatorRunStats] = []
+        self._slots: dict[int, int] = {}
+        self._build(plan, 0)
+
+    def _build(self, node: PlanNode, depth: int) -> int:
+        slot = len(self.operators)
+        self.operators.append(None)  # type: ignore[arg-type]
+        self._slots[id(node)] = slot
+        children = tuple(self._build(child, depth + 1)
+                         for child in node.children())
+        self.operators[slot] = OperatorRunStats(
+            label=node.label(), depth=depth, children=children)
+        return slot
+
+    def slot(self, node: PlanNode) -> int:
+        """The stats slot of one operator of the analysed plan."""
+        return self._slots[id(node)]
+
+    def record(self, node: PlanNode, *, rows: int, seconds: float,
+               self_seconds: float, delta: OperationStats) -> None:
+        """Fold one execution of ``node`` into its slot.
+
+        ``delta`` carries this operator's *own* work (children's
+        counters already subtracted); ``seconds`` is the subtree wall
+        time, ``self_seconds`` the operator's share of it.
+        """
+        op = self.operators[self._slots[id(node)]]
+        op.calls += 1
+        op.rows += rows
+        op.fragment_joins += delta.fragment_joins
+        op.join_cache_hits += delta.join_cache_hits
+        op.predicate_checks += delta.predicate_checks
+        op.subset_checks += delta.subset_checks
+        op.fragments_discarded += delta.fragments_discarded
+        op.iterations += delta.iterations
+        op.total_seconds += seconds
+        op.self_seconds += self_seconds
+
+    def rows_in(self, slot: int) -> int:
+        """Fragments consumed by one operator (its children's output)."""
+        return sum(self.operators[child].rows
+                   for child in self.operators[slot].children)
+
+    def merge(self, other: "PlanAnalysis") -> None:
+        """Accumulate another analysis of the same plan shape."""
+        if [op.label for op in self.operators] \
+                != [op.label for op in other.operators]:
+            raise PlanError("cannot merge analyses of different plans")
+        for op, theirs in zip(self.operators, other.operators):
+            op.calls += theirs.calls
+            op.rows += theirs.rows
+            op.fragment_joins += theirs.fragment_joins
+            op.join_cache_hits += theirs.join_cache_hits
+            op.predicate_checks += theirs.predicate_checks
+            op.subset_checks += theirs.subset_checks
+            op.fragments_discarded += theirs.fragments_discarded
+            op.iterations += theirs.iterations
+            op.total_seconds += theirs.total_seconds
+            op.self_seconds += theirs.self_seconds
+
+    def render(self, indent: str = "  ") -> str:
+        """The analysed plan, one operator per line.
+
+        Example::
+
+            σa[size<=3]      rows=4   in=11  1.10ms self=0.20ms checks=11 pruned=7
+              ⋈              rows=11  in=6   0.90ms self=0.45ms joins=14 hits=3 (18% cached)
+        """
+        entries = []
+        for slot, op in enumerate(self.operators):
+            label = f"{indent * op.depth}{op.label}"
+            entries.append((slot, op, label))
+        width = max((len(label) for _, _, label in entries), default=0) + 2
+        lines = []
+        for slot, op, label in entries:
+            parts = [f"rows={op.rows:<5}", f"in={self.rows_in(slot):<5}",
+                     f"{op.total_seconds * 1000:7.2f}ms",
+                     f"self={op.self_seconds * 1000:7.2f}ms"]
+            if op.calls != 1:
+                parts.append(f"calls={op.calls}")
+            if op.fragment_joins or op.join_cache_hits:
+                parts.append(f"joins={op.fragment_joins}")
+                parts.append(f"hits={op.join_cache_hits}")
+                ratio = op.cache_hit_ratio
+                if ratio is not None:
+                    parts.append(f"({ratio * 100:.0f}% cached)")
+            if op.predicate_checks:
+                parts.append(f"checks={op.predicate_checks}")
+            if op.fragments_discarded:
+                parts.append(f"pruned={op.fragments_discarded}")
+            if op.subset_checks:
+                parts.append(f"subset={op.subset_checks}")
+            if op.iterations:
+                parts.append(f"iters={op.iterations}")
+            lines.append(f"{label.ljust(width)}{'  '.join(parts)}")
+        return "\n".join(lines)
+
+    def to_dicts(self) -> list[dict]:
+        """Plain-dict form, one record per operator (preorder)."""
+        records = []
+        for slot, op in enumerate(self.operators):
+            record = op.to_dict()
+            record["rows_in"] = self.rows_in(slot)
+            records.append(record)
+        return records
 
 
 class PlanEvaluator:
@@ -51,18 +230,34 @@ class PlanEvaluator:
         each :meth:`execute` call is wrapped in an ``execute-plan`` span
         carrying the plan's root label, output cardinality, and the
         operation-counter delta.
+    kernel:
+        Join-kernel selection, as accepted by
+        :func:`repro.core.algebra.resolve_kernel`.
+    analysis:
+        Optional :class:`PlanAnalysis` built from the plan being
+        executed; when given, every operator execution folds its output
+        cardinality, operation-counter delta and self/total wall time
+        into the analysis — EXPLAIN ANALYZE mode.
     """
 
     def __init__(self, document: "Document",
                  index: Optional["InvertedIndex"] = None,
                  cache: Optional[JoinCache] = None,
                  max_powerset_operand: Optional[int] = 16,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 kernel: KernelArg = None,
+                 analysis: Optional[PlanAnalysis] = None) -> None:
         self._document = document
         self._index = index
         self._cache = cache
         self._max_powerset_operand = max_powerset_operand
         self._obs = obs if obs is not None else NOOP
+        self._kernel = resolve_kernel(kernel, document)
+        self._analysis = analysis
+        # Analysis bookkeeping: one frame per in-flight operator,
+        # accumulating its children's wall time and operation counters
+        # so each operator records only its own share.
+        self._frames: list[list] = []
 
     def execute(self, plan: PlanNode,
                 stats: Optional[OperationStats] = None
@@ -79,6 +274,29 @@ class PlanEvaluator:
 
     def _eval(self, node: PlanNode,
               stats: OperationStats) -> frozenset[Fragment]:
+        analysis = self._analysis
+        if analysis is None:
+            return self._eval_node(node, stats)
+        before = stats.snapshot()
+        self._frames.append([0.0, OperationStats()])
+        started = time.perf_counter()
+        try:
+            result = self._eval_node(node, stats)
+        finally:
+            elapsed = time.perf_counter() - started
+            child_seconds, child_ops = self._frames.pop()
+            subtree = stats.delta(before)
+            if self._frames:
+                parent = self._frames[-1]
+                parent[0] += elapsed
+                parent[1].merge(subtree)
+        analysis.record(node, rows=len(result), seconds=elapsed,
+                        self_seconds=max(0.0, elapsed - child_seconds),
+                        delta=subtree.delta(child_ops))
+        return result
+
+    def _eval_node(self, node: PlanNode,
+                   stats: OperationStats) -> frozenset[Fragment]:
         if isinstance(node, KeywordScan):
             return keyword_fragments(self._document, node.term,
                                      index=self._index)
@@ -88,17 +306,19 @@ class PlanEvaluator:
         if isinstance(node, PairwiseJoin):
             return pairwise_join(self._eval(node.left, stats),
                                  self._eval(node.right, stats),
-                                 stats=stats, cache=self._cache)
+                                 stats=stats, cache=self._cache,
+                                 kernel=self._kernel)
         if isinstance(node, FixedPoint):
             child = self._eval(node.child, stats)
             closure = fixed_point_bounded if node.bounded else fixed_point
             return closure(child, stats=stats, cache=self._cache,
-                           predicate=node.predicate)
+                           predicate=node.predicate, kernel=self._kernel)
         if isinstance(node, PowersetJoin):
             operands = [self._eval(op, stats) for op in node.operands]
             return multiway_powerset_join(
                 operands, stats=stats, cache=self._cache,
-                max_operand_size=self._max_powerset_operand)
+                max_operand_size=self._max_powerset_operand,
+                kernel=self._kernel)
         raise PlanError(f"unknown plan node {type(node).__name__}")
 
 
@@ -106,10 +326,17 @@ def run_plan(document: "Document", query: Query, plan: PlanNode,
              index: Optional["InvertedIndex"] = None,
              cache: Optional[JoinCache] = None,
              strategy_name: str = "plan",
-             obs: Optional[Observability] = None) -> QueryResult:
-    """Execute a plan and wrap the outcome as a :class:`QueryResult`."""
+             obs: Optional[Observability] = None,
+             kernel: KernelArg = None,
+             analysis: Optional[PlanAnalysis] = None) -> QueryResult:
+    """Execute a plan and wrap the outcome as a :class:`QueryResult`.
+
+    Passing ``analysis=`` (a :class:`PlanAnalysis` of ``plan``) records
+    per-operator runtime statistics while the plan runs.
+    """
     ob = obs if obs is not None else NOOP
-    evaluator = PlanEvaluator(document, index=index, cache=cache, obs=ob)
+    evaluator = PlanEvaluator(document, index=index, cache=cache, obs=ob,
+                              kernel=kernel, analysis=analysis)
     stats = OperationStats()
     started = time.perf_counter()
     fragments = evaluator.execute(plan, stats=stats)

@@ -154,8 +154,20 @@ def initial_plan(query: Query) -> PlanNode:
     return Select(query.predicate, PowersetJoin(scans))
 
 
-def explain(plan: PlanNode, indent: str = "  ") -> str:
-    """Render a plan as an indented operator tree (cf. Figure 5)."""
+def explain(plan: PlanNode, indent: str = "  ", analyze=None) -> str:
+    """Render a plan as an indented operator tree (cf. Figure 5).
+
+    With ``analyze=`` (a :class:`~repro.core.evaluator.PlanAnalysis`
+    recorded while executing this plan), every operator line carries its
+    measured runtime statistics — fragments in/out, joins, cache hit
+    ratio, predicate checks, pushdown discards, self/total time — the
+    EXPLAIN ANALYZE form of the same tree.
+    """
+    if analyze is not None:
+        if [op.label for op in analyze.operators] \
+                != [node.label() for node in plan.walk()]:
+            raise PlanError("analysis does not describe this plan")
+        return analyze.render(indent=indent)
     lines: list[str] = []
 
     def emit(node: PlanNode, level: int) -> None:

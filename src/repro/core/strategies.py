@@ -39,8 +39,11 @@ from ..errors import QueryError
 from ..obs import NOOP, NULL_SPAN, Observability
 from .algebra import (JoinCache, KernelArg, multiway_powerset_join,
                       pairwise_join, resolve_kernel)
+from .evaluator import PlanAnalysis, run_plan
 from .filters import select
 from .fragment import Fragment
+from .optimizer import OptimizerSettings, optimize
+from .plan import PlanNode, initial_plan
 from .query import Query, QueryResult, keyword_fragments
 from .reduce import fixed_point, fixed_point_bounded
 from .stats import OperationStats
@@ -49,7 +52,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..index.inverted import InvertedIndex
     from ..xmltree.document import Document
 
-__all__ = ["Strategy", "evaluate", "answer"]
+__all__ = ["Strategy", "evaluate", "answer", "plan_for", "explain_analyze"]
 
 logger = logging.getLogger("repro.strategies")
 
@@ -183,6 +186,66 @@ def evaluate(document: "Document", query: Query,
     return QueryResult(query=query, fragments=fragments,
                        strategy=strategy.value, elapsed=elapsed,
                        stats=stats.as_dict())
+
+
+def plan_for(query: Query,
+             strategy: Strategy = Strategy.PUSHDOWN) -> PlanNode:
+    """The logical plan a Section-4 strategy executes for ``query``.
+
+    ``BRUTE_FORCE`` is the canonical ``σ_P(scan ⋈* … ⋈* scan)`` plan;
+    the other strategies are the optimizer's Theorem-2 rewrite with
+    push-down and fixed-point bounding toggled to match:
+
+    * ``SET_REDUCTION`` — bounded fixed points, no push-down;
+    * ``SEMI_NAIVE`` — semi-naive fixed points, no push-down;
+    * ``PUSHDOWN`` — bounded fixed points with Theorem-3 push-down.
+    """
+    if strategy is Strategy.BRUTE_FORCE:
+        return initial_plan(query)
+    if strategy is Strategy.SET_REDUCTION:
+        return optimize(query, OptimizerSettings(push_down=False))
+    if strategy is Strategy.SEMI_NAIVE:
+        return optimize(query, OptimizerSettings(
+            push_down=False, bounded_fixed_points=False))
+    if strategy is Strategy.PUSHDOWN:
+        return optimize(query)
+    raise QueryError(f"unhandled strategy {strategy}")  # pragma: no cover
+
+
+def explain_analyze(document: "Document", query: Query,
+                    strategy: Strategy = Strategy.PUSHDOWN,
+                    index: Optional["InvertedIndex"] = None,
+                    cache: Optional[JoinCache] = None,
+                    obs: Optional[Observability] = None,
+                    kernel: KernelArg = None,
+                    plan: Optional[PlanNode] = None,
+                    analysis: Optional[PlanAnalysis] = None
+                    ) -> tuple[QueryResult, PlanAnalysis]:
+    """EXPLAIN ANALYZE: run ``query`` through its strategy's plan.
+
+    Executes :func:`plan_for`'s plan via the plan evaluator, recording
+    per-operator runtime statistics (fragments in/out, joins, cache hit
+    ratio, predicate checks, pushdown discards, self/total time), and
+    returns ``(result, analysis)``.  Render the analysis with
+    ``explain(plan, analyze=analysis)`` — the analysed plan is
+    ``analysis.plan``.
+
+    ``plan``/``analysis`` may be supplied to accumulate many executions
+    (e.g. every document of a collection) into one analysis; the
+    analysis must have been built from the *same* plan object.
+    """
+    if plan is None:
+        plan = analysis.plan if analysis is not None \
+            else plan_for(query, strategy)
+    if analysis is None:
+        analysis = PlanAnalysis(plan)
+    elif analysis.plan is not plan:
+        raise QueryError("analysis was built for a different plan; "
+                         "pass the plan object it analyses")
+    result = run_plan(document, query, plan, index=index, cache=cache,
+                      strategy_name=strategy.value, obs=obs,
+                      kernel=kernel, analysis=analysis)
+    return result, analysis
 
 
 def answer(document: "Document", *terms: str,

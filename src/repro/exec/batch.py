@@ -11,6 +11,12 @@ cached indexes and join cache.  Parallel mode hands the *entire* batch
 to one :class:`~repro.exec.parallel.ParallelExecutor` scheduling wave,
 so all ``(document, query)`` pairs share one chunked dispatch and every
 worker's warm state serves many queries.
+
+Worker telemetry propagates in both modes: parallel batches ride the
+same chunk dispatch as ``search``, so per-worker span trees, metric
+deltas and query records ship back in-band and merge into the ``obs=``
+handle (see :mod:`repro.obs.delta`) — counters read the same at any
+worker count.
 """
 
 from __future__ import annotations

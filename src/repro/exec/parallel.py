@@ -20,7 +20,16 @@
   identity, so this is what makes parallel output exactly equal to
   serial output;
 * the merge walks documents in the caller's target order, so result
-  dictionaries iterate identically however chunks complete.
+  dictionaries iterate identically however chunks complete;
+* telemetry survives the pool: when the caller's
+  :class:`~repro.obs.Observability` handle is enabled, each worker runs
+  its queries under a real per-worker handle and ships span trees,
+  metric increments and query records back in-band as an
+  :class:`~repro.obs.delta.ObsDelta` next to the chunk's rows; the
+  parent merges them (spans and records labeled ``worker=N``, metrics
+  onto the same series the serial path uses), so ``--trace``,
+  ``--query-log`` and Prometheus output mean the same thing at any
+  worker count.
 
 Start method: ``fork`` is preferred (worker state is inherited
 copy-on-write, so even large corpora ship for free); on platforms
@@ -44,9 +53,11 @@ from ..core.query import Query, QueryResult
 from ..core.strategies import Strategy, evaluate
 from ..errors import DocumentError, QueryError
 from ..index.inverted import InvertedIndex
-from ..obs import (DOCUMENTS_SKIPPED, NOOP, Observability, POOL_CHUNKS,
-                   POOL_CHUNK_SECONDS, POOL_DISPATCH_SECONDS, POOL_TASKS,
-                   POOL_WORKERS)
+from ..obs import (DOCUMENTS_SKIPPED, NOOP, MetricsRegistry, Observability,
+                   POOL_CHUNKS, POOL_CHUNK_SECONDS, POOL_DISPATCH_SECONDS,
+                   POOL_TASKS, POOL_WORKERS, QueryLog, SpanTracer,
+                   capture_delta, merge_delta)
+from ..obs.tracer import NULL_TRACER
 from ..xmltree.document import Document
 
 __all__ = ["ParallelExecutor", "default_workers", "default_start_method"]
@@ -71,13 +82,39 @@ def default_start_method() -> str:
 _WORKER_DOCUMENTS: Optional[Mapping[str, Document]] = None
 _WORKER_INDEXES: dict[str, InvertedIndex] = {}
 _WORKER_CACHE: Optional[JoinCache] = None
+_WORKER_OBS: Optional[Observability] = None
+_WORKER_OBS_TRACED: Optional[bool] = None
+_WORKER_BASELINE: dict = {}
 
 
 def _init_worker(documents: Mapping[str, Document]) -> None:
     global _WORKER_DOCUMENTS, _WORKER_INDEXES, _WORKER_CACHE
+    global _WORKER_OBS, _WORKER_OBS_TRACED, _WORKER_BASELINE
     _WORKER_DOCUMENTS = documents
     _WORKER_INDEXES = {}
     _WORKER_CACHE = JoinCache()
+    _WORKER_OBS = None
+    _WORKER_OBS_TRACED = None
+    _WORKER_BASELINE = {}
+
+
+def _worker_obs(traced: bool) -> Observability:
+    """This worker's live observability handle.
+
+    Created on the first telemetry-enabled chunk and kept warm (the
+    metrics registry persists across chunks; increments ship as diffs
+    against a rolling baseline).  Rebuilt if the parent's tracing
+    preference changes between calls.
+    """
+    global _WORKER_OBS, _WORKER_OBS_TRACED, _WORKER_BASELINE
+    if _WORKER_OBS is None or _WORKER_OBS_TRACED != traced:
+        _WORKER_OBS = Observability(
+            tracer=SpanTracer() if traced else NULL_TRACER,
+            metrics=MetricsRegistry(),
+            query_log=QueryLog(max_records=1 << 16))
+        _WORKER_OBS_TRACED = traced
+        _WORKER_BASELINE = {}
+    return _WORKER_OBS
 
 
 def _worker_index(name: str) -> InvertedIndex:
@@ -97,17 +134,24 @@ def _worker_index(name: str) -> InvertedIndex:
 
 
 def _run_chunk(queries: Sequence[Query], items: Sequence[tuple[str, int]],
-               strategy_value: str, kernel: Optional[str]):
+               strategy_value: str, kernel: Optional[str],
+               obs_spec: Optional[dict] = None):
     """Evaluate one chunk of ``(document name, query index)`` items.
 
-    Returns ``(rows, chunk_seconds)`` where each row is
+    Returns ``(rows, chunk_seconds, delta, pid)`` where each row is
     ``(name, query_index, payload)`` and ``payload`` is ``None`` for a
     document skipped by the in-band early exit, else
     ``(fragment node tuples, elapsed, stats dict)`` — plain picklable
-    data only, never Fragment/Document objects.
+    data only, never Fragment/Document objects.  When the parent's
+    telemetry is enabled (``obs_spec`` given), ``delta`` carries this
+    worker's span trees, metric increments and query records for the
+    chunk; otherwise it is ``None``.
     """
+    global _WORKER_BASELINE
     started = time.perf_counter()
     strategy = Strategy(strategy_value)
+    obs = (_worker_obs(bool(obs_spec.get("trace")))
+           if obs_spec is not None else NOOP)
     rows = []
     for name, query_index in items:
         query = queries[query_index]
@@ -117,12 +161,16 @@ def _run_chunk(queries: Sequence[Query], items: Sequence[tuple[str, int]],
             continue
         result = evaluate(_WORKER_DOCUMENTS[name], query,
                           strategy=strategy, index=index,
-                          cache=_WORKER_CACHE, kernel=kernel)
+                          cache=_WORKER_CACHE, kernel=kernel, obs=obs)
         payload = (tuple(sorted(tuple(sorted(f.nodes))
                                 for f in result.fragments)),
                    result.elapsed, result.stats)
         rows.append((name, query_index, payload))
-    return rows, time.perf_counter() - started
+    delta = None
+    if obs_spec is not None:
+        _WORKER_CACHE.export_metrics(obs.metrics)
+        delta, _WORKER_BASELINE = capture_delta(obs, _WORKER_BASELINE)
+    return rows, time.perf_counter() - started, delta, os.getpid()
 
 
 # ----------------------------------------------------------------------
@@ -167,6 +215,7 @@ class ParallelExecutor:
                              else default_start_method())
         self._chunk_size = chunk_size
         self._obs = obs if obs is not None else NOOP
+        self._worker_ids: dict[int, str] = {}
         context = multiprocessing.get_context(self.start_method)
         self._pool = ProcessPoolExecutor(
             max_workers=self.workers, mp_context=context,
@@ -175,6 +224,19 @@ class ParallelExecutor:
             self._obs.metrics.gauge(
                 POOL_WORKERS, "Workers in the current query pool."
             ).set(self.workers)
+
+    def _worker_label(self, pid: int) -> str:
+        """A stable small ``worker=N`` label for one worker process.
+
+        Indexes are assigned in order of first telemetry arrival, so
+        labels are dense (0..workers-1) without cross-process
+        coordination.
+        """
+        label = self._worker_ids.get(pid)
+        if label is None:
+            label = str(len(self._worker_ids))
+            self._worker_ids[pid] = label
+        return label
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -218,28 +280,31 @@ class ParallelExecutor:
         chunks = [items[i:i + chunk_size]
                   for i in range(0, len(items), chunk_size)]
 
+        obs_spec = ({"trace": ob.tracer.enabled} if ob.enabled else None)
         outcomes: dict[tuple[str, int], Optional[tuple]] = {}
         with ob.span("parallel-search", workers=self.workers,
                      queries=len(queries), items=len(items),
                      chunks=len(chunks)) as span:
             dispatch_started = time.perf_counter()
             futures = [self._pool.submit(_run_chunk, queries, chunk,
-                                         strategy.value, kernel)
+                                         strategy.value, kernel, obs_spec)
                        for chunk in chunks]
             for future, chunk in zip(futures, chunks):
-                rows, chunk_seconds = future.result()
+                rows, chunk_seconds, delta, pid = future.result()
                 for name, query_index, payload in rows:
                     outcomes[(name, query_index)] = payload
                 if ob.enabled:
-                    with ob.span("pool-chunk", items=len(chunk)):
-                        pass
                     ob.metrics.histogram(
                         POOL_CHUNK_SECONDS,
                         "Worker-measured seconds per chunk."
                     ).observe(chunk_seconds)
+                    merge_delta(ob, delta, worker=self._worker_label(pid))
             dispatch_seconds = time.perf_counter() - dispatch_started
             if ob.enabled:
                 m = ob.metrics
+                m.gauge(POOL_WORKERS,
+                        "Workers in the current query pool."
+                        ).set(self.workers)
                 m.counter(POOL_TASKS,
                           "(document, query) items dispatched to the pool."
                           ).inc(len(items))

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Mapping, Optional, Sequence
 
+from .delta import DELTAS_MERGED, ObsDelta, capture_delta, merge_delta
 from .metrics import (DEFAULT_BUCKETS, LATENCY_BUCKETS, NULL_METRICS,
                       RATIO_BUCKETS, Counter, Gauge, Histogram,
                       MetricsRegistry, NullMetrics)
@@ -42,6 +43,7 @@ __all__ = [
     "MetricsRegistry", "NullMetrics", "Counter", "Gauge", "Histogram",
     "NULL_METRICS", "DEFAULT_BUCKETS", "LATENCY_BUCKETS", "RATIO_BUCKETS",
     "QueryLog", "QueryRecord",
+    "ObsDelta", "capture_delta", "merge_delta", "DELTAS_MERGED",
 ]
 
 # Well-known metric names recorded by Observability.record_query().
@@ -71,6 +73,11 @@ POOL_CHUNKS = "repro_pool_chunks_total"
 POOL_CHUNK_SECONDS = "repro_pool_chunk_seconds"
 POOL_DISPATCH_SECONDS = "repro_pool_dispatch_seconds"
 BATCH_QUERIES = "repro_batch_queries_total"
+
+# Baseline evaluators (repro.baselines) recorded by record_baseline().
+BASELINE_QUERIES = "repro_baseline_queries_total"
+BASELINE_LATENCY = "repro_baseline_latency_seconds"
+BASELINE_ANSWERS = "repro_baseline_answers"
 
 
 class Observability:
@@ -154,6 +161,25 @@ class Observability:
             return record
         return None
 
+    def record_baseline(self, *, baseline: str, document: str,
+                        terms: Sequence[str], answers: int,
+                        elapsed: float) -> None:
+        """Fold one finished baseline evaluation into metrics.
+
+        Called by the :mod:`repro.baselines` entry points so
+        baseline-vs-algebra bench comparisons share one registry;
+        every series carries a ``baseline=`` label.
+        """
+        m = self.metrics
+        labels = {"baseline": baseline}
+        m.counter(BASELINE_QUERIES, "Baseline queries evaluated.",
+                  labels=labels).inc()
+        m.histogram(BASELINE_LATENCY, "Baseline query latency.",
+                    buckets=LATENCY_BUCKETS, labels=labels
+                    ).observe(elapsed)
+        m.histogram(BASELINE_ANSWERS, "Baseline answers per query.",
+                    labels=labels).observe(answers)
+
 
 class _NoopObservability(Observability):
     """Observability disabled: shared null tracer/metrics, no log.
@@ -174,6 +200,9 @@ class _NoopObservability(Observability):
         return NULL_SPAN
 
     def record_query(self, **kwargs) -> None:
+        return None
+
+    def record_baseline(self, **kwargs) -> None:
         return None
 
 

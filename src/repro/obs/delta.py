@@ -1,0 +1,118 @@
+"""Cross-process telemetry deltas (``repro.obs.delta``).
+
+Spans, metrics and query records produced inside a pool worker would
+otherwise die with the worker.  An :class:`ObsDelta` is the in-band
+envelope that keeps them alive: plain picklable data — a
+:meth:`~repro.obs.metrics.MetricsRegistry.diff` metrics increment,
+serialized span trees, query-record dicts — captured on the worker after
+each chunk and merged into the parent's handle next to the chunk's
+results.
+
+The merge is *identity preserving*: metric increments land on the same
+unlabeled series the serial path uses (so parent-side counters are
+equal to a serial run's on the same workload), while spans and query
+records are stamped with a ``worker=N`` label so their origin stays
+visible in the merged trace and log.
+
+Worker side::
+
+    baseline = {}                                 # per-worker, persistent
+    delta, baseline = capture_delta(obs, baseline)
+    return rows, seconds, delta                   # ships with the results
+
+Parent side::
+
+    merge_delta(parent_obs, delta, worker="2")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["ObsDelta", "capture_delta", "merge_delta"]
+
+#: Counter of worker deltas folded into a parent handle.
+DELTAS_MERGED = "repro_pool_deltas_merged_total"
+
+
+@dataclass
+class ObsDelta:
+    """One worker's telemetry increment: plain data, pickles cheaply.
+
+    Attributes
+    ----------
+    metrics:
+        A :meth:`MetricsRegistry.diff` dump — instrument increments
+        since the previous capture.
+    spans:
+        Serialized root spans (``Span.to_dict`` form) recorded since the
+        previous capture.
+    records:
+        Query-log records (``QueryRecord.to_dict`` form) drained from
+        the worker's log.
+    """
+
+    metrics: dict = field(default_factory=lambda: {"metrics": []})
+    spans: list = field(default_factory=list)
+    records: list = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.metrics.get("metrics") or self.spans
+                    or self.records)
+
+
+def capture_delta(obs, baseline: Optional[dict] = None
+                  ) -> tuple[ObsDelta, dict]:
+    """Capture (and drain) one telemetry increment from ``obs``.
+
+    Returns ``(delta, new_baseline)``.  The tracer and query log are
+    drained — their contents ship exactly once — while the metrics
+    registry keeps accumulating and the returned baseline snapshot marks
+    the cut for the next capture.
+    """
+    if not obs.enabled:
+        return ObsDelta(), baseline or {}
+    metrics = obs.metrics.diff(baseline)
+    new_baseline = obs.metrics.to_json()
+    spans = []
+    if obs.tracer.enabled:
+        spans = [root.to_dict() for root in obs.tracer.roots]
+        obs.tracer.clear()
+    records = []
+    if obs.query_log is not None:
+        records = [record.to_dict()
+                   for record in obs.query_log.drain()]
+    return ObsDelta(metrics=metrics, spans=spans, records=records), \
+        new_baseline
+
+
+def merge_delta(obs, delta: Optional[ObsDelta],
+                worker: Optional[str] = None) -> None:
+    """Fold a worker's :class:`ObsDelta` into the parent handle ``obs``.
+
+    Metric increments merge onto the parent's (unlabeled) series, so
+    totals match a serial run; span trees rehydrate under the currently
+    open span with a ``worker`` attribute; query records pass through
+    :meth:`~repro.obs.querylog.QueryLog.ingest`, which re-derives
+    ``slow`` from the parent's threshold and counts slow queries into
+    ``repro_slow_queries_total`` exactly as the serial path does.
+    """
+    if delta is None or not obs.enabled or not delta:
+        return
+    obs.metrics.merge(delta.metrics)
+    obs.metrics.counter(
+        DELTAS_MERGED, "Worker telemetry deltas merged by the parent."
+    ).inc()
+    if delta.spans:
+        obs.tracer.adopt(delta.spans,
+                         **({"worker": worker} if worker else {}))
+    if delta.records:
+        from . import SLOW_QUERIES
+        for data in delta.records:
+            record = (obs.query_log.ingest(data, worker=worker)
+                      if obs.query_log is not None else None)
+            if record is not None and record.slow:
+                obs.metrics.counter(
+                    SLOW_QUERIES,
+                    "Queries at or over the slow threshold.").inc()

@@ -62,12 +62,27 @@ def _format_value(value: Union[int, float]) -> str:
     return f"{value:g}" if isinstance(value, float) else str(value)
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format.
+
+    Backslash, double quote and newline are the three characters the
+    format requires escaping inside quoted label values.
+    """
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` line body (backslash and newline only)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(labels: tuple[tuple[str, str], ...],
                    extra: tuple[tuple[str, str], ...] = ()) -> str:
     pairs = labels + extra
     if not pairs:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
     return "{" + body + "}"
 
 
@@ -291,6 +306,97 @@ class MetricsRegistry:
     def to_json_text(self, indent: int = 2) -> str:
         return json.dumps(self.to_json(), indent=indent, sort_keys=False)
 
+    # ------------------------------------------------------------------
+    # Mergeable deltas (cross-process telemetry)
+    # ------------------------------------------------------------------
+
+    def diff(self, baseline: Optional[Mapping] = None) -> dict:
+        """This registry's state minus a :meth:`to_json` ``baseline``.
+
+        The result has the same shape as :meth:`to_json` but every
+        value, histogram bucket count and sum is the *increment* since
+        the baseline was taken — the mergeable delta format a pool
+        worker ships back to its parent.  Instruments whose values did
+        not move are omitted, so an idle worker ships an empty delta.
+        Gauges are differenced like counters: the engine's gauges
+        (e.g. JoinCache memo totals) are running totals, so increments
+        sum correctly across workers.
+        """
+        before: dict[tuple, Mapping] = {}
+        for record in (baseline or {}).get("metrics", ()):
+            key = (record["name"],
+                   _label_key(record.get("labels") or None))
+            before[key] = record
+        metrics = []
+        for key, instrument in self._instruments.items():
+            prior = before.get(key)
+            record: dict = {"name": instrument.name,
+                            "kind": instrument.kind,
+                            "help": instrument.help,
+                            "labels": dict(instrument.labels)}
+            if isinstance(instrument, Histogram):
+                prior_counts = (list(prior.get("counts", ()))
+                                if prior else [])
+                if len(prior_counts) != len(instrument._counts):
+                    prior_counts = [0] * len(instrument._counts)
+                counts = [now - then for now, then
+                          in zip(instrument._counts, prior_counts)]
+                count = instrument.count - (int(prior.get("count", 0))
+                                            if prior else 0)
+                if not count and not any(counts):
+                    continue
+                record["buckets"] = list(instrument.buckets)
+                record["counts"] = counts
+                record["sum"] = instrument.sum - (
+                    float(prior.get("sum", 0.0)) if prior else 0.0)
+                record["count"] = count
+            else:
+                value = instrument.value - (prior.get("value", 0)
+                                            if prior else 0)
+                if not value:
+                    continue
+                record["value"] = value
+            metrics.append(record)
+        return {"metrics": metrics}
+
+    def merge(self, delta: Mapping) -> None:
+        """Fold a :meth:`diff` dump (or a full :meth:`to_json` dump of a
+        fresh registry) into this one.
+
+        Counters and gauges are incremented by the delta's values;
+        histogram bucket counts, sums and counts are added elementwise.
+        A name registered here with a different kind, or a histogram
+        with different buckets, raises :class:`ValueError` — merged
+        worker deltas must agree with the parent on instrument identity.
+        """
+        for record in delta.get("metrics", ()):
+            name = record["name"]
+            labels = record.get("labels") or None
+            help_text = record.get("help", "")
+            kind = record.get("kind", "untyped")
+            if kind == "counter":
+                self.counter(name, help_text,
+                             labels).inc(record.get("value", 0))
+            elif kind == "gauge":
+                self.gauge(name, help_text,
+                           labels).inc(record.get("value", 0))
+            elif kind == "histogram":
+                histogram = self.histogram(name, help_text,
+                                           buckets=record.get("buckets"),
+                                           labels=labels)
+                counts = list(record.get("counts", ()))
+                if tuple(record.get("buckets", ())) != histogram.buckets \
+                        or len(counts) != len(histogram._counts):
+                    raise ValueError(
+                        f"histogram {name!r}: delta buckets do not match "
+                        f"the registered instrument")
+                for i, value in enumerate(counts):
+                    histogram._counts[i] += value
+                histogram._sum += float(record.get("sum", 0.0))
+                histogram._count += int(record.get("count", 0))
+            else:
+                raise ValueError(f"unknown metric kind {kind!r}")
+
     def to_prometheus(self) -> str:
         """The Prometheus text exposition format (version 0.0.4)."""
         by_name: dict[str, list[_Instrument]] = {}
@@ -300,7 +406,7 @@ class MetricsRegistry:
         for name, group in by_name.items():
             head = group[0]
             if head.help:
-                lines.append(f"# HELP {name} {head.help}")
+                lines.append(f"# HELP {name} {_escape_help(head.help)}")
             lines.append(f"# TYPE {name} {head.kind}")
             for instrument in group:
                 if isinstance(instrument, Histogram):
@@ -390,6 +496,12 @@ class NullMetrics:
 
     def to_json(self) -> dict:
         return {"metrics": []}
+
+    def diff(self, baseline=None) -> dict:
+        return {"metrics": []}
+
+    def merge(self, delta) -> None:
+        pass
 
     def to_prometheus(self) -> str:
         return ""

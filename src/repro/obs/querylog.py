@@ -41,6 +41,7 @@ class QueryRecord:
     slow: bool
     stats: dict = field(default_factory=dict)
     plan: Optional[str] = None
+    worker: Optional[str] = None
 
     def to_dict(self) -> dict:
         record = {
@@ -56,7 +57,25 @@ class QueryRecord:
         }
         if self.plan is not None:
             record["plan"] = self.plan
+        if self.worker is not None:
+            record["worker"] = self.worker
         return record
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "QueryRecord":
+        """Rebuild a record from its :meth:`to_dict` form."""
+        return cls(
+            timestamp=float(data.get("ts", 0.0)),
+            document=data.get("document", "?"),
+            terms=tuple(data.get("terms", ())),
+            filter=data.get("filter", ""),
+            strategy=data.get("strategy", "?"),
+            answers=int(data.get("answers", 0)),
+            elapsed_ms=float(data.get("elapsed_ms", 0.0)),
+            slow=bool(data.get("slow", False)),
+            stats=dict(data.get("stats", ())),
+            plan=data.get("plan"),
+            worker=data.get("worker"))
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), sort_keys=False, default=str)
@@ -126,6 +145,48 @@ class QueryLog:
                 self._sink.write(line + "\n")
             self.emitted += 1
         return record
+
+    def ingest(self, data: Mapping,
+               worker: Optional[str] = None) -> QueryRecord:
+        """Adopt a record produced elsewhere (a pool worker's log).
+
+        The record keeps its original timestamp, latency and counters
+        but ``slow`` is re-derived from *this* log's threshold — workers
+        run without one, so the parent's ``slow_query_ms`` stays the
+        single source of truth at any worker count.  ``worker`` labels
+        the record's origin.  The record passes through the normal sink
+        path (respecting ``slow_only``).
+        """
+        record = QueryRecord.from_dict(data)
+        slow = (self.slow_query_ms is not None
+                and record.elapsed_ms >= self.slow_query_ms)
+        if slow != record.slow or worker is not None:
+            record = QueryRecord(
+                timestamp=record.timestamp, document=record.document,
+                terms=record.terms, filter=record.filter,
+                strategy=record.strategy, answers=record.answers,
+                elapsed_ms=record.elapsed_ms, slow=slow,
+                stats=record.stats, plan=record.plan,
+                worker=worker if worker is not None else record.worker)
+        self._records.append(record)
+        if self._sink is not None and (record.slow or not self.slow_only):
+            line = record.to_json()
+            if callable(self._sink):
+                self._sink(line)
+            else:
+                self._sink.write(line + "\n")
+            self.emitted += 1
+        return record
+
+    def drain(self) -> list[QueryRecord]:
+        """Remove and return every retained record, oldest first.
+
+        Pool workers drain their log after each chunk so records ship
+        exactly once.
+        """
+        drained = list(self._records)
+        self._records.clear()
+        return drained
 
     @property
     def records(self) -> list[QueryRecord]:

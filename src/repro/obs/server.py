@@ -1,0 +1,196 @@
+"""A live metrics endpoint over one :class:`~repro.obs.Observability`.
+
+:class:`MetricsServer` runs a stdlib :class:`ThreadingHTTPServer` on a
+daemon thread and serves the handle's current state:
+
+``/metrics``
+    Prometheus text exposition (format 0.0.4) of the metrics registry —
+    point a Prometheus scrape job straight at it.
+``/healthz``
+    ``ok`` (liveness probe).
+``/varz``
+    The whole registry as JSON, plus server uptime and query-log
+    counts.
+``/slow``
+    The retained slow-query records as a JSON array (empty without a
+    query log).
+
+Reads are snapshots: each request renders the registry at that moment,
+so a long-running search can be watched live::
+
+    obs = Observability(query_log=QueryLog(slow_query_ms=50))
+    with MetricsServer(obs) as server:
+        print(f"metrics at {server.url}/metrics")
+        collection.search(query, obs=obs, workers=4)
+
+The CLI wires this up via ``repro-search … --metrics-port N`` (serve
+while the search runs) and ``repro-search serve`` (serve while reading
+queries from stdin).  Only stdlib is used; there is no dependency on a
+Prometheus client library.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from . import Observability
+
+__all__ = ["MetricsServer"]
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route table for one :class:`MetricsServer`."""
+
+    # Set per served request by ThreadingHTTPServer subclass below.
+    server: "_ObsHTTPServer"
+
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence per-request stderr logging (scrapes are periodic)."""
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        obs = self.server.obs
+        if path == "/metrics":
+            self._reply(obs.metrics.to_prometheus(),
+                        PROMETHEUS_CONTENT_TYPE)
+        elif path == "/healthz":
+            self._reply("ok\n", "text/plain; charset=utf-8")
+        elif path == "/varz":
+            self._reply(json.dumps(self.server.varz(), indent=2,
+                                   sort_keys=True) + "\n",
+                        "application/json")
+        elif path == "/slow":
+            records = []
+            if obs.query_log is not None:
+                records = [r.to_dict()
+                           for r in obs.query_log.slow_queries()]
+            self._reply(json.dumps(records, indent=2) + "\n",
+                        "application/json")
+        else:
+            body = (f"not found: {self.path!r}; try /metrics, /healthz,"
+                    f" /varz or /slow\n")
+            self._reply(body, "text/plain; charset=utf-8", status=404)
+
+    def _reply(self, body: str, content_type: str,
+               status: int = 200) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+
+class _ObsHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that carries the observability handle."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int],
+                 obs: Observability) -> None:
+        super().__init__(address, _Handler)
+        self.obs = obs
+        self.started = time.time()
+
+    def varz(self) -> dict:
+        """The ``/varz`` document: uptime + registry + query-log state."""
+        obs = self.obs
+        doc: dict = {
+            "uptime_seconds": round(time.time() - self.started, 3),
+            "metrics": obs.metrics.to_json(),
+        }
+        if obs.query_log is not None:
+            records = obs.query_log.records
+            doc["query_log"] = {
+                "records": len(records),
+                "slow": sum(1 for r in records if r.slow),
+                "slow_query_ms": obs.query_log.slow_query_ms,
+            }
+        return doc
+
+
+class MetricsServer:
+    """Serve one observability handle's state over HTTP.
+
+    Parameters
+    ----------
+    obs:
+        The live handle to expose.  Serving :data:`~repro.obs.NOOP`
+        raises ``ValueError`` — a disabled handle records nothing, so
+        the endpoint would lie.
+    host:
+        Bind address; loopback by default (the endpoint is diagnostic,
+        not hardened).
+    port:
+        TCP port; ``0`` (default) picks a free one — read it back from
+        :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(self, obs: Observability, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        if not obs.enabled:
+            raise ValueError("cannot serve a disabled (NOOP) "
+                             "observability handle")
+        self._obs = obs
+        self._host = host
+        self._requested_port = port
+        self._server: Optional[_ObsHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "MetricsServer":
+        """Bind and serve on a daemon thread; returns ``self``."""
+        if self._server is not None:
+            return self
+        self._server = _ObsHTTPServer((self._host, self._requested_port),
+                                      self._obs)
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"repro-metrics:{self.port}", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread (idempotent)."""
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    @property
+    def port(self) -> int:
+        """The bound port (the OS-assigned one when constructed with 0)."""
+        if self._server is None:
+            raise RuntimeError("server is not running")
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server, e.g. ``http://127.0.0.1:9464``."""
+        return f"http://{self._host}:{self.port}"
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        state = (f"url={self.url!r}" if self.running else "stopped")
+        return f"MetricsServer({state})"

@@ -111,6 +111,26 @@ class Span:
             record["children"] = [c.to_dict() for c in self.children]
         return record
 
+    @classmethod
+    def from_dict(cls, data: dict, tracer: "SpanTracer") -> "Span":
+        """Rehydrate a closed span (tree) from its :meth:`to_dict` form.
+
+        The reverse direction of serialization: a pool worker ships its
+        span trees as plain dicts and the parent rebuilds real
+        :class:`Span` objects so rendering, walking and JSONL export
+        treat remote spans exactly like local ones.  Rehydrated spans
+        are already closed — ``started`` is pinned to 0 so ``duration``
+        reproduces the recorded wall time.
+        """
+        span = cls(tracer, data["name"],
+                   dict(data.get("attributes", ())), stats=None)
+        span.started = 0.0
+        span.ended = float(data.get("duration_ms", 0.0)) / 1000.0
+        span.work = dict(data.get("work", ()))
+        span.children = [cls.from_dict(child, tracer)
+                         for child in data.get("children", ())]
+        return span
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Span(name={self.name!r}, "
                 f"duration_ms={self.duration * 1000:.3f}, "
@@ -165,6 +185,35 @@ class SpanTracer:
         """Drop every recorded span."""
         self.roots.clear()
         self._stack.clear()
+
+    def attach(self, span: Span) -> None:
+        """Graft an already-closed span (tree) into the current position.
+
+        The span becomes a child of the innermost open span, or a new
+        root when no span is open — how rehydrated worker span trees
+        land inside the parent's ``parallel-search`` span.
+        """
+        parent = self._stack[-1] if self._stack else None
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+
+    def adopt(self, dicts, **attributes) -> list[Span]:
+        """Rehydrate serialized span trees and :meth:`attach` each one.
+
+        ``attributes`` (e.g. ``worker="3"``) are stamped onto every
+        adopted root so remote spans stay distinguishable in the merged
+        tree.  Returns the adopted root spans.
+        """
+        adopted = []
+        for data in dicts:
+            span = Span.from_dict(data, self)
+            if attributes:
+                span.attributes.update(attributes)
+            self.attach(span)
+            adopted.append(span)
+        return adopted
 
     # ------------------------------------------------------------------
     # Exporters
@@ -234,6 +283,12 @@ class NullTracer:
 
     def clear(self) -> None:
         pass
+
+    def attach(self, span) -> None:
+        pass
+
+    def adopt(self, dicts, **attributes) -> list:
+        return []
 
     def walk(self):
         return iter(())

@@ -1,0 +1,94 @@
+"""Observability threading through the baseline evaluators.
+
+Each baseline entry point accepts ``obs=``; a live handle wraps the run
+in a ``baseline:<name>`` span and records ``baseline=``-labelled
+metrics, while the default NOOP path stays untouched.  Composed
+baselines (xrank over ELCA, smallest over SLCA) record exactly one
+query each.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (elca_nodes, slca_nodes, smallest_fragments,
+                             xrank_answers, xsearch_answers)
+from repro.obs import (BASELINE_QUERIES, NOOP, Observability)
+from repro.workloads.inexlike import InexSpec, generate_collection
+
+BASELINES = {
+    "slca": slca_nodes,
+    "elca": elca_nodes,
+    "smallest": smallest_fragments,
+    "xrank": xrank_answers,
+    "xsearch": xsearch_answers,
+}
+
+TERMS = ("needle", "thread")
+
+
+@pytest.fixture(scope="module")
+def target():
+    corpus = generate_collection(
+        InexSpec(articles=6, nodes_per_article=120, seed=11))
+    name = next(n for n in corpus.names()
+                if all(corpus.index(n).contains(t) for t in TERMS))
+    return corpus.document(name), corpus.index(name)
+
+
+def _baseline_counts(obs):
+    return {record["labels"]["baseline"]: record["value"]
+            for record in obs.metrics.to_json()["metrics"]
+            if record["name"] == BASELINE_QUERIES}
+
+
+@pytest.mark.parametrize("name", sorted(BASELINES), ids=str)
+class TestPerBaseline:
+    def test_obs_does_not_change_answers(self, target, name):
+        document, index = target
+        fn = BASELINES[name]
+        plain = fn(document, TERMS, index=index)
+        observed = fn(document, TERMS, index=index,
+                      obs=Observability())
+        assert observed == plain
+
+    def test_records_one_labelled_query(self, target, name):
+        document, index = target
+        obs = Observability()
+        BASELINES[name](document, TERMS, index=index, obs=obs)
+        assert _baseline_counts(obs) == {name: 1}
+
+    def test_span_carries_answer_count(self, target, name):
+        document, index = target
+        obs = Observability()
+        result = BASELINES[name](document, TERMS, index=index, obs=obs)
+        (root,) = obs.tracer.roots
+        assert root.name == f"baseline:{name}"
+        assert root.attributes["answers"] == len(result)
+
+    def test_noop_handle_is_accepted(self, target, name):
+        document, index = target
+        fn = BASELINES[name]
+        assert fn(document, TERMS, index=index, obs=NOOP) \
+            == fn(document, TERMS, index=index)
+
+
+class TestComposition:
+    def test_xrank_does_not_double_count_elca(self, target):
+        document, index = target
+        obs = Observability()
+        xrank_answers(document, TERMS, index=index, obs=obs)
+        assert _baseline_counts(obs) == {"xrank": 1}
+
+    def test_smallest_does_not_double_count_slca(self, target):
+        document, index = target
+        obs = Observability()
+        smallest_fragments(document, TERMS, index=index, obs=obs)
+        assert _baseline_counts(obs) == {"smallest": 1}
+
+    def test_shared_registry_across_baselines(self, target):
+        document, index = target
+        obs = Observability()
+        for fn in BASELINES.values():
+            fn(document, TERMS, index=index, obs=obs)
+        assert _baseline_counts(obs) == {name: 1 for name in BASELINES}

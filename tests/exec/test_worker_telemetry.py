@@ -1,0 +1,137 @@
+"""Worker telemetry propagation tests (repro.exec ⇄ repro.obs.delta).
+
+The contract: observability output means the same thing at any worker
+count.  Pool workers run with their own handles, ship span trees,
+metric deltas and query records back in-band, and the parent merges
+them — so the parent-side counters equal the serial ones exactly, and
+spans/records carry a ``worker=N`` provenance label.
+
+Collections are built fresh per run: the serial path shares one join
+cache across queries, so reusing a warm collection would skew the
+counter comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collection.collection import DocumentCollection
+from repro.core.query import Query
+from repro.core.strategies import Strategy
+from repro.obs import (FRAGMENT_JOINS, POOL_CHUNKS, PREDICATE_CHECKS,
+                       QUERIES_TOTAL, Observability, QueryLog)
+from repro.workloads.inexlike import InexSpec, generate_collection
+
+SPEC = InexSpec(articles=8, nodes_per_article=160, seed=11)
+QUERY = Query(("needle", "thread"))
+
+
+def _fresh_collection() -> DocumentCollection:
+    return generate_collection(SPEC)
+
+
+def _counters(obs: Observability) -> dict[str, float]:
+    return {record["name"]: record["value"]
+            for record in obs.metrics.to_json()["metrics"]
+            if record["kind"] in ("counter", "gauge")
+            and not record.get("labels")}
+
+
+def _span_names(span) -> set[str]:
+    names = {span.name}
+    for child in span.children:
+        names |= _span_names(child)
+    return names
+
+
+class TestCounterDeterminism:
+    @pytest.mark.parametrize("workers", (1, 2, 4))
+    def test_parent_counters_equal_serial(self, workers):
+        serial_obs = Observability()
+        with _fresh_collection() as collection:
+            serial = collection.search(QUERY, obs=serial_obs)
+        parallel_obs = Observability()
+        with _fresh_collection() as collection:
+            parallel = collection.search(QUERY, obs=parallel_obs,
+                                         workers=workers)
+        # Fragments are compared by node signature: the two runs use
+        # separately generated (but identical) Document objects.
+        def signature(result):
+            return {name: {tuple(sorted(f.nodes)) for f in r.fragments}
+                    for name, r in result.per_document.items()}
+
+        assert signature(parallel) == signature(serial)
+        serial_counts = _counters(serial_obs)
+        parallel_counts = _counters(parallel_obs)
+        for name in (QUERIES_TOTAL, FRAGMENT_JOINS, PREDICATE_CHECKS):
+            assert parallel_counts[name] == serial_counts[name], name
+        assert parallel_counts[QUERIES_TOTAL] > 0
+        assert parallel_counts[FRAGMENT_JOINS] > 0
+
+    def test_strategy_counters_survive_the_pool(self):
+        obs = Observability()
+        with _fresh_collection() as collection:
+            collection.search(QUERY, strategy=Strategy.SET_REDUCTION,
+                              obs=obs, workers=2)
+        labelled = {(r["name"], r["labels"].get("strategy"))
+                    for r in obs.metrics.to_json()["metrics"]
+                    if r.get("labels", {}).get("strategy")}
+        assert ("repro_queries_by_strategy_total",
+                Strategy.SET_REDUCTION.value) in labelled
+
+
+class TestProvenance:
+    def test_query_records_carry_worker_labels(self):
+        obs = Observability(query_log=QueryLog())
+        with _fresh_collection() as collection:
+            collection.search(QUERY, obs=obs, workers=2)
+        records = obs.query_log.records
+        assert records
+        assert all(record.worker is not None for record in records)
+        assert all(record.worker.isdigit() for record in records)
+
+    def test_worker_spans_graft_under_the_parallel_span(self):
+        obs = Observability(query_log=QueryLog())
+        with _fresh_collection() as collection:
+            collection.search(QUERY, obs=obs, workers=2)
+        names = set()
+        for root in obs.tracer.roots:
+            names |= _span_names(root)
+        assert "parallel-search" in names
+        assert "execute" in names  # rehydrated worker span
+
+    def test_worker_attribute_on_adopted_spans(self):
+        obs = Observability()
+        with _fresh_collection() as collection:
+            collection.search(QUERY, obs=obs, workers=2)
+
+        def walk(span):
+            yield span
+            for child in span.children:
+                yield from walk(child)
+
+        workers = {span.attributes["worker"]
+                   for root in obs.tracer.roots
+                   for span in walk(root)
+                   if "worker" in span.attributes}
+        assert workers  # at least one worker shipped spans
+        assert all(w.isdigit() for w in workers)
+
+    def test_pool_metrics_recorded(self):
+        obs = Observability()
+        with _fresh_collection() as collection:
+            collection.search(QUERY, obs=obs, workers=2)
+        counts = _counters(obs)
+        assert counts.get(POOL_CHUNKS, 0) > 0
+
+
+class TestSlowQueryRederivation:
+    def test_parent_threshold_marks_worker_records(self):
+        # Workers log without a threshold; with a 0 ms parent threshold
+        # every merged record must be re-derived as slow.
+        obs = Observability(query_log=QueryLog(slow_query_ms=0.0))
+        with _fresh_collection() as collection:
+            collection.search(QUERY, obs=obs, workers=2)
+        records = obs.query_log.records
+        assert records
+        assert all(record.slow for record in records)

@@ -1,0 +1,167 @@
+"""Tests for the cross-process telemetry delta format (repro.obs.delta).
+
+Worker processes ship metric increments, span trees and query records
+back to the parent as an :class:`ObsDelta`; these tests pin the diff →
+ship → merge semantics the parallel executor relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (DELTAS_MERGED, SLOW_QUERIES, MetricsRegistry,
+                       Observability, ObsDelta, QueryLog, capture_delta,
+                       merge_delta)
+
+
+def _counter_value(registry, name):
+    for record in registry.to_json()["metrics"]:
+        if record["name"] == name and not record.get("labels"):
+            return record.get("value")
+    return None
+
+
+class TestRegistryDiff:
+    def test_diff_against_empty_baseline_is_full_state(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(3)
+        delta = registry.diff(None)
+        assert [(m["name"], m["value"]) for m in delta["metrics"]] \
+            == [("c_total", 3)]
+
+    def test_unchanged_instruments_are_omitted(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(3)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        baseline = registry.to_json()
+        assert registry.diff(baseline) == {"metrics": []}
+        registry.counter("c_total").inc(2)
+        delta = registry.diff(baseline)
+        assert [(m["name"], m["value"]) for m in delta["metrics"]] \
+            == [("c_total", 2)]
+
+    def test_gauges_are_differenced_like_counters(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(10)
+        baseline = registry.to_json()
+        registry.gauge("g").set(14)
+        delta = registry.diff(baseline)
+        assert delta["metrics"][0]["value"] == 4
+
+    def test_histogram_delta_is_elementwise(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0, 10.0))
+        histogram.observe(0.5)
+        baseline = registry.to_json()
+        histogram.observe(5.0)
+        histogram.observe(50.0)
+        (record,) = registry.diff(baseline)["metrics"]
+        assert record["counts"] == [0, 1, 1]
+        assert record["count"] == 2
+        assert record["sum"] == pytest.approx(55.0)
+
+
+class TestRegistryMerge:
+    def test_merge_restores_diff(self):
+        source = MetricsRegistry()
+        source.counter("c_total").inc(3)
+        source.gauge("g").set(7)
+        source.histogram("h", buckets=(1.0,)).observe(0.5)
+        target = MetricsRegistry()
+        target.counter("c_total").inc(1)
+        target.merge(source.diff(None))
+        assert _counter_value(target, "c_total") == 4
+        assert target.gauge("g").value == 7
+        assert target.histogram("h", buckets=(1.0,)).count == 1
+
+    def test_merge_is_associative_across_workers(self):
+        deltas = []
+        for increments in (2, 5):
+            worker = MetricsRegistry()
+            worker.counter("c_total").inc(increments)
+            deltas.append(worker.diff(None))
+        target = MetricsRegistry()
+        for delta in deltas:
+            target.merge(delta)
+        assert _counter_value(target, "c_total") == 7
+
+    def test_merge_rejects_kind_mismatch(self):
+        target = MetricsRegistry()
+        target.counter("m")
+        worker = MetricsRegistry()
+        worker.gauge("m").set(1)
+        with pytest.raises(ValueError):
+            target.merge(worker.diff(None))
+
+    def test_merge_rejects_bucket_mismatch(self):
+        target = MetricsRegistry()
+        target.histogram("h", buckets=(1.0, 2.0)).observe(0.1)
+        worker = MetricsRegistry()
+        worker.histogram("h", buckets=(5.0,)).observe(0.1)
+        with pytest.raises(ValueError):
+            target.merge(worker.diff(None))
+
+
+class TestCaptureAndMergeDelta:
+    def _worker_obs(self):
+        obs = Observability(query_log=QueryLog())
+        with obs.span("execute", strategy="pushdown"):
+            pass
+        obs.record_query(document="doc-1", terms=("a", "b"),
+                         filter="size<=3", strategy="pushdown",
+                         answers=2, elapsed=0.25,
+                         stats={"fragment_joins": 5})
+        return obs
+
+    def test_capture_drains_worker_state(self):
+        obs = self._worker_obs()
+        delta, baseline = capture_delta(obs, None)
+        assert bool(delta)
+        assert delta.records and delta.spans
+        # A second capture against the new baseline is empty.
+        empty, _ = capture_delta(obs, baseline)
+        assert not bool(empty)
+
+    def test_merge_stamps_worker_label_on_spans_and_records(self):
+        delta, _ = capture_delta(self._worker_obs(), None)
+        parent = Observability(query_log=QueryLog())
+        merge_delta(parent, delta, worker="3")
+        (record,) = parent.query_log.records
+        assert record.worker == "3"
+        (root,) = parent.tracer.roots
+        assert root.attributes.get("worker") == "3"
+        assert _counter_value(parent.metrics, DELTAS_MERGED) == 1
+
+    def test_metric_increments_merge_unlabelled(self):
+        # Parent totals must equal serial totals: worker labels go on
+        # spans and records only, never on the metric series.
+        delta, _ = capture_delta(self._worker_obs(), None)
+        parent = Observability()
+        merge_delta(parent, delta, worker="1")
+        for record in parent.metrics.to_json()["metrics"]:
+            assert "worker" not in (record.get("labels") or {})
+
+    def test_parent_threshold_rederives_slow(self):
+        # Worker logs run without a threshold; the parent's
+        # slow_query_ms is the source of truth.
+        delta, _ = capture_delta(self._worker_obs(), None)
+        parent = Observability(query_log=QueryLog(slow_query_ms=100.0))
+        merge_delta(parent, delta, worker="0")
+        (record,) = parent.query_log.records
+        assert record.slow  # 0.25 s >= 100 ms
+        assert _counter_value(parent.metrics, SLOW_QUERIES) == 1
+
+    def test_merge_none_delta_is_noop(self):
+        parent = Observability()
+        merge_delta(parent, None, worker="0")
+        assert parent.metrics.to_json()["metrics"] == []
+
+    def test_delta_roundtrips_as_plain_data(self):
+        # The pool pickles deltas; the dataclass must survive
+        # dict-shaped reconstruction.
+        delta, _ = capture_delta(self._worker_obs(), None)
+        clone = ObsDelta(metrics=delta.metrics, spans=delta.spans,
+                         records=delta.records)
+        parent = Observability(query_log=QueryLog())
+        merge_delta(parent, clone, worker="2")
+        assert len(parent.query_log) == 1

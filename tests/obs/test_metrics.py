@@ -177,3 +177,74 @@ class TestNullMetrics:
         assert NULL_METRICS.summary() == ""
         assert len(NULL_METRICS) == 0
         assert "anything" not in NULL_METRICS
+
+
+class TestExpositionEdgeCases:
+    """Prometheus text-format corner cases (escaping, +Inf, collisions)."""
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "c_total", "Queries.",
+            labels={"filter": 'size<="3" \\ or\nheight<=2'}).inc()
+        text = registry.to_prometheus()
+        assert ('c_total{filter="size<=\\"3\\" \\\\ or\\nheight<=2"} 1'
+                in text)
+        # The raw payload must never leak unescaped control characters
+        # into a sample line.
+        sample_lines = [line for line in text.splitlines()
+                        if not line.startswith("#")]
+        assert len(sample_lines) == 1
+
+    def test_help_text_is_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "line one\nline two \\ done").inc()
+        text = registry.to_prometheus()
+        assert "# HELP c_total line one\\nline two \\\\ done" in text
+
+    def test_histogram_exposes_inf_bucket_last(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(0.5,))
+        histogram.observe(0.1)
+        histogram.observe(99.0)
+        lines = registry.to_prometheus().splitlines()
+        buckets = [line for line in lines if "h_bucket" in line]
+        assert buckets == ['h_bucket{le="0.5"} 1',
+                           'h_bucket{le="+Inf"} 2']
+        assert 'h_count 2' in lines
+
+    def test_inf_bucket_survives_worker_merge(self):
+        worker = MetricsRegistry()
+        worker.histogram("h", buckets=(0.5,)).observe(42.0)
+        parent = MetricsRegistry()
+        parent.histogram("h", buckets=(0.5,)).observe(0.1)
+        parent.merge(worker.diff(None))
+        buckets = [line for line in parent.to_prometheus().splitlines()
+                   if "h_bucket" in line]
+        assert buckets == ['h_bucket{le="0.5"} 1',
+                           'h_bucket{le="+Inf"} 2']
+
+    def test_name_collision_across_merged_deltas_raises(self):
+        # Two workers disagreeing on an instrument's kind must fail
+        # loudly at merge time, not corrupt the exposition.
+        parent = MetricsRegistry()
+        first = MetricsRegistry()
+        first.counter("m_total").inc(1)
+        second = MetricsRegistry()
+        second.histogram("m_total", buckets=(1.0,)).observe(0.5)
+        parent.merge(first.diff(None))
+        with pytest.raises(ValueError):
+            parent.merge(second.diff(None))
+        # The successful merge is still intact and exportable.
+        assert "m_total 1" in parent.to_prometheus()
+
+    def test_labelled_series_merge_onto_matching_series(self):
+        worker = MetricsRegistry()
+        worker.counter("c_total", labels={"strategy": "pushdown"}).inc(2)
+        worker.counter("c_total", labels={"strategy": "brute-force"}).inc(1)
+        parent = MetricsRegistry()
+        parent.counter("c_total", labels={"strategy": "pushdown"}).inc(3)
+        parent.merge(worker.diff(None))
+        text = parent.to_prometheus()
+        assert 'c_total{strategy="pushdown"} 5' in text
+        assert 'c_total{strategy="brute-force"} 1' in text

@@ -1,0 +1,111 @@
+"""Tests for the live metrics endpoint (repro.obs.server)."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import NOOP, Observability, QueryLog
+from repro.obs.server import PROMETHEUS_CONTENT_TYPE, MetricsServer
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return (response.status, response.headers.get("Content-Type"),
+                response.read().decode("utf-8"))
+
+
+@pytest.fixture()
+def obs() -> Observability:
+    handle = Observability(query_log=QueryLog(slow_query_ms=0.0))
+    handle.metrics.counter("repro_queries_total",
+                           "Queries evaluated.").inc(2)
+    handle.record_query(document="doc", terms=("a",), filter="true",
+                        strategy="pushdown", answers=1, elapsed=0.01)
+    return handle
+
+
+class TestRoutes:
+    def test_metrics_serves_prometheus_text(self, obs):
+        with MetricsServer(obs) as server:
+            status, content_type, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert content_type == PROMETHEUS_CONTENT_TYPE
+        assert "# TYPE repro_queries_total counter" in body
+        assert body == obs.metrics.to_prometheus()
+
+    def test_healthz(self, obs):
+        with MetricsServer(obs) as server:
+            status, _, body = _get(server.url + "/healthz")
+        assert (status, body) == (200, "ok\n")
+
+    def test_varz_reports_uptime_metrics_and_log_counts(self, obs):
+        with MetricsServer(obs) as server:
+            _, content_type, body = _get(server.url + "/varz")
+        assert content_type == "application/json"
+        varz = json.loads(body)
+        assert varz["uptime_seconds"] >= 0
+        names = {m["name"] for m in varz["metrics"]["metrics"]}
+        assert "repro_queries_total" in names
+        assert varz["query_log"] == {"records": 1, "slow": 1,
+                                     "slow_query_ms": 0.0}
+
+    def test_slow_lists_slow_records(self, obs):
+        with MetricsServer(obs) as server:
+            _, _, body = _get(server.url + "/slow")
+        records = json.loads(body)
+        assert len(records) == 1
+        assert all(r["slow"] for r in records)
+
+    def test_slow_is_empty_without_query_log(self):
+        with MetricsServer(Observability()) as server:
+            _, _, body = _get(server.url + "/slow")
+        assert json.loads(body) == []
+
+    def test_unknown_path_is_404(self, obs):
+        with MetricsServer(obs) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server.url + "/nope")
+            assert excinfo.value.code == 404
+
+    def test_scrape_reflects_live_updates(self, obs):
+        with MetricsServer(obs) as server:
+            _, _, before = _get(server.url + "/metrics")
+            obs.metrics.counter("repro_queries_total").inc(5)
+            _, _, after = _get(server.url + "/metrics")
+        assert "repro_queries_total 3" in before
+        assert "repro_queries_total 8" in after
+
+
+class TestLifecycle:
+    def test_rejects_noop_handle(self):
+        with pytest.raises(ValueError):
+            MetricsServer(NOOP)
+
+    def test_port_zero_binds_a_free_port(self, obs):
+        server = MetricsServer(obs, port=0).start()
+        try:
+            assert server.port > 0
+            assert server.url.endswith(str(server.port))
+        finally:
+            server.stop()
+
+    def test_stop_is_idempotent_and_start_restarts(self, obs):
+        server = MetricsServer(obs)
+        server.start()
+        server.stop()
+        server.stop()
+        assert not server.running
+        server.start()
+        try:
+            assert _get(server.url + "/healthz")[0] == 200
+        finally:
+            server.stop()
+
+    def test_port_raises_when_stopped(self, obs):
+        server = MetricsServer(obs)
+        with pytest.raises(RuntimeError):
+            server.port
