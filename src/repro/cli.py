@@ -81,6 +81,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="evaluate documents on a process pool of N "
                              "workers (directory/batch searches; results "
                              "are identical to serial)")
+    parser.add_argument("--timeout-ms", type=float, default=None,
+                        metavar="MS", dest="timeout_ms",
+                        help="per-chunk deadline for pooled execution; "
+                             "chunks over the deadline are retried and "
+                             "then evaluated serially in-process")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="retry a crashed/timed-out/failed chunk at "
+                             "most N times before falling back "
+                             "(default: 2)")
+    parser.add_argument("--no-fallback", action="store_true",
+                        dest="no_fallback",
+                        help="fail the run instead of degrading to "
+                             "serial in-process evaluation when a "
+                             "chunk exhausts its retries")
     parser.add_argument("--batch", default=None, metavar="FILE",
                         help="evaluate one query per FILE line "
                              "(whitespace-separated keywords, # comments) "
@@ -173,6 +187,47 @@ def _finish_observability(args: argparse.Namespace, obs: Observability,
             print(f"slow-query: {record.to_json()}", file=sys.stderr)
     if log_file is not None:
         log_file.close()
+
+
+def _build_resilience(args: argparse.Namespace):
+    """A :class:`RetryPolicy` from the CLI flags (``None`` = defaults)."""
+    if (args.timeout_ms is None and args.retries is None
+            and not args.no_fallback):
+        return None
+    from .exec import FALLBACK_NEVER, FALLBACK_SERIAL, RetryPolicy
+    return RetryPolicy(
+        timeout_s=(args.timeout_ms / 1000.0
+                   if args.timeout_ms is not None else None),
+        max_retries=(args.retries if args.retries is not None
+                     else RetryPolicy.max_retries),
+        fallback=(FALLBACK_NEVER if args.no_fallback
+                  else FALLBACK_SERIAL))
+
+
+def _load_collection_dir(path: str):
+    """Load every parseable ``*.xml`` under *path* as a collection.
+
+    Malformed files are skipped with a warning on stderr; returns the
+    collection plus the list of skipped paths so callers can report
+    the count (and fail only when *nothing* parsed).
+    """
+    from .collection.collection import DocumentCollection
+
+    skipped: list[str] = []
+
+    def on_error(file_path: str, exc: Exception) -> None:
+        skipped.append(file_path)
+        print(f"warning: skipping {file_path}: {exc}", file=sys.stderr)
+
+    return DocumentCollection.from_directory(path,
+                                             on_error=on_error), skipped
+
+
+def _empty_collection_error(path: str, skipped: Sequence[str]) -> str:
+    if skipped:
+        return (f"error: all {len(skipped)} .xml file(s) in {path} "
+                f"failed to parse")
+    return f"error: no .xml files in {path}"
 
 
 def _build_predicate(args: argparse.Namespace) -> Filter:
@@ -383,14 +438,24 @@ def serve_main(argv: Optional[Sequence[str]] = None,
                         dest="filter_expr")
     parser.add_argument("--slow-query-ms", type=float, default=None,
                         metavar="MS", dest="slow_query_ms")
+    parser.add_argument("--timeout-ms", type=float, default=None,
+                        metavar="MS", dest="timeout_ms",
+                        help="per-chunk deadline for pooled execution")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="chunk retry budget before serial fallback")
+    parser.add_argument("--no-fallback", action="store_true",
+                        dest="no_fallback",
+                        help="fail a query instead of degrading to "
+                             "serial evaluation")
     args = parser.parse_args(argv)
     stdin = stdin if stdin is not None else sys.stdin
 
     obs = Observability(
         query_log=QueryLog(slow_query_ms=args.slow_query_ms))
+    skipped: list = []
     try:
         if os.path.isdir(args.file):
-            collection = DocumentCollection.from_directory(args.file)
+            collection, skipped = _load_collection_dir(args.file)
         else:
             collection = DocumentCollection(
                 name=os.path.basename(args.file))
@@ -400,13 +465,17 @@ def serve_main(argv: Optional[Sequence[str]] = None,
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if not len(collection):
-        print(f"error: no .xml files in {args.file}", file=sys.stderr)
+        print(_empty_collection_error(args.file, skipped),
+              file=sys.stderr)
         return 2
     strategy = Strategy.parse(args.strategy)
+    resilience = _build_resilience(args)
     server = MetricsServer(obs, host=args.host, port=args.port).start()
+    skip_note = (f" ({len(skipped)} file(s) skipped)" if skipped else "")
     print(f"metrics: {server.url}/metrics  "
           f"(also /healthz /varz /slow); queries from stdin, "
-          f"one per line", file=sys.stderr)
+          f"one per line{skip_note}", file=sys.stderr)
+    code = 0
     try:
         for line in stdin:
             terms = line.split()
@@ -416,30 +485,34 @@ def serve_main(argv: Optional[Sequence[str]] = None,
                 query = Query(tuple(terms), predicate)
                 result = collection.search(
                     query, strategy=strategy, obs=obs,
-                    workers=args.workers, kernel=args.kernel)
+                    workers=args.workers, kernel=args.kernel,
+                    resilience=resilience)
             except ReproError as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 continue
             print(f"{query.describe()}: {len(result)} answer(s) in "
                   f"{len(result.matched_documents)} of "
                   f"{len(collection)} document(s)")
+    except KeyboardInterrupt:
+        print("\ninterrupted; shutting down", file=sys.stderr)
+        code = 130
     finally:
         server.stop()
         collection.close()
-    return 0
+    return code
 
 
 def _search_collection(args: argparse.Namespace,
                        obs: Observability) -> int:
     """Search every XML file of a directory as one collection."""
-    from .collection.collection import DocumentCollection
     from .core.witnesses import highlighted_outline
 
     with obs.span("parse", directory=args.file) as span:
-        collection = DocumentCollection.from_directory(args.file)
-        span.set(documents=len(collection))
+        collection, skipped = _load_collection_dir(args.file)
+        span.set(documents=len(collection), skipped=len(skipped))
     if not len(collection):
-        print(f"error: no .xml files in {args.file}", file=sys.stderr)
+        print(_empty_collection_error(args.file, skipped),
+              file=sys.stderr)
         return 2
     with obs.span("plan"):
         query = Query(tuple(args.keywords), _build_predicate(args))
@@ -458,13 +531,15 @@ def _search_collection(args: argparse.Namespace,
     try:
         result = collection.search(
             query, strategy=Strategy.parse(args.strategy), obs=obs,
-            workers=args.workers, kernel=args.kernel)
+            workers=args.workers, kernel=args.kernel,
+            resilience=_build_resilience(args))
     finally:
         collection.close()
     hits = result.hits[:args.limit]
+    skip_note = (f", {len(skipped)} file(s) skipped" if skipped else "")
     print(f"{len(result)} answer(s) in "
           f"{len(result.matched_documents)} of {len(collection)} "
-          f"document(s) for {query.describe()} "
+          f"document(s){skip_note} for {query.describe()} "
           f"[{result.total_elapsed * 1000:.1f} ms]"
           + (f", showing {len(hits)}" if len(hits) < len(result)
              else ""))
@@ -494,20 +569,26 @@ def _run_batch(args: argparse.Namespace, obs: Observability) -> int:
     if not queries:
         print(f"error: no queries in {args.batch}", file=sys.stderr)
         return 2
+    skipped: list = []
     with obs.span("parse", target=args.file) as span:
         if os.path.isdir(args.file):
-            collection = DocumentCollection.from_directory(args.file)
+            collection, skipped = _load_collection_dir(args.file)
         else:
             collection = DocumentCollection(
                 name=os.path.basename(args.file))
             collection.add(parse_file(args.file))
-        span.set(documents=len(collection))
+        span.set(documents=len(collection), skipped=len(skipped))
     if not len(collection):
-        print(f"error: no .xml files in {args.file}", file=sys.stderr)
+        print(_empty_collection_error(args.file, skipped),
+              file=sys.stderr)
         return 2
+    if skipped:
+        print(f"note: searching {len(collection)} document(s), "
+              f"{len(skipped)} file(s) skipped", file=sys.stderr)
     runner = BatchRunner(collection, workers=args.workers,
                          strategy=Strategy.parse(args.strategy),
-                         kernel=args.kernel, obs=obs)
+                         kernel=args.kernel, obs=obs,
+                         resilience=_build_resilience(args))
     with runner:
         results = runner.run(queries)
     for query, result in zip(queries, results):

@@ -142,15 +142,28 @@ class DocumentCollection:
     @classmethod
     def from_directory(cls, path: Union[str, "os.PathLike[str]"],
                        pattern: str = ".xml",
-                       name: Optional[str] = None
-                       ) -> "DocumentCollection":
-        """Load every ``*.xml`` file of a directory into a collection."""
+                       name: Optional[str] = None,
+                       on_error=None) -> "DocumentCollection":
+        """Load every ``*.xml`` file of a directory into a collection.
+
+        ``on_error`` controls what happens when one file is malformed
+        or unreadable: ``None`` (default) re-raises, aborting the load;
+        a callable receives ``(path, exception)`` and the file is
+        skipped, so one corrupt document cannot take down a whole
+        corpus run.
+        """
         base = os.fspath(path)
         collection = cls(name=name if name is not None
                          else os.path.basename(base) or "collection")
         for entry in sorted(os.listdir(base)):
             if entry.endswith(pattern):
-                collection.add(parse_file(os.path.join(base, entry)))
+                full = os.path.join(base, entry)
+                try:
+                    collection.add(parse_file(full))
+                except (DocumentError, OSError) as exc:
+                    if on_error is None:
+                        raise
+                    on_error(full, exc)
         return collection
 
     # ------------------------------------------------------------------
@@ -221,7 +234,8 @@ class DocumentCollection:
                documents: Optional[Iterable[str]] = None,
                obs: Optional[Observability] = None,
                workers: Optional[int] = None,
-               kernel: Optional[str] = None
+               kernel: Optional[str] = None,
+               resilience=None, faults=None
                ) -> CollectionResult:
         """Evaluate ``query`` over (a subset of) the collection.
 
@@ -236,7 +250,10 @@ class DocumentCollection:
         process pool (:mod:`repro.exec`) with results guaranteed
         identical to the serial path; ``None`` stays in-process.
         ``kernel`` selects the join kernel (``"bitset"`` for the
-        integer-arithmetic fast path) in either mode.
+        integer-arithmetic fast path) in either mode.  ``resilience``
+        (a :class:`~repro.exec.resilience.RetryPolicy`) and ``faults``
+        (a :class:`~repro.exec.faults.FaultPlan`) tune the pooled
+        path's fault tolerance; both are ignored without ``workers``.
         """
         ob = obs if obs is not None else NOOP
         if workers is not None:
@@ -245,7 +262,8 @@ class DocumentCollection:
             # overwrite the merged gauges with zeros.
             return self._parallel_executor(workers).search(
                 query, strategy=strategy, documents=documents,
-                kernel=kernel, obs=ob)
+                kernel=kernel, obs=ob, resilience=resilience,
+                faults=faults)
         targets = (list(documents) if documents is not None
                    else self.names())
         per_document: dict[str, QueryResult] = {}
@@ -332,18 +350,22 @@ class DocumentCollection:
                       strategy: Strategy = Strategy.PUSHDOWN,
                       obs: Optional[Observability] = None,
                       workers: Optional[int] = None,
-                      kernel: Optional[str] = None
+                      kernel: Optional[str] = None,
+                      resilience=None, faults=None
                       ) -> list[tuple[str, ScoredFragment]]:
         """Search and rank answers across documents, best first.
 
         Scores are comparable across documents because every signal is
         normalised to [0, 1] per document.  Ranking always happens in
         the parent process, over the (possibly pool-computed) merged
-        answer set, so ``workers=N`` cannot perturb the ordering.
+        answer set, so ``workers=N`` cannot perturb the ordering —
+        and the pooled path's fault tolerance (``resilience``,
+        ``faults``) cannot either.
         """
         ob = obs if obs is not None else NOOP
         result = self.search(query, strategy=strategy, obs=ob,
-                             workers=workers, kernel=kernel)
+                             workers=workers, kernel=kernel,
+                             resilience=resilience, faults=faults)
         ranked: list[tuple[str, ScoredFragment]] = []
         with ob.span("rank", fragments=len(result)):
             for name, doc_result in result.per_document.items():

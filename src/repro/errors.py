@@ -44,5 +44,14 @@ class StorageError(ReproError):
     """Raised by the relational (sqlite3) storage backend."""
 
 
+class ExecutionError(ReproError):
+    """Raised when parallel execution exhausts its failure budget.
+
+    Only reachable with ``fallback="never"``: the default policy
+    degrades failed chunks to an in-process serial re-evaluation
+    instead of raising.
+    """
+
+
 class WorkloadError(ReproError):
     """Raised when a synthetic workload specification is unsatisfiable."""

@@ -27,7 +27,9 @@ from ..collection.collection import CollectionResult, DocumentCollection
 from ..core.query import Query
 from ..core.strategies import Strategy
 from ..obs import BATCH_QUERIES, NOOP, Observability
+from .faults import FaultPlan
 from .parallel import ParallelExecutor
+from .resilience import RetryPolicy
 
 __all__ = ["BatchRunner"]
 
@@ -50,27 +52,50 @@ class BatchRunner:
         override both per call.
     obs:
         Default observability handle (batch counters, pool metrics).
+    resilience:
+        :class:`~repro.exec.resilience.RetryPolicy` for the pooled
+        path (deadlines, retries, serial degradation); ``None`` uses
+        the executor default.
+    faults:
+        Optional :class:`~repro.exec.faults.FaultPlan` injected into
+        every pooled dispatch (tests / bench runner).
     """
 
     def __init__(self, collection: DocumentCollection,
                  workers: Optional[int] = None,
                  strategy: Strategy = Strategy.PUSHDOWN,
                  kernel: Optional[str] = None,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 resilience: Optional[RetryPolicy] = None,
+                 faults: Optional[FaultPlan] = None) -> None:
         self.collection = collection
         self.workers = workers
         self.strategy = strategy
         self.kernel = kernel
         self._obs = obs if obs is not None else NOOP
+        self.resilience = resilience
+        self.faults = faults
         self._executor: Optional[ParallelExecutor] = None
+        self._last_report = None
 
     def _pool(self) -> ParallelExecutor:
         if self._executor is None:
             self._executor = ParallelExecutor(
                 {name: self.collection.document(name)
                  for name in self.collection.names()},
-                workers=self.workers, obs=self._obs)
+                workers=self.workers, obs=self._obs,
+                resilience=self.resilience, faults=self.faults)
         return self._executor
+
+    @property
+    def last_report(self):
+        """The pooled path's latest
+        :class:`~repro.exec.resilience.ResilienceReport` (``None``
+        before the first parallel batch; retained across
+        :meth:`shutdown`)."""
+        if self._executor is not None:
+            return self._executor.last_report
+        return self._last_report
 
     def run(self, queries: Iterable[Query],
             strategy: Optional[Strategy] = None,
@@ -97,8 +122,12 @@ class BatchRunner:
             return [self.collection.search(query, strategy=use_strategy,
                                            kernel=use_kernel, obs=ob)
                     for query in batch]
-        return self._pool().run(batch, strategy=use_strategy,
-                                kernel=use_kernel, obs=ob)
+        pool = self._pool()
+        try:
+            return pool.run(batch, strategy=use_strategy,
+                            kernel=use_kernel, obs=ob)
+        finally:
+            self._last_report = pool.last_report
 
     def shutdown(self) -> None:
         """Stop the pool, if one was created (idempotent)."""

@@ -1,0 +1,165 @@
+"""Deterministic fault injection for the worker pool (``repro.exec.faults``).
+
+The resilience layer (timeouts, retries, pool respawn, serial
+fallback) is only trustworthy if its failure paths are *exercised* —
+so this module makes failure a first-class, scriptable input.  A
+:class:`FaultPlan` is a small set of :class:`FaultRule` entries the
+parent consults before dispatching each chunk attempt; when a rule
+matches, a plain picklable fault directive ships to the worker along
+with the chunk and :func:`apply_fault` executes it at chunk start:
+
+``kill-worker``
+    ``os._exit`` inside the worker — an OOM-kill / segfault stand-in.
+    The pool breaks (``BrokenProcessPool``) and the parent must respawn
+    it and re-dispatch the unfinished chunks.
+``hang-worker``
+    The worker sleeps ``hang_s`` seconds before evaluating — a stall
+    stand-in.  With a per-chunk deadline shorter than the hang, the
+    parent times the chunk out and replaces the wedged pool.
+``flaky-chunk``
+    The chunk raises :class:`InjectedFault` — a transient in-band
+    failure that succeeds once retried past ``times`` attempts.
+
+Rules match on the chunk index (``chunk=None`` matches every chunk)
+and only for the first ``times`` attempts, so every scenario is
+deterministic: tests and the bench runner can script "chunk 0 dies
+once, everything else is healthy" and assert bit-identical recovery.
+
+Usage::
+
+    plan = FaultPlan(FaultRule.kill(chunk=0))
+    executor = ParallelExecutor(documents, workers=2, faults=plan)
+    executor.run(queries)          # crashes once, recovers, same answers
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+__all__ = ["KILL_WORKER", "HANG_WORKER", "FLAKY_CHUNK", "FAULT_KINDS",
+           "InjectedFault", "FaultRule", "FaultPlan", "apply_fault"]
+
+KILL_WORKER = "kill-worker"
+HANG_WORKER = "hang-worker"
+FLAKY_CHUNK = "flaky-chunk"
+
+FAULT_KINDS = frozenset({KILL_WORKER, HANG_WORKER, FLAKY_CHUNK})
+
+#: Exit status used by the kill-worker fault (distinctive in core dumps
+#: and CI logs; any non-zero status breaks the pool identically).
+KILL_EXIT_STATUS = 86
+
+
+class InjectedFault(RuntimeError):
+    """The transient failure raised by the ``flaky-chunk`` policy.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: injected
+    faults model infrastructure failure, not query errors, and must
+    not be swallowed by callers catching the library's base class.
+    """
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: *which* chunk fails, *how*, *how often*.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`KILL_WORKER`, :data:`HANG_WORKER`,
+        :data:`FLAKY_CHUNK`.
+    chunk:
+        Chunk index the rule applies to; ``None`` matches every chunk.
+    times:
+        Number of *attempts* affected — ``times=1`` faults the first
+        attempt only, so the first retry succeeds.
+    hang_s:
+        Sleep duration for ``hang-worker`` (ignored otherwise).
+    """
+
+    kind: str
+    chunk: Optional[int] = 0
+    times: int = 1
+    hang_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"expected one of {sorted(FAULT_KINDS)}")
+        if self.times < 1:
+            raise ValueError("times must be >= 1")
+        if self.hang_s < 0:
+            raise ValueError("hang_s must be >= 0")
+
+    @classmethod
+    def kill(cls, chunk: Optional[int] = 0, times: int = 1) -> "FaultRule":
+        return cls(KILL_WORKER, chunk=chunk, times=times)
+
+    @classmethod
+    def hang(cls, chunk: Optional[int] = 0, times: int = 1,
+             hang_s: float = 30.0) -> "FaultRule":
+        return cls(HANG_WORKER, chunk=chunk, times=times, hang_s=hang_s)
+
+    @classmethod
+    def flaky(cls, chunk: Optional[int] = 0, times: int = 1) -> "FaultRule":
+        return cls(FLAKY_CHUNK, chunk=chunk, times=times)
+
+    def matches(self, chunk_index: int, attempt: int) -> bool:
+        return ((self.chunk is None or self.chunk == chunk_index)
+                and attempt < self.times)
+
+
+class FaultPlan:
+    """An ordered set of :class:`FaultRule` entries.
+
+    The parent calls :meth:`for_chunk` with the chunk index and the
+    zero-based attempt number right before each dispatch; the first
+    matching rule wins and its directive (a plain dict — picklable
+    under both ``fork`` and ``spawn``) rides to the worker.
+    """
+
+    def __init__(self, *rules: FaultRule) -> None:
+        self.rules: tuple[FaultRule, ...] = tuple(rules)
+
+    def for_chunk(self, chunk_index: int,
+                  attempt: int) -> Optional[dict]:
+        for rule in self.rules:
+            if rule.matches(chunk_index, attempt):
+                directive = {"kind": rule.kind, "attempt": attempt}
+                if rule.kind == HANG_WORKER:
+                    directive["hang_s"] = rule.hang_s
+                return directive
+        return None
+
+    def __bool__(self) -> bool:
+        return bool(self.rules)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan(rules={len(self.rules)})"
+
+
+def apply_fault(fault: Optional[Mapping]) -> None:
+    """Execute one fault directive (worker side, at chunk start).
+
+    ``None`` — the common no-fault case — is a no-op.
+    """
+    if fault is None:
+        return
+    kind = fault.get("kind")
+    if kind == KILL_WORKER:
+        # A crash, not an exception: skips interpreter teardown exactly
+        # like the OOM killer / a segfault would.
+        os._exit(KILL_EXIT_STATUS)
+    elif kind == HANG_WORKER:
+        # Stall, then proceed normally: if the parent's deadline is
+        # longer than the hang the chunk still completes correctly.
+        time.sleep(float(fault.get("hang_s", 30.0)))
+    elif kind == FLAKY_CHUNK:
+        raise InjectedFault(
+            f"injected flaky-chunk failure "
+            f"(attempt {fault.get('attempt', 0)})")
+    else:
+        raise InjectedFault(f"unknown fault directive {kind!r}")

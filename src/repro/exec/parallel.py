@@ -36,14 +36,25 @@ copy-on-write, so even large corpora ship for free); on platforms
 without it the executor falls back to ``spawn``, where the payload is
 pickled through :meth:`Document.__getstate__`.  See
 ``docs/parallelism.md``.
+
+Fault tolerance: every dispatch runs under a
+:class:`~repro.exec.resilience.RetryPolicy` — per-chunk deadlines,
+bounded retries with exponential backoff, automatic pool respawn on
+worker crash, and (by default) graceful degradation to an in-process
+serial re-evaluation of the surviving chunks, so callers get
+serial-identical results even when workers are killed or hang.  See
+``docs/robustness.md`` and :mod:`repro.exec.faults` for the
+fault-injection hooks that exercise these paths deterministically.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import random
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from typing import Iterable, Mapping, Optional, Sequence
 
 from ..collection.collection import CollectionResult
@@ -51,14 +62,19 @@ from ..core.algebra import JoinCache, KERNEL_NAMES
 from ..core.fragment import Fragment
 from ..core.query import Query, QueryResult
 from ..core.strategies import Strategy, evaluate
-from ..errors import DocumentError, QueryError
+from ..errors import DocumentError, ExecutionError, QueryError
 from ..index.inverted import InvertedIndex
-from ..obs import (DOCUMENTS_SKIPPED, NOOP, MetricsRegistry, Observability,
-                   POOL_CHUNKS, POOL_CHUNK_SECONDS, POOL_DISPATCH_SECONDS,
-                   POOL_TASKS, POOL_WORKERS, QueryLog, SpanTracer,
+from ..obs import (CHUNK_FALLBACKS, CHUNK_RETRIES, CHUNK_TIMEOUTS,
+                   DOCUMENTS_SKIPPED, EXEC_DEGRADED, NOOP, MetricsRegistry,
+                   Observability, POOL_CHUNKS, POOL_CHUNK_SECONDS,
+                   POOL_DISPATCH_SECONDS, POOL_RESPAWNS, POOL_TASKS,
+                   POOL_WORKERS, QueryLog, SpanTracer, WORKER_CRASHES,
                    capture_delta, merge_delta)
 from ..obs.tracer import NULL_TRACER
 from ..xmltree.document import Document
+from .faults import FaultPlan, apply_fault
+from .resilience import (DEFAULT_POLICY, FALLBACK_SERIAL, ResilienceReport,
+                         RetryPolicy)
 
 __all__ = ["ParallelExecutor", "default_workers", "default_start_method"]
 
@@ -135,7 +151,8 @@ def _worker_index(name: str) -> InvertedIndex:
 
 def _run_chunk(queries: Sequence[Query], items: Sequence[tuple[str, int]],
                strategy_value: str, kernel: Optional[str],
-               obs_spec: Optional[dict] = None):
+               obs_spec: Optional[dict] = None,
+               fault: Optional[dict] = None):
     """Evaluate one chunk of ``(document name, query index)`` items.
 
     Returns ``(rows, chunk_seconds, delta, pid)`` where each row is
@@ -146,6 +163,11 @@ def _run_chunk(queries: Sequence[Query], items: Sequence[tuple[str, int]],
     telemetry is enabled (``obs_spec`` given), ``delta`` carries this
     worker's span trees, metric increments and query records for the
     chunk; otherwise it is ``None``.
+
+    ``fault`` is an optional fault-injection directive from
+    :class:`~repro.exec.faults.FaultPlan`, executed before evaluation.
+    If the chunk fails (injected or real), the partial telemetry is
+    discarded so a retried chunk never double-counts.
     """
     global _WORKER_BASELINE
     started = time.perf_counter()
@@ -153,19 +175,29 @@ def _run_chunk(queries: Sequence[Query], items: Sequence[tuple[str, int]],
     obs = (_worker_obs(bool(obs_spec.get("trace")))
            if obs_spec is not None else NOOP)
     rows = []
-    for name, query_index in items:
-        query = queries[query_index]
-        index = _worker_index(name)
-        if not all(index.contains(term) for term in query.terms):
-            rows.append((name, query_index, None))
-            continue
-        result = evaluate(_WORKER_DOCUMENTS[name], query,
-                          strategy=strategy, index=index,
-                          cache=_WORKER_CACHE, kernel=kernel, obs=obs)
-        payload = (tuple(sorted(tuple(sorted(f.nodes))
-                                for f in result.fragments)),
-                   result.elapsed, result.stats)
-        rows.append((name, query_index, payload))
+    try:
+        if fault is not None:
+            apply_fault(fault)
+        for name, query_index in items:
+            query = queries[query_index]
+            index = _worker_index(name)
+            if not all(index.contains(term) for term in query.terms):
+                rows.append((name, query_index, None))
+                continue
+            result = evaluate(_WORKER_DOCUMENTS[name], query,
+                              strategy=strategy, index=index,
+                              cache=_WORKER_CACHE, kernel=kernel, obs=obs)
+            payload = (tuple(sorted(tuple(sorted(f.nodes))
+                                    for f in result.fragments)),
+                       result.elapsed, result.stats)
+            rows.append((name, query_index, payload))
+    except BaseException:
+        # Discard the failed attempt's telemetry: advance the metrics
+        # baseline and drain the tracer/query log, so the eventual
+        # successful attempt (here or elsewhere) ships exactly once.
+        if obs_spec is not None:
+            _, _WORKER_BASELINE = capture_delta(obs, _WORKER_BASELINE)
+        raise
     delta = None
     if obs_spec is not None:
         _WORKER_CACHE.export_metrics(obs.metrics)
@@ -197,13 +229,22 @@ class ParallelExecutor:
     obs:
         Default :class:`~repro.obs.Observability` handle for pool
         metrics; each call may override it.
+    resilience:
+        Default :class:`~repro.exec.resilience.RetryPolicy`; falls back
+        to :data:`~repro.exec.resilience.DEFAULT_POLICY` (no deadline,
+        two retries, serial degradation).  Each call may override it.
+    faults:
+        Optional :class:`~repro.exec.faults.FaultPlan` injected into
+        every dispatch (tests / bench runner); each call may override.
     """
 
     def __init__(self, documents: Mapping[str, Document],
                  workers: Optional[int] = None,
                  start_method: Optional[str] = None,
                  chunk_size: Optional[int] = None,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 resilience: Optional[RetryPolicy] = None,
+                 faults: Optional[FaultPlan] = None) -> None:
         self.documents: dict[str, Document] = dict(documents)
         if not self.documents:
             raise DocumentError("ParallelExecutor requires at least one "
@@ -215,15 +256,46 @@ class ParallelExecutor:
                              else default_start_method())
         self._chunk_size = chunk_size
         self._obs = obs if obs is not None else NOOP
+        self.resilience = (resilience if resilience is not None
+                           else DEFAULT_POLICY)
+        self.faults = faults
+        self.last_report: ResilienceReport = ResilienceReport()
+        self.degraded = False
         self._worker_ids: dict[int, str] = {}
-        context = multiprocessing.get_context(self.start_method)
-        self._pool = ProcessPoolExecutor(
-            max_workers=self.workers, mp_context=context,
-            initializer=_init_worker, initargs=(self.documents,))
+        # Parent-side warm state for the serial fallback path (lazily
+        # built; mirrors a worker's per-document structures).
+        self._parent_indexes: dict[str, InvertedIndex] = {}
+        self._parent_cache = JoinCache()
+        self._pool = self._new_pool()
         if self._obs.enabled:
             self._obs.metrics.gauge(
                 POOL_WORKERS, "Workers in the current query pool."
             ).set(self.workers)
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        context = multiprocessing.get_context(self.start_method)
+        return ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=context,
+            initializer=_init_worker, initargs=(self.documents,))
+
+    def _respawn_pool(self, report: ResilienceReport) -> None:
+        """Tear the pool down hard and rebuild it (crash / hang path).
+
+        ``shutdown`` alone cannot reclaim a wedged worker, so live
+        worker processes are terminated first; futures still pending on
+        the old pool resolve broken or cancelled and their chunks are
+        re-dispatched by the caller.
+        """
+        pool, self._pool = self._pool, None
+        try:
+            for process in list(getattr(pool, "_processes", {}).values()):
+                if process.is_alive():
+                    process.terminate()
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass  # the old pool is unusable either way
+        self._pool = self._new_pool()
+        report.respawns += 1
 
     def _worker_label(self, pid: int) -> str:
         """A stable small ``worker=N`` label for one worker process.
@@ -239,6 +311,198 @@ class ParallelExecutor:
         return label
 
     # ------------------------------------------------------------------
+    # Resilient dispatch
+    # ------------------------------------------------------------------
+
+    def _record_outcome(self, payload, outcomes, ob) -> None:
+        """Fold one successful chunk result into the parent state."""
+        rows, chunk_seconds, delta, pid = payload
+        for name, query_index, row_payload in rows:
+            outcomes[(name, query_index)] = row_payload
+        if ob.enabled:
+            ob.metrics.histogram(
+                POOL_CHUNK_SECONDS,
+                "Worker-measured seconds per chunk."
+            ).observe(chunk_seconds)
+            merge_delta(ob, delta, worker=self._worker_label(pid))
+
+    def _fail(self, chunk_index: int, attempts: list[int],
+              policy: RetryPolicy, pending: list[int],
+              fallback: list[int], report: ResilienceReport,
+              reason: str, cause: Optional[BaseException] = None) -> None:
+        """Charge one failed attempt to a chunk and decide its fate.
+
+        Within budget the chunk re-enters ``pending``; past it, the
+        chunk joins the serial ``fallback`` list — or, with
+        ``fallback="never"``, the whole run raises.
+        """
+        attempts[chunk_index] += 1
+        report.note(f"chunk {chunk_index} attempt {attempts[chunk_index]}:"
+                    f" {reason}")
+        if attempts[chunk_index] <= policy.max_retries:
+            report.retries += 1
+            pending.append(chunk_index)
+        elif policy.fallback == FALLBACK_SERIAL:
+            fallback.append(chunk_index)
+        else:
+            raise ExecutionError(
+                f"chunk {chunk_index} failed {attempts[chunk_index]} "
+                f"time(s) ({reason}) and fallback is disabled"
+            ) from cause
+
+    def _dispatch(self, queries, chunks, strategy, kernel, obs_spec, ob,
+                  policy: RetryPolicy, plan: Optional[FaultPlan],
+                  outcomes, report: ResilienceReport) -> None:
+        """Run every chunk to completion, surviving crashes and hangs.
+
+        Chunks are dispatched in waves; a wave is the current pending
+        set.  Failures charge an attempt to the chunk that caused them
+        (crash, deadline, in-band exception); chunks lost as collateral
+        when the pool breaks are re-queued without being charged.
+        Chunks that exhaust ``policy.max_retries`` are re-evaluated
+        in-process at the end, through the exact serial path.
+        """
+        attempts = [0] * len(chunks)
+        pending = list(range(len(chunks)))
+        fallback: list[int] = []
+        rng = random.Random()
+        stalled_waves = 0
+        while pending:
+            retried = [ci for ci in pending if attempts[ci]]
+            if retried:
+                delay = max(policy.delay(attempts[ci] - 1, rng)
+                            for ci in retried)
+                if delay:
+                    time.sleep(delay)
+            wave, pending = pending, []
+
+            # Submit the wave.  A submit can only fail if the pool is
+            # already broken; stash the rest of the wave for the next
+            # round and let the collection loop (or, with nothing in
+            # flight, an immediate respawn) repair the pool.
+            futures: dict[int, object] = {}
+            submit_broken = False
+            for chunk_index in wave:
+                if submit_broken:
+                    pending.append(chunk_index)
+                    continue
+                fault = (plan.for_chunk(chunk_index, attempts[chunk_index])
+                         if plan is not None else None)
+                try:
+                    futures[chunk_index] = self._pool.submit(
+                        _run_chunk, queries, chunks[chunk_index],
+                        strategy.value, kernel, obs_spec, fault)
+                except (BrokenExecutor, RuntimeError):
+                    submit_broken = True
+                    pending.append(chunk_index)
+                    if not futures:
+                        self._respawn_pool(report)
+            if not futures:
+                stalled_waves += 1
+                if stalled_waves >= 2:
+                    raise ExecutionError(
+                        "worker pool cannot accept work after respawn; "
+                        "giving up")
+                continue
+            stalled_waves = 0
+
+            # Collect in submission order.  After a crash or timeout the
+            # old pool is gone: salvage whatever already finished, and
+            # re-queue the rest uncharged.
+            broken = False
+            try:
+                for chunk_index, future in futures.items():
+                    if broken:
+                        if future.done() and not future.cancelled():
+                            try:
+                                self._record_outcome(
+                                    future.result(timeout=0), outcomes, ob)
+                                continue
+                            except Exception:
+                                pass
+                        pending.append(chunk_index)
+                        continue
+                    try:
+                        payload = future.result(timeout=policy.timeout_s)
+                    except FuturesTimeout as exc:
+                        report.timeouts += 1
+                        self._respawn_pool(report)
+                        broken = True
+                        self._fail(chunk_index, attempts, policy, pending,
+                                   fallback, report,
+                                   reason=f"deadline of {policy.timeout_s}s"
+                                          f" exceeded", cause=exc)
+                    except BrokenExecutor as exc:
+                        report.crashes += 1
+                        self._respawn_pool(report)
+                        broken = True
+                        self._fail(chunk_index, attempts, policy, pending,
+                                   fallback, report,
+                                   reason=f"worker pool broke "
+                                          f"({type(exc).__name__})",
+                                   cause=exc)
+                    except Exception as exc:
+                        self._fail(chunk_index, attempts, policy, pending,
+                                   fallback, report,
+                                   reason=f"worker raised "
+                                          f"{type(exc).__name__}: {exc}",
+                                   cause=exc)
+                    else:
+                        self._record_outcome(payload, outcomes, ob)
+            except ExecutionError:
+                for future in futures.values():
+                    future.cancel()
+                raise
+
+        # Graceful degradation: the surviving chunks run through the
+        # exact serial path, in-process, so callers still get
+        # serial-identical answers.
+        for chunk_index in fallback:
+            rows = self._serial_items(queries, chunks[chunk_index],
+                                      strategy, kernel, ob)
+            for name, query_index, payload in rows:
+                outcomes[(name, query_index)] = payload
+            report.fallback_chunks += 1
+            report.fallback_items += len(chunks[chunk_index])
+
+    def _parent_index(self, name: str) -> InvertedIndex:
+        """Warm parent-side inverted index for the serial fallback."""
+        index = self._parent_indexes.get(name)
+        if index is None:
+            document = self.documents[name]
+            index = InvertedIndex(document)
+            if document.size > 1:
+                document.lca(0, document.size - 1)
+            self._parent_indexes[name] = index
+        return index
+
+    def _serial_items(self, queries, items, strategy, kernel, ob):
+        """Evaluate one chunk's items in-process (degraded mode).
+
+        Mirrors ``_run_chunk`` — including the conjunctive early exit —
+        against the parent's own documents, so the rows are
+        bit-identical to what a healthy worker would have returned.
+        Telemetry lands directly on the parent handle, exactly like the
+        serial path.
+        """
+        rows = []
+        for name, query_index in items:
+            query = queries[query_index]
+            index = self._parent_index(name)
+            if not all(index.contains(term) for term in query.terms):
+                rows.append((name, query_index, None))
+                continue
+            result = evaluate(self.documents[name], query,
+                              strategy=strategy, index=index,
+                              cache=self._parent_cache, kernel=kernel,
+                              obs=ob)
+            payload = (tuple(sorted(tuple(sorted(f.nodes))
+                                    for f in result.fragments)),
+                       result.elapsed, result.stats)
+            rows.append((name, query_index, payload))
+        return rows
+
+    # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
 
@@ -246,27 +510,41 @@ class ParallelExecutor:
                strategy: Strategy = Strategy.PUSHDOWN,
                documents: Optional[Iterable[str]] = None,
                kernel: Optional[str] = None,
-               obs: Optional[Observability] = None) -> CollectionResult:
+               obs: Optional[Observability] = None,
+               resilience: Optional[RetryPolicy] = None,
+               faults: Optional[FaultPlan] = None) -> CollectionResult:
         """Evaluate one query over the corpus; serial-identical result."""
         return self.run([query], strategy=strategy, documents=documents,
-                        kernel=kernel, obs=obs)[0]
+                        kernel=kernel, obs=obs, resilience=resilience,
+                        faults=faults)[0]
 
     def run(self, queries: Sequence[Query],
             strategy: Strategy = Strategy.PUSHDOWN,
             documents: Optional[Iterable[str]] = None,
             kernel: Optional[str] = None,
-            obs: Optional[Observability] = None) -> list[CollectionResult]:
+            obs: Optional[Observability] = None,
+            resilience: Optional[RetryPolicy] = None,
+            faults: Optional[FaultPlan] = None) -> list[CollectionResult]:
         """Evaluate a batch of queries in one scheduling wave.
 
         All ``(document, query)`` pairs are chunked together, so a
         multi-query batch keeps every worker busy even when single
         queries have few matching documents.  Returns one
         :class:`CollectionResult` per query, in query order.
+
+        Dispatch is fault tolerant (see :mod:`repro.exec.resilience`):
+        crashed or timed-out chunks are retried on a respawned pool,
+        and chunks that exhaust the retry budget are re-evaluated
+        serially in-process — so the result is serial-identical even
+        under worker loss, unless ``resilience.fallback == "never"``
+        (then :class:`~repro.errors.ExecutionError` is raised).
         """
         if kernel is not None and kernel not in KERNEL_NAMES:
             raise QueryError(f"unknown join kernel {kernel!r}; the "
                              f"parallel path accepts {list(KERNEL_NAMES)}")
         ob = obs if obs is not None else self._obs
+        policy = resilience if resilience is not None else self.resilience
+        plan = faults if faults is not None else self.faults
         queries = list(queries)
         targets = (list(documents) if documents is not None
                    else list(self.documents))
@@ -282,38 +560,58 @@ class ParallelExecutor:
 
         obs_spec = ({"trace": ob.tracer.enabled} if ob.enabled else None)
         outcomes: dict[tuple[str, int], Optional[tuple]] = {}
+        report = ResilienceReport()
         with ob.span("parallel-search", workers=self.workers,
                      queries=len(queries), items=len(items),
                      chunks=len(chunks)) as span:
             dispatch_started = time.perf_counter()
-            futures = [self._pool.submit(_run_chunk, queries, chunk,
-                                         strategy.value, kernel, obs_spec)
-                       for chunk in chunks]
-            for future, chunk in zip(futures, chunks):
-                rows, chunk_seconds, delta, pid = future.result()
-                for name, query_index, payload in rows:
-                    outcomes[(name, query_index)] = payload
+            try:
+                self._dispatch(queries, chunks, strategy, kernel,
+                               obs_spec, ob, policy, plan, outcomes,
+                               report)
+            finally:
+                self.last_report = report
+                self.degraded = report.degraded
+                dispatch_seconds = time.perf_counter() - dispatch_started
                 if ob.enabled:
-                    ob.metrics.histogram(
-                        POOL_CHUNK_SECONDS,
-                        "Worker-measured seconds per chunk."
-                    ).observe(chunk_seconds)
-                    merge_delta(ob, delta, worker=self._worker_label(pid))
-            dispatch_seconds = time.perf_counter() - dispatch_started
-            if ob.enabled:
-                m = ob.metrics
-                m.gauge(POOL_WORKERS,
-                        "Workers in the current query pool."
-                        ).set(self.workers)
-                m.counter(POOL_TASKS,
-                          "(document, query) items dispatched to the pool."
-                          ).inc(len(items))
-                m.counter(POOL_CHUNKS, "Chunks dispatched to the pool."
-                          ).inc(len(chunks))
-                m.histogram(POOL_DISPATCH_SECONDS,
-                            "Parent-side submit-to-merge seconds."
-                            ).observe(dispatch_seconds)
-                span.set(dispatch_seconds=round(dispatch_seconds, 6))
+                    m = ob.metrics
+                    m.gauge(POOL_WORKERS,
+                            "Workers in the current query pool."
+                            ).set(self.workers)
+                    m.counter(POOL_TASKS,
+                              "(document, query) items dispatched to "
+                              "the pool.").inc(len(items))
+                    m.counter(POOL_CHUNKS, "Chunks dispatched to the pool."
+                              ).inc(len(chunks))
+                    m.histogram(POOL_DISPATCH_SECONDS,
+                                "Parent-side submit-to-merge seconds."
+                                ).observe(dispatch_seconds)
+                    m.counter(CHUNK_RETRIES,
+                              "Chunk attempts re-dispatched after a "
+                              "failure.").inc(report.retries)
+                    m.counter(CHUNK_TIMEOUTS,
+                              "Chunks that blew the per-chunk deadline."
+                              ).inc(report.timeouts)
+                    m.counter(WORKER_CRASHES,
+                              "Worker-pool breakages observed."
+                              ).inc(report.crashes)
+                    m.counter(POOL_RESPAWNS,
+                              "Worker pools rebuilt after a crash or "
+                              "hang.").inc(report.respawns)
+                    m.counter(CHUNK_FALLBACKS,
+                              "Chunks degraded to the in-process serial "
+                              "fallback.").inc(report.fallback_chunks)
+                    m.gauge(EXEC_DEGRADED,
+                            "1 while the last parallel run needed the "
+                            "serial fallback, else 0."
+                            ).set(1 if report.degraded else 0)
+                    span.set(dispatch_seconds=round(dispatch_seconds, 6))
+                    if not report.clean:
+                        span.set(retries=report.retries,
+                                 timeouts=report.timeouts,
+                                 crashes=report.crashes,
+                                 respawns=report.respawns,
+                                 fallback_chunks=report.fallback_chunks)
 
         results = []
         total_skipped = 0
@@ -347,7 +645,8 @@ class ParallelExecutor:
 
     def shutdown(self) -> None:
         """Terminate the worker pool (idempotent)."""
-        self._pool.shutdown(wait=True, cancel_futures=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
 
     def __enter__(self) -> "ParallelExecutor":
         return self

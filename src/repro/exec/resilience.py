@@ -1,0 +1,146 @@
+"""Fault-tolerance policy for the worker pool (``repro.exec.resilience``).
+
+A :class:`RetryPolicy` tells :class:`~repro.exec.parallel.ParallelExecutor`
+how to behave when a chunk misbehaves:
+
+* ``timeout_s`` — per-chunk deadline, measured from the moment the
+  parent starts waiting on that chunk's future.  A chunk that blows the
+  deadline is treated as hung: the wedged pool is torn down (worker
+  processes terminated), respawned, and the unfinished chunks are
+  re-dispatched.
+* ``max_retries`` — bounded re-dispatch budget *per chunk*; each
+  failure (crash, timeout, in-band exception) consumes one attempt from
+  the chunk that caused it.  Chunks lost as collateral when the pool
+  breaks are re-dispatched without being charged.
+* ``backoff_s`` / ``backoff_multiplier`` / ``jitter`` — exponential
+  backoff between retry waves, with multiplicative jitter so respawned
+  workers are not hammered in lockstep.
+* ``fallback`` — what happens after the retry budget is exhausted:
+  ``"serial"`` (default) re-evaluates the surviving chunks in-process
+  through the exact serial path, so callers still get serial-identical
+  results and *never* an exception; ``"never"`` raises
+  :class:`~repro.errors.ExecutionError` instead.
+
+The per-run outcome is summarised in a :class:`ResilienceReport`
+(exposed as ``executor.last_report``) and mirrored into
+:mod:`repro.obs` counters (``repro_pool_respawns_total``,
+retry/timeout/crash/fallback counters and the ``repro_exec_degraded``
+gauge served by ``/healthz`` and ``/varz``).  See
+``docs/robustness.md``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["RetryPolicy", "ResilienceReport", "DEFAULT_POLICY",
+           "FALLBACK_SERIAL", "FALLBACK_NEVER"]
+
+FALLBACK_SERIAL = "serial"
+FALLBACK_NEVER = "never"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the executor reacts to chunk failures (immutable).
+
+    Parameters
+    ----------
+    timeout_s:
+        Per-chunk deadline in seconds; ``None`` (default) waits
+        indefinitely, matching the pre-resilience behaviour.
+    max_retries:
+        Re-dispatch attempts per chunk after the first failure.  With
+        the default of 2 a chunk is tried at most three times before
+        degrading.
+    backoff_s:
+        Base delay before the first retry wave.
+    backoff_multiplier:
+        Exponential growth factor applied per consumed attempt.
+    jitter:
+        Fractional jitter in ``[0, 1]``: each delay is scaled by a
+        uniform factor in ``[1 - jitter, 1 + jitter]``.
+    fallback:
+        ``"serial"`` to degrade exhausted chunks to an in-process
+        serial re-evaluation, ``"never"`` to raise
+        :class:`~repro.errors.ExecutionError`.
+    """
+
+    timeout_s: Optional[float] = None
+    max_retries: int = 2
+    backoff_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    jitter: float = 0.1
+    fallback: str = FALLBACK_SERIAL
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.fallback not in (FALLBACK_SERIAL, FALLBACK_NEVER):
+            raise ValueError(f"fallback must be {FALLBACK_SERIAL!r} or "
+                             f"{FALLBACK_NEVER!r}, got {self.fallback!r}")
+
+    def delay(self, attempt: int,
+              rng: Optional[random.Random] = None) -> float:
+        """Backoff before re-dispatching a chunk that failed
+        ``attempt + 1`` times (zero-based)."""
+        base = self.backoff_s * (self.backoff_multiplier ** attempt)
+        if self.jitter and rng is not None:
+            base *= 1.0 + rng.uniform(-self.jitter, self.jitter)
+        return max(0.0, base)
+
+
+#: The executor's default posture: no deadline, two retries, serial
+#: degradation — a batch never fails outright unless asked to.
+DEFAULT_POLICY = RetryPolicy()
+
+
+@dataclass
+class ResilienceReport:
+    """What one :meth:`ParallelExecutor.run` survived.
+
+    All counts are per-run; the executor keeps the latest as
+    ``last_report``.  ``degraded`` is true when any chunk was
+    re-evaluated through the serial fallback.
+    """
+
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    respawns: int = 0
+    fallback_chunks: int = 0
+    fallback_items: int = 0
+    failures: list = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return self.fallback_chunks > 0
+
+    @property
+    def clean(self) -> bool:
+        """True when the run saw no failure of any kind."""
+        return not (self.retries or self.timeouts or self.crashes
+                    or self.respawns or self.fallback_chunks)
+
+    def note(self, message: str) -> None:
+        """Record one human-readable failure event (bounded)."""
+        if len(self.failures) < 64:
+            self.failures.append(message)
+
+    def to_dict(self) -> dict:
+        return {"retries": self.retries, "timeouts": self.timeouts,
+                "crashes": self.crashes, "respawns": self.respawns,
+                "fallback_chunks": self.fallback_chunks,
+                "fallback_items": self.fallback_items,
+                "degraded": self.degraded,
+                "failures": list(self.failures)}

@@ -74,6 +74,16 @@ POOL_CHUNK_SECONDS = "repro_pool_chunk_seconds"
 POOL_DISPATCH_SECONDS = "repro_pool_dispatch_seconds"
 BATCH_QUERIES = "repro_batch_queries_total"
 
+# Fault-tolerance metrics (recorded by repro.exec.resilience).
+POOL_RESPAWNS = "repro_pool_respawns_total"
+CHUNK_RETRIES = "repro_exec_chunk_retries_total"
+CHUNK_TIMEOUTS = "repro_exec_chunk_timeouts_total"
+WORKER_CRASHES = "repro_exec_worker_crashes_total"
+CHUNK_FALLBACKS = "repro_exec_chunk_fallbacks_total"
+#: Gauge: 1 while the last parallel run needed the serial fallback,
+#: else 0.  Reflected by the /healthz and /varz endpoints.
+EXEC_DEGRADED = "repro_exec_degraded"
+
 # Baseline evaluators (repro.baselines) recorded by record_baseline().
 BASELINE_QUERIES = "repro_baseline_queries_total"
 BASELINE_LATENCY = "repro_baseline_latency_seconds"

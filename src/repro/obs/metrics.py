@@ -22,11 +22,22 @@ Export formats:
 The disabled path is :data:`NULL_METRICS`: its instruments are one
 shared no-op object, so metric calls on a disabled registry cost a
 method call and nothing else.
+
+Thread safety: all *registry-level* operations — get-or-create,
+lookup, export (JSON/Prometheus/summary), :meth:`~MetricsRegistry.diff`
+and :meth:`~MetricsRegistry.merge` — hold one reentrant lock, so a
+query thread can keep registering instruments while HTTP server
+threads export snapshots (see :mod:`repro.obs.server`) without
+"dictionary changed size during iteration" failures.  Individual
+instrument updates (``inc`` / ``set`` / ``observe``) stay lock-free:
+the supported concurrency model is one writer thread plus any number
+of exporting readers.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from bisect import bisect_left
 from typing import Iterable, Mapping, Optional, Sequence, Union
 
@@ -87,11 +98,19 @@ def _format_labels(labels: tuple[tuple[str, str], ...],
 
 
 class _Instrument:
-    """Shared plumbing: identity, help text, labels."""
+    """Shared plumbing: identity, help text, labels.
+
+    Each instrument carries its own mutation lock so concurrent
+    writers (search threads sharing one ``obs=`` handle) never lose
+    updates — ``+=`` on a plain attribute is a read-modify-write that
+    the GIL does not make atomic.  Value *reads* stay lock-free: a
+    torn read of a single attribute is impossible, and exports already
+    snapshot the instrument table under the registry lock.
+    """
 
     kind = "untyped"
 
-    __slots__ = ("name", "help", "labels")
+    __slots__ = ("name", "help", "labels", "_mutate")
 
     def __init__(self, name: str, help: str = "",
                  labels: LabelsArg = None) -> None:
@@ -101,6 +120,7 @@ class _Instrument:
         self.name = name
         self.help = help
         self.labels = _label_key(labels)
+        self._mutate = threading.Lock()
 
 
 class Counter(_Instrument):
@@ -119,7 +139,8 @@ class Counter(_Instrument):
         """Add ``amount`` (must be non-negative) to the counter."""
         if amount < 0:
             raise ValueError("counters only go up")
-        self._value += amount
+        with self._mutate:
+            self._value += amount
 
     @property
     def value(self) -> Union[int, float]:
@@ -142,10 +163,12 @@ class Gauge(_Instrument):
         self._value = value
 
     def inc(self, amount: Union[int, float] = 1) -> None:
-        self._value += amount
+        with self._mutate:
+            self._value += amount
 
     def dec(self, amount: Union[int, float] = 1) -> None:
-        self._value -= amount
+        with self._mutate:
+            self._value -= amount
 
     @property
     def value(self) -> Union[int, float]:
@@ -179,9 +202,10 @@ class Histogram(_Instrument):
 
     def observe(self, value: Union[int, float]) -> None:
         """Record one sample."""
-        self._counts[bisect_left(self.buckets, value)] += 1
-        self._sum += value
-        self._count += 1
+        with self._mutate:
+            self._counts[bisect_left(self.buckets, value)] += 1
+            self._sum += value
+            self._count += 1
 
     @property
     def count(self) -> int:
@@ -207,12 +231,19 @@ class Histogram(_Instrument):
 
 
 class MetricsRegistry:
-    """Get-or-create store for instruments, with exporters."""
+    """Get-or-create store for instruments, with exporters.
+
+    Registry-level operations are serialized by one reentrant lock
+    (``merge`` get-or-creates while holding it), so exports from
+    server threads see consistent instrument tables while the query
+    thread registers new series.
+    """
 
     enabled = True
 
     def __init__(self) -> None:
         self._instruments: dict[tuple, _Instrument] = {}
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Instrument accessors
@@ -221,15 +252,24 @@ class MetricsRegistry:
     def _get(self, cls, name: str, help: str, labels: LabelsArg,
              **kwargs) -> _Instrument:
         key = (name, _label_key(labels))
-        found = self._instruments.get(key)
-        if found is not None:
-            if not isinstance(found, cls):
-                raise ValueError(
-                    f"metric {name!r} already registered as {found.kind}")
-            return found
-        instrument = cls(name, help=help, labels=labels, **kwargs)
-        self._instruments[key] = instrument
-        return instrument
+        with self._lock:
+            found = self._instruments.get(key)
+            if found is not None:
+                if not isinstance(found, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{found.kind}")
+                return found
+            instrument = cls(name, help=help, labels=labels, **kwargs)
+            self._instruments[key] = instrument
+            return instrument
+
+    def get(self, name: str,
+            labels: LabelsArg = None) -> Optional[_Instrument]:
+        """The instrument registered under ``name``/``labels``, or
+        ``None`` — a read-only probe that never creates a series."""
+        with self._lock:
+            return self._instruments.get((name, _label_key(labels)))
 
     def counter(self, name: str, help: str = "",
                 labels: LabelsArg = None) -> Counter:
@@ -246,13 +286,16 @@ class MetricsRegistry:
 
     def instruments(self) -> list[_Instrument]:
         """Every registered instrument, in registration order."""
-        return list(self._instruments.values())
+        with self._lock:
+            return list(self._instruments.values())
 
     def __len__(self) -> int:
-        return len(self._instruments)
+        with self._lock:
+            return len(self._instruments)
 
     def __contains__(self, name: str) -> bool:
-        return any(key[0] == name for key in self._instruments)
+        with self._lock:
+            return any(key[0] == name for key in self._instruments)
 
     # ------------------------------------------------------------------
     # Export / import
@@ -261,7 +304,7 @@ class MetricsRegistry:
     def to_json(self) -> dict:
         """A lossless plain-dict dump (see :meth:`from_json`)."""
         metrics = []
-        for instrument in self._instruments.values():
+        for instrument in self.instruments():
             record: dict = {"name": instrument.name,
                             "kind": instrument.kind,
                             "help": instrument.help,
@@ -328,7 +371,9 @@ class MetricsRegistry:
                    _label_key(record.get("labels") or None))
             before[key] = record
         metrics = []
-        for key, instrument in self._instruments.items():
+        with self._lock:
+            snapshot = list(self._instruments.items())
+        for key, instrument in snapshot:
             prior = before.get(key)
             record: dict = {"name": instrument.name,
                             "kind": instrument.kind,
@@ -368,7 +413,14 @@ class MetricsRegistry:
         A name registered here with a different kind, or a histogram
         with different buckets, raises :class:`ValueError` — merged
         worker deltas must agree with the parent on instrument identity.
+
+        The whole merge holds the registry lock (reentrantly across
+        its get-or-creates), so exporters never see half a delta.
         """
+        with self._lock:
+            self._merge_locked(delta)
+
+    def _merge_locked(self, delta: Mapping) -> None:
         for record in delta.get("metrics", ()):
             name = record["name"]
             labels = record.get("labels") or None
@@ -400,7 +452,7 @@ class MetricsRegistry:
     def to_prometheus(self) -> str:
         """The Prometheus text exposition format (version 0.0.4)."""
         by_name: dict[str, list[_Instrument]] = {}
-        for instrument in self._instruments.values():
+        for instrument in self.instruments():
             by_name.setdefault(instrument.name, []).append(instrument)
         lines = []
         for name, group in by_name.items():
@@ -430,7 +482,7 @@ class MetricsRegistry:
     def summary(self) -> str:
         """A human-readable one-line-per-metric summary."""
         lines = []
-        for instrument in self._instruments.values():
+        for instrument in self.instruments():
             labels = _format_labels(instrument.labels)
             if isinstance(instrument, Histogram):
                 lines.append(
@@ -484,6 +536,9 @@ class NullMetrics:
     def histogram(self, name, help="", buckets=None,
                   labels=None) -> _NullInstrument:
         return _NULL_INSTRUMENT
+
+    def get(self, name, labels=None) -> None:
+        return None
 
     def instruments(self) -> list:
         return []

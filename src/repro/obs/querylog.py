@@ -12,11 +12,18 @@ emits) the queries worth a second look::
                filter="size<=3", strategy="pushdown", answers=4,
                elapsed=0.0021, stats=result.stats)
     log.slow_queries()   # records at or over the threshold
+
+Thread safety: mutation (``record`` / ``ingest`` / ``drain``) and
+snapshots (``records`` / ``slow_queries`` / iteration) hold one lock,
+and snapshots return *copies* — so the live ``/slow`` and ``/varz``
+endpoints can read the log from HTTP server threads while the query
+thread keeps appending (see :mod:`repro.obs.server`).
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -117,7 +124,23 @@ class QueryLog:
         self.slow_only = slow_only
         self._records: deque[QueryRecord] = deque(maxlen=max_records)
         self._clock = clock
+        self._lock = threading.Lock()
         self.emitted = 0
+
+    def _append(self, record: QueryRecord) -> None:
+        """Retain + emit one record under the lock (single choke
+        point, so the ring, the sink and ``emitted`` stay coherent
+        across threads)."""
+        with self._lock:
+            self._records.append(record)
+            if self._sink is not None \
+                    and (record.slow or not self.slow_only):
+                line = record.to_json()
+                if callable(self._sink):
+                    self._sink(line)
+                else:
+                    self._sink.write(line + "\n")
+                self.emitted += 1
 
     def record(self, *, document: str, terms: Sequence[str],
                filter: str, strategy: str, answers: int,
@@ -136,14 +159,7 @@ class QueryLog:
             terms=tuple(terms), filter=filter, strategy=strategy,
             answers=answers, elapsed_ms=elapsed_ms, slow=slow,
             stats=dict(stats) if stats else {}, plan=plan)
-        self._records.append(record)
-        if self._sink is not None and (slow or not self.slow_only):
-            line = record.to_json()
-            if callable(self._sink):
-                self._sink(line)
-            else:
-                self._sink.write(line + "\n")
-            self.emitted += 1
+        self._append(record)
         return record
 
     def ingest(self, data: Mapping,
@@ -168,14 +184,7 @@ class QueryLog:
                 elapsed_ms=record.elapsed_ms, slow=slow,
                 stats=record.stats, plan=record.plan,
                 worker=worker if worker is not None else record.worker)
-        self._records.append(record)
-        if self._sink is not None and (record.slow or not self.slow_only):
-            line = record.to_json()
-            if callable(self._sink):
-                self._sink(line)
-            else:
-                self._sink.write(line + "\n")
-            self.emitted += 1
+        self._append(record)
         return record
 
     def drain(self) -> list[QueryRecord]:
@@ -184,21 +193,25 @@ class QueryLog:
         Pool workers drain their log after each chunk so records ship
         exactly once.
         """
-        drained = list(self._records)
-        self._records.clear()
+        with self._lock:
+            drained = list(self._records)
+            self._records.clear()
         return drained
 
     @property
     def records(self) -> list[QueryRecord]:
-        """Every retained record, oldest first."""
-        return list(self._records)
+        """Every retained record, oldest first (a snapshot copy)."""
+        with self._lock:
+            return list(self._records)
 
     def slow_queries(self) -> list[QueryRecord]:
-        """Retained records at or over the slow threshold."""
-        return [r for r in self._records if r.slow]
+        """Retained records at or over the slow threshold (a copy)."""
+        with self._lock:
+            return [r for r in self._records if r.slow]
 
     def __len__(self) -> int:
-        return len(self._records)
+        with self._lock:
+            return len(self._records)
 
     def __iter__(self):
-        return iter(self._records)
+        return iter(self.records)

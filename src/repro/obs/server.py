@@ -7,10 +7,13 @@ daemon thread and serves the handle's current state:
     Prometheus text exposition (format 0.0.4) of the metrics registry —
     point a Prometheus scrape job straight at it.
 ``/healthz``
-    ``ok`` (liveness probe).
+    ``ok`` (liveness probe) — or ``degraded`` while the
+    ``repro_exec_degraded`` gauge is set, i.e. the last parallel run
+    had to fall back to in-process serial evaluation (still HTTP 200:
+    degraded mode keeps answering).
 ``/varz``
-    The whole registry as JSON, plus server uptime and query-log
-    counts.
+    The whole registry as JSON, plus server uptime, the degraded flag
+    and query-log counts.
 ``/slow``
     The retained slow-query records as a JSON array (empty without a
     query log).
@@ -37,7 +40,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
-from . import Observability
+from . import EXEC_DEGRADED, Observability
 
 __all__ = ["MetricsServer"]
 
@@ -63,7 +66,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(obs.metrics.to_prometheus(),
                         PROMETHEUS_CONTENT_TYPE)
         elif path == "/healthz":
-            self._reply("ok\n", "text/plain; charset=utf-8")
+            body = ("degraded\n" if self.server.degraded() else "ok\n")
+            self._reply(body, "text/plain; charset=utf-8")
         elif path == "/varz":
             self._reply(json.dumps(self.server.varz(), indent=2,
                                    sort_keys=True) + "\n",
@@ -101,11 +105,21 @@ class _ObsHTTPServer(ThreadingHTTPServer):
         self.obs = obs
         self.started = time.time()
 
+    def degraded(self) -> bool:
+        """Whether the last parallel run needed the serial fallback.
+
+        Reads the ``repro_exec_degraded`` gauge without creating it;
+        a handle that never ran a pool reports healthy.
+        """
+        gauge = self.obs.metrics.get(EXEC_DEGRADED)
+        return bool(gauge is not None and gauge.value)
+
     def varz(self) -> dict:
         """The ``/varz`` document: uptime + registry + query-log state."""
         obs = self.obs
         doc: dict = {
             "uptime_seconds": round(time.time() - self.started, 3),
+            "degraded": self.degraded(),
             "metrics": obs.metrics.to_json(),
         }
         if obs.query_log is not None:

@@ -1,6 +1,14 @@
-"""Shared fixtures: paper fixtures, canned corpora, tiny documents."""
+"""Shared fixtures: paper fixtures, canned corpora, tiny documents.
+
+Also provides a ``timeout`` marker so pool-resilience tests cannot hang
+the whole suite: when the ``pytest-timeout`` plugin is installed it
+owns the marker; otherwise a stdlib :mod:`faulthandler` fallback dumps
+all thread stacks and aborts the process after the deadline.
+"""
 
 from __future__ import annotations
+
+import faulthandler
 
 import pytest
 
@@ -12,6 +20,38 @@ from repro.workloads.papertrees import (build_figure3_tree,
                                         build_figure7_tree)
 from repro.xmltree.builder import DocumentBuilder
 from repro.xmltree.parser import parse
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): abort the test if it runs longer than "
+        "SECONDS (handled by pytest-timeout when installed, else by a "
+        "faulthandler fallback that dumps stacks and exits)")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_protocol(item):
+    """Arm a hard deadline for ``@pytest.mark.timeout(N)`` tests.
+
+    ``pytest-timeout`` takes precedence when present.  The fallback is
+    deliberately blunt — ``faulthandler.dump_traceback_later(exit=True)``
+    kills the whole process — because a hung ProcessPoolExecutor wait
+    cannot be interrupted from Python; a loud crash with stacks beats a
+    silently wedged CI job.
+    """
+    marker = item.get_closest_marker("timeout")
+    use_fallback = (
+        marker is not None and marker.args
+        and not item.config.pluginmanager.hasplugin("timeout"))
+    if use_fallback:
+        faulthandler.dump_traceback_later(float(marker.args[0]),
+                                          exit=True)
+    try:
+        yield
+    finally:
+        if use_fallback:
+            faulthandler.cancel_dump_traceback_later()
 
 
 @pytest.fixture(scope="session")

@@ -156,3 +156,119 @@ class TestMain:
         assert [l for l in out_policy.splitlines()
                 if l.startswith("#")] == \
             [l for l in out_flag.splitlines() if l.startswith("#")]
+
+
+class TestResilienceFlags:
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            ["f.xml", "a", "--timeout-ms", "250", "--retries", "5",
+             "--no-fallback"])
+        assert args.timeout_ms == 250.0
+        assert args.retries == 5
+        assert args.no_fallback
+
+    def test_flags_default_to_no_policy(self):
+        from repro.cli import _build_resilience
+        args = build_parser().parse_args(["f.xml", "a"])
+        assert _build_resilience(args) is None
+
+    def test_policy_built_from_flags(self):
+        from repro.cli import _build_resilience
+        args = build_parser().parse_args(
+            ["f.xml", "a", "--timeout-ms", "250", "--no-fallback"])
+        policy = _build_resilience(args)
+        assert policy.timeout_s == 0.25
+        assert policy.fallback == "never"
+        assert policy.max_retries == 2  # default retained
+
+    def test_directory_search_with_flags(self, tmp_path, capsys):
+        (tmp_path / "a.xml").write_text("<a><b>needle</b></a>")
+        code = main([str(tmp_path), "needle", "--workers", "2",
+                     "--timeout-ms", "30000", "--retries", "1"])
+        assert code == 0
+        assert "1 of 1 document(s)" in capsys.readouterr().out
+
+
+class TestMalformedDirectoryFiles:
+    def test_bad_file_skipped_with_warning(self, tmp_path, capsys):
+        (tmp_path / "good.xml").write_text("<a><b>needle</b></a>")
+        (tmp_path / "bad.xml").write_text("<broken><unclosed>")
+        code = main([str(tmp_path), "needle"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "warning: skipping" in captured.err
+        assert "bad.xml" in captured.err
+        assert "1 file(s) skipped" in captured.out
+        assert "1 of 1 document(s)" in captured.out
+
+    def test_all_files_malformed_exits_nonzero(self, tmp_path, capsys):
+        (tmp_path / "one.xml").write_text("<broken>")
+        (tmp_path / "two.xml").write_text("also not xml <")
+        code = main([str(tmp_path), "needle"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "failed to parse" in captured.err
+        assert captured.err.count("warning: skipping") == 2
+
+    def test_batch_over_directory_with_bad_file(self, tmp_path,
+                                                capsys):
+        (tmp_path / "good.xml").write_text("<a><b>needle</b></a>")
+        (tmp_path / "bad.xml").write_text("<broken>")
+        batch = tmp_path / "queries.txt"
+        batch.write_text("needle\n")
+        code = main([str(tmp_path), "--batch", str(batch)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "warning: skipping" in captured.err
+        assert "1 file(s) skipped" in captured.err
+
+
+class TestServe:
+    def test_serve_answers_stdin_queries(self, book_file, capsys):
+        from repro.cli import serve_main
+        code = serve_main([book_file], stdin=iter(["fragment\n",
+                                                   "# comment\n",
+                                                   "\n"]))
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "metrics:" in captured.err
+        assert "answer(s)" in captured.out
+
+    def test_serve_keyboard_interrupt_is_clean(self, book_file,
+                                               capsys):
+        from repro.cli import serve_main
+
+        def lines():
+            yield "fragment\n"
+            raise KeyboardInterrupt
+
+        code = serve_main([book_file], stdin=lines())
+        captured = capsys.readouterr()
+        assert code == 130
+        assert "interrupted" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_serve_skips_malformed_directory_files(self, tmp_path,
+                                                   capsys):
+        (tmp_path / "good.xml").write_text("<a><b>needle</b></a>")
+        (tmp_path / "bad.xml").write_text("<broken>")
+        from repro.cli import serve_main
+        code = serve_main([str(tmp_path)], stdin=iter(["needle\n"]))
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "warning: skipping" in captured.err
+        assert "1 file(s) skipped" in captured.err
+
+    def test_serve_all_malformed_exits_nonzero(self, tmp_path, capsys):
+        (tmp_path / "bad.xml").write_text("<broken>")
+        from repro.cli import serve_main
+        code = serve_main([str(tmp_path)], stdin=iter([]))
+        assert code == 2
+        assert "failed to parse" in capsys.readouterr().err
+
+    def test_serve_resilience_flags_parse(self, book_file, capsys):
+        from repro.cli import serve_main
+        code = serve_main([book_file, "--timeout-ms", "30000",
+                           "--retries", "1", "--workers", "1"],
+                          stdin=iter(["fragment\n"]))
+        assert code == 0

@@ -126,3 +126,31 @@ class TestRankedSearch:
     def test_limit_respected(self, collection):
         query = Query.of("fragment", predicate=SizeAtMost(4))
         assert len(collection.ranked_search(query, limit=2)) <= 2
+
+
+class TestFromDirectoryOnError:
+    def test_default_still_raises(self, tmp_path):
+        (tmp_path / "good.xml").write_text("<a><b>alpha</b></a>")
+        (tmp_path / "bad.xml").write_text("<broken>")
+        from repro.errors import DocumentError
+        with pytest.raises(DocumentError):
+            DocumentCollection.from_directory(tmp_path)
+
+    def test_on_error_skips_and_reports(self, tmp_path):
+        (tmp_path / "good.xml").write_text("<a><b>alpha</b></a>")
+        (tmp_path / "bad.xml").write_text("<broken>")
+        seen = []
+        coll = DocumentCollection.from_directory(
+            tmp_path, on_error=lambda path, exc: seen.append((path, exc)))
+        assert coll.names() == ["good.xml"]
+        assert len(seen) == 1
+        assert seen[0][0].endswith("bad.xml")
+        assert isinstance(seen[0][1], Exception)
+
+    def test_on_error_all_bad_yields_empty_collection(self, tmp_path):
+        (tmp_path / "one.xml").write_text("<broken>")
+        seen = []
+        coll = DocumentCollection.from_directory(
+            tmp_path, on_error=lambda path, exc: seen.append(path))
+        assert len(coll) == 0
+        assert len(seen) == 1
