@@ -43,10 +43,13 @@ from .collection import (CollectionHit, CollectionResult,
                          DocumentCollection)
 from .core.presentation import (AnswerGroup, OverlapPolicy, arrange,
                                 overlap, overlap_matrix)
-from .errors import (CrossDocumentError, DocumentError, FragmentError,
+from .errors import (AdmissionRejected, BudgetExceeded,
+                     CrossDocumentError, DocumentError, FragmentError,
                      ParseError, PlanError, QueryError, ReproError,
                      StorageError, WorkloadError)
 from .exec import BatchRunner, ParallelExecutor
+from .guard import (AdmissionDecision, AdmissionPolicy, CircuitBreaker,
+                    QueryBudget, screen)
 from .xmltree.intervals import IntervalKernel
 from .index import InvertedIndex, Tokenizer
 from .obs import (NOOP, MetricsRegistry, Observability, QueryLog,
@@ -104,8 +107,11 @@ __all__ = [
     # observability
     "Observability", "NOOP", "SpanTracer", "MetricsRegistry",
     "QueryLog", "QueryRecord",
+    # guard rails
+    "QueryBudget", "AdmissionPolicy", "AdmissionDecision", "screen",
+    "CircuitBreaker",
     # errors
     "ReproError", "DocumentError", "ParseError", "FragmentError",
     "CrossDocumentError", "PlanError", "QueryError", "StorageError",
-    "WorkloadError",
+    "WorkloadError", "BudgetExceeded", "AdmissionRejected",
 ]

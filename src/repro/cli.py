@@ -35,7 +35,7 @@ from .core.plan import explain as explain_plan
 from .core.presentation import OverlapPolicy, arrange
 from .core.query import Query
 from .core.strategies import Strategy, evaluate, explain_analyze
-from .errors import ReproError
+from .errors import AdmissionRejected, BudgetExceeded, ReproError
 from .index.inverted import InvertedIndex
 from .obs import (NOOP, MetricsRegistry, Observability, QueryLog,
                   SpanTracer)
@@ -95,6 +95,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fail the run instead of degrading to "
                              "serial in-process evaluation when a "
                              "chunk exhausts its retries")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        metavar="MS", dest="deadline_ms",
+                        help="abort the query once it has run MS "
+                             "milliseconds of wall clock (exit code 3; "
+                             "see docs/robustness.md)")
+    parser.add_argument("--max-join-ops", type=int, default=None,
+                        metavar="N", dest="max_join_ops",
+                        help="abort the query after N join operations "
+                             "(a work budget independent of wall clock)")
     parser.add_argument("--batch", default=None, metavar="FILE",
                         help="evaluate one query per FILE line "
                              "(whitespace-separated keywords, # comments) "
@@ -204,6 +213,17 @@ def _build_resilience(args: argparse.Namespace):
                   else FALLBACK_SERIAL))
 
 
+def _build_budget(args: argparse.Namespace):
+    """A fresh :class:`QueryBudget` from the CLI flags (or ``None``)."""
+    if args.deadline_ms is None and args.max_join_ops is None:
+        return None
+    from .guard.budget import QueryBudget
+    return QueryBudget(
+        deadline_s=(args.deadline_ms / 1000.0
+                    if args.deadline_ms is not None else None),
+        max_join_ops=args.max_join_ops)
+
+
 def _load_collection_dir(path: str):
     """Load every parseable ``*.xml`` under *path* as a collection.
 
@@ -276,6 +296,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         with obs.span("query", file=args.file):
             code = _run_search(args, obs)
+    except BudgetExceeded as exc:
+        print(f"error: {json.dumps(exc.to_dict())}", file=sys.stderr)
+        return 3
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -319,7 +342,8 @@ def _run_search(args: argparse.Namespace, obs: Observability) -> int:
         optimize(query, obs=obs)
     result = evaluate(document, query,
                       strategy=Strategy.parse(args.strategy),
-                      index=index, obs=obs, kernel=args.kernel)
+                      index=index, obs=obs, kernel=args.kernel,
+                      budget=_build_budget(args))
 
     if args.rank:
         with obs.span("rank"):
@@ -413,7 +437,9 @@ def serve_main(argv: Optional[Sequence[str]] = None,
     whole time.
     """
     from .collection.collection import DocumentCollection
-    from .obs.server import MetricsServer
+    from .core.queryparser import parse_query
+    from .obs import GUARD_REJECTED
+    from .obs.server import MetricsServer, QueryGuardrails
 
     parser = argparse.ArgumentParser(
         prog="repro-search serve",
@@ -447,6 +473,19 @@ def serve_main(argv: Optional[Sequence[str]] = None,
                         dest="no_fallback",
                         help="fail a query instead of degrading to "
                              "serial evaluation")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        metavar="MS", dest="deadline_ms",
+                        help="per-query wall-clock budget; queries over "
+                             "it are aborted and reported, the server "
+                             "keeps serving")
+    parser.add_argument("--max-join-ops", type=int, default=None,
+                        metavar="N", dest="max_join_ops",
+                        help="per-query join-operation budget")
+    parser.add_argument("--max-cost", type=float, default=None,
+                        metavar="C", dest="max_cost",
+                        help="admission ceiling: reject queries whose "
+                             "estimated plan cost exceeds C before any "
+                             "evaluation work runs")
     args = parser.parse_args(argv)
     stdin = stdin if stdin is not None else sys.stdin
 
@@ -470,23 +509,66 @@ def serve_main(argv: Optional[Sequence[str]] = None,
         return 2
     strategy = Strategy.parse(args.strategy)
     resilience = _build_resilience(args)
-    server = MetricsServer(obs, host=args.host, port=args.port).start()
+    admission = None
+    if args.max_cost is not None:
+        from .guard.admission import AdmissionPolicy
+        admission = AdmissionPolicy(max_cost=args.max_cost)
+    guardrails = QueryGuardrails(
+        default_deadline_ms=args.deadline_ms,
+        max_join_ops=args.max_join_ops,
+        admission=admission, strategy=strategy,
+        kernel=args.kernel, workers=args.workers,
+        resilience=resilience)
+    server = MetricsServer(obs, host=args.host, port=args.port,
+                           collection=collection,
+                           guardrails=guardrails).start()
     skip_note = (f" ({len(skipped)} file(s) skipped)" if skipped else "")
     print(f"metrics: {server.url}/metrics  "
-          f"(also /healthz /varz /slow); queries from stdin, "
-          f"one per line{skip_note}", file=sys.stderr)
+          f"(also /healthz /varz /slow, POST /query); queries from "
+          f"stdin, one per line{skip_note}", file=sys.stderr)
+
+    def reject(reason: str, detail: dict) -> None:
+        """Report one bad line and keep serving."""
+        obs.metrics.counter(
+            GUARD_REJECTED, "Queries rejected before evaluation.",
+            labels={"reason": reason}).inc()
+        print(f"error: {json.dumps(detail, sort_keys=True)}",
+              file=sys.stderr)
+
     code = 0
     try:
         for line in stdin:
-            terms = line.split()
-            if not terms or terms[0].startswith("#"):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
                 continue
+            # A bad line must never take the server down (nor stop the
+            # stdin loop): parser errors are reported, counted and
+            # skipped.
             try:
-                query = Query(tuple(terms), predicate)
+                query = parse_query(stripped)
+            except ReproError as exc:
+                reject("parse", {"error": "bad-query",
+                                 "line": stripped,
+                                 "message": str(exc)})
+                continue
+            if not isinstance(predicate, TrueFilter):
+                query = Query(query.terms,
+                              query.predicate & predicate)
+            try:
                 result = collection.search(
                     query, strategy=strategy, obs=obs,
                     workers=args.workers, kernel=args.kernel,
-                    resilience=resilience)
+                    resilience=resilience, admission=admission,
+                    budget=_build_budget(args))
+            except AdmissionRejected as exc:
+                reject("admission", exc.to_dict())
+                continue
+            except BudgetExceeded as exc:
+                # Already counted (repro_guard_budget_exceeded_total)
+                # by the collection layer.
+                print(f"error: {json.dumps(exc.to_dict(), sort_keys=True)}",
+                      file=sys.stderr)
+                continue
             except ReproError as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 continue
@@ -532,7 +614,8 @@ def _search_collection(args: argparse.Namespace,
         result = collection.search(
             query, strategy=Strategy.parse(args.strategy), obs=obs,
             workers=args.workers, kernel=args.kernel,
-            resilience=_build_resilience(args))
+            resilience=_build_resilience(args),
+            budget=_build_budget(args))
     finally:
         collection.close()
     hits = result.hits[:args.limit]
@@ -590,7 +673,7 @@ def _run_batch(args: argparse.Namespace, obs: Observability) -> int:
                          kernel=args.kernel, obs=obs,
                          resilience=_build_resilience(args))
     with runner:
-        results = runner.run(queries)
+        results = runner.run(queries, budget=_build_budget(args))
     for query, result in zip(queries, results):
         hits = result.hits[:args.limit]
         print(f"{query.describe()}: {len(result)} answer(s) in "

@@ -22,9 +22,12 @@ from ..core.algebra import JoinCache
 from ..core.fragment import Fragment
 from ..core.query import Query, QueryResult
 from ..core.strategies import Strategy, evaluate
-from ..errors import DocumentError
+from ..errors import BudgetExceeded, DocumentError
+from ..guard.admission import AdmissionDecision, AdmissionPolicy, screen
+from ..guard.budget import QueryBudget, effective_budget
 from ..index.inverted import InvertedIndex
-from ..obs import DOCUMENTS_SKIPPED, NOOP, Observability
+from ..obs import (DOCUMENTS_SKIPPED, GUARD_BUDGET_EXCEEDED, NOOP,
+                   Observability)
 from ..ranking.scoring import FragmentScorer, ScoredFragment
 from ..xmltree.document import Document
 from ..xmltree.parser import parse, parse_file
@@ -229,13 +232,42 @@ class DocumentCollection:
             self._executor_workers = workers
         return self._executor
 
+    def screen(self, policy: AdmissionPolicy, query: Query,
+               strategy: Strategy = Strategy.PUSHDOWN,
+               documents: Optional[Iterable[str]] = None
+               ) -> AdmissionDecision:
+        """Pre-admission cost screen of ``query`` over this collection.
+
+        Estimates the plan cost of the requested strategy summed over
+        the (subset of) the collection with each document's inverted
+        index, and returns the :class:`~repro.guard.AdmissionDecision`
+        — admit, downgrade to the policy's cheaper strategy, or
+        reject.  No evaluation work runs.
+        """
+        targets = (list(documents) if documents is not None
+                   else self.names())
+        docs = [self._documents[name] for name in targets]
+        indexes = {id(self._documents[name]): self.index(name)
+                   for name in targets}
+        return screen(policy, query, strategy, docs,
+                      index_for=lambda d: indexes.get(id(d)))
+
+    def _count_budget_exceeded(self, ob: Observability) -> None:
+        if ob.enabled:
+            ob.metrics.counter(
+                GUARD_BUDGET_EXCEEDED,
+                "Queries aborted by a spent QueryBudget.").inc()
+
     def search(self, query: Query,
                strategy: Strategy = Strategy.PUSHDOWN,
                documents: Optional[Iterable[str]] = None,
                obs: Optional[Observability] = None,
                workers: Optional[int] = None,
                kernel: Optional[str] = None,
-               resilience=None, faults=None
+               resilience=None, faults=None,
+               budget: Optional[QueryBudget] = None,
+               deadline_ms: Optional[float] = None,
+               admission: Optional[AdmissionPolicy] = None
                ) -> CollectionResult:
         """Evaluate ``query`` over (a subset of) the collection.
 
@@ -254,31 +286,60 @@ class DocumentCollection:
         (a :class:`~repro.exec.resilience.RetryPolicy`) and ``faults``
         (a :class:`~repro.exec.faults.FaultPlan`) tune the pooled
         path's fault tolerance; both are ignored without ``workers``.
+
+        Guard rails: ``budget`` (a :class:`~repro.guard.QueryBudget`)
+        and/or ``deadline_ms`` bound the whole search — the deadline is
+        end-to-end and join-operation charges accumulate across
+        documents (and propagate into pool workers on the parallel
+        path).  A spent budget aborts with
+        :class:`~repro.errors.BudgetExceeded` and increments
+        ``repro_guard_budget_exceeded_total``.  ``admission`` runs the
+        pre-admission cost screen first: the query is rejected
+        (:class:`~repro.errors.AdmissionRejected`) or transparently
+        downgraded to the policy's cheaper strategy before any
+        evaluation work.
         """
         ob = obs if obs is not None else NOOP
+        budget = effective_budget(budget, deadline_ms)
+        if admission is not None:
+            decision = self.screen(admission, query, strategy,
+                                   documents=documents)
+            decision.raise_if_rejected()
+            strategy = decision.strategy
+        if budget is not None:
+            budget.start()
         if workers is not None:
             # Worker deltas already carry the per-worker JoinCache memo
             # totals; exporting the parent's (unused) cache here would
             # overwrite the merged gauges with zeros.
-            return self._parallel_executor(workers).search(
-                query, strategy=strategy, documents=documents,
-                kernel=kernel, obs=ob, resilience=resilience,
-                faults=faults)
+            try:
+                return self._parallel_executor(workers).search(
+                    query, strategy=strategy, documents=documents,
+                    kernel=kernel, obs=ob, resilience=resilience,
+                    faults=faults, budget=budget)
+            except BudgetExceeded:
+                self._count_budget_exceeded(ob)
+                raise
         targets = (list(documents) if documents is not None
                    else self.names())
         per_document: dict[str, QueryResult] = {}
         with ob.span("collection-search", collection=self.name,
                      documents=len(targets)) as span:
             skipped = 0
-            for name in targets:
-                index = self.index(name)
-                if not all(index.contains(term) for term in query.terms):
-                    skipped += 1
-                    continue
-                per_document[name] = evaluate(
-                    self._documents[name], query, strategy=strategy,
-                    index=index, cache=self._cache, obs=ob,
-                    kernel=kernel)
+            try:
+                for name in targets:
+                    index = self.index(name)
+                    if not all(index.contains(term)
+                               for term in query.terms):
+                        skipped += 1
+                        continue
+                    per_document[name] = evaluate(
+                        self._documents[name], query, strategy=strategy,
+                        index=index, cache=self._cache, obs=ob,
+                        kernel=kernel, budget=budget)
+            except BudgetExceeded:
+                self._count_budget_exceeded(ob)
+                raise
             if ob.enabled:
                 span.set(evaluated=len(per_document), skipped=skipped)
                 ob.metrics.counter(
@@ -351,7 +412,10 @@ class DocumentCollection:
                       obs: Optional[Observability] = None,
                       workers: Optional[int] = None,
                       kernel: Optional[str] = None,
-                      resilience=None, faults=None
+                      resilience=None, faults=None,
+                      budget: Optional[QueryBudget] = None,
+                      deadline_ms: Optional[float] = None,
+                      admission: Optional[AdmissionPolicy] = None
                       ) -> list[tuple[str, ScoredFragment]]:
         """Search and rank answers across documents, best first.
 
@@ -360,12 +424,16 @@ class DocumentCollection:
         the parent process, over the (possibly pool-computed) merged
         answer set, so ``workers=N`` cannot perturb the ordering —
         and the pooled path's fault tolerance (``resilience``,
-        ``faults``) cannot either.
+        ``faults``) cannot either.  ``budget``/``deadline_ms``/
+        ``admission`` guard the underlying :meth:`search` (ranking
+        itself is linear in the answer count and runs unguarded).
         """
         ob = obs if obs is not None else NOOP
         result = self.search(query, strategy=strategy, obs=ob,
                              workers=workers, kernel=kernel,
-                             resilience=resilience, faults=faults)
+                             resilience=resilience, faults=faults,
+                             budget=budget, deadline_ms=deadline_ms,
+                             admission=admission)
         ranked: list[tuple[str, ScoredFragment]] = []
         with ob.span("rank", fragments=len(result)):
             for name, doc_result in result.per_document.items():

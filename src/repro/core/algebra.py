@@ -25,14 +25,22 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from itertools import chain, combinations
-from typing import Iterable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
 
 from ..errors import FragmentError, QueryError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..guard.budget import QueryBudget
 from ..xmltree.document import Document
 from ..xmltree.intervals import IntervalKernel
 from ..xmltree.navigation import spanning_nodes
 from .fragment import Fragment
 from .stats import OperationStats
+
+#: Budget checkpoints charge work in blocks of this many operations
+#: (see :mod:`repro.core.reduce`): negligible overhead, bounded
+#: deadline overshoot.
+_TICK_BLOCK = 256
 
 __all__ = [
     "fragment_join",
@@ -215,18 +223,35 @@ def join_all(fragments: Iterable[Fragment],
 def pairwise_join(set1: Iterable[Fragment], set2: Iterable[Fragment],
                   stats: Optional[OperationStats] = None,
                   cache: Optional[JoinCache] = None,
-                  kernel: Optional[IntervalKernel] = None
+                  kernel: Optional[IntervalKernel] = None,
+                  budget: Optional["QueryBudget"] = None
                   ) -> frozenset[Fragment]:
     """``F1 ⋈ F2``: join every pair (Definition 5), deduplicated.
 
     Commutative, associative, monotone (``F ⋈ F ⊇ F`` by idempotency of
-    the underlying join), and distributes over set union.
+    the underlying join), and distributes over set union.  An optional
+    :class:`~repro.guard.QueryBudget` is charged one operation per
+    joined pair and checks the result set against its live-fragment
+    ceiling; without one the original generator path runs unchanged.
     """
     left = list(set1)
     right = list(set2)
-    return frozenset(fragment_join(f1, f2, stats=stats, cache=cache,
-                                   kernel=kernel)
-                     for f1 in left for f2 in right)
+    if budget is None:
+        return frozenset(fragment_join(f1, f2, stats=stats, cache=cache,
+                                       kernel=kernel)
+                         for f1 in left for f2 in right)
+    results: set[Fragment] = set()
+    for f1 in left:
+        # Charge whole blocks so the inner join loop stays a C-speed
+        # set comprehension; deadline overshoot is at most one block.
+        for start in range(0, len(right), _TICK_BLOCK):
+            block = right[start:start + _TICK_BLOCK]
+            budget.tick(len(block))
+            results.update(fragment_join(f1, f2, stats=stats,
+                                         cache=cache, kernel=kernel)
+                           for f2 in block)
+        budget.admit_live(len(results))
+    return frozenset(results)
 
 
 def nonempty_subsets(items: Sequence) -> Iterable[tuple]:
@@ -239,7 +264,8 @@ def powerset_join(set1: Iterable[Fragment], set2: Iterable[Fragment],
                   stats: Optional[OperationStats] = None,
                   cache: Optional[JoinCache] = None,
                   max_operand_size: Optional[int] = 20,
-                  kernel: Optional[IntervalKernel] = None
+                  kernel: Optional[IntervalKernel] = None,
+                  budget: Optional["QueryBudget"] = None
                   ) -> frozenset[Fragment]:
     """``F1 ⋈* F2`` by direct enumeration (Definition 6).
 
@@ -271,8 +297,12 @@ def powerset_join(set1: Iterable[Fragment], set2: Iterable[Fragment],
                     "(raise max_operand_size to override)")
     results: set[Fragment] = set()
     for subset1 in nonempty_subsets(left):
+        if budget is not None:
+            budget.admit_candidates(len(results))
         base = join_all(subset1, stats=stats, cache=cache, kernel=kernel)
         for subset2 in nonempty_subsets(right):
+            if budget is not None:
+                budget.tick(len(subset2))
             joined = fragment_join(
                 base, join_all(subset2, stats=stats, cache=cache,
                                kernel=kernel),
@@ -285,7 +315,8 @@ def multiway_powerset_join(fragment_sets: Sequence[Iterable[Fragment]],
                            stats: Optional[OperationStats] = None,
                            cache: Optional[JoinCache] = None,
                            max_operand_size: Optional[int] = 20,
-                           kernel: Optional[IntervalKernel] = None
+                           kernel: Optional[IntervalKernel] = None,
+                           budget: Optional["QueryBudget"] = None
                            ) -> frozenset[Fragment]:
     """m-ary powerset join: ``{⋈(F1' ∪ … ∪ Fm') | Fi' ⊆ Fi, Fi' ≠ ∅}``.
 
@@ -309,10 +340,15 @@ def multiway_powerset_join(fragment_sets: Sequence[Iterable[Fragment]],
 
     def recurse(position: int) -> None:
         if position == len(operands):
+            if budget is not None:
+                budget.tick(len(partial))
+                budget.admit_candidates(len(results))
             results.add(join_all(partial, stats=stats, cache=cache,
                                  kernel=kernel))
             return
         for subset in nonempty_subsets(operands[position]):
+            if budget is not None:
+                budget.tick(max(0, len(subset) - 1))
             joined = join_all(subset, stats=stats, cache=cache,
                               kernel=kernel)
             partial.append(joined)

@@ -28,6 +28,7 @@ from .reduce import fixed_point, fixed_point_bounded
 from .stats import OperationStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..guard.budget import QueryBudget
     from ..index.inverted import InvertedIndex
     from ..xmltree.document import Document
 
@@ -238,6 +239,10 @@ class PlanEvaluator:
         executed; when given, every operator execution folds its output
         cardinality, operation-counter delta and self/total wall time
         into the analysis — EXPLAIN ANALYZE mode.
+    budget:
+        Optional :class:`~repro.guard.QueryBudget`; checkpoints inside
+        the operator bodies abort plan execution with
+        :class:`~repro.errors.BudgetExceeded` when it is spent.
     """
 
     def __init__(self, document: "Document",
@@ -246,7 +251,8 @@ class PlanEvaluator:
                  max_powerset_operand: Optional[int] = 16,
                  obs: Optional[Observability] = None,
                  kernel: KernelArg = None,
-                 analysis: Optional[PlanAnalysis] = None) -> None:
+                 analysis: Optional[PlanAnalysis] = None,
+                 budget: Optional["QueryBudget"] = None) -> None:
         self._document = document
         self._index = index
         self._cache = cache
@@ -254,6 +260,7 @@ class PlanEvaluator:
         self._obs = obs if obs is not None else NOOP
         self._kernel = resolve_kernel(kernel, document)
         self._analysis = analysis
+        self._budget = budget
         # Analysis bookkeeping: one frame per in-flight operator,
         # accumulating its children's wall time and operation counters
         # so each operator records only its own share.
@@ -264,6 +271,9 @@ class PlanEvaluator:
                 ) -> frozenset[Fragment]:
         """Evaluate ``plan`` and return its fragment set."""
         tally = stats if stats is not None else OperationStats()
+        if self._budget is not None:
+            self._budget.start()
+            self._budget.bind_stats(tally)
         if self._obs.enabled:
             with self._obs.span("execute-plan", plan=plan.label(),
                                 stats=tally) as span:
@@ -307,18 +317,25 @@ class PlanEvaluator:
             return pairwise_join(self._eval(node.left, stats),
                                  self._eval(node.right, stats),
                                  stats=stats, cache=self._cache,
-                                 kernel=self._kernel)
+                                 kernel=self._kernel,
+                                 budget=self._budget)
         if isinstance(node, FixedPoint):
             child = self._eval(node.child, stats)
+            if self._budget is not None:
+                self._budget.admit_candidates(len(child))
             closure = fixed_point_bounded if node.bounded else fixed_point
             return closure(child, stats=stats, cache=self._cache,
-                           predicate=node.predicate, kernel=self._kernel)
+                           predicate=node.predicate, kernel=self._kernel,
+                           budget=self._budget)
         if isinstance(node, PowersetJoin):
             operands = [self._eval(op, stats) for op in node.operands]
+            if self._budget is not None:
+                for operand in operands:
+                    self._budget.admit_candidates(len(operand))
             return multiway_powerset_join(
                 operands, stats=stats, cache=self._cache,
                 max_operand_size=self._max_powerset_operand,
-                kernel=self._kernel)
+                kernel=self._kernel, budget=self._budget)
         raise PlanError(f"unknown plan node {type(node).__name__}")
 
 
@@ -328,7 +345,8 @@ def run_plan(document: "Document", query: Query, plan: PlanNode,
              strategy_name: str = "plan",
              obs: Optional[Observability] = None,
              kernel: KernelArg = None,
-             analysis: Optional[PlanAnalysis] = None) -> QueryResult:
+             analysis: Optional[PlanAnalysis] = None,
+             budget: Optional["QueryBudget"] = None) -> QueryResult:
     """Execute a plan and wrap the outcome as a :class:`QueryResult`.
 
     Passing ``analysis=`` (a :class:`PlanAnalysis` of ``plan``) records
@@ -336,7 +354,8 @@ def run_plan(document: "Document", query: Query, plan: PlanNode,
     """
     ob = obs if obs is not None else NOOP
     evaluator = PlanEvaluator(document, index=index, cache=cache, obs=ob,
-                              kernel=kernel, analysis=analysis)
+                              kernel=kernel, analysis=analysis,
+                              budget=budget)
     stats = OperationStats()
     started = time.perf_counter()
     fragments = evaluator.execute(plan, stats=stats)

@@ -23,13 +23,22 @@ their super-fragments could satisfy the filter either.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from ..xmltree.intervals import IntervalKernel
 from .algebra import JoinCache, fragment_join, pairwise_join
 from .filters import Filter
 from .fragment import Fragment
 from .stats import OperationStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..guard.budget import QueryBudget
+
+#: Budget checkpoints charge work in blocks of this many operations:
+#: large enough that the per-block Python call disappears next to the
+#: joins themselves, small enough that a deadline overshoots by at
+#: most one block of work.
+_TICK_BLOCK = 256
 
 __all__ = [
     "set_reduce",
@@ -44,14 +53,16 @@ __all__ = [
 def set_reduce(fragments: Iterable[Fragment],
                stats: Optional[OperationStats] = None,
                cache: Optional[JoinCache] = None,
-               kernel: Optional[IntervalKernel] = None
+               kernel: Optional[IntervalKernel] = None,
+               budget: Optional["QueryBudget"] = None
                ) -> frozenset[Fragment]:
     """``⊖(F)``: remove fragments subsumed by a join of two others.
 
     A fragment ``f`` is removed iff there exist distinct ``f', f'' ∈ F``
     (both different from ``f``) with ``f ⊆ f' ⋈ f''``.  O(|F|³) subset
     checks over O(|F|²) joins; the joins dominate and are memoised via
-    ``cache``.
+    ``cache``.  An optional :class:`~repro.guard.QueryBudget` is
+    charged per pair join and deadline-polled per subset check.
     """
     items = list(dict.fromkeys(fragments))  # stable dedup
     n = len(items)
@@ -59,8 +70,12 @@ def set_reduce(fragments: Iterable[Fragment],
         # Elimination needs three distinct fragments (see Theorem 1's
         # proof preamble), so small sets are already reduced.
         return frozenset(items)
+    if budget is not None:
+        budget.admit_live(n)
     pair_joins: list[tuple[int, int, Fragment]] = []
     for i in range(n):
+        if budget is not None:
+            budget.tick(n - i - 1)  # charge the whole row at once
         for j in range(i + 1, n):
             pair_joins.append(
                 (i, j, fragment_join(items[i], items[j],
@@ -69,6 +84,8 @@ def set_reduce(fragments: Iterable[Fragment],
     kept = []
     for idx, fragment in enumerate(items):
         subsumed = False
+        if budget is not None:
+            budget.poll(len(pair_joins))
         for i, j, joined in pair_joins:
             if idx == i or idx == j:
                 continue
@@ -85,17 +102,19 @@ def set_reduce(fragments: Iterable[Fragment],
 def reduction_count(fragments: Iterable[Fragment],
                     stats: Optional[OperationStats] = None,
                     cache: Optional[JoinCache] = None,
-                    kernel: Optional[IntervalKernel] = None) -> int:
+                    kernel: Optional[IntervalKernel] = None,
+                    budget: Optional["QueryBudget"] = None) -> int:
     """``|⊖(F)|`` — the Theorem-1 iteration bound for ``F``."""
     return len(set_reduce(fragments, stats=stats, cache=cache,
-                          kernel=kernel))
+                          kernel=kernel, budget=budget))
 
 
 def iterate_pairwise(fragments: Iterable[Fragment], rounds: int,
                      stats: Optional[OperationStats] = None,
                      cache: Optional[JoinCache] = None,
                      predicate: Optional[Filter] = None,
-                     kernel: Optional[IntervalKernel] = None
+                     kernel: Optional[IntervalKernel] = None,
+                     budget: Optional["QueryBudget"] = None
                      ) -> frozenset[Fragment]:
     """``⋈_n(F)``: pairwise fragment join of ``rounds`` copies of ``F``.
 
@@ -112,8 +131,11 @@ def iterate_pairwise(fragments: Iterable[Fragment], rounds: int,
         if stats is not None:
             stats.iterations += 1
         current = pairwise_join(current, filtered_base,
-                                stats=stats, cache=cache, kernel=kernel)
+                                stats=stats, cache=cache, kernel=kernel,
+                                budget=budget)
         current = _apply_predicate(current, predicate, stats)
+        if budget is not None:
+            budget.admit_live(len(current))
     return current
 
 
@@ -121,7 +143,8 @@ def fixed_point(fragments: Iterable[Fragment],
                 stats: Optional[OperationStats] = None,
                 cache: Optional[JoinCache] = None,
                 predicate: Optional[Filter] = None,
-                kernel: Optional[IntervalKernel] = None
+                kernel: Optional[IntervalKernel] = None,
+                budget: Optional["QueryBudget"] = None
                 ) -> frozenset[Fragment]:
     """``F+`` via semi-naive iteration with fixed-point checking.
 
@@ -138,17 +161,35 @@ def fixed_point(fragments: Iterable[Fragment],
             stats.iterations += 1
         produced: set[Fragment] = set()
         snapshot = list(result)
-        for new_fragment in frontier:
-            for existing in snapshot:
-                joined = fragment_join(new_fragment, existing,
-                                       stats=stats, cache=cache,
-                                       kernel=kernel)
-                if joined not in result and joined not in produced:
-                    produced.add(joined)
+        if budget is None:
+            for new_fragment in frontier:
+                for existing in snapshot:
+                    joined = fragment_join(new_fragment, existing,
+                                           stats=stats, cache=cache,
+                                           kernel=kernel)
+                    if joined not in result and joined not in produced:
+                        produced.add(joined)
+        else:
+            # Charge the budget in blocks, not per pair: one tick per
+            # _TICK_BLOCK joins keeps checkpoint overhead negligible
+            # while bounding deadline overshoot to one block of work.
+            for new_fragment in frontier:
+                for start in range(0, len(snapshot), _TICK_BLOCK):
+                    block = snapshot[start:start + _TICK_BLOCK]
+                    budget.tick(len(block))
+                    for existing in block:
+                        joined = fragment_join(new_fragment, existing,
+                                               stats=stats, cache=cache,
+                                               kernel=kernel)
+                        if joined not in result \
+                                and joined not in produced:
+                            produced.add(joined)
         produced = set(_apply_predicate(produced, predicate, stats))
         produced -= result
         result |= produced
         frontier = produced
+        if budget is not None:
+            budget.admit_live(len(result))
     return frozenset(result)
 
 
@@ -156,7 +197,8 @@ def fixed_point_bounded(fragments: Iterable[Fragment],
                         stats: Optional[OperationStats] = None,
                         cache: Optional[JoinCache] = None,
                         predicate: Optional[Filter] = None,
-                        kernel: Optional[IntervalKernel] = None
+                        kernel: Optional[IntervalKernel] = None,
+                        budget: Optional["QueryBudget"] = None
                         ) -> frozenset[Fragment]:
     """``F+`` via the Theorem-1 bound: exactly ``|⊖(F)|`` join rounds.
 
@@ -169,9 +211,11 @@ def fixed_point_bounded(fragments: Iterable[Fragment],
     base = frozenset(fragments)
     if not base:
         return base
-    k = reduction_count(base, stats=stats, cache=cache, kernel=kernel)
+    k = reduction_count(base, stats=stats, cache=cache, kernel=kernel,
+                        budget=budget)
     return iterate_pairwise(base, k, stats=stats, cache=cache,
-                            predicate=predicate, kernel=kernel)
+                            predicate=predicate, kernel=kernel,
+                            budget=budget)
 
 
 def is_fixed_point(fragments: Iterable[Fragment],

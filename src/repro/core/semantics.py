@@ -26,7 +26,7 @@ tested rather than assumed.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..xmltree.document import Document
 from .algebra import multiway_powerset_join
@@ -35,31 +35,48 @@ from .filters import select
 from .fragment import Fragment
 from .query import Query, is_answer, keyword_fragments
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..guard.budget import QueryBudget
+
 __all__ = ["definition8_answers", "powerset_semantics_answers",
            "semantics_gap"]
 
 
 def definition8_answers(document: Document, query: Query,
-                        limit: Optional[int] = 200_000
+                        limit: Optional[int] = 200_000,
+                        budget: Optional["QueryBudget"] = None
                         ) -> frozenset[Fragment]:
     """Answers per Definition 8, by exhaustive fragment enumeration.
 
     A fragment qualifies iff every query term occurs at one of its
-    induced leaves and the query predicate maps it to true.
+    induced leaves and the query predicate maps it to true.  An
+    optional :class:`~repro.guard.QueryBudget` is deadline-polled per
+    enumerated fragment (exhaustive enumeration is the slowest loop in
+    the library; the oracle must stay abortable too).
 
     Raises
     ------
     FragmentError
         If the document has more than ``limit`` fragments.
     """
-    return frozenset(fragment
-                     for fragment in iter_all_fragments(document,
-                                                        limit=limit)
-                     if is_answer(fragment, query))
+    if budget is None:
+        return frozenset(fragment
+                         for fragment in iter_all_fragments(document,
+                                                            limit=limit)
+                         if is_answer(fragment, query))
+    budget.start()
+    answers = set()
+    for fragment in iter_all_fragments(document, limit=limit):
+        budget.poll()
+        if is_answer(fragment, query):
+            answers.add(fragment)
+            budget.admit_live(len(answers))
+    return frozenset(answers)
 
 
 def powerset_semantics_answers(document: Document, query: Query,
-                               max_operand_size: Optional[int] = 16
+                               max_operand_size: Optional[int] = 16,
+                               budget: Optional["QueryBudget"] = None
                                ) -> frozenset[Fragment]:
     """Answers per the §2.3 evaluation formula, by literal enumeration.
 
@@ -70,8 +87,12 @@ def powerset_semantics_answers(document: Document, query: Query,
                     for term in query.terms]
     if any(not fs for fs in keyword_sets):
         return frozenset()
+    if budget is not None:
+        budget.start()
+        for fs in keyword_sets:
+            budget.admit_candidates(len(fs))
     candidates = multiway_powerset_join(
-        keyword_sets, max_operand_size=max_operand_size)
+        keyword_sets, max_operand_size=max_operand_size, budget=budget)
     return select(query.predicate, candidates)
 
 

@@ -49,6 +49,7 @@ from .reduce import fixed_point, fixed_point_bounded
 from .stats import OperationStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..guard.budget import QueryBudget
     from ..index.inverted import InvertedIndex
     from ..xmltree.document import Document
 
@@ -84,7 +85,8 @@ def evaluate(document: "Document", query: Query,
              keyword_source: Optional[
                  Callable[[str], frozenset[Fragment]]] = None,
              obs: Optional[Observability] = None,
-             kernel: KernelArg = None) -> QueryResult:
+             kernel: KernelArg = None,
+             budget: Optional["QueryBudget"] = None) -> QueryResult:
     """Evaluate ``query`` against ``document`` with the given strategy.
 
     Returns a :class:`~repro.core.query.QueryResult` carrying the answer
@@ -113,10 +115,19 @@ def evaluate(document: "Document", query: Query,
         frozenset reference path, ``"bitset"`` for the document's
         interval-bitset kernel (identical answers, integer arithmetic —
         see :mod:`repro.xmltree.intervals`).
+    budget:
+        Optional :class:`~repro.guard.QueryBudget`: cooperative
+        checkpoints inside the strategy bodies raise
+        :class:`~repro.errors.BudgetExceeded` when the query blows
+        past its deadline or operation limits.  ``None`` (the default)
+        is the unguarded path, byte-for-byte the pre-guard behaviour.
     """
     ob = obs if obs is not None else NOOP
     kernel_obj = resolve_kernel(kernel, document)
     stats = OperationStats()
+    if budget is not None:
+        budget.start()
+        budget.bind_stats(stats)
     started = time.perf_counter()
 
     # Span attributes are only worth computing when observability is
@@ -146,6 +157,12 @@ def evaluate(document: "Document", query: Query,
 
         empty_terms = [term for term, fs in zip(term_order, keyword_sets)
                        if not fs]
+        if budget is not None:
+            # Catch pathological dense-keyword queries before any join
+            # work: the candidate ceiling applies to every input set.
+            for fs in keyword_sets:
+                budget.admit_candidates(len(fs))
+            budget.check_deadline()
         with strategy_span:
             if empty_terms:
                 # Conjunctive semantics: a term with no matches empties
@@ -154,18 +171,20 @@ def evaluate(document: "Document", query: Query,
             elif strategy is Strategy.BRUTE_FORCE:
                 fragments = _brute_force(keyword_sets, query, stats,
                                          cache, max_brute_force_operand,
-                                         kernel_obj)
+                                         kernel_obj, budget=budget)
             elif strategy is Strategy.SET_REDUCTION:
                 fragments = _set_reduction(keyword_sets, query, stats,
                                            cache, bounded=True,
-                                           kernel=kernel_obj)
+                                           kernel=kernel_obj,
+                                           budget=budget)
             elif strategy is Strategy.SEMI_NAIVE:
                 fragments = _set_reduction(keyword_sets, query, stats,
                                            cache, bounded=False,
-                                           kernel=kernel_obj)
+                                           kernel=kernel_obj,
+                                           budget=budget)
             elif strategy is Strategy.PUSHDOWN:
                 fragments = _pushdown(keyword_sets, query, stats, cache,
-                                      kernel_obj)
+                                      kernel_obj, budget=budget)
             else:  # pragma: no cover - exhaustive over the enum
                 raise QueryError(f"unhandled strategy {strategy}")
         span.set(answers=len(fragments))
@@ -219,7 +238,8 @@ def explain_analyze(document: "Document", query: Query,
                     obs: Optional[Observability] = None,
                     kernel: KernelArg = None,
                     plan: Optional[PlanNode] = None,
-                    analysis: Optional[PlanAnalysis] = None
+                    analysis: Optional[PlanAnalysis] = None,
+                    budget: Optional["QueryBudget"] = None
                     ) -> tuple[QueryResult, PlanAnalysis]:
     """EXPLAIN ANALYZE: run ``query`` through its strategy's plan.
 
@@ -244,7 +264,7 @@ def explain_analyze(document: "Document", query: Query,
                          "pass the plan object it analyses")
     result = run_plan(document, query, plan, index=index, cache=cache,
                       strategy_name=strategy.value, obs=obs,
-                      kernel=kernel, analysis=analysis)
+                      kernel=kernel, analysis=analysis, budget=budget)
     return result, analysis
 
 
@@ -263,30 +283,34 @@ def answer(document: "Document", *terms: str,
 
 def _brute_force(keyword_sets, query: Query, stats: OperationStats,
                  cache: Optional[JoinCache],
-                 max_operand: int, kernel=None) -> frozenset[Fragment]:
+                 max_operand: int, kernel=None,
+                 budget=None) -> frozenset[Fragment]:
     candidates = multiway_powerset_join(keyword_sets, stats=stats,
                                         cache=cache,
                                         max_operand_size=max_operand,
-                                        kernel=kernel)
+                                        kernel=kernel, budget=budget)
     return select(query.predicate, candidates, stats=stats)
 
 
 def _set_reduction(keyword_sets, query: Query, stats: OperationStats,
                    cache: Optional[JoinCache],
-                   bounded: bool, kernel=None) -> frozenset[Fragment]:
+                   bounded: bool, kernel=None,
+                   budget=None) -> frozenset[Fragment]:
     closure = fixed_point_bounded if bounded else fixed_point
-    fixed_points = [closure(fs, stats=stats, cache=cache, kernel=kernel)
+    fixed_points = [closure(fs, stats=stats, cache=cache, kernel=kernel,
+                            budget=budget)
                     for fs in keyword_sets]
     candidates = _reduce(
         lambda left, right: pairwise_join(left, right, stats=stats,
-                                          cache=cache, kernel=kernel),
+                                          cache=cache, kernel=kernel,
+                                          budget=budget),
         fixed_points)
     return select(query.predicate, candidates, stats=stats)
 
 
 def _pushdown(keyword_sets, query: Query, stats: OperationStats,
               cache: Optional[JoinCache],
-              kernel=None) -> frozenset[Fragment]:
+              kernel=None, budget=None) -> frozenset[Fragment]:
     predicate = query.predicate
     pushed = predicate if predicate.is_anti_monotonic else None
     fixed_points = []
@@ -296,12 +320,13 @@ def _pushdown(keyword_sets, query: Query, stats: OperationStats,
             # one term rejects every candidate fragment too.
             return frozenset()
         fixed_points.append(fixed_point(fs, stats=stats, cache=cache,
-                                        predicate=pushed, kernel=kernel))
+                                        predicate=pushed, kernel=kernel,
+                                        budget=budget))
     candidates = fixed_points[0]
     for other in fixed_points[1:]:
         candidates = pairwise_join(candidates, other,
                                    stats=stats, cache=cache,
-                                   kernel=kernel)
+                                   kernel=kernel, budget=budget)
         if pushed is not None:
             candidates = select(pushed, candidates, stats=stats)
     # Final selection guarantees correctness for non-anti-monotonic

@@ -55,3 +55,73 @@ class ExecutionError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised when a synthetic workload specification is unsatisfiable."""
+
+
+class BudgetExceeded(ReproError):
+    """Raised when a query blows through its :class:`~repro.guard.QueryBudget`.
+
+    Cooperative abort: checkpoints inside the evaluation hot loops raise
+    this as soon as a limit (wall deadline, join-operation budget, live
+    fragment or candidate-set ceiling) is crossed.  The exception is
+    *structured* — it carries which limit tripped, how long the query had
+    run, and a partial-progress snapshot — so servers and logs can report
+    the abort without re-deriving anything.
+
+    Attributes
+    ----------
+    reason:
+        Which limit tripped: ``"deadline"``, ``"join-ops"``,
+        ``"live-fragments"`` or ``"candidates"``.
+    elapsed:
+        Seconds between the budget's start and the abort.
+    progress:
+        Plain-dict snapshot of the work done so far (join-op count and,
+        when the budget was bound to an
+        :class:`~repro.core.stats.OperationStats`, its counters).
+    """
+
+    def __init__(self, message: str, reason: str = "budget",
+                 elapsed: float = 0.0, progress=None) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.elapsed = elapsed
+        self.progress = dict(progress) if progress else {}
+
+    def __reduce__(self):
+        # Preserve the structured fields across pickling (the default
+        # BaseException reduction re-calls __init__ with .args only).
+        return (type(self), (str(self), self.reason, self.elapsed,
+                             self.progress))
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form, used by the query endpoint and the CLI."""
+        return {"error": "budget-exceeded", "reason": self.reason,
+                "message": str(self), "elapsed_s": round(self.elapsed, 6),
+                "progress": dict(self.progress)}
+
+
+class AdmissionRejected(ReproError):
+    """Raised when the pre-admission cost screen refuses a query.
+
+    The screen (:func:`repro.guard.screen`) estimates the cost of the
+    requested strategy's plan with :class:`~repro.core.cost.CostModel`
+    *before any evaluation work runs*; a query whose estimate exceeds
+    the configured ceiling — even after trying the downgrade strategy —
+    is rejected with this error.
+    """
+
+    def __init__(self, message: str, estimated_cost: float = 0.0,
+                 max_cost: float = 0.0) -> None:
+        super().__init__(message)
+        self.estimated_cost = estimated_cost
+        self.max_cost = max_cost
+
+    def __reduce__(self):
+        return (type(self), (str(self), self.estimated_cost,
+                             self.max_cost))
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form, used by the query endpoint and the CLI."""
+        return {"error": "admission-rejected", "message": str(self),
+                "estimated_cost": self.estimated_cost,
+                "max_cost": self.max_cost}

@@ -26,6 +26,7 @@ from typing import Iterable, Optional, Sequence
 from ..collection.collection import CollectionResult, DocumentCollection
 from ..core.query import Query
 from ..core.strategies import Strategy
+from ..guard.budget import QueryBudget
 from ..obs import BATCH_QUERIES, NOOP, Observability
 from .faults import FaultPlan
 from .parallel import ParallelExecutor
@@ -100,32 +101,49 @@ class BatchRunner:
     def run(self, queries: Iterable[Query],
             strategy: Optional[Strategy] = None,
             kernel: Optional[str] = None,
-            obs: Optional[Observability] = None
+            obs: Optional[Observability] = None,
+            budget: Optional[QueryBudget] = None,
+            deadline_ms: Optional[float] = None
             ) -> list[CollectionResult]:
         """Evaluate every query; one :class:`CollectionResult` each.
 
         Results are identical to calling
         :meth:`DocumentCollection.search` per query — the batch only
         changes *where* the work runs and how often setup is paid.
+
+        ``budget``/``deadline_ms`` guard the whole batch: the deadline
+        is end-to-end across all queries; per-operation limits
+        (``max_join_ops`` etc.) apply to each query independently
+        (serial mode) or each ``(document, query)`` item (pooled
+        mode), composing with the pool's
+        :class:`~repro.exec.resilience.RetryPolicy` — see
+        :meth:`ParallelExecutor.run`.
         """
+        from ..guard.budget import effective_budget
         batch: Sequence[Query] = list(queries)
         ob = obs if obs is not None else self._obs
         use_strategy = strategy if strategy is not None else self.strategy
         use_kernel = kernel if kernel is not None else self.kernel
+        use_budget = effective_budget(budget, deadline_ms)
         if ob.enabled:
             ob.metrics.counter(
                 BATCH_QUERIES, "Queries evaluated through BatchRunner."
             ).inc(len(batch))
         if not batch:
             return []
+        if use_budget is not None:
+            use_budget.start()
         if self.workers is None:
-            return [self.collection.search(query, strategy=use_strategy,
-                                           kernel=use_kernel, obs=ob)
+            return [self.collection.search(
+                        query, strategy=use_strategy, kernel=use_kernel,
+                        obs=ob,
+                        budget=(use_budget.fresh_item()
+                                if use_budget is not None else None))
                     for query in batch]
         pool = self._pool()
         try:
             return pool.run(batch, strategy=use_strategy,
-                            kernel=use_kernel, obs=ob)
+                            kernel=use_kernel, obs=ob, budget=use_budget)
         finally:
             self._last_report = pool.last_report
 

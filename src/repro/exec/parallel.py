@@ -62,7 +62,9 @@ from ..core.algebra import JoinCache, KERNEL_NAMES
 from ..core.fragment import Fragment
 from ..core.query import Query, QueryResult
 from ..core.strategies import Strategy, evaluate
-from ..errors import DocumentError, ExecutionError, QueryError
+from ..errors import (BudgetExceeded, DocumentError, ExecutionError,
+                      QueryError)
+from ..guard.budget import QueryBudget
 from ..index.inverted import InvertedIndex
 from ..obs import (CHUNK_FALLBACKS, CHUNK_RETRIES, CHUNK_TIMEOUTS,
                    DOCUMENTS_SKIPPED, EXEC_DEGRADED, NOOP, MetricsRegistry,
@@ -149,10 +151,29 @@ def _worker_index(name: str) -> InvertedIndex:
     return index
 
 
+def _budget_marker(exc: BudgetExceeded) -> dict:
+    """A picklable row payload standing in for a budget abort.
+
+    Budget aborts travel as *data*, not exceptions: a doomed query must
+    not look like a worker failure to the retry machinery (retrying a
+    spent deadline can never succeed), so the worker finishes its chunk
+    normally and the parent re-raises deterministically at merge time.
+    """
+    return {"budget_exceeded": exc.to_dict()}
+
+
+def _raise_budget_marker(marker: dict) -> None:
+    info = marker["budget_exceeded"]
+    raise BudgetExceeded(info["message"], reason=info["reason"],
+                         elapsed=info["elapsed_s"],
+                         progress=info["progress"])
+
+
 def _run_chunk(queries: Sequence[Query], items: Sequence[tuple[str, int]],
                strategy_value: str, kernel: Optional[str],
                obs_spec: Optional[dict] = None,
-               fault: Optional[dict] = None):
+               fault: Optional[dict] = None,
+               budget: Optional[QueryBudget] = None):
     """Evaluate one chunk of ``(document name, query index)`` items.
 
     Returns ``(rows, chunk_seconds, delta, pid)`` where each row is
@@ -168,6 +189,14 @@ def _run_chunk(queries: Sequence[Query], items: Sequence[tuple[str, int]],
     :class:`~repro.exec.faults.FaultPlan`, executed before evaluation.
     If the chunk fails (injected or real), the partial telemetry is
     discarded so a retried chunk never double-counts.
+
+    ``budget`` is an optional started :class:`~repro.guard.QueryBudget`
+    shipped from the parent.  Its deadline is an absolute
+    ``CLOCK_MONOTONIC`` timestamp (system-wide on Linux), so each item
+    evaluates under a fresh per-item clone that sees exactly the wall
+    time the parent request has left.  An item that blows the budget
+    becomes a marker row (see :func:`_budget_marker`) rather than a
+    chunk failure.
     """
     global _WORKER_BASELINE
     started = time.perf_counter()
@@ -184,9 +213,16 @@ def _run_chunk(queries: Sequence[Query], items: Sequence[tuple[str, int]],
             if not all(index.contains(term) for term in query.terms):
                 rows.append((name, query_index, None))
                 continue
-            result = evaluate(_WORKER_DOCUMENTS[name], query,
-                              strategy=strategy, index=index,
-                              cache=_WORKER_CACHE, kernel=kernel, obs=obs)
+            try:
+                result = evaluate(_WORKER_DOCUMENTS[name], query,
+                                  strategy=strategy, index=index,
+                                  cache=_WORKER_CACHE, kernel=kernel,
+                                  obs=obs,
+                                  budget=(budget.fresh_item()
+                                          if budget is not None else None))
+            except BudgetExceeded as exc:
+                rows.append((name, query_index, _budget_marker(exc)))
+                continue
             payload = (tuple(sorted(tuple(sorted(f.nodes))
                                     for f in result.fragments)),
                        result.elapsed, result.stats)
@@ -352,7 +388,8 @@ class ParallelExecutor:
 
     def _dispatch(self, queries, chunks, strategy, kernel, obs_spec, ob,
                   policy: RetryPolicy, plan: Optional[FaultPlan],
-                  outcomes, report: ResilienceReport) -> None:
+                  outcomes, report: ResilienceReport,
+                  budget: Optional[QueryBudget] = None) -> None:
         """Run every chunk to completion, surviving crashes and hangs.
 
         Chunks are dispatched in waves; a wave is the current pending
@@ -391,7 +428,7 @@ class ParallelExecutor:
                 try:
                     futures[chunk_index] = self._pool.submit(
                         _run_chunk, queries, chunks[chunk_index],
-                        strategy.value, kernel, obs_spec, fault)
+                        strategy.value, kernel, obs_spec, fault, budget)
                 except (BrokenExecutor, RuntimeError):
                     submit_broken = True
                     pending.append(chunk_index)
@@ -459,7 +496,7 @@ class ParallelExecutor:
         # serial-identical answers.
         for chunk_index in fallback:
             rows = self._serial_items(queries, chunks[chunk_index],
-                                      strategy, kernel, ob)
+                                      strategy, kernel, ob, budget=budget)
             for name, query_index, payload in rows:
                 outcomes[(name, query_index)] = payload
             report.fallback_chunks += 1
@@ -476,14 +513,15 @@ class ParallelExecutor:
             self._parent_indexes[name] = index
         return index
 
-    def _serial_items(self, queries, items, strategy, kernel, ob):
+    def _serial_items(self, queries, items, strategy, kernel, ob,
+                      budget: Optional[QueryBudget] = None):
         """Evaluate one chunk's items in-process (degraded mode).
 
-        Mirrors ``_run_chunk`` — including the conjunctive early exit —
-        against the parent's own documents, so the rows are
-        bit-identical to what a healthy worker would have returned.
-        Telemetry lands directly on the parent handle, exactly like the
-        serial path.
+        Mirrors ``_run_chunk`` — including the conjunctive early exit
+        and the per-item budget clones — against the parent's own
+        documents, so the rows are bit-identical to what a healthy
+        worker would have returned.  Telemetry lands directly on the
+        parent handle, exactly like the serial path.
         """
         rows = []
         for name, query_index in items:
@@ -492,10 +530,16 @@ class ParallelExecutor:
             if not all(index.contains(term) for term in query.terms):
                 rows.append((name, query_index, None))
                 continue
-            result = evaluate(self.documents[name], query,
-                              strategy=strategy, index=index,
-                              cache=self._parent_cache, kernel=kernel,
-                              obs=ob)
+            try:
+                result = evaluate(self.documents[name], query,
+                                  strategy=strategy, index=index,
+                                  cache=self._parent_cache, kernel=kernel,
+                                  obs=ob,
+                                  budget=(budget.fresh_item()
+                                          if budget is not None else None))
+            except BudgetExceeded as exc:
+                rows.append((name, query_index, _budget_marker(exc)))
+                continue
             payload = (tuple(sorted(tuple(sorted(f.nodes))
                                     for f in result.fragments)),
                        result.elapsed, result.stats)
@@ -512,11 +556,12 @@ class ParallelExecutor:
                kernel: Optional[str] = None,
                obs: Optional[Observability] = None,
                resilience: Optional[RetryPolicy] = None,
-               faults: Optional[FaultPlan] = None) -> CollectionResult:
+               faults: Optional[FaultPlan] = None,
+               budget: Optional[QueryBudget] = None) -> CollectionResult:
         """Evaluate one query over the corpus; serial-identical result."""
         return self.run([query], strategy=strategy, documents=documents,
                         kernel=kernel, obs=obs, resilience=resilience,
-                        faults=faults)[0]
+                        faults=faults, budget=budget)[0]
 
     def run(self, queries: Sequence[Query],
             strategy: Strategy = Strategy.PUSHDOWN,
@@ -524,7 +569,9 @@ class ParallelExecutor:
             kernel: Optional[str] = None,
             obs: Optional[Observability] = None,
             resilience: Optional[RetryPolicy] = None,
-            faults: Optional[FaultPlan] = None) -> list[CollectionResult]:
+            faults: Optional[FaultPlan] = None,
+            budget: Optional[QueryBudget] = None
+            ) -> list[CollectionResult]:
         """Evaluate a batch of queries in one scheduling wave.
 
         All ``(document, query)`` pairs are chunked together, so a
@@ -538,6 +585,14 @@ class ParallelExecutor:
         serially in-process — so the result is serial-identical even
         under worker loss, unless ``resilience.fallback == "never"``
         (then :class:`~repro.errors.ExecutionError` is raised).
+
+        ``budget`` composes with the retry machinery rather than
+        fighting it: each ``(document, query)`` item evaluates under a
+        fresh per-item clone sharing the parent's *absolute* deadline,
+        and an item that blows its budget travels back as a marker row
+        — not a chunk failure, so it is never retried — and is
+        re-raised here as :class:`~repro.errors.BudgetExceeded`, in
+        deterministic caller order, once dispatch completes.
         """
         if kernel is not None and kernel not in KERNEL_NAMES:
             raise QueryError(f"unknown join kernel {kernel!r}; the "
@@ -558,6 +613,10 @@ class ParallelExecutor:
         chunks = [items[i:i + chunk_size]
                   for i in range(0, len(items), chunk_size)]
 
+        if budget is not None:
+            # Start before shipping: workers clone the *absolute*
+            # monotonic deadline, which is valid across processes.
+            budget.start()
         obs_spec = ({"trace": ob.tracer.enabled} if ob.enabled else None)
         outcomes: dict[tuple[str, int], Optional[tuple]] = {}
         report = ResilienceReport()
@@ -568,7 +627,7 @@ class ParallelExecutor:
             try:
                 self._dispatch(queries, chunks, strategy, kernel,
                                obs_spec, ob, policy, plan, outcomes,
-                               report)
+                               report, budget=budget)
             finally:
                 self.last_report = report
                 self.degraded = report.degraded
@@ -622,6 +681,10 @@ class ParallelExecutor:
                 if payload is None:
                     total_skipped += 1
                     continue
+                if isinstance(payload, dict):
+                    # First budget abort in caller order wins, matching
+                    # where the serial path would have raised.
+                    _raise_budget_marker(payload)
                 node_tuples, elapsed, stats = payload
                 document = self.documents[name]
                 fragments = frozenset(

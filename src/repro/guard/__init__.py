@@ -1,0 +1,39 @@
+"""Query guard rails: budgets, admission control, circuit breaking.
+
+Three layers, composable and each independently optional:
+
+* :class:`QueryBudget` — cooperative per-query resource limits (wall
+  deadline, join-operation budget, live-fragment and candidate-set
+  ceilings) enforced by cheap amortised checkpoints inside the core
+  evaluation loops; aborts raise a structured
+  :class:`~repro.errors.BudgetExceeded` with partial progress.
+* :func:`screen` / :class:`AdmissionPolicy` — pre-admission cost
+  screening with the Section-5 cost model: reject or downgrade a query
+  whose estimated plan cost exceeds a ceiling *before* any work runs.
+* :class:`CircuitBreaker` — per-collection fail-fast once consecutive
+  failures pass a threshold, with a half-open recovery probe.
+
+The serving layer (:mod:`repro.obs.server`) wires all three behind a
+``POST /query`` endpoint with load shedding and graceful drain.
+"""
+
+from ..errors import AdmissionRejected, BudgetExceeded
+from .admission import AdmissionDecision, AdmissionPolicy, screen
+from .breaker import (BREAKER_STATE_CODES, CLOSED, HALF_OPEN, OPEN,
+                      CircuitBreaker)
+from .budget import QueryBudget, effective_budget
+
+__all__ = [
+    "QueryBudget",
+    "effective_budget",
+    "BudgetExceeded",
+    "AdmissionPolicy",
+    "AdmissionDecision",
+    "AdmissionRejected",
+    "screen",
+    "CircuitBreaker",
+    "BREAKER_STATE_CODES",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+]

@@ -1,0 +1,129 @@
+"""Per-collection circuit breaker.
+
+A thin, thread-safe implementation of the classic pattern: after ``K``
+consecutive failures (budget aborts, worker crashes) the breaker
+*opens* and the serving layer fails fast instead of queueing more
+doomed work; after a cooldown it lets exactly one *half-open* probe
+through, and the probe's outcome decides between closing again and
+re-opening for another cooldown.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN",
+           "BREAKER_STATE_CODES"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Gauge encoding for the ``repro_guard_breaker_state`` metric.
+BREAKER_STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Closed → open after K consecutive failures → half-open probe.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip the breaker open.
+    reset_s:
+        Cooldown before an open breaker admits a half-open probe.
+    clock:
+        Injectable monotonic clock (tests pass a fake).
+    """
+
+    def __init__(self, failure_threshold: int = 5, reset_s: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_s < 0:
+            raise ValueError("reset_s must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.reset_s = reset_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_at = 0.0
+        self.trips = 0
+
+    # -- state transitions --------------------------------------------
+
+    def allow(self) -> bool:
+        """May a request proceed right now?
+
+        Closed: always.  Open: only once the cooldown has elapsed, in
+        which case the breaker moves to half-open and admits this
+        single probe.  Half-open: the in-flight probe has the slot; a
+        probe that never reports back (e.g. its thread died) is
+        assumed lost after another cooldown and the slot is re-issued.
+        """
+        with self._lock:
+            now = self._clock()
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if now - self._opened_at >= self.reset_s:
+                    self._state = HALF_OPEN
+                    self._probe_at = now
+                    return True
+                return False
+            # HALF_OPEN: one probe at a time, with stale-probe recovery.
+            if now - self._probe_at >= self.reset_s:
+                self._probe_at = now
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A request finished cleanly: close and reset the count."""
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+
+    def record_failure(self) -> None:
+        """A request failed (budget abort, crash): count / trip."""
+        with self._lock:
+            self._failures += 1
+            if self._state == HALF_OPEN:
+                # The probe failed: straight back to open.
+                self._trip()
+            elif (self._state == CLOSED
+                    and self._failures >= self.failure_threshold):
+                self._trip()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self.trips += 1
+
+    # -- introspection ------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def state_code(self) -> int:
+        """Numeric encoding for the breaker-state gauge."""
+        return BREAKER_STATE_CODES[self.state]
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._failures
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {"state": self._state,
+                    "consecutive_failures": self._failures,
+                    "failure_threshold": self.failure_threshold,
+                    "reset_s": self.reset_s,
+                    "trips": self.trips}

@@ -1,0 +1,214 @@
+"""Cooperative query budgets.
+
+The paper's powerset semantics (Definition 6) can blow up
+combinatorially, and even the polynomial strategies walk data whose
+size the caller does not control.  A :class:`QueryBudget` puts a lid on
+a single query's resource use *cooperatively*: the evaluation hot loops
+in :mod:`repro.core` call the budget's cheap checkpoint methods
+(:meth:`QueryBudget.tick` / :meth:`QueryBudget.poll`) as they work, and
+the budget raises a structured
+:class:`~repro.errors.BudgetExceeded` the moment a limit is crossed.
+
+Design notes
+------------
+* **Amortised deadline checks.**  ``time.monotonic()`` is cheap but not
+  free; calling it per joined pair would dominate small joins.  The
+  budget only consults the clock every ``check_interval`` charged
+  operations (default 256), so the steady-state cost of a checkpoint is
+  one integer add and one compare.
+* **No effect when absent.**  Every hot loop guards its checkpoint with
+  ``if budget is not None``; with no budget the evaluation path is
+  byte-for-byte the pre-guard code, which keeps results bit-identical
+  and overhead at a single ``None`` test.
+* **Cross-process composition.**  Deadlines are stored as *absolute*
+  ``time.monotonic()`` timestamps.  On Linux ``CLOCK_MONOTONIC`` is
+  system-wide, so a started budget can ship to a forked/spawned pool
+  worker (:meth:`QueryBudget.fresh_item`) and the remaining wall time
+  is honoured there without clock translation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..errors import BudgetExceeded
+
+__all__ = ["QueryBudget", "effective_budget"]
+
+#: How many charged operations may pass between wall-clock checks.
+DEFAULT_CHECK_INTERVAL = 256
+
+
+@dataclass
+class QueryBudget:
+    """Resource limits for one query evaluation.
+
+    Parameters
+    ----------
+    deadline_s:
+        Wall-clock budget in seconds, measured from :meth:`start`.
+        ``None`` disables the deadline.
+    max_join_ops:
+        Ceiling on charged join operations (fragment joins, pair
+        probes).  ``None`` disables the limit.
+    max_live_fragments:
+        Ceiling on the size of any intermediate fragment set the
+        evaluator materialises.  ``None`` disables the limit.
+    max_candidates:
+        Ceiling on the size of a candidate set admitted into powerset
+        or fixed-point machinery (where cost is superlinear in the
+        candidate count).  ``None`` disables the limit.
+    check_interval:
+        Operations between amortised wall-clock checks.
+    """
+
+    deadline_s: float | None = None
+    max_join_ops: int | None = None
+    max_live_fragments: int | None = None
+    max_candidates: int | None = None
+    check_interval: int = DEFAULT_CHECK_INTERVAL
+
+    # Runtime state — excluded from equality so two budgets with the
+    # same limits compare equal regardless of progress.
+    started_at: float | None = field(default=None, compare=False)
+    join_ops: int = field(default=0, compare=False)
+    _deadline_at: float | None = field(default=None, compare=False,
+                                       repr=False)
+    _since_check: int = field(default=0, compare=False, repr=False)
+    _stats: object = field(default=None, compare=False, repr=False)
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> "QueryBudget":
+        """Stamp the start time (idempotent) and return ``self``."""
+        if self.started_at is None:
+            self.started_at = time.monotonic()
+            if self.deadline_s is not None:
+                self._deadline_at = self.started_at + self.deadline_s
+        return self
+
+    def bind_stats(self, stats) -> None:
+        """Attach an ``OperationStats`` to enrich abort progress."""
+        self._stats = stats
+
+    def fresh_item(self) -> "QueryBudget":
+        """A budget for one more unit of work under the same limits.
+
+        Per-operation counters reset, but an already-started deadline
+        is inherited as the same *absolute* monotonic timestamp — the
+        clone sees only the wall time the original has left.  Used for
+        per-query budgets in batches and per-item budgets in pool
+        workers.
+        """
+        clone = QueryBudget(deadline_s=self.deadline_s,
+                           max_join_ops=self.max_join_ops,
+                           max_live_fragments=self.max_live_fragments,
+                           max_candidates=self.max_candidates,
+                           check_interval=self.check_interval)
+        if self.started_at is not None:
+            clone.started_at = self.started_at
+            clone._deadline_at = self._deadline_at
+        return clone
+
+    # -- checkpoints --------------------------------------------------
+
+    def tick(self, ops: int = 1) -> None:
+        """Charge ``ops`` join operations; cheap amortised checkpoint.
+
+        Raises :class:`BudgetExceeded` when the join-operation budget
+        is spent or (every ``check_interval`` ops) the deadline passed.
+        """
+        self.join_ops += ops
+        if (self.max_join_ops is not None
+                and self.join_ops > self.max_join_ops):
+            raise self._exceeded(
+                "join-ops",
+                f"join-operation budget of {self.max_join_ops} spent")
+        self._since_check += ops
+        if self._since_check >= self.check_interval:
+            self._since_check = 0
+            self.check_deadline()
+
+    def poll(self, ops: int = 1) -> None:
+        """Amortised deadline check that does *not* charge join ops.
+
+        For loops that do real work without joining (subset checks,
+        fragment enumeration).
+        """
+        self._since_check += ops
+        if self._since_check >= self.check_interval:
+            self._since_check = 0
+            self.check_deadline()
+
+    def check_deadline(self) -> None:
+        """Unconditional wall-clock check."""
+        if (self._deadline_at is not None
+                and time.monotonic() > self._deadline_at):
+            raise self._exceeded(
+                "deadline",
+                f"deadline of {self.deadline_s:g}s passed")
+
+    def admit_live(self, count: int) -> None:
+        """Check an intermediate fragment-set size against the ceiling."""
+        if (self.max_live_fragments is not None
+                and count > self.max_live_fragments):
+            raise self._exceeded(
+                "live-fragments",
+                f"{count} live fragments exceed the ceiling of "
+                f"{self.max_live_fragments}")
+
+    def admit_candidates(self, count: int) -> None:
+        """Check a candidate-set size against the ceiling."""
+        if (self.max_candidates is not None
+                and count > self.max_candidates):
+            raise self._exceeded(
+                "candidates",
+                f"candidate set of {count} exceeds the ceiling of "
+                f"{self.max_candidates}")
+
+    # -- introspection ------------------------------------------------
+
+    def elapsed(self) -> float:
+        """Seconds since :meth:`start`; 0.0 if never started."""
+        if self.started_at is None:
+            return 0.0
+        return time.monotonic() - self.started_at
+
+    def remaining_s(self) -> float | None:
+        """Wall time left, or ``None`` when no deadline is armed."""
+        if self._deadline_at is None:
+            return None
+        return max(0.0, self._deadline_at - time.monotonic())
+
+    def progress(self) -> dict:
+        """Partial-progress snapshot shipped inside ``BudgetExceeded``."""
+        snapshot = {"join_ops": self.join_ops}
+        if self._stats is not None and hasattr(self._stats, "as_dict"):
+            snapshot["stats"] = self._stats.as_dict()
+        return snapshot
+
+    def _exceeded(self, reason: str, detail: str) -> BudgetExceeded:
+        return BudgetExceeded(f"query aborted: {detail}", reason=reason,
+                              elapsed=self.elapsed(),
+                              progress=self.progress())
+
+
+def effective_budget(budget: QueryBudget | None = None,
+                     deadline_ms: float | None = None,
+                     ) -> QueryBudget | None:
+    """Combine an explicit budget with a convenience ``deadline_ms``.
+
+    ``deadline_ms`` tightens (never loosens) the budget's own deadline;
+    with neither argument the result is ``None`` — the unguarded path.
+    """
+    if deadline_ms is None:
+        return budget
+    deadline_s = deadline_ms / 1000.0
+    if budget is None:
+        return QueryBudget(deadline_s=deadline_s)
+    if budget.deadline_s is None or deadline_s < budget.deadline_s:
+        budget.deadline_s = deadline_s
+        if budget.started_at is not None:
+            budget._deadline_at = budget.started_at + deadline_s
+    return budget

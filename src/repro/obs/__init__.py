@@ -84,6 +84,15 @@ CHUNK_FALLBACKS = "repro_exec_chunk_fallbacks_total"
 #: else 0.  Reflected by the /healthz and /varz endpoints.
 EXEC_DEGRADED = "repro_exec_degraded"
 
+# Guard-rail metrics (recorded by repro.guard consumers: the collection
+# layer, the CLI serve loop and the query-serving endpoint).
+GUARD_ADMITTED = "repro_guard_admitted_total"
+GUARD_REJECTED = "repro_guard_rejected_total"
+GUARD_SHED = "repro_guard_shed_total"
+GUARD_BUDGET_EXCEEDED = "repro_guard_budget_exceeded_total"
+#: Gauge: circuit-breaker state (0 closed, 1 half-open, 2 open).
+GUARD_BREAKER_STATE = "repro_guard_breaker_state"
+
 # Baseline evaluators (repro.baselines) recorded by record_baseline().
 BASELINE_QUERIES = "repro_baseline_queries_total"
 BASELINE_LATENCY = "repro_baseline_latency_seconds"

@@ -1,34 +1,49 @@
-"""A live metrics endpoint over one :class:`~repro.obs.Observability`.
+"""A live metrics + query-serving endpoint over one
+:class:`~repro.obs.Observability`.
 
 :class:`MetricsServer` runs a stdlib :class:`ThreadingHTTPServer` on a
 daemon thread and serves the handle's current state:
 
-``/metrics``
+``GET /metrics``
     Prometheus text exposition (format 0.0.4) of the metrics registry —
     point a Prometheus scrape job straight at it.
-``/healthz``
-    ``ok`` (liveness probe) — or ``degraded`` while the
-    ``repro_exec_degraded`` gauge is set, i.e. the last parallel run
-    had to fall back to in-process serial evaluation (still HTTP 200:
-    degraded mode keeps answering).
-``/varz``
-    The whole registry as JSON, plus server uptime, the degraded flag
-    and query-log counts.
-``/slow``
+``GET /healthz``
+    ``ok`` (liveness probe) — ``degraded`` while the
+    ``repro_exec_degraded`` gauge is set, ``breaker-open`` while the
+    query circuit breaker is open (both still HTTP 200: the server
+    keeps answering), and ``draining`` with HTTP 503 once shutdown has
+    begun.
+``GET /varz``
+    The whole registry as JSON, plus server uptime, the degraded flag,
+    query-log counts and (with a collection attached) the guard-rail
+    state: queue depth, in-flight count, breaker state.
+``GET /slow``
     The retained slow-query records as a JSON array (empty without a
     query log).
+``POST /query``
+    Evaluate one query against the attached
+    :class:`~repro.collection.DocumentCollection`, behind the full
+    guard-rail stack (see :class:`QueryGuardrails`): bounded admission
+    queue (HTTP 429 when full), concurrency semaphore (503 on wait
+    timeout), pre-admission cost screen (422), per-request deadlines
+    propagated into a :class:`~repro.guard.QueryBudget` (422 on budget
+    abort), and a circuit breaker that fails fast (503) after
+    consecutive execution failures.  Load-shedding responses carry
+    ``Retry-After``.
+
+Unsupported methods get HTTP 405 with an ``Allow`` header rather than
+a hang or a 404 fallthrough; unknown paths get 404.
 
 Reads are snapshots: each request renders the registry at that moment,
 so a long-running search can be watched live::
 
     obs = Observability(query_log=QueryLog(slow_query_ms=50))
-    with MetricsServer(obs) as server:
-        print(f"metrics at {server.url}/metrics")
-        collection.search(query, obs=obs, workers=4)
+    with MetricsServer(obs, collection=collection) as server:
+        print(f"query endpoint at {server.url}/query")
 
 The CLI wires this up via ``repro-search … --metrics-port N`` (serve
-while the search runs) and ``repro-search serve`` (serve while reading
-queries from stdin).  Only stdlib is used; there is no dependency on a
+while the search runs) and ``repro-search serve`` (serve queries over
+HTTP and stdin).  Only stdlib is used; there is no dependency on a
 Prometheus client library.
 """
 
@@ -37,72 +52,327 @@ from __future__ import annotations
 import json
 import threading
 import time
+from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional
+from typing import TYPE_CHECKING, Mapping, Optional
 
-from . import EXEC_DEGRADED, Observability
+from ..core.query import Query
+from ..core.queryparser import parse_filter, parse_query
+from ..core.strategies import Strategy
+from ..errors import (AdmissionRejected, BudgetExceeded, ExecutionError,
+                      ReproError)
+from ..guard.admission import AdmissionPolicy
+from ..guard.breaker import BREAKER_STATE_CODES, OPEN, CircuitBreaker
+from ..guard.budget import QueryBudget
+from . import (EXEC_DEGRADED, GUARD_ADMITTED, GUARD_BREAKER_STATE,
+               GUARD_REJECTED, GUARD_SHED, Observability)
 
-__all__ = ["MetricsServer"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..collection.collection import DocumentCollection
+
+__all__ = ["MetricsServer", "QueryGuardrails"]
 
 #: Content type of the Prometheus text exposition format.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
+#: Largest accepted ``POST /query`` body.
+MAX_BODY_BYTES = 1 << 20
+
+
+@dataclass(frozen=True)
+class QueryGuardrails:
+    """Serving-side guard-rail configuration for ``POST /query``.
+
+    Parameters
+    ----------
+    max_concurrency:
+        Queries evaluating at once; the rest wait on the semaphore.
+    max_queue:
+        Requests allowed to wait for a slot; beyond it the server
+        sheds with HTTP 429.
+    queue_timeout_s:
+        Longest a queued request waits for a slot before shedding
+        with HTTP 503.
+    retry_after_s:
+        ``Retry-After`` hint on every shed response.
+    default_deadline_ms:
+        Server-side wall-clock ceiling per query.  A request may ask
+        for less but never more (the effective deadline is the
+        minimum of the two).
+    max_join_ops / max_live_fragments / max_candidates:
+        Default per-query :class:`~repro.guard.QueryBudget` limits;
+        ``max_join_ops`` may be tightened per request.
+    admission:
+        Optional :class:`~repro.guard.AdmissionPolicy`: cost-screen
+        every query before evaluation (HTTP 422 on rejection).
+    breaker_failures / breaker_reset_s:
+        Circuit-breaker trip threshold and cooldown.
+    strategy / kernel / workers / resilience / faults:
+        Evaluation configuration forwarded to
+        :meth:`DocumentCollection.search` (``faults`` exists for
+        deterministic failure-injection tests).
+    """
+
+    max_concurrency: int = 4
+    max_queue: int = 16
+    queue_timeout_s: float = 2.0
+    retry_after_s: float = 1.0
+    default_deadline_ms: Optional[float] = None
+    max_join_ops: Optional[int] = None
+    max_live_fragments: Optional[int] = None
+    max_candidates: Optional[int] = None
+    admission: Optional[AdmissionPolicy] = None
+    breaker_failures: int = 5
+    breaker_reset_s: float = 30.0
+    strategy: Strategy = Strategy.PUSHDOWN
+    kernel: Optional[str] = None
+    workers: Optional[int] = None
+    resilience: object = None
+    faults: object = None
+
+    def __post_init__(self) -> None:
+        if self.max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        if self.max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+
+
+class _GuardState:
+    """Mutable serving state: queue, semaphore, breaker, drain flag."""
+
+    def __init__(self, rails: QueryGuardrails) -> None:
+        self.rails = rails
+        self.semaphore = threading.Semaphore(rails.max_concurrency)
+        self.lock = threading.Lock()
+        self.idle = threading.Condition(self.lock)
+        self.queued = 0
+        self.in_flight = 0
+        self.draining = False
+        self.breaker = CircuitBreaker(
+            failure_threshold=rails.breaker_failures,
+            reset_s=rails.breaker_reset_s)
+
+    def try_enqueue(self) -> Optional[str]:
+        """Join the admission queue; a string names the shed reason."""
+        with self.lock:
+            if self.draining:
+                return "draining"
+            if self.queued >= self.rails.max_queue:
+                return "queue-full"
+            self.queued += 1
+            return None
+
+    def acquire_slot(self) -> bool:
+        """Wait (bounded) for an evaluation slot; leaves the queue."""
+        acquired = self.semaphore.acquire(
+            timeout=self.rails.queue_timeout_s)
+        with self.lock:
+            self.queued -= 1
+            if acquired:
+                self.in_flight += 1
+        return acquired
+
+    def release_slot(self) -> None:
+        self.semaphore.release()
+        with self.idle:
+            self.in_flight -= 1
+            self.idle.notify_all()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting and wait for in-flight queries to finish."""
+        with self.idle:
+            self.draining = True
+            return self.idle.wait_for(
+                lambda: self.in_flight == 0 and self.queued == 0,
+                timeout=timeout)
+
+    def snapshot(self) -> dict:
+        with self.lock:
+            return {"queued": self.queued,
+                    "in_flight": self.in_flight,
+                    "draining": self.draining,
+                    "max_concurrency": self.rails.max_concurrency,
+                    "max_queue": self.rails.max_queue,
+                    "breaker": self.breaker.to_dict()}
+
+
+def _parse_request(payload: Mapping) -> tuple[Query, dict]:
+    """Build the :class:`Query` (and options) of one request body.
+
+    Accepts either ``{"query": "red pear [size<=3]"}`` (the CLI's
+    textual form) or ``{"terms": [...], "filter": "size<=3"}``.
+    """
+    if not isinstance(payload, Mapping):
+        raise ReproError("request body must be a JSON object")
+    if "query" in payload:
+        query = parse_query(str(payload["query"]))
+    elif "terms" in payload:
+        terms = payload["terms"]
+        if (not isinstance(terms, (list, tuple))
+                or not all(isinstance(t, str) for t in terms)):
+            raise ReproError('"terms" must be a list of strings')
+        predicate = None
+        if payload.get("filter"):
+            predicate = parse_filter(str(payload["filter"]))
+        query = Query.of(*terms, predicate=predicate)
+    else:
+        raise ReproError('request needs "query" or "terms"')
+    options = {}
+    if payload.get("strategy"):
+        options["strategy"] = Strategy.parse(str(payload["strategy"]))
+    for key in ("deadline_ms", "max_join_ops", "limit"):
+        if payload.get(key) is not None:
+            value = payload[key]
+            if not isinstance(value, (int, float)) or value <= 0:
+                raise ReproError(f'"{key}" must be a positive number')
+            options[key] = value
+    return query, options
+
 
 class _Handler(BaseHTTPRequestHandler):
-    """Route table for one :class:`MetricsServer`."""
+    """Route tables for one :class:`MetricsServer`."""
 
     # Set per served request by ThreadingHTTPServer subclass below.
     server: "_ObsHTTPServer"
 
     protocol_version = "HTTP/1.1"
 
+    GET_ROUTES = {"/metrics": "_get_metrics", "/healthz": "_get_healthz",
+                  "/varz": "_get_varz", "/slow": "_get_slow"}
+    POST_ROUTES = {"/query": "_post_query"}
+
     def log_message(self, format: str, *args: object) -> None:
         """Silence per-request stderr logging (scrapes are periodic)."""
 
-    def do_GET(self) -> None:  # noqa: N802 - http.server API
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
-        obs = self.server.obs
-        if path == "/metrics":
-            self._reply(obs.metrics.to_prometheus(),
-                        PROMETHEUS_CONTENT_TYPE)
-        elif path == "/healthz":
-            body = ("degraded\n" if self.server.degraded() else "ok\n")
-            self._reply(body, "text/plain; charset=utf-8")
-        elif path == "/varz":
-            self._reply(json.dumps(self.server.varz(), indent=2,
-                                   sort_keys=True) + "\n",
-                        "application/json")
-        elif path == "/slow":
-            records = []
-            if obs.query_log is not None:
-                records = [r.to_dict()
-                           for r in obs.query_log.slow_queries()]
-            self._reply(json.dumps(records, indent=2) + "\n",
-                        "application/json")
-        else:
-            body = (f"not found: {self.path!r}; try /metrics, /healthz,"
-                    f" /varz or /slow\n")
-            self._reply(body, "text/plain; charset=utf-8", status=404)
+    # -- method dispatch ----------------------------------------------
 
-    def _reply(self, body: str, content_type: str,
-               status: int = 200) -> None:
+    def _clean_path(self) -> str:
+        return self.path.split("?", 1)[0].rstrip("/") or "/"
+
+    def _allowed(self, path: str) -> str:
+        methods = []
+        if path in self.GET_ROUTES:
+            methods.append("GET")
+        if path in self.POST_ROUTES:
+            methods.append("POST")
+        return ", ".join(methods)
+
+    def _route(self, method: str, table: Mapping[str, str]) -> None:
+        path = self._clean_path()
+        name = table.get(path)
+        if name is not None:
+            getattr(self, name)()
+            return
+        allowed = self._allowed(path)
+        if allowed:
+            # Known path, wrong verb: 405 + Allow, never a fallthrough.
+            self._reply(f"method {method} not allowed for {path}; "
+                        f"allowed: {allowed}\n",
+                        "text/plain; charset=utf-8", status=405,
+                        headers={"Allow": allowed})
+        else:
+            self._reply(f"not found: {self.path!r}; try /metrics, "
+                        f"/healthz, /varz, /slow or POST /query\n",
+                        "text/plain; charset=utf-8", status=404)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._route("GET", self.GET_ROUTES)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._route("POST", self.POST_ROUTES)
+
+    def do_PUT(self) -> None:  # noqa: N802 - http.server API
+        self._route("PUT", {})
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        self._route("DELETE", {})
+
+    def do_PATCH(self) -> None:  # noqa: N802 - http.server API
+        self._route("PATCH", {})
+
+    # -- GET endpoints ------------------------------------------------
+
+    def _get_metrics(self) -> None:
+        self._reply(self.server.obs.metrics.to_prometheus(),
+                    PROMETHEUS_CONTENT_TYPE)
+
+    def _get_healthz(self) -> None:
+        guard = self.server.guard
+        if guard is not None and guard.snapshot()["draining"]:
+            self._reply("draining\n", "text/plain; charset=utf-8",
+                        status=503)
+            return
+        if guard is not None and guard.breaker.state == OPEN:
+            body = "breaker-open\n"
+        elif self.server.degraded():
+            body = "degraded\n"
+        else:
+            body = "ok\n"
+        self._reply(body, "text/plain; charset=utf-8")
+
+    def _get_varz(self) -> None:
+        self._reply(json.dumps(self.server.varz(), indent=2,
+                               sort_keys=True) + "\n",
+                    "application/json")
+
+    def _get_slow(self) -> None:
+        records = []
+        if self.server.obs.query_log is not None:
+            records = [r.to_dict()
+                       for r in self.server.obs.query_log.slow_queries()]
+        self._reply(json.dumps(records, indent=2) + "\n",
+                    "application/json")
+
+    # -- POST /query --------------------------------------------------
+
+    def _post_query(self) -> None:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            self._reply_json({"error": "bad-request",
+                              "message": "missing or oversized body"},
+                             status=413 if length > 0 else 411)
+            return
+        body = self.rfile.read(length)
+        status, headers, doc = self.server.serve_query(body)
+        self._reply_json(doc, status=status, headers=headers)
+
+    # -- plumbing -----------------------------------------------------
+
+    def _reply_json(self, doc: dict, status: int = 200,
+                    headers: Optional[Mapping[str, str]] = None) -> None:
+        self._reply(json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                    "application/json", status=status, headers=headers)
+
+    def _reply(self, body: str, content_type: str, status: int = 200,
+               headers: Optional[Mapping[str, str]] = None) -> None:
         payload = body.encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(payload)
 
 
 class _ObsHTTPServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer that carries the observability handle."""
+    """ThreadingHTTPServer carrying the obs handle + guard state."""
 
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int],
-                 obs: Observability) -> None:
+    def __init__(self, address: tuple[str, int], obs: Observability,
+                 collection: Optional["DocumentCollection"] = None,
+                 guardrails: Optional[QueryGuardrails] = None) -> None:
         super().__init__(address, _Handler)
         self.obs = obs
+        self.collection = collection
+        self.guard: Optional[_GuardState] = None
+        if collection is not None:
+            self.guard = _GuardState(guardrails if guardrails is not None
+                                     else QueryGuardrails())
         self.started = time.time()
 
     def degraded(self) -> bool:
@@ -115,7 +385,7 @@ class _ObsHTTPServer(ThreadingHTTPServer):
         return bool(gauge is not None and gauge.value)
 
     def varz(self) -> dict:
-        """The ``/varz`` document: uptime + registry + query-log state."""
+        """The ``/varz`` document: uptime + registry + serving state."""
         obs = self.obs
         doc: dict = {
             "uptime_seconds": round(time.time() - self.started, 3),
@@ -129,11 +399,182 @@ class _ObsHTTPServer(ThreadingHTTPServer):
                 "slow": sum(1 for r in records if r.slow),
                 "slow_query_ms": obs.query_log.slow_query_ms,
             }
+        if self.guard is not None:
+            self._publish_breaker()
+            doc["guard"] = self.guard.snapshot()
         return doc
+
+    # -- guard metric helpers -----------------------------------------
+
+    def _count_shed(self, reason: str) -> None:
+        self.obs.metrics.counter(
+            GUARD_SHED, "Requests shed by the serving guard rails.",
+            labels={"reason": reason}).inc()
+
+    def _count_rejected(self, reason: str) -> None:
+        self.obs.metrics.counter(
+            GUARD_REJECTED, "Queries rejected before evaluation.",
+            labels={"reason": reason}).inc()
+
+    def _count_admitted(self) -> None:
+        self.obs.metrics.counter(
+            GUARD_ADMITTED, "Queries admitted and evaluated.").inc()
+
+    def _publish_breaker(self) -> None:
+        if self.guard is not None:
+            self.obs.metrics.gauge(
+                GUARD_BREAKER_STATE,
+                "Query circuit-breaker state "
+                "(0 closed, 1 half-open, 2 open)."
+            ).set(BREAKER_STATE_CODES[self.guard.breaker.state])
+
+    # -- the guarded query path ---------------------------------------
+
+    def serve_query(self, body: bytes
+                    ) -> tuple[int, Optional[dict], dict]:
+        """Run one ``POST /query`` request through the guard stack.
+
+        Returns ``(status, extra headers, response document)``.
+        Factored off the handler so tests can drive the whole
+        admission pipeline without a socket.
+        """
+        guard = self.guard
+        if guard is None:
+            return 503, None, {
+                "error": "no-collection",
+                "message": "no document collection is attached; start "
+                           "the server with a collection to serve "
+                           "queries"}
+        rails = guard.rails
+        retry = {"Retry-After": f"{rails.retry_after_s:g}"}
+
+        # 1. Parse (before consuming any guarded resource).
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            query, options = _parse_request(payload)
+        except (ValueError, ReproError) as exc:
+            self._count_rejected("parse")
+            return 400, None, {"error": "bad-request",
+                               "message": str(exc)}
+
+        # 2. Bounded admission queue.
+        shed = guard.try_enqueue()
+        if shed is not None:
+            self._count_shed(shed)
+            status = 503 if shed == "draining" else 429
+            return status, retry, {
+                "error": "shed", "reason": shed,
+                "message": f"request shed ({shed}); retry later"}
+
+        # 3. Concurrency slot (bounded wait).
+        if not guard.acquire_slot():
+            self._count_shed("overload")
+            return 503, retry, {
+                "error": "shed", "reason": "overload",
+                "message": f"no evaluation slot within "
+                           f"{rails.queue_timeout_s:g}s; retry later"}
+        try:
+            return self._evaluate_admitted(guard, query, options, retry)
+        finally:
+            guard.release_slot()
+
+    def _evaluate_admitted(self, guard: _GuardState, query: Query,
+                           options: dict, retry: dict
+                           ) -> tuple[int, Optional[dict], dict]:
+        rails = guard.rails
+        strategy = options.get("strategy", rails.strategy)
+
+        # 4. Pre-admission cost screen (a client-side error: it does
+        #    not consume a breaker probe or count as a failure).
+        if rails.admission is not None:
+            try:
+                decision = self.collection.screen(
+                    rails.admission, query, strategy)
+                decision.raise_if_rejected()
+            except AdmissionRejected as exc:
+                self._count_rejected("admission")
+                return 422, None, exc.to_dict()
+            strategy = decision.strategy
+
+        # 5. Circuit breaker — checked last so probes are spent on
+        #    real evaluation attempts only.
+        if not guard.breaker.allow():
+            self._publish_breaker()
+            self._count_shed("breaker-open")
+            return 503, retry, {
+                "error": "shed", "reason": "breaker-open",
+                "message": "circuit breaker is open after repeated "
+                           "failures; retry later"}
+
+        # 6. Per-request budget: the request may tighten the server's
+        #    deadline/join ceiling, never loosen them.
+        deadline_ms = _min_optional(options.get("deadline_ms"),
+                                    rails.default_deadline_ms)
+        max_join_ops = _min_optional(options.get("max_join_ops"),
+                                     rails.max_join_ops)
+        budget = None
+        if any(v is not None for v in (
+                deadline_ms, max_join_ops, rails.max_live_fragments,
+                rails.max_candidates)):
+            budget = QueryBudget(
+                deadline_s=(deadline_ms / 1000.0
+                            if deadline_ms is not None else None),
+                max_join_ops=(int(max_join_ops)
+                              if max_join_ops is not None else None),
+                max_live_fragments=rails.max_live_fragments,
+                max_candidates=rails.max_candidates)
+
+        started = time.perf_counter()
+        try:
+            result = self.collection.search(
+                query, strategy=strategy, obs=self.obs,
+                workers=rails.workers, kernel=rails.kernel,
+                resilience=rails.resilience, faults=rails.faults,
+                budget=budget)
+        except BudgetExceeded as exc:
+            # The collection layer already counted
+            # repro_guard_budget_exceeded_total; only the breaker and
+            # the response are the server's business here.
+            guard.breaker.record_failure()
+            self._publish_breaker()
+            return 422, None, exc.to_dict()
+        except (ExecutionError, ReproError) as exc:
+            guard.breaker.record_failure()
+            self._publish_breaker()
+            return 500, None, {"error": "execution-failed",
+                               "message": str(exc)}
+        guard.breaker.record_success()
+        self._publish_breaker()
+        self._count_admitted()
+        elapsed = time.perf_counter() - started
+        limit = int(options.get("limit", 50))
+        hits = result.hits
+        return 200, None, {
+            "answers": len(result),
+            "returned": min(limit, len(hits)),
+            "elapsed_ms": round(elapsed * 1000, 3),
+            "strategy": strategy.value,
+            "matched_documents": result.matched_documents,
+            "hits": [{"document": hit.document_name,
+                      "nodes": sorted(hit.fragment.nodes),
+                      "size": hit.fragment.size}
+                     for hit in hits[:limit]],
+        }
+
+
+def _min_optional(a: Optional[float],
+                  b: Optional[float]) -> Optional[float]:
+    """Minimum of two optional ceilings (``None`` = unlimited)."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
 
 
 class MetricsServer:
-    """Serve one observability handle's state over HTTP.
+    """Serve one observability handle's state — and, with a collection
+    attached, queries — over HTTP.
 
     Parameters
     ----------
@@ -147,16 +588,26 @@ class MetricsServer:
     port:
         TCP port; ``0`` (default) picks a free one — read it back from
         :attr:`port` after :meth:`start`.
+    collection:
+        Optional :class:`~repro.collection.DocumentCollection`;
+        enables ``POST /query`` behind the guard rails.
+    guardrails:
+        Serving configuration (:class:`QueryGuardrails`); defaults
+        apply when a collection is given without one.
     """
 
     def __init__(self, obs: Observability, host: str = "127.0.0.1",
-                 port: int = 0) -> None:
+                 port: int = 0,
+                 collection: Optional["DocumentCollection"] = None,
+                 guardrails: Optional[QueryGuardrails] = None) -> None:
         if not obs.enabled:
             raise ValueError("cannot serve a disabled (NOOP) "
                              "observability handle")
         self._obs = obs
         self._host = host
         self._requested_port = port
+        self._collection = collection
+        self._guardrails = guardrails
         self._server: Optional[_ObsHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -165,17 +616,32 @@ class MetricsServer:
         if self._server is not None:
             return self
         self._server = _ObsHTTPServer((self._host, self._requested_port),
-                                      self._obs)
+                                      self._obs,
+                                      collection=self._collection,
+                                      guardrails=self._guardrails)
         self._thread = threading.Thread(
             target=self._server.serve_forever,
             name=f"repro-metrics:{self.port}", daemon=True)
         self._thread.start()
         return self
 
-    def stop(self) -> None:
-        """Shut the server down and join its thread (idempotent)."""
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful drain: shed new queries, wait for in-flight ones.
+
+        Returns ``True`` once the server is idle (always ``True`` when
+        no collection is attached).  The server keeps answering GET
+        endpoints while draining; ``/healthz`` reports ``draining``
+        with HTTP 503 so load balancers stop routing to it.
+        """
+        if self._server is None or self._server.guard is None:
+            return True
+        return self._server.guard.drain(timeout=timeout)
+
+    def stop(self, drain_timeout: Optional[float] = 5.0) -> None:
+        """Drain in-flight queries, then shut down (idempotent)."""
         if self._server is None:
             return
+        self.drain(timeout=drain_timeout)
         self._server.shutdown()
         self._server.server_close()
         if self._thread is not None:

@@ -1,0 +1,219 @@
+"""Tests for repro.guard.breaker: the per-collection circuit breaker.
+
+The unit tests drive the state machine with a fake clock; the
+integration tests trip a real breaker through the query-serving
+endpoint using injected :class:`~repro.exec.faults.FaultRule`
+failures, including the half-open recovery probe.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.exec.faults import FaultPlan, FaultRule
+from repro.exec.resilience import FALLBACK_NEVER, RetryPolicy
+from repro.guard.breaker import (BREAKER_STATE_CODES, CLOSED, HALF_OPEN,
+                                 OPEN, CircuitBreaker)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture()
+def breaker(clock) -> CircuitBreaker:
+    return CircuitBreaker(failure_threshold=3, reset_s=30.0,
+                          clock=clock)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_failures_below_threshold_stay_closed(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.consecutive_failures == 2
+        assert breaker.allow()
+
+    def test_success_resets_the_failure_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.consecutive_failures == 0
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_threshold_trips_open_and_blocks(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_half_open_after_cooldown_allows_one_probe(self, breaker,
+                                                       clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(30.0)
+        assert breaker.allow()           # the probe
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow()       # concurrent calls still shed
+
+    def test_successful_probe_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(30.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.consecutive_failures == 0
+        assert breaker.allow()
+
+    def test_failed_probe_reopens(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(30.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.trips == 2
+        # ... and the next cooldown yields another probe.
+        clock.advance(30.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_stale_probe_is_reissued(self, breaker, clock):
+        """A probe whose owner died must not wedge the breaker."""
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(30.0)
+        assert breaker.allow()
+        # The probe never reports back; after another cooldown the
+        # breaker hands the probe to someone else.
+        clock.advance(30.0)
+        assert breaker.allow()
+
+    def test_state_codes_cover_every_state(self, breaker, clock):
+        assert BREAKER_STATE_CODES[breaker.state] == 0
+        for _ in range(3):
+            breaker.record_failure()
+        assert BREAKER_STATE_CODES[breaker.state] == 2
+        clock.advance(30.0)
+        breaker.allow()
+        assert BREAKER_STATE_CODES[breaker.state] == 1
+
+    def test_to_dict_snapshot(self, breaker):
+        breaker.record_failure()
+        doc = breaker.to_dict()
+        assert doc["state"] == CLOSED
+        assert doc["consecutive_failures"] == 1
+        assert doc["failure_threshold"] == 3
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_s=-1.0)
+
+
+class CountedFaults(FaultPlan):
+    """Fault the first ``failures`` chunk dispatches *across runs*.
+
+    The stock :class:`FaultPlan` counts attempts per run; tripping a
+    breaker needs consecutive whole-run failures, then a recovery.
+    """
+
+    def __init__(self, failures: int) -> None:
+        super().__init__(FaultRule.flaky(chunk=None, times=failures))
+        self.dispatches = 0
+
+    def for_chunk(self, chunk_index, attempt):
+        self.dispatches += 1
+        if self.dispatches <= self.rules[0].times:
+            return {"kind": self.rules[0].kind,
+                    "attempt": self.dispatches - 1}
+        return None
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"}, method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+@pytest.mark.timeout(120)
+def test_breaker_trips_and_recovers_through_endpoint(tmp_path):
+    """closed -> open (injected faults) -> half-open probe -> closed,
+    driven through POST /query with FaultRule-injected worker failures.
+    """
+    from repro.collection.collection import DocumentCollection
+    from repro.obs import Observability
+    from repro.obs.server import MetricsServer, QueryGuardrails
+
+    collection = DocumentCollection("c")
+    collection.add_xml("<a><b>red pear</b><c>green apple</c></a>",
+                       name="d1")
+    # Two failing dispatches trip the breaker; the third (the
+    # half-open probe, after cooldown) succeeds.
+    faults = CountedFaults(failures=2)
+    rails = QueryGuardrails(
+        workers=1, faults=faults,
+        resilience=RetryPolicy(max_retries=0, fallback=FALLBACK_NEVER),
+        breaker_failures=2, breaker_reset_s=0.2)
+    obs = Observability()
+    with MetricsServer(obs, collection=collection,
+                       guardrails=rails) as server:
+        url = server.url + "/query"
+        # Two injected failures: 500s, breaker trips on the second.
+        for _ in range(2):
+            status, body = _post(url, {"query": "red pear"})
+            assert status == 500
+            assert body["error"] == "execution-failed"
+        guard = server._server.guard
+        assert guard.breaker.state == OPEN
+
+        # While open: fail fast, no evaluation happens.
+        before = faults.dispatches
+        status, body = _post(url, {"query": "red pear"})
+        assert (status, body["reason"]) == (503, "breaker-open")
+        assert faults.dispatches == before
+
+        # After the cooldown the half-open probe runs for real and
+        # closes the breaker.
+        import time
+        time.sleep(0.25)
+        status, body = _post(url, {"query": "red pear"})
+        assert status == 200
+        assert body["answers"] == 1
+        assert guard.breaker.state == CLOSED
+
+        # Closed again: the next query flows normally.
+        status, body = _post(url, {"query": "green apple"})
+        assert status == 200

@@ -272,3 +272,90 @@ class TestServe:
                            "--retries", "1", "--workers", "1"],
                           stdin=iter(["fragment\n"]))
         assert code == 0
+
+
+class TestGuardFlags:
+    @pytest.fixture()
+    def patho_file(self, tmp_path):
+        parts = "".join(f"<b{i}>red pear</b{i}>" for i in range(12))
+        path = tmp_path / "patho.xml"
+        path.write_text(f"<a>{parts}</a>")
+        return str(path)
+
+    def test_deadline_abort_exits_3_with_structured_error(
+            self, patho_file, capsys):
+        import json as jsonlib
+        code = main([patho_file, "red", "pear",
+                     "--strategy", "brute-force",
+                     "--deadline-ms", "200"])
+        captured = capsys.readouterr()
+        assert code == 3
+        detail = jsonlib.loads(captured.err.split("error: ", 1)[1])
+        assert detail["error"] == "budget-exceeded"
+        assert detail["reason"] == "deadline"
+        assert detail["progress"]["join_ops"] > 0
+
+    def test_max_join_ops_abort_exits_3(self, patho_file, capsys):
+        code = main([patho_file, "red", "pear",
+                     "--strategy", "brute-force",
+                     "--max-join-ops", "500"])
+        assert code == 3
+        assert "budget-exceeded" in capsys.readouterr().err
+
+    def test_generous_budget_matches_unguarded_output(self, book_file,
+                                                      capsys):
+        import re
+
+        def strip_timing(text):
+            return re.sub(r", \d+\.\d+ ms\]", ", _ ms]", text)
+
+        assert main([book_file, "fragment"]) == 0
+        unguarded = capsys.readouterr().out
+        assert main([book_file, "fragment",
+                     "--deadline-ms", "300000",
+                     "--max-join-ops", "1000000000"]) == 0
+        assert strip_timing(capsys.readouterr().out) \
+            == strip_timing(unguarded)
+
+    def test_serve_rejects_bad_lines_and_keeps_serving(self, book_file,
+                                                       capsys):
+        from repro.cli import serve_main
+        code = serve_main([book_file],
+                          stdin=iter(["fragment [\n",
+                                      "fragment\n"]))
+        captured = capsys.readouterr()
+        assert code == 0
+        assert '"error": "bad-query"' in captured.err
+        assert "answer(s)" in captured.out
+
+    def test_serve_budget_abort_keeps_serving(self, tmp_path, capsys):
+        parts = "".join(f"<b{i}>red pear</b{i}>" for i in range(12))
+        path = tmp_path / "patho.xml"
+        path.write_text(f"<a>{parts}</a>")
+        from repro.cli import serve_main
+        code = serve_main([str(path), "--strategy", "brute-force",
+                           "--max-join-ops", "500"],
+                          stdin=iter(["red pear\n", "absent\n"]))
+        captured = capsys.readouterr()
+        assert code == 0
+        assert '"error": "budget-exceeded"' in captured.err
+        # The follow-up (trivially cheap) query still gets answered.
+        assert "0 answer(s)" in captured.out
+
+    def test_serve_admission_rejection_keeps_serving(self, book_file,
+                                                     capsys):
+        from repro.cli import serve_main
+        code = serve_main([book_file, "--max-cost", "0.000001"],
+                          stdin=iter(["fragment\n"]))
+        captured = capsys.readouterr()
+        assert code == 0
+        assert '"error": "admission-rejected"' in captured.err
+
+    def test_serve_filter_syntax_on_query_lines(self, book_file,
+                                                capsys):
+        from repro.cli import serve_main
+        code = serve_main([book_file],
+                          stdin=iter(["fragment [size<=4]\n"]))
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "size<=4" in captured.out
