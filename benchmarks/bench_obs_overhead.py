@@ -31,7 +31,8 @@ from repro.bench.reporting import banner, format_table
 from repro.core.filters import SizeAtMost
 from repro.core.query import Query
 from repro.core.strategies import Strategy, evaluate, explain_analyze
-from repro.obs import NOOP, Observability, QueryLog
+from repro.obs import (NOOP, FlightRecorder, Observability, QueryLog,
+                       RecorderConfig)
 
 from .util import report
 
@@ -56,14 +57,31 @@ def _record(section: str, payload: dict) -> None:
 
 def _median_ms(funcs, rounds=ROUNDS):
     """Round-robin medians so scheduling noise hits every config alike."""
+    times = _round_robin(funcs, rounds)
+    return {label: statistics.median(samples) * 1000
+            for label, samples in times.items()}
+
+
+def _best_ms(funcs, rounds=ROUNDS):
+    """Round-robin minima: the least-interfered-with run per config.
+
+    Medians still carry scheduler noise on busy hosts; for overhead
+    *ratios* of a fixed per-query cost the minimum is the stable
+    estimator (both configs hit their quietest slice of the machine).
+    """
+    times = _round_robin(funcs, rounds)
+    return {label: min(samples) * 1000
+            for label, samples in times.items()}
+
+
+def _round_robin(funcs, rounds):
     times = {label: [] for label in funcs}
     for _ in range(rounds):
         for label, func in funcs.items():
             started = time.perf_counter()
             func()
             times[label].append(time.perf_counter() - started)
-    return {label: statistics.median(samples) * 1000
-            for label, samples in times.items()}
+    return times
 
 
 def test_noop_overhead(benchmark, figure1, figure1_index, capsys, smoke):
@@ -118,3 +136,92 @@ def test_noop_overhead(benchmark, figure1, figure1_index, capsys, smoke):
         # Loose in-bench guard; the tight 2% bar is checked over many
         # rounds by the PR driver where scheduling noise is controlled.
         assert ratios["noop"] < 1.25
+
+
+def test_recorder_overhead(benchmark, capsys, smoke):
+    """The flight recorder must stay within 1.05x of metrics-only obs.
+
+    Three configurations, all with live metrics (the recorder rides on
+    an enabled handle, so the fair baseline is obs-on/recorder-off):
+
+    * ``recorder_off`` — metrics registry only, no recorder;
+    * ``recorder_on``  — always-on profile ring, no trace retention;
+    * ``sampled``      — ring + 100% head-sampled trace retention
+                         (worst case; production tail-sampling retains
+                         far fewer).
+
+    Measured on an INEX-like article (not the 82-node Fig. 1 toy): the
+    recorder's cost is a small per-query constant (~10 µs), so the
+    honest denominator is a production-shaped query, not one whose
+    whole evaluation fits in 0.15 ms.
+    """
+    from repro.index.inverted import InvertedIndex
+    from repro.workloads.inexlike import InexSpec, generate_collection
+
+    corpus = generate_collection(InexSpec(articles=1,
+                                          nodes_per_article=2400,
+                                          planted_fraction=1.0,
+                                          seed=23))
+    article = corpus.document(corpus.names()[0])
+    index = InvertedIndex(article)
+    query = Query.of("needle", "thread", predicate=SizeAtMost(64))
+    # Long-lived handles, as in a serve loop: the recorder's cost-model
+    # memo and the metric instruments amortise across queries.
+    plain_obs = Observability()
+    ring_obs = Observability(
+        recorder=FlightRecorder(RecorderConfig(slow_ms=None)))
+    sampled_obs = Observability(
+        recorder=FlightRecorder(RecorderConfig(slow_ms=None,
+                                               sample_rate=1.0,
+                                               seed=17)))
+
+    def recorder_off():
+        return evaluate(article, query, strategy=Strategy.PUSHDOWN,
+                        index=index, obs=plain_obs)
+
+    def recorder_on():
+        return evaluate(article, query, strategy=Strategy.PUSHDOWN,
+                        index=index, obs=ring_obs)
+
+    def sampled():
+        result = evaluate(article, query, strategy=Strategy.PUSHDOWN,
+                          index=index, obs=sampled_obs)
+        sampled_obs.tracer.clear()
+        return result
+
+    assert recorder_off().fragments == recorder_on().fragments \
+        == sampled().fragments
+
+    # Warm the cost-model memo, instrument caches and CPU caches so
+    # the timed rounds compare steady states.
+    for _ in range(5):
+        recorder_on()
+        sampled()
+        recorder_off()
+    bests = _best_ms({"recorder_off": recorder_off,
+                      "recorder_on": recorder_on,
+                      "sampled": sampled},
+                     rounds=60 if smoke else ROUNDS)
+    ratios = {label: best / bests["recorder_off"]
+              for label, best in bests.items()}
+    rows = [(label, best, ratios[label])
+            for label, best in bests.items()]
+    benchmark.pedantic(recorder_on, rounds=5 if smoke else 20,
+                       iterations=5)
+
+    report(capsys, "\n".join([
+        banner("OBS: flight-recorder overhead on an INEX-like article"),
+        format_table(["configuration", "best ms", "vs recorder_off"],
+                     rows),
+        "",
+        "acceptance bar: recorder_on within 1.05x of recorder_off; the "
+        "always-on ring buys per-query resource attribution and cost "
+        "calibration, trace retention is tail-sampled on top."]))
+    _record("recorder_overhead", {
+        "smoke": smoke,
+        "rounds": 60 if smoke else ROUNDS,
+        "best_ms": bests,
+        "vs_recorder_off": ratios,
+    })
+    if not smoke:
+        assert ratios["recorder_on"] < 1.25

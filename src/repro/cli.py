@@ -18,6 +18,9 @@ Observability (see ``docs/observability.md``)::
     repro-search article.xml xquery optimization --metrics-out m.json
     repro-search corpus-dir/ xquery opt --slow-query-ms 50 --query-log q.jsonl
     repro-search metrics m.json            # summarise a metrics dump
+    repro-search serve corpus-dir/ --profile-queries --profile-dump fr.jsonl
+    repro-search flightrecorder fr.jsonl   # summarise a recorder dump
+    repro-search flightrecorder fr.jsonl --trace q1a2b-000007 --out t.json
 """
 
 from __future__ import annotations
@@ -44,7 +47,8 @@ from .ranking.scoring import FragmentScorer
 from .xmltree.parser import parse_file
 from .xmltree.serializer import fragment_outline, fragment_to_xml
 
-__all__ = ["main", "build_parser", "metrics_main", "serve_main"]
+__all__ = ["main", "build_parser", "metrics_main", "serve_main",
+           "flightrecorder_main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -271,6 +275,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return metrics_main(argv[1:])
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "flightrecorder":
+        return flightrecorder_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if not args.keywords and not args.batch:
@@ -426,6 +432,111 @@ def metrics_main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+def flightrecorder_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro-search flightrecorder``: inspect a recorder JSONL dump.
+
+    Summarises the per-query profiles (outcomes, latency percentiles,
+    per-strategy cost calibration) written by ``serve
+    --profile-dump`` / :meth:`FlightRecorder.dump`, or exports one
+    retained trace as Chrome trace-event JSON for chrome://tracing or
+    Perfetto.
+    """
+    from .obs.recorder import load_dump
+
+    parser = argparse.ArgumentParser(
+        prog="repro-search flightrecorder",
+        description="Summarise a flight-recorder JSONL dump or export "
+                    "one retained trace as Chrome trace-event JSON.")
+    parser.add_argument("path", help="recorder JSONL dump file")
+    parser.add_argument("--trace", default=None, metavar="ID",
+                        dest="trace_id",
+                        help="export the retained trace ID instead of "
+                             "printing the summary")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the exported trace to PATH instead "
+                             "of stdout (only with --trace)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the summary as one JSON document")
+    args = parser.parse_args(argv)
+    try:
+        profiles, traces = load_dump(args.path)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.trace_id is not None:
+        body = traces.get(args.trace_id)
+        if body is None:
+            known = ", ".join(sorted(traces)) or "(none)"
+            print(f"error: no trace {args.trace_id!r} in {args.path}; "
+                  f"retained: {known}", file=sys.stderr)
+            return 2
+        doc = {"traceEvents": body.get("events", []),
+               "displayTimeUnit": "ms",
+               "metadata": {"trace_id": args.trace_id,
+                            "source": args.path}}
+        text = json.dumps(doc, indent=2) + "\n"
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote {len(doc['traceEvents'])} event(s) to "
+                  f"{args.out}", file=sys.stderr)
+        else:
+            print(text, end="")
+        return 0
+    summary = _summarize_profiles(profiles, traces)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"flight recorder dump {args.path}: "
+          f"{summary['profiles']} profile(s), "
+          f"{summary['traces']} retained trace(s)")
+    if summary["outcomes"]:
+        outcomes = ", ".join(f"{k}={v}" for k, v in
+                             sorted(summary["outcomes"].items()))
+        print(f"  outcomes: {outcomes}")
+    latency = summary["latency"]
+    if latency["samples"]:
+        print(f"  latency: p50={latency['p50_ms']:.3f} ms  "
+              f"p90={latency['p90_ms']:.3f} ms  "
+              f"p99={latency['p99_ms']:.3f} ms")
+    for strategy, ratio in sorted(summary["calibration"].items()):
+        print(f"  calibration[{strategy}]: actual/predicted = "
+              f"{ratio:.4f}")
+    if summary["traces"]:
+        print("  traces: " + ", ".join(summary["trace_ids"]))
+        print("  export one with: repro-search flightrecorder "
+              f"{args.path} --trace <id> --out trace.json")
+    return 0
+
+
+def _summarize_profiles(profiles, traces) -> dict:
+    """Aggregate a loaded dump the way the live snapshot endpoint does."""
+    from .obs.recorder import _percentile
+
+    outcomes: dict[str, int] = {}
+    sums: dict[str, list] = {}
+    for profile in profiles:
+        outcomes[profile.outcome] = outcomes.get(profile.outcome, 0) + 1
+        if profile.predicted_cost and profile.actual_cost is not None:
+            bucket = sums.setdefault(profile.strategy, [0.0, 0.0])
+            bucket[0] += profile.predicted_cost
+            bucket[1] += profile.actual_cost
+    values = sorted(p.wall_ms for p in profiles)
+    return {
+        "profiles": len(profiles),
+        "traces": len(traces),
+        "trace_ids": sorted(traces),
+        "outcomes": outcomes,
+        "latency": {"p50_ms": round(_percentile(values, 0.50), 4),
+                    "p90_ms": round(_percentile(values, 0.90), 4),
+                    "p99_ms": round(_percentile(values, 0.99), 4),
+                    "samples": len(values)},
+        "calibration": {strategy: round(actual / predicted, 6)
+                        for strategy, (predicted, actual) in sums.items()
+                        if predicted > 0},
+    }
+
+
 def serve_main(argv: Optional[Sequence[str]] = None,
                stdin=None) -> int:
     """``repro-search serve``: evaluate stdin queries, serving metrics.
@@ -486,11 +597,56 @@ def serve_main(argv: Optional[Sequence[str]] = None,
                         help="admission ceiling: reject queries whose "
                              "estimated plan cost exceeds C before any "
                              "evaluation work runs")
+    parser.add_argument("--max-log-records", type=int, default=2048,
+                        metavar="N", dest="max_log_records",
+                        help="query-log ring size; oldest records are "
+                             "evicted past N (default: 2048)")
+    parser.add_argument("--profile-queries", action="store_true",
+                        dest="profile_queries",
+                        help="attach a flight recorder: per-query "
+                             "resource profiles, cost calibration and "
+                             "tail-sampled traces, served on "
+                             "/debug/flightrecorder and /debug/trace/<id>")
+    parser.add_argument("--profile-ring-size", type=int, default=512,
+                        metavar="N", dest="profile_ring_size",
+                        help="flight-recorder profile ring size "
+                             "(default: 512)")
+    parser.add_argument("--profile-sample-rate", type=float, default=0.0,
+                        metavar="R", dest="profile_sample_rate",
+                        help="head-sample rate in [0,1] for retaining "
+                             "traces of ordinary queries; slow, errored "
+                             "and budget-aborted queries are always "
+                             "retained (default: 0)")
+    parser.add_argument("--profile-slow-ms", type=float, default=100.0,
+                        metavar="MS", dest="profile_slow_ms",
+                        help="retain a full trace for queries at or "
+                             "over MS milliseconds (default: 100)")
+    parser.add_argument("--profile-dump", default=None, metavar="PATH",
+                        dest="profile_dump",
+                        help="dump the recorder ring as JSONL to PATH "
+                             "on exit, SIGTERM or crash; inspect with "
+                             "'repro-search flightrecorder PATH'")
     args = parser.parse_args(argv)
     stdin = stdin if stdin is not None else sys.stdin
 
+    recorder = None
+    uninstall_dump = None
+    if args.profile_queries or args.profile_dump:
+        from .obs import FlightRecorder, RecorderConfig
+        try:
+            recorder = FlightRecorder(RecorderConfig(
+                ring_size=args.profile_ring_size,
+                slow_ms=args.profile_slow_ms,
+                sample_rate=args.profile_sample_rate))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.profile_dump:
+            uninstall_dump = recorder.install_dump_hook(args.profile_dump)
     obs = Observability(
-        query_log=QueryLog(slow_query_ms=args.slow_query_ms))
+        query_log=QueryLog(max_records=args.max_log_records,
+                           slow_query_ms=args.slow_query_ms),
+        recorder=recorder)
     skipped: list = []
     try:
         if os.path.isdir(args.file):
@@ -581,7 +737,41 @@ def serve_main(argv: Optional[Sequence[str]] = None,
     finally:
         server.stop()
         collection.close()
+        if recorder is not None:
+            _report_recorder_exit(recorder, obs, args.profile_dump,
+                                  uninstall_dump)
     return code
+
+
+def _report_recorder_exit(recorder, obs: Observability,
+                          dump_path: Optional[str],
+                          uninstall_dump) -> None:
+    """Exit-time flight-recorder summary (stderr) + explicit dump.
+
+    Dumping here (rather than relying on the atexit hook) pins the
+    artifact's write to server shutdown; the hook stays armed for the
+    crash/signal paths and is uninstalled once the dump succeeds.
+    """
+    if dump_path:
+        try:
+            lines = recorder.dump(dump_path)
+        except OSError as exc:
+            print(f"warning: could not dump flight recorder: {exc}",
+                  file=sys.stderr)
+        else:
+            print(f"flight recorder: wrote {lines} line(s) to "
+                  f"{dump_path}", file=sys.stderr)
+            if uninstall_dump is not None:
+                uninstall_dump()
+    latency = recorder.latency_percentiles()
+    calibration = recorder.publish_calibration(obs.metrics)
+    if latency["samples"]:
+        print(f"flight recorder: {latency['samples']} profile(s), "
+              f"p50={latency['p50_ms']:.3f} ms "
+              f"p99={latency['p99_ms']:.3f} ms", file=sys.stderr)
+    for strategy, ratio in sorted(calibration.items()):
+        print(f"flight recorder: calibration[{strategy}] "
+              f"actual/predicted = {ratio:.4f}", file=sys.stderr)
 
 
 def _search_collection(args: argparse.Namespace,

@@ -347,6 +347,11 @@ class DocumentCollection:
                     "Documents skipped by the index early exit."
                 ).inc(skipped)
                 self._cache.export_metrics(ob.metrics)
+                if getattr(ob, "recorder", None) is not None:
+                    # The gauge is a ratio, so it is recomputed here
+                    # (and at merge/export time) rather than bumped in
+                    # the per-query hot path.
+                    ob.recorder.publish_calibration(ob.metrics)
         return CollectionResult(query=query, per_document=per_document)
 
     def explain_analyze(self, query: Query,

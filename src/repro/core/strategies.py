@@ -35,10 +35,11 @@ import time
 from functools import reduce as _reduce
 from typing import TYPE_CHECKING, Callable, Optional
 
-from ..errors import QueryError
+from ..errors import BudgetExceeded, QueryError
 from ..obs import NOOP, NULL_SPAN, Observability
 from .algebra import (JoinCache, KernelArg, multiway_powerset_join,
                       pairwise_join, resolve_kernel)
+from .cost import CostModel
 from .evaluator import PlanAnalysis, run_plan
 from .filters import select
 from .fragment import Fragment
@@ -123,12 +124,12 @@ def evaluate(document: "Document", query: Query,
         is the unguarded path, byte-for-byte the pre-guard behaviour.
     """
     ob = obs if obs is not None else NOOP
+    recorder = ob.recorder if ob.enabled else None
     kernel_obj = resolve_kernel(kernel, document)
     stats = OperationStats()
     if budget is not None:
         budget.start()
         budget.bind_stats(stats)
-    started = time.perf_counter()
 
     # Span attributes are only worth computing when observability is
     # live; the disabled path must stay free of per-query allocations.
@@ -141,53 +142,82 @@ def evaluate(document: "Document", query: Query,
     else:
         execute_span = scan_span = strategy_span = NULL_SPAN
 
-    with execute_span as span:
-        with scan_span:
-            term_order = list(query.terms)
-            if index is not None:
-                # Rarest-first keeps intermediate fragment sets small.
-                term_order = index.rarest_first(term_order)
-            if keyword_source is not None:
-                keyword_sets = [keyword_source(term)
-                                for term in term_order]
-            else:
-                keyword_sets = [keyword_fragments(document, term,
-                                                  index=index)
-                                for term in term_order]
+    cpu_started = 0.0
+    mem_token = False
+    if recorder is not None:
+        mem_token = recorder.begin_memory()
+        cpu_started = time.process_time()
+    started = time.perf_counter()
 
-        empty_terms = [term for term, fs in zip(term_order, keyword_sets)
-                       if not fs]
-        if budget is not None:
-            # Catch pathological dense-keyword queries before any join
-            # work: the candidate ceiling applies to every input set.
-            for fs in keyword_sets:
-                budget.admit_candidates(len(fs))
-            budget.check_deadline()
-        with strategy_span:
-            if empty_terms:
-                # Conjunctive semantics: a term with no matches empties
-                # the answer.
-                fragments: frozenset[Fragment] = frozenset()
-            elif strategy is Strategy.BRUTE_FORCE:
-                fragments = _brute_force(keyword_sets, query, stats,
-                                         cache, max_brute_force_operand,
-                                         kernel_obj, budget=budget)
-            elif strategy is Strategy.SET_REDUCTION:
-                fragments = _set_reduction(keyword_sets, query, stats,
-                                           cache, bounded=True,
-                                           kernel=kernel_obj,
-                                           budget=budget)
-            elif strategy is Strategy.SEMI_NAIVE:
-                fragments = _set_reduction(keyword_sets, query, stats,
-                                           cache, bounded=False,
-                                           kernel=kernel_obj,
-                                           budget=budget)
-            elif strategy is Strategy.PUSHDOWN:
-                fragments = _pushdown(keyword_sets, query, stats, cache,
-                                      kernel_obj, budget=budget)
-            else:  # pragma: no cover - exhaustive over the enum
-                raise QueryError(f"unhandled strategy {strategy}")
-        span.set(answers=len(fragments))
+    try:
+        with execute_span as span:
+            with scan_span:
+                term_order = list(query.terms)
+                if index is not None:
+                    # Rarest-first keeps intermediate fragment sets
+                    # small.
+                    term_order = index.rarest_first(term_order)
+                if keyword_source is not None:
+                    keyword_sets = [keyword_source(term)
+                                    for term in term_order]
+                else:
+                    keyword_sets = [keyword_fragments(document, term,
+                                                      index=index)
+                                    for term in term_order]
+
+            empty_terms = [term for term, fs
+                           in zip(term_order, keyword_sets) if not fs]
+            if budget is not None:
+                # Catch pathological dense-keyword queries before any
+                # join work: the candidate ceiling applies to every
+                # input set.
+                for fs in keyword_sets:
+                    budget.admit_candidates(len(fs))
+                budget.check_deadline()
+            with strategy_span:
+                if empty_terms:
+                    # Conjunctive semantics: a term with no matches
+                    # empties the answer.
+                    fragments: frozenset[Fragment] = frozenset()
+                elif strategy is Strategy.BRUTE_FORCE:
+                    fragments = _brute_force(keyword_sets, query, stats,
+                                             cache,
+                                             max_brute_force_operand,
+                                             kernel_obj, budget=budget)
+                elif strategy is Strategy.SET_REDUCTION:
+                    fragments = _set_reduction(keyword_sets, query,
+                                               stats, cache,
+                                               bounded=True,
+                                               kernel=kernel_obj,
+                                               budget=budget)
+                elif strategy is Strategy.SEMI_NAIVE:
+                    fragments = _set_reduction(keyword_sets, query,
+                                               stats, cache,
+                                               bounded=False,
+                                               kernel=kernel_obj,
+                                               budget=budget)
+                elif strategy is Strategy.PUSHDOWN:
+                    fragments = _pushdown(keyword_sets, query, stats,
+                                          cache, kernel_obj,
+                                          budget=budget)
+                else:  # pragma: no cover - exhaustive over the enum
+                    raise QueryError(f"unhandled strategy {strategy}")
+            span.set(answers=len(fragments))
+    except BudgetExceeded as exc:
+        # record_query below is never reached on an abort, so the
+        # flight recorder captures the post-mortem here: a
+        # budget-exceeded profile is always tail-retained, with the
+        # partially-built (and already closed, error-attributed)
+        # execute span as its trace.
+        if recorder is not None:
+            _record_profile(
+                recorder, ob, document, query, strategy, index,
+                answers=0, elapsed=time.perf_counter() - started,
+                cpu_started=cpu_started, mem_token=mem_token,
+                stats=stats, budget=budget,
+                span=execute_span if ob.tracer.enabled else None,
+                outcome="budget-exceeded", reason=exc.reason)
+        raise
 
     elapsed = time.perf_counter() - started
     if ob.enabled:
@@ -196,6 +226,13 @@ def evaluate(document: "Document", query: Query,
             filter=repr(query.predicate), strategy=strategy.value,
             answers=len(fragments), elapsed=elapsed,
             stats=stats.as_dict())
+        if recorder is not None:
+            _record_profile(
+                recorder, ob, document, query, strategy, index,
+                answers=len(fragments), elapsed=elapsed,
+                cpu_started=cpu_started, mem_token=mem_token,
+                stats=stats, budget=budget,
+                span=execute_span if ob.tracer.enabled else None)
     if logger.isEnabledFor(logging.DEBUG):
         logger.debug(
             "%s evaluated %s: %d answers, %d joins, %d pruned, %.2fms",
@@ -205,6 +242,39 @@ def evaluate(document: "Document", query: Query,
     return QueryResult(query=query, fragments=fragments,
                        strategy=strategy.value, elapsed=elapsed,
                        stats=stats.as_dict())
+
+
+def _record_profile(recorder, ob, document, query, strategy, index, *,
+                    answers, elapsed, cpu_started, mem_token, stats,
+                    budget, span, outcome="ok", reason=None):
+    """Fold one evaluation into the flight recorder.
+
+    The Section-5 predicted cost is memoized on the recorder (the
+    estimate is deterministic per document/query/strategy) so the
+    serve loop's repeated queries pay one plan costing, not one per
+    evaluation.  Costing failures (e.g. a ``keyword_source`` backend
+    with no real :class:`Document`) degrade to an uncalibrated
+    profile rather than an error.
+    """
+    predicate = repr(query.predicate)
+    key = (id(document), query.terms, predicate, strategy.value)
+    try:
+        predicted = recorder.cached_cost(
+            key,
+            lambda: CostModel(document, index=index)
+            .estimate(plan_for(query, strategy)).cost)
+    except Exception:
+        predicted = None
+    recorder.observe(
+        metrics=ob.metrics, document=getattr(document, "name", "?"),
+        terms=query.terms, filter=predicate,
+        strategy=strategy.value, answers=answers, elapsed=elapsed,
+        cpu_s=time.process_time() - cpu_started,
+        stats=stats.as_dict(), outcome=outcome, reason=reason,
+        predicted_cost=predicted,
+        peak_memory=recorder.end_memory(mem_token),
+        checkpoints=budget.checkpoints if budget is not None else 0,
+        span=span)
 
 
 def plan_for(query: Query,

@@ -67,11 +67,12 @@ from ..errors import (BudgetExceeded, DocumentError, ExecutionError,
 from ..guard.budget import QueryBudget
 from ..index.inverted import InvertedIndex
 from ..obs import (CHUNK_FALLBACKS, CHUNK_RETRIES, CHUNK_TIMEOUTS,
-                   DOCUMENTS_SKIPPED, EXEC_DEGRADED, NOOP, MetricsRegistry,
-                   Observability, POOL_CHUNKS, POOL_CHUNK_SECONDS,
+                   DOCUMENTS_SKIPPED, EXEC_DEGRADED, NOOP,
+                   FlightRecorder, MetricsRegistry, Observability,
+                   POOL_CHUNKS, POOL_CHUNK_SECONDS,
                    POOL_DISPATCH_SECONDS, POOL_RESPAWNS, POOL_TASKS,
-                   POOL_WORKERS, QueryLog, SpanTracer, WORKER_CRASHES,
-                   capture_delta, merge_delta)
+                   POOL_WORKERS, QueryLog, RecorderConfig, SpanTracer,
+                   WORKER_CRASHES, capture_delta, merge_delta)
 from ..obs.tracer import NULL_TRACER
 from ..xmltree.document import Document
 from .faults import FaultPlan, apply_fault
@@ -102,35 +103,54 @@ _WORKER_INDEXES: dict[str, InvertedIndex] = {}
 _WORKER_CACHE: Optional[JoinCache] = None
 _WORKER_OBS: Optional[Observability] = None
 _WORKER_OBS_TRACED: Optional[bool] = None
+_WORKER_OBS_RECORDER: Optional[dict] = None
 _WORKER_BASELINE: dict = {}
 
 
 def _init_worker(documents: Mapping[str, Document]) -> None:
     global _WORKER_DOCUMENTS, _WORKER_INDEXES, _WORKER_CACHE
-    global _WORKER_OBS, _WORKER_OBS_TRACED, _WORKER_BASELINE
+    global _WORKER_OBS, _WORKER_OBS_TRACED, _WORKER_OBS_RECORDER
+    global _WORKER_BASELINE
     _WORKER_DOCUMENTS = documents
     _WORKER_INDEXES = {}
     _WORKER_CACHE = JoinCache()
     _WORKER_OBS = None
     _WORKER_OBS_TRACED = None
+    _WORKER_OBS_RECORDER = None
     _WORKER_BASELINE = {}
 
 
-def _worker_obs(traced: bool) -> Observability:
+def _worker_obs(traced: bool,
+                recorder_spec: Optional[dict] = None) -> Observability:
     """This worker's live observability handle.
 
     Created on the first telemetry-enabled chunk and kept warm (the
     metrics registry persists across chunks; increments ship as diffs
     against a rolling baseline).  Rebuilt if the parent's tracing
-    preference changes between calls.
+    preference or flight-recorder config changes between calls.  A
+    worker recorder runs in ``worker_mode`` — it aggregates histograms
+    and cost counters into the worker registry (whose increments merge
+    additively) but never publishes the calibration gauge; profiles
+    and retained traces drain into the chunk's
+    :class:`~repro.obs.delta.ObsDelta`.
     """
-    global _WORKER_OBS, _WORKER_OBS_TRACED, _WORKER_BASELINE
-    if _WORKER_OBS is None or _WORKER_OBS_TRACED != traced:
+    global _WORKER_OBS, _WORKER_OBS_TRACED, _WORKER_OBS_RECORDER
+    global _WORKER_BASELINE
+    if _WORKER_OBS is None or _WORKER_OBS_TRACED != traced \
+            or _WORKER_OBS_RECORDER != recorder_spec:
+        recorder = None
+        if recorder_spec is not None:
+            recorder = FlightRecorder(
+                RecorderConfig.from_dict(recorder_spec),
+                worker_mode=True)
         _WORKER_OBS = Observability(
             tracer=SpanTracer() if traced else NULL_TRACER,
             metrics=MetricsRegistry(),
-            query_log=QueryLog(max_records=1 << 16))
+            query_log=QueryLog(max_records=1 << 16),
+            recorder=recorder)
         _WORKER_OBS_TRACED = traced
+        _WORKER_OBS_RECORDER = (dict(recorder_spec)
+                                if recorder_spec is not None else None)
         _WORKER_BASELINE = {}
     return _WORKER_OBS
 
@@ -201,7 +221,8 @@ def _run_chunk(queries: Sequence[Query], items: Sequence[tuple[str, int]],
     global _WORKER_BASELINE
     started = time.perf_counter()
     strategy = Strategy(strategy_value)
-    obs = (_worker_obs(bool(obs_spec.get("trace")))
+    obs = (_worker_obs(bool(obs_spec.get("trace")),
+                       obs_spec.get("recorder"))
            if obs_spec is not None else NOOP)
     rows = []
     try:
@@ -617,7 +638,14 @@ class ParallelExecutor:
             # Start before shipping: workers clone the *absolute*
             # monotonic deadline, which is valid across processes.
             budget.start()
-        obs_spec = ({"trace": ob.tracer.enabled} if ob.enabled else None)
+        obs_spec = None
+        if ob.enabled:
+            obs_spec = {"trace": ob.tracer.enabled}
+            recorder = getattr(ob, "recorder", None)
+            if recorder is not None:
+                # Workers profile under the parent's recorder config;
+                # their rings drain into each chunk's delta.
+                obs_spec["recorder"] = recorder.config.to_dict()
         outcomes: dict[tuple[str, int], Optional[tuple]] = {}
         report = ResilienceReport()
         with ob.span("parallel-search", workers=self.workers,

@@ -26,7 +26,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..index.inverted import InvertedIndex
     from ..xmltree.document import Document
 
-__all__ = ["AdmissionPolicy", "AdmissionDecision", "screen"]
+__all__ = ["AdmissionPolicy", "AdmissionDecision", "screen",
+           "plan_cost"]
 
 ADMIT = "admit"
 DOWNGRADE = "downgrade"
@@ -99,16 +100,27 @@ class AdmissionDecision:
                 "max_cost": self.max_cost}
 
 
+def plan_cost(query: Query, strategy: Strategy, document: "Document",
+              index: Optional["InvertedIndex"] = None) -> float:
+    """The Section-5 predicted cost of running ``strategy`` for
+    ``query`` against one ``document``.
+
+    The single costing primitive shared by admission control and the
+    flight recorder's predicted-vs-measured calibration, so both read
+    the same number for the same plan.
+    """
+    plan = plan_for(query, strategy)
+    return CostModel(document, index=index).estimate(plan).cost
+
+
 def _collection_cost(query: Query, strategy: Strategy,
                      documents: Iterable["Document"],
                      index_for: Optional[Callable]) -> float:
     """Summed plan cost of ``strategy`` over ``documents``."""
-    plan = plan_for(query, strategy)
     total = 0.0
     for document in documents:
         index = index_for(document) if index_for is not None else None
-        model = CostModel(document, index=index)
-        total += model.estimate(plan).cost
+        total += plan_cost(query, strategy, document, index=index)
     return total
 
 

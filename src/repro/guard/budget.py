@@ -73,6 +73,10 @@ class QueryBudget:
     # same limits compare equal regardless of progress.
     started_at: float | None = field(default=None, compare=False)
     join_ops: int = field(default=0, compare=False)
+    #: Wall-clock checkpoints actually taken (amortised ticks/polls
+    #: that consulted the clock) — surfaced in flight-recorder
+    #: profiles as a measure of how often the query yielded control.
+    checkpoints: int = field(default=0, compare=False)
     _deadline_at: float | None = field(default=None, compare=False,
                                        repr=False)
     _since_check: int = field(default=0, compare=False, repr=False)
@@ -143,6 +147,7 @@ class QueryBudget:
 
     def check_deadline(self) -> None:
         """Unconditional wall-clock check."""
+        self.checkpoints += 1
         if (self._deadline_at is not None
                 and time.monotonic() > self._deadline_at):
             raise self._exceeded(
@@ -183,7 +188,8 @@ class QueryBudget:
 
     def progress(self) -> dict:
         """Partial-progress snapshot shipped inside ``BudgetExceeded``."""
-        snapshot = {"join_ops": self.join_ops}
+        snapshot = {"join_ops": self.join_ops,
+                    "checkpoints": self.checkpoints}
         if self._stats is not None and hasattr(self._stats, "as_dict"):
             snapshot["stats"] = self._stats.as_dict()
         return snapshot

@@ -31,10 +31,18 @@ from __future__ import annotations
 from typing import Mapping, Optional, Sequence
 
 from .delta import DELTAS_MERGED, ObsDelta, capture_delta, merge_delta
-from .metrics import (DEFAULT_BUCKETS, LATENCY_BUCKETS, NULL_METRICS,
-                      RATIO_BUCKETS, Counter, Gauge, Histogram,
-                      MetricsRegistry, NullMetrics)
+from .metrics import (COST_ERROR_BUCKETS, DEFAULT_BUCKETS,
+                      LATENCY_BUCKETS, LATENCY_LOG_BUCKETS, NULL_METRICS,
+                      RATIO_BUCKETS, SIZE_LOG_BUCKETS, Counter, Gauge,
+                      Histogram, MetricsRegistry, NullMetrics,
+                      exponential_buckets)
 from .querylog import QueryLog, QueryRecord
+from .recorder import (COST_ACTUAL, COST_CALIBRATION, COST_ERROR,
+                       COST_PREDICTED, PROFILES_EVICTED,
+                       PROFILES_RECORDED, RECORDER_LATENCY,
+                       RECORDER_RESULT_SIZE, TRACES_DROPPED,
+                       TRACES_RETAINED, FlightRecorder, QueryProfile,
+                       RecorderConfig)
 from .tracer import (NULL_SPAN, NULL_TRACER, NullTracer, Span, SpanTracer)
 
 __all__ = [
@@ -42,7 +50,14 @@ __all__ = [
     "SpanTracer", "NullTracer", "Span", "NULL_TRACER", "NULL_SPAN",
     "MetricsRegistry", "NullMetrics", "Counter", "Gauge", "Histogram",
     "NULL_METRICS", "DEFAULT_BUCKETS", "LATENCY_BUCKETS", "RATIO_BUCKETS",
+    "exponential_buckets", "LATENCY_LOG_BUCKETS", "SIZE_LOG_BUCKETS",
+    "COST_ERROR_BUCKETS",
     "QueryLog", "QueryRecord",
+    "FlightRecorder", "QueryProfile", "RecorderConfig",
+    "RECORDER_LATENCY", "RECORDER_RESULT_SIZE", "COST_ERROR",
+    "COST_CALIBRATION", "COST_PREDICTED", "COST_ACTUAL",
+    "PROFILES_RECORDED", "PROFILES_EVICTED", "TRACES_RETAINED",
+    "TRACES_DROPPED",
     "ObsDelta", "capture_delta", "merge_delta", "DELTAS_MERGED",
 ]
 
@@ -84,6 +99,10 @@ CHUNK_FALLBACKS = "repro_exec_chunk_fallbacks_total"
 #: else 0.  Reflected by the /healthz and /varz endpoints.
 EXEC_DEGRADED = "repro_exec_degraded"
 
+#: Gauge: resident-set size of the serving process in bytes
+#: (refreshed by the /metrics and /varz endpoints).
+PROCESS_RSS = "repro_process_rss_bytes"
+
 # Guard-rail metrics (recorded by repro.guard consumers: the collection
 # layer, the CLI serve loop and the query-serving endpoint).
 GUARD_ADMITTED = "repro_guard_admitted_total"
@@ -112,17 +131,24 @@ class Observability:
     query_log:
         Optional :class:`QueryLog`; per-query records are appended by
         :meth:`record_query`.
+    recorder:
+        Optional :class:`FlightRecorder`; when present,
+        ``strategies.evaluate`` folds a per-query
+        :class:`QueryProfile` (resource attribution, §5
+        predicted-vs-measured cost, tail-sampled trace) into it.
     """
 
     enabled = True
 
-    __slots__ = ("tracer", "metrics", "query_log")
+    __slots__ = ("tracer", "metrics", "query_log", "recorder")
 
     def __init__(self, tracer=None, metrics=None,
-                 query_log: Optional[QueryLog] = None) -> None:
+                 query_log: Optional[QueryLog] = None,
+                 recorder: Optional[FlightRecorder] = None) -> None:
         self.tracer = tracer if tracer is not None else SpanTracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.query_log = query_log
+        self.recorder = recorder
 
     def span(self, name: str, stats=None, **attributes):
         """Open a span on the tracer (context manager)."""

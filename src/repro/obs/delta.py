@@ -51,15 +51,23 @@ class ObsDelta:
     records:
         Query-log records (``QueryRecord.to_dict`` form) drained from
         the worker's log.
+    profiles:
+        Flight-recorder profiles (``QueryProfile.to_dict`` form)
+        drained from the worker's recorder ring.
+    traces:
+        Tail-sampled traces the worker retained, keyed by trace id
+        (Chrome trace events + serialized span tree).
     """
 
     metrics: dict = field(default_factory=lambda: {"metrics": []})
     spans: list = field(default_factory=list)
     records: list = field(default_factory=list)
+    profiles: list = field(default_factory=list)
+    traces: dict = field(default_factory=dict)
 
     def __bool__(self) -> bool:
         return bool(self.metrics.get("metrics") or self.spans
-                    or self.records)
+                    or self.records or self.profiles or self.traces)
 
 
 def capture_delta(obs, baseline: Optional[dict] = None
@@ -77,14 +85,19 @@ def capture_delta(obs, baseline: Optional[dict] = None
     new_baseline = obs.metrics.to_json()
     spans = []
     if obs.tracer.enabled:
-        spans = [root.to_dict() for root in obs.tracer.roots]
+        spans = [root.to_dict(epoch=root.started or None)
+                 for root in obs.tracer.roots]
         obs.tracer.clear()
     records = []
     if obs.query_log is not None:
         records = [record.to_dict()
                    for record in obs.query_log.drain()]
-    return ObsDelta(metrics=metrics, spans=spans, records=records), \
-        new_baseline
+    profiles: list = []
+    traces: dict = {}
+    if getattr(obs, "recorder", None) is not None:
+        profiles, traces = obs.recorder.drain()
+    return ObsDelta(metrics=metrics, spans=spans, records=records,
+                    profiles=profiles, traces=traces), new_baseline
 
 
 def merge_delta(obs, delta: Optional[ObsDelta],
@@ -116,3 +129,10 @@ def merge_delta(obs, delta: Optional[ObsDelta],
                 obs.metrics.counter(
                     SLOW_QUERIES,
                     "Queries at or over the slow threshold.").inc()
+    if (delta.profiles or delta.traces) \
+            and getattr(obs, "recorder", None) is not None:
+        # Histograms/cost counters already travelled in the metrics
+        # diff above; ingest only folds the profiles/traces into the
+        # parent ring and refreshes the calibration gauges.
+        obs.recorder.ingest(delta.profiles, delta.traces,
+                            worker=worker, metrics=obs.metrics)

@@ -43,7 +43,9 @@ from typing import Iterable, Mapping, Optional, Sequence, Union
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "NullMetrics", "NULL_METRICS", "DEFAULT_BUCKETS",
-           "LATENCY_BUCKETS", "RATIO_BUCKETS"]
+           "LATENCY_BUCKETS", "RATIO_BUCKETS", "exponential_buckets",
+           "LATENCY_LOG_BUCKETS", "SIZE_LOG_BUCKETS",
+           "COST_ERROR_BUCKETS"]
 
 #: General-purpose magnitude buckets (counts of things).
 DEFAULT_BUCKETS: tuple[float, ...] = (
@@ -57,6 +59,36 @@ LATENCY_BUCKETS: tuple[float, ...] = (
 #: Buckets for quantities in [0, 1] (hit ratios, reduction factors).
 RATIO_BUCKETS: tuple[float, ...] = (
     0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0)
+
+
+def exponential_buckets(start: float, factor: float,
+                        count: int) -> tuple[float, ...]:
+    """``count`` log-scaled bucket bounds: ``start * factor**i``.
+
+    The standard client-library helper for long-tailed quantities:
+    equal resolution per decade instead of per unit.  ``start`` must be
+    positive and ``factor`` > 1 so the bounds are strictly increasing.
+    """
+    if start <= 0:
+        raise ValueError("start must be > 0")
+    if factor <= 1:
+        raise ValueError("factor must be > 1")
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    return tuple(start * factor ** i for i in range(count))
+
+
+#: Flight-recorder latency buckets in seconds: 0.1 ms – ~13 s, base 2.
+LATENCY_LOG_BUCKETS: tuple[float, ...] = exponential_buckets(
+    0.0001, 2.0, 18)
+
+#: Result-size buckets: 1 – 16384 answer fragments, base 2.
+SIZE_LOG_BUCKETS: tuple[float, ...] = exponential_buckets(1.0, 2.0, 15)
+
+#: Cost-error (measured/predicted) buckets, symmetric around 1 on a
+#: log scale: 1/64 – 64, base 2.
+COST_ERROR_BUCKETS: tuple[float, ...] = exponential_buckets(
+    1.0 / 64.0, 2.0, 13)
 
 LabelsArg = Optional[Mapping[str, str]]
 

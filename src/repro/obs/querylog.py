@@ -126,12 +126,23 @@ class QueryLog:
         self._clock = clock
         self._lock = threading.Lock()
         self.emitted = 0
+        self.evicted = 0
+
+    @property
+    def max_records(self) -> int:
+        """The ring capacity (surfaced by ``/varz`` under ``serve``)."""
+        return self._records.maxlen or 0
 
     def _append(self, record: QueryRecord) -> None:
         """Retain + emit one record under the lock (single choke
-        point, so the ring, the sink and ``emitted`` stay coherent
-        across threads)."""
+        point, so the ring, the sink, ``emitted`` and ``evicted`` stay
+        coherent across threads).  Appends past the cap evict the
+        oldest record and count it — the same ring discipline as the
+        flight recorder, so a long ``serve`` session stays bounded and
+        the loss is visible."""
         with self._lock:
+            if len(self._records) == self._records.maxlen:
+                self.evicted += 1
             self._records.append(record)
             if self._sink is not None \
                     and (record.slow or not self.slow_only):

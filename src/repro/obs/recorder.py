@@ -1,0 +1,798 @@
+"""Query flight recorder (``repro.obs.recorder``).
+
+A :class:`FlightRecorder` keeps an always-on, bounded post-mortem
+record of every evaluated query — the observability gap the metrics
+registry and the query log leave open: counters aggregate away the one
+bad request, and full span trees for *all* traffic would be O(traffic)
+memory.  The recorder is O(ring size) by construction:
+
+* every query becomes one :class:`QueryProfile` in a bounded ring —
+  wall and CPU seconds, join ops / cache hits / budget checkpoints,
+  the chosen strategy, the Section-5 *predicted* plan cost next to the
+  *measured* operation count, and (opt-in) the ``tracemalloc``
+  high-water mark;
+* **tail-based trace sampling**: the full span tree is retained only
+  for queries that are slow, budget-aborted, errored, or randomly
+  head-sampled at a configurable rate.  Everything else contributes to
+  the latency / result-size / cost-error histograms and is dropped;
+* retained traces are stored pre-converted to **Chrome trace-event**
+  JSON (load the export in ``chrome://tracing`` or Perfetto);
+* profiles produced inside pool workers ship in-band through
+  :mod:`repro.obs.delta` and are folded into the parent recorder with
+  ``worker=N`` provenance, so one ring covers the whole process tree.
+
+The recorder deliberately owns no metrics registry: callers pass the
+one they want populated (``observe(..., metrics=obs.metrics)``), which
+keeps worker-side recorders additive under the delta merge — workers
+feed histograms and the predicted/actual cost *counters* (both merge
+additively); only the parent publishes the non-additive
+``repro_cost_calibration_ratio`` gauge, recomputed from its running
+sums (:meth:`FlightRecorder.publish_calibration`).
+"""
+
+from __future__ import annotations
+
+import atexit
+import io
+import json
+import os
+import signal
+import threading
+import time
+import tracemalloc
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping, Optional, Sequence
+
+from .metrics import (COST_ERROR_BUCKETS, LATENCY_LOG_BUCKETS,
+                      SIZE_LOG_BUCKETS)
+
+__all__ = ["RecorderConfig", "QueryProfile", "FlightRecorder",
+           "load_dump", "span_to_events",
+           "RECORDER_LATENCY", "RECORDER_RESULT_SIZE", "COST_ERROR",
+           "COST_CALIBRATION", "COST_PREDICTED", "COST_ACTUAL",
+           "PROFILES_RECORDED", "PROFILES_EVICTED", "TRACES_RETAINED",
+           "TRACES_DROPPED"]
+
+# Metric names owned by the recorder (re-exported by repro.obs).
+RECORDER_LATENCY = "repro_recorder_latency_seconds"
+RECORDER_RESULT_SIZE = "repro_recorder_result_size"
+COST_ERROR = "repro_cost_error_ratio"
+COST_CALIBRATION = "repro_cost_calibration_ratio"
+COST_PREDICTED = "repro_cost_predicted_total"
+COST_ACTUAL = "repro_cost_actual_total"
+PROFILES_RECORDED = "repro_recorder_profiles_total"
+PROFILES_EVICTED = "repro_recorder_profiles_evicted_total"
+TRACES_RETAINED = "repro_recorder_traces_retained_total"
+TRACES_DROPPED = "repro_recorder_traces_dropped_total"
+
+#: Stats counters summed into a profile's *measured* cost — the same
+#: "primitive operations" currency the Section-5 ``CostEstimate`` prices
+#: (keyword probes, join pair work, filter checks), so the calibration
+#: ratio compares like with like.
+_COST_COUNTERS = ("fragment_joins", "join_cache_hits",
+                  "predicate_checks", "subset_checks",
+                  "fragments_discarded")
+
+# Retention reasons, in the order they are tried.
+RETAIN_BUDGET = "budget-exceeded"
+RETAIN_ERROR = "error"
+RETAIN_SLOW = "slow"
+RETAIN_HEAD = "head-sample"
+
+
+@dataclass(frozen=True)
+class RecorderConfig:
+    """Tuning knobs for one :class:`FlightRecorder`.
+
+    Parameters
+    ----------
+    ring_size:
+        Profiles retained in the ring (oldest evicted first).
+    max_traces:
+        Full span trees retained; beyond it the oldest trace is
+        dropped (the profile keeps its ``trace_id`` but the trace body
+        is gone — ``repro_recorder_traces_dropped_total`` counts this).
+    slow_ms:
+        Tail-sampling threshold: queries at or over this latency keep
+        their trace.  ``None`` disables the slow rule.
+    sample_rate:
+        Head-sampling probability in ``[0, 1]``: this fraction of
+        *healthy, fast* queries also keeps a trace, so the recorder
+        sees normal traffic too, not just the tail.
+    track_memory:
+        Opt-in ``tracemalloc`` high-water tracking per query.  Starts
+        ``tracemalloc`` lazily; meaningful for one query at a time
+        (the peak is process-wide) and costs real time — keep it off
+        on hot serving paths.
+    seed:
+        Seed for the head-sampling RNG (deterministic tests).
+    """
+
+    ring_size: int = 512
+    max_traces: int = 32
+    slow_ms: Optional[float] = 100.0
+    sample_rate: float = 0.0
+    track_memory: bool = False
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.ring_size < 1:
+            raise ValueError("ring_size must be >= 1")
+        if self.max_traces < 0:
+            raise ValueError("max_traces must be >= 0")
+        if self.slow_ms is not None and self.slow_ms < 0:
+            raise ValueError("slow_ms must be >= 0")
+        if not 0.0 <= self.sample_rate <= 1.0:
+            raise ValueError("sample_rate must be in [0, 1]")
+
+    def to_dict(self) -> dict:
+        return {"ring_size": self.ring_size,
+                "max_traces": self.max_traces,
+                "slow_ms": self.slow_ms,
+                "sample_rate": self.sample_rate,
+                "track_memory": self.track_memory,
+                "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RecorderConfig":
+        return cls(ring_size=int(data.get("ring_size", 512)),
+                   max_traces=int(data.get("max_traces", 32)),
+                   slow_ms=data.get("slow_ms", 100.0),
+                   sample_rate=float(data.get("sample_rate", 0.0)),
+                   track_memory=bool(data.get("track_memory", False)),
+                   seed=data.get("seed"))
+
+
+@dataclass(slots=True)
+class QueryProfile:
+    """Per-query resource attribution — one ring entry.
+
+    Not frozen: one is built per query on the hot path, and the
+    frozen-dataclass ``object.__setattr__`` init costs ~3x a plain
+    one.  Treat instances as read-only records all the same; `ingest`
+    is the single sanctioned mutation point (worker provenance).
+    """
+
+    ts: float
+    query_id: str
+    document: str
+    terms: tuple[str, ...]
+    filter: str
+    strategy: str
+    answers: int
+    wall_ms: float
+    cpu_ms: float
+    outcome: str = "ok"
+    reason: Optional[str] = None
+    join_ops: int = 0
+    cache_hits: int = 0
+    checkpoints: int = 0
+    stats: dict = field(default_factory=dict)
+    predicted_cost: Optional[float] = None
+    actual_cost: Optional[float] = None
+    peak_memory_bytes: Optional[int] = None
+    worker: Optional[str] = None
+    trace_id: Optional[str] = None
+    retained: Optional[str] = None
+
+    @property
+    def cost_ratio(self) -> Optional[float]:
+        """Measured / predicted cost, the per-query calibration sample."""
+        if self.predicted_cost and self.actual_cost is not None:
+            return self.actual_cost / self.predicted_cost
+        return None
+
+    def to_dict(self) -> dict:
+        record = {
+            "ts": round(self.ts, 6),
+            "query_id": self.query_id,
+            "document": self.document,
+            "terms": list(self.terms),
+            "filter": self.filter,
+            "strategy": self.strategy,
+            "answers": self.answers,
+            "wall_ms": round(self.wall_ms, 4),
+            "cpu_ms": round(self.cpu_ms, 4),
+            "outcome": self.outcome,
+            "join_ops": self.join_ops,
+            "cache_hits": self.cache_hits,
+            "checkpoints": self.checkpoints,
+            "stats": dict(self.stats),
+        }
+        for key in ("reason", "predicted_cost", "actual_cost",
+                    "peak_memory_bytes", "worker", "trace_id",
+                    "retained"):
+            value = getattr(self, key)
+            if value is not None:
+                record[key] = value
+        ratio = self.cost_ratio
+        if ratio is not None:
+            record["cost_ratio"] = round(ratio, 6)
+        return record
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "QueryProfile":
+        return cls(
+            ts=float(data.get("ts", 0.0)),
+            query_id=str(data.get("query_id", "?")),
+            document=data.get("document", "?"),
+            terms=tuple(data.get("terms", ())),
+            filter=data.get("filter", ""),
+            strategy=data.get("strategy", "?"),
+            answers=int(data.get("answers", 0)),
+            wall_ms=float(data.get("wall_ms", 0.0)),
+            cpu_ms=float(data.get("cpu_ms", 0.0)),
+            outcome=data.get("outcome", "ok"),
+            reason=data.get("reason"),
+            join_ops=int(data.get("join_ops", 0)),
+            cache_hits=int(data.get("cache_hits", 0)),
+            checkpoints=int(data.get("checkpoints", 0)),
+            stats=dict(data.get("stats", ())),
+            predicted_cost=data.get("predicted_cost"),
+            actual_cost=data.get("actual_cost"),
+            peak_memory_bytes=data.get("peak_memory_bytes"),
+            worker=data.get("worker"),
+            trace_id=data.get("trace_id"),
+            retained=data.get("retained"))
+
+
+def span_to_events(span, *, pid: int = 0, tid: int = 0,
+                   origin: Optional[float] = None,
+                   offset_us: float = 0.0) -> list[dict]:
+    """Flatten one closed span (tree) into Chrome trace events.
+
+    Live spans carry real ``perf_counter`` start times, so nested
+    events land at their true offsets; rehydrated spans (``started``
+    pinned, see :meth:`~repro.obs.tracer.Span.from_dict`) fall back to
+    laying siblings out end-to-end.  Events are complete (``"ph": "X"``)
+    with microsecond ``ts``/``dur`` — the units ``chrome://tracing``
+    and Perfetto expect.
+    """
+    if origin is None:
+        if span.started:
+            origin = span.started
+        elif any(child.started for child in span.children):
+            # Rehydrated tree: root pinned to 0 but children carry
+            # real start offsets (see Span.from_dict).
+            origin = 0.0
+    if origin is not None and span.started:
+        ts_us = (span.started - origin) * 1e6
+    else:
+        ts_us = offset_us
+    duration_us = max(0.0, span.duration * 1e6)
+    args: dict = dict(span.attributes)
+    if span.work:
+        args["work"] = dict(span.work)
+    event = {"name": span.name, "ph": "X", "pid": pid, "tid": tid,
+             "ts": round(ts_us, 3), "dur": round(duration_us, 3)}
+    if args:
+        event["args"] = args
+    events = [event]
+    child_offset = ts_us
+    for child in span.children:
+        child_events = span_to_events(child, pid=pid, tid=tid,
+                                      origin=origin,
+                                      offset_us=child_offset)
+        events.extend(child_events)
+        child_offset = child_events[0]["ts"] + child_events[0]["dur"]
+    return events
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+class FlightRecorder:
+    """Bounded per-query post-mortem ring with tail-sampled traces.
+
+    Thread safety: all mutation and snapshots hold one lock; snapshots
+    return copies, so the ``/debug/flightrecorder`` endpoint can read
+    the ring from HTTP server threads while queries keep landing.
+    """
+
+    def __init__(self, config: Optional[RecorderConfig] = None,
+                 worker_mode: bool = False,
+                 clock: Callable[[], float] = time.time) -> None:
+        self.config = config if config is not None else RecorderConfig()
+        self.worker_mode = worker_mode
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._ring: deque[QueryProfile] = deque(
+            maxlen=self.config.ring_size)
+        self._traces: "OrderedDict[str, dict]" = OrderedDict()
+        self._seq = 0
+        self.recorded = 0
+        self.evicted = 0
+        self.traces_retained = 0
+        self.traces_dropped = 0
+        # Per-strategy running sums: strategy -> [predicted, actual, n].
+        self._cost_sums: dict[str, list[float]] = {}
+        # Small memo for Section-5 plan costs (keyed by the caller).
+        self._cost_cache: dict[tuple, float] = {}
+        # Resolved metric instruments for the one registry this
+        # recorder aggregates into; registry lookups take an RLock per
+        # call, which dominates sub-millisecond queries.
+        self._instr_for: Optional[object] = None
+        self._instr: dict = {}
+        import random
+        self._rng = random.Random(self.config.seed)
+        self._memory_on = False
+        self._id_prefix = f"q{os.getpid():x}-"
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def _next_id(self) -> str:
+        self._seq += 1
+        return self._id_prefix + format(self._seq, "06d")
+
+    def _retain_reason(self, outcome: str,
+                       wall_ms: float) -> Optional[str]:
+        if outcome == "budget-exceeded":
+            return RETAIN_BUDGET
+        if outcome != "ok":
+            return RETAIN_ERROR
+        if self.config.slow_ms is not None \
+                and wall_ms >= self.config.slow_ms:
+            return RETAIN_SLOW
+        if self.config.sample_rate > 0 \
+                and self._rng.random() < self.config.sample_rate:
+            return RETAIN_HEAD
+        return None
+
+    def measured_cost(self, stats: Mapping, answers: int) -> float:
+        """A query's measured cost in Section-5 operation units."""
+        total = float(answers)
+        for key in _COST_COUNTERS:
+            total += stats.get(key, 0)
+        return max(1.0, total)
+
+    def observe(self, *, metrics, document: str, terms: Sequence[str],
+                filter: str, strategy: str, answers: int,
+                elapsed: float, cpu_s: float = 0.0,
+                stats: Optional[Mapping] = None, outcome: str = "ok",
+                reason: Optional[str] = None,
+                predicted_cost: Optional[float] = None,
+                peak_memory: Optional[int] = None,
+                checkpoints: int = 0,
+                span=None) -> QueryProfile:
+        """Fold one finished (or aborted) query into the recorder.
+
+        ``metrics`` is the registry the aggregates land in (histograms
+        always; the predicted/actual cost counters when a calibration
+        sample exists).  ``span`` is the query's *closed* root span,
+        serialized to Chrome events only if the tail/head sampling
+        decision retains it.
+        """
+        if stats is None:
+            counters = {}
+        elif type(stats) is dict:
+            counters = stats  # callers pass a fresh as_dict() snapshot
+        else:
+            counters = dict(stats)
+        wall_ms = elapsed * 1000.0
+        actual = (self.measured_cost(counters, answers)
+                  if predicted_cost is not None else None)
+        retained = self._retain_reason(outcome, wall_ms)
+        with self._lock:
+            query_id = self._next_id()
+            trace_id = None
+            if retained is not None and span is not None \
+                    and self.config.max_traces > 0:
+                trace_id = query_id
+            profile = QueryProfile(
+                ts=self._clock(), query_id=query_id, document=document,
+                terms=tuple(terms), filter=filter, strategy=strategy,
+                answers=answers, wall_ms=wall_ms, cpu_ms=cpu_s * 1000.0,
+                outcome=outcome, reason=reason,
+                join_ops=counters.get("fragment_joins", 0),
+                cache_hits=counters.get("join_cache_hits", 0),
+                checkpoints=checkpoints, stats=counters,
+                predicted_cost=predicted_cost, actual_cost=actual,
+                peak_memory_bytes=peak_memory, trace_id=trace_id,
+                retained=retained)
+            self._append(profile)
+            if trace_id is not None:
+                self._retain_trace(trace_id, span, metrics)
+            if predicted_cost:
+                sums = self._cost_sums.setdefault(strategy,
+                                                  [0.0, 0.0, 0])
+                sums[0] += predicted_cost
+                sums[1] += actual
+                sums[2] += 1
+        self._aggregate(metrics, profile)
+        return profile
+
+    def _append(self, profile: QueryProfile) -> None:
+        """Ring append under the lock, counting evictions."""
+        if len(self._ring) == self._ring.maxlen:
+            self.evicted += 1
+        self._ring.append(profile)
+        self.recorded += 1
+
+    def _retain_trace(self, trace_id: str, span, metrics) -> None:
+        """Store one retained trace (Chrome events + tree) under the
+        lock, evicting the oldest past ``max_traces``."""
+        try:
+            events = span_to_events(span, pid=os.getpid())
+            tree = span.to_dict()
+        except Exception:  # a half-broken span must not kill the query
+            return
+        self._traces[trace_id] = {"events": events, "spans": [tree]}
+        self.traces_retained += 1
+        while len(self._traces) > self.config.max_traces:
+            self._traces.popitem(last=False)
+            self.traces_dropped += 1
+        if metrics.enabled:
+            metrics.counter(
+                TRACES_RETAINED,
+                "Span trees retained by tail/head sampling.").inc()
+            if self.traces_dropped:
+                dropped = metrics.counter(
+                    TRACES_DROPPED,
+                    "Retained traces evicted past max_traces.")
+                if dropped.value < self.traces_dropped:
+                    dropped.inc(self.traces_dropped - dropped.value)
+
+    def _instruments(self, metrics) -> dict:
+        """Resolved instrument handles for *metrics* (memoized).
+
+        A recorder aggregates into one registry for its lifetime (the
+        parent's, or the worker's per-chunk one); re-resolving each
+        instrument per query would pay the registry's get-or-create
+        lock six times on the hot path.
+        """
+        if self._instr_for is not metrics:
+            self._instr = {
+                "recorded": metrics.counter(
+                    PROFILES_RECORDED,
+                    "Queries folded into the flight recorder."),
+                "latency": metrics.histogram(
+                    RECORDER_LATENCY,
+                    "Per-query wall latency (flight recorder, "
+                    "log buckets).",
+                    buckets=LATENCY_LOG_BUCKETS),
+                "size": metrics.histogram(
+                    RECORDER_RESULT_SIZE,
+                    "Answer fragments per query (log buckets).",
+                    buckets=SIZE_LOG_BUCKETS),
+                "cost": {},
+            }
+            self._instr_for = metrics
+        return self._instr
+
+    def _cost_instruments(self, metrics, strategy: str) -> tuple:
+        cost = self._instruments(metrics)["cost"]
+        found = cost.get(strategy)
+        if found is None:
+            labels = {"strategy": strategy}
+            found = (
+                metrics.histogram(
+                    COST_ERROR,
+                    "Measured/predicted Section-5 cost ratio per "
+                    "query.",
+                    buckets=COST_ERROR_BUCKETS, labels=labels),
+                metrics.counter(
+                    COST_PREDICTED,
+                    "Summed Section-5 predicted plan cost.",
+                    labels=labels),
+                metrics.counter(
+                    COST_ACTUAL,
+                    "Summed measured operation cost.",
+                    labels=labels),
+            )
+            cost[strategy] = found
+        return found
+
+    def _aggregate(self, metrics, profile: QueryProfile) -> None:
+        """Histogram + counter aggregates for one profile.
+
+        These land in whatever registry the caller serves; inside a
+        pool worker that is the worker's registry, whose increments
+        merge additively into the parent — so the parent must *not*
+        re-aggregate ingested worker profiles (see :meth:`ingest`).
+        """
+        if not metrics.enabled:
+            return
+        instr = self._instruments(metrics)
+        instr["recorded"].inc()
+        instr["latency"].observe(profile.wall_ms / 1000)
+        instr["size"].observe(profile.answers)
+        ratio = profile.cost_ratio
+        if ratio is not None:
+            error, predicted, actual = self._cost_instruments(
+                metrics, profile.strategy)
+            error.observe(ratio)
+            predicted.inc(profile.predicted_cost)
+            actual.inc(profile.actual_cost)
+
+    def publish_calibration(self, metrics) -> dict[str, float]:
+        """Recompute and export the per-strategy calibration gauges.
+
+        Returns ``{strategy: measured/predicted}`` over every sample
+        this recorder has seen (its own and ingested worker ones).
+        Called by parents only — the gauge is a ratio and must never
+        travel through the additive delta merge.
+        """
+        with self._lock:
+            sums = {s: list(v) for s, v in self._cost_sums.items()}
+        ratios = {}
+        for strategy, (predicted, actual, _) in sums.items():
+            if predicted <= 0:
+                continue
+            ratio = actual / predicted
+            ratios[strategy] = ratio
+            if metrics is not None and metrics.enabled:
+                metrics.gauge(
+                    COST_CALIBRATION,
+                    "Measured/predicted cost ratio per strategy "
+                    "(running).",
+                    labels={"strategy": strategy}).set(round(ratio, 6))
+        return ratios
+
+    # -- Section-5 plan-cost memo -------------------------------------
+
+    def cached_cost(self, key: tuple,
+                    compute: Callable[[], float]) -> float:
+        """Memoized predicted plan cost (the estimate is deterministic
+        per (document, query, strategy), and serve loops repeat)."""
+        found = self._cost_cache.get(key)
+        if found is None:
+            found = compute()
+            if len(self._cost_cache) >= 1024:
+                self._cost_cache.clear()
+            self._cost_cache[key] = found
+        return found
+
+    # -- opt-in memory high-water -------------------------------------
+
+    def begin_memory(self) -> bool:
+        """Arm the per-query ``tracemalloc`` peak; returns whether
+        tracking is live (pass the token to :meth:`end_memory`)."""
+        if not self.config.track_memory:
+            return False
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._memory_on = True
+        tracemalloc.reset_peak()
+        return True
+
+    def end_memory(self, token: bool) -> Optional[int]:
+        """The peak traced bytes since :meth:`begin_memory`."""
+        if not token or not tracemalloc.is_tracing():
+            return None
+        return tracemalloc.get_traced_memory()[1]
+
+    def close(self) -> None:
+        """Stop ``tracemalloc`` if this recorder started it."""
+        if self._memory_on and tracemalloc.is_tracing():
+            tracemalloc.stop()
+            self._memory_on = False
+
+    # ------------------------------------------------------------------
+    # Cross-process shipping (repro.obs.delta)
+    # ------------------------------------------------------------------
+
+    def drain(self) -> tuple[list[dict], dict]:
+        """Remove and return ``(profile dicts, retained traces)``.
+
+        Pool workers drain after each chunk so profiles and traces
+        ship to the parent exactly once.
+        """
+        with self._lock:
+            profiles = [p.to_dict() for p in self._ring]
+            self._ring.clear()
+            traces = dict(self._traces)
+            self._traces.clear()
+        return profiles, traces
+
+    def ingest(self, profiles: Sequence[Mapping], traces: Mapping,
+               worker: Optional[str] = None, metrics=None) -> None:
+        """Fold a worker's drained profiles and traces into this ring.
+
+        Histograms and cost counters are *not* re-aggregated — the
+        worker already counted them into its own registry, whose delta
+        merges additively next to this call.  Running calibration sums
+        (and the gauges) are parent business and are updated here.
+        """
+        with self._lock:
+            for data in profiles:
+                profile = QueryProfile.from_dict(data)
+                if worker is not None and profile.worker is None:
+                    profile = replace(profile, worker=worker)
+                self._append(profile)
+                if profile.predicted_cost and \
+                        profile.actual_cost is not None:
+                    sums = self._cost_sums.setdefault(
+                        profile.strategy, [0.0, 0.0, 0])
+                    sums[0] += profile.predicted_cost
+                    sums[1] += profile.actual_cost
+                    sums[2] += 1
+            for trace_id, body in traces.items():
+                self._traces[trace_id] = body
+                self.traces_retained += 1
+                while len(self._traces) > self.config.max_traces:
+                    self._traces.popitem(last=False)
+                    self.traces_dropped += 1
+        if metrics is not None:
+            self.publish_calibration(metrics)
+
+    # ------------------------------------------------------------------
+    # Introspection / export
+    # ------------------------------------------------------------------
+
+    @property
+    def profiles(self) -> list[QueryProfile]:
+        """Retained profiles, oldest first (a snapshot copy)."""
+        with self._lock:
+            return list(self._ring)
+
+    def trace_ids(self) -> list[str]:
+        with self._lock:
+            return list(self._traces)
+
+    def chrome_trace(self, trace_id: str) -> Optional[dict]:
+        """One retained trace as a Chrome trace-event document."""
+        with self._lock:
+            body = self._traces.get(trace_id)
+        if body is None:
+            return None
+        return {"traceEvents": list(body.get("events", ())),
+                "displayTimeUnit": "ms",
+                "metadata": {"trace_id": trace_id,
+                             "recorder": "repro.obs.recorder"}}
+
+    def latency_percentiles(self) -> dict[str, float]:
+        """p50/p90/p99 wall latency (ms) over the current ring."""
+        values = sorted(p.wall_ms for p in self.profiles)
+        return {"p50_ms": round(_percentile(values, 0.50), 4),
+                "p90_ms": round(_percentile(values, 0.90), 4),
+                "p99_ms": round(_percentile(values, 0.99), 4),
+                "samples": len(values)}
+
+    def snapshot(self, limit: int = 50) -> dict:
+        """The ``/debug/flightrecorder`` document."""
+        with self._lock:
+            profiles = list(self._ring)[-limit:]
+            trace_ids = list(self._traces)
+            counts = {"recorded": self.recorded,
+                      "evicted": self.evicted,
+                      "in_ring": len(self._ring),
+                      "traces_retained": self.traces_retained,
+                      "traces_dropped": self.traces_dropped,
+                      "traces_in_store": len(trace_ids)}
+        outcomes: dict[str, int] = {}
+        for profile in profiles:
+            outcomes[profile.outcome] = outcomes.get(profile.outcome,
+                                                     0) + 1
+        return {"config": self.config.to_dict(),
+                "counts": counts,
+                "latency": self.latency_percentiles(),
+                "calibration": self.publish_calibration(None),
+                "outcomes": outcomes,
+                "traces": trace_ids,
+                "profiles": [p.to_dict() for p in profiles]}
+
+    def to_jsonl(self) -> str:
+        """The whole ring + retained traces, one JSON object per line."""
+        with self._lock:
+            profiles = list(self._ring)
+            traces = dict(self._traces)
+        buffer = io.StringIO()
+        for profile in profiles:
+            record = {"type": "profile"}
+            record.update(profile.to_dict())
+            buffer.write(json.dumps(record, sort_keys=False,
+                                    default=str) + "\n")
+        for trace_id, body in traces.items():
+            buffer.write(json.dumps(
+                {"type": "trace", "id": trace_id,
+                 "events": body.get("events", []),
+                 "spans": body.get("spans", [])},
+                sort_keys=False, default=str) + "\n")
+        return buffer.getvalue()
+
+    def dump(self, path) -> int:
+        """Write :meth:`to_jsonl` to ``path``; returns lines written."""
+        text = self.to_jsonl()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        return text.count("\n")
+
+    # ------------------------------------------------------------------
+    # On-abort dump hook
+    # ------------------------------------------------------------------
+
+    def install_dump_hook(self, path,
+                          signals: Sequence[int] = (signal.SIGTERM,)
+                          ) -> Callable[[], None]:
+        """Dump the ring to ``path`` on interpreter exit or a signal.
+
+        Registers an :mod:`atexit` hook plus handlers for ``signals``
+        that write the JSONL dump and then re-deliver the signal's
+        previous disposition, so a crashed or killed ``serve`` process
+        leaves a post-mortem artifact behind.  Returns an uninstaller
+        (idempotent) that also removes the atexit hook.
+        """
+        done = threading.Event()
+
+        def write_dump() -> None:
+            if done.is_set():
+                return
+            done.set()
+            try:
+                self.dump(path)
+            except OSError:
+                pass
+
+        previous: dict[int, object] = {}
+
+        def on_signal(signum, frame) -> None:
+            write_dump()
+            handler = previous.get(signum)
+            signal.signal(signum, handler if callable(handler)
+                          or handler in (signal.SIG_IGN, signal.SIG_DFL)
+                          else signal.SIG_DFL)
+            signal.raise_signal(signum)
+
+        atexit.register(write_dump)
+        for signum in signals:
+            try:
+                previous[signum] = signal.signal(signum, on_signal)
+            except (ValueError, OSError):  # non-main thread / platform
+                pass
+
+        def uninstall() -> None:
+            done.set()
+            atexit.unregister(write_dump)
+            for signum, handler in previous.items():
+                try:
+                    signal.signal(signum, handler)
+                except (ValueError, OSError, TypeError):
+                    pass
+
+        return uninstall
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def __repr__(self) -> str:
+        return (f"FlightRecorder(ring={len(self)}/"
+                f"{self.config.ring_size}, "
+                f"traces={len(self.trace_ids())}, "
+                f"recorded={self.recorded})")
+
+
+def load_dump(path) -> tuple[list[QueryProfile], dict[str, dict]]:
+    """Read a :meth:`FlightRecorder.dump` JSONL file back.
+
+    Returns ``(profiles, traces)``; malformed lines are skipped so a
+    truncated crash dump still loads.
+    """
+    profiles: list[QueryProfile] = []
+    traces: dict[str, dict] = {}
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            kind = record.get("type")
+            if kind == "profile":
+                profiles.append(QueryProfile.from_dict(record))
+            elif kind == "trace" and record.get("id"):
+                traces[record["id"]] = {
+                    "events": record.get("events", []),
+                    "spans": record.get("spans", [])}
+    return profiles, traces

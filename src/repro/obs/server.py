@@ -50,6 +50,9 @@ Prometheus client library.
 from __future__ import annotations
 
 import json
+import os
+import platform
+import sys
 import threading
 import time
 from dataclasses import dataclass
@@ -65,12 +68,47 @@ from ..guard.admission import AdmissionPolicy
 from ..guard.breaker import BREAKER_STATE_CODES, OPEN, CircuitBreaker
 from ..guard.budget import QueryBudget
 from . import (EXEC_DEGRADED, GUARD_ADMITTED, GUARD_BREAKER_STATE,
-               GUARD_REJECTED, GUARD_SHED, Observability)
+               GUARD_REJECTED, GUARD_SHED, PROCESS_RSS, Observability)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..collection.collection import DocumentCollection
 
-__all__ = ["MetricsServer", "QueryGuardrails"]
+__all__ = ["MetricsServer", "QueryGuardrails", "process_stats"]
+
+
+def process_stats() -> dict:
+    """Resource facts about this process for ``/varz``.
+
+    Linux reads ``/proc/self`` (RSS from ``VmRSS``, FD count from
+    ``/proc/self/fd``); elsewhere RSS degrades to ``resource``'s
+    high-water mark and missing facts are ``None`` rather than errors.
+    """
+    rss = None
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    rss = int(line.split()[1]) * 1024
+                    break
+    except (OSError, ValueError, IndexError):
+        pass
+    if rss is None:  # pragma: no cover - non-Linux fallback
+        try:
+            import resource
+            peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            rss = peak if sys.platform == "darwin" else peak * 1024
+        except Exception:
+            rss = None
+    open_fds = None
+    try:
+        open_fds = len(os.listdir("/proc/self/fd"))
+    except OSError:  # pragma: no cover - non-procfs platform
+        pass
+    return {"pid": os.getpid(),
+            "rss_bytes": rss,
+            "open_fds": open_fds,
+            "python": platform.python_version(),
+            "platform": platform.platform()}
 
 #: Content type of the Prometheus text exposition format.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -238,7 +276,10 @@ class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
     GET_ROUTES = {"/metrics": "_get_metrics", "/healthz": "_get_healthz",
-                  "/varz": "_get_varz", "/slow": "_get_slow"}
+                  "/varz": "_get_varz", "/slow": "_get_slow",
+                  "/debug/flightrecorder": "_get_flightrecorder"}
+    #: Prefix-matched GET routes; the handler receives the path suffix.
+    GET_PREFIX_ROUTES = {"/debug/trace/": "_get_trace"}
     POST_ROUTES = {"/query": "_post_query"}
 
     def log_message(self, format: str, *args: object) -> None:
@@ -263,6 +304,11 @@ class _Handler(BaseHTTPRequestHandler):
         if name is not None:
             getattr(self, name)()
             return
+        if method == "GET":
+            for prefix, handler in self.GET_PREFIX_ROUTES.items():
+                if path.startswith(prefix) and len(path) > len(prefix):
+                    getattr(self, handler)(path[len(prefix):])
+                    return
         allowed = self._allowed(path)
         if allowed:
             # Known path, wrong verb: 405 + Allow, never a fallthrough.
@@ -272,7 +318,8 @@ class _Handler(BaseHTTPRequestHandler):
                         headers={"Allow": allowed})
         else:
             self._reply(f"not found: {self.path!r}; try /metrics, "
-                        f"/healthz, /varz, /slow or POST /query\n",
+                        f"/healthz, /varz, /slow, /debug/flightrecorder,"
+                        f" /debug/trace/<id> or POST /query\n",
                         "text/plain; charset=utf-8", status=404)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
@@ -293,6 +340,7 @@ class _Handler(BaseHTTPRequestHandler):
     # -- GET endpoints ------------------------------------------------
 
     def _get_metrics(self) -> None:
+        self.server.refresh_gauges()
         self._reply(self.server.obs.metrics.to_prometheus(),
                     PROMETHEUS_CONTENT_TYPE)
 
@@ -322,6 +370,36 @@ class _Handler(BaseHTTPRequestHandler):
                        for r in self.server.obs.query_log.slow_queries()]
         self._reply(json.dumps(records, indent=2) + "\n",
                     "application/json")
+
+    def _get_flightrecorder(self) -> None:
+        recorder = getattr(self.server.obs, "recorder", None)
+        if recorder is None:
+            self._reply_json(
+                {"error": "no-recorder",
+                 "message": "no flight recorder is attached; serve "
+                            "with --profile-queries"}, status=404)
+            return
+        recorder.publish_calibration(self.server.obs.metrics)
+        self._reply_json(recorder.snapshot())
+
+    def _get_trace(self, trace_id: str) -> None:
+        recorder = getattr(self.server.obs, "recorder", None)
+        if recorder is None:
+            self._reply_json(
+                {"error": "no-recorder",
+                 "message": "no flight recorder is attached; serve "
+                            "with --profile-queries"}, status=404)
+            return
+        doc = recorder.chrome_trace(trace_id)
+        if doc is None:
+            self._reply_json(
+                {"error": "unknown-trace",
+                 "message": f"no retained trace {trace_id!r}; see "
+                            f"/debug/flightrecorder for retained ids"},
+                status=404)
+            return
+        # Chrome trace-event JSON: load in chrome://tracing or Perfetto.
+        self._reply(json.dumps(doc, indent=2) + "\n", "application/json")
 
     # -- POST /query --------------------------------------------------
 
@@ -384,20 +462,51 @@ class _ObsHTTPServer(ThreadingHTTPServer):
         gauge = self.obs.metrics.get(EXEC_DEGRADED)
         return bool(gauge is not None and gauge.value)
 
+    def refresh_gauges(self) -> None:
+        """Recompute point-in-time gauges before a metrics export.
+
+        Sets the process RSS gauge and, when a flight recorder is
+        attached, republishes the per-strategy calibration ratios —
+        both are snapshots, not counters, so they are computed on
+        read rather than on the query hot path.
+        """
+        stats = process_stats()
+        if stats.get("rss_bytes") is not None:
+            self.obs.metrics.gauge(
+                PROCESS_RSS,
+                "Resident-set size of the serving process."
+            ).set(stats["rss_bytes"])
+        recorder = getattr(self.obs, "recorder", None)
+        if recorder is not None:
+            recorder.publish_calibration(self.obs.metrics)
+
     def varz(self) -> dict:
         """The ``/varz`` document: uptime + registry + serving state."""
         obs = self.obs
+        self.refresh_gauges()
         doc: dict = {
             "uptime_seconds": round(time.time() - self.started, 3),
             "degraded": self.degraded(),
             "metrics": obs.metrics.to_json(),
+            "process": process_stats(),
         }
         if obs.query_log is not None:
             records = obs.query_log.records
             doc["query_log"] = {
                 "records": len(records),
+                "max_records": obs.query_log.max_records,
+                "evicted": obs.query_log.evicted,
                 "slow": sum(1 for r in records if r.slow),
                 "slow_query_ms": obs.query_log.slow_query_ms,
+            }
+        recorder = getattr(obs, "recorder", None)
+        if recorder is not None:
+            doc["flight_recorder"] = {
+                "profiles": len(recorder),
+                "recorded": recorder.recorded,
+                "evicted": recorder.evicted,
+                "traces": len(recorder.trace_ids()),
+                "calibration": recorder.publish_calibration(obs.metrics),
             }
         if self.guard is not None:
             self._publish_breaker()

@@ -100,15 +100,25 @@ class Span:
         for child in self.children:
             yield from child.walk(depth + 1)
 
-    def to_dict(self) -> dict:
-        """Nested-dict form (children inline)."""
+    def to_dict(self, epoch: Optional[float] = None) -> dict:
+        """Nested-dict form (children inline).
+
+        With ``epoch`` (a ``perf_counter`` reference, usually the root
+        span's own ``started``), each node also records ``start_ms`` —
+        its start offset from the epoch — so rehydration and timeline
+        exports (Chrome trace events) keep real intra-tree timing
+        instead of laying siblings out end-to-end.
+        """
         record = {"name": self.name, "duration_ms": self.duration * 1000}
+        if epoch is not None and self.started:
+            record["start_ms"] = max(0.0, (self.started - epoch) * 1000)
         if self.attributes:
             record["attributes"] = dict(self.attributes)
         if self.work:
             record["work"] = dict(self.work)
         if self.children:
-            record["children"] = [c.to_dict() for c in self.children]
+            record["children"] = [c.to_dict(epoch=epoch)
+                                  for c in self.children]
         return record
 
     @classmethod
@@ -119,13 +129,16 @@ class Span:
         span trees as plain dicts and the parent rebuilds real
         :class:`Span` objects so rendering, walking and JSONL export
         treat remote spans exactly like local ones.  Rehydrated spans
-        are already closed — ``started`` is pinned to 0 so ``duration``
-        reproduces the recorded wall time.
+        are already closed — ``started`` is pinned to the recorded
+        ``start_ms`` offset (0 when the dump predates offsets) so
+        ``duration`` reproduces the recorded wall time and relative
+        positions survive when present.
         """
         span = cls(tracer, data["name"],
                    dict(data.get("attributes", ())), stats=None)
-        span.started = 0.0
-        span.ended = float(data.get("duration_ms", 0.0)) / 1000.0
+        span.started = float(data.get("start_ms", 0.0)) / 1000.0
+        span.ended = span.started + \
+            float(data.get("duration_ms", 0.0)) / 1000.0
         span.work = dict(data.get("work", ()))
         span.children = [cls.from_dict(child, tracer)
                          for child in data.get("children", ())]

@@ -135,3 +135,96 @@ class TestSlowQueryRederivation:
         records = obs.query_log.records
         assert records
         assert all(record.slow for record in records)
+
+
+class TestRecorderAcrossWorkers:
+    """Flight-recorder profiles and histograms across the delta merge."""
+
+    def _profiled_obs(self) -> Observability:
+        from repro.obs import FlightRecorder, RecorderConfig
+        return Observability(recorder=FlightRecorder(
+            RecorderConfig(slow_ms=None, sample_rate=1.0, seed=5)))
+
+    def _histogram_export(self, obs, name):
+        for record in obs.metrics.to_json()["metrics"]:
+            if record["name"] == name:
+                return record
+        return None
+
+    def test_histograms_merge_without_double_counting(self):
+        from repro.obs import RECORDER_LATENCY, RECORDER_RESULT_SIZE
+
+        serial_obs = self._profiled_obs()
+        with _fresh_collection() as collection:
+            collection.search(QUERY, obs=serial_obs)
+        parallel_obs = self._profiled_obs()
+        with _fresh_collection() as collection:
+            collection.search(QUERY, obs=parallel_obs, workers=2)
+
+        for name in (RECORDER_LATENCY, RECORDER_RESULT_SIZE):
+            serial = self._histogram_export(serial_obs, name)
+            parallel = self._histogram_export(parallel_obs, name)
+            assert serial is not None and parallel is not None
+            # one sample per evaluated document, counted exactly once
+            assert parallel["count"] == serial["count"]
+            assert sum(parallel["counts"]) == parallel["count"]
+        # result-size samples are integers: the sums must agree exactly
+        size_serial = self._histogram_export(serial_obs,
+                                             RECORDER_RESULT_SIZE)
+        size_parallel = self._histogram_export(parallel_obs,
+                                               RECORDER_RESULT_SIZE)
+        assert size_parallel["sum"] == size_serial["sum"]
+
+    def test_prometheus_buckets_and_inf_after_merge(self):
+        from repro.obs import RECORDER_LATENCY
+
+        obs = self._profiled_obs()
+        with _fresh_collection() as collection:
+            collection.search(QUERY, obs=obs, workers=2)
+        prom = obs.metrics.to_prometheus()
+        assert 'repro_recorder_latency_seconds_bucket{le="+Inf"}' in prom
+        # cumulative export: the +Inf bucket equals the sample count
+        count_line = [l for l in prom.splitlines()
+                      if l.startswith("repro_recorder_latency_seconds_"
+                                      "count")][0]
+        inf_line = [l for l in prom.splitlines()
+                    if l.startswith("repro_recorder_latency_seconds_"
+                                    "bucket") and '+Inf' in l][0]
+        assert count_line.split()[-1] == inf_line.split()[-1]
+
+    def test_worker_profiles_carry_provenance_and_traces(self):
+        obs = self._profiled_obs()
+        with _fresh_collection() as collection:
+            collection.search(QUERY, obs=obs, workers=2)
+        profiles = obs.recorder.profiles
+        assert profiles
+        assert all(p.worker is not None for p in profiles)
+        retained = [p for p in profiles if p.trace_id]
+        assert retained
+        doc = obs.recorder.chrome_trace(retained[0].trace_id)
+        assert any(e["name"] == "execute" for e in doc["traceEvents"])
+
+    def test_parent_ring_matches_serial_profile_count(self):
+        serial_obs = self._profiled_obs()
+        with _fresh_collection() as collection:
+            collection.search(QUERY, obs=serial_obs)
+        parallel_obs = self._profiled_obs()
+        with _fresh_collection() as collection:
+            collection.search(QUERY, obs=parallel_obs, workers=2)
+        assert len(parallel_obs.recorder.profiles) \
+            == len(serial_obs.recorder.profiles)
+
+    def test_calibration_ratio_matches_serial(self):
+        serial_obs = self._profiled_obs()
+        with _fresh_collection() as collection:
+            collection.search(QUERY, obs=serial_obs)
+        parallel_obs = self._profiled_obs()
+        with _fresh_collection() as collection:
+            collection.search(QUERY, obs=parallel_obs, workers=2)
+        serial = serial_obs.recorder.publish_calibration(
+            serial_obs.metrics)
+        parallel = parallel_obs.recorder.publish_calibration(
+            parallel_obs.metrics)
+        assert set(parallel) == set(serial)
+        for strategy, ratio in serial.items():
+            assert parallel[strategy] == pytest.approx(ratio, rel=1e-6)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import io
 import json
 
 import pytest
@@ -144,3 +145,121 @@ class TestCollectionObs:
         assert code == 0
         assert "collection-search" in out
         assert "execute" in out
+
+
+class TestServeProfileQueries:
+    def _serve(self, book_file, *extra, queries="fragment join\n"):
+        from repro.cli import serve_main
+        return serve_main([book_file, *extra],
+                          stdin=io.StringIO(queries))
+
+    def test_profile_dump_written_and_summarised(self, book_file,
+                                                 tmp_path, capsys):
+        dump = tmp_path / "recorder.jsonl"
+        code = self._serve(book_file, "--profile-queries",
+                           "--profile-sample-rate", "1.0",
+                           "--profile-slow-ms", "0",
+                           "--profile-dump", str(dump),
+                           queries="fragment join\nfragment\n")
+        err = capsys.readouterr().err
+        assert code == 0
+        lines = [json.loads(line) for line in
+                 dump.read_text().splitlines()]
+        assert any(record.get("type") == "profile" for record in lines)
+        assert any(record.get("type") == "trace" for record in lines)
+        assert "flight recorder: wrote" in err
+        assert "p50=" in err and "p99=" in err
+        assert "calibration[pushdown]" in err
+
+    def test_profile_queries_without_dump_still_summarises(
+            self, book_file, capsys):
+        code = self._serve(book_file, "--profile-queries")
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "flight recorder: 1 profile(s)" in err
+        assert "wrote" not in err
+
+    def test_no_profile_flag_keeps_quiet(self, book_file, capsys):
+        code = self._serve(book_file)
+        assert code == 0
+        assert "flight recorder" not in capsys.readouterr().err
+
+    def test_bad_sample_rate_is_an_error(self, book_file, capsys):
+        code = self._serve(book_file, "--profile-queries",
+                           "--profile-sample-rate", "2.0")
+        assert code == 2
+        assert "sample_rate" in capsys.readouterr().err
+
+
+class TestFlightRecorderSubcommand:
+    @pytest.fixture()
+    def dump(self, book_file, tmp_path, capsys):
+        from repro.cli import serve_main
+        path = tmp_path / "recorder.jsonl"
+        serve_main([book_file, "--profile-queries",
+                    "--profile-sample-rate", "1.0",
+                    "--profile-slow-ms", "0",
+                    "--profile-dump", str(path)],
+                   stdin=io.StringIO("fragment join\nfragment\n"))
+        capsys.readouterr()  # swallow the serve output
+        return str(path)
+
+    def test_summary_format(self, dump, capsys):
+        from repro.cli import flightrecorder_main
+        assert flightrecorder_main([dump]) == 0
+        out = capsys.readouterr().out
+        assert "2 profile(s)" in out
+        assert "outcomes: ok=2" in out
+        assert "latency: p50=" in out
+        assert "calibration[pushdown]" in out
+        assert "--trace <id>" in out
+
+    def test_json_summary_roundtrips(self, dump, capsys):
+        from repro.cli import flightrecorder_main
+        assert flightrecorder_main([dump, "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["profiles"] == 2
+        assert summary["outcomes"] == {"ok": 2}
+        assert summary["latency"]["samples"] == 2
+        assert "pushdown" in summary["calibration"]
+        assert len(summary["trace_ids"]) == 2
+
+    def test_trace_export_to_file(self, dump, capsys, tmp_path):
+        from repro.cli import flightrecorder_main
+        flightrecorder_main([dump, "--json"])
+        trace_id = json.loads(capsys.readouterr().out)["trace_ids"][0]
+        out_path = tmp_path / "trace.json"
+        code = flightrecorder_main([dump, "--trace", trace_id,
+                                    "--out", str(out_path)])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().err
+        trace = json.loads(out_path.read_text())
+        assert trace["displayTimeUnit"] == "ms"
+        assert trace["metadata"]["trace_id"] == trace_id
+        events = trace["traceEvents"]
+        assert events and all(event["ph"] == "X" for event in events)
+        assert {event["name"] for event in events} >= {"execute"}
+
+    def test_trace_export_to_stdout(self, dump, capsys):
+        from repro.cli import flightrecorder_main
+        flightrecorder_main([dump, "--json"])
+        trace_id = json.loads(capsys.readouterr().out)["trace_ids"][0]
+        assert flightrecorder_main([dump, "--trace", trace_id]) == 0
+        trace = json.loads(capsys.readouterr().out)
+        assert trace["traceEvents"]
+
+    def test_unknown_trace_is_an_error(self, dump, capsys):
+        from repro.cli import flightrecorder_main
+        assert flightrecorder_main([dump, "--trace", "q0-nope"]) == 2
+        err = capsys.readouterr().err
+        assert "no trace" in err and "retained:" in err
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        from repro.cli import flightrecorder_main
+        path = str(tmp_path / "absent.jsonl")
+        assert flightrecorder_main([path]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_reachable_through_main(self, dump, capsys):
+        assert main(["flightrecorder", dump]) == 0
+        assert "profile(s)" in capsys.readouterr().out

@@ -248,3 +248,30 @@ class TestExpositionEdgeCases:
         text = parent.to_prometheus()
         assert 'c_total{strategy="pushdown"} 5' in text
         assert 'c_total{strategy="brute-force"} 1' in text
+
+
+class TestExponentialBuckets:
+    def test_shape(self):
+        from repro.obs.metrics import exponential_buckets
+        buckets = exponential_buckets(0.001, 2.0, 5)
+        assert buckets == pytest.approx((0.001, 0.002, 0.004, 0.008,
+                                         0.016))
+
+    def test_valid_for_histograms(self):
+        from repro.obs.metrics import (COST_ERROR_BUCKETS,
+                                       LATENCY_LOG_BUCKETS,
+                                       SIZE_LOG_BUCKETS,
+                                       exponential_buckets)
+        for buckets in (LATENCY_LOG_BUCKETS, SIZE_LOG_BUCKETS,
+                        COST_ERROR_BUCKETS,
+                        exponential_buckets(0.5, 3.0, 4)):
+            Histogram("h", buckets=buckets)  # strictly increasing
+
+    @pytest.mark.parametrize("args", [
+        (0.0, 2.0, 5), (-1.0, 2.0, 5), (1.0, 1.0, 5), (1.0, 0.5, 5),
+        (1.0, 2.0, 0),
+    ])
+    def test_rejects_bad_parameters(self, args):
+        from repro.obs.metrics import exponential_buckets
+        with pytest.raises(ValueError):
+            exponential_buckets(*args)

@@ -108,3 +108,20 @@ class TestRing:
     def test_bad_capacity_rejected(self):
         with pytest.raises(ValueError):
             QueryLog(max_records=0)
+
+
+class TestEvictionAccounting:
+    def test_evicted_counter_and_max_records(self):
+        log = QueryLog(max_records=3)
+        assert log.max_records == 3
+        assert log.evicted == 0
+        for answers in range(5):
+            _record(log, answers=answers)
+        assert log.evicted == 2
+        assert len(log) == 3
+
+    def test_no_eviction_below_capacity(self):
+        log = QueryLog(max_records=10)
+        _record(log)
+        _record(log)
+        assert log.evicted == 0

@@ -50,7 +50,8 @@ class TestRoutes:
         assert varz["uptime_seconds"] >= 0
         names = {m["name"] for m in varz["metrics"]["metrics"]}
         assert "repro_queries_total" in names
-        assert varz["query_log"] == {"records": 1, "slow": 1,
+        assert varz["query_log"] == {"records": 1, "max_records": 1000,
+                                     "evicted": 0, "slow": 1,
                                      "slow_query_ms": 0.0}
 
     def test_slow_lists_slow_records(self, obs):
@@ -109,3 +110,134 @@ class TestLifecycle:
         server = MetricsServer(obs)
         with pytest.raises(RuntimeError):
             server.port
+
+
+def _get_json(url):
+    status, content_type, body = _get(url)
+    assert content_type == "application/json"
+    return status, json.loads(body)
+
+
+def _evaluate_profiled(obs, *, strategies=("pushdown",)):
+    """Run the Fig. 1 query through evaluate() with a recorder live."""
+    from repro.core.filters import SizeAtMost
+    from repro.core.query import Query
+    from repro.core.strategies import Strategy, evaluate
+    from repro.index.inverted import InvertedIndex
+    from repro.workloads.figure1 import build_figure1_document
+
+    document = build_figure1_document()
+    index = InvertedIndex(document)
+    query = Query.of("xquery", "optimization", predicate=SizeAtMost(3))
+    for name in strategies:
+        evaluate(document, query, strategy=Strategy.parse(name),
+                 index=index, obs=obs)
+
+
+@pytest.fixture()
+def profiled_obs() -> Observability:
+    from repro.obs import FlightRecorder, RecorderConfig
+    handle = Observability(
+        query_log=QueryLog(slow_query_ms=0.0),
+        recorder=FlightRecorder(RecorderConfig(sample_rate=1.0, seed=3)))
+    _evaluate_profiled(handle, strategies=("pushdown", "set-reduction"))
+    return handle
+
+
+class TestProcessStats:
+    def test_process_stats_shape(self):
+        from repro.obs.server import process_stats
+        stats = process_stats()
+        assert stats["pid"] > 0
+        assert stats["rss_bytes"] is None or stats["rss_bytes"] > 0
+        assert isinstance(stats["python"], str)
+
+    def test_varz_has_process_section_and_rss_gauge(self, obs):
+        with MetricsServer(obs) as server:
+            _, varz = _get_json(server.url + "/varz")
+            _, _, prom = _get(server.url + "/metrics")
+        assert varz["process"]["pid"] > 0
+        if varz["process"]["rss_bytes"] is not None:
+            assert "repro_process_rss_bytes" in prom
+
+
+class TestFlightRecorderRoutes:
+    def test_flightrecorder_404_without_recorder(self, obs):
+        with MetricsServer(obs) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server.url + "/debug/flightrecorder")
+            assert excinfo.value.code == 404
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server.url + "/debug/trace/whatever")
+            assert excinfo.value.code == 404
+
+    def test_flightrecorder_snapshot(self, profiled_obs):
+        with MetricsServer(profiled_obs) as server:
+            _, snap = _get_json(server.url + "/debug/flightrecorder")
+        assert snap["counts"]["recorded"] == 2
+        assert snap["outcomes"] == {"ok": 2}
+        assert len(snap["traces"]) == 2
+        assert snap["latency"]["samples"] == 2
+        assert set(snap["calibration"]) == {"pushdown", "set-reduction"}
+
+    def test_trace_endpoint_serves_chrome_json(self, profiled_obs):
+        with MetricsServer(profiled_obs) as server:
+            _, snap = _get_json(server.url + "/debug/flightrecorder")
+            trace_id = snap["traces"][0]
+            _, trace = _get_json(server.url + "/debug/trace/"
+                                 + trace_id)
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        assert events and all(e["ph"] == "X" for e in events)
+        assert {e["name"] for e in events} >= {"execute", "scan"}
+        # must round-trip as strict JSON for chrome://tracing
+        json.loads(json.dumps(trace))
+
+    def test_trace_endpoint_404_on_unknown_id(self, profiled_obs):
+        with MetricsServer(profiled_obs) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server.url + "/debug/trace/q0-000000")
+            assert excinfo.value.code == 404
+
+    def test_budget_aborted_query_trace_is_exportable(self):
+        from repro.core.query import Query
+        from repro.core.strategies import Strategy, evaluate
+        from repro.errors import BudgetExceeded
+        from repro.guard.budget import QueryBudget
+        from repro.index.inverted import InvertedIndex
+        from repro.obs import FlightRecorder, RecorderConfig
+        from repro.workloads.figure1 import build_figure1_document
+
+        handle = Observability(
+            recorder=FlightRecorder(RecorderConfig()))
+        document = build_figure1_document()
+        index = InvertedIndex(document)
+        with pytest.raises(BudgetExceeded):
+            evaluate(document, Query.of("xquery", "optimization"),
+                     strategy=Strategy.SET_REDUCTION, index=index,
+                     obs=handle, budget=QueryBudget(max_join_ops=1))
+        with MetricsServer(handle) as server:
+            _, snap = _get_json(server.url + "/debug/flightrecorder")
+            assert snap["outcomes"] == {"budget-exceeded": 1}
+            trace_id = snap["traces"][0]
+            _, trace = _get_json(server.url + "/debug/trace/"
+                                 + trace_id)
+        assert trace["traceEvents"]
+        json.loads(json.dumps(trace))
+
+    def test_varz_flight_recorder_section(self, profiled_obs):
+        with MetricsServer(profiled_obs) as server:
+            _, varz = _get_json(server.url + "/varz")
+        section = varz["flight_recorder"]
+        assert section["profiles"] == section["recorded"] == 2
+        assert section["evicted"] == 0
+        assert section["traces"] == 2
+        assert set(section["calibration"]) == {"pushdown",
+                                               "set-reduction"}
+
+    def test_metrics_export_includes_calibration_gauge(self,
+                                                       profiled_obs):
+        with MetricsServer(profiled_obs) as server:
+            _, _, prom = _get(server.url + "/metrics")
+        assert "repro_cost_calibration_ratio" in prom
+        assert 'strategy="pushdown"' in prom
