@@ -1,0 +1,196 @@
+"""Experiment S15 — persistent shard index startup and memory shape.
+
+Pins the two startup claims of :mod:`repro.storage.shards`, recorded
+in ``BENCH_shard.json`` at the repo root:
+
+1. **Attach beats pickle**: a worker attaching the on-disk shard index
+   (mmap + lazy header reads) is at least 5x faster than the
+   pickle-based warm-state transfer it replaces (serialising the
+   document dict into the child and rebuilding it there).
+2. **RSS is flat in shard count**: a worker process maps the same
+   corpus bytes whether the index was built with 1 shard or 8, so its
+   resident set stays flat as the shard count grows — the opposite of
+   per-worker copies, which scale with whatever is pickled in.
+
+A third, machine-dependent fact — cold-query latency through
+``DocumentCollection.open_index`` — is recorded for the flight-log but
+never asserted or compared (wall-clock seconds do not travel between
+runners).
+
+Run ``pytest benchmarks/bench_shard_startup.py --benchmark-only`` for
+the full experiment, or add ``--smoke`` for the tiny CI variant
+(shape checks only; no performance assertions).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import pickle
+from pathlib import Path
+
+from repro.bench.reporting import banner, format_table
+from repro.bench.runner import measure
+from repro.collection import DocumentCollection
+from repro.core.query import Query
+from repro.storage.shards import ShardIndex, build_index
+from repro.workloads.inexlike import InexSpec, generate_collection
+
+from .conftest import TERM_A, TERM_B
+from .util import report
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_shard.json"
+
+SHARD_COUNTS = (1, 4, 8)
+QUERY = Query.of(TERM_A, TERM_B)
+
+
+def _record(section: str, payload: dict, registry) -> None:
+    """Merge one experiment's facts + metrics into BENCH_shard.json."""
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+        except ValueError:
+            data = {}
+    data[section] = payload
+    data.setdefault("metrics", {})[section] = registry.to_json()
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True)
+                          + "\n", encoding="utf-8")
+
+
+def _corpus(smoke: bool):
+    spec = (InexSpec(articles=6, nodes_per_article=150,
+                     planted_fraction=1.0, occurrences=3, seed=151)
+            if smoke else
+            InexSpec(articles=24, nodes_per_article=1500,
+                     planted_fraction=1.0, occurrences=6, seed=151))
+    return generate_collection(spec)
+
+
+def _rss_kb() -> int:
+    """Resident set of the calling process, in KiB (Linux /proc)."""
+    with open("/proc/self/status", encoding="ascii") as fh:
+        for line in fh:
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1])
+    return 0
+
+
+def _worker_rss(path: str, queue) -> None:
+    """Attach + serve one query, then report this worker's VmRSS."""
+    with ShardIndex.attach(path) as index:
+        from repro.core.strategies import Strategy, evaluate
+        for name in index.names():
+            evaluate(index.document(name), QUERY,
+                     strategy=Strategy.PUSHDOWN,
+                     index=index.inverted_index(name))
+        queue.put(_rss_kb())
+
+
+def test_attach_vs_pickle(benchmark, capsys, bench_metrics, smoke,
+                          tmp_path):
+    collection = _corpus(smoke)
+    documents = {name: collection.document(name)
+                 for name in collection.names()}
+    out = tmp_path / "index"
+    build_index(collection, str(out), shards=4)
+    repetitions = 3 if smoke else 5
+
+    def pickle_init():
+        # The state transfer a pickle-based pool performs per worker:
+        # serialise the corpus into the child, rebuild it there.
+        blob = pickle.dumps(documents, pickle.HIGHEST_PROTOCOL)
+        return len(pickle.loads(blob))
+
+    def attach_init():
+        with ShardIndex.attach(str(out)) as index:
+            return index.stats()["documents"]
+
+    def run():
+        pickled = measure("startup:pickle", pickle_init,
+                          repetitions=repetitions,
+                          registry=bench_metrics)
+        attached = measure("startup:attach", attach_init,
+                           repetitions=repetitions,
+                           registry=bench_metrics)
+        assert pickled.value == attached.value == len(documents)
+        return pickled, attached
+
+    pickled, attached = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = pickled.seconds / attached.seconds
+
+    with DocumentCollection.open_index(str(out)) as shard_collection:
+        cold = measure("query:cold",
+                       lambda: shard_collection.search(QUERY),
+                       repetitions=1, registry=bench_metrics)
+    assert len(cold.value) > 0
+
+    report(capsys, "\n".join([
+        banner(f"S15: worker warm-init, attach vs pickle "
+               f"({len(documents)} docs, 4 shards)"),
+        format_table(
+            ["case", "median ms"],
+            [["pickle round-trip", pickled.seconds * 1000],
+             ["shard attach", attached.seconds * 1000],
+             ["cold query (open_index + search)",
+              cold.seconds * 1000]]),
+        "",
+        f"attach speedup: {speedup:.1f}x",
+        "expected shape: attach maps files and reads only headers, so "
+        "it is far cheaper than serialising the corpus per worker."]))
+    _record("shard", {
+        "smoke": smoke,
+        "documents": len(documents),
+        "shards": 4,
+        "pickle_seconds": pickled.seconds,
+        "attach_seconds": attached.seconds,
+        "attach_speedup": speedup,
+        "cold_query_seconds": cold.seconds,
+        "cold_query_answers": len(cold.value),
+    }, bench_metrics)
+    if not smoke:
+        assert speedup >= 5.0, (
+            f"expected attach >=5x faster than pickle warm-init, "
+            f"got {speedup:.2f}x")
+
+
+def test_worker_rss_flat(benchmark, capsys, bench_metrics, smoke,
+                         tmp_path):
+    collection = _corpus(smoke)
+    ctx = multiprocessing.get_context("fork")
+
+    def run():
+        rss = {}
+        for shards in SHARD_COUNTS:
+            out = tmp_path / f"index-{shards}"
+            if not out.exists():
+                build_index(collection, str(out), shards=shards)
+            queue = ctx.Queue()
+            proc = ctx.Process(target=_worker_rss,
+                               args=(str(out), queue))
+            proc.start()
+            rss[shards] = queue.get(timeout=120)
+            proc.join(timeout=30)
+        return rss
+
+    rss = benchmark.pedantic(run, rounds=1, iterations=1)
+    growth = max(rss.values()) / max(min(rss.values()), 1)
+    report(capsys, "\n".join([
+        banner("S15: per-worker RSS vs shard count "
+               "(attach + full query, fork)"),
+        format_table(["shards", "worker VmRSS KiB"],
+                     [[s, rss[s]] for s in SHARD_COUNTS]),
+        "",
+        f"max/min growth: {growth:.2f}x",
+        "expected shape: flat — the same corpus bytes are mapped "
+        "regardless of how many files they are split across."]))
+    _record("rss", {
+        "smoke": smoke,
+        "per_shard_count_kb": {str(s): rss[s] for s in SHARD_COUNTS},
+        "growth": growth,
+    }, bench_metrics)
+    if not smoke:
+        assert growth <= 1.5, (
+            f"expected flat per-worker RSS across shard counts, "
+            f"got {growth:.2f}x growth")

@@ -40,6 +40,8 @@ HEADLINES = [
     ("BENCH_resilience.json", "resilience.armed_overhead", "lower"),
     ("BENCH_guard.json", "guard.checkpoint_overhead", "lower"),
     ("BENCH_guard.json", "guard.abort_factor", "lower"),
+    ("BENCH_shard.json", "shard.attach_speedup", "higher"),
+    ("BENCH_shard.json", "rss.growth", "lower"),
 ]
 
 

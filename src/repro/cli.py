@@ -21,6 +21,12 @@ Observability (see ``docs/observability.md``)::
     repro-search serve corpus-dir/ --profile-queries --profile-dump fr.jsonl
     repro-search flightrecorder fr.jsonl   # summarise a recorder dump
     repro-search flightrecorder fr.jsonl --trace q1a2b-000007 --out t.json
+
+Persistent shard index (see ``docs/storage.md``)::
+
+    repro-search index build corpus-dir/ corpus.idx --shards 8
+    repro-search index inspect corpus.idx --verify
+    repro-search serve --index corpus.idx --workers 4
 """
 
 from __future__ import annotations
@@ -48,7 +54,7 @@ from .xmltree.parser import parse_file
 from .xmltree.serializer import fragment_outline, fragment_to_xml
 
 __all__ = ["main", "build_parser", "metrics_main", "serve_main",
-           "flightrecorder_main"]
+           "flightrecorder_main", "index_main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -277,6 +283,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "flightrecorder":
         return flightrecorder_main(argv[1:])
+    if argv and argv[0] == "index":
+        return index_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if not args.keywords and not args.batch:
@@ -537,6 +545,109 @@ def _summarize_profiles(profiles, traces) -> dict:
     }
 
 
+def index_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro-search index``: build or inspect a persistent shard index.
+
+    ``build`` serialises a directory of XML files into N shard files
+    plus a checksummed manifest (see ``docs/storage.md``); ``inspect``
+    attaches an existing index and reports its health, optionally
+    verifying every document checksum (``--verify``).
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-search index",
+        description="Build or inspect a persistent sharded index.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    build = sub.add_parser(
+        "build", help="serialise a directory of XML files into an index")
+    build.add_argument("source", help="directory of *.xml files")
+    build.add_argument("out", help="index output directory")
+    build.add_argument("--shards", type=int, default=4, metavar="N",
+                       help="number of shard files (default: 4)")
+    inspect = sub.add_parser(
+        "inspect", help="attach an index and report its health")
+    inspect.add_argument("path", help="index directory")
+    inspect.add_argument("--json", action="store_true",
+                         help="print the stats snapshot as JSON")
+    inspect.add_argument("--verify", action="store_true",
+                         help="checksum-verify every document "
+                              "(exit 1 on any failure)")
+    args = parser.parse_args(argv)
+    if args.command == "build":
+        return _index_build(args)
+    return _index_inspect(args)
+
+
+def _index_build(args: argparse.Namespace) -> int:
+    from .errors import ShardError
+    from .storage.shards import build_index
+
+    if not os.path.isdir(args.source):
+        print(f"error: {args.source} is not a directory", file=sys.stderr)
+        return 2
+    collection, skipped = _load_collection_dir(args.source)
+    if not len(collection):
+        print(_empty_collection_error(args.source, skipped),
+              file=sys.stderr)
+        return 2
+    try:
+        manifest = build_index(collection, args.out, shards=args.shards)
+    except (ShardError, ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    skip_note = (f", {len(skipped)} file(s) skipped" if skipped else "")
+    print(f"built {args.out}: {len(manifest['documents'])} document(s) "
+          f"in {manifest['shards']} shard(s), "
+          f"{manifest['total_nodes']} node(s), "
+          f"{manifest['total_bytes']} byte(s){skip_note}")
+    return 0
+
+
+def _index_inspect(args: argparse.Namespace) -> int:
+    from .errors import ShardError
+    from .storage.shards import ShardIndex
+
+    try:
+        index = ShardIndex.attach(args.path, on_error="skip")
+    except ShardError as exc:
+        print(f"error: {json.dumps(exc.to_dict(), sort_keys=True)}",
+              file=sys.stderr)
+        return 2
+    try:
+        stats = index.stats()
+        verification = index.verify_all() if args.verify else None
+        if args.json:
+            doc = dict(stats)
+            if verification is not None:
+                doc["verification"] = verification
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            print(f"index {stats['path']}: format v"
+                  f"{stats['format_version']}, "
+                  f"{stats['shards_attached']}/{stats['shards']} "
+                  f"shard(s) attached, "
+                  f"{stats['documents_servable']}/{stats['documents']} "
+                  f"document(s) servable, "
+                  f"{stats['bytes_mapped']} byte(s) mapped")
+            for shard, failure in sorted(stats["shards_failed"].items()):
+                print(f"  shard {shard} FAILED: "
+                      f"{json.dumps(failure, sort_keys=True)}")
+            if verification is not None:
+                if verification["failures"]:
+                    for failure in verification["failures"]:
+                        print(f"  verify FAILED: "
+                              f"{json.dumps(failure, sort_keys=True)}")
+                else:
+                    print(f"  verify: all {verification['documents']} "
+                          f"document(s) OK")
+        if stats["shards_failed"]:
+            return 1
+        if verification is not None and verification["failures"]:
+            return 1
+        return 0
+    finally:
+        index.close()
+
+
 def serve_main(argv: Optional[Sequence[str]] = None,
                stdin=None) -> int:
     """``repro-search serve``: evaluate stdin queries, serving metrics.
@@ -556,7 +667,15 @@ def serve_main(argv: Optional[Sequence[str]] = None,
         prog="repro-search serve",
         description="Serve live metrics while evaluating queries read "
                     "from stdin (one query per line).")
-    parser.add_argument("file", help="XML document or directory")
+    parser.add_argument("file", nargs="?", default=None,
+                        help="XML document or directory")
+    parser.add_argument("--index", default=None, metavar="PATH",
+                        dest="index_path",
+                        help="serve a persistent shard index (built "
+                             "with 'repro-search index build') instead "
+                             "of parsing XML; documents attach by mmap "
+                             "and corrupt shards degrade instead of "
+                             "failing")
     parser.add_argument("--port", type=int, default=0,
                         help="metrics port (default: 0 = any free port)")
     parser.add_argument("--host", default="127.0.0.1",
@@ -627,6 +746,8 @@ def serve_main(argv: Optional[Sequence[str]] = None,
                              "on exit, SIGTERM or crash; inspect with "
                              "'repro-search flightrecorder PATH'")
     args = parser.parse_args(argv)
+    if (args.file is None) == (args.index_path is None):
+        parser.error("exactly one of FILE or --index is required")
     stdin = stdin if stdin is not None else sys.stdin
 
     recorder = None
@@ -649,7 +770,14 @@ def serve_main(argv: Optional[Sequence[str]] = None,
         recorder=recorder)
     skipped: list = []
     try:
-        if os.path.isdir(args.file):
+        if args.index_path is not None:
+            collection = DocumentCollection.open_index(args.index_path)
+            if collection.degraded:
+                failed = collection.shard_stats()["index"]["shards_failed"]
+                print(f"warning: serving degraded — shard(s) failed to "
+                      f"attach: {json.dumps(failed, sort_keys=True)}",
+                      file=sys.stderr)
+        elif os.path.isdir(args.file):
             collection, skipped = _load_collection_dir(args.file)
         else:
             collection = DocumentCollection(
@@ -660,8 +788,8 @@ def serve_main(argv: Optional[Sequence[str]] = None,
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if not len(collection):
-        print(_empty_collection_error(args.file, skipped),
-              file=sys.stderr)
+        print(_empty_collection_error(args.file or args.index_path,
+                                      skipped), file=sys.stderr)
         return 2
     strategy = Strategy.parse(args.strategy)
     resilience = _build_resilience(args)

@@ -2,4 +2,14 @@
 
 from .collection import CollectionHit, CollectionResult, DocumentCollection
 
-__all__ = ["DocumentCollection", "CollectionResult", "CollectionHit"]
+__all__ = ["DocumentCollection", "CollectionResult", "CollectionHit",
+           "ShardedDocumentCollection"]
+
+
+def __getattr__(name):
+    # Lazy: the sharded collection pulls in repro.storage.shards, which
+    # in-memory users never need.
+    if name == "ShardedDocumentCollection":
+        from .sharded import ShardedDocumentCollection
+        return ShardedDocumentCollection
+    raise AttributeError(name)

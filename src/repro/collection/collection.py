@@ -169,6 +169,23 @@ class DocumentCollection:
                     on_error(full, exc)
         return collection
 
+    @classmethod
+    def open_index(cls, path: Union[str, "os.PathLike[str]"],
+                   **options) -> "DocumentCollection":
+        """Open a persistent shard index built by ``repro.storage.shards``.
+
+        Returns a read-only :class:`ShardedDocumentCollection` that
+        serves the same search API over ``mmap``-attached shard files:
+        documents materialise lazily on first match, the index early
+        exit probes the mapped postings without decoding, and
+        ``workers=`` searches route through a scatter-gather
+        :class:`~repro.storage.shards.ShardRouter` with per-shard
+        circuit breakers.  ``options`` are forwarded to the
+        ``ShardedDocumentCollection`` constructor.
+        """
+        from .sharded import ShardedDocumentCollection
+        return ShardedDocumentCollection(path, **options)
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -195,6 +212,26 @@ class DocumentCollection:
         if name not in self._indexes:
             self._indexes[name] = InvertedIndex(self._documents[name])
         return self._indexes[name]
+
+    def has_terms(self, name: str, terms: Iterable[str]) -> bool:
+        """Early-exit probe: does the document contain every term?
+
+        The serial search paths consult this before materialising any
+        evaluation state.  Subclasses backed by an on-disk index
+        override it with a probe that avoids decoding the document at
+        all (see ``ShardedDocumentCollection``).
+        """
+        index = self.index(name)
+        return all(index.contains(term) for term in terms)
+
+    def _shard_of(self, name: str) -> Optional[int]:
+        """Shard number of a document, for profile attribution.
+
+        ``None`` for in-memory collections; sharded collections return
+        the owning shard so serial-path query profiles carry the same
+        ``shard`` field the pooled scatter-gather path records.
+        """
+        return None
 
     @property
     def total_nodes(self) -> int:
@@ -323,23 +360,28 @@ class DocumentCollection:
         targets = (list(documents) if documents is not None
                    else self.names())
         per_document: dict[str, QueryResult] = {}
+        recorder = (getattr(ob, "recorder", None) if ob.enabled
+                    else None)
         with ob.span("collection-search", collection=self.name,
                      documents=len(targets)) as span:
             skipped = 0
             try:
                 for name in targets:
-                    index = self.index(name)
-                    if not all(index.contains(term)
-                               for term in query.terms):
+                    if not self.has_terms(name, query.terms):
                         skipped += 1
                         continue
+                    if recorder is not None:
+                        recorder.set_context(shard=self._shard_of(name))
                     per_document[name] = evaluate(
                         self._documents[name], query, strategy=strategy,
-                        index=index, cache=self._cache, obs=ob,
-                        kernel=kernel, budget=budget)
+                        index=self.index(name), cache=self._cache,
+                        obs=ob, kernel=kernel, budget=budget)
             except BudgetExceeded:
                 self._count_budget_exceeded(ob)
                 raise
+            finally:
+                if recorder is not None:
+                    recorder.set_context(shard=None)
             if ob.enabled:
                 span.set(evaluated=len(per_document), skipped=skipped)
                 ob.metrics.counter(
@@ -382,13 +424,12 @@ class DocumentCollection:
                      documents=len(targets)) as span:
             skipped = 0
             for name in targets:
-                index = self.index(name)
-                if not all(index.contains(term) for term in query.terms):
+                if not self.has_terms(name, query.terms):
                     skipped += 1
                     continue
                 per_document[name], _ = explain_analyze(
                     self._documents[name], query, strategy=strategy,
-                    index=index, cache=self._cache, obs=ob,
+                    index=self.index(name), cache=self._cache, obs=ob,
                     kernel=kernel, plan=plan, analysis=analysis)
             if ob.enabled:
                 span.set(evaluated=len(per_document), skipped=skipped)

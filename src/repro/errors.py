@@ -44,6 +44,45 @@ class StorageError(ReproError):
     """Raised by the relational (sqlite3) storage backend."""
 
 
+class ShardError(StorageError):
+    """Raised by the sharded on-disk index (:mod:`repro.storage.shards`).
+
+    Structured like :class:`BudgetExceeded`: carries which invariant was
+    violated (``reason``), which shard file tripped it and the path, so
+    routers and servers can log/skip a bad shard without string parsing.
+
+    Attributes
+    ----------
+    reason:
+        Machine-readable cause: ``"missing"``, ``"truncated"``,
+        ``"bad-magic"``, ``"version-skew"``, ``"checksum"``,
+        ``"bad-header"``, ``"bad-manifest"``, ``"unknown-document"`` or
+        ``"read-only"``.
+    shard:
+        The shard number involved, or ``None`` when the failure is not
+        tied to a single shard (e.g. a bad manifest).
+    path:
+        The offending file, when known.
+    """
+
+    def __init__(self, message: str, reason: str = "corrupt",
+                 shard=None, path=None) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.shard = shard
+        self.path = str(path) if path is not None else None
+
+    def __reduce__(self):
+        return (type(self), (str(self), self.reason, self.shard,
+                             self.path))
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form, used by the router report and the CLI."""
+        return {"error": "shard", "reason": self.reason,
+                "message": str(self), "shard": self.shard,
+                "path": self.path}
+
+
 class ExecutionError(ReproError):
     """Raised when parallel execution exhausts its failure budget.
 

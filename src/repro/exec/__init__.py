@@ -8,7 +8,11 @@ the serial path for every strategy and kernel.  See
 
 * :class:`~repro.exec.parallel.ParallelExecutor` — warm worker pool
   over a fixed document set; chunked ``(document, query)`` scheduling,
-  in-band index early exit, deterministic merge.
+  in-band index early exit, deterministic merge.  With ``index_path=``
+  the corpus stays on disk in a sharded mmap index
+  (:mod:`repro.storage.shards`): workers attach zero-copy instead of
+  unpickling documents, and chunks are scattered along shard
+  boundaries.
 * :class:`~repro.exec.batch.BatchRunner` — evaluate a list of queries
   over a collection, amortising index/pool setup across the batch.
 * :mod:`~repro.exec.resilience` — :class:`RetryPolicy` (per-chunk

@@ -74,6 +74,7 @@ from ..obs import (CHUNK_FALLBACKS, CHUNK_RETRIES, CHUNK_TIMEOUTS,
                    POOL_WORKERS, QueryLog, RecorderConfig, SpanTracer,
                    WORKER_CRASHES, capture_delta, merge_delta)
 from ..obs.tracer import NULL_TRACER
+from ..storage.shards.reader import ShardIndex
 from ..xmltree.document import Document
 from .faults import FaultPlan, apply_fault
 from .resilience import (DEFAULT_POLICY, FALLBACK_SERIAL, ResilienceReport,
@@ -99,6 +100,7 @@ def default_start_method() -> str:
 # ----------------------------------------------------------------------
 
 _WORKER_DOCUMENTS: Optional[Mapping[str, Document]] = None
+_WORKER_SHARD_INDEX: Optional[ShardIndex] = None
 _WORKER_INDEXES: dict[str, InvertedIndex] = {}
 _WORKER_CACHE: Optional[JoinCache] = None
 _WORKER_OBS: Optional[Observability] = None
@@ -107,17 +109,60 @@ _WORKER_OBS_RECORDER: Optional[dict] = None
 _WORKER_BASELINE: dict = {}
 
 
+class _ShardDocumentMap(Mapping):
+    """Read-only ``{name: Document}`` view over an attached shard index.
+
+    Lookups materialise lazily through the index's cache, so iterating
+    names (scheduling) touches only the manifest while ``map[name]``
+    (merge / fallback) decodes exactly the documents that matched.
+    """
+
+    __slots__ = ("_index",)
+
+    def __init__(self, index: ShardIndex) -> None:
+        self._index = index
+
+    def __getitem__(self, name: str) -> Document:
+        return self._index.document(name)
+
+    def __iter__(self):
+        return iter(self._index.names())
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, name) -> bool:
+        return name in self._index
+
+
 def _init_worker(documents: Mapping[str, Document]) -> None:
-    global _WORKER_DOCUMENTS, _WORKER_INDEXES, _WORKER_CACHE
-    global _WORKER_OBS, _WORKER_OBS_TRACED, _WORKER_OBS_RECORDER
-    global _WORKER_BASELINE
+    global _WORKER_DOCUMENTS, _WORKER_SHARD_INDEX, _WORKER_INDEXES
+    global _WORKER_CACHE, _WORKER_OBS, _WORKER_OBS_TRACED
+    global _WORKER_OBS_RECORDER, _WORKER_BASELINE
     _WORKER_DOCUMENTS = documents
+    _WORKER_SHARD_INDEX = None
     _WORKER_INDEXES = {}
     _WORKER_CACHE = JoinCache()
     _WORKER_OBS = None
     _WORKER_OBS_TRACED = None
     _WORKER_OBS_RECORDER = None
     _WORKER_BASELINE = {}
+
+
+def _init_worker_attach(spec: dict) -> None:
+    """Pool initializer for the sharded-index mode.
+
+    Instead of unpickling a corpus, the worker attaches its own
+    :class:`~repro.storage.shards.reader.ShardIndex` handle from the
+    parent's picklable spec — ``mmap`` over the shard files, or
+    ``multiprocessing.shared_memory`` segments when the spec carries
+    their names (the spawn path).  Attach cost is O(shards), so pool
+    spin-up no longer scales with corpus size.
+    """
+    global _WORKER_DOCUMENTS, _WORKER_SHARD_INDEX
+    index = ShardIndex.from_spec(spec)
+    _init_worker(_ShardDocumentMap(index))
+    _WORKER_SHARD_INDEX = index
 
 
 def _worker_obs(traced: bool,
@@ -163,12 +208,30 @@ def _worker_index(name: str) -> InvertedIndex:
     """
     index = _WORKER_INDEXES.get(name)
     if index is None:
-        document = _WORKER_DOCUMENTS[name]
-        index = InvertedIndex(document)
+        if _WORKER_SHARD_INDEX is not None:
+            # The shard materialiser already decoded the postings; the
+            # index is adopted, not rebuilt by rescanning keywords.
+            index = _WORKER_SHARD_INDEX.inverted_index(name)
+            document = index.document
+        else:
+            document = _WORKER_DOCUMENTS[name]
+            index = InvertedIndex(document)
         if document.size > 1:
             document.lca(0, document.size - 1)
         _WORKER_INDEXES[name] = index
     return index
+
+
+def _worker_contains(name: str, term: str) -> bool:
+    """Early-exit probe: does the named document contain ``term``?
+
+    In sharded mode an unmaterialised document answers straight off the
+    mapped postings section (a binary search over the page cache), so
+    skipped documents are never decoded at all.
+    """
+    if name not in _WORKER_INDEXES and _WORKER_SHARD_INDEX is not None:
+        return _WORKER_SHARD_INDEX.contains(name, term)
+    return _worker_index(name).contains(term)
 
 
 def _budget_marker(exc: BudgetExceeded) -> dict:
@@ -193,7 +256,8 @@ def _run_chunk(queries: Sequence[Query], items: Sequence[tuple[str, int]],
                strategy_value: str, kernel: Optional[str],
                obs_spec: Optional[dict] = None,
                fault: Optional[dict] = None,
-               budget: Optional[QueryBudget] = None):
+               budget: Optional[QueryBudget] = None,
+               shard: Optional[int] = None):
     """Evaluate one chunk of ``(document name, query index)`` items.
 
     Returns ``(rows, chunk_seconds, delta, pid)`` where each row is
@@ -224,16 +288,21 @@ def _run_chunk(queries: Sequence[Query], items: Sequence[tuple[str, int]],
     obs = (_worker_obs(bool(obs_spec.get("trace")),
                        obs_spec.get("recorder"))
            if obs_spec is not None else NOOP)
+    if obs.enabled and obs.recorder is not None:
+        # Sharded chunks never straddle shards, so one ambient tag
+        # covers every profile this chunk records.
+        obs.recorder.set_context(shard=shard)
     rows = []
     try:
         if fault is not None:
             apply_fault(fault)
         for name, query_index in items:
             query = queries[query_index]
-            index = _worker_index(name)
-            if not all(index.contains(term) for term in query.terms):
+            if not all(_worker_contains(name, term)
+                       for term in query.terms):
                 rows.append((name, query_index, None))
                 continue
+            index = _worker_index(name)
             try:
                 result = evaluate(_WORKER_DOCUMENTS[name], query,
                                   strategy=strategy, index=index,
@@ -295,17 +364,35 @@ class ParallelExecutor:
         every dispatch (tests / bench runner); each call may override.
     """
 
-    def __init__(self, documents: Mapping[str, Document],
+    def __init__(self, documents: Optional[Mapping[str, Document]] = None,
                  workers: Optional[int] = None,
                  start_method: Optional[str] = None,
                  chunk_size: Optional[int] = None,
                  obs: Optional[Observability] = None,
                  resilience: Optional[RetryPolicy] = None,
-                 faults: Optional[FaultPlan] = None) -> None:
-        self.documents: dict[str, Document] = dict(documents)
+                 faults: Optional[FaultPlan] = None,
+                 index_path=None,
+                 shared_memory: Optional[bool] = None) -> None:
+        if (documents is None) == (index_path is None):
+            raise DocumentError("ParallelExecutor requires exactly one "
+                                "of documents= or index_path=")
+        if index_path is not None:
+            # Sharded-index mode: the corpus stays on disk; this process
+            # and every worker attach their own mmap/shared-memory
+            # handles, and documents materialise only when they match.
+            self._index = (index_path if isinstance(index_path, ShardIndex)
+                           else ShardIndex.attach(
+                               index_path,
+                               obs=obs if obs is not None else NOOP))
+            self.documents: Mapping[str, Document] = \
+                _ShardDocumentMap(self._index)
+        else:
+            self._index = None
+            self.documents = dict(documents)
         if not self.documents:
             raise DocumentError("ParallelExecutor requires at least one "
                                 "document")
+        self._shared_memory = shared_memory
         self.workers = workers if workers is not None else default_workers()
         if self.workers < 1:
             raise QueryError(f"workers must be >= 1, got {self.workers}")
@@ -319,6 +406,8 @@ class ParallelExecutor:
         self.last_report: ResilienceReport = ResilienceReport()
         self.degraded = False
         self._worker_ids: dict[int, str] = {}
+        #: The attached shard index in ``index_path=`` mode, else None.
+        self.index = self._index
         # Parent-side warm state for the serial fallback path (lazily
         # built; mirrors a worker's per-document structures).
         self._parent_indexes: dict[str, InvertedIndex] = {}
@@ -331,6 +420,18 @@ class ParallelExecutor:
 
     def _new_pool(self) -> ProcessPoolExecutor:
         context = multiprocessing.get_context(self.start_method)
+        if self._index is not None:
+            # Ship an attach recipe, not the corpus.  Under spawn the
+            # shard bytes travel via shared-memory segments by default
+            # (no re-read from disk); under fork plain mmap is already
+            # zero-cost.  ``shared_memory=`` overrides the default.
+            use_shm = (self._shared_memory
+                       if self._shared_memory is not None
+                       else self.start_method == "spawn")
+            spec = self._index.attach_spec(shared_memory=use_shm)
+            return ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context,
+                initializer=_init_worker_attach, initargs=(spec,))
         return ProcessPoolExecutor(
             max_workers=self.workers, mp_context=context,
             initializer=_init_worker, initargs=(self.documents,))
@@ -410,7 +511,8 @@ class ParallelExecutor:
     def _dispatch(self, queries, chunks, strategy, kernel, obs_spec, ob,
                   policy: RetryPolicy, plan: Optional[FaultPlan],
                   outcomes, report: ResilienceReport,
-                  budget: Optional[QueryBudget] = None) -> None:
+                  budget: Optional[QueryBudget] = None,
+                  chunk_keys: Optional[list] = None) -> None:
         """Run every chunk to completion, surviving crashes and hangs.
 
         Chunks are dispatched in waves; a wave is the current pending
@@ -449,7 +551,9 @@ class ParallelExecutor:
                 try:
                     futures[chunk_index] = self._pool.submit(
                         _run_chunk, queries, chunks[chunk_index],
-                        strategy.value, kernel, obs_spec, fault, budget)
+                        strategy.value, kernel, obs_spec, fault, budget,
+                        (chunk_keys[chunk_index]
+                         if chunk_keys is not None else None))
                 except (BrokenExecutor, RuntimeError):
                     submit_broken = True
                     pending.append(chunk_index)
@@ -516,8 +620,15 @@ class ParallelExecutor:
         # exact serial path, in-process, so callers still get
         # serial-identical answers.
         for chunk_index in fallback:
-            rows = self._serial_items(queries, chunks[chunk_index],
-                                      strategy, kernel, ob, budget=budget)
+            if chunk_keys is not None:
+                key = chunk_keys[chunk_index]
+                report.failed_groups[key] = \
+                    report.failed_groups.get(key, 0) + 1
+            rows = self._serial_items(
+                queries, chunks[chunk_index], strategy, kernel, ob,
+                budget=budget,
+                shard=(chunk_keys[chunk_index]
+                       if chunk_keys is not None else None))
             for name, query_index, payload in rows:
                 outcomes[(name, query_index)] = payload
             report.fallback_chunks += 1
@@ -527,15 +638,20 @@ class ParallelExecutor:
         """Warm parent-side inverted index for the serial fallback."""
         index = self._parent_indexes.get(name)
         if index is None:
-            document = self.documents[name]
-            index = InvertedIndex(document)
+            if self._index is not None:
+                index = self._index.inverted_index(name)
+                document = index.document
+            else:
+                document = self.documents[name]
+                index = InvertedIndex(document)
             if document.size > 1:
                 document.lca(0, document.size - 1)
             self._parent_indexes[name] = index
         return index
 
     def _serial_items(self, queries, items, strategy, kernel, ob,
-                      budget: Optional[QueryBudget] = None):
+                      budget: Optional[QueryBudget] = None,
+                      shard: Optional[int] = None):
         """Evaluate one chunk's items in-process (degraded mode).
 
         Mirrors ``_run_chunk`` — including the conjunctive early exit
@@ -544,28 +660,37 @@ class ParallelExecutor:
         worker would have returned.  Telemetry lands directly on the
         parent handle, exactly like the serial path.
         """
-        rows = []
-        for name, query_index in items:
-            query = queries[query_index]
-            index = self._parent_index(name)
-            if not all(index.contains(term) for term in query.terms):
-                rows.append((name, query_index, None))
-                continue
-            try:
-                result = evaluate(self.documents[name], query,
-                                  strategy=strategy, index=index,
-                                  cache=self._parent_cache, kernel=kernel,
-                                  obs=ob,
-                                  budget=(budget.fresh_item()
-                                          if budget is not None else None))
-            except BudgetExceeded as exc:
-                rows.append((name, query_index, _budget_marker(exc)))
-                continue
-            payload = (tuple(sorted(tuple(sorted(f.nodes))
-                                    for f in result.fragments)),
-                       result.elapsed, result.stats)
-            rows.append((name, query_index, payload))
-        return rows
+        recorder = (getattr(ob, "recorder", None) if ob.enabled
+                    else None)
+        if recorder is not None and shard is not None:
+            recorder.set_context(shard=shard)
+        try:
+            rows = []
+            for name, query_index in items:
+                query = queries[query_index]
+                index = self._parent_index(name)
+                if not all(index.contains(term) for term in query.terms):
+                    rows.append((name, query_index, None))
+                    continue
+                try:
+                    result = evaluate(
+                        self.documents[name], query,
+                        strategy=strategy, index=index,
+                        cache=self._parent_cache, kernel=kernel,
+                        obs=ob,
+                        budget=(budget.fresh_item()
+                                if budget is not None else None))
+                except BudgetExceeded as exc:
+                    rows.append((name, query_index, _budget_marker(exc)))
+                    continue
+                payload = (tuple(sorted(tuple(sorted(f.nodes))
+                                        for f in result.fragments)),
+                           result.elapsed, result.stats)
+                rows.append((name, query_index, payload))
+            return rows
+        finally:
+            if recorder is not None and shard is not None:
+                recorder.set_context(shard=None)
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -631,8 +756,28 @@ class ParallelExecutor:
                  for name in targets]
         chunk_size = self._chunk_size or max(
             1, -(-len(items) // (4 * self.workers)))
-        chunks = [items[i:i + chunk_size]
-                  for i in range(0, len(items), chunk_size)]
+        if self._index is not None:
+            # Scatter: group items by shard so no chunk straddles a
+            # shard boundary — each chunk touches exactly one mapped
+            # file, failures attribute cleanly to a shard, and worker
+            # page-cache locality follows the shard layout.  The merge
+            # below still walks targets in caller order (the gather),
+            # so results are unchanged.
+            by_shard: dict[int, list] = {}
+            for item in items:
+                by_shard.setdefault(
+                    self._index.shard_of(item[0]), []).append(item)
+            chunks = []
+            chunk_keys: Optional[list] = []
+            for shard in sorted(by_shard):
+                group = by_shard[shard]
+                for i in range(0, len(group), chunk_size):
+                    chunks.append(group[i:i + chunk_size])
+                    chunk_keys.append(shard)
+        else:
+            chunks = [items[i:i + chunk_size]
+                      for i in range(0, len(items), chunk_size)]
+            chunk_keys = None
 
         if budget is not None:
             # Start before shipping: workers clone the *absolute*
@@ -655,7 +800,8 @@ class ParallelExecutor:
             try:
                 self._dispatch(queries, chunks, strategy, kernel,
                                obs_spec, ob, policy, plan, outcomes,
-                               report, budget=budget)
+                               report, budget=budget,
+                               chunk_keys=chunk_keys)
             finally:
                 self.last_report = report
                 self.degraded = report.degraded

@@ -121,6 +121,11 @@ class ResilienceReport:
     fallback_chunks: int = 0
     fallback_items: int = 0
     failures: list = field(default_factory=list)
+    #: group key (e.g. shard number) -> chunks of that group that
+    #: exhausted their retries.  Only populated when the dispatcher was
+    #: given per-chunk group keys (the sharded index path); the
+    #: ShardRouter charges per-shard circuit breakers from it.
+    failed_groups: dict = field(default_factory=dict)
 
     @property
     def degraded(self) -> bool:
@@ -143,4 +148,6 @@ class ResilienceReport:
                 "fallback_chunks": self.fallback_chunks,
                 "fallback_items": self.fallback_items,
                 "degraded": self.degraded,
-                "failures": list(self.failures)}
+                "failures": list(self.failures),
+                "failed_groups": {str(k): v for k, v
+                                  in self.failed_groups.items()}}

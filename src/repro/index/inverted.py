@@ -34,6 +34,21 @@ class InvertedIndex:
         # Node ids are visited in increasing order, so lists are sorted.
         self._postings = postings
 
+    @classmethod
+    def from_postings(cls, document: "Document",
+                      postings: dict[str, list[int]]) -> "InvertedIndex":
+        """Adopt pre-built posting lists without rescanning the document.
+
+        Used by :mod:`repro.storage.shards`, which persists the postings
+        section at build time.  Lists must already be sorted by node id
+        (the shard writer guarantees this); they are adopted as-is, so
+        callers must hand over ownership.
+        """
+        self = object.__new__(cls)
+        self._document = document
+        self._postings = postings
+        return self
+
     @property
     def document(self) -> "Document":
         """The indexed document."""

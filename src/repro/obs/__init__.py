@@ -112,6 +112,23 @@ GUARD_BUDGET_EXCEEDED = "repro_guard_budget_exceeded_total"
 #: Gauge: circuit-breaker state (0 closed, 1 half-open, 2 open).
 GUARD_BREAKER_STATE = "repro_guard_breaker_state"
 
+# Sharded on-disk index metrics (recorded by repro.storage.shards).
+SHARD_BUILD_SECONDS = "repro_shard_build_seconds"
+SHARD_BYTES_WRITTEN = "repro_shard_bytes_written_total"
+SHARD_ATTACH_SECONDS = "repro_shard_attach_seconds"
+SHARD_ATTACH_FAILURES = "repro_shard_attach_failures_total"
+#: Gauge: shards successfully mapped by this process.
+SHARDS_ATTACHED = "repro_shards_attached"
+#: Gauge: bytes of shard files currently mapped (mmap or shm).
+SHARD_BYTES_MAPPED = "repro_shard_bytes_mapped"
+SHARD_DOCS_MATERIALIZED = "repro_shard_documents_materialized_total"
+#: Histogram: distinct shards touched per routed query.
+SHARD_ROUTER_FANOUT = "repro_shard_router_fanout"
+SHARD_ROUTER_SKIPPED = "repro_shard_router_skipped_total"
+#: Gauge (labelled ``shard=``): per-shard breaker state
+#: (0 closed, 1 half-open, 2 open), mirroring GUARD_BREAKER_STATE.
+SHARD_BREAKER_STATE = "repro_shard_breaker_state"
+
 # Baseline evaluators (repro.baselines) recorded by record_baseline().
 BASELINE_QUERIES = "repro_baseline_queries_total"
 BASELINE_LATENCY = "repro_baseline_latency_seconds"

@@ -173,6 +173,7 @@ class QueryProfile:
     actual_cost: Optional[float] = None
     peak_memory_bytes: Optional[int] = None
     worker: Optional[str] = None
+    shard: Optional[int] = None
     trace_id: Optional[str] = None
     retained: Optional[str] = None
 
@@ -201,7 +202,7 @@ class QueryProfile:
             "stats": dict(self.stats),
         }
         for key in ("reason", "predicted_cost", "actual_cost",
-                    "peak_memory_bytes", "worker", "trace_id",
+                    "peak_memory_bytes", "worker", "shard", "trace_id",
                     "retained"):
             value = getattr(self, key)
             if value is not None:
@@ -233,6 +234,7 @@ class QueryProfile:
             actual_cost=data.get("actual_cost"),
             peak_memory_bytes=data.get("peak_memory_bytes"),
             worker=data.get("worker"),
+            shard=data.get("shard"),
             trace_id=data.get("trace_id"),
             retained=data.get("retained"))
 
@@ -324,6 +326,25 @@ class FlightRecorder:
         self._rng = random.Random(self.config.seed)
         self._memory_on = False
         self._id_prefix = f"q{os.getpid():x}-"
+        # Ambient attribution set by routing layers (e.g. which shard
+        # the queries now being observed are running against).
+        self._context: dict = {}
+
+    def set_context(self, **fields) -> None:
+        """Set ambient profile fields for subsequent :meth:`observe` calls.
+
+        The shard router (and the sharded executor's workers) tag the
+        queries they evaluate with ``shard=N`` this way; passing
+        ``None`` clears a field.  Unknown keys are rejected to catch
+        typos early.
+        """
+        for key, value in fields.items():
+            if key not in ("shard",):
+                raise ValueError(f"unknown recorder context field {key!r}")
+            if value is None:
+                self._context.pop(key, None)
+            else:
+                self._context[key] = value
 
     # ------------------------------------------------------------------
     # Recording
@@ -396,7 +417,8 @@ class FlightRecorder:
                 cache_hits=counters.get("join_cache_hits", 0),
                 checkpoints=checkpoints, stats=counters,
                 predicted_cost=predicted_cost, actual_cost=actual,
-                peak_memory_bytes=peak_memory, trace_id=trace_id,
+                peak_memory_bytes=peak_memory,
+                shard=self._context.get("shard"), trace_id=trace_id,
                 retained=retained)
             self._append(profile)
             if trace_id is not None:

@@ -457,10 +457,14 @@ class _ObsHTTPServer(ThreadingHTTPServer):
         """Whether the last parallel run needed the serial fallback.
 
         Reads the ``repro_exec_degraded`` gauge without creating it;
-        a handle that never ran a pool reports healthy.
+        a handle that never ran a pool reports healthy.  A sharded
+        collection with failed shards or tripped per-shard breakers
+        also reports degraded.
         """
         gauge = self.obs.metrics.get(EXEC_DEGRADED)
-        return bool(gauge is not None and gauge.value)
+        if gauge is not None and gauge.value:
+            return True
+        return bool(getattr(self.collection, "degraded", False))
 
     def refresh_gauges(self) -> None:
         """Recompute point-in-time gauges before a metrics export.
@@ -511,6 +515,11 @@ class _ObsHTTPServer(ThreadingHTTPServer):
         if self.guard is not None:
             self._publish_breaker()
             doc["guard"] = self.guard.snapshot()
+        shard_stats = getattr(self.collection, "shard_stats", None)
+        if shard_stats is not None:
+            # Sharded collections report attach health, bytes mapped,
+            # router fan-out and per-shard breaker states.
+            doc["shards"] = shard_stats()
         return doc
 
     # -- guard metric helpers -----------------------------------------

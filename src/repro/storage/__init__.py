@@ -1,4 +1,5 @@
-"""Relational (sqlite3) storage substrate — paper ref [13]."""
+"""Storage substrates: relational (sqlite3, paper ref [13]) and the
+persistent sharded mmap index (:mod:`repro.storage.shards`)."""
 
 from .engine import RelationalQueryEngine
 from .multistore import CollectionStore
@@ -14,4 +15,17 @@ __all__ = [
     "CREATE_TABLES",
     "DROP_TABLES",
     "SCHEMA_VERSION",
+    "ShardIndex",
+    "ShardRouter",
+    "build_index",
 ]
+
+
+def __getattr__(name):
+    # Shard-index entry points resolve lazily: the reader/writer pull
+    # in mmap machinery (and the router pulls in repro.exec) that
+    # relational-only users never touch.
+    if name in ("ShardIndex", "ShardRouter", "build_index"):
+        from . import shards
+        return getattr(shards, name)
+    raise AttributeError(name)

@@ -11,6 +11,7 @@ query (the physical counterpart of
 
 from __future__ import annotations
 
+import json
 import sqlite3
 from typing import Optional
 
@@ -35,6 +36,7 @@ CREATE TABLE IF NOT EXISTS nodes (
     size   INTEGER NOT NULL,
     tag    TEXT    NOT NULL,
     text   TEXT    NOT NULL,
+    attrs  TEXT    NOT NULL DEFAULT '{}',
     PRIMARY KEY (doc, id)
 ) WITHOUT ROWID;
 
@@ -96,10 +98,12 @@ class CollectionStore:
                 labels = document.labels
                 conn.executemany(
                     "INSERT INTO nodes(doc, id, parent, depth, size, "
-                    "tag, text) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    "tag, text, attrs) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
                     ((doc_id, nid, document.parent(nid),
                       labels.depth[nid], labels.size[nid],
-                      document.tag(nid), document.text(nid))
+                      document.tag(nid), document.text(nid),
+                      json.dumps(dict(document.attributes(nid)),
+                                 ensure_ascii=False))
                      for nid in document.node_ids()))
                 conn.executemany(
                     "INSERT INTO keywords(word, doc, node) "
@@ -144,17 +148,26 @@ class CollectionStore:
         """Reconstruct one stored document."""
         doc_id = self.doc_id(name)
         conn = self._conn
-        rows = conn.execute(
-            "SELECT id, parent, tag, text FROM nodes WHERE doc = ? "
-            "ORDER BY id", (doc_id,)).fetchall()
+        try:
+            rows = conn.execute(
+                "SELECT id, parent, tag, text, attrs FROM nodes "
+                "WHERE doc = ? ORDER BY id", (doc_id,)).fetchall()
+        except sqlite3.OperationalError:
+            # Pre-attrs database: load with empty attributes.
+            rows = [(nid, parent, tag, text, "{}")
+                    for nid, parent, tag, text in conn.execute(
+                        "SELECT id, parent, tag, text FROM nodes "
+                        "WHERE doc = ? ORDER BY id", (doc_id,))]
         n = len(rows)
         tags = [""] * n
         texts = [""] * n
+        attrs: list[dict] = [{} for _ in range(n)]
         parents: list[Optional[int]] = [None] * n
         children: list[list[int]] = [[] for _ in range(n)]
-        for nid, parent, tag, text in rows:
+        for nid, parent, tag, text, attr_json in rows:
             tags[nid] = tag
             texts[nid] = text
+            attrs[nid] = json.loads(attr_json)
             parents[nid] = parent
             if parent is not None:
                 children[parent].append(nid)
@@ -165,7 +178,7 @@ class CollectionStore:
             keyword_sets[nid].add(word)
         return Document(tags, texts, parents, children,
                         [frozenset(kws) for kws in keyword_sets],
-                        name=name)
+                        attrs=attrs, name=name)
 
     def load_collection(self) -> DocumentCollection:
         """Reconstruct every stored document as a collection."""

@@ -18,6 +18,7 @@ persistent one.
 
 from __future__ import annotations
 
+import json
 import sqlite3
 from typing import Iterable, Optional
 
@@ -77,12 +78,17 @@ class RelationalStore:
                  ("nodes", str(document.size)),
                  ("schema_version", str(schema.SCHEMA_VERSION))])
             labels = document.labels
+            # Attributes travel as one JSON object per node;
+            # ensure_ascii=False keeps unicode values byte-exact and
+            # json preserves the document's attribute order.
             conn.executemany(
                 "INSERT INTO nodes(id, parent, depth, size, post, tag, "
-                "text) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                "text, attrs) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
                 ((nid, document.parent(nid), labels.depth[nid],
                   labels.size[nid], labels.post[nid], document.tag(nid),
-                  document.text(nid))
+                  document.text(nid),
+                  json.dumps(dict(document.attributes(nid)),
+                             ensure_ascii=False))
                  for nid in document.node_ids()))
             conn.executemany(
                 "INSERT INTO keywords(word, node) VALUES (?, ?)",
@@ -101,9 +107,17 @@ class RelationalStore:
         meta = dict(conn.execute("SELECT key, value FROM documents"))
         if "nodes" not in meta:
             raise StorageError("no document stored in this database")
-        rows = conn.execute(
-            "SELECT id, parent, tag, text FROM nodes ORDER BY id"
-        ).fetchall()
+        try:
+            rows = conn.execute(
+                "SELECT id, parent, tag, text, attrs FROM nodes "
+                "ORDER BY id").fetchall()
+        except sqlite3.OperationalError:
+            # Schema v1 database (no attrs column): still loadable,
+            # with empty attributes on every node.
+            rows = [(nid, parent, tag, text, "{}")
+                    for nid, parent, tag, text in conn.execute(
+                        "SELECT id, parent, tag, text FROM nodes "
+                        "ORDER BY id")]
         n = len(rows)
         if n != int(meta["nodes"]):
             raise StorageError(
@@ -111,11 +125,13 @@ class RelationalStore:
                 f"table has {n}")
         tags = [""] * n
         texts = [""] * n
+        attrs: list[dict] = [{} for _ in range(n)]
         parents: list[Optional[int]] = [None] * n
         children: list[list[int]] = [[] for _ in range(n)]
-        for nid, parent, tag, text in rows:
+        for nid, parent, tag, text, attr_json in rows:
             tags[nid] = tag
             texts[nid] = text
+            attrs[nid] = json.loads(attr_json)
             parents[nid] = parent
             if parent is not None:
                 children[parent].append(nid)
@@ -124,6 +140,7 @@ class RelationalStore:
             keyword_sets[nid].add(word)
         return Document(tags, texts, parents, children,
                         [frozenset(kws) for kws in keyword_sets],
+                        attrs=attrs,
                         name=meta.get("name", "document"))
 
     # ------------------------------------------------------------------

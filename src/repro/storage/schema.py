@@ -4,10 +4,12 @@ Pradhan's companion paper (WISE'04) implements the tree algebra on a
 conventional relational database.  We reproduce that substrate on
 sqlite3 with the classic node-table + keyword-table shredding:
 
-``nodes(id, parent, depth, size, post, tag, text)``
+``nodes(id, parent, depth, size, post, tag, text, attrs)``
     One row per tree node; ``id`` is the preorder rank, so the interval
     encoding ``id <= x < id + size`` answers descendant tests directly
-    in SQL.
+    in SQL.  ``attrs`` is the node's XML attributes as one JSON object
+    whose key order is the document order (schema v2; v1 databases
+    without the column still load, with empty attributes).
 ``keywords(word, node)``
     The inverted keyword relation; ``σ_{keyword=k}`` is a single
     indexed lookup.
@@ -17,7 +19,7 @@ sqlite3 with the classic node-table + keyword-table shredding:
 
 from __future__ import annotations
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 CREATE_TABLES = """
 CREATE TABLE IF NOT EXISTS documents (
@@ -33,6 +35,7 @@ CREATE TABLE IF NOT EXISTS nodes (
     post   INTEGER NOT NULL,
     tag    TEXT    NOT NULL,
     text   TEXT    NOT NULL,
+    attrs  TEXT    NOT NULL DEFAULT '{}',
     FOREIGN KEY (parent) REFERENCES nodes(id)
 );
 

@@ -1,0 +1,29 @@
+"""Persistent sharded index: build once, mmap-attach everywhere.
+
+The write side (:func:`build_index`) serialises a corpus into N shard
+files plus a checksummed manifest; the read side (:class:`ShardIndex`)
+attaches by ``mmap`` (or shared memory) in O(shards) and materialises
+documents lazily; :class:`ShardRouter` scatter-gathers queries across
+shards with per-shard circuit breakers.  See ``docs/storage.md`` for
+the file layout and lifecycle.
+"""
+
+from .format import FORMAT_VERSION, MANIFEST_NAME, shard_of
+from .reader import ShardIndex
+from .writer import build_index
+
+__all__ = [
+    "build_index", "ShardIndex", "ShardRouter", "RouterReport",
+    "FORMAT_VERSION", "MANIFEST_NAME", "shard_of",
+]
+
+
+def __getattr__(name):
+    # The router pulls in repro.exec (and through it the collection
+    # layer); import it lazily so `repro.storage` stays import-light
+    # and free of cycles for build/attach-only users.
+    if name in ("ShardRouter", "RouterReport"):
+        from .router import RouterReport, ShardRouter
+        return {"ShardRouter": ShardRouter,
+                "RouterReport": RouterReport}[name]
+    raise AttributeError(name)

@@ -1,0 +1,249 @@
+"""Binary layout of the persistent sharded index.
+
+One index is a directory::
+
+    index/
+      manifest.json     global manifest (version, shard map, checksums)
+      shard-0000.bin    one file per shard
+      shard-0001.bin
+      ...
+
+Documents are partitioned across shards by a *stable* hash of their
+name (``zlib.crc32(name) % shards``), so the same corpus always lands
+in the same shards regardless of filesystem enumeration order or
+Python hash randomisation.
+
+Shard file layout (all integers little-endian)::
+
+    magic      8 bytes   b"RXSHRD01"
+    header_len u32       byte length of the JSON header
+    header     JSON      {format_version, shard, shards, documents: [...]}
+    payload    8-byte aligned binary sections
+
+Each document entry in the header names its sections with
+``[offset, length, crc32]`` triples; offsets are relative to the start
+of the payload region (``align8(12 + header_len)``).  Five sections
+mirror :class:`~repro.xmltree.intervals.IntervalKernel`'s flat layout
+exactly — ``parents`` / ``depth`` / ``pre`` / ``size`` / ``post`` as
+int64 arrays (root parent encoded as ``-1``) — so a reader can hand
+``memoryview.cast("q")`` windows straight to
+:meth:`IntervalKernel.from_arrays` with zero copies.  The remaining
+sections carry the non-structural state: ``tags`` and ``texts`` as
+offset-table string blobs, ``attrs`` as JSON (object key order is
+preserved, round-tripping XML attribute order), and ``postings`` as a
+bisectable keyword → node-id table (see :func:`encode_postings`).
+
+Nothing here imports the tree model; this module is pure bytes in /
+bytes out so both the writer and reader build on it.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+
+__all__ = [
+    "MAGIC", "FORMAT_VERSION", "MANIFEST_NAME", "SECTION_NAMES",
+    "shard_file_name", "shard_of", "align8",
+    "encode_int64", "encode_strings", "decode_strings",
+    "encode_postings", "decode_postings", "postings_lookup",
+    "postings_terms", "dump_json", "crc32",
+]
+
+MAGIC = b"RXSHRD01"
+FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+#: Section order inside each document's payload block.
+SECTION_NAMES = ("parents", "depth", "pre", "size", "post",
+                 "tags", "texts", "attrs", "postings")
+
+_U32 = struct.Struct("<I")
+
+
+def shard_file_name(shard: int) -> str:
+    """Canonical file name of shard ``shard`` inside the index dir."""
+    return f"shard-{shard:04d}.bin"
+
+
+def shard_of(name: str, shards: int) -> int:
+    """Stable shard assignment for a document name.
+
+    crc32 is deterministic across processes and platforms (unlike
+    ``hash()`` under PYTHONHASHSEED randomisation), so shard layout is
+    reproducible byte-for-byte.
+    """
+    return zlib.crc32(name.encode("utf-8")) % shards
+
+
+def align8(offset: int) -> int:
+    """Round ``offset`` up to the next 8-byte boundary."""
+    return (offset + 7) & ~7
+
+
+# ----------------------------------------------------------------------
+# int64 arrays (the IntervalKernel mirror sections)
+# ----------------------------------------------------------------------
+
+def encode_int64(values) -> bytes:
+    """Pack a sequence of ints as little-endian int64."""
+    return struct.pack(f"<{len(values)}q", *values)
+
+
+# ----------------------------------------------------------------------
+# String tables (tags / texts)
+# ----------------------------------------------------------------------
+
+def encode_strings(items) -> bytes:
+    """``u32 N, u32 offsets[N+1], utf-8 blob`` — decoded in one pass."""
+    blobs = [s.encode("utf-8") for s in items]
+    offsets = [0]
+    for b in blobs:
+        offsets.append(offsets[-1] + len(b))
+    n = len(blobs)
+    return b"".join([_U32.pack(n),
+                     struct.pack(f"<{n + 1}I", *offsets),
+                     *blobs])
+
+
+def decode_strings(buf) -> list:
+    """Inverse of :func:`encode_strings` over any bytes-like object."""
+    mv = memoryview(buf)
+    (n,) = _U32.unpack_from(mv, 0)
+    offsets = mv[4:4 + 4 * (n + 1)].cast("I")
+    blob_start = 4 + 4 * (n + 1)
+    blob = mv[blob_start:]
+    return [str(blob[offsets[i]:offsets[i + 1]], "utf-8")
+            for i in range(n)]
+
+
+# ----------------------------------------------------------------------
+# Postings (keyword -> sorted node ids), bisectable without decoding
+# ----------------------------------------------------------------------
+#
+#   u32 T              term count
+#   u32 total          total posting entries
+#   u32 term_offs[T+1] byte offsets into the term blob
+#   u32 id_offs[T+1]   entry offsets into the ids array
+#   term blob          utf-8 terms, concatenated, sorted bytewise,
+#                      zero-padded to a 4-byte boundary
+#   u32 ids[total]     concatenated sorted posting lists
+#
+# Terms are sorted by their utf-8 bytes, which equals code-point order,
+# so ``postings_lookup`` can binary-search the blob directly against an
+# encoded query term — answering "does this document contain the term?"
+# from the mapped file without materialising anything.
+
+def encode_postings(postings: dict) -> bytes:
+    """Serialise ``{term: sorted node ids}`` into the bisectable layout."""
+    terms = sorted(postings)
+    blobs = [t.encode("utf-8") for t in terms]
+    term_offs = [0]
+    for b in blobs:
+        term_offs.append(term_offs[-1] + len(b))
+    id_offs = [0]
+    for t in terms:
+        id_offs.append(id_offs[-1] + len(postings[t]))
+    t = len(terms)
+    total = id_offs[-1]
+    blob = b"".join(blobs)
+    pad = (-len(blob)) % 4
+    ids = []
+    for term in terms:
+        ids.extend(postings[term])
+    return b"".join([
+        _U32.pack(t), _U32.pack(total),
+        struct.pack(f"<{t + 1}I", *term_offs),
+        struct.pack(f"<{t + 1}I", *id_offs),
+        blob, b"\x00" * pad,
+        struct.pack(f"<{total}I", *ids),
+    ])
+
+
+class _PostingsView:
+    """Parsed offsets of one mapped postings section (no data copies)."""
+
+    __slots__ = ("count", "term_offs", "id_offs", "blob", "ids")
+
+    def __init__(self, buf) -> None:
+        mv = memoryview(buf)
+        (self.count,) = _U32.unpack_from(mv, 0)
+        (total,) = _U32.unpack_from(mv, 4)
+        t1 = self.count + 1
+        self.term_offs = mv[8:8 + 4 * t1].cast("I")
+        self.id_offs = mv[8 + 4 * t1:8 + 8 * t1].cast("I")
+        blob_start = 8 + 8 * t1
+        blob_len = self.term_offs[self.count]
+        self.blob = mv[blob_start:blob_start + blob_len]
+        ids_start = blob_start + blob_len + ((-blob_len) % 4)
+        self.ids = mv[ids_start:ids_start + 4 * total].cast("I")
+
+    def find(self, term: str) -> int:
+        """Binary-search the term blob; return the term slot or -1."""
+        target = term.encode("utf-8")
+        offs = self.term_offs
+        blob = self.blob
+        lo, hi = 0, self.count
+        while lo < hi:
+            mid = (lo + hi) // 2
+            cand = bytes(blob[offs[mid]:offs[mid + 1]])
+            if cand < target:
+                lo = mid + 1
+            elif cand > target:
+                hi = mid
+            else:
+                return mid
+        return -1
+
+
+def postings_lookup(buf, term: str):
+    """Posting list for ``term`` from a mapped section, or ``None``.
+
+    Pure index arithmetic plus one binary search over the mapped term
+    blob — no dict is built, so probing a cold document touches only a
+    handful of pages.
+    """
+    view = _PostingsView(buf)
+    slot = view.find(term)
+    if slot < 0:
+        return None
+    return list(view.ids[view.id_offs[slot]:view.id_offs[slot + 1]])
+
+
+def postings_terms(buf) -> list:
+    """Every term in a mapped postings section (decoded, sorted)."""
+    view = _PostingsView(buf)
+    offs = view.term_offs
+    blob = view.blob
+    return [str(blob[offs[i]:offs[i + 1]], "utf-8")
+            for i in range(view.count)]
+
+
+def decode_postings(buf) -> dict:
+    """Full inverse of :func:`encode_postings` (used at materialise)."""
+    view = _PostingsView(buf)
+    offs = view.term_offs
+    id_offs = view.id_offs
+    blob = view.blob
+    ids = view.ids
+    out = {}
+    for i in range(view.count):
+        term = str(blob[offs[i]:offs[i + 1]], "utf-8")
+        out[term] = list(ids[id_offs[i]:id_offs[i + 1]])
+    return out
+
+
+# ----------------------------------------------------------------------
+# Headers and manifest
+# ----------------------------------------------------------------------
+
+def dump_json(doc: dict) -> bytes:
+    """Deterministic JSON bytes (sorted keys, no whitespace drift)."""
+    return json.dumps(doc, sort_keys=True, ensure_ascii=False,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def crc32(data) -> int:
+    """crc32 of any bytes-like object, as an unsigned int."""
+    return zlib.crc32(data) & 0xFFFFFFFF

@@ -47,14 +47,15 @@ class Document:
 
     __slots__ = ("_tags", "_texts", "_parents", "_children", "_keywords",
                  "_attrs", "_labels", "_lca_index", "_interval_kernel",
-                 "_token", "name")
+                 "_kernel_arrays", "_token", "name")
 
     def __init__(self, tags: Sequence[str], texts: Sequence[str],
                  parents: Sequence[Optional[int]],
                  children: Sequence[Sequence[int]],
                  keywords: Sequence[frozenset[str]],
                  attrs: Optional[Sequence[Mapping[str, str]]] = None,
-                 name: str = "document") -> None:
+                 name: str = "document", *,
+                 labels: Optional[TreeLabels] = None) -> None:
         n = len(tags)
         if not (len(texts) == len(parents) == len(children)
                 == len(keywords) == n):
@@ -66,13 +67,24 @@ class Document:
         self._keywords = [frozenset(k) for k in keywords]
         self._attrs = ([dict(a) for a in attrs] if attrs is not None
                        else [{} for _ in range(n)])
-        self._labels = compute_labels(self._parents, self._children)
-        if self._labels.pre != list(range(n)):
-            raise DocumentError(
-                "node ids must equal preorder ranks; build documents via "
-                "DocumentBuilder or parser, which normalise ids")
+        if labels is not None:
+            # Trusted fast path for storage backends that persisted the
+            # label bundle alongside the tree (the labels were computed
+            # from these exact arrays at build time, so recomputing them
+            # at load would only burn CPU).  Length is still validated.
+            if len(labels.pre) != n:
+                raise DocumentError(
+                    "supplied label bundle does not match tree size")
+            self._labels = labels
+        else:
+            self._labels = compute_labels(self._parents, self._children)
+            if self._labels.pre != list(range(n)):
+                raise DocumentError(
+                    "node ids must equal preorder ranks; build documents "
+                    "via DocumentBuilder or parser, which normalise ids")
         self._lca_index = None  # built lazily on first lca() call
         self._interval_kernel = None  # built lazily on first use
+        self._kernel_arrays = None  # mapped views set by shard loads
         self._token = next(_DOCUMENT_TOKENS)
         self.name = name
 
@@ -165,7 +177,13 @@ class Document:
         """
         if self._interval_kernel is None:
             from .intervals import IntervalKernel
-            self._interval_kernel = IntervalKernel(self)
+            if self._kernel_arrays is not None:
+                # Zero-copy construction over the mapped shard arrays
+                # (set by repro.storage.shards at materialisation time).
+                self._interval_kernel = IntervalKernel.from_arrays(
+                    self, *self._kernel_arrays)
+            else:
+                self._interval_kernel = IntervalKernel(self)
         return self._interval_kernel
 
     @property
@@ -277,6 +295,7 @@ class Document:
         self._labels = state["labels"]
         self._lca_index = None
         self._interval_kernel = None
+        self._kernel_arrays = None
         self._token = next(_DOCUMENT_TOKENS)
         self.name = state["name"]
 

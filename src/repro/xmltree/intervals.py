@@ -71,6 +71,33 @@ class IntervalKernel:
         if n > 1:
             document.lca(0, n - 1)
 
+    @classmethod
+    def from_arrays(cls, document: "Document", parents, depth, pre,
+                    size) -> "IntervalKernel":
+        """Zero-copy construction over pre-built flat label arrays.
+
+        ``parents``/``depth``/``pre``/``size`` are any integer sequences
+        supporting ``seq[i] -> int`` — in the sharded index they are
+        ``memoryview.cast("q")`` windows onto an ``mmap`` (or shared
+        memory segment), so building a kernel costs only the scratch
+        bitset, never a per-node Python loop.  ``parents`` must encode
+        the root as ``-1``, exactly as :meth:`__init__` does.
+        """
+        n = document.size
+        if not (len(parents) == len(depth) == len(pre) == len(size) == n):
+            raise ValueError("kernel arrays do not match document size")
+        self = object.__new__(cls)
+        self.document = document
+        self._parents = parents
+        self._depth = depth
+        self._pre = pre
+        self._size = size
+        self._stamp = array("Q", bytes(8 * n))
+        self._epoch = 0
+        if n > 1:
+            document.lca(0, n - 1)
+        return self
+
     # ------------------------------------------------------------------
     # Closure
     # ------------------------------------------------------------------

@@ -107,3 +107,99 @@ class TestSqlPrimitives:
                     ids[: min(len(ids), 5)], 2):
                 assert s.spanning_nodes_sql(combo) == \
                     spanning_nodes(doc, combo)
+
+
+def _attr_doc():
+    """Attributes with non-sorted key order, unicode and empty nodes."""
+    from repro.xmltree.builder import DocumentBuilder
+
+    b = DocumentBuilder(name="attrs")
+    root = b.add_root("article", "",
+                      attrs={"zeta": "1", "alpha": "2", "id": "a-1"})
+    sec = b.add_child(root, "section", "naïve café — résumé ☃",
+                      attrs={"lang": "français", "序": "一"})
+    b.add_child(sec, "par", "")          # empty element, no attrs
+    b.add_child(root, "empty", "", attrs={})
+    return b.build()
+
+
+class TestRoundTripGaps:
+    """Attribute ordering, unicode text and empty elements survive a
+    save/load cycle node-for-node (the shard writer reuses these
+    invariants, so sqlite and shard loads must agree)."""
+
+    def test_attrs_round_trip_preserves_order(self):
+        doc = _attr_doc()
+        with RelationalStore() as s:
+            s.save(doc)
+            loaded = s.load()
+        for nid in doc.node_ids():
+            got = loaded.attributes(nid)
+            want = doc.attributes(nid)
+            assert dict(got) == dict(want)
+            assert list(got.items()) == list(want.items())
+
+    def test_unicode_and_empty_text(self):
+        doc = _attr_doc()
+        with RelationalStore() as s:
+            s.save(doc)
+            loaded = s.load()
+        for nid in doc.node_ids():
+            assert loaded.text(nid) == doc.text(nid)
+            assert loaded.tag(nid) == doc.tag(nid)
+
+    def test_v1_database_without_attrs_column_loads(self, tmp_path):
+        # A pre-attrs (schema v1) database must still load, with every
+        # node reporting empty attributes.
+        import sqlite3
+
+        doc = _attr_doc()
+        path = tmp_path / "v1.db"
+        with RelationalStore(str(path)) as s:
+            s.save(doc)
+        with sqlite3.connect(path) as conn:
+            cols = ", ".join(
+                ("id", "parent", "depth", "size", "post", "tag",
+                 "text"))
+            conn.executescript(f"""
+                CREATE TABLE nodes_v1 AS SELECT {cols} FROM nodes;
+                DROP TABLE nodes;
+                ALTER TABLE nodes_v1 RENAME TO nodes;
+            """)
+        with RelationalStore(str(path)) as s:
+            loaded = s.load()
+        for nid in doc.node_ids():
+            assert dict(loaded.attributes(nid)) == {}
+            assert loaded.text(nid) == doc.text(nid)
+
+    def test_multistore_attrs_round_trip(self):
+        from repro.storage.multistore import CollectionStore
+
+        doc = _attr_doc()
+        with CollectionStore() as store:
+            store.add(doc)
+            loaded = store.load("attrs")
+        for nid in doc.node_ids():
+            assert list(loaded.attributes(nid).items()) == \
+                list(doc.attributes(nid).items())
+
+    def test_shard_and_sqlite_loads_agree(self, tmp_path):
+        # The acceptance bar: the same document loaded from sqlite and
+        # from the shard index agrees node-for-node.
+        from repro.storage.shards import ShardIndex, build_index
+
+        doc = _attr_doc()
+        with RelationalStore() as s:
+            s.save(doc)
+            from_sql = s.load()
+        out = tmp_path / "idx"
+        build_index({doc.name: doc}, str(out), shards=1)
+        with ShardIndex.attach(str(out)) as index:
+            from_shard = index.document(doc.name)
+            for nid in doc.node_ids():
+                assert from_shard.tag(nid) == from_sql.tag(nid)
+                assert from_shard.text(nid) == from_sql.text(nid)
+                assert from_shard.parent(nid) == from_sql.parent(nid)
+                assert list(from_shard.attributes(nid).items()) == \
+                    list(from_sql.attributes(nid).items())
+                assert from_shard.keywords(nid) == from_sql.keywords(nid)

@@ -1,0 +1,548 @@
+"""Persistent sharded index: format, attach, corruption, routing.
+
+Covers the build → attach → route lifecycle end to end:
+
+* node-for-node round trips (tags, texts, attributes, keywords,
+  labels) and byte-identical deterministic rebuilds;
+* zero-copy attach (the interval kernel reads the mapped arrays
+  directly) and mapped-postings probes without materialisation;
+* structured failure on corrupt / truncated / version-skewed files,
+  skip-and-degrade attach, and the scatter-gather router's per-shard
+  circuit breakers;
+* the bit-identical guarantee: ``index_path=`` search and
+  ranked_search equal the in-memory path on every Section-4 strategy,
+  serial and pooled.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import shutil
+
+import pytest
+
+from repro.collection import DocumentCollection
+from repro.core.query import Query
+from repro.core.strategies import Strategy
+from repro.errors import DocumentError, ShardError
+from repro.exec.parallel import ParallelExecutor
+from repro.exec.resilience import RetryPolicy
+from repro.obs import Observability
+from repro.obs.recorder import FlightRecorder
+from repro.storage.shards import (FORMAT_VERSION, MANIFEST_NAME,
+                                  ShardIndex, ShardRouter, build_index,
+                                  shard_of)
+from repro.workloads.generator import DocumentSpec, generate_document
+from repro.workloads.inexlike import InexSpec, generate_collection
+from repro.xmltree.serializer import document_to_xml
+
+SHARDS = 3
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """A small INEX-like collection with planted conjunctive terms."""
+    return generate_collection(InexSpec(articles=8, seed=11))
+
+
+@pytest.fixture(scope="module")
+def index_dir(corpus, tmp_path_factory):
+    path = tmp_path_factory.mktemp("shards") / "corpus.idx"
+    build_index({name: corpus.document(name) for name in corpus.names()},
+                path, shards=SHARDS)
+    return str(path)
+
+
+@pytest.fixture()
+def scratch_index(corpus, index_dir, tmp_path):
+    """A private, corruptible copy of the built index."""
+    path = tmp_path / "scratch.idx"
+    shutil.copytree(index_dir, path)
+    return str(path)
+
+
+def _queries():
+    return [Query.of("needle", "thread"), Query.of("needle"),
+            Query.of("nosuchterm")]
+
+
+def assert_same_document(expected, actual):
+    assert actual.size == expected.size
+    assert actual.name == expected.name
+    labels_e, labels_a = expected.labels, actual.labels
+    for nid in expected.node_ids():
+        assert actual.tag(nid) == expected.tag(nid)
+        assert actual.text(nid) == expected.text(nid)
+        assert list(actual.attributes(nid).items()) == \
+            list(expected.attributes(nid).items())
+        assert actual.keywords(nid) == expected.keywords(nid)
+        assert actual.parent(nid) == expected.parent(nid)
+        assert list(actual.children(nid)) == list(expected.children(nid))
+        assert labels_a.depth[nid] == labels_e.depth[nid]
+        assert labels_a.pre[nid] == labels_e.pre[nid]
+        assert labels_a.size[nid] == labels_e.size[nid]
+        assert labels_a.post[nid] == labels_e.post[nid]
+
+
+def assert_same_result(expected, actual):
+    """Same answers, canonically ordered.
+
+    ``QueryResult.fragments`` order can vary with join-cache warmth
+    (serial-vs-serial too), so compare the canonical form: the sorted
+    per-document answer sets plus the merged, deterministically-sorted
+    ``hits`` view.
+    """
+    assert sorted(actual.per_document) == sorted(expected.per_document)
+    for name in expected.per_document:
+        assert (sorted(tuple(sorted(f.nodes))
+                       for f in actual.per_document[name].fragments)
+                == sorted(tuple(sorted(f.nodes))
+                          for f in expected.per_document[name].fragments))
+    assert ([(h.document_name, tuple(sorted(h.fragment.nodes)))
+             for h in actual.hits]
+            == [(h.document_name, tuple(sorted(h.fragment.nodes)))
+                for h in expected.hits])
+
+
+class TestFormat:
+    def test_round_trip_node_for_node(self, corpus, index_dir):
+        with ShardIndex.attach(index_dir) as index:
+            assert sorted(index.names()) == sorted(corpus.names())
+            for name in corpus.names():
+                assert_same_document(corpus.document(name),
+                                     index.document(name))
+
+    def test_attach_is_zero_copy(self, index_dir):
+        with ShardIndex.attach(index_dir) as index:
+            name = index.names()[0]
+            kernel = index.document(name).interval_kernel()
+            assert isinstance(kernel._parents, memoryview)
+            assert isinstance(kernel._pre, memoryview)
+
+    def test_builds_are_byte_identical(self, corpus, tmp_path):
+        documents = {name: corpus.document(name)
+                     for name in corpus.names()}
+        for target in ("a", "b"):
+            build_index(documents, tmp_path / target, shards=SHARDS)
+        for entry in sorted(os.listdir(tmp_path / "a")):
+            with open(tmp_path / "a" / entry, "rb") as fa, \
+                    open(tmp_path / "b" / entry, "rb") as fb:
+                assert fa.read() == fb.read(), entry
+
+    def test_shard_assignment_is_stable(self, corpus, index_dir):
+        with ShardIndex.attach(index_dir) as index:
+            for name in corpus.names():
+                assert index.shard_of(name) == shard_of(name, SHARDS)
+
+    def test_manifest_shape(self, index_dir):
+        with open(os.path.join(index_dir, MANIFEST_NAME)) as handle:
+            manifest = json.load(handle)
+        assert manifest["format_version"] == FORMAT_VERSION
+        assert manifest["shards"] == SHARDS
+        assert len(manifest["files"]) == SHARDS
+        for entry in manifest["files"]:
+            assert {"file", "shard", "bytes", "documents",
+                    "header_crc32", "crc32"} <= set(entry)
+
+    def test_probe_does_not_materialize(self, index_dir):
+        with ShardIndex.attach(index_dir) as index:
+            name = index.names()[0]
+            assert index.contains(name, "needle") in (True, False)
+            assert not index.contains(name, "nosuchterm")
+            assert index.stats()["documents_materialized"] == 0
+            index.document(name)
+            assert index.stats()["documents_materialized"] == 1
+
+    def test_unknown_document(self, index_dir):
+        with ShardIndex.attach(index_dir) as index:
+            with pytest.raises(ShardError) as err:
+                index.shard_of("missing-doc")
+            assert err.value.reason == "unknown-document"
+
+    def test_build_rejects_empty_and_bad_shards(self, corpus, tmp_path):
+        with pytest.raises(ShardError) as err:
+            build_index({}, tmp_path / "empty")
+        assert err.value.reason == "empty"
+        name = corpus.names()[0]
+        with pytest.raises(ShardError) as err:
+            build_index({name: corpus.document(name)},
+                        tmp_path / "bad", shards=0)
+        assert err.value.reason == "bad-shards"
+
+    def test_cache_limit_bounds_materialized_documents(self, index_dir):
+        with ShardIndex.attach(index_dir, cache_limit=2) as index:
+            for name in index.names():
+                index.document(name)
+            assert index.stats()["documents_cached"] <= 2
+
+
+class TestCorruption:
+    def test_truncated_shard(self, scratch_index):
+        with open(os.path.join(scratch_index, "shard-0001.bin"),
+                  "r+b") as handle:
+            handle.truncate(32)
+        with pytest.raises(ShardError) as err:
+            ShardIndex.attach(scratch_index)
+        assert err.value.reason == "truncated"
+        assert err.value.shard == 1
+
+    def test_bad_magic(self, scratch_index):
+        with open(os.path.join(scratch_index, "shard-0000.bin"),
+                  "r+b") as handle:
+            handle.write(b"XXXXXXXX")
+        with pytest.raises(ShardError) as err:
+            ShardIndex.attach(scratch_index)
+        assert err.value.reason == "bad-magic"
+
+    def test_manifest_version_skew(self, scratch_index):
+        manifest_path = os.path.join(scratch_index, MANIFEST_NAME)
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["format_version"] = FORMAT_VERSION + 99
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(ShardError) as err:
+            ShardIndex.attach(scratch_index)
+        assert err.value.reason == "version-skew"
+
+    def test_missing_shard_file(self, scratch_index):
+        os.unlink(os.path.join(scratch_index, "shard-0002.bin"))
+        with pytest.raises(ShardError) as err:
+            ShardIndex.attach(scratch_index)
+        assert err.value.reason == "missing"
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ShardError) as err:
+            ShardIndex.attach(tmp_path / "nowhere")
+        assert err.value.reason == "missing"
+
+    def test_payload_bitflip_caught_at_first_touch(self, scratch_index):
+        path = os.path.join(scratch_index, "shard-0001.bin")
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.seek(size - 16)
+            byte = handle.read(1)
+            handle.seek(size - 16)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        # The bitflip is in a payload section: attach (header checks)
+        # succeeds, lazy per-document verification refuses to serve.
+        index = ShardIndex.attach(scratch_index)
+        try:
+            victims = index.shard_documents(1)
+            with pytest.raises(ShardError) as err:
+                for name in victims:
+                    index.document(name)
+            assert err.value.reason == "checksum"
+            assert err.value.shard == 1
+        finally:
+            index.close()
+
+    def test_skip_and_degrade(self, corpus, scratch_index):
+        with open(os.path.join(scratch_index, "shard-0001.bin"),
+                  "r+b") as handle:
+            handle.truncate(32)
+        index = ShardIndex.attach(scratch_index, on_error="skip")
+        try:
+            assert index.degraded
+            assert sorted(index.failed_shards) == [1]
+            assert index.failed_shards[1].reason == "truncated"
+            assert index.attached_shards == [0, 2]
+            # The healthy shards still serve full documents.
+            for name in index.names():
+                assert_same_document(corpus.document(name),
+                                     index.document(name))
+            stats = index.stats()
+            assert stats["shards_failed"]["1"]["reason"] == "truncated"
+        finally:
+            index.close()
+
+    def test_skip_with_nothing_left_raises(self, scratch_index):
+        for shard in range(SHARDS):
+            with open(os.path.join(scratch_index,
+                                   f"shard-{shard:04d}.bin"),
+                      "r+b") as handle:
+                handle.truncate(32)
+        with pytest.raises(ShardError):
+            ShardIndex.attach(scratch_index, on_error="skip")
+
+    def test_verify_all_reports_failures(self, scratch_index):
+        path = os.path.join(scratch_index, "shard-0000.bin")
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.seek(size - 24)
+            byte = handle.read(1)
+            handle.seek(size - 24)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        index = ShardIndex.attach(scratch_index)
+        try:
+            outcome = index.verify_all()
+            assert outcome["failures"]
+            assert all(f["reason"] == "checksum"
+                       for f in outcome["failures"])
+        finally:
+            index.close()
+
+    def test_shard_error_is_structured_and_picklable(self):
+        error = ShardError("boom", reason="checksum", shard=3,
+                           path="/idx/shard-0003.bin")
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.reason == "checksum"
+        assert clone.shard == 3
+        doc = clone.to_dict()
+        assert doc["error"] == "shard"
+        assert doc["reason"] == "checksum"
+
+
+class TestSharedMemory:
+    def test_spec_round_trip(self, corpus, index_dir):
+        parent = ShardIndex.attach(index_dir)
+        try:
+            spec = parent.attach_spec(shared_memory=True)
+            assert "shm" in spec
+            child = ShardIndex.from_spec(spec)
+            try:
+                name = child.names()[0]
+                assert_same_document(corpus.document(name),
+                                     child.document(name))
+            finally:
+                child.close()
+        finally:
+            parent.close()
+
+
+@pytest.mark.timeout(180)
+class TestBitIdentical:
+    """index_path= results equal the in-memory path, every strategy."""
+
+    def test_inexlike_all_strategies(self, corpus, index_dir):
+        with ParallelExecutor(index_path=index_dir, workers=2,
+                              start_method="fork") as executor:
+            for query in _queries():
+                for strategy in Strategy:
+                    expected = corpus.search(query, strategy=strategy)
+                    actual = executor.search(query, strategy=strategy)
+                    assert_same_result(expected, actual)
+
+    def test_zipf_corpus(self, tmp_path):
+        collection = DocumentCollection(name="zipf")
+        for i in range(6):
+            collection.add(generate_document(DocumentSpec(
+                nodes=150, seed=500 + i, name=f"zipf-{i:02d}")))
+        path = tmp_path / "zipf.idx"
+        build_index({n: collection.document(n)
+                     for n in collection.names()}, path, shards=2)
+        # A Zipf-tail term: present somewhere, small keyword sets.
+        vocabulary = sorted(
+            term
+            for name in collection.names()
+            for term in collection.index(name).vocabulary()
+            if term.startswith("w"))
+        query = Query.of(vocabulary[-1])
+        with ParallelExecutor(index_path=str(path), workers=2,
+                              start_method="fork") as executor:
+            for strategy in Strategy:
+                assert_same_result(
+                    collection.search(query, strategy=strategy),
+                    executor.search(query, strategy=strategy))
+
+    def test_ranked_search_identical(self, corpus, index_dir):
+        sharded = DocumentCollection.open_index(index_dir)
+        try:
+            query = Query.of("needle", "thread")
+            expected = corpus.ranked_search(query, limit=10)
+            actual = sharded.ranked_search(query, limit=10)
+            assert ([(n, s.fragment.nodes, round(s.score, 12))
+                     for n, s in actual]
+                    == [(n, s.fragment.nodes, round(s.score, 12))
+                        for n, s in expected])
+        finally:
+            sharded.close()
+
+
+@pytest.mark.timeout(180)
+class TestRouter:
+    def test_healthy_routing_matches_serial(self, corpus, index_dir):
+        with ShardRouter(index_dir, workers=2,
+                         start_method="fork") as router:
+            for query in _queries():
+                assert_same_result(corpus.search(query),
+                                   router.search(query))
+            report = router.last_report
+            assert not report.degraded
+            assert report.fanout >= 1
+            assert not report.skipped
+
+    def test_breaker_open_skips_shard(self, corpus, index_dir):
+        with ShardRouter(index_dir, workers=2,
+                         start_method="fork") as router:
+            victim = router.index.attached_shards[0]
+            breaker = router.breaker(victim)
+            for _ in range(3):
+                breaker.record_failure()
+            assert breaker.state == "open"
+            result = router.search(Query.of("needle"))
+            report = router.last_report
+            assert report.skipped == {victim: "breaker-open"}
+            assert report.degraded
+            victims = set(router.index.shard_documents(victim))
+            assert not (set(result.per_document) & victims)
+            assert router.degraded
+
+    def test_breaker_recovers_after_reset(self, index_dir):
+        clock = [0.0]
+        with ShardRouter(index_dir, workers=2, start_method="fork",
+                         breaker_reset_s=10.0,
+                         clock=lambda: clock[0]) as router:
+            victim = router.index.attached_shards[0]
+            for _ in range(3):
+                router.breaker(victim).record_failure()
+            router.search(Query.of("needle"))
+            assert victim in router.last_report.skipped
+            clock[0] = 11.0  # past reset: half-open probe readmits
+            router.search(Query.of("needle"))
+            assert victim not in router.last_report.skipped
+            assert router.breaker(victim).state == "closed"
+
+    def test_midrun_checksum_evicts_shard(self, scratch_index):
+        path = os.path.join(scratch_index, "shard-0002.bin")
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.seek(size - 16)
+            byte = handle.read(1)
+            handle.seek(size - 16)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        policy = RetryPolicy(max_retries=0, backoff_s=0.0)
+        with ShardRouter(scratch_index, workers=2, start_method="fork",
+                         resilience=policy) as router:
+            result = router.search(Query.of("needle"))
+            report = router.last_report
+            assert report.skipped.get(2) == "checksum"
+            assert report.reroutes == 1
+            assert report.degraded
+            victims = set(router.index.shard_documents(2))
+            assert not (set(result.per_document) & victims)
+
+    def test_attach_failure_degrades_not_raises(self, scratch_index):
+        with open(os.path.join(scratch_index, "shard-0001.bin"),
+                  "r+b") as handle:
+            handle.truncate(32)
+        with ShardRouter(scratch_index, workers=2,
+                         start_method="fork") as router:
+            router.search(Query.of("needle"))
+            report = router.last_report
+            assert report.skipped.get(1) == "truncated"
+            assert report.documents_skipped > 0
+            stats = router.stats()
+            assert stats["degraded"]
+            assert stats["last_run"]["skipped"]["1"] == "truncated"
+
+    def test_strict_mode_raises(self, scratch_index):
+        with open(os.path.join(scratch_index, "shard-0001.bin"),
+                  "r+b") as handle:
+            handle.truncate(32)
+        with ShardRouter(scratch_index, workers=2, start_method="fork",
+                         strict=True) as router:
+            with pytest.raises(ShardError) as err:
+                router.search(Query.of("needle"))
+            assert err.value.reason == "truncated"
+
+
+@pytest.mark.timeout(180)
+class TestShardedCollection:
+    def test_read_only(self, corpus, index_dir):
+        sharded = DocumentCollection.open_index(index_dir)
+        try:
+            with pytest.raises(DocumentError):
+                sharded.add(corpus.document(corpus.names()[0]),
+                            name="dup")
+        finally:
+            sharded.close()
+
+    def test_introspection(self, corpus, index_dir):
+        sharded = DocumentCollection.open_index(index_dir)
+        try:
+            assert len(sharded) == len(corpus)
+            assert sorted(sharded.names()) == sorted(corpus.names())
+            assert sharded.total_nodes == corpus.total_nodes
+            assert (sharded.document_frequency("needle")
+                    == corpus.document_frequency("needle"))
+            assert not sharded.degraded
+        finally:
+            sharded.close()
+
+    def test_early_exit_probe_skips_materialization(self, index_dir):
+        sharded = DocumentCollection.open_index(index_dir)
+        try:
+            sharded.search(Query.of("nosuchterm"))
+            stats = sharded.shard_stats()
+            assert stats["index"]["documents_materialized"] == 0
+        finally:
+            sharded.close()
+
+    def test_workers_path_uses_router(self, corpus, index_dir):
+        sharded = DocumentCollection.open_index(index_dir)
+        try:
+            query = Query.of("needle", "thread")
+            assert_same_result(corpus.search(query),
+                               sharded.search(query, workers=2))
+            assert sharded.router is not None
+            assert sharded.router.last_report.fanout >= 1
+        finally:
+            sharded.close()
+
+    def test_serial_profiles_carry_shard(self, index_dir):
+        recorder = FlightRecorder()
+        obs = Observability(recorder=recorder)
+        sharded = DocumentCollection.open_index(index_dir)
+        try:
+            sharded.search(Query.of("needle"), obs=obs)
+            profiles = [p for p in recorder.profiles
+                        if p.shard is not None]
+            assert profiles
+            assert {p.shard for p in profiles} <= set(range(SHARDS))
+        finally:
+            sharded.close()
+
+    def test_shard_stats_shape(self, index_dir):
+        sharded = DocumentCollection.open_index(index_dir)
+        try:
+            sharded.search(Query.of("needle"), workers=2)
+            stats = sharded.shard_stats()
+            assert stats["index"]["shards_attached"] == SHARDS
+            assert stats["index"]["bytes_mapped"] > 0
+            assert stats["last_run"]["fanout"] >= 1
+            assert set(stats["breakers"]) == {str(s)
+                                              for s in range(SHARDS)}
+        finally:
+            sharded.close()
+
+
+class TestDeterminism:
+    """Directory enumeration and shard assignment are stable."""
+
+    def test_from_directory_sorted(self, corpus, tmp_path):
+        # Write files in an order unrelated to their names; the loaded
+        # collection must come back name-sorted regardless.
+        names = list(corpus.names())
+        for name in reversed(names):
+            with open(tmp_path / f"{name}.xml", "w",
+                      encoding="utf-8") as handle:
+                handle.write(document_to_xml(corpus.document(name)))
+        loaded = DocumentCollection.from_directory(tmp_path)
+        assert loaded.names() == sorted(loaded.names())
+
+    def test_directory_build_is_reproducible(self, corpus, tmp_path):
+        for name in corpus.names():
+            with open(tmp_path / f"{name}.xml", "w",
+                      encoding="utf-8") as handle:
+                handle.write(document_to_xml(corpus.document(name)))
+        indexes = []
+        for target in ("x", "y"):
+            loaded = DocumentCollection.from_directory(tmp_path)
+            out = tmp_path / f"{target}.idx"
+            build_index(loaded, out, shards=SHARDS)
+            with open(out / MANIFEST_NAME, "rb") as handle:
+                indexes.append(handle.read())
+        assert indexes[0] == indexes[1]

@@ -359,3 +359,76 @@ class TestGuardFlags:
         captured = capsys.readouterr()
         assert code == 0
         assert "size<=4" in captured.out
+
+
+class TestIndexCli:
+    @pytest.fixture()
+    def corpus_dir(self, tmp_path):
+        d = tmp_path / "corpus"
+        d.mkdir()
+        (d / "a.xml").write_text("<a><b>needle thread</b></a>")
+        (d / "b.xml").write_text("<a><b>needle</b><c>thread</c></a>")
+        return str(d)
+
+    def test_build_then_inspect(self, corpus_dir, tmp_path, capsys):
+        from repro.cli import index_main
+        out = str(tmp_path / "idx")
+        assert index_main(["build", corpus_dir, out,
+                           "--shards", "2"]) == 0
+        assert "2 document(s)" in capsys.readouterr().out
+        assert index_main(["inspect", out, "--verify"]) == 0
+        inspected = capsys.readouterr().out
+        assert "shard(s) attached" in inspected
+        assert "OK" in inspected
+
+    def test_inspect_json(self, corpus_dir, tmp_path, capsys):
+        import json as _json
+        from repro.cli import index_main
+        out = str(tmp_path / "idx")
+        index_main(["build", corpus_dir, out])
+        capsys.readouterr()
+        assert index_main(["inspect", out, "--json"]) == 0
+        doc = _json.loads(capsys.readouterr().out)
+        assert doc["documents"] == 2
+
+    def test_inspect_corrupt_shard_exits_nonzero(self, corpus_dir,
+                                                 tmp_path, capsys):
+        from pathlib import Path
+        from repro.cli import index_main
+        out = tmp_path / "idx"
+        index_main(["build", corpus_dir, str(out)])
+        shard = sorted(out.glob("shard-*.bin"))[0]
+        shard.write_bytes(shard.read_bytes()[:16])
+        capsys.readouterr()
+        assert index_main(["inspect", str(out)]) == 1
+
+    def test_build_missing_directory_errors(self, tmp_path, capsys):
+        from repro.cli import index_main
+        code = index_main(["build", str(tmp_path / "nope"),
+                           str(tmp_path / "idx")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_serve_from_index(self, corpus_dir, tmp_path, capsys):
+        from repro.cli import index_main, serve_main
+        out = str(tmp_path / "idx")
+        index_main(["build", corpus_dir, out])
+        capsys.readouterr()
+        code = serve_main(["--index", out],
+                          stdin=iter(["needle thread\n"]))
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "answer(s)" in captured.out
+
+    def test_serve_requires_exactly_one_source(self, corpus_dir,
+                                               book_file):
+        from repro.cli import serve_main
+        with pytest.raises(SystemExit):
+            serve_main([])
+        with pytest.raises(SystemExit):
+            serve_main([book_file, "--index", corpus_dir])
+
+    def test_main_dispatches_index(self, corpus_dir, tmp_path, capsys):
+        assert main(["index", "build", corpus_dir,
+                     str(tmp_path / "idx")]) == 0
+        assert "built" in capsys.readouterr().out
