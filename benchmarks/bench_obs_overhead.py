@@ -225,3 +225,74 @@ def test_recorder_overhead(benchmark, capsys, smoke):
     })
     if not smoke:
         assert ratios["recorder_on"] < 1.25
+
+
+def test_sampler_overhead(benchmark, capsys, smoke):
+    """The time-series sampler must stay within 1.05x of sampler-off.
+
+    The sampler snapshots the registry from its own thread, so the
+    cost it can impose on the query path is registry lock contention
+    plus background CPU.  Two configurations, both with live metrics:
+
+    * ``sampler_off`` — metrics registry only, nothing sampling it;
+    * ``sampler_on``  — a :class:`~repro.obs.MetricsHistory` thread
+                        snapshotting the same registry at 100 Hz — two
+                        orders of magnitude hotter than the 5 s
+                        serving default, so the gate bounds the worst
+                        case, not the configured one.
+    """
+    from repro.index.inverted import InvertedIndex
+    from repro.obs import MetricsHistory
+    from repro.workloads.inexlike import InexSpec, generate_collection
+
+    corpus = generate_collection(InexSpec(articles=1,
+                                          nodes_per_article=2400,
+                                          planted_fraction=1.0,
+                                          seed=23))
+    article = corpus.document(corpus.names()[0])
+    index = InvertedIndex(article)
+    query = Query.of("needle", "thread", predicate=SizeAtMost(64))
+    off_obs = Observability()
+    on_obs = Observability()
+
+    def sampler_off():
+        return evaluate(article, query, strategy=Strategy.PUSHDOWN,
+                        index=index, obs=off_obs)
+
+    def sampler_on():
+        return evaluate(article, query, strategy=Strategy.PUSHDOWN,
+                        index=index, obs=on_obs)
+
+    assert sampler_off().fragments == sampler_on().fragments
+
+    for _ in range(5):
+        sampler_off()
+        sampler_on()
+    with MetricsHistory(on_obs.metrics, interval_s=0.01):
+        bests = _best_ms({"sampler_off": sampler_off,
+                          "sampler_on": sampler_on},
+                         rounds=60 if smoke else ROUNDS)
+    ratios = {label: best / bests["sampler_off"]
+              for label, best in bests.items()}
+    rows = [(label, best, ratios[label])
+            for label, best in bests.items()]
+    benchmark.pedantic(sampler_on, rounds=5 if smoke else 20,
+                       iterations=5)
+
+    report(capsys, "\n".join([
+        banner("OBS: time-series sampler overhead at 100 Hz"),
+        format_table(["configuration", "best ms", "vs sampler_off"],
+                     rows),
+        "",
+        "acceptance bar: sampler_on within 1.05x of sampler_off; the "
+        "sampler buys windowed rates, quantile sketches and burn-rate "
+        "alerting without touching the query hot path."]))
+    _record("sampler_overhead", {
+        "smoke": smoke,
+        "rounds": 60 if smoke else ROUNDS,
+        "sample_interval_s": 0.01,
+        "best_ms": bests,
+        "vs_sampler_off": ratios,
+    })
+    if not smoke:
+        assert ratios["sampler_on"] < 1.25

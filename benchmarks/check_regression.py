@@ -37,6 +37,8 @@ HEADLINES = [
      "recorder_overhead.vs_recorder_off.recorder_on", "lower"),
     ("BENCH_obs.json",
      "recorder_overhead.vs_recorder_off.sampled", "lower"),
+    ("BENCH_obs.json",
+     "sampler_overhead.vs_sampler_off.sampler_on", "lower"),
     ("BENCH_resilience.json", "resilience.armed_overhead", "lower"),
     ("BENCH_guard.json", "guard.checkpoint_overhead", "lower"),
     ("BENCH_guard.json", "guard.abort_factor", "lower"),

@@ -19,6 +19,8 @@ Observability (see ``docs/observability.md``)::
     repro-search corpus-dir/ xquery opt --slow-query-ms 50 --query-log q.jsonl
     repro-search metrics m.json            # summarise a metrics dump
     repro-search serve corpus-dir/ --profile-queries --profile-dump fr.jsonl
+    repro-search serve corpus-dir/ --slo 'p99(repro_query_latency_seconds) < 0.5'
+    repro-search top http://127.0.0.1:9100  # live ops console
     repro-search flightrecorder fr.jsonl   # summarise a recorder dump
     repro-search flightrecorder fr.jsonl --trace q1a2b-000007 --out t.json
 
@@ -54,7 +56,7 @@ from .xmltree.parser import parse_file
 from .xmltree.serializer import fragment_outline, fragment_to_xml
 
 __all__ = ["main", "build_parser", "metrics_main", "serve_main",
-           "flightrecorder_main", "index_main"]
+           "flightrecorder_main", "index_main", "top_main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -285,6 +287,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return flightrecorder_main(argv[1:])
     if argv and argv[0] == "index":
         return index_main(argv[1:])
+    if argv and argv[0] == "top":
+        return top_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if not args.keywords and not args.batch:
@@ -648,6 +652,44 @@ def _index_inspect(args: argparse.Namespace) -> int:
         index.close()
 
 
+def top_main(argv: Optional[Sequence[str]] = None,
+             out=None) -> int:
+    """``repro-search top``: live terminal console over a running server.
+
+    Scrapes ``/varz``, ``/alertz`` and ``/timeseries`` from a
+    ``repro-search serve`` instance and redraws a compact ANSI frame —
+    QPS and latency sparklines, guard-rail and admission state, SLO
+    burn rates, per-shard health — every ``--interval`` seconds until
+    Ctrl-C.
+    """
+    from .obs.console import HttpSource, OpsConsole
+
+    parser = argparse.ArgumentParser(
+        prog="repro-search top",
+        description="Live ops console for a running "
+                    "'repro-search serve' metrics endpoint.")
+    parser.add_argument("url",
+                        help="server base URL, e.g. "
+                             "http://127.0.0.1:9100")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        metavar="S",
+                        help="refresh interval in seconds (default: 2)")
+    parser.add_argument("--frames", type=int, default=None, metavar="N",
+                        help="draw N frames then exit (default: run "
+                             "until Ctrl-C)")
+    parser.add_argument("--width", type=int, default=100, metavar="COLS",
+                        help="frame width in columns (default: 100)")
+    args = parser.parse_args(argv)
+    if args.interval <= 0:
+        parser.error("--interval must be positive")
+    if args.frames is not None and args.frames <= 0:
+        parser.error("--frames must be positive")
+    console = OpsConsole(HttpSource(args.url),
+                         out=out if out is not None else sys.stdout,
+                         interval_s=args.interval, width=args.width)
+    return console.run(frames=args.frames)
+
+
 def serve_main(argv: Optional[Sequence[str]] = None,
                stdin=None) -> int:
     """``repro-search serve``: evaluate stdin queries, serving metrics.
@@ -745,6 +787,32 @@ def serve_main(argv: Optional[Sequence[str]] = None,
                         help="dump the recorder ring as JSONL to PATH "
                              "on exit, SIGTERM or crash; inspect with "
                              "'repro-search flightrecorder PATH'")
+    parser.add_argument("--sample-interval", type=float, default=5.0,
+                        metavar="S", dest="sample_interval",
+                        help="metrics sampler interval in seconds, "
+                             "feeding /timeseries ring buffers and SLO "
+                             "evaluation; 0 disables the sampler "
+                             "(default: 5)")
+    parser.add_argument("--history-capacity", type=int, default=720,
+                        metavar="N", dest="history_capacity",
+                        help="retained samples per time series "
+                             "(default: 720 = 1h at 5s)")
+    parser.add_argument("--slo", action="append", default=[],
+                        metavar="SPEC", dest="slo_specs",
+                        help="declarative SLO evaluated as fast/slow "
+                             "burn rates, e.g. "
+                             "'p99(repro_query_latency_seconds) < 0.5' "
+                             "or 'errors:ratio(repro_exec_chunk_retries"
+                             "_total/repro_pool_chunks_total) < 0.05"
+                             ";fast=60;slow=300'; repeatable; critical "
+                             "alerts flip /healthz to degraded "
+                             "(served on /alertz)")
+    parser.add_argument("--slo-feedback", action="store_true",
+                        dest="slo_feedback",
+                        help="let critical burn-rate alerts act: "
+                             "tighten the admission cost ceiling and "
+                             "pre-trip suspect shard breakers until "
+                             "the alert clears")
     args = parser.parse_args(argv)
     if (args.file is None) == (args.index_path is None):
         parser.error("exactly one of FILE or --index is required")
@@ -803,13 +871,39 @@ def serve_main(argv: Optional[Sequence[str]] = None,
         admission=admission, strategy=strategy,
         kernel=args.kernel, workers=args.workers,
         resilience=resilience)
+    history = slo = None
+    if args.sample_interval > 0:
+        from .obs import MetricsHistory, SLOMonitor, parse_slo
+        history = MetricsHistory(obs.metrics,
+                                 interval_s=args.sample_interval,
+                                 capacity=args.history_capacity)
+        if args.slo_specs:
+            try:
+                objectives = [parse_slo(spec) for spec in args.slo_specs]
+                slo = SLOMonitor(history, objectives,
+                                 metrics=obs.metrics)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+    elif args.slo_specs:
+        print("error: --slo requires the sampler "
+              "(--sample-interval > 0)", file=sys.stderr)
+        return 2
     server = MetricsServer(obs, host=args.host, port=args.port,
                            collection=collection,
-                           guardrails=guardrails).start()
+                           guardrails=guardrails,
+                           history=history, slo=slo,
+                           slo_feedback=args.slo_feedback).start()
     skip_note = (f" ({len(skipped)} file(s) skipped)" if skipped else "")
     print(f"metrics: {server.url}/metrics  "
           f"(also /healthz /varz /slow, POST /query); queries from "
           f"stdin, one per line{skip_note}", file=sys.stderr)
+    if history is not None:
+        slo_note = (f"; {len(slo.objectives)} SLO(s) on /alertz"
+                    if slo is not None else "")
+        print(f"timeseries: sampling every {args.sample_interval:g}s "
+              f"on /timeseries{slo_note} — watch live with "
+              f"'repro-search top {server.url}'", file=sys.stderr)
 
     def reject(reason: str, detail: dict) -> None:
         """Report one bad line and keep serving."""

@@ -186,7 +186,8 @@ class ShardedDocumentCollection(DocumentCollection):
         if self._executor is not None:
             return self._executor.stats()
         return {"index": self.index_handle.stats(), "breakers": {},
-                "last_run": None, "degraded": self.index_handle.degraded}
+                "history": {}, "last_run": None,
+                "degraded": self.index_handle.degraded}
 
     def close(self) -> None:
         """Shut the router down and detach owned shard handles."""

@@ -103,6 +103,17 @@ class CircuitBreaker:
         self._opened_at = self._clock()
         self.trips += 1
 
+    def trip(self) -> bool:
+        """Force the breaker open immediately, regardless of the
+        failure count — the SLO feedback path pre-trips suspect
+        breakers when a burn-rate alert goes critical.  Returns
+        ``True`` if this call changed the state."""
+        with self._lock:
+            if self._state == OPEN:
+                return False
+            self._trip()
+            return True
+
     # -- introspection ------------------------------------------------
 
     @property

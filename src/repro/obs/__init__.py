@@ -31,12 +31,17 @@ from __future__ import annotations
 from typing import Mapping, Optional, Sequence
 
 from .delta import DELTAS_MERGED, ObsDelta, capture_delta, merge_delta
+from .history import (DEFAULT_QUANTILES, HISTORY_SAMPLES, HISTORY_SERIES,
+                      MetricsHistory, QuantileSketch)
 from .metrics import (COST_ERROR_BUCKETS, DEFAULT_BUCKETS,
                       LATENCY_BUCKETS, LATENCY_LOG_BUCKETS, NULL_METRICS,
                       RATIO_BUCKETS, SIZE_LOG_BUCKETS, Counter, Gauge,
                       Histogram, MetricsRegistry, NullMetrics,
                       exponential_buckets)
 from .querylog import QueryLog, QueryRecord
+from .slo import (ALERT_STATE_CODES, CRITICAL, FEEDBACK_TIGHTEN_ADMISSION,
+                  FEEDBACK_TRIP_BREAKERS, OK, SLO_BURN_RATE, SLO_STATE,
+                  WARNING, AlertState, Objective, SLOMonitor, parse_slo)
 from .recorder import (COST_ACTUAL, COST_CALIBRATION, COST_ERROR,
                        COST_PREDICTED, PROFILES_EVICTED,
                        PROFILES_RECORDED, RECORDER_LATENCY,
@@ -59,6 +64,12 @@ __all__ = [
     "PROFILES_RECORDED", "PROFILES_EVICTED", "TRACES_RETAINED",
     "TRACES_DROPPED",
     "ObsDelta", "capture_delta", "merge_delta", "DELTAS_MERGED",
+    "MetricsHistory", "QuantileSketch", "DEFAULT_QUANTILES",
+    "HISTORY_SAMPLES", "HISTORY_SERIES",
+    "SLOMonitor", "Objective", "AlertState", "parse_slo",
+    "OK", "WARNING", "CRITICAL", "ALERT_STATE_CODES",
+    "SLO_STATE", "SLO_BURN_RATE",
+    "FEEDBACK_TIGHTEN_ADMISSION", "FEEDBACK_TRIP_BREAKERS",
 ]
 
 # Well-known metric names recorded by Observability.record_query().
@@ -125,6 +136,12 @@ SHARD_DOCS_MATERIALIZED = "repro_shard_documents_materialized_total"
 #: Histogram: distinct shards touched per routed query.
 SHARD_ROUTER_FANOUT = "repro_shard_router_fanout"
 SHARD_ROUTER_SKIPPED = "repro_shard_router_skipped_total"
+#: Counter (labelled ``shard=``, ``reason=``): shards excluded from a
+#: routed run — breaker-open, attach-failed, or mid-run eviction.
+SHARD_ROUTER_EXCLUSIONS = "repro_shard_router_exclusions_total"
+#: Counter (labelled ``shard=``): mid-run evictions whose documents
+#: were rerouted to the serial fallback.
+SHARD_ROUTER_REROUTES = "repro_shard_router_reroutes_total"
 #: Gauge (labelled ``shard=``): per-shard breaker state
 #: (0 closed, 1 half-open, 2 open), mirroring GUARD_BREAKER_STATE.
 SHARD_BREAKER_STATE = "repro_shard_breaker_state"

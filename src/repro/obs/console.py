@@ -1,0 +1,347 @@
+"""``repro-search top`` — a live ANSI terminal console over the
+serving stack (``repro.obs.console``).
+
+Renders one compact frame per refresh: health and uptime, QPS and
+p50/p99 latency sparklines from the ``/timeseries`` ring buffers,
+guard-rail state (queue, in-flight, breaker, admission scale), per-SLO
+burn rates from ``/alertz``, and per-shard router health from the
+``/varz`` shards section.  HTML-free and stdlib-only: the "dashboard"
+is a terminal.
+
+Two data sources:
+
+* :class:`HttpSource` scrapes a running
+  :class:`~repro.obs.server.MetricsServer` (``repro-search top URL``),
+  tolerating missing endpoints — a server without a sampler or SLOs
+  still renders, with those panes marked off;
+* :class:`LocalSource` reads an in-process server handle directly
+  (no socket), for embedding and for deterministic tests.
+
+:class:`OpsConsole` is deliberately split render-from-fetch:
+``render(data)`` is a pure string function over one snapshot dict, so
+tests assert on frames without a terminal or a clock.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Callable, Mapping, Optional, Sequence, TextIO
+
+from . import QUERIES_TOTAL, QUERY_LATENCY
+
+__all__ = ["sparkline", "HttpSource", "LocalSource", "OpsConsole"]
+
+#: Eight-level block characters, lowest to highest.
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+#: ANSI: clear screen and home the cursor (one frame replaces the last).
+CLEAR = "\x1b[2J\x1b[H"
+
+_STATE_MARKS = {"ok": "·", "warning": "!", "critical": "!!"}
+
+
+def sparkline(values: Sequence[Optional[float]], width: int = 32) -> str:
+    """Render the trailing ``width`` values as a block-character strip.
+
+    Scales to the window's own min/max (a flat series renders as a
+    low line); ``None`` gaps render as spaces.  Returns ``""`` for an
+    empty series.
+    """
+    tail = list(values)[-width:]
+    present = [v for v in tail if v is not None]
+    if not present:
+        return ""
+    lo, hi = min(present), max(present)
+    span = hi - lo
+    chars = []
+    for value in tail:
+        if value is None:
+            chars.append(" ")
+        elif span <= 0:
+            chars.append(SPARK_CHARS[0])
+        else:
+            index = int((value - lo) / span * (len(SPARK_CHARS) - 1))
+            chars.append(SPARK_CHARS[index])
+    return "".join(chars)
+
+
+def _histogram_columns(series_doc: Optional[Mapping]
+                       ) -> dict[str, list[Optional[float]]]:
+    """Per-quantile point columns of one ``/timeseries`` histogram
+    series document (``{"p50": [...], "p99": [...]}``)."""
+    out: dict[str, list[Optional[float]]] = {}
+    for series in (series_doc or {}).get("series") or []:
+        keys = series.get("quantile_keys") or []
+        for offset, key in enumerate(keys):
+            column = out.setdefault(key, [])
+            for point in series.get("points") or []:
+                # histogram points are [ts, count, q1, q2, ...]
+                column.append(point[2 + offset]
+                              if len(point) > 2 + offset else None)
+    return out
+
+
+def _counter_rates(series_doc: Optional[Mapping]) -> list[float]:
+    """Per-point rate column of one counter series document."""
+    rates: list[float] = []
+    for series in (series_doc or {}).get("series") or []:
+        for index, point in enumerate(series.get("points") or []):
+            # counter points are [ts, delta, rate]
+            value = point[2] if len(point) > 2 else 0.0
+            if index < len(rates):
+                rates[index] += value
+            else:
+                rates.append(value)
+    return rates
+
+
+class HttpSource:
+    """Scrape one running metrics server over HTTP.
+
+    Endpoints that are missing or erroring yield ``None`` sections
+    rather than exceptions: the console keeps rendering whatever the
+    server does serve.
+    """
+
+    def __init__(self, url: str, timeout_s: float = 2.0) -> None:
+        self.url = url.rstrip("/")
+        if "://" not in self.url:
+            self.url = "http://" + self.url
+        self.timeout_s = timeout_s
+
+    def _get_json(self, path: str) -> Optional[dict]:
+        try:
+            with urllib.request.urlopen(self.url + path,
+                                        timeout=self.timeout_s) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except (urllib.error.URLError, OSError, ValueError):
+            return None
+
+    def fetch(self) -> dict:
+        varz = self._get_json("/varz")
+        alerts = self._get_json("/alertz")
+        qps = self._get_json(f"/timeseries?name={QUERIES_TOTAL}")
+        latency = self._get_json(f"/timeseries?name={QUERY_LATENCY}")
+        return {"target": self.url, "varz": varz, "alerts": alerts,
+                "qps": _counter_rates(qps),
+                "latency": _histogram_columns(latency)}
+
+
+class LocalSource:
+    """Read an in-process :class:`~repro.obs.server.MetricsServer`
+    (no socket round-trips)."""
+
+    def __init__(self, server) -> None:
+        self._server = server
+
+    def fetch(self) -> dict:
+        server = self._server
+        varz = server.varz() if server.running else None
+        history = server.history
+        slo = server.slo
+        qps = latency = None
+        if history is not None:
+            qps = history.timeseries_doc(QUERIES_TOTAL)
+            latency = history.timeseries_doc(QUERY_LATENCY)
+        return {"target": (server.url if server.running
+                           else "in-process"),
+                "varz": varz,
+                "alerts": slo.snapshot() if slo is not None else None,
+                "qps": _counter_rates(qps),
+                "latency": _histogram_columns(latency)}
+
+
+def _ms(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value * 1000:.1f}"
+
+
+def _last_present(values: Sequence[Optional[float]]) -> Optional[float]:
+    """Most recent non-``None`` value (idle intervals have no
+    quantiles; the console shows the last busy one)."""
+    for value in reversed(list(values)):
+        if value is not None:
+            return value
+    return None
+
+
+def _burn(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.2f}"
+
+
+class OpsConsole:
+    """Render fetched snapshots as terminal frames.
+
+    ``run()`` refreshes every ``interval_s`` seconds (ANSI
+    clear-screen between frames when writing to a TTY, plain
+    append-frames otherwise) until interrupted or ``frames`` frames
+    have been drawn.
+    """
+
+    def __init__(self, source, out: TextIO = sys.stdout,
+                 interval_s: float = 2.0, width: int = 80,
+                 clock: Callable[[], float] = time.time,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        self.source = source
+        self.out = out
+        self.interval_s = interval_s
+        self.width = width
+        self._clock = clock
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    # Pure rendering
+    # ------------------------------------------------------------------
+
+    def render(self, data: Mapping) -> str:
+        """One frame for one snapshot; pure, no I/O."""
+        varz = data.get("varz") or {}
+        alerts = data.get("alerts")
+        lines = [self._header(data, varz, alerts)]
+        lines.append(self._queries_line(varz, data.get("qps") or []))
+        lines.append(self._latency_line(data.get("latency") or {}))
+        guard = varz.get("guard")
+        if guard:
+            lines.append(self._guard_line(guard))
+        lines.extend(self._slo_lines(alerts))
+        lines.extend(self._shard_lines(varz.get("shards")))
+        recorder = varz.get("flight_recorder")
+        if recorder:
+            lines.append(
+                f"recorder  profiles {recorder.get('profiles', 0)}"
+                f"  traces {recorder.get('traces', 0)}"
+                f"  evicted {recorder.get('evicted', 0)}")
+        return "\n".join(line[:self.width] for line in lines if line)
+
+    def _header(self, data: Mapping, varz: Mapping,
+                alerts: Optional[Mapping]) -> str:
+        uptime = varz.get("uptime_seconds")
+        guard = varz.get("guard") or {}
+        if guard.get("draining"):
+            health = "DRAINING"
+        elif (alerts or {}).get("state") == "critical":
+            health = "CRITICAL"
+        elif varz.get("degraded"):
+            health = "DEGRADED"
+        elif not varz:
+            health = "UNREACHABLE"
+        else:
+            health = "ok"
+        parts = ["repro-search top", str(data.get("target", ""))]
+        if uptime is not None:
+            parts.append(f"up {uptime:.0f}s")
+        parts.append(f"health {health}")
+        return "  ·  ".join(part for part in parts if part)
+
+    def _queries_line(self, varz: Mapping, qps: Sequence[float]) -> str:
+        total = None
+        for record in (varz.get("metrics") or {}).get("metrics", ()):
+            if record.get("name") == QUERIES_TOTAL \
+                    and not record.get("labels"):
+                total = record.get("value")
+        now = qps[-1] if qps else None
+        strip = sparkline(qps, width=max(8, self.width - 40))
+        parts = ["queries"]
+        parts.append(f"total {total:g}" if total is not None
+                     else "total -")
+        parts.append(f"qps {now:.1f}" if now is not None else "qps -")
+        if strip:
+            parts.append(strip)
+        return "  ".join(parts)
+
+    def _latency_line(self, latency: Mapping) -> str:
+        p50 = latency.get("p50") or []
+        p99 = latency.get("p99") or []
+        strip_width = max(8, (self.width - 44) // 2)
+        parts = ["latency"]
+        parts.append(f"p50 {_ms(_last_present(p50))}ms "
+                     f"{sparkline(p50, strip_width)}".rstrip())
+        parts.append(f"p99 {_ms(_last_present(p99))}ms "
+                     f"{sparkline(p99, strip_width)}".rstrip())
+        return "  ".join(parts)
+
+    def _guard_line(self, guard: Mapping) -> str:
+        breaker = (guard.get("breaker") or {}).get("state", "-")
+        scale = guard.get("admission_scale", 1.0)
+        line = (f"guard     queued {guard.get('queued', 0)}"
+                f"/{guard.get('max_queue', '-')}"
+                f"  in-flight {guard.get('in_flight', 0)}"
+                f"/{guard.get('max_concurrency', '-')}"
+                f"  breaker {breaker}"
+                f"  admission x{scale:.2f}")
+        if guard.get("tightenings"):
+            line += f" (tightened {guard['tightenings']}x)"
+        return line
+
+    def _slo_lines(self, alerts: Optional[Mapping]) -> list[str]:
+        if not alerts:
+            return []
+        if not alerts.get("enabled", True):
+            return ["slo       (none configured)"]
+        lines = []
+        for alert in alerts.get("alerts", ()):
+            mark = _STATE_MARKS.get(alert.get("state"), "?")
+            lines.append(
+                f"slo {mark:<2} [{alert.get('state', '?'):>8}] "
+                f"{alert.get('name', '?')}"
+                f"  fast {_burn(alert.get('fast_burn'))}"
+                f"  slow {_burn(alert.get('slow_burn'))}"
+                f"  ({alert.get('expr', '')})")
+        return lines
+
+    def _shard_lines(self, shards: Optional[Mapping]) -> list[str]:
+        if not shards:
+            return []
+        breakers = shards.get("breakers") or {}
+        history = shards.get("history") or {}
+        if not breakers and not history:
+            return []
+        lines = ["shards    #  breaker    runs failed excl rerouted"
+                 "  last-exclusion"]
+        for shard in sorted(set(breakers) | set(history), key=int):
+            breaker_state = (breakers.get(shard) or {}).get(
+                "state", "-")
+            entry = history.get(shard) or {}
+            sick = (breaker_state != "closed"
+                    or entry.get("failed_runs")
+                    or entry.get("excluded_runs"))
+            lines.append(
+                f"  {'!' if sick else ' '}      {shard:>2}"
+                f"  {breaker_state:<9}"
+                f" {entry.get('runs', 0):>5}"
+                f" {entry.get('failed_runs', 0):>6}"
+                f" {entry.get('excluded_runs', 0):>4}"
+                f" {entry.get('reroutes', 0):>8}"
+                f"  {entry.get('last_exclusion') or '-'}")
+        return lines
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def frame(self) -> str:
+        """Fetch one snapshot and render it."""
+        return self.render(self.source.fetch())
+
+    def run(self, frames: Optional[int] = None) -> int:
+        """Refresh until ``frames`` frames (or Ctrl-C).  Returns 0."""
+        use_ansi = hasattr(self.out, "isatty") and self.out.isatty()
+        drawn = 0
+        try:
+            while frames is None or drawn < frames:
+                text = self.frame()
+                if use_ansi:
+                    self.out.write(CLEAR + text + "\n")
+                else:
+                    self.out.write(text + "\n\n")
+                self.out.flush()
+                drawn += 1
+                if frames is not None and drawn >= frames:
+                    break
+                self._sleep(self.interval_s)
+        except KeyboardInterrupt:
+            pass
+        return 0

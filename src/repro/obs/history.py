@@ -1,0 +1,758 @@
+"""Metrics time series: a background sampler over one registry
+(``repro.obs.history``).
+
+The metrics registry answers "what is true *now*"; nothing in the
+point-in-time layer answers "is p99 degrading over the last five
+minutes?".  :class:`MetricsHistory` closes that gap with a bounded
+temporal store:
+
+* a **sampler** (daemon thread, or :meth:`~MetricsHistory.sample_once`
+  driven by tests) snapshots the registry every ``interval_s`` seconds
+  and folds the *movement* since the previous sample into per-series
+  ring buffers — memory is O(series × capacity) by construction, never
+  O(traffic);
+* **counters** are stored as per-interval deltas (and derived rates),
+  so a trailing-window QPS is one sum, and process restarts (value
+  going backwards) are detected and treated as a fresh baseline;
+* **gauges** are stored as last-value samples;
+* **histograms** are folded into mergeable :class:`QuantileSketch`
+  summaries — one small sketch per interval — so p50/p95/p99 over an
+  *arbitrary trailing window* is a merge of the window's sketches, with
+  no raw samples retained anywhere.
+
+Consumers: the ``GET /timeseries`` endpoint and the ``repro-search
+top`` console (:mod:`repro.obs.console`) read series for dashboards;
+the SLO engine (:mod:`repro.obs.slo`) registers a sampler listener and
+evaluates burn rates after every sample.
+
+Thread safety: the sampler snapshots the registry through its
+(lock-guarded) ``to_json`` export, then folds under one history lock;
+readers (``window`` / ``series`` / ``timeseries_doc``) copy under the
+same lock, so HTTP server threads can render series while the sampler
+folds and query threads keep writing the registry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from .metrics import MetricsRegistry
+
+__all__ = ["QuantileSketch", "MetricsHistory",
+           "HISTORY_SAMPLES", "HISTORY_SERIES",
+           "DEFAULT_QUANTILES"]
+
+#: Counter: samples the history sampler has folded (self-reported into
+#: the sampled registry, so the sampler's own cadence is a series too).
+HISTORY_SAMPLES = "repro_history_samples_total"
+#: Gauge: time series currently retained by the history store.
+HISTORY_SERIES = "repro_history_series"
+
+#: Quantile points reported by default for histogram series.
+DEFAULT_QUANTILES: tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+class QuantileSketch:
+    """A mergeable weighted quantile summary (GK-style compaction).
+
+    The summary is a sorted list of ``(value, exact, spread, delta)``
+    entries — the Greenwald–Khanna ``g``/``Δ`` bookkeeping, split so
+    point masses stay recognisable: ``exact`` counts observations at
+    precisely the representative value, ``spread`` counts folded
+    observations strictly below it, and ``delta`` bounds the rank
+    ambiguity the entry inherited from its surroundings (mass of
+    *later* entries that may lie at or below this value).  Weights
+    (``exact + spread``) always sum to ``n``, and each entry
+    guarantees ``rank(value) ∈ [rmin, rmin + delta]`` with ``rmin``
+    the prefix weight sum — the invariant every operation preserves:
+
+    * **insert** gives a fresh value ``delta = spread + delta`` of its
+      right neighbour (the neighbour's below-value mass may sit on
+      either side of the newcomer);
+    * **fold** (compress) moves the left entry's whole weight into the
+      right entry's ``spread``, and is admitted only while the merged
+      ``spread + delta`` stays within ``epsilon * n``;
+    * **merge** interleaves two summaries, coalescing equal values
+      (deltas add) and charging each unmatched entry the other
+      summary's next-greater ``spread + delta`` — the classic
+      mergeable-GK penalty, so merged bounds add instead of
+      compounding.
+
+    Bucket-fed sketches (:meth:`observe_buckets`, the
+    :class:`MetricsHistory` path) have a *small, fixed* value domain —
+    one representative per histogram bucket — so duplicate coalescing
+    keeps them exact (``rank_error_bound == epsilon`` with zero spent
+    budget) and quantile accuracy is dominated by bucket resolution,
+    as with PromQL's ``histogram_quantile``.  High-cardinality raw
+    streams may exhaust the budget before reaching the memory cap; the
+    sketch then enforces the cap anyway and *reports* the looser bound
+    through :attr:`rank_error_bound` rather than pretending to an
+    ``epsilon`` it no longer meets.
+
+    When fed from histogram bucket deltas (:meth:`observe_buckets`)
+    the inserted values are bucket representatives — the midpoint of
+    each finite bucket and the last finite bound for the ``+Inf``
+    tail — so reported quantiles are additionally bounded by the
+    histogram's bucket resolution, exactly like PromQL's
+    ``histogram_quantile``.
+    """
+
+    __slots__ = ("epsilon", "_entries", "_count")
+
+    def __init__(self, epsilon: float = 0.005) -> None:
+        if not 0.0 < epsilon < 0.5:
+            raise ValueError("epsilon must be in (0, 0.5)")
+        self.epsilon = epsilon
+        # sorted [value, exact, spread, delta]; exact = mass at the
+        # value, spread = folded mass strictly below it, delta = rank
+        # ambiguity inherited from neighbouring entries.
+        self._entries: list[list[float]] = []
+        self._count: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+
+    def insert(self, value: float, weight: float = 1.0) -> None:
+        """Record ``weight`` observations of exactly ``value``."""
+        if weight <= 0:
+            return
+        value = float(value)
+        # Coalesce exact duplicates in place (common when folding
+        # bucketised inputs: every interval contributes the same
+        # representative values); a coalesced point mass adds no rank
+        # ambiguity, which is what keeps bucket-fed sketches exact.
+        lo, hi = 0, len(self._entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._entries[mid][0] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(self._entries) and self._entries[lo][0] == value:
+            self._entries[lo][1] += weight
+        else:
+            # The right neighbour's below-value mass may sit on
+            # either side of the newcomer: inherit that ambiguity.
+            if lo < len(self._entries):
+                neighbour = self._entries[lo]
+                delta = neighbour[2] + neighbour[3]
+            else:
+                delta = 0.0
+            self._entries.insert(
+                lo, [value, float(weight), 0.0, delta])
+        self._count += weight
+        # Amortise: let the summary grow to 2x capacity between
+        # compress passes, so a saturated sketch pays O(capacity) per
+        # O(capacity) inserts, not per insert.
+        if len(self._entries) > self._capacity() * 2:
+            self.compress()
+
+    def observe_buckets(self, bounds: Sequence[float],
+                        counts: Sequence[float]) -> None:
+        """Fold one histogram *delta*: per-bucket counts since the last
+        sample, ``counts`` one longer than ``bounds`` (the ``+Inf``
+        tail last)."""
+        previous = 0.0
+        for bound, count in zip(bounds, counts):
+            if count > 0:
+                lower = previous if previous < bound else 0.0
+                self.insert((lower + bound) / 2.0, count)
+            previous = bound
+        tail = counts[len(bounds)] if len(counts) > len(bounds) else 0
+        if tail > 0:
+            # The open tail has no upper bound; the last finite bound
+            # is the only honest representative (an underestimate,
+            # flagged in the docs).
+            self.insert(previous if bounds else 0.0, tail)
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold ``other`` into this sketch.
+
+        A mergeable-GK interleave: entries with equal values coalesce
+        (exact/spread/delta all add — rank brackets are additive), and
+        an unmatched entry is charged the *other* summary's
+        next-greater ``spread + delta`` (that mass may lie at or below
+        the entry's value).  Bucket-fed sketches share one value
+        domain, so every entry coalesces and the union stays exact;
+        heterogeneous raw streams add their bounds instead of
+        silently compounding them.
+        """
+        a, b = self._entries, other._entries
+        out: list[list[float]] = []
+        i = j = 0
+        while i < len(a) or j < len(b):
+            if i < len(a) and j < len(b) and a[i][0] == b[j][0]:
+                out.append([a[i][0], a[i][1] + b[j][1],
+                            a[i][2] + b[j][2], a[i][3] + b[j][3]])
+                i += 1
+                j += 1
+            elif j >= len(b) or (i < len(a) and a[i][0] < b[j][0]):
+                penalty = (b[j][2] + b[j][3]) if j < len(b) else 0.0
+                out.append([a[i][0], a[i][1], a[i][2],
+                            a[i][3] + penalty])
+                i += 1
+            else:
+                penalty = (a[i][2] + a[i][3]) if i < len(a) else 0.0
+                out.append([b[j][0], b[j][1], b[j][2],
+                            b[j][3] + penalty])
+                j += 1
+        self._entries = out
+        self._count += other._count
+        if len(self._entries) > self._capacity() * 2:
+            self.compress()
+        return self
+
+    @classmethod
+    def merged(cls, sketches: Iterable["QuantileSketch"],
+               epsilon: Optional[float] = None) -> "QuantileSketch":
+        """A fresh sketch holding the union of ``sketches``."""
+        sketches = list(sketches)
+        if epsilon is None:
+            epsilon = min((s.epsilon for s in sketches), default=0.005)
+        out = cls(epsilon=epsilon)
+        for sketch in sketches:
+            out.merge(sketch)
+        return out
+
+    # ------------------------------------------------------------------
+    # Compression
+    # ------------------------------------------------------------------
+
+    def _capacity(self) -> int:
+        return max(8, int(3.0 / self.epsilon))
+
+    def compress(self) -> None:
+        """Collapse adjacent entries while each merged entry's rank
+        ambiguity stays within the ``epsilon * n`` budget — the
+        Greenwald–Khanna merge rule: fold left into right only while
+        ``weight_left + spread_right + delta_right <= epsilon * n``.
+        If the memory cap is still exceeded after the budgeted pass,
+        keep collapsing the cheapest neighbours and let
+        :attr:`rank_error_bound` carry the honest, looser figure.
+
+        Folding keeps the right entry's value (a conservative,
+        Prometheus-style upper bound): the left entry's whole weight
+        becomes the right entry's below-value ``spread``.
+        """
+        if len(self._entries) <= 2:
+            return
+        budget = self.epsilon * self._count
+        self._fold_pass(lambda ambiguity: ambiguity <= budget,
+                        chain=True)
+        need = len(self._entries) - self._capacity()
+        if need > 0:
+            # Memory floor: fold exactly the surplus, picking the
+            # pairs whose merged ambiguity is smallest.
+            entries = self._entries
+            costs = sorted(entries[i][1] + entries[i][2]
+                           + entries[i + 1][2] + entries[i + 1][3]
+                           for i in range(1, len(entries) - 1))
+            threshold = costs[min(need, len(costs)) - 1]
+            self._fold_pass(lambda ambiguity: ambiguity <= threshold,
+                            chain=False, limit=need)
+
+    def _fold_pass(self, admit: Callable[[float], bool],
+                   chain: bool, limit: Optional[int] = None) -> None:
+        """One left-to-right fold sweep; ``admit(ambiguity)`` decides
+        each fold, where ``ambiguity`` is the merged entry's resulting
+        ``spread + delta`` (left weight + right spread + right delta).
+        The first entry is never folded away — it anchors the
+        summary's minimum.  Without ``chain`` a freshly merged entry
+        cannot immediately receive another fold, so a sweep collapses
+        pairs, not whole runs."""
+        entries = self._entries
+        out: list[list[float]] = [entries[0][:]]
+        folds = 0
+        just_merged = False
+        for value, exact, spread, delta in entries[1:]:
+            left_weight = out[-1][1] + out[-1][2]
+            ambiguity = left_weight + spread + delta
+            allowed = (len(out) > 1 and (chain or not just_merged)
+                       and (limit is None or folds < limit))
+            if allowed and admit(ambiguity):
+                out.pop()
+                out.append([value, exact, spread + left_weight,
+                            delta])
+                folds += 1
+                just_merged = True
+            else:
+                out.append([value, exact, spread, delta])
+                just_merged = False
+        self._entries = out
+
+    @property
+    def rank_error_bound(self) -> float:
+        """The fraction of ``n`` by which a reported quantile's rank
+        may be off.
+
+        At any entry the rank uncertainty is its below-value
+        ``spread`` plus its inherited ``delta``; the bound is the
+        worst entry's total, floored at ``epsilon``.  Point masses
+        (``spread == delta == 0``) contribute nothing — a quantile
+        landing inside an atom's rank span returns the atom's exact
+        value — which is why bucket-fed sketches always report
+        ``epsilon``.  High-cardinality raw streams report the honest,
+        looser figure if the memory cap forced folds past the
+        budget."""
+        if not self._count or not self._entries:
+            return self.epsilon
+        worst = max(entry[2] + entry[3] for entry in self._entries)
+        return max(self.epsilon, worst / self._count)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def count(self) -> float:
+        return self._count
+
+    def query(self, q: float) -> Optional[float]:
+        """The ``q``-quantile (``0 <= q <= 1``), or ``None`` if empty.
+
+        Interpolates linearly on cumulative weight between adjacent
+        summary entries, so sparkline series move smoothly instead of
+        stepping bucket to bucket.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self._entries:
+            return None
+        target = q * self._count
+        cumulative = 0.0
+        previous_value = self._entries[0][0]
+        previous_cum = 0.0
+        for value, exact, spread, delta in self._entries:
+            cumulative += exact + spread
+            # First entry whose rank bracket [rmin, rmin + delta]
+            # reaches the target.
+            if cumulative + delta >= target:
+                if cumulative == previous_cum:
+                    return value
+                span = value - previous_value
+                fraction = (target - previous_cum) / (
+                    cumulative - previous_cum)
+                return previous_value + span * max(0.0, min(1.0, fraction))
+            previous_value = value
+            previous_cum = cumulative
+        return self._entries[-1][0]
+
+    def quantiles(self, qs: Sequence[float] = DEFAULT_QUANTILES
+                  ) -> dict[str, Optional[float]]:
+        """``{"p50": ..., "p95": ...}`` for each requested point."""
+        return {_quantile_key(q): self.query(q) for q in qs}
+
+    # ------------------------------------------------------------------
+    # Serialisation (the /timeseries JSON path)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"epsilon": self.epsilon, "count": self._count,
+                "entries": [list(entry) for entry in self._entries]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "QuantileSketch":
+        """Rebuild from :meth:`to_dict` output.
+
+        A valid dump already satisfies the rank-bracket invariant, so
+        entries are adopted verbatim (re-inserting them would charge
+        the neighbour penalty twice).  Two-element legacy entries are
+        treated as point masses.
+        """
+        sketch = cls(epsilon=float(data.get("epsilon", 0.005)))
+        entries = []
+        for entry in data.get("entries", ()):
+            value, exact = float(entry[0]), float(entry[1])
+            spread = float(entry[2]) if len(entry) > 2 else 0.0
+            delta = float(entry[3]) if len(entry) > 3 else spread
+            entries.append([value, exact, spread, delta])
+        entries.sort(key=lambda e: e[0])
+        sketch._entries = entries
+        sketch._count = sum(e[1] + e[2] for e in entries)
+        return sketch
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (f"QuantileSketch(n={self._count:g}, "
+                f"entries={len(self._entries)}, "
+                f"epsilon={self.epsilon})")
+
+
+def _quantile_key(q: float) -> str:
+    scaled = q * 100.0
+    if scaled == int(scaled):
+        return f"p{int(scaled)}"
+    return f"p{scaled:g}".replace(".", "_")
+
+
+class _Series:
+    """One named+labelled ring of samples."""
+
+    __slots__ = ("name", "labels", "kind", "points")
+
+    def __init__(self, name: str, labels: tuple, kind: str,
+                 capacity: int) -> None:
+        self.name = name
+        self.labels = labels
+        self.kind = kind
+        # counter: (ts, delta, rate); gauge: (ts, value);
+        # histogram: (ts, sketch, count_delta, sum_delta)
+        self.points: deque = deque(maxlen=capacity)
+
+
+class MetricsHistory:
+    """Bounded time-series store fed by sampling one registry.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.obs.MetricsRegistry` to sample.
+    interval_s:
+        Sampling cadence of the background thread (and the assumed
+        spacing when deriving rates for the very first interval).
+    capacity:
+        Points retained per series (ring buffer).  The default — 720
+        points at 5 s — keeps one hour of history.
+    epsilon:
+        Rank-error budget per :class:`QuantileSketch` compression.
+    max_series:
+        Hard ceiling on retained series; series beyond it are dropped
+        (counted in :meth:`stats`) rather than growing without bound
+        when a caller labels a metric with unbounded cardinality.
+    clock:
+        Injectable wall clock (tests drive a fake and call
+        :meth:`sample_once` directly).
+    """
+
+    def __init__(self, registry: MetricsRegistry,
+                 interval_s: float = 5.0, capacity: int = 720,
+                 epsilon: float = 0.005, max_series: int = 2048,
+                 clock: Callable[[], float] = time.time) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if capacity < 2:
+            raise ValueError("capacity must be >= 2")
+        if max_series < 1:
+            raise ValueError("max_series must be >= 1")
+        self.registry = registry
+        self.interval_s = float(interval_s)
+        self.capacity = int(capacity)
+        self.epsilon = float(epsilon)
+        self.max_series = int(max_series)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._series: dict[tuple, _Series] = {}
+        self._last: dict[tuple, dict] = {}
+        self._last_ts: Optional[float] = None
+        self._samples = 0
+        self._sample_errors = 0
+        self._series_dropped = 0
+        self._listeners: list[Callable[["MetricsHistory", float], None]] = []
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def add_listener(self, listener: Callable[["MetricsHistory", float],
+                                              None]) -> None:
+        """Call ``listener(history, now)`` after every folded sample
+        (the SLO monitor's hook).  Listeners run outside the history
+        lock, on the sampler thread."""
+        self._listeners.append(listener)
+
+    def sample_once(self, now: Optional[float] = None) -> int:
+        """Snapshot the registry and fold the movement; returns the
+        number of series updated.  The first call establishes the
+        baseline: counters and histograms contribute their first point
+        on the *second* sample (a cumulative value is not a rate)."""
+        now = self._clock() if now is None else float(now)
+        snapshot = self.registry.to_json().get("metrics", ())
+        with self._lock:
+            first = self._last_ts is None
+            dt = (self.interval_s if first
+                  else max(1e-9, now - self._last_ts))
+            updated = 0
+            last: dict[tuple, dict] = {}
+            for record in snapshot:
+                key = (record["name"],
+                       tuple(sorted((record.get("labels") or {}).items())))
+                last[key] = record
+                if self._fold(key, record, self._last.get(key), now, dt,
+                              first):
+                    updated += 1
+            self._last = last
+            self._last_ts = now
+            self._samples += 1
+            self.registry.gauge(
+                HISTORY_SERIES,
+                "Time series retained by the history store."
+            ).set(len(self._series))
+            self.registry.counter(
+                HISTORY_SAMPLES,
+                "Samples folded by the history sampler.").inc()
+        for listener in list(self._listeners):
+            listener(self, now)
+        return updated
+
+    def _fold(self, key: tuple, record: Mapping,
+              prior: Optional[Mapping], now: float, dt: float,
+              first: bool) -> bool:
+        kind = record.get("kind", "untyped")
+        series = self._series.get(key)
+        if series is None:
+            if len(self._series) >= self.max_series:
+                self._series_dropped += 1
+                return False
+            series = _Series(record["name"], key[1], kind, self.capacity)
+            self._series[key] = series
+        if kind == "gauge":
+            series.points.append((now, record.get("value", 0)))
+            return True
+        if first:
+            return False
+        if kind == "counter":
+            value = record.get("value", 0)
+            before = prior.get("value", 0) if prior else 0
+            delta = value - before
+            if delta < 0:  # process restart: the counter went backwards
+                delta = value
+            series.points.append((now, delta, delta / dt))
+            return True
+        if kind == "histogram":
+            counts = list(record.get("counts", ()))
+            prior_counts = list(prior.get("counts", ())) if prior else []
+            if len(prior_counts) != len(counts):
+                prior_counts = [0] * len(counts)
+            deltas = [a - b for a, b in zip(counts, prior_counts)]
+            if any(d < 0 for d in deltas):  # restart
+                deltas = counts
+                prior = None
+            count_delta = (record.get("count", 0)
+                           - (prior.get("count", 0) if prior else 0))
+            sum_delta = (record.get("sum", 0.0)
+                         - (prior.get("sum", 0.0) if prior else 0.0))
+            sketch = QuantileSketch(epsilon=self.epsilon)
+            sketch.observe_buckets(record.get("buckets", ()), deltas)
+            sketch.compress()
+            series.points.append((now, sketch, count_delta, sum_delta))
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Background thread
+    # ------------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "MetricsHistory":
+        """Start the daemon sampler thread (idempotent)."""
+        if self.running:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-history-sampler", daemon=True)
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.sample_once()
+            except Exception:  # noqa: BLE001 - the sampler must survive
+                self._sample_errors += 1
+
+    def stop(self) -> None:
+        """Stop the sampler thread (idempotent)."""
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsHistory":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def _matching(self, name: str,
+                  labels: Optional[Mapping] = None) -> list[_Series]:
+        if labels is None:
+            return [s for (n, _), s in self._series.items() if n == name]
+        key = (name, tuple(sorted((str(k), str(v))
+                                  for k, v in labels.items())))
+        found = self._series.get(key)
+        return [found] if found is not None else []
+
+    def _window_points(self, series: _Series,
+                       window_s: Optional[float]) -> list[tuple]:
+        points = list(series.points)
+        if window_s is None or self._last_ts is None:
+            return points
+        # A point stamped ts summarises the interval *ending* at ts,
+        # so a point exactly on the horizon belongs to the previous
+        # window: strictly-greater keeps a 2-interval window at
+        # exactly 2 points.
+        horizon = self._last_ts - float(window_s)
+        return [p for p in points if p[0] > horizon]
+
+    def window(self, name: str, window_s: Optional[float] = None,
+               labels: Optional[Mapping] = None,
+               quantiles: Sequence[float] = DEFAULT_QUANTILES
+               ) -> Optional[dict]:
+        """Aggregate one series over the trailing ``window_s`` seconds
+        (the whole ring when ``None``).
+
+        Counters report ``{"sum", "rate"}``; gauges ``{"last", "min",
+        "max", "mean"}``; histograms the merged-sketch quantiles plus
+        ``{"count", "sum", "mean"}``.  Returns ``None`` when the series
+        does not exist; a present series with no points in the window
+        reports ``samples: 0``.
+        """
+        with self._lock:
+            matching = self._matching(name, labels)
+            if not matching:
+                return None
+            kind = matching[0].kind
+            windows = [self._window_points(s, window_s) for s in matching]
+        points = sorted((p for pts in windows for p in pts),
+                        key=lambda p: p[0])
+        doc: dict = {"name": name, "kind": kind,
+                     "window_s": window_s, "samples": len(points)}
+        if not points:
+            return doc
+        span = max(points[-1][0] - points[0][0], self.interval_s)
+        if window_s is not None:
+            span = max(span, 1e-9) if len(points) > 1 else self.interval_s
+        if kind == "counter":
+            total = sum(p[1] for p in points)
+            doc["sum"] = total
+            doc["rate"] = total / (float(window_s) if window_s
+                                   else span)
+        elif kind == "gauge":
+            values = [p[1] for p in points]
+            doc.update(last=values[-1], min=min(values),
+                       max=max(values),
+                       mean=sum(values) / len(values))
+        elif kind == "histogram":
+            merged = QuantileSketch.merged([p[1] for p in points],
+                                           epsilon=self.epsilon)
+            count = sum(p[2] for p in points)
+            total = sum(p[3] for p in points)
+            doc.update(count=count, sum=total,
+                       mean=(total / count) if count else 0.0,
+                       quantiles=merged.quantiles(quantiles))
+        return doc
+
+    def quantile(self, name: str, q: float,
+                 window_s: Optional[float] = None,
+                 labels: Optional[Mapping] = None) -> Optional[float]:
+        """One merged quantile over the trailing window, or ``None``
+        when the series is missing or saw no samples in the window."""
+        doc = self.window(name, window_s=window_s, labels=labels,
+                          quantiles=(q,))
+        if not doc or doc.get("kind") != "histogram" \
+                or not doc.get("count"):
+            return None
+        return doc["quantiles"][_quantile_key(q)]
+
+    def delta(self, name: str, window_s: Optional[float] = None,
+              labels: Optional[Mapping] = None) -> Optional[float]:
+        """Summed counter movement over the trailing window."""
+        doc = self.window(name, window_s=window_s, labels=labels)
+        if not doc or doc.get("kind") != "counter":
+            return None
+        return doc.get("sum", 0.0)
+
+    def last(self, name: str,
+             labels: Optional[Mapping] = None,
+             window_s: Optional[float] = None) -> Optional[float]:
+        """Most recent gauge value (or worst ``max`` when windowed)."""
+        doc = self.window(name, window_s=window_s, labels=labels)
+        if not doc or doc.get("kind") != "gauge" or not doc["samples"]:
+            return None
+        return doc["max"] if window_s is not None else doc["last"]
+
+    def series(self, name: str, labels: Optional[Mapping] = None,
+               window_s: Optional[float] = None,
+               quantiles: Sequence[float] = DEFAULT_QUANTILES
+               ) -> list[dict]:
+        """Point-by-point JSON for every label set of ``name``.
+
+        Counter points are ``[ts, delta, rate]``; gauge points
+        ``[ts, value]``; histogram points ``[ts, count, p50, ..]`` with
+        per-interval quantiles, ready for sparklines.
+        """
+        with self._lock:
+            matching = self._matching(name, labels)
+            snapshots = [(s, self._window_points(s, window_s))
+                         for s in matching]
+        out = []
+        for series, points in snapshots:
+            doc: dict = {"name": series.name,
+                         "labels": dict(series.labels),
+                         "kind": series.kind,
+                         "interval_s": self.interval_s,
+                         "samples": len(points)}
+            if series.kind == "counter":
+                doc["points"] = [[ts, delta, rate]
+                                 for ts, delta, rate in points]
+            elif series.kind == "gauge":
+                doc["points"] = [[ts, value] for ts, value in points]
+            else:
+                keys = [_quantile_key(q) for q in quantiles]
+                doc["quantile_keys"] = keys
+                doc["points"] = [
+                    [ts, count] + [sketch.query(q) for q in quantiles]
+                    for ts, sketch, count, _sum in points]
+            out.append(doc)
+        return out
+
+    def catalog(self) -> list[dict]:
+        """Every retained series: name, labels, kind, point count."""
+        with self._lock:
+            return [{"name": s.name, "labels": dict(s.labels),
+                     "kind": s.kind, "points": len(s.points)}
+                    for s in self._series.values()]
+
+    def timeseries_doc(self, name: Optional[str] = None,
+                       window_s: Optional[float] = None) -> dict:
+        """The ``GET /timeseries`` response document."""
+        if name is None:
+            return {"stats": self.stats(), "series": self.catalog()}
+        return {"name": name, "window_s": window_s,
+                "series": self.series(name, window_s=window_s),
+                "window": self.window(name, window_s=window_s)}
+
+    def stats(self) -> dict:
+        """Sampler health for ``/varz``."""
+        with self._lock:
+            return {"interval_s": self.interval_s,
+                    "capacity": self.capacity,
+                    "epsilon": self.epsilon,
+                    "samples": self._samples,
+                    "sample_errors": self._sample_errors,
+                    "series": len(self._series),
+                    "series_dropped": self._series_dropped,
+                    "max_series": self.max_series,
+                    "running": self.running,
+                    "last_sample_ts": self._last_ts}
+
+    def __repr__(self) -> str:
+        return (f"MetricsHistory(series={len(self._series)}, "
+                f"samples={self._samples}, "
+                f"interval_s={self.interval_s}, "
+                f"running={self.running})")

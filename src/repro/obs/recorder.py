@@ -742,45 +742,17 @@ class FlightRecorder:
         previous disposition, so a crashed or killed ``serve`` process
         leaves a post-mortem artifact behind.  Returns an uninstaller
         (idempotent) that also removes the atexit hook.
+
+        Idempotent and re-registration-safe: all hooks share one
+        process-wide registry, so installing again for the *same*
+        recorder (a long-lived process invoking ``serve`` repeatedly)
+        replaces the previous registration instead of stacking a
+        second dump, distinct recorders coexist and each dumps exactly
+        once, the atexit hook and each signal handler are installed at
+        most once per process, and uninstalling the last hook restores
+        the original signal dispositions.
         """
-        done = threading.Event()
-
-        def write_dump() -> None:
-            if done.is_set():
-                return
-            done.set()
-            try:
-                self.dump(path)
-            except OSError:
-                pass
-
-        previous: dict[int, object] = {}
-
-        def on_signal(signum, frame) -> None:
-            write_dump()
-            handler = previous.get(signum)
-            signal.signal(signum, handler if callable(handler)
-                          or handler in (signal.SIG_IGN, signal.SIG_DFL)
-                          else signal.SIG_DFL)
-            signal.raise_signal(signum)
-
-        atexit.register(write_dump)
-        for signum in signals:
-            try:
-                previous[signum] = signal.signal(signum, on_signal)
-            except (ValueError, OSError):  # non-main thread / platform
-                pass
-
-        def uninstall() -> None:
-            done.set()
-            atexit.unregister(write_dump)
-            for signum, handler in previous.items():
-                try:
-                    signal.signal(signum, handler)
-                except (ValueError, OSError, TypeError):
-                    pass
-
-        return uninstall
+        return _DUMP_HOOKS.install(self, path, signals)
 
     def __len__(self) -> int:
         with self._lock:
@@ -791,6 +763,113 @@ class FlightRecorder:
                 f"{self.config.ring_size}, "
                 f"traces={len(self.trace_ids())}, "
                 f"recorded={self.recorded})")
+
+
+class _DumpHookRegistry:
+    """Process-wide ledger behind :meth:`FlightRecorder.install_dump_hook`.
+
+    One atexit hook and one handler per signal are ever installed, no
+    matter how many times hooks are (re)registered; each registered
+    recorder dumps at most once; re-registering the same recorder
+    replaces its previous entry (path and all); removing the last entry
+    restores the original signal dispositions and unregisters the
+    atexit hook, so a fresh install later re-arms cleanly.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._next_token = 0
+        #: token -> (recorder, dump path)
+        self._entries: dict[int, tuple] = {}
+        self._dumped: set[int] = set()
+        #: id(recorder) -> its current token (re-registration replaces)
+        self._token_by_recorder: dict[int, int] = {}
+        self._atexit_armed = False
+        #: signum -> the handler that was installed before ours
+        self._previous: dict[int, object] = {}
+
+    def install(self, recorder: FlightRecorder, path,
+                signals: Sequence[int]) -> Callable[[], None]:
+        with self._lock:
+            stale = self._token_by_recorder.pop(id(recorder), None)
+            if stale is not None:
+                self._entries.pop(stale, None)
+                self._dumped.discard(stale)
+            token = self._next_token
+            self._next_token += 1
+            self._entries[token] = (recorder, path)
+            self._token_by_recorder[id(recorder)] = token
+            if not self._atexit_armed:
+                atexit.register(self._dump_all)
+                self._atexit_armed = True
+            for signum in signals:
+                if signum in self._previous:
+                    continue  # one dispatcher per signal, ever
+                try:
+                    self._previous[signum] = signal.signal(
+                        signum, self._on_signal)
+                except (ValueError, OSError):  # non-main thread
+                    pass
+
+        def uninstall() -> None:
+            self._uninstall(token)
+
+        return uninstall
+
+    def _dump_all(self) -> None:
+        with self._lock:
+            pending = [(token, recorder, path)
+                       for token, (recorder, path)
+                       in sorted(self._entries.items())
+                       if token not in self._dumped]
+            self._dumped.update(token for token, _, _ in pending)
+        for _token, recorder, path in pending:
+            try:
+                recorder.dump(path)
+            except OSError:
+                pass
+
+    def _on_signal(self, signum, frame) -> None:
+        self._dump_all()
+        handler = self._previous.get(signum)
+        signal.signal(signum, handler if callable(handler)
+                      or handler in (signal.SIG_IGN, signal.SIG_DFL)
+                      else signal.SIG_DFL)
+        signal.raise_signal(signum)
+
+    def _uninstall(self, token: int) -> None:
+        with self._lock:
+            entry = self._entries.pop(token, None)
+            self._dumped.discard(token)
+            if entry is not None:
+                recorder_id = id(entry[0])
+                if self._token_by_recorder.get(recorder_id) == token:
+                    del self._token_by_recorder[recorder_id]
+            if not self._entries:
+                self._disarm_locked()
+
+    def _disarm_locked(self) -> None:
+        if self._atexit_armed:
+            atexit.unregister(self._dump_all)
+            self._atexit_armed = False
+        for signum, handler in self._previous.items():
+            try:
+                if signal.getsignal(signum) == self._on_signal:
+                    signal.signal(signum, handler)
+            except (ValueError, OSError, TypeError):
+                pass
+        self._previous.clear()
+
+    def stats(self) -> dict:
+        """Registry introspection (tests and debugging)."""
+        with self._lock:
+            return {"entries": len(self._entries),
+                    "atexit_armed": self._atexit_armed,
+                    "signals": sorted(self._previous)}
+
+
+#: The process-wide dump-hook registry.
+_DUMP_HOOKS = _DumpHookRegistry()
 
 
 def load_dump(path) -> tuple[list[QueryProfile], dict[str, dict]]:

@@ -20,6 +20,18 @@ daemon thread and serves the handle's current state:
 ``GET /slow``
     The retained slow-query records as a JSON array (empty without a
     query log).
+``GET /timeseries?name=&window=``
+    Ring-buffer time series from an attached
+    :class:`~repro.obs.MetricsHistory` sampler: without ``name`` the
+    series catalog, with it every label set of that metric as
+    point-by-point JSON (counter deltas/rates, gauge values, histogram
+    quantiles per interval) plus a trailing-``window``-seconds
+    aggregate.  404 when no sampler is attached.
+``GET /alertz``
+    Machine-readable SLO alert states from an attached
+    :class:`~repro.obs.SLOMonitor` — per-objective fast/slow burn
+    rates, ok/warning/critical state and hysteresis bookkeeping.  Any
+    critical alert also flips ``/healthz`` to ``degraded``.
 ``POST /query``
     Evaluate one query against the attached
     :class:`~repro.collection.DocumentCollection`, behind the full
@@ -55,9 +67,10 @@ import platform
 import sys
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Mapping, Optional
+from urllib.parse import parse_qs, urlsplit
 
 from ..core.query import Query
 from ..core.queryparser import parse_filter, parse_query
@@ -69,6 +82,9 @@ from ..guard.breaker import BREAKER_STATE_CODES, OPEN, CircuitBreaker
 from ..guard.budget import QueryBudget
 from . import (EXEC_DEGRADED, GUARD_ADMITTED, GUARD_BREAKER_STATE,
                GUARD_REJECTED, GUARD_SHED, PROCESS_RSS, Observability)
+from .history import MetricsHistory
+from .slo import (CRITICAL, FEEDBACK_TIGHTEN_ADMISSION,
+                  FEEDBACK_TRIP_BREAKERS, AlertState, SLOMonitor)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..collection.collection import DocumentCollection
@@ -81,14 +97,24 @@ def process_stats() -> dict:
 
     Linux reads ``/proc/self`` (RSS from ``VmRSS``, FD count from
     ``/proc/self/fd``); elsewhere RSS degrades to ``resource``'s
-    high-water mark and missing facts are ``None`` rather than errors.
+    ``ru_maxrss`` and missing facts are ``None`` rather than errors.
+
+    ``ru_maxrss`` is a lifetime *peak*, not the current resident set
+    (and on darwin it is reported in bytes, not KiB), so ``rss_kind``
+    labels what ``rss_bytes`` actually is: ``"current"`` (procfs),
+    ``"peak"`` (rusage fallback) or ``None`` when unavailable.
+    Consumers that plot live memory — the RSS gauge, the time-series
+    sampler — must skip peak values: a flat lifetime high-water mark
+    masquerading as live memory is worse than no series at all.
     """
     rss = None
+    rss_kind = None
     try:
         with open("/proc/self/status", encoding="ascii") as handle:
             for line in handle:
                 if line.startswith("VmRSS:"):
                     rss = int(line.split()[1]) * 1024
+                    rss_kind = "current"
                     break
     except (OSError, ValueError, IndexError):
         pass
@@ -97,8 +123,10 @@ def process_stats() -> dict:
             import resource
             peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
             rss = peak if sys.platform == "darwin" else peak * 1024
+            rss_kind = "peak"
         except Exception:
             rss = None
+            rss_kind = None
     open_fds = None
     try:
         open_fds = len(os.listdir("/proc/self/fd"))
@@ -106,6 +134,7 @@ def process_stats() -> dict:
         pass
     return {"pid": os.getpid(),
             "rss_bytes": rss,
+            "rss_kind": rss_kind,
             "open_fds": open_fds,
             "python": platform.python_version(),
             "platform": platform.platform()}
@@ -186,6 +215,10 @@ class _GuardState:
         self.queued = 0
         self.in_flight = 0
         self.draining = False
+        # SLO feedback: < 1.0 scales the admission policy's max_cost
+        # down while a burn-rate alert is critical.
+        self.admission_scale = 1.0
+        self.tightenings = 0
         self.breaker = CircuitBreaker(
             failure_threshold=rails.breaker_failures,
             reset_s=rails.breaker_reset_s)
@@ -224,6 +257,31 @@ class _GuardState:
                 lambda: self.in_flight == 0 and self.queued == 0,
                 timeout=timeout)
 
+    def tighten_admission(self, factor: float = 0.5,
+                          floor: float = 0.125) -> float:
+        """Scale the admission cost ceiling down (SLO feedback on a
+        critical burn-rate alert); returns the new scale."""
+        with self.lock:
+            self.admission_scale = max(floor,
+                                       self.admission_scale * factor)
+            self.tightenings += 1
+            return self.admission_scale
+
+    def relax_admission(self) -> None:
+        """Restore the configured admission policy (alert cleared)."""
+        with self.lock:
+            self.admission_scale = 1.0
+
+    def effective_admission(self) -> Optional[AdmissionPolicy]:
+        """The configured admission policy with any SLO tightening
+        applied (``None`` when no policy is configured)."""
+        base = self.rails.admission
+        with self.lock:
+            scale = self.admission_scale
+        if base is None or scale >= 1.0:
+            return base
+        return replace(base, max_cost=base.max_cost * scale)
+
     def snapshot(self) -> dict:
         with self.lock:
             return {"queued": self.queued,
@@ -231,6 +289,8 @@ class _GuardState:
                     "draining": self.draining,
                     "max_concurrency": self.rails.max_concurrency,
                     "max_queue": self.rails.max_queue,
+                    "admission_scale": self.admission_scale,
+                    "tightenings": self.tightenings,
                     "breaker": self.breaker.to_dict()}
 
 
@@ -277,6 +337,8 @@ class _Handler(BaseHTTPRequestHandler):
 
     GET_ROUTES = {"/metrics": "_get_metrics", "/healthz": "_get_healthz",
                   "/varz": "_get_varz", "/slow": "_get_slow",
+                  "/timeseries": "_get_timeseries",
+                  "/alertz": "_get_alertz",
                   "/debug/flightrecorder": "_get_flightrecorder"}
     #: Prefix-matched GET routes; the handler receives the path suffix.
     GET_PREFIX_ROUTES = {"/debug/trace/": "_get_trace"}
@@ -318,8 +380,9 @@ class _Handler(BaseHTTPRequestHandler):
                         headers={"Allow": allowed})
         else:
             self._reply(f"not found: {self.path!r}; try /metrics, "
-                        f"/healthz, /varz, /slow, /debug/flightrecorder,"
-                        f" /debug/trace/<id> or POST /query\n",
+                        f"/healthz, /varz, /slow, /timeseries, /alertz, "
+                        f"/debug/flightrecorder, /debug/trace/<id> or "
+                        f"POST /query\n",
                         "text/plain; charset=utf-8", status=404)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
@@ -370,6 +433,48 @@ class _Handler(BaseHTTPRequestHandler):
                        for r in self.server.obs.query_log.slow_queries()]
         self._reply(json.dumps(records, indent=2) + "\n",
                     "application/json")
+
+    def _query_params(self) -> dict[str, str]:
+        """The request's query-string parameters (last value wins)."""
+        return {key: values[-1]
+                for key, values in
+                parse_qs(urlsplit(self.path).query).items()}
+
+    def _get_timeseries(self) -> None:
+        history = self.server.history
+        if history is None:
+            self._reply_json(
+                {"error": "no-history",
+                 "message": "no metrics history sampler is attached; "
+                            "serve with --sample-interval"}, status=404)
+            return
+        params = self._query_params()
+        window_s: Optional[float] = None
+        if params.get("window"):
+            try:
+                window_s = float(params["window"])
+                if window_s <= 0:
+                    raise ValueError
+            except ValueError:
+                self._reply_json(
+                    {"error": "bad-request",
+                     "message": "window must be a positive number of "
+                                "seconds"}, status=400)
+                return
+        self._reply_json(history.timeseries_doc(
+            params.get("name") or None, window_s))
+
+    def _get_alertz(self) -> None:
+        slo = self.server.slo
+        if slo is None:
+            # 200, not 404: "no objectives configured" is a healthy
+            # answer the ops console can render, not a routing error.
+            self._reply_json({"enabled": False, "state": "ok",
+                              "objectives": 0, "alerts": [],
+                              "message": "no SLOs configured; serve "
+                                         "with --slo"})
+            return
+        self._reply_json(slo.snapshot())
 
     def _get_flightrecorder(self) -> None:
         recorder = getattr(self.server.obs, "recorder", None)
@@ -443,7 +548,10 @@ class _ObsHTTPServer(ThreadingHTTPServer):
 
     def __init__(self, address: tuple[str, int], obs: Observability,
                  collection: Optional["DocumentCollection"] = None,
-                 guardrails: Optional[QueryGuardrails] = None) -> None:
+                 guardrails: Optional[QueryGuardrails] = None,
+                 history: Optional[MetricsHistory] = None,
+                 slo: Optional[SLOMonitor] = None,
+                 slo_feedback: bool = False) -> None:
         super().__init__(address, _Handler)
         self.obs = obs
         self.collection = collection
@@ -451,6 +559,13 @@ class _ObsHTTPServer(ThreadingHTTPServer):
         if collection is not None:
             self.guard = _GuardState(guardrails if guardrails is not None
                                      else QueryGuardrails())
+        self.history = history
+        self.slo = slo
+        self.slo_feedback = slo_feedback
+        if slo is not None:
+            slo.attach()
+            if slo_feedback:
+                slo.add_listener(self._on_slo_transition)
         self.started = time.time()
 
     def degraded(self) -> bool:
@@ -459,12 +574,43 @@ class _ObsHTTPServer(ThreadingHTTPServer):
         Reads the ``repro_exec_degraded`` gauge without creating it;
         a handle that never ran a pool reports healthy.  A sharded
         collection with failed shards or tripped per-shard breakers
-        also reports degraded.
+        reports degraded, and so does any critical SLO alert — the
+        burn-rate engine exists precisely to catch trouble the
+        point-in-time flags miss.
         """
         gauge = self.obs.metrics.get(EXEC_DEGRADED)
         if gauge is not None and gauge.value:
             return True
+        if self.slo is not None and self.slo.critical:
+            return True
         return bool(getattr(self.collection, "degraded", False))
+
+    def _on_slo_transition(self, state: AlertState,
+                           previous: str) -> None:
+        """Close the observe → decide loop on alert transitions.
+
+        Entering critical tightens admission (halves the cost ceiling)
+        and pre-trips breakers of shards already showing failures;
+        leaving critical — once *no* objective is critical — restores
+        the configured admission policy.  Tripped shard breakers heal
+        through their own half-open probes; feedback never forces them
+        closed.
+        """
+        objective = state.objective
+        actions = objective.feedback or (FEEDBACK_TIGHTEN_ADMISSION,
+                                         FEEDBACK_TRIP_BREAKERS)
+        if state.state == CRITICAL:
+            if (FEEDBACK_TIGHTEN_ADMISSION in actions
+                    and self.guard is not None):
+                self.guard.tighten_admission()
+            if FEEDBACK_TRIP_BREAKERS in actions:
+                router = getattr(self.collection, "router", None)
+                if router is not None:
+                    router.pretrip_suspect_shards()
+        elif previous == CRITICAL and self.slo is not None \
+                and not self.slo.critical:
+            if self.guard is not None:
+                self.guard.relax_admission()
 
     def refresh_gauges(self) -> None:
         """Recompute point-in-time gauges before a metrics export.
@@ -475,7 +621,12 @@ class _ObsHTTPServer(ThreadingHTTPServer):
         read rather than on the query hot path.
         """
         stats = process_stats()
-        if stats.get("rss_bytes") is not None:
+        # Only a *current* RSS becomes a gauge: the rusage fallback is
+        # a lifetime peak, and a flat peak plotted as live memory by
+        # the time-series sampler would be a lie (it stays in /varz,
+        # labelled rss_kind="peak").
+        if (stats.get("rss_bytes") is not None
+                and stats.get("rss_kind") == "current"):
             self.obs.metrics.gauge(
                 PROCESS_RSS,
                 "Resident-set size of the serving process."
@@ -515,6 +666,10 @@ class _ObsHTTPServer(ThreadingHTTPServer):
         if self.guard is not None:
             self._publish_breaker()
             doc["guard"] = self.guard.snapshot()
+        if self.history is not None:
+            doc["history"] = self.history.stats()
+        if self.slo is not None:
+            doc["slo"] = self.slo.snapshot()
         shard_stats = getattr(self.collection, "shard_stats", None)
         if shard_stats is not None:
             # Sharded collections report attach health, bytes mapped,
@@ -603,11 +758,14 @@ class _ObsHTTPServer(ThreadingHTTPServer):
         strategy = options.get("strategy", rails.strategy)
 
         # 4. Pre-admission cost screen (a client-side error: it does
-        #    not consume a breaker probe or count as a failure).
-        if rails.admission is not None:
+        #    not consume a breaker probe or count as a failure).  The
+        #    effective policy may be tighter than the configured one
+        #    while an SLO alert is critical.
+        admission = guard.effective_admission()
+        if admission is not None:
             try:
                 decision = self.collection.screen(
-                    rails.admission, query, strategy)
+                    admission, query, strategy)
                 decision.raise_if_rejected()
             except AdmissionRejected as exc:
                 self._count_rejected("admission")
@@ -712,20 +870,45 @@ class MetricsServer:
     guardrails:
         Serving configuration (:class:`QueryGuardrails`); defaults
         apply when a collection is given without one.
+    history:
+        Optional :class:`~repro.obs.MetricsHistory`; enables
+        ``GET /timeseries``.  If its sampler thread is not already
+        running, :meth:`start` starts it and :meth:`stop` stops it
+        (a sampler the caller started stays the caller's).
+    slo:
+        Optional :class:`~repro.obs.SLOMonitor`; enables
+        ``GET /alertz`` and folds critical alerts into ``/healthz``.
+        The monitor is attached to the history sampler so objectives
+        re-evaluate after every sample.
+    slo_feedback:
+        When true, critical alerts act: admission tightens (max_cost
+        halves, floor 1/8) and suspect shard breakers pre-trip;
+        admission restores once no objective is critical.
     """
 
     def __init__(self, obs: Observability, host: str = "127.0.0.1",
                  port: int = 0,
                  collection: Optional["DocumentCollection"] = None,
-                 guardrails: Optional[QueryGuardrails] = None) -> None:
+                 guardrails: Optional[QueryGuardrails] = None,
+                 history: Optional[MetricsHistory] = None,
+                 slo: Optional[SLOMonitor] = None,
+                 slo_feedback: bool = False) -> None:
         if not obs.enabled:
             raise ValueError("cannot serve a disabled (NOOP) "
                              "observability handle")
+        if slo is not None and history is not None \
+                and slo.history is not history:
+            raise ValueError("the SLO monitor must evaluate the same "
+                             "history the server samples")
         self._obs = obs
         self._host = host
         self._requested_port = port
         self._collection = collection
         self._guardrails = guardrails
+        self._history = history
+        self._slo = slo
+        self._slo_feedback = slo_feedback
+        self._owns_history = False
         self._server: Optional[_ObsHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -736,7 +919,13 @@ class MetricsServer:
         self._server = _ObsHTTPServer((self._host, self._requested_port),
                                       self._obs,
                                       collection=self._collection,
-                                      guardrails=self._guardrails)
+                                      guardrails=self._guardrails,
+                                      history=self._history,
+                                      slo=self._slo,
+                                      slo_feedback=self._slo_feedback)
+        if self._history is not None and not self._history.running:
+            self._history.start()
+            self._owns_history = True
         self._thread = threading.Thread(
             target=self._server.serve_forever,
             name=f"repro-metrics:{self.port}", daemon=True)
@@ -760,6 +949,9 @@ class MetricsServer:
         if self._server is None:
             return
         self.drain(timeout=drain_timeout)
+        if self._owns_history and self._history is not None:
+            self._history.stop()
+            self._owns_history = False
         self._server.shutdown()
         self._server.server_close()
         if self._thread is not None:
@@ -770,6 +962,23 @@ class MetricsServer:
     @property
     def running(self) -> bool:
         return self._server is not None
+
+    @property
+    def history(self) -> Optional[MetricsHistory]:
+        """The attached time-series sampler, if any."""
+        return self._history
+
+    @property
+    def slo(self) -> Optional[SLOMonitor]:
+        """The attached SLO monitor, if any."""
+        return self._slo
+
+    def varz(self) -> dict:
+        """The live ``/varz`` document, without a socket round-trip
+        (the in-process ops console source reads this)."""
+        if self._server is None:
+            raise RuntimeError("server is not running")
+        return self._server.varz()
 
     @property
     def port(self) -> int:

@@ -1,0 +1,457 @@
+"""Declarative SLOs evaluated as burn rates over the metrics history
+(``repro.obs.slo``).
+
+An :class:`Objective` states a bound on a time-series aggregate —
+"query p99 < 250 ms", "budget-exceeded ratio < 5%", "degraded gauge
+< 1" — and the :class:`SLOMonitor` re-evaluates every objective after
+each history sample as two trailing windows:
+
+* the **fast window** (default 60 s) reacts within a couple of sampler
+  intervals, so an incident raises an alert quickly;
+* the **slow window** (default 300 s) must *also* be burning before an
+  alert escalates to critical, which suppresses one-interval blips
+  (the classic multi-window burn-rate recipe from SRE practice).
+
+The *burn rate* is ``measured / threshold``: 1.0 means exactly at the
+objective, 2.0 means failing twice as fast as allowed.  States move
+``ok → warning → critical`` immediately on worsening, but only step
+back down after ``clear_intervals`` consecutive clean evaluations
+(hysteresis — a flapping series does not flap the alert).
+
+Transitions fan out to listeners; :mod:`repro.obs.server` uses them to
+flip ``/healthz`` to degraded and, when feedback is enabled, to
+tighten :class:`~repro.guard.AdmissionPolicy` and pre-trip suspect
+:class:`~repro.storage.shards.ShardRouter` breakers — the observe →
+decide loop.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Sequence
+
+from .history import MetricsHistory
+
+__all__ = [
+    "OK", "WARNING", "CRITICAL", "ALERT_STATE_CODES",
+    "FEEDBACK_TIGHTEN_ADMISSION", "FEEDBACK_TRIP_BREAKERS",
+    "Objective", "AlertState", "SLOMonitor", "parse_slo",
+    "SLO_STATE", "SLO_BURN_RATE",
+]
+
+OK = "ok"
+WARNING = "warning"
+CRITICAL = "critical"
+
+#: Numeric encoding for the ``repro_slo_state`` gauge.
+ALERT_STATE_CODES = {OK: 0, WARNING: 1, CRITICAL: 2}
+
+#: Gauge: per-objective alert state (labels: ``slo``).
+SLO_STATE = "repro_slo_state"
+#: Gauge: per-objective burn rate (labels: ``slo``, ``window``).
+SLO_BURN_RATE = "repro_slo_burn_rate"
+
+#: Feedback actions an objective may request on critical.
+FEEDBACK_TIGHTEN_ADMISSION = "tighten-admission"
+FEEDBACK_TRIP_BREAKERS = "trip-breakers"
+_FEEDBACK_ACTIONS = (FEEDBACK_TIGHTEN_ADMISSION, FEEDBACK_TRIP_BREAKERS)
+
+KIND_QUANTILE = "quantile"
+KIND_RATIO = "ratio"
+KIND_GAUGE = "gauge"
+_KINDS = (KIND_QUANTILE, KIND_RATIO, KIND_GAUGE)
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One service-level objective over the metrics history.
+
+    ``kind`` selects how ``metric`` is measured per window:
+
+    - ``"quantile"``: the ``q``-quantile of a histogram series must
+      stay below ``threshold`` (seconds, bytes, … — the histogram's
+      unit).
+    - ``"ratio"``: counter movement of ``metric`` divided by that of
+      ``total_metric`` must stay below ``threshold`` (a fraction).
+    - ``"gauge"``: the worst (max) gauge value in the window must stay
+      below ``threshold``.
+    """
+
+    name: str
+    kind: str
+    metric: str
+    threshold: float
+    q: float = 0.99
+    total_metric: Optional[str] = None
+    labels: Optional[Mapping[str, str]] = None
+    fast_window_s: float = 60.0
+    slow_window_s: float = 300.0
+    warning_burn: float = 1.0
+    critical_burn: float = 2.0
+    clear_intervals: int = 3
+    feedback: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown objective kind {self.kind!r}")
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if self.kind == KIND_QUANTILE and not 0.0 < self.q < 1.0:
+            raise ValueError("q must be in (0, 1)")
+        if self.kind == KIND_RATIO and not self.total_metric:
+            raise ValueError("ratio objectives need total_metric")
+        if self.fast_window_s <= 0 or self.slow_window_s <= 0:
+            raise ValueError("windows must be positive")
+        if self.slow_window_s < self.fast_window_s:
+            raise ValueError("slow window must cover the fast window")
+        if self.clear_intervals < 1:
+            raise ValueError("clear_intervals must be >= 1")
+        for action in self.feedback:
+            if action not in _FEEDBACK_ACTIONS:
+                raise ValueError(f"unknown feedback action {action!r}")
+
+    def measure(self, history: MetricsHistory,
+                window_s: float) -> Optional[float]:
+        """The objective's value over one trailing window, or ``None``
+        when the history has no data yet (no-data never alerts)."""
+        if self.kind == KIND_QUANTILE:
+            return history.quantile(self.metric, self.q,
+                                    window_s=window_s,
+                                    labels=self.labels)
+        if self.kind == KIND_RATIO:
+            total = history.delta(self.total_metric, window_s=window_s)
+            if not total:
+                return None
+            bad = history.delta(self.metric, window_s=window_s,
+                                labels=self.labels) or 0.0
+            return bad / total
+        return history.last(self.metric, labels=self.labels,
+                            window_s=window_s)
+
+    def describe(self) -> str:
+        if self.kind == KIND_QUANTILE:
+            expr = f"p{self.q * 100:g}({self.metric})"
+        elif self.kind == KIND_RATIO:
+            expr = f"ratio({self.metric}/{self.total_metric})"
+        else:
+            expr = f"gauge({self.metric})"
+        return f"{expr} < {self.threshold:g}"
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "kind": self.kind,
+                "metric": self.metric, "threshold": self.threshold,
+                "q": self.q, "total_metric": self.total_metric,
+                "labels": dict(self.labels) if self.labels else None,
+                "fast_window_s": self.fast_window_s,
+                "slow_window_s": self.slow_window_s,
+                "warning_burn": self.warning_burn,
+                "critical_burn": self.critical_burn,
+                "clear_intervals": self.clear_intervals,
+                "feedback": list(self.feedback),
+                "expr": self.describe()}
+
+
+class AlertState:
+    """Mutable evaluation record for one objective."""
+
+    __slots__ = ("objective", "state", "since", "fast_value",
+                 "slow_value", "fast_burn", "slow_burn", "transitions",
+                 "evaluations", "_clear_streak")
+
+    def __init__(self, objective: Objective) -> None:
+        self.objective = objective
+        self.state = OK
+        self.since: Optional[float] = None
+        self.fast_value: Optional[float] = None
+        self.slow_value: Optional[float] = None
+        self.fast_burn: Optional[float] = None
+        self.slow_burn: Optional[float] = None
+        self.transitions = 0
+        self.evaluations = 0
+        self._clear_streak = 0
+
+    def to_dict(self) -> dict:
+        return {"name": self.objective.name,
+                "expr": self.objective.describe(),
+                "state": self.state,
+                "state_code": ALERT_STATE_CODES[self.state],
+                "since": self.since,
+                "fast_window_s": self.objective.fast_window_s,
+                "slow_window_s": self.objective.slow_window_s,
+                "fast_value": self.fast_value,
+                "slow_value": self.slow_value,
+                "fast_burn": self.fast_burn,
+                "slow_burn": self.slow_burn,
+                "transitions": self.transitions,
+                "evaluations": self.evaluations,
+                "feedback": list(self.objective.feedback)}
+
+
+class SLOMonitor:
+    """Evaluates objectives against a :class:`MetricsHistory` and
+    tracks alert states with hysteresis.
+
+    Attach to a history with :meth:`attach` (the sampler then drives
+    evaluation), or call :meth:`evaluate` directly from tests with a
+    fake clock.  Transition listeners receive ``(alert_state,
+    previous_state_str)`` and run outside the monitor lock.
+    """
+
+    def __init__(self, history: MetricsHistory,
+                 objectives: Sequence[Objective],
+                 metrics=None,
+                 clock: Callable[[], float] = time.time) -> None:
+        names = [o.name for o in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate objective names in {names}")
+        self.history = history
+        self._metrics = metrics
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._states = {o.name: AlertState(o) for o in objectives}
+        self._listeners: list[Callable[[AlertState, str], None]] = []
+        self._evaluations = 0
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    @property
+    def objectives(self) -> list[Objective]:
+        return [s.objective for s in self._states.values()]
+
+    def add_listener(self, listener: Callable[[AlertState, str],
+                                              None]) -> None:
+        self._listeners.append(listener)
+
+    def attach(self) -> "SLOMonitor":
+        """Evaluate after every history sample (idempotent)."""
+        if not self._attached:
+            self.history.add_listener(
+                lambda _history, now: self.evaluate(now))
+            self._attached = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, now: Optional[float] = None) -> dict[str, str]:
+        """Re-measure every objective; returns ``{name: state}``.
+
+        Escalation is immediate; de-escalation waits for
+        ``clear_intervals`` consecutive evaluations at the lower
+        severity.  Critical additionally requires the *slow* window to
+        be burning (>= 1.0), so a single hot interval tops out at
+        warning.
+        """
+        now = self._clock() if now is None else float(now)
+        transitions: list[tuple[AlertState, str]] = []
+        with self._lock:
+            for state in self._states.values():
+                objective = state.objective
+                state.evaluations += 1
+                state.fast_value = objective.measure(
+                    self.history, objective.fast_window_s)
+                state.slow_value = objective.measure(
+                    self.history, objective.slow_window_s)
+                state.fast_burn = (
+                    None if state.fast_value is None
+                    else state.fast_value / objective.threshold)
+                state.slow_burn = (
+                    None if state.slow_value is None
+                    else state.slow_value / objective.threshold)
+                desired = self._desired(objective, state.fast_burn,
+                                        state.slow_burn)
+                previous = state.state
+                if _severity(desired) > _severity(previous):
+                    state.state = desired
+                    state.since = now
+                    state.transitions += 1
+                    state._clear_streak = 0
+                    transitions.append((state, previous))
+                elif _severity(desired) < _severity(previous):
+                    state._clear_streak += 1
+                    if state._clear_streak >= objective.clear_intervals:
+                        state.state = desired
+                        state.since = now
+                        state.transitions += 1
+                        state._clear_streak = 0
+                        transitions.append((state, previous))
+                else:
+                    state._clear_streak = 0
+            self._evaluations += 1
+            snapshot = {name: s.state for name, s in self._states.items()}
+        self._publish()
+        for state, previous in transitions:
+            for listener in list(self._listeners):
+                listener(state, previous)
+        return snapshot
+
+    @staticmethod
+    def _desired(objective: Objective, fast_burn: Optional[float],
+                 slow_burn: Optional[float]) -> str:
+        if fast_burn is None:
+            return OK  # no data is not an outage
+        if fast_burn >= objective.critical_burn \
+                and slow_burn is not None and slow_burn >= 1.0:
+            return CRITICAL
+        if fast_burn >= objective.warning_burn:
+            return WARNING
+        return OK
+
+    def _publish(self) -> None:
+        if self._metrics is None:
+            return
+        for state in self._states.values():
+            name = state.objective.name
+            self._metrics.gauge(
+                SLO_STATE, "SLO alert state (0 ok, 1 warning, "
+                "2 critical).", labels={"slo": name},
+            ).set(ALERT_STATE_CODES[state.state])
+            if state.fast_burn is not None:
+                self._metrics.gauge(
+                    SLO_BURN_RATE, "SLO burn rate (measured / "
+                    "threshold).", labels={"slo": name,
+                                           "window": "fast"},
+                ).set(state.fast_burn)
+            if state.slow_burn is not None:
+                self._metrics.gauge(
+                    SLO_BURN_RATE, "SLO burn rate (measured / "
+                    "threshold).", labels={"slo": name,
+                                           "window": "slow"},
+                ).set(state.slow_burn)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def state_of(self, name: str) -> AlertState:
+        return self._states[name]
+
+    @property
+    def worst_state(self) -> str:
+        with self._lock:
+            worst = OK
+            for state in self._states.values():
+                if _severity(state.state) > _severity(worst):
+                    worst = state.state
+            return worst
+
+    @property
+    def critical(self) -> bool:
+        return self.worst_state == CRITICAL
+
+    def snapshot(self) -> dict:
+        """The ``GET /alertz`` response document."""
+        with self._lock:
+            alerts = [s.to_dict() for s in self._states.values()]
+        worst = OK
+        for alert in alerts:
+            if _severity(alert["state"]) > _severity(worst):
+                worst = alert["state"]
+        return {"enabled": True, "state": worst,
+                "evaluations": self._evaluations,
+                "objectives": len(alerts), "alerts": alerts}
+
+    def __repr__(self) -> str:
+        return (f"SLOMonitor(objectives={len(self._states)}, "
+                f"state={self.worst_state!r})")
+
+
+def _severity(state: str) -> int:
+    return ALERT_STATE_CODES[state]
+
+
+# ----------------------------------------------------------------------
+# Compact spec parsing (the --slo CLI flag)
+# ----------------------------------------------------------------------
+
+_SPEC_RE = re.compile(
+    r"""^\s*
+    (?:(?P<name>[A-Za-z0-9_.-]+)\s*:)?\s*
+    (?:
+        p(?P<q>\d+(?:\.\d+)?)\s*\(\s*(?P<qmetric>[A-Za-z0-9_:]+)\s*\)
+      | ratio\s*\(\s*(?P<num>[A-Za-z0-9_:]+)\s*/\s*
+              (?P<den>[A-Za-z0-9_:]+)\s*\)
+      | gauge\s*\(\s*(?P<gmetric>[A-Za-z0-9_:]+)\s*\)
+    )
+    \s*<\s*(?P<threshold>[0-9.eE+-]+)\s*
+    (?P<options>(?:;[^;]*)*)
+    $""", re.VERBOSE)
+
+_OPTION_KEYS = {
+    "fast": ("fast_window_s", float),
+    "slow": ("slow_window_s", float),
+    "warn": ("warning_burn", float),
+    "critical": ("critical_burn", float),
+    "clear": ("clear_intervals", int),
+}
+
+
+def parse_slo(spec: str) -> Objective:
+    """Parse a compact objective spec.
+
+    Grammar (whitespace-insensitive)::
+
+        [name:] p99(metric)        < threshold [; key=value ...]
+        [name:] ratio(bad/total)   < threshold [; key=value ...]
+        [name:] gauge(metric)      < threshold [; key=value ...]
+
+    Options: ``fast=SECONDS``, ``slow=SECONDS``, ``warn=BURN``,
+    ``critical=BURN``, ``clear=N``,
+    ``feedback=tighten-admission+trip-breakers``.
+
+    Examples::
+
+        p99(repro_query_latency_seconds) < 0.25
+        errors: ratio(repro_guard_budget_exceeded_total /
+                      repro_queries_total) < 0.05; fast=30; slow=120
+        gauge(repro_exec_degraded) < 1; feedback=trip-breakers
+    """
+    match = _SPEC_RE.match(spec)
+    if not match:
+        raise ValueError(f"unparseable SLO spec: {spec!r}")
+    groups = match.groupdict()
+    kwargs: dict = {}
+    if groups["qmetric"]:
+        kind = KIND_QUANTILE
+        metric = groups["qmetric"]
+        kwargs["q"] = float(groups["q"]) / 100.0
+        default_name = f"p{groups['q']}-{metric}"
+    elif groups["num"]:
+        kind = KIND_RATIO
+        metric = groups["num"]
+        kwargs["total_metric"] = groups["den"]
+        default_name = f"ratio-{metric}"
+    else:
+        kind = KIND_GAUGE
+        metric = groups["gmetric"]
+        default_name = f"gauge-{metric}"
+    try:
+        threshold = float(groups["threshold"])
+    except ValueError:
+        raise ValueError(f"bad threshold in SLO spec: {spec!r}")
+    for chunk in (groups["options"] or "").split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if "=" not in chunk:
+            raise ValueError(f"bad SLO option {chunk!r} in {spec!r}")
+        key, _, value = chunk.partition("=")
+        key = key.strip().lower()
+        value = value.strip()
+        if key == "feedback":
+            kwargs["feedback"] = tuple(
+                part.strip() for part in value.split("+") if part.strip())
+        elif key in _OPTION_KEYS:
+            attr, cast = _OPTION_KEYS[key]
+            kwargs[attr] = cast(value)
+        else:
+            raise ValueError(f"unknown SLO option {key!r} in {spec!r}")
+    return Objective(name=groups["name"] or default_name, kind=kind,
+                     metric=metric, threshold=threshold, **kwargs)

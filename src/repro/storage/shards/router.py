@@ -34,7 +34,8 @@ from typing import Iterable, Optional, Sequence
 
 from ...errors import ShardError
 from ...guard.breaker import CircuitBreaker
-from ...obs import (NOOP, SHARD_BREAKER_STATE, SHARD_ROUTER_FANOUT,
+from ...obs import (NOOP, SHARD_BREAKER_STATE, SHARD_ROUTER_EXCLUSIONS,
+                    SHARD_ROUTER_FANOUT, SHARD_ROUTER_REROUTES,
                     SHARD_ROUTER_SKIPPED, Observability)
 from .reader import ShardIndex
 
@@ -60,6 +61,7 @@ class RouterReport:
     fanout: int = 0
     shards_queried: list = field(default_factory=list)
     skipped: dict = field(default_factory=dict)
+    evicted: list = field(default_factory=list)
     documents_routed: int = 0
     documents_skipped: int = 0
     reroutes: int = 0
@@ -82,6 +84,7 @@ class RouterReport:
             "fanout": self.fanout,
             "shards_queried": list(self.shards_queried),
             "skipped": {str(k): v for k, v in self.skipped.items()},
+            "evicted": list(self.evicted),
             "documents_routed": self.documents_routed,
             "documents_skipped": self.documents_skipped,
             "reroutes": self.reroutes,
@@ -143,6 +146,13 @@ class ShardRouter:
                                   reset_s=breaker_reset_s, clock=clock)
             for shard in self.index.attached_shards
         }
+        # Cumulative per-shard health (survives across runs; the
+        # /varz shards section and the ops console read it to show
+        # *which* shard is sick, not just that one is).
+        self.history: dict[int, dict] = {
+            shard: self._fresh_history()
+            for shard in self.index.attached_shards
+        }
         from ...exec.parallel import ParallelExecutor
         self.executor = ParallelExecutor(
             index_path=self.index, workers=workers,
@@ -192,17 +202,30 @@ class ShardRouter:
         for name in requested:
             # Unknown names raise here (unknown-document), exactly as
             # the in-memory executor raises DocumentError.
-            if self.index.shard_of(name) in healthy:
+            shard = self.index.shard_of(name)
+            if shard in healthy:
                 targets.append(name)
             else:
                 report.documents_skipped += 1
+                self._shard_history(shard)["documents_skipped"] += 1
         return targets, healthy
+
+    @staticmethod
+    def _fresh_history() -> dict:
+        return {"runs": 0, "failed_runs": 0, "excluded_runs": 0,
+                "reroutes": 0, "documents_skipped": 0,
+                "exclusions": {}, "last_exclusion": None}
+
+    def _shard_history(self, shard: int) -> dict:
+        # Attach-failed shards have no breaker but still need a ledger.
+        return self.history.setdefault(shard, self._fresh_history())
 
     def _evict(self, shard: int, reason: str, targets: list[str],
                healthy: set[int], report: RouterReport) -> list[str]:
         """Take a shard out of an in-flight run after a ShardError."""
         self._breakers[shard].record_failure()
         report.skipped[shard] = reason
+        report.evicted.append(shard)
         report.reroutes += 1
         healthy.discard(shard)
         kept = []
@@ -211,6 +234,8 @@ class ShardRouter:
                 report.documents_skipped += 1
             else:
                 kept.append(name)
+        self._shard_history(shard)["documents_skipped"] += (
+            len(targets) - len(kept))
         return kept
 
     def run(self, queries: Sequence, strategy=None,
@@ -263,6 +288,7 @@ class ShardRouter:
             else:
                 self._breakers[shard].record_success()
         self.last_report = report
+        self._remember(report)
         self._observe(ob, report)
         return results
 
@@ -276,6 +302,24 @@ class ShardRouter:
                         kernel=kernel, obs=obs, resilience=resilience,
                         faults=faults, budget=budget)[0]
 
+    def _remember(self, report: RouterReport) -> None:
+        """Fold one run's report into the cumulative per-shard ledger."""
+        failed_groups = (report.resilience.failed_groups
+                         if report.resilience is not None else {})
+        for shard in report.shards_queried:
+            entry = self._shard_history(shard)
+            entry["runs"] += 1
+            if failed_groups.get(shard):
+                entry["failed_runs"] += 1
+        for shard, reason in report.skipped.items():
+            entry = self._shard_history(shard)
+            entry["excluded_runs"] += 1
+            entry["exclusions"][reason] = (
+                entry["exclusions"].get(reason, 0) + 1)
+            entry["last_exclusion"] = reason
+        for shard in report.evicted:
+            self._shard_history(shard)["reroutes"] += 1
+
     def _observe(self, ob: Observability, report: RouterReport) -> None:
         if not ob.enabled:
             return
@@ -287,6 +331,17 @@ class ShardRouter:
             m.counter(SHARD_ROUTER_SKIPPED,
                       "Shards excluded from routed runs.").inc(
                           len(report.skipped))
+        for shard, reason in report.skipped.items():
+            m.counter(SHARD_ROUTER_EXCLUSIONS,
+                      "Shards excluded from routed runs, by shard "
+                      "and reason.",
+                      labels={"shard": str(shard), "reason": reason}
+                      ).inc()
+        for shard in report.evicted:
+            m.counter(SHARD_ROUTER_REROUTES,
+                      "Mid-run shard evictions rerouted to the "
+                      "surviving shards.",
+                      labels={"shard": str(shard)}).inc()
         for shard, breaker in self._breakers.items():
             m.gauge(SHARD_BREAKER_STATE,
                     "Per-shard breaker state (0 closed, 1 half-open, "
@@ -300,6 +355,30 @@ class ShardRouter:
     def breaker(self, shard: int) -> CircuitBreaker:
         """The circuit breaker guarding one attached shard."""
         return self._breakers[shard]
+
+    def pretrip_suspect_shards(self, min_failures: int = 1,
+                               reason: str = "pre-tripped"
+                               ) -> list[int]:
+        """Force-open the breakers of shards already showing trouble.
+
+        The SLO feedback loop calls this when a burn-rate alert goes
+        critical: instead of waiting for ``breaker_failures``
+        consecutive failed runs, any shard with at least
+        ``min_failures`` recent consecutive failures is taken out of
+        the fan-out immediately.  Healthy shards (zero consecutive
+        failures) are never touched.  Returns the shards tripped.
+        """
+        tripped: list[int] = []
+        for shard, breaker in sorted(self._breakers.items()):
+            if breaker.consecutive_failures < min_failures:
+                continue
+            if breaker.trip():
+                tripped.append(shard)
+                entry = self._shard_history(shard)
+                entry["exclusions"][reason] = (
+                    entry["exclusions"].get(reason, 0) + 1)
+                entry["last_exclusion"] = reason
+        return tripped
 
     @property
     def degraded(self) -> bool:
@@ -315,6 +394,8 @@ class ShardRouter:
             "index": self.index.stats(),
             "breakers": {str(s): b.to_dict()
                          for s, b in sorted(self._breakers.items())},
+            "history": {str(s): dict(h, exclusions=dict(h["exclusions"]))
+                        for s, h in sorted(self.history.items())},
             "last_run": self.last_report.to_dict(),
             "degraded": self.degraded,
         }

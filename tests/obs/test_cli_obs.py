@@ -263,3 +263,32 @@ class TestFlightRecorderSubcommand:
     def test_reachable_through_main(self, dump, capsys):
         assert main(["flightrecorder", dump]) == 0
         assert "profile(s)" in capsys.readouterr().out
+
+
+class TestServeSamplerAndSlo:
+    def _serve(self, book_file, *extra, queries="fragment join\n"):
+        from repro.cli import serve_main
+        return serve_main([book_file, *extra],
+                          stdin=io.StringIO(queries))
+
+    def test_sampler_and_slo_serve_and_announce_top(self, book_file,
+                                                    capsys):
+        code = self._serve(
+            book_file, "--sample-interval", "0.05",
+            "--slo", "p99(repro_query_latency_seconds) < 10",
+            "--slo", "errors: ratio(repro_guard_budget_exceeded_total/"
+                     "repro_queries_total) < 0.5")
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "repro-search top" in captured.err
+
+    def test_bad_slo_spec_is_an_error(self, book_file, capsys):
+        code = self._serve(book_file, "--slo", "latency below 2s")
+        assert code == 2
+        assert "unparseable SLO spec" in capsys.readouterr().err
+
+    def test_slo_requires_the_sampler(self, book_file, capsys):
+        code = self._serve(book_file, "--sample-interval", "0",
+                           "--slo", "p99(m) < 1")
+        assert code == 2
+        assert "--slo requires the sampler" in capsys.readouterr().err

@@ -1,0 +1,345 @@
+"""Tests for the metrics time-series store (``repro.obs.history``).
+
+Sketch correctness first — insert/merge/compress must keep the
+advertised rank-error bound honest — then the sampler: counter deltas
+and rates, gauge last-values, histogram folding into per-interval
+sketches, ring bounds, restart detection, and the windowed readers
+that back ``/timeseries``.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.obs import (HISTORY_SAMPLES, HISTORY_SERIES, MetricsHistory,
+                       MetricsRegistry, QuantileSketch)
+
+
+def _true_rank_error(sketch, values, q):
+    """Observed rank error of the sketch's ``q``-quantile against the
+    sorted ground truth."""
+    values = sorted(values)
+    reported = sketch.query(q)
+    at_or_below = sum(1 for v in values if v <= reported)
+    return abs(at_or_below / len(values) - q)
+
+
+class TestQuantileSketch:
+    def test_empty_sketch(self):
+        sketch = QuantileSketch()
+        assert sketch.query(0.5) is None
+        assert sketch.count == 0
+        assert len(sketch) == 0
+        assert sketch.rank_error_bound == sketch.epsilon
+
+    def test_exact_on_small_input(self):
+        sketch = QuantileSketch()
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0]:
+            sketch.insert(v)
+        assert sketch.query(0.0) == 1.0
+        assert sketch.query(1.0) == 5.0
+        assert 2.0 <= sketch.query(0.5) <= 3.0
+        assert sketch.count == 5
+
+    def test_duplicate_values_coalesce(self):
+        sketch = QuantileSketch()
+        for _ in range(1000):
+            sketch.insert(7.0)
+        assert len(sketch) == 1
+        assert sketch.count == 1000
+        assert sketch.query(0.5) == 7.0
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(epsilon=0.0)
+        with pytest.raises(ValueError):
+            QuantileSketch(epsilon=0.7)
+        with pytest.raises(ValueError):
+            QuantileSketch().query(1.5)
+
+    def test_bounded_memory_and_honest_bound_on_raw_stream(self):
+        rng = random.Random(42)
+        sketch = QuantileSketch(epsilon=0.01)
+        values = [rng.gauss(100.0, 25.0) for _ in range(50_000)]
+        for v in values:
+            sketch.insert(v)
+        sketch.compress()
+        # Memory stays near capacity (2x amortisation slack at most).
+        assert len(sketch) <= 2 * max(8, int(3 / 0.01))
+        bound = sketch.rank_error_bound
+        for q in (0.01, 0.1, 0.5, 0.9, 0.95, 0.99):
+            assert _true_rank_error(sketch, values, q) <= bound + 1e-9
+        # The honest bound must stay useful, not collapse to ~1.
+        assert bound < 0.1
+
+    def test_merge_preserves_bound(self):
+        rng = random.Random(7)
+        all_values = []
+        sketches = []
+        for _ in range(10):
+            sketch = QuantileSketch(epsilon=0.01)
+            chunk = [rng.expovariate(0.01) for _ in range(2000)]
+            for v in chunk:
+                sketch.insert(v)
+            all_values.extend(chunk)
+            sketches.append(sketch)
+        merged = QuantileSketch.merged(sketches)
+        assert merged.count == len(all_values)
+        bound = merged.rank_error_bound
+        for q in (0.5, 0.9, 0.99):
+            assert _true_rank_error(merged, all_values, q) \
+                <= bound + 1e-9
+
+    def test_bucket_fed_sketch_stays_exact(self):
+        bounds = (0.01, 0.05, 0.1, 0.5, 1.0)
+        sketch = QuantileSketch(epsilon=0.005)
+        for _ in range(500):  # 500 intervals of identical deltas
+            sketch.observe_buckets(bounds, (10, 5, 3, 1, 0, 1))
+        # Fixed value domain: one representative per bucket.
+        assert len(sketch) <= len(bounds) + 1
+        assert sketch.rank_error_bound == 0.005
+        assert sketch.count == 500 * 20
+        # Half the mass is in the first bucket: p25 below its bound.
+        assert sketch.query(0.25) <= 0.01
+
+    def test_bucket_tail_uses_last_finite_bound(self):
+        sketch = QuantileSketch()
+        sketch.observe_buckets((1.0, 2.0), (0, 0, 5))
+        assert sketch.query(0.99) == 2.0
+
+    def test_roundtrip_serialisation(self):
+        sketch = QuantileSketch(epsilon=0.01)
+        for v in (1.0, 2.0, 2.0, 3.0, 10.0):
+            sketch.insert(v)
+        clone = QuantileSketch.from_dict(sketch.to_dict())
+        assert clone.count == sketch.count
+        assert clone.epsilon == sketch.epsilon
+        for q in (0.1, 0.5, 0.9):
+            assert clone.query(q) == sketch.query(q)
+
+
+class _Clock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, seconds):
+        self.now += seconds
+        return self.now
+
+
+@pytest.fixture()
+def clocked():
+    registry = MetricsRegistry()
+    clock = _Clock()
+    history = MetricsHistory(registry, interval_s=5.0, capacity=8,
+                             clock=clock)
+    return registry, history, clock
+
+
+class TestMetricsHistorySampling:
+    def test_first_sample_is_baseline_for_counters(self, clocked):
+        registry, history, clock = clocked
+        registry.counter("c_total", "d").inc(10)
+        history.sample_once()
+        # Counters need movement: no points yet.
+        assert history.delta("c_total") == 0.0
+        clock.tick(5)
+        registry.counter("c_total", "d").inc(3)
+        history.sample_once()
+        assert history.delta("c_total") == 3.0
+
+    def test_counter_rate_and_windowing(self, clocked):
+        registry, history, clock = clocked
+        counter = registry.counter("qps_total", "d")
+        history.sample_once()
+        for _ in range(4):
+            clock.tick(5)
+            counter.inc(10)
+            history.sample_once()
+        doc = history.window("qps_total", window_s=10.0)
+        assert doc["samples"] == 2
+        assert doc["sum"] == 20.0
+        assert doc["rate"] == pytest.approx(2.0)
+        assert history.delta("qps_total") == 40.0
+
+    def test_counter_reset_detected(self, clocked):
+        registry, history, clock = clocked
+        registry.counter("r_total", "d").inc(100)
+        history.sample_once()
+        clock.tick(5)
+        registry.counter("r_total", "d").inc(1)
+        history.sample_once()
+        # Simulate a restart: replace the registry contents.
+        fresh = MetricsRegistry()
+        fresh.counter("r_total", "d").inc(4)
+        history.registry = fresh
+        clock.tick(5)
+        history.sample_once()
+        # 101 -> 4 went backwards; the new value is the delta.
+        assert history.delta("r_total") == 1.0 + 4.0
+
+    def test_gauge_last_min_max(self, clocked):
+        registry, history, clock = clocked
+        gauge = registry.gauge("level", "d")
+        for value in (3.0, 9.0, 5.0):
+            gauge.set(value)
+            history.sample_once()
+            clock.tick(5)
+        doc = history.window("level")
+        assert doc["last"] == 5.0
+        assert doc["min"] == 3.0
+        assert doc["max"] == 9.0
+        assert history.last("level") == 5.0
+        assert history.last("level", window_s=60.0) == 9.0
+
+    def test_histogram_folds_to_window_quantiles(self, clocked):
+        registry, history, clock = clocked
+        hist = registry.histogram("lat", "d",
+                                  buckets=(0.01, 0.1, 1.0))
+        history.sample_once()
+        for _ in range(3):
+            clock.tick(5)
+            for _ in range(90):
+                hist.observe(0.005)
+            for _ in range(10):
+                hist.observe(0.5)
+            history.sample_once()
+        doc = history.window("lat")
+        assert doc["count"] == 300
+        assert doc["quantiles"]["p50"] <= 0.01
+        assert 0.1 <= doc["quantiles"]["p99"] <= 1.0
+        assert history.quantile("lat", 0.5) <= 0.01
+        # Sum/mean come from the histogram's exact sum.
+        assert doc["mean"] == pytest.approx((90 * 0.005 + 10 * 0.5)
+                                            / 100)
+
+    def test_ring_capacity_bounds_memory(self, clocked):
+        registry, history, clock = clocked
+        counter = registry.counter("ring_total", "d")
+        for _ in range(30):
+            counter.inc()
+            history.sample_once()
+            clock.tick(5)
+        series = history.series("ring_total")[0]
+        assert series["samples"] == 8  # capacity=8
+        # The ring holds the newest points.
+        assert series["points"][-1][0] == pytest.approx(
+            clock.now - 5)
+
+    def test_labelled_series_are_distinct_and_aggregated(self, clocked):
+        registry, history, clock = clocked
+        history.sample_once()
+        clock.tick(5)
+        registry.counter("lab_total", "d", labels={"k": "a"}).inc(2)
+        registry.counter("lab_total", "d", labels={"k": "b"}).inc(5)
+        history.sample_once()
+        assert history.delta("lab_total", labels={"k": "a"}) == 2.0
+        assert history.delta("lab_total", labels={"k": "b"}) == 5.0
+        assert history.delta("lab_total") == 7.0  # both label sets
+
+    def test_max_series_drops_and_counts(self):
+        registry = MetricsRegistry()
+        clock = _Clock()
+        history = MetricsHistory(registry, interval_s=5.0, capacity=4,
+                                 max_series=3, clock=clock)
+        for i in range(6):
+            registry.gauge(f"g{i}", "d").set(i)
+        history.sample_once()
+        stats = history.stats()
+        assert stats["series"] == 3
+        assert stats["series_dropped"] >= 3
+
+    def test_missing_series_reads_return_none(self, clocked):
+        _registry, history, _clock = clocked
+        assert history.window("nope") is None
+        assert history.quantile("nope", 0.99) is None
+        assert history.delta("nope") is None
+        assert history.last("nope") is None
+        assert history.series("nope") == []
+
+    def test_sampler_self_reports(self, clocked):
+        registry, history, clock = clocked
+        history.sample_once()
+        clock.tick(5)
+        history.sample_once()
+        assert registry.get(HISTORY_SAMPLES).value == 2
+        assert registry.get(HISTORY_SERIES).value >= 1
+
+    def test_listener_runs_after_fold(self, clocked):
+        _registry, history, clock = clocked
+        seen = []
+        history.add_listener(lambda h, now: seen.append(now))
+        history.sample_once()
+        clock.tick(5)
+        history.sample_once()
+        assert seen == [1000.0, 1005.0]
+
+    def test_timeseries_doc_catalog_and_named(self, clocked):
+        registry, history, clock = clocked
+        registry.gauge("g", "d").set(1)
+        history.sample_once()
+        catalog = history.timeseries_doc()
+        assert {"stats", "series"} <= set(catalog)
+        assert any(s["name"] == "g" for s in catalog["series"])
+        named = history.timeseries_doc("g", window_s=60.0)
+        assert named["name"] == "g"
+        assert named["window"]["last"] == 1
+
+    def test_constructor_validation(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            MetricsHistory(registry, interval_s=0)
+        with pytest.raises(ValueError):
+            MetricsHistory(registry, capacity=1)
+        with pytest.raises(ValueError):
+            MetricsHistory(registry, max_series=0)
+
+
+class TestSamplerThread:
+    def test_start_stop_and_context_manager(self):
+        registry = MetricsRegistry()
+        registry.counter("t_total", "d").inc()
+        history = MetricsHistory(registry, interval_s=0.01)
+        with history as running:
+            assert running is history
+            assert history.running
+            assert history._thread.daemon
+            deadline = threading.Event()
+            for _ in range(200):
+                if history.stats()["samples"] >= 3:
+                    break
+                deadline.wait(0.01)
+        assert not history.running
+        assert history.stats()["samples"] >= 3
+        # Idempotent stop, restartable start.
+        history.stop()
+        history.start()
+        assert history.running
+        history.stop()
+
+    def test_sampler_survives_registry_errors(self):
+        registry = MetricsRegistry()
+        history = MetricsHistory(registry, interval_s=0.01)
+
+        class Boom:
+            def to_json(self):
+                raise RuntimeError("boom")
+
+        history.registry = Boom()
+        history.start()
+        try:
+            done = threading.Event()
+            for _ in range(200):
+                if history._sample_errors >= 2:
+                    break
+                done.wait(0.01)
+        finally:
+            history.stop()
+        assert history._sample_errors >= 2
+        assert history.stats()["sample_errors"] >= 2

@@ -348,3 +348,97 @@ class TestIngest:
             "traces_in_store": 0}
         assert snap["outcomes"] == {"ok": 2}
         assert len(snap["profiles"]) == 2
+
+
+class TestDumpHookRegistry:
+    """Regressions for the process-wide dump-hook ledger: hooks must
+    be idempotent per recorder, re-registration-safe, and must fully
+    restore signal dispositions when the last hook is removed."""
+
+    def test_reinstall_replaces_the_previous_path(self, tmp_path):
+        from repro.obs.recorder import _DUMP_HOOKS
+
+        recorder = FlightRecorder(RecorderConfig(slow_ms=None))
+        _observe(recorder, MetricsRegistry())
+        stale = tmp_path / "stale.jsonl"
+        fresh = tmp_path / "fresh.jsonl"
+        uninstall_stale = recorder.install_dump_hook(stale, signals=())
+        uninstall = recorder.install_dump_hook(fresh, signals=())
+        try:
+            _DUMP_HOOKS._dump_all()
+            # The re-registered path wins; the stale one never fires.
+            assert fresh.exists()
+            assert not stale.exists()
+        finally:
+            uninstall()
+            uninstall_stale()  # stale token: must be a quiet no-op
+        profiles, _ = load_dump(fresh)
+        assert len(profiles) == 1
+
+    def test_each_recorder_dumps_at_most_once(self, tmp_path):
+        from repro.obs.recorder import _DUMP_HOOKS
+
+        recorder = FlightRecorder(RecorderConfig(slow_ms=None))
+        _observe(recorder, MetricsRegistry())
+        path = tmp_path / "once.jsonl"
+        uninstall = recorder.install_dump_hook(path, signals=())
+        try:
+            _DUMP_HOOKS._dump_all()
+            first = path.read_bytes()
+            _observe(recorder, MetricsRegistry())
+            _DUMP_HOOKS._dump_all()  # second trigger: already dumped
+            assert path.read_bytes() == first
+        finally:
+            uninstall()
+
+    def test_two_recorders_both_dump(self, tmp_path):
+        from repro.obs.recorder import _DUMP_HOOKS
+
+        paths = []
+        uninstalls = []
+        try:
+            for name in ("a", "b"):
+                recorder = FlightRecorder(RecorderConfig(slow_ms=None))
+                _observe(recorder, MetricsRegistry())
+                path = tmp_path / f"{name}.jsonl"
+                paths.append(path)
+                uninstalls.append(
+                    recorder.install_dump_hook(path, signals=()))
+            _DUMP_HOOKS._dump_all()
+            for path in paths:
+                profiles, _ = load_dump(path)
+                assert len(profiles) == 1
+        finally:
+            for uninstall in uninstalls:
+                uninstall()
+
+    def test_signal_disposition_restored_after_last_uninstall(
+            self, tmp_path):
+        import signal as signal_module
+
+        from repro.obs.recorder import _DUMP_HOOKS
+
+        signum = signal_module.SIGUSR1
+        before = signal_module.getsignal(signum)
+        recorder = FlightRecorder(RecorderConfig(slow_ms=None))
+        first = recorder.install_dump_hook(tmp_path / "a.jsonl",
+                                           signals=(signum,))
+        installed = signal_module.getsignal(signum)
+        assert installed == _DUMP_HOOKS._on_signal
+        # A second recorder on the same signal: one dispatcher, ever.
+        other = FlightRecorder(RecorderConfig(slow_ms=None))
+        second = other.install_dump_hook(tmp_path / "b.jsonl",
+                                         signals=(signum,))
+        assert signal_module.getsignal(signum) == installed
+        first()
+        # One hook still registered: the dispatcher stays armed.
+        assert signal_module.getsignal(signum) == installed
+        second()
+        # Last hook gone: the original disposition is back.
+        assert signal_module.getsignal(signum) == before
+        # A later install re-arms from scratch.
+        third = other.install_dump_hook(tmp_path / "c.jsonl",
+                                        signals=(signum,))
+        assert signal_module.getsignal(signum) == _DUMP_HOOKS._on_signal
+        third()
+        assert signal_module.getsignal(signum) == before

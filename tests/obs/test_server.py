@@ -241,3 +241,124 @@ class TestFlightRecorderRoutes:
             _, _, prom = _get(server.url + "/metrics")
         assert "repro_cost_calibration_ratio" in prom
         assert 'strategy="pushdown"' in prom
+
+
+class TestTimeseriesAndAlertRoutes:
+    def test_timeseries_404_without_history(self, obs):
+        with MetricsServer(obs) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(server.url + "/timeseries")
+            assert err.value.code == 404
+            assert json.loads(err.value.read())["error"] == "no-history"
+
+    def test_timeseries_catalog_named_and_windowed(self, obs):
+        from repro.obs import MetricsHistory
+
+        history = MetricsHistory(obs.metrics, interval_s=0.01)
+        with MetricsServer(obs, history=history) as server:
+            # The server owns the sampler: wait for a couple of samples.
+            import threading
+            settle = threading.Event()
+            for _ in range(500):
+                if history.stats()["samples"] >= 2:
+                    break
+                settle.wait(0.01)
+            _, catalog = _get_json(server.url + "/timeseries")
+            assert catalog["stats"]["samples"] >= 2
+            assert any(s["name"] == "repro_queries_total"
+                       for s in catalog["series"])
+            _, named = _get_json(
+                server.url + "/timeseries?name=repro_queries_total"
+                             "&window=60")
+            assert named["name"] == "repro_queries_total"
+            assert named["window_s"] == 60.0
+            # The counter never moved after the baseline sample.
+            assert named["window"]["samples"] >= 1
+            assert named["window"]["sum"] == 0.0
+        assert not history.running
+
+    def test_timeseries_400_on_bad_window(self, obs):
+        from repro.obs import MetricsHistory
+
+        history = MetricsHistory(obs.metrics, interval_s=60.0)
+        with MetricsServer(obs, history=history) as server:
+            for window in ("banana", "-5", "0"):
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    _get(server.url + f"/timeseries?window={window}")
+                assert err.value.code == 400
+
+    def test_alertz_disabled_without_monitor(self, obs):
+        with MetricsServer(obs) as server:
+            status, doc = _get_json(server.url + "/alertz")
+        assert status == 200
+        assert doc["enabled"] is False
+        assert doc["state"] == "ok"
+        assert doc["objectives"] == 0
+
+    def test_alertz_and_healthz_follow_the_monitor(self, obs):
+        from repro.obs import MetricsHistory
+        from repro.obs.slo import Objective, SLOMonitor
+
+        obs.metrics.gauge("overload", "d").set(9.0)
+        history = MetricsHistory(obs.metrics, interval_s=3600.0)
+        slo = SLOMonitor(history, [Objective(
+            name="load", kind="gauge", metric="overload",
+            threshold=1.0, fast_window_s=5.0, slow_window_s=10.0)],
+            metrics=obs.metrics)
+        with MetricsServer(obs, history=history, slo=slo) as server:
+            history.sample_once()
+            _, doc = _get_json(server.url + "/alertz")
+            assert doc["state"] == "critical"
+            assert doc["alerts"][0]["fast_burn"] == pytest.approx(9.0)
+            status, _ctype, body = _get(server.url + "/healthz")
+            assert (status, body.strip()) == (200, "degraded")
+
+    def test_varz_history_and_slo_sections(self, obs):
+        from repro.obs import MetricsHistory
+        from repro.obs.slo import Objective, SLOMonitor
+
+        history = MetricsHistory(obs.metrics, interval_s=3600.0)
+        slo = SLOMonitor(history, [Objective(
+            name="o", kind="gauge", metric="m", threshold=1.0)],
+            metrics=obs.metrics)
+        with MetricsServer(obs, history=history, slo=slo) as server:
+            history.sample_once()
+            _, varz = _get_json(server.url + "/varz")
+        assert varz["history"]["samples"] == 1
+        assert varz["history"]["interval_s"] == 3600.0
+        assert varz["slo"]["objectives"] == 1
+        assert varz["slo"]["alerts"][0]["name"] == "o"
+
+    def test_mismatched_monitor_history_rejected(self, obs):
+        from repro.obs import MetricsHistory, MetricsRegistry
+        from repro.obs.slo import Objective, SLOMonitor
+
+        history = MetricsHistory(obs.metrics, interval_s=60.0)
+        foreign = MetricsHistory(MetricsRegistry(), interval_s=60.0)
+        slo = SLOMonitor(foreign, [Objective(
+            name="o", kind="gauge", metric="m", threshold=1.0)])
+        with pytest.raises(ValueError):
+            MetricsServer(obs, history=history, slo=slo)
+
+    def test_varz_process_reports_rss_kind(self, obs):
+        with MetricsServer(obs) as server:
+            _, varz = _get_json(server.url + "/varz")
+        process = varz["process"]
+        assert "rss_kind" in process
+        if process["rss_bytes"] is not None:
+            assert process["rss_kind"] in ("current", "peak")
+        else:
+            assert process["rss_kind"] is None
+
+    def test_caller_owned_sampler_stays_running(self, obs):
+        from repro.obs import MetricsHistory
+
+        history = MetricsHistory(obs.metrics, interval_s=60.0)
+        history.start()
+        try:
+            with MetricsServer(obs, history=history):
+                assert history.running
+            # The caller started it, so stop() must leave it alone.
+            assert history.running
+        finally:
+            history.stop()

@@ -1,0 +1,483 @@
+"""Tests for the SLO burn-rate engine (``repro.obs.slo``).
+
+Objective parsing and validation, then the multi-window state
+machine driven deterministically (fake clock, manual samples), and
+finally the end-to-end acceptance path: deterministic fault injection
+against a sharded collection drives a seeded burn-rate SLO from ok to
+critical, flips ``/healthz`` to degraded, and — with feedback enabled
+— tightens admission until the alert clears.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import (CHUNK_RETRIES, POOL_CHUNKS, MetricsHistory,
+                       MetricsRegistry, Observability)
+from repro.obs.slo import (ALERT_STATE_CODES, CRITICAL,
+                           FEEDBACK_TIGHTEN_ADMISSION,
+                           FEEDBACK_TRIP_BREAKERS, OK, SLO_BURN_RATE,
+                           SLO_STATE, WARNING, AlertState, Objective,
+                           SLOMonitor, parse_slo)
+
+pytestmark = pytest.mark.timeout(120)
+
+
+class _Clock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, seconds=5.0):
+        self.now += seconds
+        return self.now
+
+
+class TestObjectiveValidation:
+    def test_rejects_bad_parameters(self):
+        good = dict(name="o", kind="gauge", metric="m", threshold=1.0)
+        with pytest.raises(ValueError):
+            Objective(**{**good, "kind": "mean"})
+        with pytest.raises(ValueError):
+            Objective(**{**good, "threshold": 0.0})
+        with pytest.raises(ValueError):
+            Objective(**{**good, "kind": "quantile", "q": 1.0})
+        with pytest.raises(ValueError):
+            Objective(**{**good, "kind": "ratio"})  # no total_metric
+        with pytest.raises(ValueError):
+            Objective(**{**good, "fast_window_s": 0.0})
+        with pytest.raises(ValueError):
+            Objective(**{**good, "fast_window_s": 60.0,
+                         "slow_window_s": 30.0})
+        with pytest.raises(ValueError):
+            Objective(**{**good, "clear_intervals": 0})
+        with pytest.raises(ValueError):
+            Objective(**{**good, "feedback": ("reboot",)})
+
+    def test_describe_every_kind(self):
+        assert Objective(name="a", kind="quantile", metric="m",
+                         threshold=0.25, q=0.99
+                         ).describe() == "p99(m) < 0.25"
+        assert Objective(name="b", kind="ratio", metric="bad",
+                         total_metric="all", threshold=0.05
+                         ).describe() == "ratio(bad/all) < 0.05"
+        assert Objective(name="c", kind="gauge", metric="m",
+                         threshold=1.0).describe() == "gauge(m) < 1"
+
+    def test_to_dict_carries_expr_and_feedback(self):
+        doc = Objective(name="o", kind="gauge", metric="m",
+                        threshold=2.0,
+                        feedback=(FEEDBACK_TIGHTEN_ADMISSION,)
+                        ).to_dict()
+        assert doc["expr"] == "gauge(m) < 2"
+        assert doc["feedback"] == [FEEDBACK_TIGHTEN_ADMISSION]
+
+
+class TestParseSlo:
+    def test_quantile_form_with_defaults(self):
+        objective = parse_slo("p99(repro_query_latency_seconds) < 0.25")
+        assert objective.kind == "quantile"
+        assert objective.q == 0.99
+        assert objective.metric == "repro_query_latency_seconds"
+        assert objective.threshold == 0.25
+        assert objective.name == "p99-repro_query_latency_seconds"
+        assert objective.fast_window_s == 60.0
+        assert objective.feedback == ()
+
+    def test_named_ratio_with_options(self):
+        objective = parse_slo(
+            "errors: ratio(bad_total/all_total) < 0.05; fast=30;"
+            " slow=120; warn=1.5; critical=4; clear=2;"
+            " feedback=tighten-admission+trip-breakers")
+        assert objective.name == "errors"
+        assert objective.kind == "ratio"
+        assert objective.metric == "bad_total"
+        assert objective.total_metric == "all_total"
+        assert (objective.fast_window_s, objective.slow_window_s) \
+            == (30.0, 120.0)
+        assert (objective.warning_burn, objective.critical_burn) \
+            == (1.5, 4.0)
+        assert objective.clear_intervals == 2
+        assert objective.feedback == (FEEDBACK_TIGHTEN_ADMISSION,
+                                      FEEDBACK_TRIP_BREAKERS)
+
+    def test_gauge_form(self):
+        objective = parse_slo("gauge(repro_exec_degraded) < 1")
+        assert objective.kind == "gauge"
+        assert objective.name == "gauge-repro_exec_degraded"
+
+    def test_rejects_malformed_specs(self):
+        for spec in ("latency < 0.25",           # no aggregate form
+                     "p99(m) < banana",          # threshold not a float
+                     "p99(m) < 0.25; nope",      # option without =
+                     "p99(m) < 0.25; color=red",  # unknown option
+                     "p99(m) < 0.25; feedback=reboot",  # bad action
+                     "ratio(a) < 0.1"):          # ratio needs a/b
+            with pytest.raises(ValueError):
+                parse_slo(spec)
+
+
+@pytest.fixture()
+def stack():
+    registry = MetricsRegistry()
+    clock = _Clock()
+    history = MetricsHistory(registry, interval_s=5.0, capacity=64,
+                             clock=clock)
+    return registry, history, clock
+
+
+def _monitor(history, clock, *objectives, metrics=None):
+    return SLOMonitor(history, objectives, metrics=metrics,
+                      clock=clock)
+
+
+class TestSLOMonitorStateMachine:
+    def test_no_data_is_ok(self, stack):
+        _registry, history, clock = stack
+        monitor = _monitor(history, clock, Objective(
+            name="o", kind="gauge", metric="missing", threshold=1.0))
+        assert monitor.evaluate() == {"o": OK}
+        state = monitor.state_of("o")
+        assert state.fast_burn is None
+        assert monitor.worst_state == OK
+        assert not monitor.critical
+
+    def test_gauge_escalates_immediately(self, stack):
+        registry, history, clock = stack
+        gauge = registry.gauge("load", "d")
+        monitor = _monitor(history, clock, Objective(
+            name="o", kind="gauge", metric="load", threshold=1.0,
+            fast_window_s=10.0, slow_window_s=20.0, critical_burn=2.0))
+        gauge.set(0.5)
+        history.sample_once(clock.now)
+        assert monitor.evaluate()["o"] == OK
+        gauge.set(2.5)  # burn 2.5 in both windows
+        history.sample_once(clock.tick())
+        assert monitor.evaluate()["o"] == CRITICAL
+        state = monitor.state_of("o")
+        assert state.since == clock.now
+        assert state.transitions == 1
+        assert state.fast_burn == pytest.approx(2.5)
+
+    def test_single_blip_tops_out_at_warning(self, stack):
+        """A hot fast window with a cold slow window must not page:
+        the slow window has to burn too (the multi-window recipe)."""
+        registry, history, clock = stack
+        bad = registry.counter("bad_total", "d")
+        total = registry.counter("all_total", "d")
+        monitor = _monitor(history, clock, Objective(
+            name="errors", kind="ratio", metric="bad_total",
+            total_metric="all_total", threshold=0.05,
+            fast_window_s=5.0, slow_window_s=60.0, critical_burn=2.0))
+        history.sample_once(clock.now)
+        # A long healthy stretch, then one fully-failing interval.
+        for _ in range(10):
+            total.inc(1000)
+            history.sample_once(clock.tick())
+            assert monitor.evaluate()["errors"] == OK
+        bad.inc(100)
+        total.inc(100)
+        history.sample_once(clock.tick())
+        assert monitor.evaluate()["errors"] == WARNING
+        state = monitor.state_of("errors")
+        assert state.fast_burn >= 2.0          # hot enough for critical
+        assert state.slow_burn is not None
+        assert state.slow_burn < 1.0           # ... but not sustained
+
+    def test_deescalation_needs_consecutive_clean_intervals(self, stack):
+        registry, history, clock = stack
+        gauge = registry.gauge("load", "d")
+        monitor = _monitor(history, clock, Objective(
+            name="o", kind="gauge", metric="load", threshold=1.0,
+            fast_window_s=5.0, slow_window_s=10.0, clear_intervals=3))
+        gauge.set(5.0)
+        history.sample_once(clock.now)
+        assert monitor.evaluate()["o"] == CRITICAL
+
+        def step(value):
+            gauge.set(value)
+            history.sample_once(clock.tick())
+            return monitor.evaluate()["o"]
+
+        assert step(0.1) == CRITICAL   # clean streak 1
+        assert step(0.1) == CRITICAL   # clean streak 2
+        assert step(5.0) == CRITICAL   # flap: streak resets
+        assert step(0.1) == CRITICAL
+        assert step(0.1) == CRITICAL
+        assert step(0.1) == OK         # third consecutive clean
+        assert monitor.state_of("o").transitions == 2
+
+    def test_listener_sees_transitions_with_previous_state(self, stack):
+        registry, history, clock = stack
+        gauge = registry.gauge("load", "d")
+        monitor = _monitor(history, clock, Objective(
+            name="o", kind="gauge", metric="load", threshold=1.0,
+            fast_window_s=5.0, slow_window_s=10.0, clear_intervals=1))
+        seen = []
+        monitor.add_listener(
+            lambda state, previous: seen.append((state.objective.name,
+                                                 previous,
+                                                 state.state)))
+        gauge.set(9.0)
+        history.sample_once(clock.now)
+        monitor.evaluate()
+        gauge.set(0.0)
+        history.sample_once(clock.tick())
+        monitor.evaluate()
+        assert seen == [("o", OK, CRITICAL), ("o", CRITICAL, OK)]
+        assert all(isinstance(s, str) for _, s, _ in seen)
+
+    def test_publishes_state_and_burn_gauges(self, stack):
+        registry, history, clock = stack
+        registry.gauge("load", "d").set(3.0)
+        monitor = _monitor(history, clock, Objective(
+            name="o", kind="gauge", metric="load", threshold=1.0,
+            fast_window_s=5.0, slow_window_s=10.0),
+            metrics=registry)
+        history.sample_once(clock.now)
+        monitor.evaluate()
+        assert registry.get(SLO_STATE, labels={"slo": "o"}).value \
+            == ALERT_STATE_CODES[CRITICAL]
+        assert registry.get(SLO_BURN_RATE,
+                            labels={"slo": "o", "window": "fast"}
+                            ).value == pytest.approx(3.0)
+
+    def test_snapshot_document_shape(self, stack):
+        registry, history, clock = stack
+        registry.gauge("load", "d").set(0.0)
+        monitor = _monitor(history, clock, Objective(
+            name="o", kind="gauge", metric="load", threshold=1.0))
+        history.sample_once(clock.now)
+        monitor.evaluate()
+        doc = monitor.snapshot()
+        assert doc["enabled"] is True
+        assert doc["state"] == OK
+        assert doc["objectives"] == 1
+        alert = doc["alerts"][0]
+        assert alert["name"] == "o"
+        assert alert["expr"] == "gauge(load) < 1"
+        assert {"fast_burn", "slow_burn", "since",
+                "transitions"} <= set(alert)
+        json.dumps(doc)  # must be JSON-serialisable as served
+
+    def test_attach_evaluates_after_each_sample(self, stack):
+        registry, history, clock = stack
+        registry.gauge("load", "d").set(7.0)
+        monitor = _monitor(history, clock, Objective(
+            name="o", kind="gauge", metric="load", threshold=1.0,
+            fast_window_s=5.0, slow_window_s=10.0))
+        monitor.attach().attach()  # idempotent
+        history.sample_once(clock.now)
+        assert monitor.state_of("o").evaluations == 1
+        assert monitor.worst_state == CRITICAL
+
+    def test_duplicate_objective_names_rejected(self, stack):
+        _registry, history, clock = stack
+        objective = Objective(name="o", kind="gauge", metric="m",
+                              threshold=1.0)
+        with pytest.raises(ValueError):
+            _monitor(history, clock, objective, objective)
+
+
+# ----------------------------------------------------------------------
+# End-to-end: faults -> burn rate -> critical -> feedback
+# ----------------------------------------------------------------------
+
+
+class ToggleFaults:
+    """A :class:`~repro.exec.faults.FaultPlan` with an off switch:
+    while armed, the first attempt of every chunk fails (retries
+    succeed, so runs recover without the serial fallback)."""
+
+    def __init__(self):
+        from repro.exec.faults import FaultRule
+        self.rule = FaultRule.flaky(chunk=None, times=1)
+        self.armed = False
+
+    def for_chunk(self, chunk_index, attempt):
+        if self.armed and self.rule.matches(chunk_index, attempt):
+            return {"kind": self.rule.kind, "attempt": attempt}
+        return None
+
+    def __bool__(self):
+        return True
+
+
+def _get(url, timeout=10):
+    with urllib.request.urlopen(url, timeout=timeout) as reply:
+        return reply.status, reply.read().decode("utf-8")
+
+
+def _post_query(url, payload, timeout=60):
+    request = urllib.request.Request(
+        url + "/query", data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"}, method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as reply:
+            return reply.status, json.loads(reply.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def test_burn_rate_slo_flips_healthz_and_tightens_admission(tmp_path):
+    """The acceptance path: deterministic chunk faults against a
+    sharded collection push a retry-ratio SLO from ok to critical
+    within two fast windows; ``/healthz`` flips to degraded, feedback
+    halves the admission cost ceiling (rejecting a query that passed
+    before), and recovery restores both.
+    """
+    from repro.collection.sharded import ShardedDocumentCollection
+    from repro.core.query import Query
+    from repro.exec.resilience import FALLBACK_NEVER, RetryPolicy
+    from repro.guard.admission import AdmissionPolicy
+    from repro.obs.server import MetricsServer, QueryGuardrails
+    from repro.storage.shards import build_index
+    from repro.workloads.inexlike import InexSpec, generate_collection
+
+    corpus = generate_collection(
+        InexSpec(articles=6, nodes_per_article=80, seed=13))
+    build_index({name: corpus.document(name)
+                 for name in corpus.names()},
+                tmp_path / "index", shards=3)
+    collection = ShardedDocumentCollection(tmp_path / "index")
+
+    # Price the workload query on this corpus, then set the ceiling
+    # so it is admitted as configured but rejected once halved.
+    query = Query(("needle", "thread"))
+    probe = collection.screen(AdmissionPolicy(max_cost=float("inf"),
+                                              downgrade_to=None),
+                              query)
+    cost = probe.requested_cost
+    assert cost > 0
+
+    faults = ToggleFaults()
+    rails = QueryGuardrails(
+        workers=2, faults=faults,
+        resilience=RetryPolicy(max_retries=2, fallback=FALLBACK_NEVER),
+        admission=AdmissionPolicy(max_cost=cost * 1.5,
+                                  downgrade_to=None))
+    clock = _Clock()
+    obs = Observability()
+    # interval_s only paces the server-owned sampler thread; a huge
+    # interval parks it so the fake clock drives every sample here.
+    history = MetricsHistory(obs.metrics, interval_s=3600.0,
+                             clock=clock)
+    objective = Objective(
+        name="retries", kind="ratio", metric=CHUNK_RETRIES,
+        total_metric=POOL_CHUNKS, threshold=0.05,
+        fast_window_s=10.0, slow_window_s=20.0,
+        warning_burn=1.0, critical_burn=2.0, clear_intervals=2,
+        feedback=(FEEDBACK_TIGHTEN_ADMISSION,
+                  FEEDBACK_TRIP_BREAKERS))
+    slo = SLOMonitor(history, [objective], metrics=obs.metrics,
+                     clock=clock)
+
+    with MetricsServer(obs, collection=collection, guardrails=rails,
+                       history=history, slo=slo,
+                       slo_feedback=True) as server:
+        guard = server._server.guard
+
+        def run_queries(n=2):
+            for _ in range(n):
+                status, body = _post_query(server.url,
+                                           {"query": "needle thread"})
+                assert status == 200, body
+            return body
+
+        # Healthy phase: queries flow, the SLO is ok, healthz is ok.
+        history.sample_once(clock.now)           # baseline
+        run_queries()
+        history.sample_once(clock.tick())
+        assert slo.state_of("retries").state == OK
+        assert _get(server.url + "/healthz")[1].strip() == "ok"
+        assert guard.admission_scale == 1.0
+
+        # Fault phase: every chunk's first attempt fails; retries
+        # recover each run, so queries still answer 200 while the
+        # retry ratio burns far past the objective.
+        faults.armed = True
+        body = run_queries()
+        assert body["answers"] >= 1              # service still up
+        history.sample_once(clock.tick())        # fast window now hot
+        state = slo.state_of("retries")
+        assert state.state == CRITICAL
+        assert state.fast_burn >= objective.critical_burn
+        assert state.slow_burn >= 1.0
+        # The degraded flag comes from the burn-rate alert, not the
+        # executor: retried runs never took the serial fallback.
+        assert _get(server.url + "/healthz")[1].strip() == "degraded"
+        status, alertz = (lambda s, b: (s, json.loads(b)))(
+            *_get(server.url + "/alertz"))
+        assert (status, alertz["state"]) == (200, CRITICAL)
+
+        # Feedback: admission tightened to half the ceiling, so the
+        # same query that was admitted above is now too expensive.
+        assert guard.admission_scale == 0.5
+        assert guard.tightenings == 1
+        status, body = _post_query(server.url,
+                                   {"query": "needle thread"})
+        assert status == 422
+        assert body["error"] == "admission-rejected"
+
+        # Recovery: faults off and the burn drains out of the fast
+        # window (idle intervals measure no movement, which is clean
+        # — the tightened ceiling cannot starve recovery).  After
+        # clear_intervals clean evaluations the alert de-escalates,
+        # healthz returns to ok, and admission is restored.
+        faults.armed = False
+        for _ in range(objective.clear_intervals + 1):
+            history.sample_once(clock.tick())
+        assert slo.state_of("retries").state == OK
+        assert _get(server.url + "/healthz")[1].strip() == "ok"
+        assert guard.admission_scale == 1.0
+        status, _body = _post_query(server.url,
+                                    {"query": "needle thread"})
+        assert status == 200
+    collection.close()
+
+
+def test_pretrip_feedback_trips_suspect_shard_breakers(tmp_path):
+    """Critical feedback pre-trips breakers only on shards that have
+    already recorded failed runs — healthy shards keep serving."""
+    from repro.collection.sharded import ShardedDocumentCollection
+    from repro.core.query import Query
+    from repro.storage.shards import build_index
+    from repro.workloads.inexlike import InexSpec, generate_collection
+
+    corpus = generate_collection(InexSpec(articles=6, seed=13))
+    build_index({name: corpus.document(name)
+                 for name in corpus.names()},
+                tmp_path / "index", shards=3)
+    collection = ShardedDocumentCollection(tmp_path / "index")
+    try:
+        from repro.guard.breaker import CLOSED, OPEN
+
+        collection.search(Query(("needle",)), workers=2)
+        router = collection.router
+        assert router is not None
+        # Shard 0 shows one recent failure (below the trip threshold,
+        # so it is still serving) — feedback takes it out immediately.
+        router.breaker(0).record_failure()
+        tripped = router.pretrip_suspect_shards()
+        assert tripped == [0]
+        assert router.breaker(0).state == OPEN
+        assert all(router.breaker(s).state == CLOSED
+                   for s in router._breakers if s != 0)
+    finally:
+        collection.close()
+
+
+class TestAlertStateDoc:
+    def test_alert_state_to_dict(self):
+        objective = Objective(name="o", kind="gauge", metric="m",
+                              threshold=1.0)
+        doc = AlertState(objective).to_dict()
+        assert doc["state"] == OK
+        assert doc["state_code"] == 0
+        assert doc["expr"] == "gauge(m) < 1"

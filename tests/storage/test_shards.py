@@ -546,3 +546,78 @@ class TestDeterminism:
             with open(out / MANIFEST_NAME, "rb") as handle:
                 indexes.append(handle.read())
         assert indexes[0] == indexes[1]
+
+
+class TestRouterHistory:
+    """The cumulative per-shard ledger behind ``/varz``'s shards
+    section, and the labelled exclusion/reroute metrics."""
+
+    def test_ledger_accumulates_runs_and_exclusions(self, index_dir):
+        from repro.obs import (SHARD_ROUTER_EXCLUSIONS, Observability)
+
+        obs = Observability()
+        with ShardRouter(index_dir, workers=2,
+                         start_method="fork") as router:
+            router.search(Query.of("needle"), obs=obs)
+            victim = router.index.attached_shards[0]
+            for _ in range(3):
+                router.breaker(victim).record_failure()
+            router.search(Query.of("needle"), obs=obs)
+            router.search(Query.of("needle"), obs=obs)
+
+            healthy = router.history[
+                router.index.attached_shards[1]]
+            assert healthy["runs"] == 3
+            assert healthy["excluded_runs"] == 0
+            sick = router.history[victim]
+            assert sick["runs"] == 1          # served before the trip
+            assert sick["excluded_runs"] == 2
+            assert sick["exclusions"] == {"breaker-open": 2}
+            assert sick["last_exclusion"] == "breaker-open"
+
+            # The exclusion counter is labelled per shard and reason.
+            counter = obs.metrics.get(
+                SHARD_ROUTER_EXCLUSIONS,
+                labels={"shard": str(victim),
+                        "reason": "breaker-open"})
+            assert counter is not None and counter.value == 2
+
+            stats = router.stats()
+            assert stats["history"][str(victim)]["excluded_runs"] == 2
+            assert stats["last_run"]["skipped"][str(victim)] \
+                == "breaker-open"
+
+    def test_varz_surfaces_the_shard_ledger(self, index_dir):
+        import json as json_module
+        import urllib.request
+
+        from repro.collection.sharded import ShardedDocumentCollection
+        from repro.obs import Observability
+        from repro.obs.server import MetricsServer, QueryGuardrails
+
+        collection = ShardedDocumentCollection(index_dir)
+        try:
+            obs = Observability()
+            rails = QueryGuardrails(workers=2)
+            with MetricsServer(obs, collection=collection,
+                               guardrails=rails) as server:
+                payload = json_module.dumps(
+                    {"query": "needle"}).encode("utf-8")
+                request = urllib.request.Request(
+                    server.url + "/query", data=payload,
+                    headers={"Content-Type": "application/json"},
+                    method="POST")
+                with urllib.request.urlopen(request,
+                                            timeout=60) as reply:
+                    assert reply.status == 200
+                    json_module.loads(reply.read())
+                with urllib.request.urlopen(server.url + "/varz",
+                                            timeout=5) as reply:
+                    varz = json_module.loads(reply.read())
+            shards = varz["shards"]
+            assert shards["last_run"]["fanout"] >= 1
+            assert all(entry["runs"] >= 1
+                       for entry in shards["history"].values())
+            assert shards["degraded"] is False
+        finally:
+            collection.close()
