@@ -44,6 +44,7 @@ HEADLINES = [
     ("BENCH_guard.json", "guard.abort_factor", "lower"),
     ("BENCH_shard.json", "shard.attach_speedup", "higher"),
     ("BENCH_shard.json", "rss.growth", "lower"),
+    ("BENCH_streaming.json", "streaming.topk_vs_full", "lower"),
 ]
 
 

@@ -124,6 +124,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "query")
     parser.add_argument("-n", "--limit", type=int, default=10,
                         metavar="N", help="show at most N answers")
+    parser.add_argument("--stream", action="store_true",
+                        help="stream answers incrementally through the "
+                             "operator pipeline, stopping early once "
+                             "--limit answers are proven (smallest "
+                             "first; directory searches print hits as "
+                             "they arrive)")
     parser.add_argument("--xml", action="store_true",
                         help="print answers as XML instead of outlines")
     parser.add_argument("--hide-overlaps", action="store_true",
@@ -358,6 +364,8 @@ def _run_search(args: argparse.Namespace, obs: Observability) -> int:
         # the optimized shape belongs in the trace; the rewrite is
         # microseconds next to evaluation.
         optimize(query, obs=obs)
+    if args.stream:
+        return _stream_single_document(args, document, index, query, obs)
     result = evaluate(document, query,
                       strategy=Strategy.parse(args.strategy),
                       index=index, obs=obs, kernel=args.kernel,
@@ -403,6 +411,42 @@ def _run_search(args: argparse.Namespace, obs: Observability) -> int:
         print("\noperation counters:")
         for key, value in sorted(result.stats.items()):
             print(f"  {key}: {value}")
+    return 0
+
+
+def _stream_single_document(args: argparse.Namespace, document, index,
+                            query: Query, obs: Observability) -> int:
+    """Answer a single-document search via the streaming top-k path.
+
+    Returns the ``--limit`` smallest answers without materialising the
+    full answer set: the streaming consumer raises its size bound in
+    rounds and stops as soon as the k smallest answers are proven.
+    """
+    import time
+
+    from .core.streaming import stream_top_k
+
+    if args.rank or args.hide_overlaps or args.overlap_policy:
+        print("note: --stream returns the smallest --limit answers; "
+              "ranking and overlap presentation flags are ignored",
+              file=sys.stderr)
+    k = max(args.limit, 1)
+    start = time.perf_counter()
+    answers = stream_top_k(document, query, k,
+                           strategy=Strategy.parse(args.strategy),
+                           index=index, obs=obs, kernel=args.kernel,
+                           budget=_build_budget(args))
+    elapsed = (time.perf_counter() - start) * 1000
+    print(f"{len(answers)} streamed answer(s) for {query.describe()} "
+          f"[stream-{args.strategy}, {elapsed:.1f} ms]")
+    for rank, fragment in enumerate(answers, start=1):
+        print(f"\n#{rank}  {fragment.label()}  "
+              f"(size={fragment.size}, height={fragment.height})")
+        if args.xml:
+            print(fragment_to_xml(fragment).rstrip())
+        else:
+            from .core.witnesses import highlighted_outline
+            print(highlighted_outline(fragment, query.terms))
     return 0
 
 
@@ -1021,6 +1065,35 @@ def _search_collection(args: argparse.Namespace,
                         strategy=args.strategy,
                         elapsed=result.total_elapsed,
                         documents=len(collection))
+        return 0
+    if args.stream:
+        skip_note = (f", {len(skipped)} file(s) skipped"
+                     if skipped else "")
+        print(f"streaming up to {max(args.limit, 1)} answer(s) from "
+              f"{len(collection)} document(s){skip_note} for "
+              f"{query.describe()}")
+        shown = 0
+        try:
+            for rank, hit in enumerate(
+                    collection.search(
+                        query, strategy=Strategy.parse(args.strategy),
+                        obs=obs, workers=args.workers,
+                        kernel=args.kernel,
+                        resilience=_build_resilience(args),
+                        budget=_build_budget(args),
+                        stream=True, limit=max(args.limit, 1)),
+                    start=1):
+                shown = rank
+                print(f"\n#{rank}  {hit.label()}  "
+                      f"(size={hit.fragment.size})")
+                if args.xml:
+                    print(fragment_to_xml(hit.fragment).rstrip())
+                else:
+                    print(highlighted_outline(hit.fragment,
+                                              query.terms))
+        finally:
+            collection.close()
+        print(f"\n{shown} answer(s) streamed")
         return 0
     try:
         result = collection.search(

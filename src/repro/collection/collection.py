@@ -19,15 +19,20 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Union
 
 from ..core.algebra import JoinCache
+from ..core.filters import SizeAtMost
 from ..core.fragment import Fragment
 from ..core.query import Query, QueryResult
 from ..core.strategies import Strategy, evaluate
+from ..core.streaming import (TopKHeap, hit_order_key, ranked_order_key,
+                              stream_evaluate)
 from ..errors import BudgetExceeded, DocumentError
 from ..guard.admission import AdmissionDecision, AdmissionPolicy, screen
 from ..guard.budget import QueryBudget, effective_budget
 from ..index.inverted import InvertedIndex
-from ..obs import (DOCUMENTS_SKIPPED, GUARD_BUDGET_EXCEEDED, NOOP,
-                   Observability)
+from ..obs import (DOCUMENTS_SKIPPED, FRAGMENTS_RANKED,
+                   GUARD_BUDGET_EXCEEDED, NOOP, Observability,
+                   STREAM_EARLY_EXITS, STREAM_ROUNDS,
+                   STREAM_SCORES_SKIPPED)
 from ..ranking.scoring import FragmentScorer, ScoredFragment
 from ..xmltree.document import Document
 from ..xmltree.parser import parse, parse_file
@@ -304,8 +309,9 @@ class DocumentCollection:
                resilience=None, faults=None,
                budget: Optional[QueryBudget] = None,
                deadline_ms: Optional[float] = None,
-               admission: Optional[AdmissionPolicy] = None
-               ) -> CollectionResult:
+               admission: Optional[AdmissionPolicy] = None,
+               limit: Optional[int] = None,
+               stream: bool = False):
         """Evaluate ``query`` over (a subset of) the collection.
 
         Documents whose indexes show a missing query term are skipped
@@ -335,6 +341,18 @@ class DocumentCollection:
         (:class:`~repro.errors.AdmissionRejected`) or transparently
         downgraded to the policy's cheaper strategy before any
         evaluation work.
+
+        Streaming: ``stream=True`` returns an *iterator* of
+        :class:`CollectionHit` in the exact order ``CollectionResult.hits``
+        would produce, materialised incrementally via adaptive β rounds
+        (:mod:`repro.core.streaming`) — abandon the iterator to stop the
+        evaluation.  ``limit=N`` (with or without ``stream``) bounds the
+        result to the first ``N`` hits of that order and bounds the
+        evaluation work accordingly; without ``stream`` it returns the
+        list directly.  Both compose with every other option, including
+        ``workers=`` (rounds fan out through the pool with an early-stop
+        :class:`~repro.exec.hints.ChunkHint` once the candidate heap
+        saturates).
         """
         ob = obs if obs is not None else NOOP
         budget = effective_budget(budget, deadline_ms)
@@ -345,6 +363,19 @@ class DocumentCollection:
             strategy = decision.strategy
         if budget is not None:
             budget.start()
+        if limit is not None:
+            if isinstance(limit, bool) or not isinstance(limit, int):
+                raise ValueError(f"limit must be an int >= 1, "
+                                 f"got {limit!r}")
+            if limit < 1:
+                raise ValueError(f"limit must be >= 1, got {limit}")
+        if stream or limit is not None:
+            hits = self._stream_hits(query, strategy=strategy,
+                                     documents=documents, ob=ob,
+                                     workers=workers, kernel=kernel,
+                                     resilience=resilience, faults=faults,
+                                     budget=budget, limit=limit)
+            return hits if stream else list(hits)
         if workers is not None:
             # Worker deltas already carry the per-worker JoinCache memo
             # totals; exporting the parent's (unused) cache here would
@@ -395,6 +426,205 @@ class DocumentCollection:
                     # the per-query hot path.
                     ob.recorder.publish_calibration(ob.metrics)
         return CollectionResult(query=query, per_document=per_document)
+
+    def _stream_hits(self, query: Query, strategy: Strategy,
+                     documents: Optional[Iterable[str]],
+                     ob: Observability, workers: Optional[int],
+                     kernel: Optional[str], resilience, faults,
+                     budget: Optional[QueryBudget],
+                     limit: Optional[int],
+                     initial_beta: int = 4
+                     ) -> Iterator[CollectionHit]:
+        """Generator behind ``search(stream=True / limit=)``.
+
+        Adaptive β rounds: round *r* evaluates every live document under
+        ``size <= β_r`` (anti-monotonic, so pushed below the joins —
+        Theorem 3 guarantees the round holds *exactly* the answers of
+        size ≤ β_r), emits the hits with ``β_{r-1} < size ≤ β_r`` in
+        canonical :func:`~repro.core.streaming.hit_order_key` order —
+        which, size being the primary key, extends the global order —
+        then doubles β.  Everything yielded is final, so hitting
+        ``limit`` (or the consumer walking away) stops the search with
+        work bounded by the last β instead of the answer-set size.  A
+        shared budget spans all rounds (its deadline is absolute); a
+        mid-round :class:`~repro.errors.BudgetExceeded` propagates
+        *between* emissions, so consumers always hold a consistent
+        prefix of the full hit list.
+        """
+        targets = (list(documents) if documents is not None
+                   else self.names())
+        if workers is not None:
+            yield from self._stream_hits_parallel(
+                query, strategy, targets, ob, workers, kernel,
+                resilience, faults, budget, limit, initial_beta)
+            return
+        live = []
+        skipped = 0
+        for name in targets:
+            if self.has_terms(name, query.terms):
+                live.append(name)
+            else:
+                skipped += 1
+        if ob.enabled and skipped:
+            ob.metrics.counter(
+                DOCUMENTS_SKIPPED,
+                "Documents skipped by the index early exit."
+            ).inc(skipped)
+        if not live:
+            return
+        max_size = max(self.document(name).size for name in live)
+        recorder = (getattr(ob, "recorder", None) if ob.enabled
+                    else None)
+        beta = min(initial_beta, max_size)
+        prev_beta = 0
+        emitted = 0
+        rounds = 0
+        try:
+            while True:
+                rounds += 1
+                round_hits: list[CollectionHit] = []
+                for name in live:
+                    if recorder is not None:
+                        recorder.set_context(shard=self._shard_of(name))
+                    for fragment in stream_evaluate(
+                            self.document(name), query, strategy,
+                            index=self.index(name), cache=self._cache,
+                            kernel=kernel, obs=ob, budget=budget,
+                            extra_predicate=SizeAtMost(beta)):
+                        if fragment.size > prev_beta:
+                            round_hits.append(CollectionHit(name, fragment))
+                round_hits.sort(key=lambda h: hit_order_key(
+                    h.document_name, h.fragment))
+                for hit in round_hits:
+                    yield hit
+                    emitted += 1
+                    if limit is not None and emitted >= limit:
+                        if ob.enabled and beta < max_size:
+                            ob.metrics.counter(
+                                STREAM_EARLY_EXITS,
+                                "Streaming evaluations stopped before "
+                                "the full answer set existed.",
+                                labels={"stage": "limit"}).inc()
+                        return
+                if beta >= max_size:
+                    return
+                prev_beta, beta = beta, min(beta * 2, max_size)
+        except BudgetExceeded:
+            self._count_budget_exceeded(ob)
+            raise
+        finally:
+            if recorder is not None:
+                recorder.set_context(shard=None)
+            if ob.enabled:
+                ob.metrics.counter(
+                    STREAM_ROUNDS,
+                    "Adaptive β rounds run by streaming top-k."
+                ).inc(rounds)
+                self._cache.export_metrics(ob.metrics)
+
+    def _stream_hits_parallel(self, query: Query, strategy: Strategy,
+                              targets: list[str], ob: Observability,
+                              workers: int, kernel: Optional[str],
+                              resilience, faults,
+                              budget: Optional[QueryBudget],
+                              limit: Optional[int],
+                              initial_beta: int = 4
+                              ) -> Iterator[CollectionHit]:
+        """Pooled β rounds with early-stop chunk hints.
+
+        Each round ships the size-bounded query through the (cached)
+        executor.  With a ``limit``, a parent-side candidate heap
+        watches raw chunk rows as they land and tightens a per-chunk
+        ``SizeAtMost`` hint once it saturates: later chunks then prove
+        only fragments that can still matter.  The round's reliably
+        complete size region is bounded by the *tightest* filter any
+        chunk ran under (filters only ever tighten), so emission stays
+        bit-identical to the serial stream.
+        """
+        from ..exec.parallel import ParallelExecutor
+        runner = self._parallel_executor(workers)
+        supports_hint = isinstance(runner, ParallelExecutor)
+        max_size = max(self.document(name).size for name in targets)
+        beta = min(initial_beta, max_size)
+        prev_beta = 0
+        emitted = 0
+        rounds = 0
+        try:
+            while True:
+                rounds += 1
+                bounded = Query(query.terms,
+                                query.predicate & SizeAtMost(beta))
+                hint = None
+                if supports_hint and limit is not None:
+                    from ..exec.hints import ChunkHint
+                    heap = TopKHeap(limit)
+
+                    def _feed(rows, heap=heap):
+                        changed = False
+                        for name, _qi, payload in rows:
+                            if not isinstance(payload, tuple):
+                                continue
+                            for nodes in payload[0]:
+                                if heap.offer(None, (len(nodes), name,
+                                                     nodes)):
+                                    changed = True
+                        if changed and heap.full:
+                            hint.set_filter(SizeAtMost(heap.bound()[0]))
+
+                    hint = ChunkHint(on_rows=_feed)
+                if hint is not None:
+                    result = runner.search(
+                        bounded, strategy=strategy, documents=targets,
+                        kernel=kernel, obs=ob, resilience=resilience,
+                        faults=faults, budget=budget, hint=hint)
+                else:
+                    result = runner.search(
+                        bounded, strategy=strategy, documents=targets,
+                        kernel=kernel, obs=ob, resilience=resilience,
+                        faults=faults, budget=budget)
+                effective = beta
+                if hint is not None and hint.filter is not None:
+                    effective = min(beta, hint.filter.limit)
+                    if ob.enabled and hint.skipped_chunks:
+                        ob.metrics.counter(
+                            STREAM_EARLY_EXITS,
+                            "Streaming evaluations stopped before the "
+                            "full answer set existed.",
+                            labels={"stage": "hint"}
+                        ).inc(hint.skipped_chunks)
+                round_hits = [
+                    CollectionHit(name, fragment)
+                    for name, doc_result in result.per_document.items()
+                    for fragment in doc_result.fragments
+                    if prev_beta < fragment.size <= effective]
+                round_hits.sort(key=lambda h: hit_order_key(
+                    h.document_name, h.fragment))
+                for hit in round_hits:
+                    yield hit
+                    emitted += 1
+                    if limit is not None and emitted >= limit:
+                        if ob.enabled and beta < max_size:
+                            ob.metrics.counter(
+                                STREAM_EARLY_EXITS,
+                                "Streaming evaluations stopped before "
+                                "the full answer set existed.",
+                                labels={"stage": "limit"}).inc()
+                        return
+                if effective >= max_size:
+                    return
+                # A hint-tightened round is complete only up to the
+                # tightest bound; the next round re-covers from there.
+                prev_beta = effective
+                beta = min(max(beta * 2, effective + 1), max_size)
+        except BudgetExceeded:
+            self._count_budget_exceeded(ob)
+            raise
+        finally:
+            if ob.enabled:
+                ob.metrics.counter(
+                    STREAM_ROUNDS,
+                    "Adaptive β rounds run by streaming top-k."
+                ).inc(rounds)
 
     def explain_analyze(self, query: Query,
                         strategy: Strategy = Strategy.PUSHDOWN,
@@ -461,7 +691,8 @@ class DocumentCollection:
                       resilience=None, faults=None,
                       budget: Optional[QueryBudget] = None,
                       deadline_ms: Optional[float] = None,
-                      admission: Optional[AdmissionPolicy] = None
+                      admission: Optional[AdmissionPolicy] = None,
+                      stream: bool = False
                       ) -> list[tuple[str, ScoredFragment]]:
         """Search and rank answers across documents, best first.
 
@@ -473,23 +704,156 @@ class DocumentCollection:
         ``faults``) cannot either.  ``budget``/``deadline_ms``/
         ``admission`` guard the underlying :meth:`search` (ranking
         itself is linear in the answer count and runs unguarded).
+
+        Scoring work is bounded by ``limit``: candidates are folded
+        into a ``limit``-sized heap under the canonical
+        :func:`~repro.core.streaming.ranked_order_key`, and a fragment
+        whose cheap score upper bound
+        (:meth:`~repro.ranking.FragmentScorer.score_upper_bound`)
+        provably cannot enter the heap is never fully scored (counted
+        in ``repro_stream_scores_skipped_total``).  ``stream=True``
+        additionally bounds the *evaluation*: adaptive β rounds stop as
+        soon as the k-th held score meets the anti-monotonic
+        size-score threshold
+        (:meth:`~repro.ranking.FragmentScorer.size_score_bound`) — no
+        unseen fragment can enter the heap — instead of materialising
+        the full answer set first.  Both paths return the identical
+        ranked list.
         """
         ob = obs if obs is not None else NOOP
+        if isinstance(limit, bool) or not isinstance(limit, int):
+            raise ValueError(f"limit must be an int >= 1, got {limit!r}")
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        if stream:
+            return self._ranked_stream(query, limit, strategy, ob,
+                                       workers, kernel, resilience,
+                                       faults, budget, deadline_ms,
+                                       admission)
         result = self.search(query, strategy=strategy, obs=ob,
                              workers=workers, kernel=kernel,
                              resilience=resilience, faults=faults,
                              budget=budget, deadline_ms=deadline_ms,
                              admission=admission)
-        ranked: list[tuple[str, ScoredFragment]] = []
+        heap: TopKHeap = TopKHeap(limit)
+        scored_count = 0
+        cheap_skips = 0
         with ob.span("rank", fragments=len(result)):
             for name, doc_result in result.per_document.items():
                 scorer = self.scorer(name)
-                for scored in scorer.rank(doc_result.fragments,
-                                          query.terms, obs=ob):
-                    ranked.append((name, scored))
-            ranked.sort(key=lambda pair: (-pair[1].score,
-                                          pair[1].fragment.size, pair[0]))
-        return ranked[:limit]
+                for fragment in doc_result.fragments:
+                    bound = heap.bound()
+                    if bound is not None and \
+                            -scorer.score_upper_bound(fragment) > bound[0]:
+                        cheap_skips += 1
+                        continue
+                    scored = scorer.score(fragment, query.terms)
+                    scored_count += 1
+                    heap.offer((name, scored),
+                               ranked_order_key(name, scored.score,
+                                                scored.fragment))
+            if ob.enabled:
+                ob.metrics.counter(
+                    FRAGMENTS_RANKED, "Fragments scored by the ranker."
+                ).inc(scored_count)
+                if cheap_skips:
+                    ob.metrics.counter(
+                        STREAM_SCORES_SKIPPED,
+                        "Fragments skipped by the cheap score upper "
+                        "bound.").inc(cheap_skips)
+        return heap.items_sorted()
+
+    def _ranked_stream(self, query: Query, limit: int,
+                       strategy: Strategy, ob: Observability,
+                       workers: Optional[int], kernel: Optional[str],
+                       resilience, faults,
+                       budget: Optional[QueryBudget],
+                       deadline_ms: Optional[float],
+                       admission: Optional[AdmissionPolicy],
+                       initial_beta: int = 4
+                       ) -> list[tuple[str, ScoredFragment]]:
+        """Ranked top-k with threshold early termination over β rounds.
+
+        Round *r* evaluates under ``size <= β_r`` and scores only the
+        round's *new* fragments (``size > β_{r-1}``).  Every unseen
+        fragment has size ≥ β_r + 1, so its score is at most
+        ``max_d size_score_bound(β_r + 1)`` over the live documents'
+        scorers; once the heap is full and its k-th score meets that
+        threshold, no unseen fragment can displace anything — ties are
+        safe because equal scores break by smaller size and every
+        unseen fragment is strictly larger than every held one.
+        """
+        budget = effective_budget(budget, deadline_ms)
+        if admission is not None:
+            decision = self.screen(admission, query, strategy)
+            decision.raise_if_rejected()
+            strategy = decision.strategy
+        if budget is not None:
+            budget.start()
+        live = [name for name in self.names()
+                if self.has_terms(name, query.terms)]
+        if not live:
+            return []
+        max_size = max(self.document(name).size for name in live)
+        heap: TopKHeap = TopKHeap(limit)
+        beta = min(initial_beta, max_size)
+        prev_beta = 0
+        rounds = 0
+        scored_count = 0
+        cheap_skips = 0
+        while True:
+            rounds += 1
+            bounded = Query(query.terms,
+                            query.predicate & SizeAtMost(beta))
+            result = self.search(bounded, strategy=strategy,
+                                 documents=live, obs=ob,
+                                 workers=workers, kernel=kernel,
+                                 resilience=resilience, faults=faults,
+                                 budget=budget)
+            for name, doc_result in result.per_document.items():
+                scorer = self.scorer(name)
+                for fragment in doc_result.fragments:
+                    if fragment.size <= prev_beta:
+                        continue
+                    bound = heap.bound()
+                    if bound is not None and \
+                            -scorer.score_upper_bound(fragment) > bound[0]:
+                        cheap_skips += 1
+                        continue
+                    scored = scorer.score(fragment, query.terms)
+                    scored_count += 1
+                    heap.offer((name, scored),
+                               ranked_order_key(name, scored.score,
+                                                scored.fragment))
+            if beta >= max_size:
+                break
+            bound = heap.bound()
+            if bound is not None:
+                threshold = max(self.scorer(name).size_score_bound(beta + 1)
+                                for name in live)
+                if -bound[0] >= threshold:
+                    if ob.enabled:
+                        ob.metrics.counter(
+                            STREAM_EARLY_EXITS,
+                            "Streaming evaluations stopped before the "
+                            "full answer set existed.",
+                            labels={"stage": "threshold"}).inc()
+                    break
+            prev_beta, beta = beta, min(beta * 2, max_size)
+        if ob.enabled:
+            ob.metrics.counter(
+                STREAM_ROUNDS,
+                "Adaptive β rounds run by streaming top-k."
+            ).inc(rounds)
+            ob.metrics.counter(
+                FRAGMENTS_RANKED, "Fragments scored by the ranker."
+            ).inc(scored_count)
+            if cheap_skips:
+                ob.metrics.counter(
+                    STREAM_SCORES_SKIPPED,
+                    "Fragments skipped by the cheap score upper bound."
+                ).inc(cheap_skips)
+        return heap.items_sorted()
 
     def __repr__(self) -> str:
         return (f"DocumentCollection(name={self.name!r}, "

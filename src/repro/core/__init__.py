@@ -34,6 +34,8 @@ from .statistics import (CalibrationPoint, calibrate_threshold,
 from .stats import OperationStats
 from .strategies import (Strategy, answer, evaluate, explain_analyze,
                          plan_for)
+from .streaming import (FragmentStream, fragment_order_key, hit_order_key,
+                        ranked_order_key, stream_evaluate, stream_top_k)
 from .topk import top_k_smallest
 from .witnesses import highlighted_outline, missing_terms, witnesses
 
@@ -52,6 +54,9 @@ __all__ = [
     # presentation & retrieval helpers
     "OverlapPolicy", "AnswerGroup", "arrange", "overlap",
     "overlap_matrix", "top_k_smallest",
+    # streaming pipeline
+    "FragmentStream", "stream_evaluate", "stream_top_k",
+    "fragment_order_key", "hit_order_key", "ranked_order_key",
     # query language & oracles
     "parse_query", "parse_filter", "definition8_answers",
     "powerset_semantics_answers", "semantics_gap",

@@ -10,22 +10,31 @@ to pass.  Anti-monotonicity makes an adaptive scheme sound and cheap:
 Because ``size <= β`` is anti-monotonic, every round's answers are a
 subset of the next round's (Theorem 3 guarantees no false negatives
 among fragments within the bound), so the first round that yields k
-answers yields the k *smallest* answers overall.  A shared join cache
-makes the re-evaluations largely incremental.
+answers yields the k *smallest* answers overall.
+
+The actual evaluation lives in :func:`repro.core.streaming.stream_top_k`
+— this wrapper keeps the original call shape while fixing what the old
+implementation got wrong: the strategy is no longer hardcoded to
+push-down, ``budget``/``obs``/``kernel`` thread through to the rounds,
+and the answer set is heap-selected once at the end instead of fully
+re-sorted on every β round.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from .algebra import JoinCache
-from .filters import Filter, SizeAtMost
+from .algebra import JoinCache, KernelArg
+from .filters import Filter
 from .fragment import Fragment
 from .query import Query
-from .strategies import Strategy, evaluate
+from .strategies import Strategy
+from .streaming import stream_top_k
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..guard.budget import QueryBudget
     from ..index.inverted import InvertedIndex
+    from ..obs import Observability
     from ..xmltree.document import Document
 
 __all__ = ["top_k_smallest"]
@@ -34,8 +43,13 @@ __all__ = ["top_k_smallest"]
 def top_k_smallest(document: "Document", query: Query, k: int,
                    index: Optional["InvertedIndex"] = None,
                    initial_beta: int = 2,
-                   extra_predicate: Optional[Filter] = None
-                   ) -> list[Fragment]:
+                   extra_predicate: Optional[Filter] = None,
+                   *,
+                   strategy: Strategy = Strategy.PUSHDOWN,
+                   budget: Optional["QueryBudget"] = None,
+                   obs: Optional["Observability"] = None,
+                   kernel: KernelArg = None,
+                   cache: Optional[JoinCache] = None) -> list[Fragment]:
     """The ``k`` smallest answers to ``query``, found adaptively.
 
     ``query.predicate`` is combined with the adaptive size bound; pass
@@ -47,23 +61,16 @@ def top_k_smallest(document: "Document", query: Query, k: int,
     ----------
     initial_beta:
         The starting size bound (doubled each round).
+    strategy:
+        Evaluation strategy for the β rounds (default push-down, which
+        benefits most from the bound).
+    budget / obs / kernel / cache:
+        Threaded through to every round; one budget covers the whole
+        adaptive search, and a shared cache keeps re-evaluations
+        largely incremental.
     """
-    if k < 1:
-        raise ValueError("k must be >= 1")
-    if initial_beta < 1:
-        raise ValueError("initial_beta must be >= 1")
-
-    cache = JoinCache()
-    beta = initial_beta
-    while True:
-        predicate: Filter = SizeAtMost(beta) & query.predicate
-        if extra_predicate is not None:
-            predicate = predicate & extra_predicate
-        bounded = Query(query.terms, predicate)
-        result = evaluate(document, bounded, strategy=Strategy.PUSHDOWN,
-                          index=index, cache=cache)
-        answers = sorted(result.fragments,
-                         key=lambda f: (f.size, sorted(f.nodes)))
-        if len(answers) >= k or beta >= document.size:
-            return answers[:k]
-        beta = min(beta * 2, document.size)
+    return stream_top_k(document, query, k, strategy=strategy,
+                        index=index, cache=cache, kernel=kernel,
+                        obs=obs, budget=budget,
+                        initial_beta=initial_beta,
+                        extra_predicate=extra_predicate)

@@ -1,0 +1,98 @@
+"""Early-stop hints for parallel chunk dispatch.
+
+A streaming top-k consumer over a collection knows, mid-round, when its
+candidate heap has saturated: once the k-th held fragment has size
+``s``, no chunk can contribute anything better than ``size <= s``, and
+when ``s`` is already covered by a previous β round the whole round is
+moot.  :class:`ChunkHint` is the narrow channel that carries this
+knowledge into :meth:`repro.exec.parallel.ParallelExecutor.run`:
+
+* ``set_filter(f)`` — an extra anti-monotonic filter conjoined onto
+  every *not-yet-submitted* chunk's queries (already-running chunks
+  finish unpruned; their results are a superset, which the consumer's
+  own emission logic bounds, so correctness never depends on timing).
+* ``stop()`` — abandon every chunk not yet submitted.  Skipped items
+  simply do not appear in the result's ``per_document`` map.
+* ``observe(rows)`` — called by the parent collector with each chunk's
+  raw result rows, so the consumer can tighten the hint while the wave
+  is still in flight.
+
+Hints are deliberately *advisory*: a run with a hint that never fires
+is bit-identical to a run without one, and serial fallback chunks
+ignore the filter (superset again).  See ``docs/streaming.md`` for the
+soundness argument.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from ..core.filters import Filter
+
+__all__ = ["ChunkHint"]
+
+
+class ChunkHint:
+    """Mutable, thread-safe early-stop state shared with a dispatcher.
+
+    Parameters
+    ----------
+    window:
+        Optional cap on how many chunks each dispatch wave submits.
+        Smaller windows give the consumer more chances to tighten the
+        filter between waves at the cost of less parallel slack; by
+        default the dispatcher's normal wave sizing applies.
+    on_rows:
+        Optional callback invoked (from the collector thread) with each
+        chunk's raw result rows as they arrive.
+    """
+
+    def __init__(self, window: Optional[int] = None,
+                 on_rows: Optional[Callable[[list], None]] = None) -> None:
+        if window is not None and window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self._on_rows = on_rows
+        self._lock = threading.Lock()
+        self._filter: Optional[Filter] = None
+        self._stopped = False
+        self.skipped_chunks = 0
+        self.skipped_items = 0
+
+    @property
+    def filter(self) -> Optional[Filter]:
+        """The extra filter for chunks submitted from now on."""
+        with self._lock:
+            return self._filter
+
+    def set_filter(self, predicate: Optional[Filter]) -> None:
+        """Install (or clear) the extra per-chunk filter.
+
+        The filter must be anti-monotonic for the usual Theorem-3
+        argument to make pruning sound; the hint does not verify this —
+        the consumer owns the soundness of what it pushes.
+        """
+        with self._lock:
+            self._filter = predicate
+
+    @property
+    def stopped(self) -> bool:
+        with self._lock:
+            return self._stopped
+
+    def stop(self) -> None:
+        """Abandon all not-yet-submitted chunks (idempotent)."""
+        with self._lock:
+            self._stopped = True
+
+    def observe(self, rows: list) -> None:
+        """Feed one chunk's raw rows to the consumer callback."""
+        if self._on_rows is not None:
+            self._on_rows(rows)
+
+    def record_skip(self, chunks: int, items: int) -> None:
+        """Account chunks/items dropped because of :meth:`stop`."""
+        with self._lock:
+            self.skipped_chunks += chunks
+            self.skipped_items += items

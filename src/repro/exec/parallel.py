@@ -77,6 +77,7 @@ from ..obs.tracer import NULL_TRACER
 from ..storage.shards.reader import ShardIndex
 from ..xmltree.document import Document
 from .faults import FaultPlan, apply_fault
+from .hints import ChunkHint
 from .resilience import (DEFAULT_POLICY, FALLBACK_SERIAL, ResilienceReport,
                          RetryPolicy)
 
@@ -257,7 +258,8 @@ def _run_chunk(queries: Sequence[Query], items: Sequence[tuple[str, int]],
                obs_spec: Optional[dict] = None,
                fault: Optional[dict] = None,
                budget: Optional[QueryBudget] = None,
-               shard: Optional[int] = None):
+               shard: Optional[int] = None,
+               extra_filter=None):
     """Evaluate one chunk of ``(document name, query index)`` items.
 
     Returns ``(rows, chunk_seconds, delta, pid)`` where each row is
@@ -284,6 +286,12 @@ def _run_chunk(queries: Sequence[Query], items: Sequence[tuple[str, int]],
     """
     global _WORKER_BASELINE
     started = time.perf_counter()
+    if extra_filter is not None:
+        # An early-stop hint tightened the round after this chunk was
+        # built: conjoin the (anti-monotonic) filter so the chunk only
+        # proves fragments that can still matter to the consumer.
+        queries = [Query(q.terms, q.predicate & extra_filter)
+                   for q in queries]
     strategy = Strategy(strategy_value)
     obs = (_worker_obs(bool(obs_spec.get("trace")),
                        obs_spec.get("recorder"))
@@ -472,11 +480,14 @@ class ParallelExecutor:
     # Resilient dispatch
     # ------------------------------------------------------------------
 
-    def _record_outcome(self, payload, outcomes, ob) -> None:
+    def _record_outcome(self, payload, outcomes, ob,
+                        hint: Optional[ChunkHint] = None) -> None:
         """Fold one successful chunk result into the parent state."""
         rows, chunk_seconds, delta, pid = payload
         for name, query_index, row_payload in rows:
             outcomes[(name, query_index)] = row_payload
+        if hint is not None:
+            hint.observe(rows)
         if ob.enabled:
             ob.metrics.histogram(
                 POOL_CHUNK_SECONDS,
@@ -512,7 +523,8 @@ class ParallelExecutor:
                   policy: RetryPolicy, plan: Optional[FaultPlan],
                   outcomes, report: ResilienceReport,
                   budget: Optional[QueryBudget] = None,
-                  chunk_keys: Optional[list] = None) -> None:
+                  chunk_keys: Optional[list] = None,
+                  hint: Optional[ChunkHint] = None) -> None:
         """Run every chunk to completion, surviving crashes and hangs.
 
         Chunks are dispatched in waves; a wave is the current pending
@@ -521,6 +533,11 @@ class ParallelExecutor:
         when the pool breaks are re-queued without being charged.
         Chunks that exhaust ``policy.max_retries`` are re-evaluated
         in-process at the end, through the exact serial path.
+
+        An optional :class:`~repro.exec.hints.ChunkHint` lets a
+        streaming consumer stop not-yet-submitted chunks and tighten
+        their queries between waves; a hint that never fires leaves the
+        dispatch bit-identical to a hintless run.
         """
         attempts = [0] * len(chunks)
         pending = list(range(len(chunks)))
@@ -528,6 +545,11 @@ class ParallelExecutor:
         rng = random.Random()
         stalled_waves = 0
         while pending:
+            if hint is not None and hint.stopped:
+                hint.record_skip(len(pending),
+                                 sum(len(chunks[ci]) for ci in pending))
+                pending = []
+                break
             retried = [ci for ci in pending if attempts[ci]]
             if retried:
                 delay = max(policy.delay(attempts[ci] - 1, rng)
@@ -535,6 +557,11 @@ class ParallelExecutor:
                 if delay:
                     time.sleep(delay)
             wave, pending = pending, []
+            if hint is not None and hint.window is not None \
+                    and len(wave) > hint.window:
+                # A narrow wave gives the consumer a chance to tighten
+                # or stop between submissions.
+                wave, pending = wave[:hint.window], wave[hint.window:]
 
             # Submit the wave.  A submit can only fail if the pool is
             # already broken; stash the rest of the wave for the next
@@ -553,7 +580,8 @@ class ParallelExecutor:
                         _run_chunk, queries, chunks[chunk_index],
                         strategy.value, kernel, obs_spec, fault, budget,
                         (chunk_keys[chunk_index]
-                         if chunk_keys is not None else None))
+                         if chunk_keys is not None else None),
+                        hint.filter if hint is not None else None)
                 except (BrokenExecutor, RuntimeError):
                     submit_broken = True
                     pending.append(chunk_index)
@@ -578,7 +606,8 @@ class ParallelExecutor:
                         if future.done() and not future.cancelled():
                             try:
                                 self._record_outcome(
-                                    future.result(timeout=0), outcomes, ob)
+                                    future.result(timeout=0), outcomes,
+                                    ob, hint=hint)
                                 continue
                             except Exception:
                                 pass
@@ -610,7 +639,8 @@ class ParallelExecutor:
                                           f"{type(exc).__name__}: {exc}",
                                    cause=exc)
                     else:
-                        self._record_outcome(payload, outcomes, ob)
+                        self._record_outcome(payload, outcomes, ob,
+                                             hint=hint)
             except ExecutionError:
                 for future in futures.values():
                     future.cancel()
@@ -620,6 +650,9 @@ class ParallelExecutor:
         # exact serial path, in-process, so callers still get
         # serial-identical answers.
         for chunk_index in fallback:
+            if hint is not None and hint.stopped:
+                hint.record_skip(1, len(chunks[chunk_index]))
+                continue
             if chunk_keys is not None:
                 key = chunk_keys[chunk_index]
                 report.failed_groups[key] = \
@@ -631,6 +664,8 @@ class ParallelExecutor:
                        if chunk_keys is not None else None))
             for name, query_index, payload in rows:
                 outcomes[(name, query_index)] = payload
+            if hint is not None:
+                hint.observe(rows)
             report.fallback_chunks += 1
             report.fallback_items += len(chunks[chunk_index])
 
@@ -703,11 +738,12 @@ class ParallelExecutor:
                obs: Optional[Observability] = None,
                resilience: Optional[RetryPolicy] = None,
                faults: Optional[FaultPlan] = None,
-               budget: Optional[QueryBudget] = None) -> CollectionResult:
+               budget: Optional[QueryBudget] = None,
+               hint: Optional[ChunkHint] = None) -> CollectionResult:
         """Evaluate one query over the corpus; serial-identical result."""
         return self.run([query], strategy=strategy, documents=documents,
                         kernel=kernel, obs=obs, resilience=resilience,
-                        faults=faults, budget=budget)[0]
+                        faults=faults, budget=budget, hint=hint)[0]
 
     def run(self, queries: Sequence[Query],
             strategy: Strategy = Strategy.PUSHDOWN,
@@ -716,7 +752,8 @@ class ParallelExecutor:
             obs: Optional[Observability] = None,
             resilience: Optional[RetryPolicy] = None,
             faults: Optional[FaultPlan] = None,
-            budget: Optional[QueryBudget] = None
+            budget: Optional[QueryBudget] = None,
+            hint: Optional[ChunkHint] = None
             ) -> list[CollectionResult]:
         """Evaluate a batch of queries in one scheduling wave.
 
@@ -739,6 +776,12 @@ class ParallelExecutor:
         — not a chunk failure, so it is never retried — and is
         re-raised here as :class:`~repro.errors.BudgetExceeded`, in
         deterministic caller order, once dispatch completes.
+
+        ``hint`` is an optional :class:`~repro.exec.hints.ChunkHint`
+        from a streaming consumer.  Items abandoned via ``hint.stop()``
+        are simply absent from ``per_document`` (the consumer asked for
+        them to be dropped); a hint that never fires leaves the result
+        bit-identical to a hintless run.
         """
         if kernel is not None and kernel not in KERNEL_NAMES:
             raise QueryError(f"unknown join kernel {kernel!r}; the "
@@ -801,7 +844,7 @@ class ParallelExecutor:
                 self._dispatch(queries, chunks, strategy, kernel,
                                obs_spec, ob, policy, plan, outcomes,
                                report, budget=budget,
-                               chunk_keys=chunk_keys)
+                               chunk_keys=chunk_keys, hint=hint)
             finally:
                 self.last_report = report
                 self.degraded = report.degraded
@@ -851,6 +894,9 @@ class ParallelExecutor:
         for query_index, query in enumerate(queries):
             per_document: dict[str, QueryResult] = {}
             for name in targets:  # caller order => deterministic merge
+                if hint is not None:
+                    if (name, query_index) not in outcomes:
+                        continue  # abandoned via hint.stop()
                 payload = outcomes[(name, query_index)]
                 if payload is None:
                     total_skipped += 1

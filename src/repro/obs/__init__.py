@@ -88,6 +88,13 @@ FRAGMENTS_RANKED = "repro_fragments_ranked_total"
 DOCUMENTS_SKIPPED = "repro_documents_skipped_total"
 SLOW_QUERIES = "repro_slow_queries_total"
 
+# Streaming pipeline metrics (recorded by repro.core.streaming and the
+# collection/ranked streaming consumers).
+STREAM_ROWS = "repro_stream_rows_total"
+STREAM_EARLY_EXITS = "repro_stream_early_exits_total"
+STREAM_ROUNDS = "repro_stream_rounds_total"
+STREAM_SCORES_SKIPPED = "repro_stream_scores_skipped_total"
+
 # JoinCache lifetime memo totals (exported by JoinCache.export_metrics).
 JOIN_CACHE_MEMO_HITS = "repro_join_cache_memo_hits"
 JOIN_CACHE_MEMO_MISSES = "repro_join_cache_memo_misses"

@@ -324,6 +324,16 @@ def _parse_request(payload: Mapping) -> tuple[Query, dict]:
             if not isinstance(value, (int, float)) or value <= 0:
                 raise ReproError(f'"{key}" must be a positive number')
             options[key] = value
+    if payload.get("offset") is not None:
+        value = payload["offset"]
+        if isinstance(value, bool) or not isinstance(value, int) \
+                or value < 0:
+            raise ReproError('"offset" must be a non-negative integer')
+        options["offset"] = value
+    if payload.get("stream") is not None:
+        if not isinstance(payload["stream"], bool):
+            raise ReproError('"stream" must be a boolean')
+        options["stream"] = payload["stream"]
     return query, options
 
 
@@ -520,9 +530,36 @@ class _Handler(BaseHTTPRequestHandler):
             return
         body = self.rfile.read(length)
         status, headers, doc = self.server.serve_query(body)
-        self._reply_json(doc, status=status, headers=headers)
+        lines = (doc.pop("_stream", None)
+                 if isinstance(doc, dict) else None)
+        if lines is not None:
+            self._reply_ndjson(lines, status=status, headers=headers)
+        else:
+            self._reply_json(doc, status=status, headers=headers)
 
     # -- plumbing -----------------------------------------------------
+
+    def _reply_ndjson(self, lines, status: int = 200,
+                      headers: Optional[Mapping[str, str]] = None
+                      ) -> None:
+        """Send an iterable of JSON documents as chunked NDJSON.
+
+        HTTP/1.1 chunked transfer framing, one JSON document per line;
+        each document is flushed as its own chunk so clients can render
+        hits before the response completes.
+        """
+        self.send_response(status)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        for doc in lines:
+            data = (json.dumps(doc, sort_keys=True) + "\n"
+                    ).encode("utf-8")
+            self.wfile.write(b"%x\r\n" % len(data) + data + b"\r\n")
+            self.wfile.flush()
+        self.wfile.write(b"0\r\n\r\n")
 
     def _reply_json(self, doc: dict, status: int = 200,
                     headers: Optional[Mapping[str, str]] = None) -> None:
@@ -800,13 +837,28 @@ class _ObsHTTPServer(ThreadingHTTPServer):
                 max_live_fragments=rails.max_live_fragments,
                 max_candidates=rails.max_candidates)
 
+        limit = int(options.get("limit", 50))
+        offset = int(options.get("offset", 0))
+        stream = bool(options.get("stream"))
         started = time.perf_counter()
         try:
-            result = self.collection.search(
-                query, strategy=strategy, obs=self.obs,
-                workers=rails.workers, kernel=rails.kernel,
-                resilience=rails.resilience, faults=rails.faults,
-                budget=budget)
+            if stream:
+                # The streaming path materialises exactly one page of
+                # hits: evaluation work is bounded by ``offset + limit``
+                # (adaptive β rounds under the hood), not by the answer
+                # set.  Iteration happens here, while the concurrency
+                # slot is held, so the guard stack sees the work.
+                page_hits = list(self.collection.search(
+                    query, strategy=strategy, obs=self.obs,
+                    workers=rails.workers, kernel=rails.kernel,
+                    resilience=rails.resilience, faults=rails.faults,
+                    budget=budget, stream=True, limit=offset + limit))
+            else:
+                result = self.collection.search(
+                    query, strategy=strategy, obs=self.obs,
+                    workers=rails.workers, kernel=rails.kernel,
+                    resilience=rails.resilience, faults=rails.faults,
+                    budget=budget)
         except BudgetExceeded as exc:
             # The collection layer already counted
             # repro_guard_budget_exceeded_total; only the breaker and
@@ -823,19 +875,48 @@ class _ObsHTTPServer(ThreadingHTTPServer):
         self._publish_breaker()
         self._count_admitted()
         elapsed = time.perf_counter() - started
-        limit = int(options.get("limit", 50))
+        if stream:
+            page = page_hits[offset:offset + limit]
+            exhausted = len(page_hits) < offset + limit
+            return 200, None, {"_stream": self._stream_lines(
+                page, strategy, offset, limit, exhausted, elapsed)}
         hits = result.hits
+        page = hits[offset:offset + limit]
+        next_offset = offset + len(page)
         return 200, None, {
             "answers": len(result),
-            "returned": min(limit, len(hits)),
+            "returned": len(page),
+            "offset": offset,
+            "limit": limit,
+            "next_offset": (next_offset if next_offset < len(hits)
+                            else None),
             "elapsed_ms": round(elapsed * 1000, 3),
             "strategy": strategy.value,
             "matched_documents": result.matched_documents,
             "hits": [{"document": hit.document_name,
                       "nodes": sorted(hit.fragment.nodes),
                       "size": hit.fragment.size}
-                     for hit in hits[:limit]],
+                     for hit in page],
         }
+
+    @staticmethod
+    def _stream_lines(page, strategy, offset: int, limit: int,
+                      exhausted: bool, elapsed: float):
+        """NDJSON line documents for one streamed ``/query`` page.
+
+        One meta line, one line per hit, one trailing summary line —
+        the shape a client needs to render results incrementally.
+        """
+        yield {"stream": True, "strategy": strategy.value,
+               "offset": offset, "limit": limit}
+        for hit in page:
+            yield {"document": hit.document_name,
+                   "nodes": sorted(hit.fragment.nodes),
+                   "size": hit.fragment.size}
+        yield {"returned": len(page),
+               "next_offset": (None if exhausted
+                               else offset + limit),
+               "elapsed_ms": round(elapsed * 1000, 3)}
 
 
 def _min_optional(a: Optional[float],

@@ -135,6 +135,38 @@ class FragmentScorer:
         self._decay = decay
         self._obs = obs if obs is not None else NOOP
 
+    @property
+    def weights(self) -> tuple[float, float, float]:
+        """Normalised ``(w_tf_idf, w_compactness, w_proximity)``."""
+        return self._weights
+
+    def score_upper_bound(self, fragment: Fragment) -> float:
+        """A cheap, sound upper bound on ``score(fragment, ·).score``.
+
+        tf·idf and proximity are bounded by 1 for any term set, and
+        compactness depends only on the fragment's shape, so
+        ``w1 + w3 + w2·compactness`` over-approximates the real score
+        without touching the index.  A bounded ranking heap uses this to
+        skip full scoring of fragments that provably cannot enter the
+        current top-k.
+        """
+        w1, w2, w3 = self._weights
+        return w1 + w3 + w2 * compactness_score(fragment)
+
+    def size_score_bound(self, min_size: int) -> float:
+        """Upper bound on the score of *any* fragment of size ≥ ``min_size``.
+
+        Compactness decays monotonically with size, and height only
+        lowers it further, so the best a fragment of size ≥ s can do is
+        ``w1 + w3 + w2 / (1 + log1p(s - 1))``.  This is the
+        anti-monotonic threshold that lets a streaming ranked top-k stop
+        once every unseen fragment is provably behind the k-th held
+        score.
+        """
+        s = max(int(min_size), 1)
+        w1, w2, w3 = self._weights
+        return w1 + w3 + w2 * (1.0 / (1.0 + math.log1p(s - 1)))
+
     def score(self, fragment: Fragment,
               terms: Sequence[str]) -> ScoredFragment:
         """Score one fragment against the query terms."""

@@ -57,6 +57,36 @@ class TestTopKUnit:
         assert all(f.size <= 2 for f in answers)
 
 
+class TestTopKNewKeywords:
+    """The streaming rewrite keeps the old signature but adds
+    strategy/budget/obs/kernel threading that the original hardcoded."""
+
+    def test_strategy_override(self, figure1):
+        from repro.core.strategies import Strategy
+        query = Query.of("xquery", "optimization")
+        expected = top_k_smallest(figure1, query, k=2)
+        for strategy in Strategy:
+            assert top_k_smallest(figure1, query, k=2,
+                                  strategy=strategy) == expected
+
+    def test_budget_enforced(self, figure1):
+        from repro.errors import BudgetExceeded
+        from repro.guard.budget import QueryBudget
+        query = Query.of("xquery", "optimization")
+        with pytest.raises(BudgetExceeded):
+            top_k_smallest(figure1, query, k=2,
+                           budget=QueryBudget(max_join_ops=1))
+
+    def test_obs_and_kernel_threaded(self, figure1):
+        from repro.obs import Observability
+        obs = Observability()
+        query = Query.of("xquery", "optimization")
+        answers = top_k_smallest(figure1, query, k=2, obs=obs,
+                                 kernel="bitset")
+        assert [sorted(f.nodes) for f in answers] == [[17], [16, 17]]
+        assert "repro_stream_rounds_total" in obs.metrics
+
+
 class TestTopKProperties:
     @settings(max_examples=25, deadline=None)
     @given(documents(min_nodes=3, max_nodes=10))

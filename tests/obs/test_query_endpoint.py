@@ -244,3 +244,96 @@ class TestDrain:
         names = {m["name"] for m in varz["metrics"]["metrics"]}
         assert "repro_guard_admitted_total" in names
         assert "repro_guard_breaker_state" in names
+
+
+class TestPaginationAndStreaming:
+    """Offset pagination and the chunked NDJSON stream path."""
+
+    @pytest.fixture()
+    def paged_server(self):
+        coll = DocumentCollection("paged")
+        coll.add_xml("<a><b>red pear</b><c>red apple</c>"
+                     "<d>apple red</d></a>", name="d1")
+        coll.add_xml("<a><b>red rose</b><c>thorn</c></a>", name="d2")
+        with MetricsServer(Observability(),
+                           collection=coll) as running:
+            yield running
+
+    def _hits(self, doc):
+        return [(h["document"], tuple(h["nodes"])) for h in doc["hits"]]
+
+    def test_response_carries_pagination_fields(self, paged_server):
+        status, _, body = _request(paged_server.url + "/query", "POST",
+                                   payload={"query": "red",
+                                            "limit": 2})
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["offset"] == 0
+        assert doc["limit"] == 2
+        assert doc["returned"] == len(doc["hits"]) <= 2
+        if doc["answers"] > 2:
+            assert doc["next_offset"] == 2
+        else:
+            assert doc["next_offset"] is None
+
+    def test_pages_reassemble_full_result(self, paged_server):
+        status, _, body = _request(paged_server.url + "/query", "POST",
+                                   payload={"query": "red",
+                                            "limit": 50})
+        assert status == 200
+        full = json.loads(body)
+        assert full["answers"] >= 3  # corpus plants several red nodes
+        everything = self._hits(full)
+        offset, pages = 0, []
+        while offset is not None:
+            _, _, body = _request(paged_server.url + "/query", "POST",
+                                  payload={"query": "red", "limit": 2,
+                                           "offset": offset})
+            doc = json.loads(body)
+            pages.extend(self._hits(doc))
+            offset = doc["next_offset"]
+        assert pages == everything
+
+    @pytest.mark.parametrize("payload", [
+        {"query": "red", "offset": -1},
+        {"query": "red", "offset": 1.5},
+        {"query": "red", "offset": True},
+        {"query": "red", "stream": "yes"},
+        {"query": "red", "limit": 0},
+    ])
+    def test_bad_pagination_is_400(self, paged_server, payload):
+        status, _, body = _request(paged_server.url + "/query", "POST",
+                                   payload=payload)
+        assert status == 400
+        assert json.loads(body)["error"] == "bad-request"
+
+    def test_stream_returns_ndjson(self, paged_server):
+        status, headers, body = _request(
+            paged_server.url + "/query", "POST",
+            payload={"query": "red", "stream": True, "limit": 2})
+        assert status == 200
+        assert headers.get("Content-Type") == "application/x-ndjson"
+        lines = [json.loads(line) for line in body.splitlines() if line]
+        assert lines[0]["stream"] is True
+        assert lines[0]["limit"] == 2
+        summary = lines[-1]
+        hits = lines[1:-1]
+        assert summary["returned"] == len(hits) <= 2
+        for hit in hits:
+            assert {"document", "nodes", "size"} <= set(hit)
+
+    def test_stream_page_matches_materialized_page(self, paged_server):
+        _, _, body = _request(paged_server.url + "/query", "POST",
+                              payload={"query": "red", "limit": 2,
+                                       "offset": 1})
+        doc = json.loads(body)
+        _, _, stream_body = _request(
+            paged_server.url + "/query", "POST",
+            payload={"query": "red", "stream": True, "limit": 2,
+                     "offset": 1})
+        lines = [json.loads(line) for line in stream_body.splitlines()
+                 if line]
+        streamed = [(h["document"], tuple(h["nodes"]))
+                    for h in lines[1:-1]]
+        assert streamed == self._hits(doc)
+        assert lines[-1]["next_offset"] == doc["next_offset"]

@@ -432,3 +432,43 @@ class TestIndexCli:
         assert main(["index", "build", corpus_dir,
                      str(tmp_path / "idx")]) == 0
         assert "built" in capsys.readouterr().out
+
+
+class TestStreamFlag:
+    def test_single_document_stream(self, book_file, capsys):
+        code = main([book_file, "fragment", "join", "--max-size", "4",
+                     "--stream", "-n", "2"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "streamed answer(s)" in captured.out
+        assert "#1" in captured.out
+        assert "#3" not in captured.out
+
+    def test_stream_matches_materialized_prefix(self, book_file,
+                                                capsys):
+        code = main([book_file, "fragment", "join", "--max-size", "4",
+                     "-n", "2"])
+        assert code == 0
+        plain = [line for line in capsys.readouterr().out.splitlines()
+                 if line.startswith("#")]
+        code = main([book_file, "fragment", "join", "--max-size", "4",
+                     "--stream", "-n", "2"])
+        assert code == 0
+        streamed = [line for line
+                    in capsys.readouterr().out.splitlines()
+                    if line.startswith("#")]
+        # Same fragments in the same order; the streamed line adds a
+        # height note, so compare the label prefix.
+        assert [l.split("(")[0] for l in streamed] == \
+            [l.split("(")[0] for l in plain]
+
+    def test_directory_stream(self, tmp_path, capsys):
+        (tmp_path / "x.xml").write_text(
+            "<a><b>red pear</b><c>red apple</c></a>")
+        (tmp_path / "y.xml").write_text("<a><b>red rose</b></a>")
+        code = main([str(tmp_path), "red", "--stream", "-n", "2"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "streaming up to 2 answer(s)" in captured.out
+        assert "answer(s) streamed" in captured.out
+        assert "#1" in captured.out

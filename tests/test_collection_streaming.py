@@ -1,0 +1,163 @@
+"""Differential tests for collection-level streaming search.
+
+The contract under test: ``search(..., stream=True)`` and
+``search(..., limit=N)`` yield hits bit-identical (same hits, same
+order) to the materialized ``result.hits`` list, serial and pooled,
+on both an INEX-like article corpus and a Zipf document-centric
+corpus; budget aborts leave a consistent prefix; and the ranked paths
+(heap default and ``stream=True`` β rounds) return identical lists.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collection.collection import DocumentCollection
+from repro.core.filters import SizeAtMost
+from repro.core.query import Query
+from repro.core.strategies import Strategy
+from repro.errors import BudgetExceeded
+from repro.guard.budget import QueryBudget
+from repro.workloads.generator import DocumentSpec, generate_document
+from repro.workloads.inexlike import InexSpec, generate_collection
+
+ALL_STRATEGIES = list(Strategy)
+
+
+def _key(hit):
+    return (hit.document_name, tuple(sorted(hit.fragment.nodes)))
+
+
+@pytest.fixture(scope="module")
+def inex():
+    return generate_collection(
+        InexSpec(articles=6, nodes_per_article=60,
+                 planted_fraction=0.8, seed=7))
+
+
+@pytest.fixture(scope="module")
+def zipf():
+    coll = DocumentCollection(name="zipf")
+    for i in range(4):
+        coll.add(generate_document(
+            DocumentSpec(nodes=40, vocabulary_size=200,
+                         words_per_leaf=3, seed=100 + i,
+                         name=f"z{i}")))
+    return coll
+
+
+INEX_QUERY = Query.of("needle", "thread", predicate=SizeAtMost(6))
+ZIPF_QUERY = Query.of("search", "note", predicate=SizeAtMost(4))
+
+
+class TestStreamedEqualsMaterialized:
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_inex_serial(self, inex, strategy):
+        expected = [_key(h) for h in
+                    inex.search(INEX_QUERY, strategy=strategy).hits]
+        streamed = [_key(h) for h in
+                    inex.search(INEX_QUERY, strategy=strategy,
+                                stream=True)]
+        assert streamed == expected
+        assert expected, "corpus must produce answers for the test " \
+                         "to mean anything"
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_zipf_serial(self, zipf, strategy):
+        expected = [_key(h) for h in
+                    zipf.search(ZIPF_QUERY, strategy=strategy).hits]
+        streamed = [_key(h) for h in
+                    zipf.search(ZIPF_QUERY, strategy=strategy,
+                                stream=True)]
+        assert streamed == expected
+        assert expected
+
+    def test_limit_is_materialized_prefix(self, inex):
+        expected = [_key(h) for h in inex.search(INEX_QUERY).hits]
+        for limit in (1, 3, 7, len(expected) + 10):
+            got = [_key(h) for h in
+                   inex.search(INEX_QUERY, limit=limit)]
+            assert got == expected[:limit]
+
+    def test_workers_stream_identical(self, inex):
+        expected = [_key(h) for h in inex.search(INEX_QUERY).hits]
+        pooled = [_key(h) for h in
+                  inex.search(INEX_QUERY, stream=True, workers=4)]
+        assert pooled == expected
+
+    def test_workers_stream_with_limit(self, inex):
+        expected = [_key(h) for h in inex.search(INEX_QUERY).hits]
+        for limit in (1, 5):
+            got = [_key(h) for h in
+                   inex.search(INEX_QUERY, stream=True, workers=4,
+                               limit=limit)]
+            assert got == expected[:limit]
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0, -1, True, 2.5, "3"])
+    def test_search_limit_rejected(self, inex, bad):
+        with pytest.raises(ValueError):
+            inex.search(INEX_QUERY, limit=bad)
+
+    @pytest.mark.parametrize("bad", [0, -1, True, 2.5, "3"])
+    def test_ranked_limit_rejected(self, inex, bad):
+        with pytest.raises(ValueError):
+            inex.ranked_search(INEX_QUERY, limit=bad)
+
+
+class TestBudgetAbort:
+    def test_stream_prefix_is_consistent(self, inex):
+        expected = [_key(h) for h in inex.search(INEX_QUERY).hits]
+        collected = []
+        with pytest.raises(BudgetExceeded):
+            for hit in inex.search(INEX_QUERY, stream=True,
+                                   budget=QueryBudget(max_join_ops=200)):
+                collected.append(_key(hit))
+        # Emission happens only after complete β rounds, so whatever
+        # made it out must be an exact prefix of the canonical order.
+        assert collected == expected[:len(collected)]
+
+    def test_generous_budget_unchanged(self, inex):
+        expected = [_key(h) for h in inex.search(INEX_QUERY).hits]
+        got = [_key(h) for h in
+               inex.search(INEX_QUERY, stream=True,
+                           budget=QueryBudget(max_join_ops=10_000_000))]
+        assert got == expected
+
+
+class TestRankedStreaming:
+    def _pairs(self, ranked):
+        return [(name, tuple(sorted(s.fragment.nodes)),
+                 round(s.score, 12)) for name, s in ranked]
+
+    @pytest.mark.parametrize("limit", [1, 3, 10, 50])
+    def test_stream_matches_default(self, inex, limit):
+        default = inex.ranked_search(INEX_QUERY, limit=limit)
+        streamed = inex.ranked_search(INEX_QUERY, limit=limit,
+                                      stream=True)
+        assert self._pairs(streamed) == self._pairs(default)
+
+    def test_scores_descend(self, inex):
+        ranked = inex.ranked_search(INEX_QUERY, limit=10)
+        scores = [s.score for _, s in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_equal_score_ties_break_by_document_name(self):
+        # Two identical documents: every fragment scores identically in
+        # both, so the canonical ranked order must fall back to the
+        # document name (then node ids) — pinned so a refactor cannot
+        # silently reorder equal-score hits.
+        xml = "<a><b>needle thread</b><c>needle</c></a>"
+        coll = DocumentCollection(name="ties")
+        coll.add_xml(xml, name="zz")
+        coll.add_xml(xml, name="aa")
+        ranked = coll.ranked_search(Query.of("needle", "thread"),
+                                    limit=10)
+        by_score = {}
+        for name, scored in ranked:
+            by_score.setdefault(
+                (round(scored.score, 9),
+                 tuple(sorted(scored.fragment.nodes))), []).append(name)
+        for names in by_score.values():
+            assert names == sorted(names)
