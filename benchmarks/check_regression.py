@@ -45,6 +45,8 @@ HEADLINES = [
     ("BENCH_shard.json", "shard.attach_speedup", "higher"),
     ("BENCH_shard.json", "rss.growth", "lower"),
     ("BENCH_streaming.json", "streaming.topk_vs_full", "lower"),
+    ("BENCH_mutation.json", "mutation.batch_commit_speedup", "higher"),
+    ("BENCH_mutation.json", "reads.read_overhead", "lower"),
 ]
 
 

@@ -619,9 +619,45 @@ def index_main(argv: Optional[Sequence[str]] = None) -> int:
     inspect.add_argument("--verify", action="store_true",
                          help="checksum-verify every document "
                               "(exit 1 on any failure)")
+    ingest = sub.add_parser(
+        "ingest", help="add/replace/remove documents in a writable "
+                       "(WAL-backed) index, committing one new epoch")
+    ingest.add_argument("path", help="mutable index directory")
+    ingest.add_argument("source", nargs="?", default=None,
+                        help="XML file or directory of *.xml files "
+                             "to add/replace")
+    ingest.add_argument("--create", action="store_true",
+                        help="initialise a new mutable index at PATH "
+                             "if none exists")
+    ingest.add_argument("--shards", type=int, default=4, metavar="N",
+                        help="shard count for --create (default: 4)")
+    ingest.add_argument("--remove", action="append", default=[],
+                        metavar="NAME",
+                        help="remove a document by name (repeatable)")
+    compact = sub.add_parser(
+        "compact", help="fold a writable index's delta segment into a "
+                        "new base generation")
+    compact.add_argument("path", help="mutable index directory")
+    fsck = sub.add_parser(
+        "fsck", help="verify a writable index (CURRENT, manifest, WAL "
+                     "checksums, base shards); --repair truncates torn "
+                     "tails and sweeps orphans")
+    fsck.add_argument("path", help="mutable index directory")
+    fsck.add_argument("--repair", action="store_true",
+                      help="repair what can be repaired (truncate the "
+                           "WAL to its committed prefix, re-point "
+                           "CURRENT, delete orphans)")
+    fsck.add_argument("--json", action="store_true",
+                      help="print the full report as JSON")
     args = parser.parse_args(argv)
     if args.command == "build":
         return _index_build(args)
+    if args.command == "ingest":
+        return _index_ingest(args)
+    if args.command == "compact":
+        return _index_compact(args)
+    if args.command == "fsck":
+        return _index_fsck(args)
     return _index_inspect(args)
 
 
@@ -648,6 +684,109 @@ def _index_build(args: argparse.Namespace) -> int:
           f"{manifest['total_nodes']} node(s), "
           f"{manifest['total_bytes']} byte(s){skip_note}")
     return 0
+
+
+def _index_ingest(args: argparse.Namespace) -> int:
+    from .storage.mutation import MutableIndex, read_current
+
+    if args.source is None and not args.remove:
+        print("error: nothing to do — give a SOURCE and/or --remove",
+              file=sys.stderr)
+        return 2
+    documents: dict = {}
+    if args.source is not None:
+        if os.path.isdir(args.source):
+            collection, skipped = _load_collection_dir(args.source)
+            if skipped:
+                print(f"warning: {len(skipped)} file(s) skipped",
+                      file=sys.stderr)
+            documents = {name: collection.document(name)
+                         for name in collection.names()}
+        elif os.path.isfile(args.source):
+            document = parse_file(args.source)
+            documents = {document.name: document}
+        else:
+            print(f"error: {args.source} does not exist",
+                  file=sys.stderr)
+            return 2
+    try:
+        if read_current(args.path) is None:
+            if not args.create:
+                print(f"error: no mutable index at {args.path}; pass "
+                      f"--create to initialise one", file=sys.stderr)
+                return 2
+            index = MutableIndex.create(args.path, shards=args.shards)
+        else:
+            index = MutableIndex.open(args.path)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        for name, document in sorted(documents.items()):
+            index.add(document, name, commit=False)
+        for name in args.remove:
+            index.remove(name, commit=False)
+        epoch = index.commit()
+        print(f"ingested into {args.path}: {len(documents)} "
+              f"document(s) added/replaced, {len(args.remove)} "
+              f"removed; epoch {epoch}, "
+              f"{len(index)} document(s) visible")
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        index.close()
+
+
+def _index_compact(args: argparse.Namespace) -> int:
+    from .storage.mutation import MutableIndex
+
+    try:
+        index = MutableIndex.open(args.path)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        before = index.stats()
+        epoch = index.compact()
+        print(f"compacted {args.path}: generation "
+              f"{index.generation}, epoch {epoch}, "
+              f"{before['delta']['documents']} delta document(s) "
+              f"folded into the base, {len(index)} document(s) "
+              f"visible")
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        index.close()
+
+
+def _index_fsck(args: argparse.Namespace) -> int:
+    from .storage.mutation import fsck
+
+    try:
+        report = fsck(args.path, repair=args.repair)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        state = "healthy" if report["healthy"] else "DAMAGED"
+        print(f"fsck {args.path}: {state}, epoch {report['epoch']}")
+        for issue in report["issues"]:
+            marker = "FATAL" if issue["fatal"] else "issue"
+            print(f"  {marker} [{issue['kind']}]: {issue['detail']}")
+        for repair in report["repairs"]:
+            print(f"  repaired: {repair}")
+        if report["wal"] is not None:
+            wal = report["wal"]
+            print(f"  wal: {wal['committed_records']} committed "
+                  f"record(s), {wal['excess_bytes']} byte(s) past the "
+                  f"commit, torn={wal['torn']}")
+    return 0 if report["healthy"] else 1
 
 
 def _index_inspect(args: argparse.Namespace) -> int:
@@ -762,6 +901,12 @@ def serve_main(argv: Optional[Sequence[str]] = None,
                              "of parsing XML; documents attach by mmap "
                              "and corrupt shards degrade instead of "
                              "failing")
+    parser.add_argument("--writable", action="store_true",
+                        help="treat --index as a WAL-backed mutable "
+                             "index (see 'repro-search index ingest'): "
+                             "POST /ingest adds/removes documents "
+                             "live, each query pins a consistent "
+                             "epoch, and /varz reports epoch state")
     parser.add_argument("--port", type=int, default=0,
                         help="metrics port (default: 0 = any free port)")
     parser.add_argument("--host", default="127.0.0.1",
@@ -860,6 +1005,8 @@ def serve_main(argv: Optional[Sequence[str]] = None,
     args = parser.parse_args(argv)
     if (args.file is None) == (args.index_path is None):
         parser.error("exactly one of FILE or --index is required")
+    if args.writable and args.index_path is None:
+        parser.error("--writable requires --index")
     stdin = stdin if stdin is not None else sys.stdin
 
     recorder = None
@@ -882,7 +1029,9 @@ def serve_main(argv: Optional[Sequence[str]] = None,
         recorder=recorder)
     skipped: list = []
     try:
-        if args.index_path is not None:
+        if args.index_path is not None and args.writable:
+            collection = DocumentCollection.open_mutable(args.index_path)
+        elif args.index_path is not None:
             collection = DocumentCollection.open_index(args.index_path)
             if collection.degraded:
                 failed = collection.shard_stats()["index"]["shards_failed"]
@@ -899,7 +1048,9 @@ def serve_main(argv: Optional[Sequence[str]] = None,
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    if not len(collection):
+    if not len(collection) and not args.writable:
+        # A writable index may legitimately start empty: documents
+        # arrive over POST /ingest.
         print(_empty_collection_error(args.file or args.index_path,
                                       skipped), file=sys.stderr)
         return 2
@@ -939,9 +1090,11 @@ def serve_main(argv: Optional[Sequence[str]] = None,
                            history=history, slo=slo,
                            slo_feedback=args.slo_feedback).start()
     skip_note = (f" ({len(skipped)} file(s) skipped)" if skipped else "")
+    ingest_note = (", POST /ingest" if args.writable else "")
     print(f"metrics: {server.url}/metrics  "
-          f"(also /healthz /varz /slow, POST /query); queries from "
-          f"stdin, one per line{skip_note}", file=sys.stderr)
+          f"(also /healthz /varz /slow, POST /query{ingest_note}); "
+          f"queries from stdin, one per line{skip_note}",
+          file=sys.stderr)
     if history is not None:
         slo_note = (f"; {len(slo.objectives)} SLO(s) on /alertz"
                     if slo is not None else "")

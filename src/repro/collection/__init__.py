@@ -3,13 +3,16 @@
 from .collection import CollectionHit, CollectionResult, DocumentCollection
 
 __all__ = ["DocumentCollection", "CollectionResult", "CollectionHit",
-           "ShardedDocumentCollection"]
+           "ShardedDocumentCollection", "MutableDocumentCollection"]
 
 
 def __getattr__(name):
-    # Lazy: the sharded collection pulls in repro.storage.shards, which
+    # Lazy: the on-disk collections pull in repro.storage, which
     # in-memory users never need.
     if name == "ShardedDocumentCollection":
         from .sharded import ShardedDocumentCollection
         return ShardedDocumentCollection
+    if name == "MutableDocumentCollection":
+        from .mutable import MutableDocumentCollection
+        return MutableDocumentCollection
     raise AttributeError(name)

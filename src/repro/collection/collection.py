@@ -15,6 +15,7 @@ execute per ref [13].
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Union
 
@@ -97,6 +98,11 @@ class DocumentCollection:
         self._scorers: dict[str, FragmentScorer] = {}
         self._executor = None  # cached repro.exec.ParallelExecutor
         self._executor_workers: Optional[int] = None
+        # Guards mutation of the shared caches above against concurrent
+        # searches: add() swaps/invalidate them under this lock, and the
+        # lazy get-or-create paths (index / scorer / executor) take it
+        # so a reader mid-search never observes a half-built entry.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Population
@@ -112,22 +118,29 @@ class DocumentCollection:
             If the name is already taken.
         """
         key = name if name is not None else document.name
-        if key in self._documents:
-            raise DocumentError(f"collection already contains a "
-                                f"document named {key!r}")
-        self._documents[key] = document
-        # Derived state is now stale: any pooled executor holds a
-        # snapshot of the old corpus, and cached scorers must not
-        # outlive corpus changes.
-        self._scorers.clear()
-        self._shutdown_executor()
+        with self._lock:
+            if key in self._documents:
+                raise DocumentError(f"collection already contains a "
+                                    f"document named {key!r}")
+            # Copy-on-write: searches running concurrently iterate the
+            # mapping they started with; swapping a new dict in (rather
+            # than mutating in place) keeps their view stable.
+            documents = dict(self._documents)
+            documents[key] = document
+            self._documents = documents
+            # Derived state is now stale: any pooled executor holds a
+            # snapshot of the old corpus, and cached scorers must not
+            # outlive corpus changes.
+            self._scorers = {}
+            self._shutdown_executor()
         return key
 
     def _shutdown_executor(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
-            self._executor_workers = None
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown()
+                self._executor = None
+                self._executor_workers = None
 
     def close(self) -> None:
         """Release pooled resources (the lazy parallel executor).
@@ -191,6 +204,20 @@ class DocumentCollection:
         from .sharded import ShardedDocumentCollection
         return ShardedDocumentCollection(path, **options)
 
+    @classmethod
+    def open_mutable(cls, path: Union[str, "os.PathLike[str]"],
+                     **options) -> "DocumentCollection":
+        """Open a crash-safe *writable* index (``repro.storage.mutation``).
+
+        Returns a :class:`MutableDocumentCollection`: ``add``/``remove``
+        are WAL-durable and epoch-committed, every search runs against
+        one epoch-pinned snapshot, and ``workers=`` pools survive
+        commits (workers re-attach epochs on demand).  ``options`` are
+        forwarded to the ``MutableDocumentCollection`` constructor.
+        """
+        from .mutable import MutableDocumentCollection
+        return MutableDocumentCollection(path, **options)
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -214,9 +241,15 @@ class DocumentCollection:
 
     def index(self, name: str) -> InvertedIndex:
         """The (lazily built, cached) inverted index of one document."""
-        if name not in self._indexes:
-            self._indexes[name] = InvertedIndex(self._documents[name])
-        return self._indexes[name]
+        index = self._indexes.get(name)
+        if index is None:
+            # Build outside any lock (it walks the whole document);
+            # publish under it so concurrent builders agree on one
+            # winner and readers never see a half-inserted entry.
+            index = InvertedIndex(self._documents[name])
+            with self._lock:
+                index = self._indexes.setdefault(name, index)
+        return index
 
     def has_terms(self, name: str, terms: Iterable[str]) -> bool:
         """Early-exit probe: does the document contain every term?
@@ -267,12 +300,14 @@ class DocumentCollection:
         :meth:`add` (the pool snapshots the corpus at creation).
         """
         from ..exec.parallel import ParallelExecutor
-        if self._executor is None or self._executor_workers != workers:
-            self._shutdown_executor()
-            self._executor = ParallelExecutor(self._documents,
-                                              workers=workers)
-            self._executor_workers = workers
-        return self._executor
+        with self._lock:
+            if self._executor is None \
+                    or self._executor_workers != workers:
+                self._shutdown_executor()
+                self._executor = ParallelExecutor(self._documents,
+                                                  workers=workers)
+                self._executor_workers = workers
+            return self._executor
 
     def screen(self, policy: AdmissionPolicy, query: Query,
                strategy: Strategy = Strategy.PUSHDOWN,
@@ -543,7 +578,8 @@ class DocumentCollection:
         """
         from ..exec.parallel import ParallelExecutor
         runner = self._parallel_executor(workers)
-        supports_hint = isinstance(runner, ParallelExecutor)
+        supports_hint = (isinstance(runner, ParallelExecutor)
+                         or getattr(runner, "supports_hints", False))
         max_size = max(self.document(name).size for name in targets)
         beta = min(initial_beta, max_size)
         prev_beta = 0
@@ -679,9 +715,12 @@ class DocumentCollection:
         re-indexing.  Observability is passed per :meth:`rank` call, so
         the cache is independent of ``obs`` handles.
         """
-        if name not in self._scorers:
-            self._scorers[name] = FragmentScorer(self.index(name))
-        return self._scorers[name]
+        scorer = self._scorers.get(name)
+        if scorer is None:
+            scorer = FragmentScorer(self.index(name))
+            with self._lock:
+                scorer = self._scorers.setdefault(name, scorer)
+        return scorer
 
     def ranked_search(self, query: Query, limit: int = 10,
                       strategy: Strategy = Strategy.PUSHDOWN,

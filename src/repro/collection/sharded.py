@@ -155,13 +155,15 @@ class ShardedDocumentCollection(DocumentCollection):
         document LRU.
         """
         from ..storage.shards.router import ShardRouter
-        if self._executor is None or self._executor_workers != workers:
-            self._shutdown_executor()
-            self._executor = ShardRouter(self.index_handle,
-                                         workers=workers,
-                                         **self._router_options)
-            self._executor_workers = workers
-        return self._executor
+        with self._lock:
+            if self._executor is None \
+                    or self._executor_workers != workers:
+                self._shutdown_executor()
+                self._executor = ShardRouter(self.index_handle,
+                                             workers=workers,
+                                             **self._router_options)
+                self._executor_workers = workers
+            return self._executor
 
     @property
     def router(self):

@@ -83,6 +83,34 @@ class ShardError(StorageError):
                 "path": self.path}
 
 
+class WALError(StorageError):
+    """Raised by the live-mutation layer (:mod:`repro.storage.mutation`).
+
+    Attributes
+    ----------
+    reason:
+        Machine-readable cause: ``"missing"``, ``"bad-op"``,
+        ``"bad-epoch"``, ``"torn"``, ``"unknown-document"``,
+        ``"read-only"``, ``"closed"`` or ``"corrupt"``.
+    path:
+        The offending file or directory, when known.
+    """
+
+    def __init__(self, message: str, reason: str = "corrupt",
+                 path=None) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.path = str(path) if path is not None else None
+
+    def __reduce__(self):
+        return (type(self), (str(self), self.reason, self.path))
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form, used by fsck and the ingest endpoint."""
+        return {"error": "wal", "reason": self.reason,
+                "message": str(self), "path": self.path}
+
+
 class ExecutionError(ReproError):
     """Raised when parallel execution exhausts its failure budget.
 

@@ -25,11 +25,24 @@ and only for the first ``times`` attempts, so every scenario is
 deterministic: tests and the bench runner can script "chunk 0 dies
 once, everything else is healthy" and assert bit-identical recovery.
 
+A second family of directives targets the *storage commit protocol*
+(:mod:`repro.storage.mutation`): a :class:`CrashPlan` names one point
+of the WAL-append → fsync → manifest-write → ``CURRENT``-rename
+sequence and raises :class:`CommitCrash` exactly there — optionally
+after a *torn write* (a prefix of the bytes, as a real power cut
+leaves behind).  The crash-recovery test matrix drives every point and
+asserts recovery exposes the old or the new epoch, never a partial
+view.
+
 Usage::
 
     plan = FaultPlan(FaultRule.kill(chunk=0))
     executor = ParallelExecutor(documents, workers=2, faults=plan)
     executor.run(queries)          # crashes once, recovers, same answers
+
+    crash = CrashPlan(point="current-rename")
+    index = MutableIndex.open(path, faults=crash)
+    index.add(doc)                 # raises CommitCrash mid-protocol
 """
 
 from __future__ import annotations
@@ -40,7 +53,8 @@ from dataclasses import dataclass
 from typing import Mapping, Optional
 
 __all__ = ["KILL_WORKER", "HANG_WORKER", "FLAKY_CHUNK", "FAULT_KINDS",
-           "InjectedFault", "FaultRule", "FaultPlan", "apply_fault"]
+           "InjectedFault", "FaultRule", "FaultPlan", "apply_fault",
+           "CommitCrash", "CrashPlan", "COMMIT_POINTS"]
 
 KILL_WORKER = "kill-worker"
 HANG_WORKER = "hang-worker"
@@ -163,3 +177,105 @@ def apply_fault(fault: Optional[Mapping]) -> None:
             f"(attempt {fault.get('attempt', 0)})")
     else:
         raise InjectedFault(f"unknown fault directive {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Commit-protocol crash injection (repro.storage.mutation)
+# ----------------------------------------------------------------------
+
+#: Every observable point of the epoch commit protocol, in execution
+#: order.  ``before-<point>`` variants fire *before* the step runs (so
+#: a ``before-wal-fsync`` crash leaves an appended-but-unsynced WAL);
+#: the bare name fires right after the step completes.  Points up to
+#: and including ``current-fsync`` must recover to the *old* epoch;
+#: ``current-rename`` and later must recover to the *new* one.
+COMMIT_POINTS = (
+    "wal-write",
+    "wal-fsync",
+    "manifest-write",
+    "manifest-fsync",
+    "manifest-rename",
+    "manifest-dir-fsync",
+    "current-write",
+    "current-fsync",
+    "current-rename",
+    "current-dir-fsync",
+)
+
+
+class CommitCrash(BaseException):
+    """An injected crash inside the storage commit protocol.
+
+    Deliberately a :class:`BaseException`: a simulated power cut must
+    not be caught by ordinary ``except Exception`` cleanup handlers —
+    the crashed writer is expected to leave its on-disk state exactly
+    as the kill point found it, which is what recovery is tested
+    against.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"injected crash at commit point {point!r}")
+        self.point = point
+
+
+class CrashPlan:
+    """Crash (and optionally tear) the commit protocol at one point.
+
+    Parameters
+    ----------
+    point:
+        One of :data:`COMMIT_POINTS`, or ``"before-<point>"`` to fire
+        before the step instead of after it.
+    torn_bytes:
+        For write points (``wal-write`` / ``manifest-write`` /
+        ``current-write``): write only the first ``torn_bytes`` bytes
+        of the payload before crashing — a torn write.  ``0`` tears
+        the write down to nothing but may still have created the file.
+    times:
+        How many protocol runs the plan fires for (default: every run
+        until :meth:`disarm`).
+    """
+
+    def __init__(self, point: str, *, torn_bytes: Optional[int] = None,
+                 times: Optional[int] = None) -> None:
+        base = point[len("before-"):] if point.startswith("before-") \
+            else point
+        if base not in COMMIT_POINTS:
+            raise ValueError(f"unknown commit point {point!r}; expected "
+                             f"one of {list(COMMIT_POINTS)} (optionally "
+                             f"'before-' prefixed)")
+        if torn_bytes is not None and torn_bytes < 0:
+            raise ValueError("torn_bytes must be >= 0")
+        self.point = point
+        self.torn_bytes = torn_bytes
+        self.times = times
+        self.fired = 0
+
+    def disarm(self) -> None:
+        """Stop firing (recovery and assertions run un-faulted)."""
+        self.times = 0
+
+    def _armed(self) -> bool:
+        return self.times is None or self.fired < self.times
+
+    def check(self, point: str) -> None:
+        """Raise :class:`CommitCrash` when ``point`` matches the plan."""
+        if self.point == point and self._armed():
+            self.fired += 1
+            raise CommitCrash(point)
+
+    def torn_write(self, point: str, data: bytes) -> bytes:
+        """The bytes actually written at a write point.
+
+        Returns ``data`` unchanged unless this plan tears that point,
+        in which case the configured prefix is returned (the caller
+        writes it, then :meth:`check` raises).
+        """
+        if self.point == point and self.torn_bytes is not None \
+                and self._armed():
+            return data[:self.torn_bytes]
+        return data
+
+    def __repr__(self) -> str:
+        return (f"CrashPlan(point={self.point!r}, "
+                f"torn_bytes={self.torn_bytes}, fired={self.fired})")

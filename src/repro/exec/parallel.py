@@ -67,7 +67,8 @@ from ..errors import (BudgetExceeded, DocumentError, ExecutionError,
 from ..guard.budget import QueryBudget
 from ..index.inverted import InvertedIndex
 from ..obs import (CHUNK_FALLBACKS, CHUNK_RETRIES, CHUNK_TIMEOUTS,
-                   DOCUMENTS_SKIPPED, EXEC_DEGRADED, NOOP,
+                   DOCUMENTS_SKIPPED, EXEC_DEGRADED,
+                   MUTATION_WORKER_REATTACH, NOOP,
                    FlightRecorder, MetricsRegistry, Observability,
                    POOL_CHUNKS, POOL_CHUNK_SECONDS,
                    POOL_DISPATCH_SECONDS, POOL_RESPAWNS, POOL_TASKS,
@@ -101,7 +102,9 @@ def default_start_method() -> str:
 # ----------------------------------------------------------------------
 
 _WORKER_DOCUMENTS: Optional[Mapping[str, Document]] = None
-_WORKER_SHARD_INDEX: Optional[ShardIndex] = None
+_WORKER_SHARD_INDEX = None  # ShardIndex or mutation.Snapshot
+_WORKER_MUTABLE_PATH: Optional[str] = None
+_WORKER_MUTABLE_EPOCH: Optional[int] = None
 _WORKER_INDEXES: dict[str, InvertedIndex] = {}
 _WORKER_CACHE: Optional[JoinCache] = None
 _WORKER_OBS: Optional[Observability] = None
@@ -164,6 +167,48 @@ def _init_worker_attach(spec: dict) -> None:
     index = ShardIndex.from_spec(spec)
     _init_worker(_ShardDocumentMap(index))
     _WORKER_SHARD_INDEX = index
+
+
+def _init_worker_mutable(path: str) -> None:
+    """Pool initializer for the mutable-index mode.
+
+    Only the directory path ships at pool init; the worker attaches an
+    epoch snapshot lazily when the first chunk names one — and
+    *re-attaches* whenever a later chunk names a different epoch, so
+    index mutation never forces a pool rebuild.
+    """
+    global _WORKER_MUTABLE_PATH, _WORKER_MUTABLE_EPOCH
+    _init_worker({})
+    _WORKER_MUTABLE_PATH = path
+    _WORKER_MUTABLE_EPOCH = None
+
+
+def _ensure_worker_epoch(epoch: int, obs) -> None:
+    """Re-attach this worker's snapshot when the chunk's epoch moved.
+
+    The old snapshot (and its mmap base) closes first; the per-document
+    warm state resets because names may now resolve to different
+    content.  Epoch pinning in the parent guarantees the named epoch's
+    files are still on disk.
+    """
+    global _WORKER_DOCUMENTS, _WORKER_SHARD_INDEX, _WORKER_INDEXES
+    global _WORKER_MUTABLE_EPOCH
+    if _WORKER_MUTABLE_EPOCH == epoch:
+        return
+    from ..storage.mutation import attach_snapshot
+    if _WORKER_SHARD_INDEX is not None:
+        _WORKER_SHARD_INDEX.close()
+    snapshot = attach_snapshot(_WORKER_MUTABLE_PATH, epoch)
+    _WORKER_SHARD_INDEX = snapshot
+    _WORKER_DOCUMENTS = _ShardDocumentMap(snapshot)
+    _WORKER_INDEXES = {}
+    reattached = _WORKER_MUTABLE_EPOCH is not None
+    _WORKER_MUTABLE_EPOCH = epoch
+    if reattached and obs.enabled:
+        obs.metrics.counter(
+            MUTATION_WORKER_REATTACH,
+            "Pool workers that re-attached after an epoch change."
+        ).inc()
 
 
 def _worker_obs(traced: bool,
@@ -259,7 +304,8 @@ def _run_chunk(queries: Sequence[Query], items: Sequence[tuple[str, int]],
                fault: Optional[dict] = None,
                budget: Optional[QueryBudget] = None,
                shard: Optional[int] = None,
-               extra_filter=None):
+               extra_filter=None,
+               epoch: Optional[int] = None):
     """Evaluate one chunk of ``(document name, query index)`` items.
 
     Returns ``(rows, chunk_seconds, delta, pid)`` where each row is
@@ -296,6 +342,11 @@ def _run_chunk(queries: Sequence[Query], items: Sequence[tuple[str, int]],
     obs = (_worker_obs(bool(obs_spec.get("trace")),
                        obs_spec.get("recorder"))
            if obs_spec is not None else NOOP)
+    if epoch is not None:
+        # Mutable-index mode: the chunk is pinned to one epoch; attach
+        # (or re-attach) this worker's snapshot to match before any
+        # probe or evaluation touches the corpus.
+        _ensure_worker_epoch(epoch, obs)
     if obs.enabled and obs.recorder is not None:
         # Sharded chunks never straddle shards, so one ambient tag
         # covers every profile this chunk records.
@@ -380,11 +431,25 @@ class ParallelExecutor:
                  resilience: Optional[RetryPolicy] = None,
                  faults: Optional[FaultPlan] = None,
                  index_path=None,
+                 mutable_index=None,
                  shared_memory: Optional[bool] = None) -> None:
-        if (documents is None) == (index_path is None):
+        modes = sum(source is not None
+                    for source in (documents, index_path, mutable_index))
+        if modes != 1:
             raise DocumentError("ParallelExecutor requires exactly one "
-                                "of documents= or index_path=")
-        if index_path is not None:
+                                "of documents=, index_path= or "
+                                "mutable_index=")
+        self._mutable_path: Optional[str] = None
+        if mutable_index is not None:
+            # Mutable-index mode: the corpus is an epoch-versioned live
+            # index.  Workers receive only the directory path and
+            # attach the epoch each run names (re-attaching when it
+            # changes); every run must pass ``snapshot=`` — the pool
+            # itself outlives any number of commits.
+            self._index = None
+            self._mutable_path = os.fspath(mutable_index)
+            self.documents = {}
+        elif index_path is not None:
             # Sharded-index mode: the corpus stays on disk; this process
             # and every worker attach their own mmap/shared-memory
             # handles, and documents materialise only when they match.
@@ -397,7 +462,7 @@ class ParallelExecutor:
         else:
             self._index = None
             self.documents = dict(documents)
-        if not self.documents:
+        if not self.documents and self._mutable_path is None:
             raise DocumentError("ParallelExecutor requires at least one "
                                 "document")
         self._shared_memory = shared_memory
@@ -428,6 +493,11 @@ class ParallelExecutor:
 
     def _new_pool(self) -> ProcessPoolExecutor:
         context = multiprocessing.get_context(self.start_method)
+        if self._mutable_path is not None:
+            return ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context,
+                initializer=_init_worker_mutable,
+                initargs=(self._mutable_path,))
         if self._index is not None:
             # Ship an attach recipe, not the corpus.  Under spawn the
             # shard bytes travel via shared-memory segments by default
@@ -524,7 +594,8 @@ class ParallelExecutor:
                   outcomes, report: ResilienceReport,
                   budget: Optional[QueryBudget] = None,
                   chunk_keys: Optional[list] = None,
-                  hint: Optional[ChunkHint] = None) -> None:
+                  hint: Optional[ChunkHint] = None,
+                  snapshot=None) -> None:
         """Run every chunk to completion, surviving crashes and hangs.
 
         Chunks are dispatched in waves; a wave is the current pending
@@ -581,7 +652,9 @@ class ParallelExecutor:
                         strategy.value, kernel, obs_spec, fault, budget,
                         (chunk_keys[chunk_index]
                          if chunk_keys is not None else None),
-                        hint.filter if hint is not None else None)
+                        hint.filter if hint is not None else None,
+                        (snapshot.epoch if snapshot is not None
+                         else None))
                 except (BrokenExecutor, RuntimeError):
                     submit_broken = True
                     pending.append(chunk_index)
@@ -661,7 +734,8 @@ class ParallelExecutor:
                 queries, chunks[chunk_index], strategy, kernel, ob,
                 budget=budget,
                 shard=(chunk_keys[chunk_index]
-                       if chunk_keys is not None else None))
+                       if chunk_keys is not None else None),
+                snapshot=snapshot)
             for name, query_index, payload in rows:
                 outcomes[(name, query_index)] = payload
             if hint is not None:
@@ -686,7 +760,8 @@ class ParallelExecutor:
 
     def _serial_items(self, queries, items, strategy, kernel, ob,
                       budget: Optional[QueryBudget] = None,
-                      shard: Optional[int] = None):
+                      shard: Optional[int] = None,
+                      snapshot=None):
         """Evaluate one chunk's items in-process (degraded mode).
 
         Mirrors ``_run_chunk`` — including the conjunctive early exit
@@ -703,13 +778,26 @@ class ParallelExecutor:
             rows = []
             for name, query_index in items:
                 query = queries[query_index]
-                index = self._parent_index(name)
-                if not all(index.contains(term) for term in query.terms):
-                    rows.append((name, query_index, None))
-                    continue
+                if snapshot is not None:
+                    # Epoch-pinned fallback: probe and materialise
+                    # through the snapshot, never the (stale-prone)
+                    # parent-side warm cache.
+                    if not all(snapshot.contains(name, term)
+                               for term in query.terms):
+                        rows.append((name, query_index, None))
+                        continue
+                    index = snapshot.inverted_index(name)
+                    document = snapshot.document(name)
+                else:
+                    index = self._parent_index(name)
+                    if not all(index.contains(term)
+                               for term in query.terms):
+                        rows.append((name, query_index, None))
+                        continue
+                    document = self.documents[name]
                 try:
                     result = evaluate(
-                        self.documents[name], query,
+                        document, query,
                         strategy=strategy, index=index,
                         cache=self._parent_cache, kernel=kernel,
                         obs=ob,
@@ -739,11 +827,13 @@ class ParallelExecutor:
                resilience: Optional[RetryPolicy] = None,
                faults: Optional[FaultPlan] = None,
                budget: Optional[QueryBudget] = None,
-               hint: Optional[ChunkHint] = None) -> CollectionResult:
+               hint: Optional[ChunkHint] = None,
+               snapshot=None) -> CollectionResult:
         """Evaluate one query over the corpus; serial-identical result."""
         return self.run([query], strategy=strategy, documents=documents,
                         kernel=kernel, obs=obs, resilience=resilience,
-                        faults=faults, budget=budget, hint=hint)[0]
+                        faults=faults, budget=budget, hint=hint,
+                        snapshot=snapshot)[0]
 
     def run(self, queries: Sequence[Query],
             strategy: Strategy = Strategy.PUSHDOWN,
@@ -753,7 +843,8 @@ class ParallelExecutor:
             resilience: Optional[RetryPolicy] = None,
             faults: Optional[FaultPlan] = None,
             budget: Optional[QueryBudget] = None,
-            hint: Optional[ChunkHint] = None
+            hint: Optional[ChunkHint] = None,
+            snapshot=None
             ) -> list[CollectionResult]:
         """Evaluate a batch of queries in one scheduling wave.
 
@@ -790,16 +881,31 @@ class ParallelExecutor:
         policy = resilience if resilience is not None else self.resilience
         plan = faults if faults is not None else self.faults
         queries = list(queries)
+        if self._mutable_path is not None and snapshot is None:
+            raise QueryError(
+                "a mutable-index executor needs an epoch-pinned "
+                "snapshot; pass snapshot= (see MutableIndex.snapshot)")
+        if snapshot is not None:
+            corpus = _ShardDocumentMap(snapshot)
+        else:
+            corpus = self.documents
         targets = (list(documents) if documents is not None
-                   else list(self.documents))
+                   else list(corpus))
         for name in targets:
-            if name not in self.documents:
+            if name not in corpus:
                 raise DocumentError(f"unknown document {name!r}")
         items = [(name, qi) for qi in range(len(queries))
                  for name in targets]
         chunk_size = self._chunk_size or max(
             1, -(-len(items) // (4 * self.workers)))
+        shard_of = None
         if self._index is not None:
+            shard_of = self._index.shard_of
+        elif snapshot is not None:
+            # Delta documents report shard -1; they group into their
+            # own chunks ahead of the mapped shards.
+            shard_of = snapshot.shard_of
+        if shard_of is not None:
             # Scatter: group items by shard so no chunk straddles a
             # shard boundary — each chunk touches exactly one mapped
             # file, failures attribute cleanly to a shard, and worker
@@ -808,8 +914,7 @@ class ParallelExecutor:
             # so results are unchanged.
             by_shard: dict[int, list] = {}
             for item in items:
-                by_shard.setdefault(
-                    self._index.shard_of(item[0]), []).append(item)
+                by_shard.setdefault(shard_of(item[0]), []).append(item)
             chunks = []
             chunk_keys: Optional[list] = []
             for shard in sorted(by_shard):
@@ -844,7 +949,8 @@ class ParallelExecutor:
                 self._dispatch(queries, chunks, strategy, kernel,
                                obs_spec, ob, policy, plan, outcomes,
                                report, budget=budget,
-                               chunk_keys=chunk_keys, hint=hint)
+                               chunk_keys=chunk_keys, hint=hint,
+                               snapshot=snapshot)
             finally:
                 self.last_report = report
                 self.degraded = report.degraded
@@ -906,7 +1012,7 @@ class ParallelExecutor:
                     # where the serial path would have raised.
                     _raise_budget_marker(payload)
                 node_tuples, elapsed, stats = payload
-                document = self.documents[name]
+                document = corpus[name]
                 fragments = frozenset(
                     Fragment(document, nodes, validate=False)
                     for nodes in node_tuples)

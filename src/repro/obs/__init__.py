@@ -153,6 +153,26 @@ SHARD_ROUTER_REROUTES = "repro_shard_router_reroutes_total"
 #: (0 closed, 1 half-open, 2 open), mirroring GUARD_BREAKER_STATE.
 SHARD_BREAKER_STATE = "repro_shard_breaker_state"
 
+# Live-mutation metrics (recorded by repro.storage.mutation and the
+# epoch re-attach path in repro.exec.parallel).
+MUTATION_WAL_RECORDS = "repro_mutation_wal_records_total"
+MUTATION_WAL_BYTES = "repro_mutation_wal_bytes_total"
+MUTATION_COMMITS = "repro_mutation_commits_total"
+#: Gauge: the last committed epoch of the writable index.
+MUTATION_EPOCH = "repro_mutation_epoch"
+#: Gauge: distinct epochs currently pinned by in-flight readers.
+MUTATION_EPOCHS_PINNED = "repro_mutation_epochs_pinned"
+MUTATION_EPOCHS_GCED = "repro_mutation_epochs_gced_total"
+MUTATION_COMPACTIONS = "repro_mutation_compactions_total"
+MUTATION_RECOVERY_SECONDS = "repro_mutation_recovery_seconds"
+#: Counter: WAL bytes discarded at recovery (torn or uncommitted tail).
+MUTATION_WAL_TAIL_DISCARDED = "repro_mutation_wal_tail_discarded_total"
+#: Gauge: documents living in the committed delta segment.
+MUTATION_DELTA_DOCUMENTS = "repro_mutation_delta_documents"
+#: Counter: pool workers that re-attached after an epoch change
+#: (instead of a pool rebuild).
+MUTATION_WORKER_REATTACH = "repro_mutation_worker_reattach_total"
+
 # Baseline evaluators (repro.baselines) recorded by record_baseline().
 BASELINE_QUERIES = "repro_baseline_queries_total"
 BASELINE_LATENCY = "repro_baseline_latency_seconds"

@@ -42,6 +42,16 @@ daemon thread and serves the handle's current state:
     abort), and a circuit breaker that fails fast (503) after
     consecutive execution failures.  Load-shedding responses carry
     ``Retry-After``.
+``POST /ingest``
+    Add/replace/remove documents on a *writable* collection
+    (:class:`~repro.collection.MutableDocumentCollection`, served via
+    ``repro-search serve --index DIR --writable``): the batch is
+    validated whole, applied through the WAL under a single-writer
+    lock, and (by default) committed as one new epoch before the
+    response returns.  Writes share the admission queue and
+    concurrency slots with queries; read-only collections answer 403.
+    In-flight queries are unaffected — each pinned its epoch at
+    admission.
 
 Unsupported methods get HTTP 405 with an ``Allow`` header rather than
 a hang or a 404 fallthrough; unknown paths get 404.
@@ -294,6 +304,45 @@ class _GuardState:
                     "breaker": self.breaker.to_dict()}
 
 
+def _parse_ingest(payload: Mapping) -> tuple[list, list[str], bool]:
+    """Validate one ``POST /ingest`` body into (adds, removes, commit).
+
+    ``{"documents": [{"name": ..., "xml": ...}, ...],
+    "remove": [name, ...], "commit": true}`` — every document is parsed
+    here, before any guarded resource or WAL byte is consumed, so a bad
+    batch is rejected whole.
+    """
+    from ..xmltree.parser import parse
+    if not isinstance(payload, Mapping):
+        raise ReproError("request body must be a JSON object")
+    specs = payload.get("documents", [])
+    if not isinstance(specs, (list, tuple)):
+        raise ReproError('"documents" must be a list')
+    adds = []
+    for spec in specs:
+        if (not isinstance(spec, Mapping)
+                or not isinstance(spec.get("name"), str)
+                or not spec["name"]
+                or not isinstance(spec.get("xml"), str)):
+            raise ReproError('each document needs a non-empty "name" '
+                             'and an "xml" string')
+        adds.append((spec["name"], parse(spec["xml"],
+                                         name=spec["name"])))
+    removes = payload.get("remove", [])
+    if isinstance(removes, str):
+        removes = [removes]
+    if not isinstance(removes, (list, tuple)) \
+            or not all(isinstance(n, str) and n for n in removes):
+        raise ReproError('"remove" must be a list of document names')
+    commit = payload.get("commit", True)
+    if not isinstance(commit, bool):
+        raise ReproError('"commit" must be a boolean')
+    if not adds and not removes:
+        raise ReproError('nothing to ingest: provide "documents" '
+                         'and/or "remove"')
+    return adds, list(removes), commit
+
+
 def _parse_request(payload: Mapping) -> tuple[Query, dict]:
     """Build the :class:`Query` (and options) of one request body.
 
@@ -352,7 +401,7 @@ class _Handler(BaseHTTPRequestHandler):
                   "/debug/flightrecorder": "_get_flightrecorder"}
     #: Prefix-matched GET routes; the handler receives the path suffix.
     GET_PREFIX_ROUTES = {"/debug/trace/": "_get_trace"}
-    POST_ROUTES = {"/query": "_post_query"}
+    POST_ROUTES = {"/query": "_post_query", "/ingest": "_post_ingest"}
 
     def log_message(self, format: str, *args: object) -> None:
         """Silence per-request stderr logging (scrapes are periodic)."""
@@ -391,8 +440,8 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._reply(f"not found: {self.path!r}; try /metrics, "
                         f"/healthz, /varz, /slow, /timeseries, /alertz, "
-                        f"/debug/flightrecorder, /debug/trace/<id> or "
-                        f"POST /query\n",
+                        f"/debug/flightrecorder, /debug/trace/<id>, "
+                        f"POST /query or POST /ingest\n",
                         "text/plain; charset=utf-8", status=404)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
@@ -518,7 +567,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- POST /query --------------------------------------------------
 
-    def _post_query(self) -> None:
+    def _read_body(self) -> Optional[bytes]:
         try:
             length = int(self.headers.get("Content-Length") or 0)
         except ValueError:
@@ -527,8 +576,13 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply_json({"error": "bad-request",
                               "message": "missing or oversized body"},
                              status=413 if length > 0 else 411)
+            return None
+        return self.rfile.read(length)
+
+    def _post_query(self) -> None:
+        body = self._read_body()
+        if body is None:
             return
-        body = self.rfile.read(length)
         status, headers, doc = self.server.serve_query(body)
         lines = (doc.pop("_stream", None)
                  if isinstance(doc, dict) else None)
@@ -536,6 +590,13 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply_ndjson(lines, status=status, headers=headers)
         else:
             self._reply_json(doc, status=status, headers=headers)
+
+    def _post_ingest(self) -> None:
+        body = self._read_body()
+        if body is None:
+            return
+        status, headers, doc = self.server.serve_ingest(body)
+        self._reply_json(doc, status=status, headers=headers)
 
     # -- plumbing -----------------------------------------------------
 
@@ -599,6 +660,10 @@ class _ObsHTTPServer(ThreadingHTTPServer):
         self.history = history
         self.slo = slo
         self.slo_feedback = slo_feedback
+        # Writes are single-writer: POST /ingest batches validate and
+        # apply under this lock (queries never take it — they pin
+        # epochs instead).
+        self.ingest_lock = threading.Lock()
         if slo is not None:
             slo.attach()
             if slo_feedback:
@@ -712,6 +777,17 @@ class _ObsHTTPServer(ThreadingHTTPServer):
             # Sharded collections report attach health, bytes mapped,
             # router fan-out and per-shard breaker states.
             doc["shards"] = shard_stats()
+        mutable = getattr(self.collection, "mutable", None)
+        if mutable is not None:
+            # Writable serves surface the epoch state head-on: what a
+            # new query pins, what old pins still hold alive, and how
+            # much WAL is waiting for a commit.
+            doc["epochs"] = {
+                "current": mutable.epoch,
+                "pending_wal_records": mutable.pending_records,
+                "pinned": doc["shards"].get("pinned_epochs", {}),
+                "published": doc["shards"].get("published_epochs", []),
+            }
         return doc
 
     # -- guard metric helpers -----------------------------------------
@@ -787,6 +863,96 @@ class _ObsHTTPServer(ThreadingHTTPServer):
             return self._evaluate_admitted(guard, query, options, retry)
         finally:
             guard.release_slot()
+
+    def serve_ingest(self, body: bytes
+                     ) -> tuple[int, Optional[dict], dict]:
+        """Run one ``POST /ingest`` request through the guard stack.
+
+        Writes share the admission queue and concurrency slots with
+        queries (a write burst cannot starve the query path past the
+        configured bounds) and serialise on the ingest lock.  The
+        batch is validated whole before the first WAL byte; with
+        ``commit`` (default) the new epoch is durable before the
+        response, and in-flight queries keep serving the epoch they
+        pinned.
+        """
+        guard = self.guard
+        if guard is None:
+            return 503, None, {
+                "error": "no-collection",
+                "message": "no document collection is attached; start "
+                           "the server with a collection to ingest"}
+        writable = getattr(self.collection, "mutable", None)
+        if writable is None:
+            return 403, None, {
+                "error": "read-only",
+                "message": "this collection is not writable; serve a "
+                           "mutable index ('repro-search serve "
+                           "--index DIR --writable')"}
+        rails = guard.rails
+        retry = {"Retry-After": f"{rails.retry_after_s:g}"}
+
+        # 1. Parse + validate the whole batch (no resources consumed).
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            adds, removes, commit = _parse_ingest(payload)
+        except (ValueError, ReproError) as exc:
+            self._count_rejected("parse")
+            return 400, None, {"error": "bad-request",
+                               "message": str(exc)}
+
+        # 2/3. Same bounded queue + slots as queries.
+        shed = guard.try_enqueue()
+        if shed is not None:
+            self._count_shed(shed)
+            status = 503 if shed == "draining" else 429
+            return status, retry, {
+                "error": "shed", "reason": shed,
+                "message": f"request shed ({shed}); retry later"}
+        if not guard.acquire_slot():
+            self._count_shed("overload")
+            return 503, retry, {
+                "error": "shed", "reason": "overload",
+                "message": f"no evaluation slot within "
+                           f"{rails.queue_timeout_s:g}s; retry later"}
+        started = time.perf_counter()
+        try:
+            with self.ingest_lock:
+                adding = {name for name, _ in adds}
+                for name in removes:
+                    if name not in adding and name not in self.collection:
+                        self._count_rejected("unknown-document")
+                        return 404, None, {
+                            "error": "unknown-document", "name": name,
+                            "message": f"cannot remove unknown "
+                                       f"document {name!r}"}
+                try:
+                    for name, document in adds:
+                        self.collection.add(document, name,
+                                            commit=False)
+                    for name in removes:
+                        self.collection.remove(name, commit=False)
+                    epoch = (self.collection.commit() if commit
+                             else None)
+                except ReproError as exc:
+                    guard.breaker.record_failure()
+                    self._publish_breaker()
+                    return 500, None, {"error": "ingest-failed",
+                                       "message": str(exc)}
+        finally:
+            guard.release_slot()
+        guard.breaker.record_success()
+        self._publish_breaker()
+        self._count_admitted()
+        return 200, None, {
+            "added": sorted(name for name, _ in adds),
+            "removed": sorted(removes),
+            "committed": commit,
+            "epoch": epoch if commit else writable.epoch,
+            "pending_wal_records": writable.pending_records,
+            "elapsed_ms": round((time.perf_counter() - started) * 1000,
+                                3),
+        }
 
     def _evaluate_admitted(self, guard: _GuardState, query: Query,
                            options: dict, retry: dict

@@ -1,0 +1,31 @@
+"""Crash-safe live index mutation (``repro.storage.mutation``).
+
+A write-ahead log + epoch-versioned snapshot layer over
+:mod:`repro.storage.shards`: documents can be added, replaced and
+removed while queries run, every write is durable before it is
+visible, and every reader sees one consistent epoch.
+
+* :class:`MutableIndex` — the single-writer handle (create / open /
+  add / remove / commit / compact / snapshot / fsck).
+* :class:`Snapshot` / :func:`attach_snapshot` — epoch-pinned consistent
+  read views, in-process or rebuilt from disk by pool workers.
+* :class:`WriteAheadLog` / :func:`read_records` — the checksummed
+  record log and its torn-tail-aware scanner.
+* :class:`EpochManager` — manifest publication (the atomic ``CURRENT``
+  flip), refcounted pins and garbage collection.
+* :func:`fsck` — offline verify/repair, surfaced as
+  ``repro-search index fsck``.
+"""
+
+from .delta import DeltaView
+from .epochs import EpochManager, load_manifest, read_current
+from .mutable import MutableIndex, Snapshot, attach_snapshot, fsck
+from .wal import (OP_ADD, OP_REMOVE, OP_REPLACE, WriteAheadLog,
+                  read_records)
+
+__all__ = [
+    "MutableIndex", "Snapshot", "attach_snapshot", "fsck",
+    "DeltaView", "EpochManager", "WriteAheadLog", "read_records",
+    "read_current", "load_manifest",
+    "OP_ADD", "OP_REPLACE", "OP_REMOVE",
+]

@@ -1,0 +1,132 @@
+"""In-memory delta segment: WAL records made queryable.
+
+A :class:`DeltaView` is the immutable overlay one epoch adds on top of
+its base generation: the documents added or replaced since the last
+compaction (held as their encoded shard-format sections, materialised
+lazily) plus the tombstone set of removed names.  Views are built by
+replaying a committed WAL prefix — the writer keeps the live one and
+publishes a new view at each epoch commit; pool workers rebuild the
+same view from the on-disk WAL, so both sides serve byte-identical
+documents.
+"""
+
+from __future__ import annotations
+
+from ...errors import WALError
+from ..shards import format as fmt
+from ..shards.reader import build_document
+from .wal import OP_REMOVE
+
+__all__ = ["DeltaView", "replay"]
+
+
+def replay(records) -> tuple[dict, frozenset]:
+    """Apply WAL records in order; returns ``(sections_by_name,
+    tombstones)``.
+
+    ``add`` / ``replace`` install the document's encoded sections and
+    clear any tombstone; ``remove`` drops the sections and tombstones
+    the name (shadowing the base even if the base still holds it).
+    """
+    sections_by_name: dict[str, dict] = {}
+    tombstones: set[str] = set()
+    for seq, op, name, sections in records:
+        if op == OP_REMOVE:
+            sections_by_name.pop(name, None)
+            tombstones.add(name)
+        else:
+            if sections is None:
+                raise WALError(
+                    f"WAL record {seq} ({op} {name!r}) carries no "
+                    f"sections", reason="corrupt")
+            sections_by_name[name] = sections
+            tombstones.discard(name)
+    return sections_by_name, frozenset(tombstones)
+
+
+class DeltaView:
+    """One epoch's immutable delta overlay.
+
+    Documents materialise lazily (and are cached): the encoded sections
+    are plain ``bytes``, so — unlike the mmap path — a materialised
+    delta document never pins an on-disk buffer.
+    """
+
+    __slots__ = ("_sections", "tombstones", "wal_records", "_documents",
+                 "_postings")
+
+    def __init__(self, sections_by_name: dict, tombstones: frozenset,
+                 wal_records: int) -> None:
+        self._sections = sections_by_name
+        self.tombstones = tombstones
+        self.wal_records = wal_records
+        self._documents: dict = {}
+        self._postings: dict = {}
+
+    @classmethod
+    def from_records(cls, records) -> "DeltaView":
+        sections_by_name, tombstones = replay(records)
+        return cls(sections_by_name, tombstones, len(records))
+
+    @classmethod
+    def empty(cls) -> "DeltaView":
+        return cls({}, frozenset(), 0)
+
+    # -- corpus surface -------------------------------------------------
+
+    def names(self) -> list[str]:
+        return sorted(self._sections)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._sections
+
+    def __len__(self) -> int:
+        return len(self._sections)
+
+    def node_count(self, name: str) -> int:
+        return len(self._sections[name]["parents"]) // 8
+
+    def contains(self, name: str, term: str) -> bool:
+        """Postings probe against the encoded blob (no materialise)."""
+        if name in self._postings:
+            return term in self._postings[name]
+        return fmt.postings_lookup(
+            self._sections[name]["postings"], term) is not None
+
+    def document(self, name: str):
+        doc = self._documents.get(name)
+        if doc is not None:
+            return doc
+        try:
+            sections = self._sections[name]
+        except KeyError:
+            raise WALError(f"unknown delta document {name!r}",
+                           reason="unknown-document") from None
+        doc, postings = build_document(
+            name, self.node_count(name),
+            lambda section: sections[section])
+        self._documents[name] = doc
+        self._postings[name] = postings
+        return doc
+
+    def postings(self, name: str) -> dict:
+        if name not in self._postings:
+            self.document(name)
+        return self._postings[name]
+
+    @property
+    def bytes(self) -> int:
+        return sum(len(data) for sections in self._sections.values()
+                   for data in sections.values())
+
+    def stats(self) -> dict:
+        return {"documents": len(self._sections),
+                "tombstones": len(self.tombstones),
+                "wal_records": self.wal_records,
+                "bytes": self.bytes,
+                "materialized": len(self._documents)}
+
+    def __repr__(self) -> str:
+        return (f"DeltaView(documents={len(self._sections)}, "
+                f"tombstones={len(self.tombstones)}, "
+                f"wal_records={self.wal_records})")

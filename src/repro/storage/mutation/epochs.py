@@ -1,0 +1,242 @@
+"""Epoch manifests, the ``CURRENT`` pointer, and refcounted pins.
+
+An epoch is one published, immutable view of a mutable index: a base
+generation directory (a normal sharded index, possibly absent when the
+index started empty) plus a committed prefix of the generation's WAL.
+Publishing epoch *N* is a two-file protocol, each file written with the
+classic tmp → fsync → rename → dir-fsync dance::
+
+    manifest.<N>.json   what the epoch consists of
+    CURRENT             the single source of truth for "latest epoch"
+
+The rename of ``CURRENT`` is the linearisation point: a crash anywhere
+before it leaves the old epoch current (the orphaned manifest is inert
+garbage), a crash anywhere after it leaves the new epoch current.
+Every step is instrumented with a :class:`~repro.exec.faults.CrashPlan`
+commit point so the recovery tests can kill the writer at each
+boundary.
+
+Readers *pin* the epoch they start on; the writer's garbage collector
+only deletes manifests, WAL files and generation directories that no
+current-or-pinned epoch references.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+import threading
+from typing import Optional
+
+from ...errors import WALError
+from ..shards import format as fmt
+
+__all__ = ["EpochManager", "CURRENT_NAME", "MUTABLE_FORMAT",
+           "MUTABLE_FORMAT_VERSION", "epoch_manifest_name",
+           "generation_dir_name", "read_current", "load_manifest"]
+
+CURRENT_NAME = "CURRENT"
+MUTABLE_FORMAT = "repro-mutable-index"
+MUTABLE_FORMAT_VERSION = 1
+
+_MANIFEST_RE = re.compile(r"^manifest\.(\d{6,})\.json$")
+_GENERATION_RE = re.compile(r"^gen-(\d{4,})$")
+_WAL_RE = re.compile(r"^wal-(\d{6,})\.log$")
+
+
+def epoch_manifest_name(epoch: int) -> str:
+    return f"manifest.{epoch:06d}.json"
+
+
+def generation_dir_name(generation: int) -> str:
+    return f"gen-{generation:04d}"
+
+
+def read_current(path: str) -> Optional[int]:
+    """The epoch named by ``CURRENT``, or ``None`` when absent."""
+    try:
+        with open(os.path.join(path, CURRENT_NAME), "rb") as fh:
+            name = fh.read().decode("utf-8", "replace").strip()
+    except FileNotFoundError:
+        return None
+    match = _MANIFEST_RE.match(name)
+    if match is None:
+        raise WALError(
+            f"CURRENT points at {name!r}, not an epoch manifest",
+            reason="bad-epoch", path=os.path.join(path, CURRENT_NAME))
+    return int(match.group(1))
+
+
+def load_manifest(path: str, epoch: int) -> dict:
+    """Load and validate one epoch manifest."""
+    target = os.path.join(path, epoch_manifest_name(epoch))
+    try:
+        with open(target, "rb") as fh:
+            data = fh.read()
+    except FileNotFoundError:
+        raise WALError(f"epoch {epoch} manifest missing",
+                       reason="missing", path=target) from None
+    try:
+        import json
+        manifest = json.loads(data)
+    except ValueError:
+        raise WALError(f"epoch {epoch} manifest is not valid JSON",
+                       reason="corrupt", path=target) from None
+    if manifest.get("format") != MUTABLE_FORMAT:
+        raise WALError(
+            f"epoch {epoch} manifest has format "
+            f"{manifest.get('format')!r}", reason="corrupt", path=target)
+    if manifest.get("epoch") != epoch:
+        raise WALError(
+            f"manifest {target} claims epoch {manifest.get('epoch')!r}",
+            reason="bad-epoch", path=target)
+    return manifest
+
+
+class EpochManager:
+    """Publish epochs atomically; track pins; collect garbage.
+
+    One instance belongs to one :class:`MutableIndex` (the single
+    writer).  Pin bookkeeping is thread-safe — readers in the serving
+    process pin/unpin concurrently with commits.
+    """
+
+    def __init__(self, path: str, *, faults=None) -> None:
+        self.path = path
+        self._faults = faults
+        self.current_epoch = read_current(path)
+        self._pins: dict[int, int] = {}
+        self._lock = threading.Lock()
+
+    # -- commit protocol ------------------------------------------------
+
+    def _check(self, point: str) -> None:
+        if self._faults is not None:
+            self._faults.check(point)
+
+    def _fsync_dir(self) -> None:
+        fd = os.open(self.path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def _publish_file(self, name: str, data: bytes, prefix: str) -> None:
+        """tmp-write → fsync → rename → dir-fsync, with crash points."""
+        target = os.path.join(self.path, name)
+        tmp = target + ".tmp"
+        payload = data
+        if self._faults is not None:
+            self._faults.check(f"before-{prefix}-write")
+            payload = self._faults.torn_write(f"{prefix}-write", data)
+        with open(tmp, "wb") as fh:
+            fh.write(payload)
+            self._check(f"{prefix}-write")
+            fh.flush()
+            self._check(f"before-{prefix}-fsync")
+            os.fsync(fh.fileno())
+            self._check(f"{prefix}-fsync")
+        self._check(f"before-{prefix}-rename")
+        os.replace(tmp, target)
+        self._check(f"{prefix}-rename")
+        self._check(f"before-{prefix}-dir-fsync")
+        self._fsync_dir()
+        self._check(f"{prefix}-dir-fsync")
+
+    def publish(self, manifest: dict) -> int:
+        """Publish ``manifest`` as the new current epoch.
+
+        The caller has already made the epoch's content durable (WAL
+        fsync / generation build); this method only runs the two-file
+        pointer flip.  Raises :class:`~repro.exec.faults.CommitCrash`
+        mid-protocol under an armed crash plan — on-disk state is then
+        exactly what a power cut at that point leaves.
+        """
+        epoch = int(manifest["epoch"])
+        if self.current_epoch is not None and epoch <= self.current_epoch:
+            raise WALError(
+                f"cannot publish epoch {epoch}: current epoch is "
+                f"{self.current_epoch}", reason="bad-epoch", path=self.path)
+        name = epoch_manifest_name(epoch)
+        self._publish_file(name, fmt.dump_json(manifest) + b"\n",
+                           "manifest")
+        self._publish_file(CURRENT_NAME, (name + "\n").encode("utf-8"),
+                           "current")
+        self.current_epoch = epoch
+        return epoch
+
+    # -- pins -----------------------------------------------------------
+
+    def pin(self, epoch: int) -> int:
+        with self._lock:
+            self._pins[epoch] = self._pins.get(epoch, 0) + 1
+            return self._pins[epoch]
+
+    def unpin(self, epoch: int) -> int:
+        with self._lock:
+            count = self._pins.get(epoch, 0) - 1
+            if count <= 0:
+                self._pins.pop(epoch, None)
+                return 0
+            self._pins[epoch] = count
+            return count
+
+    def pinned_epochs(self) -> dict[int, int]:
+        with self._lock:
+            return dict(self._pins)
+
+    def live_epochs(self) -> set[int]:
+        """Epochs that must survive GC: current plus every pinned one."""
+        live = set(self.pinned_epochs())
+        if self.current_epoch is not None:
+            live.add(self.current_epoch)
+        return live
+
+    # -- garbage collection --------------------------------------------
+
+    def collect(self) -> dict:
+        """Delete files no live epoch references (writer-only).
+
+        Returns ``{"manifests": n, "wals": n, "generations": n}``.
+        Stray ``*.tmp`` files from crashed commits are swept too.
+        """
+        live = self.live_epochs()
+        referenced: set[str] = set()
+        for epoch in sorted(live):
+            try:
+                manifest = load_manifest(self.path, epoch)
+            except WALError:
+                # A pinned epoch whose manifest is already gone can only
+                # mean an earlier GC raced a pin; keep everything else.
+                continue
+            if manifest.get("base"):
+                referenced.add(manifest["base"])
+            if manifest.get("wal"):
+                referenced.add(manifest["wal"])
+        removed = {"manifests": 0, "wals": 0, "generations": 0}
+        for entry in sorted(os.listdir(self.path)):
+            full = os.path.join(self.path, entry)
+            match = _MANIFEST_RE.match(entry)
+            if match is not None:
+                if int(match.group(1)) not in live:
+                    os.unlink(full)
+                    removed["manifests"] += 1
+                continue
+            if _WAL_RE.match(entry) and entry not in referenced:
+                os.unlink(full)
+                removed["wals"] += 1
+                continue
+            if _GENERATION_RE.match(entry) and entry not in referenced \
+                    and os.path.isdir(full):
+                shutil.rmtree(full, ignore_errors=True)
+                removed["generations"] += 1
+                continue
+            if entry.endswith(".tmp") and os.path.isfile(full):
+                os.unlink(full)
+        return removed
+
+    def __repr__(self) -> str:
+        return (f"EpochManager(path={self.path!r}, "
+                f"current={self.current_epoch}, "
+                f"pinned={len(self.pinned_epochs())})")

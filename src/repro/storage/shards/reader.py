@@ -44,7 +44,7 @@ from ...xmltree.document import Document
 from ...xmltree.labeling import TreeLabels
 from . import format as fmt
 
-__all__ = ["ShardIndex"]
+__all__ = ["ShardIndex", "build_document"]
 
 #: Shared-memory handles whose buffers were still exported (e.g. a
 #: caller keeps a materialised Document alive) when their index was
@@ -52,6 +52,56 @@ __all__ = ["ShardIndex"]
 #: spurious BufferError at GC time, so we pin it instead; the OS frees
 #: the mapping at process exit regardless.
 _PINNED_SEGMENTS: list = []
+
+
+def build_document(name: str, nodes: int, section_of):
+    """Build a :class:`Document` from encoded sections.
+
+    ``section_of(section_name)`` returns a bytes-like object holding
+    that section's payload (a mapped window for shard files, plain
+    bytes for WAL records).  Returns ``(document, postings)``; the
+    structural arrays are handed to the kernel as zero-copy
+    ``memoryview.cast("q")`` windows, so the backing buffer must stay
+    alive as long as the document does.
+    """
+    n = nodes
+    parents_q = memoryview(section_of("parents")).cast("q")
+    depth_q = memoryview(section_of("depth")).cast("q")
+    pre_q = memoryview(section_of("pre")).cast("q")
+    size_q = memoryview(section_of("size")).cast("q")
+    post_q = memoryview(section_of("post")).cast("q")
+    if len(parents_q) != n:
+        raise ShardError(
+            f"document {name!r} structural arrays do not match its "
+            f"node count", reason="bad-header")
+    parents = [None if parents_q[i] < 0 else parents_q[i]
+               for i in range(n)]
+    children: list[list[int]] = [[] for _ in range(n)]
+    for i in range(n):
+        p = parents_q[i]
+        if p >= 0:
+            children[p].append(i)
+    pre = list(pre_q)
+    preorder = [0] * n
+    for node, rank in enumerate(pre):
+        preorder[rank] = node
+    labels = TreeLabels(list(depth_q), pre, list(size_q),
+                        list(post_q), preorder)
+    tags = fmt.decode_strings(section_of("tags"))
+    texts = fmt.decode_strings(section_of("texts"))
+    attrs = json.loads(bytes(section_of("attrs")))
+    postings = fmt.decode_postings(section_of("postings"))
+    per_node: list[list[str]] = [[] for _ in range(n)]
+    for term, ids in postings.items():
+        for nid in ids:
+            per_node[nid].append(term)
+    keywords = [frozenset(k) for k in per_node]
+    doc = Document(tags, texts, parents, children, keywords,
+                   attrs, name=name, labels=labels)
+    # Hand the kernel the mapped windows: building it later is a
+    # scratch-bitset allocation, never a per-node copy loop.
+    doc._kernel_arrays = (parents_q, depth_q, pre_q, size_q)
+    return doc, postings
 
 
 class _ShardFile:
@@ -273,6 +323,7 @@ class ShardIndex:
         self._materialized_total = 0
         self._shm_owned: list = []
         self._shm_names: Optional[dict] = None
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Construction
@@ -511,46 +562,16 @@ class ShardIndex:
         return self._indexes[name]
 
     def _materialize(self, sf: _ShardFile, entry: dict, name: str):
-        n = entry["nodes"]
-        parents_q = self._section(sf, entry, "parents").cast("q")
-        depth_q = self._section(sf, entry, "depth").cast("q")
-        pre_q = self._section(sf, entry, "pre").cast("q")
-        size_q = self._section(sf, entry, "size").cast("q")
-        post_q = self._section(sf, entry, "post").cast("q")
-        if len(parents_q) != n:
-            raise ShardError(
-                f"document {name!r} structural arrays do not match its "
-                f"node count", reason="bad-header", shard=sf.shard,
-                path=sf.path)
-        parents = [None if parents_q[i] < 0 else parents_q[i]
-                   for i in range(n)]
-        children: list[list[int]] = [[] for _ in range(n)]
-        for i in range(n):
-            p = parents_q[i]
-            if p >= 0:
-                children[p].append(i)
-        pre = list(pre_q)
-        preorder = [0] * n
-        for node, rank in enumerate(pre):
-            preorder[rank] = node
-        labels = TreeLabels(list(depth_q), pre, list(size_q),
-                            list(post_q), preorder)
-        tags = fmt.decode_strings(self._section(sf, entry, "tags"))
-        texts = fmt.decode_strings(self._section(sf, entry, "texts"))
-        attrs = json.loads(bytes(self._section(sf, entry, "attrs")))
-        postings = fmt.decode_postings(
-            self._section(sf, entry, "postings"))
-        per_node: list[list[str]] = [[] for _ in range(n)]
-        for term, ids in postings.items():
-            for nid in ids:
-                per_node[nid].append(term)
-        keywords = [frozenset(k) for k in per_node]
-        doc = Document(tags, texts, parents, children, keywords,
-                       attrs, name=name, labels=labels)
-        # Hand the kernel the mapped windows: building it later is a
-        # scratch-bitset allocation, never a per-node copy loop.
-        doc._kernel_arrays = (parents_q, depth_q, pre_q, size_q)
-        return doc, postings
+        try:
+            return build_document(
+                name, entry["nodes"],
+                lambda section: self._section(sf, entry, section))
+        except ShardError as exc:
+            if exc.shard is None:
+                # Re-raise with this shard's context attached.
+                raise ShardError(str(exc), reason=exc.reason,
+                                 shard=sf.shard, path=sf.path) from None
+            raise
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle
@@ -591,8 +612,23 @@ class ShardIndex:
                     failures.append(exc.to_dict())
         return {"documents": checked, "failures": failures}
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
     def close(self) -> None:
-        """Drop caches and release the maps (best-effort, idempotent)."""
+        """Drop caches and release the maps (deterministic, idempotent).
+
+        Clearing the document/index caches first drops the only views
+        this handle itself holds into the mapped payload, so — unless
+        the *caller* still holds a materialised :class:`Document` — the
+        ``mmap``/shared-memory buffers release immediately rather than
+        at an unpredictable GC point.  A second call is a no-op.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self._documents.clear()
         self._indexes.clear()
         for sf in self._files.values():

@@ -23,7 +23,7 @@ from . import format as fmt
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ...xmltree.document import Document
 
-__all__ = ["build_index"]
+__all__ = ["build_index", "encode_document"]
 
 
 def _document_postings(document: "Document") -> dict:
@@ -35,8 +35,14 @@ def _document_postings(document: "Document") -> dict:
     return postings
 
 
-def _encode_document(document: "Document") -> dict:
-    """Encode one document's sections; returns ``{section: bytes}``."""
+def encode_document(document: "Document") -> dict:
+    """Encode one document's sections; returns ``{section: bytes}``.
+
+    The nine sections are exactly the shard-file layout of
+    :data:`repro.storage.shards.format.SECTION_NAMES`; the write-ahead
+    log (:mod:`repro.storage.mutation`) reuses them verbatim so a WAL
+    record and a compacted shard hold byte-identical document payloads.
+    """
     n = document.size
     labels = document.labels
     parents = [(-1 if (p := document.parent(i)) is None else p)
@@ -146,7 +152,7 @@ def _build_shard(shard: int, shards: int, members, docs):
     payloads = []  # (aligned_offset, bytes) relative to payload start
     cursor = 0
     for name in members:
-        sections = _encode_document(docs[name])
+        sections = encode_document(docs[name])
         entry_sections = {}
         for section in fmt.SECTION_NAMES:
             data = sections[section]
